@@ -1,0 +1,96 @@
+// Ablation: feature-selection method.
+//
+// The thesis selects features with (unsupervised) PCA; its follow-up
+// literature uses supervised rankers. This ablation compares the binary
+// detector under 8- and 4-feature sets chosen by: the thesis's
+// PCA+clustering ranking, information gain, symmetrical uncertainty, and
+// the full 16 features, across three classifier families.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+#include "ml/feature_ranking.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace hmd;
+
+core::FeatureSet to_set(const std::vector<ml::RankedFeature>& ranked,
+                        std::size_t k) {
+  core::FeatureSet fs;
+  for (std::size_t i = 0; i < k && i < ranked.size(); ++i) {
+    fs.indices.push_back(ranked[i].index);
+    fs.names.push_back(ranked[i].name);
+  }
+  return fs;
+}
+
+void print_ablation() {
+  bench::print_banner("Ablation: feature-selection method");
+  const auto& [train, test] = bench::binary_split();
+  const core::BinaryStudy study(train, test);
+  const std::vector<std::string> schemes = {"JRip", "MLR", "MLP"};
+
+  struct Selector {
+    std::string name;
+    core::FeatureSet top8, top4;
+  };
+  std::vector<Selector> selectors;
+  selectors.push_back({"PCA+clustering (paper)",
+                       bench::feature_reducer().binary_top_features(8),
+                       bench::feature_reducer().binary_top_features(4)});
+  const auto ig = ml::rank_by_info_gain(train);
+  selectors.push_back({"info gain", to_set(ig, 8), to_set(ig, 4)});
+  const auto su = ml::rank_by_symmetrical_uncertainty(train);
+  selectors.push_back({"sym. uncertainty", to_set(su, 8), to_set(su, 4)});
+
+  TextTable table("binary accuracy (%) by selector and feature budget");
+  std::vector<std::string> header = {"selector", "features"};
+  for (const auto& s : schemes) header.push_back(s);
+  table.set_header(header);
+
+  {
+    std::vector<std::string> row = {"(all)", "16"};
+    for (const auto& r : study.run(schemes))
+      row.push_back(format("%.2f", r.accuracy * 100.0));
+    table.add_row(row);
+  }
+  for (const auto& sel : selectors) {
+    for (const auto& [label, fs] :
+         {std::pair{std::string("8"), &sel.top8},
+          std::pair{std::string("4"), &sel.top4}}) {
+      std::vector<std::string> row = {sel.name, label};
+      for (const auto& r : study.run(schemes, fs))
+        row.push_back(format("%.2f", r.accuracy * 100.0));
+      table.add_row(row);
+    }
+  }
+  table.print(std::cout);
+
+  std::cout << "\ntop-8 sets:\n";
+  for (const auto& sel : selectors)
+    std::cout << "  " << sel.name << ": " << join(sel.top8.names, ", ")
+              << '\n';
+}
+
+void BM_InfoGainRanking(benchmark::State& state) {
+  const auto& [train, test] = bench::binary_split();
+  (void)test;
+  for (auto _ : state) {
+    auto ranked = ml::rank_by_info_gain(train);
+    benchmark::DoNotOptimize(ranked);
+  }
+}
+BENCHMARK(BM_InfoGainRanking)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_ablation();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

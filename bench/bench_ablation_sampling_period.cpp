@@ -1,0 +1,79 @@
+// Ablation: sampling period.
+//
+// The thesis samples HPCs every 10 ms. Shorter windows react faster but
+// each sample is noisier (fewer events per window); longer windows smooth
+// phases together. This sweep varies the window size (expressed through
+// ops-per-window in the miniature model) and reports detection accuracy.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+#include "ml/registry.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace hmd;
+
+void print_ablation() {
+  bench::print_banner("Ablation: sampling period (window size)");
+
+  TextTable table("binary MLR accuracy vs sampling window");
+  table.set_header({"window (model ops)", "~period", "accuracy %",
+                    "rows"});
+  // 3000 ops ≙ the paper's 10 ms window in the miniature model.
+  for (const auto& [ops, label] :
+       std::vector<std::pair<std::size_t, const char*>>{{300, "1 ms"},
+                                                        {1500, "5 ms"},
+                                                        {3000, "10 ms"},
+                                                        {9000, "30 ms"},
+                                                        {30000, "100 ms"}}) {
+    core::PipelineConfig cfg;
+    cfg.composition = workload::DatabaseComposition::scaled(0.08);
+    // Hold total observation time per sample constant: windows shrink as
+    // they lengthen.
+    cfg.collector.ops_per_window = ops;
+    cfg.collector.num_windows =
+        std::max<std::size_t>(2, 36000 / std::max<std::size_t>(ops, 1));
+    core::DatasetBuilder builder(cfg);
+    const ml::Dataset binary =
+        core::DatasetBuilder::to_binary(builder.build_multiclass_dataset());
+    Rng rng(5);
+    const auto [train, test] =
+        binary.stratified_split(cfg.train_fraction, rng);
+    const auto tm = core::train_and_evaluate("MLR", train, test);
+    table.add_row({std::to_string(ops), label,
+                   format("%.2f", tm.evaluation.accuracy() * 100.0),
+                   std::to_string(binary.num_instances())});
+  }
+  table.print(std::cout);
+}
+
+void BM_WindowCollection(benchmark::State& state) {
+  workload::SampleRecord rec{.id = "b", .label = workload::AppClass::kWorm,
+                             .seed = 7};
+  workload::Sandbox sandbox(rec);
+  hwsim::Core core(hwsim::CoreConfig{}, hwsim::MemoryHierarchy::miniature());
+  perf::HpcCollector collector(
+      {.ops_per_window = static_cast<std::size_t>(state.range(0)),
+       .num_windows = 1});
+  for (auto _ : state) {
+    auto w = collector.collect(core, sandbox);
+    benchmark::DoNotOptimize(w);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_WindowCollection)->Arg(300)->Arg(3000)->Arg(30000)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_ablation();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Ablation: train/test split fraction.
+//
+// The thesis fixes a 70/30 split. This sweep shows how sensitive the
+// detector is to the amount of training data — and that 70/30 sits on the
+// flat part of the curve.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+#include "ml/registry.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace hmd;
+
+void print_ablation() {
+  bench::print_banner("Ablation: train fraction (paper fixes 70/30)");
+
+  TextTable table("test accuracy vs train share");
+  table.set_header({"train share", "binary MLR %", "binary J48 %",
+                    "multiclass MLR %"});
+  for (double frac : {0.3, 0.5, 0.7, 0.8, 0.9}) {
+    Rng rng(11);
+    const auto [btrain, btest] =
+        bench::binary_dataset().stratified_split(frac, rng);
+    Rng rng2(12);
+    const auto [mtrain, mtest] =
+        bench::multiclass_dataset().stratified_split(frac, rng2);
+    table.add_row(
+        {format("%.0f%%", frac * 100.0),
+         format("%.2f", core::train_and_evaluate("MLR", btrain, btest)
+                                .evaluation.accuracy() *
+                            100.0),
+         format("%.2f", core::train_and_evaluate("J48", btrain, btest)
+                                .evaluation.accuracy() *
+                            100.0),
+         format("%.2f", core::train_and_evaluate("MLR", mtrain, mtest)
+                                .evaluation.accuracy() *
+                            100.0)});
+  }
+  table.print(std::cout);
+}
+
+void BM_StratifiedSplit(benchmark::State& state) {
+  Rng rng(3);
+  for (auto _ : state) {
+    auto split = bench::binary_dataset().stratified_split(0.7, rng);
+    benchmark::DoNotOptimize(split);
+  }
+}
+BENCHMARK(BM_StratifiedSplit)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_ablation();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,118 @@
+#include "bench/bench_common.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+
+#include "ml/registry.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace hmd::bench {
+
+namespace {
+
+double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return parse_double(v);
+}
+
+struct Splits {
+  ml::Dataset multi_train, multi_test;
+  ml::Dataset binary_train, binary_test;
+};
+
+const Splits& splits() {
+  static const Splits s = [] {
+    Rng rng(20180717);  // thesis defense summer 2018
+    auto [mtrain, mtest] =
+        multiclass_dataset().stratified_split(bench_config().train_fraction,
+                                              rng);
+    Rng rng2(20170618);  // DAC'17
+    auto [btrain, btest] =
+        binary_dataset().stratified_split(bench_config().train_fraction,
+                                          rng2);
+    return Splits{std::move(mtrain), std::move(mtest), std::move(btrain),
+                  std::move(btest)};
+  }();
+  return s;
+}
+
+}  // namespace
+
+core::PipelineConfig bench_config() {
+  const double scale = env_double("HMD_BENCH_SCALE", 0.30);
+  const auto windows =
+      static_cast<std::size_t>(env_double("HMD_BENCH_WINDOWS", 12));
+  core::PipelineConfig cfg;
+  cfg.composition = workload::DatabaseComposition::scaled(scale);
+  cfg.collector.num_windows = windows;
+  cfg.collector.ops_per_window = 3000;
+  return cfg;
+}
+
+const ml::Dataset& multiclass_dataset() {
+  static const ml::Dataset data = [] {
+    const core::PipelineConfig cfg = bench_config();
+    std::filesystem::create_directories("hmd_bench_cache");
+    const std::string path =
+        "hmd_bench_cache/" + cfg.cache_key() + ".csv";
+    core::DatasetBuilder builder(cfg);
+    if (!std::filesystem::exists(path))
+      std::fprintf(stderr,
+                   "[bench] collecting HPC dataset (%zu samples x %zu "
+                   "windows) -> %s\n",
+                   cfg.composition.total(), cfg.collector.num_windows,
+                   path.c_str());
+    return builder.load_or_build(path);
+  }();
+  return data;
+}
+
+const ml::Dataset& binary_dataset() {
+  static const ml::Dataset data =
+      core::DatasetBuilder::to_binary(multiclass_dataset());
+  return data;
+}
+
+std::pair<const ml::Dataset&, const ml::Dataset&> multiclass_split() {
+  return {splits().multi_train, splits().multi_test};
+}
+
+std::pair<const ml::Dataset&, const ml::Dataset&> binary_split() {
+  return {splits().binary_train, splits().binary_test};
+}
+
+const core::FeatureReducer& feature_reducer() {
+  static const core::FeatureReducer reducer(splits().multi_train);
+  return reducer;
+}
+
+const BinaryStudyResults& binary_study_results() {
+  static const BinaryStudyResults results = [] {
+    const auto& [train, test] = binary_split();
+    const core::BinaryStudy study(train, test);
+    const auto schemes = ml::binary_study_classifiers();
+    const core::FeatureSet top8 = feature_reducer().binary_top_features(8);
+    const core::FeatureSet top4 = feature_reducer().binary_top_features(4);
+    std::fprintf(stderr, "[bench] training %zu classifiers x 3 feature sets\n",
+                 schemes.size());
+    return BinaryStudyResults{study.run(schemes), study.run(schemes, &top8),
+                              study.run(schemes, &top4)};
+  }();
+  return results;
+}
+
+void print_banner(const std::string& title) {
+  const auto& d = multiclass_dataset();
+  std::printf("==========================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("dataset: %zu windows x %zu counters, %zu samples, "
+              "70/30 split\n",
+              d.num_instances(), d.num_features(),
+              bench_config().composition.total());
+  std::printf("==========================================================\n");
+}
+
+}  // namespace hmd::bench

@@ -1,0 +1,70 @@
+// Figure 13: Accuracy comparison for binary (malware vs benign)
+// classification — each classifier at 16 (all), 8 and 4 PCA-selected
+// features. Paper shape: most classifiers lose accuracy with fewer
+// features, while J48/OneR barely move.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+#include "ml/registry.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace hmd;
+
+void print_fig13() {
+  bench::print_banner("Figure 13: Binary classification accuracy");
+  const bench::BinaryStudyResults& r = bench::binary_study_results();
+
+  TextTable table("accuracy (%) vs number of features");
+  table.set_header({"classifier", "16 features", "8 features", "4 features",
+                    "drop 16->4 (pp)"});
+  for (std::size_t i = 0; i < r.full.size(); ++i) {
+    table.add_row({r.full[i].scheme,
+                   format("%.2f", r.full[i].accuracy * 100.0),
+                   format("%.2f", r.top8[i].accuracy * 100.0),
+                   format("%.2f", r.top4[i].accuracy * 100.0),
+                   format("%+.2f", (r.top4[i].accuracy - r.full[i].accuracy) *
+                                       100.0)});
+  }
+  table.print(std::cout);
+}
+
+void BM_PredictThroughput(benchmark::State& state,
+                          const std::string& scheme) {
+  const auto& [train, test] = bench::binary_split();
+  auto clf = ml::make_classifier(scheme);
+  clf->train(train);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        clf->predict(test.features_of(i++ % test.num_instances())));
+  }
+}
+
+void BM_TrainOneR(benchmark::State& state) {
+  const auto& [train, test] = bench::binary_split();
+  (void)test;
+  for (auto _ : state) {
+    auto clf = ml::make_classifier("OneR");
+    clf->train(train);
+    benchmark::DoNotOptimize(clf);
+  }
+}
+BENCHMARK(BM_TrainOneR)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_CAPTURE(BM_PredictThroughput, OneR, std::string("OneR"));
+BENCHMARK_CAPTURE(BM_PredictThroughput, J48, std::string("J48"));
+BENCHMARK_CAPTURE(BM_PredictThroughput, MLP, std::string("MLP"));
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_fig13();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Figure 15: Latency comparison — per-inference latency of each
+// classifier's hardware implementation (cycles and µs at the 100 MHz HLS
+// target clock), at 16/8/4 features. Paper shape: trees/rules classify in a
+// few cycles; the MLP's MAC layers take an order of magnitude longer.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+#include "hw/lowering.hpp"
+#include "hw/pareto.hpp"
+#include "ml/registry.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace hmd;
+
+void print_fig15() {
+  bench::print_banner("Figure 15: Latency comparison (100 MHz target)");
+  const bench::BinaryStudyResults& r = bench::binary_study_results();
+
+  TextTable table("latency vs number of features");
+  table.set_header({"classifier", "cycles(16)", "cycles(8)", "cycles(4)",
+                    "us(16)"});
+  for (std::size_t i = 0; i < r.full.size(); ++i) {
+    table.add_row({r.full[i].scheme,
+                   std::to_string(r.full[i].synthesis.latency_cycles),
+                   std::to_string(r.top8[i].synthesis.latency_cycles),
+                   std::to_string(r.top4[i].synthesis.latency_cycles),
+                   format("%.2f", r.full[i].synthesis.latency_us())});
+  }
+  table.print(std::cout);
+
+  // Resource-shared variant: the latency cost of sharing multipliers.
+  const auto& [train, test] = bench::binary_split();
+  (void)test;
+  auto mlp = ml::make_classifier("MLP");
+  mlp->train(train);
+  const hw::DataflowGraph g =
+      hw::lower_classifier(*mlp, train.num_features());
+  TextTable sharing("MLP latency under multiplier sharing");
+  sharing.set_header({"multipliers", "latency cycles"});
+  for (std::uint32_t muls : {1u, 4u, 16u, 64u}) {
+    hw::SynthesisOptions opt;
+    opt.allocation = hw::OperatorAllocation{.multipliers = muls};
+    sharing.add_row({std::to_string(muls),
+                     std::to_string(hw::synthesize(g, "MLP", opt)
+                                        .latency_cycles)});
+  }
+  sharing.add_row({"unbounded",
+                   std::to_string(hw::synthesize(g, "MLP").latency_cycles)});
+  sharing.print(std::cout);
+
+  // The Pareto-optimal area/latency designs an implementer would pick from.
+  TextTable pareto("MLP area-latency Pareto front (design-space sweep)");
+  pareto.set_header({"area (slices)", "latency (cycles)"});
+  for (const hw::DesignPoint& p :
+       hw::pareto_front(hw::explore_design_space(g)))
+    pareto.add_row({format("%.0f", p.area_slices),
+                    std::to_string(p.latency_cycles)});
+  pareto.print(std::cout);
+}
+
+void BM_ScheduleAsap(benchmark::State& state) {
+  const auto& [train, test] = bench::binary_split();
+  (void)test;
+  auto mlp = ml::make_classifier("MLP");
+  mlp->train(train);
+  const hw::DataflowGraph g =
+      hw::lower_classifier(*mlp, train.num_features());
+  for (auto _ : state) {
+    auto sched = g.schedule_asap();
+    benchmark::DoNotOptimize(sched);
+  }
+}
+BENCHMARK(BM_ScheduleAsap)->Unit(benchmark::kMicrosecond);
+
+void BM_ScheduleConstrained(benchmark::State& state) {
+  const auto& [train, test] = bench::binary_split();
+  (void)test;
+  auto mlp = ml::make_classifier("MLP");
+  mlp->train(train);
+  const hw::DataflowGraph g =
+      hw::lower_classifier(*mlp, train.num_features());
+  const hw::OperatorAllocation alloc{.multipliers = 8};
+  for (auto _ : state) {
+    auto sched = g.schedule_constrained(alloc);
+    benchmark::DoNotOptimize(sched);
+  }
+}
+BENCHMARK(BM_ScheduleConstrained)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_fig15();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

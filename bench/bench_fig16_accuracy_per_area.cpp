@@ -1,0 +1,65 @@
+// Figure 16: Accuracy/Area comparison — the thesis's headline efficiency
+// metric. Paper shape: JRip and OneR dominate; the MLP's accuracy edge is
+// dwarfed by its area, especially after PCA feature reduction.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace hmd;
+
+void print_fig16() {
+  bench::print_banner("Figure 16: Accuracy/Area comparison");
+  const bench::BinaryStudyResults& r = bench::binary_study_results();
+
+  TextTable table("accuracy %% per slice-equivalent (higher is better)");
+  table.set_header({"classifier", "16 feat", "8 feat", "4 feat",
+                    "power mW (16)"});
+  for (std::size_t i = 0; i < r.full.size(); ++i) {
+    table.add_row(
+        {r.full[i].scheme,
+         format("%.4f", r.full[i].accuracy_per_slice() * 100.0),
+         format("%.4f", r.top8[i].accuracy_per_slice() * 100.0),
+         format("%.4f", r.top4[i].accuracy_per_slice() * 100.0),
+         format("%.3f", r.full[i].synthesis.total_power_mw())});
+  }
+  table.print(std::cout);
+
+  // Ranking at 4 features — the embedded-deployment sweet spot.
+  std::vector<std::pair<double, std::string>> ranking;
+  for (const auto& row : r.top4)
+    ranking.emplace_back(row.accuracy_per_slice(), row.scheme);
+  std::sort(ranking.rbegin(), ranking.rend());
+  std::cout << "efficiency ranking at 4 features: ";
+  for (std::size_t i = 0; i < ranking.size(); ++i) {
+    if (i) std::cout << " > ";
+    std::cout << ranking[i].second;
+  }
+  std::cout << "\n";
+}
+
+void BM_FullStudyRowEvaluation(benchmark::State& state) {
+  // Evaluate an already-trained accuracy/area row: test-set pass + synth.
+  const auto& [train, test] = bench::binary_split();
+  const core::BinaryStudy study(train, test);
+  for (auto _ : state) {
+    auto rows = study.run({"OneR"});
+    benchmark::DoNotOptimize(rows);
+  }
+}
+BENCHMARK(BM_FullStudyRowEvaluation)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_fig16();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

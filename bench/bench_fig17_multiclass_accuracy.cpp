@@ -1,0 +1,67 @@
+// Figure 17: Average accuracy for multiclass (malware family)
+// classification with MLR, MLP and SVM. Paper shape: the neural network
+// (MLP) leads, MLR close behind, linear SVM trails.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+#include "ml/registry.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace hmd;
+
+void print_fig17() {
+  bench::print_banner("Figure 17: Average multiclass accuracy");
+  const auto& [train, test] = bench::multiclass_split();
+
+  TextTable table("6-class (benign + 5 families) test accuracy");
+  table.set_header({"classifier", "accuracy %", "macro recall %", "kappa"});
+  for (const std::string& scheme : ml::multiclass_study_classifiers()) {
+    const auto tm = core::train_and_evaluate(scheme, train, test);
+    table.add_row({scheme, format("%.2f", tm.evaluation.accuracy() * 100.0),
+                   format("%.2f", tm.evaluation.macro_recall() * 100.0),
+                   format("%.3f", tm.evaluation.kappa())});
+  }
+  // ZeroR reference line (majority class = trojan).
+  const auto zero = core::train_and_evaluate("ZeroR", train, test);
+  table.add_row({"ZeroR (ref)",
+                 format("%.2f", zero.evaluation.accuracy() * 100.0),
+                 format("%.2f", zero.evaluation.macro_recall() * 100.0),
+                 format("%.3f", zero.evaluation.kappa())});
+  table.print(std::cout);
+}
+
+void BM_TrainMulticlassMLR(benchmark::State& state) {
+  const auto& [train, test] = bench::multiclass_split();
+  (void)test;
+  for (auto _ : state) {
+    auto clf = ml::make_classifier("MLR");
+    clf->train(train);
+    benchmark::DoNotOptimize(clf);
+  }
+}
+BENCHMARK(BM_TrainMulticlassMLR)->Unit(benchmark::kMillisecond);
+
+void BM_TrainMulticlassSVM(benchmark::State& state) {
+  const auto& [train, test] = bench::multiclass_split();
+  (void)test;
+  for (auto _ : state) {
+    auto clf = ml::make_classifier("SVM");
+    clf->train(train);
+    benchmark::DoNotOptimize(clf);
+  }
+}
+BENCHMARK(BM_TrainMulticlassSVM)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_fig17();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Figure 18: Per-class accuracy (recall) for the multiclass classifiers —
+// which malware families each of MLR/MLP/SVM recognizes well. Paper shape:
+// rootkits and viruses (distinctive microarchitectural signatures) score
+// high; benign and the smallest family (worm) are hardest.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+#include "ml/registry.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace hmd;
+
+void print_fig18() {
+  bench::print_banner("Figure 18: Per-class accuracy");
+  const auto& [train, test] = bench::multiclass_split();
+
+  TextTable table("per-class recall (%) on the test split");
+  std::vector<std::string> header = {"class"};
+  std::vector<ml::EvaluationResult> evals;
+  for (const std::string& scheme : ml::multiclass_study_classifiers()) {
+    header.push_back(scheme);
+    evals.push_back(core::train_and_evaluate(scheme, train, test).evaluation);
+  }
+  table.set_header(header);
+  for (std::size_t c = 0; c < test.num_classes(); ++c) {
+    std::vector<std::string> row = {test.class_attribute().values()[c]};
+    for (const auto& ev : evals)
+      row.push_back(format("%.1f", ev.recall(c) * 100.0));
+    table.add_row(row);
+  }
+  table.print(std::cout);
+
+  // Full confusion matrix for the best scheme (MLP) — the detail behind
+  // the per-class bars.
+  std::cout << "\nMLP detail:\n"
+            << evals[1].to_string();
+}
+
+void BM_EvaluateMulticlass(benchmark::State& state) {
+  const auto& [train, test] = bench::multiclass_split();
+  auto clf = ml::make_classifier("MLR");
+  clf->train(train);
+  for (auto _ : state) {
+    auto ev = ml::evaluate(*clf, test);
+    benchmark::DoNotOptimize(ev);
+  }
+}
+BENCHMARK(BM_EvaluateMulticlass)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_fig18();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

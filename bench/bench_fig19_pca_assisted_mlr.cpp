@@ -1,0 +1,125 @@
+// Figure 19: PCA-assisted MLR vs normal MLR — the thesis's contribution
+// claim: multiclass classification with PCA-selected per-class custom
+// feature sets beats the same detector on non-custom feature sets
+// ("an increase in accuracy of around 7% ... when the accuracy of the ML
+// classifier with PCA 8 custom features are compared to the average
+// accuracy of the non-custom features").
+//
+// Reproduced comparison: the PCA-assisted one-vs-rest MLR (each class on
+// its own custom k features) against the same architecture on non-custom
+// k-feature sets — random subsets (averaged over 5 draws). The bench sweeps
+// k = 8 (the paper's setting), 6 and 4: the custom-selection advantage
+// grows as the feature budget tightens, because with generous budgets the
+// strongly-correlated HPC counters make almost any subset sufficient.
+// Plain all-16-feature MLR is printed as an additional reference.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <numeric>
+
+#include "bench/bench_common.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace hmd;
+
+double random_subset_baseline(const ml::Dataset& train,
+                              const ml::Dataset& test, std::size_t k) {
+  Rng rng(7);
+  double total = 0.0;
+  const int trials = 5;
+  for (int trial = 0; trial < trials; ++trial) {
+    std::vector<std::size_t> idx(train.num_features());
+    std::iota(idx.begin(), idx.end(), 0);
+    rng.shuffle(idx);
+    idx.resize(k);
+    core::FeatureSet fs;
+    for (std::size_t f : idx) {
+      fs.indices.push_back(f);
+      fs.names.push_back(train.attribute(f).name());
+    }
+    core::PcaAssistedOvr fixed(
+        {.scheme = "MLR", .features_per_class = k, .fixed_features = fs});
+    fixed.train(train);
+    total += fixed.evaluate(test).accuracy();
+  }
+  return total / trials;
+}
+
+void print_fig19() {
+  bench::print_banner("Figure 19: PCA-assisted MLR vs normal MLR");
+  const auto& [train, test] = bench::multiclass_split();
+
+  TextTable table("multiclass accuracy, PCA-custom vs non-custom features");
+  table.set_header({"features k", "PCA-assisted %", "non-custom avg %",
+                    "gain (pp)"});
+  double custom8 = 0.0;
+  ml::EvaluationResult custom8_eval(train.num_classes(),
+                                    train.class_attribute().values());
+  for (std::size_t k : {8, 6, 4}) {
+    core::PcaAssistedOvr custom({.scheme = "MLR", .features_per_class = k});
+    custom.train(train);
+    const auto eval = custom.evaluate(test);
+    const double baseline = random_subset_baseline(train, test, k);
+    table.add_row({std::to_string(k), format("%.2f", eval.accuracy() * 100.0),
+                   format("%.2f", baseline * 100.0),
+                   format("%+.2f", (eval.accuracy() - baseline) * 100.0)});
+    if (k == 8) {
+      custom8 = eval.accuracy();
+      custom8_eval = eval;
+    }
+  }
+  table.print(std::cout);
+
+  const auto plain = core::train_and_evaluate("MLR", train, test);
+  std::cout << format(
+      "plain MLR on all 16 features: %.2f%% (reference)\n",
+      plain.evaluation.accuracy() * 100.0);
+  std::cout << "paper claim: custom-8 beats non-custom by ~7 pp; see "
+               "EXPERIMENTS.md for the\nredundancy analysis behind the "
+               "smaller margin at k=8 here.\n\n";
+  (void)custom8;
+
+  TextTable per_class("per-class recall (%), k=8");
+  per_class.set_header({"class", "PCA-assisted", "plain MLR (16)"});
+  for (std::size_t c = 0; c < test.num_classes(); ++c)
+    per_class.add_row({test.class_attribute().values()[c],
+                       format("%.1f", custom8_eval.recall(c) * 100.0),
+                       format("%.1f", plain.evaluation.recall(c) * 100.0)});
+  per_class.print(std::cout);
+}
+
+void BM_TrainPcaAssisted(benchmark::State& state) {
+  const auto& [train, test] = bench::multiclass_split();
+  (void)test;
+  for (auto _ : state) {
+    core::PcaAssistedOvr ovr({.scheme = "MLR", .features_per_class = 8});
+    ovr.train(train);
+    benchmark::DoNotOptimize(ovr);
+  }
+}
+BENCHMARK(BM_TrainPcaAssisted)->Unit(benchmark::kMillisecond);
+
+void BM_PredictPcaAssisted(benchmark::State& state) {
+  const auto& [train, test] = bench::multiclass_split();
+  core::PcaAssistedOvr ovr({.scheme = "MLR", .features_per_class = 8});
+  ovr.train(train);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ovr.predict(test.features_of(i++ % test.num_instances())));
+  }
+}
+BENCHMARK(BM_PredictPcaAssisted);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_fig19();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Figure 8: PCA eigenvectors from WEKA — `PrincipalComponents -R 0.95`
+// over the HPC dataset: eigenvalues, retained components, top loadings,
+// and the ranked attribute list.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+#include "ml/pca.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace hmd;
+
+void print_fig8() {
+  bench::print_banner(
+      "Figure 8: PCA eigen analysis (PrincipalComponents -R 0.95)");
+  const auto& [train, test] = bench::multiclass_split();
+  (void)test;
+
+  ml::PrincipalComponents pca(0.95);
+  pca.fit(train);
+
+  TextTable eigen("Eigenvalues (correlation matrix)");
+  eigen.set_header({"component", "eigenvalue", "variance %", "cumulative %"});
+  double cum = 0.0;
+  for (std::size_t j = 0; j < pca.eigenvalues().size(); ++j) {
+    cum += pca.explained_variance_ratio(j) * 100.0;
+    eigen.add_row({format("PC%zu", j + 1),
+                   format("%.4f", pca.eigenvalues()[j]),
+                   format("%.1f", pca.explained_variance_ratio(j) * 100.0),
+                   format("%.1f", cum)});
+  }
+  eigen.print(std::cout);
+  std::cout << "retained components at -R 0.95: " << pca.num_components()
+            << " of " << pca.num_input_features() << "\n\n";
+
+  TextTable loadings("First two eigenvectors (attribute loadings)");
+  loadings.set_header({"attribute", "PC1", "PC2"});
+  for (std::size_t f = 0; f < train.num_features(); ++f)
+    loadings.add_row({train.attribute(f).name(),
+                      format("%+.4f", pca.loading(f, 0)),
+                      format("%+.4f", pca.loading(f, 1))});
+  loadings.print(std::cout);
+
+  TextTable ranked("Ranked attributes (WEKA Ranker over retained PCs)");
+  ranked.set_header({"rank", "attribute", "score"});
+  const auto features = pca.ranked_features();
+  for (std::size_t i = 0; i < features.size(); ++i)
+    ranked.add_row({std::to_string(i + 1), features[i].name,
+                    format("%.4f", features[i].score)});
+  ranked.print(std::cout);
+}
+
+void BM_PcaFit(benchmark::State& state) {
+  const auto& [train, test] = bench::multiclass_split();
+  (void)test;
+  for (auto _ : state) {
+    ml::PrincipalComponents pca(0.95);
+    pca.fit(train);
+    benchmark::DoNotOptimize(pca);
+  }
+}
+BENCHMARK(BM_PcaFit)->Unit(benchmark::kMillisecond);
+
+void BM_PcaTransform(benchmark::State& state) {
+  const auto& [train, test] = bench::multiclass_split();
+  (void)test;
+  ml::PrincipalComponents pca(0.95);
+  pca.fit(train);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    auto z = pca.transform(train.features_of(i++ % train.num_instances()));
+    benchmark::DoNotOptimize(z);
+  }
+}
+BENCHMARK(BM_PcaTransform);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_fig8();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

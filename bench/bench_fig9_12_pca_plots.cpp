@@ -1,0 +1,103 @@
+// Figures 9-12: per-family PCA scatter plots (rootkit, trojan, virus, worm).
+//
+// For each malware family, PCA is fitted on that family's windows together
+// with benign windows and every window is projected onto PC1/PC2 — the
+// thesis plots these 2-D point clouds. The bench emits each figure's point
+// series as CSV (hmd_bench_cache/fig<N>_<family>.csv) and prints the
+// cluster statistics (centroids and Fisher separation) that summarize what
+// the plots show: two distinguishable clusters per family.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <fstream>
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+#include "ml/pca.hpp"
+#include "util/stats.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace hmd;
+
+struct FamilyFigure {
+  workload::AppClass cls;
+  int figure_number;
+};
+
+void print_family_plot(const FamilyFigure& fig, TextTable& summary) {
+  const auto& [train, test] = bench::multiclass_split();
+  (void)test;
+  const auto benign = static_cast<std::size_t>(workload::AppClass::kBenign);
+  const ml::Dataset subset = train.filter_classes(
+      {benign, static_cast<std::size_t>(fig.cls)});
+
+  ml::PrincipalComponents pca(0.95);
+  pca.fit(subset);
+
+  const std::string name(workload::app_class_name(fig.cls));
+  std::ofstream csv(format("hmd_bench_cache/fig%d_%s.csv",
+                           fig.figure_number, name.c_str()));
+  csv << "pc1,pc2,class\n";
+
+  RunningStats b1, b2, m1, m2;
+  for (std::size_t i = 0; i < subset.num_instances(); ++i) {
+    const auto [p1, p2] = pca.project2d(subset.features_of(i));
+    const bool is_benign = subset.class_of(i) == 0;
+    csv << format("%.4f,%.4f,%s\n", p1, p2,
+                  is_benign ? "benign" : name.c_str());
+    (is_benign ? b1 : m1).add(p1);
+    (is_benign ? b2 : m2).add(p2);
+  }
+
+  auto fisher = [](const RunningStats& a, const RunningStats& b) {
+    const double pooled = 0.5 * (a.variance() + b.variance());
+    return pooled > 0.0 ? std::abs(a.mean() - b.mean()) / std::sqrt(pooled)
+                        : 0.0;
+  };
+  summary.add_row({format("Fig %d (%s)", fig.figure_number, name.c_str()),
+                   format("(%.2f, %.2f)", b1.mean(), b2.mean()),
+                   format("(%.2f, %.2f)", m1.mean(), m2.mean()),
+                   format("%.2f", fisher(b1, m1)),
+                   format("%.2f", fisher(b2, m2))});
+}
+
+void print_figs() {
+  bench::print_banner("Figures 9-12: PCA plots per malware family");
+  TextTable summary("PC1/PC2 cluster summary (family vs benign)");
+  summary.set_header({"figure", "benign centroid", "family centroid",
+                      "PC1 separation", "PC2 separation"});
+  for (const FamilyFigure& fig :
+       {FamilyFigure{workload::AppClass::kRootkit, 9},
+        FamilyFigure{workload::AppClass::kTrojan, 10},
+        FamilyFigure{workload::AppClass::kVirus, 11},
+        FamilyFigure{workload::AppClass::kWorm, 12}})
+    print_family_plot(fig, summary);
+  summary.print(std::cout);
+  std::cout << "point series written to hmd_bench_cache/fig{9,10,11,12}_*.csv"
+            << " (plot pc1 vs pc2, colour by class)\n";
+}
+
+void BM_Project2d(benchmark::State& state) {
+  const auto& [train, test] = bench::multiclass_split();
+  (void)test;
+  ml::PrincipalComponents pca(0.95);
+  pca.fit(train);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    auto p = pca.project2d(train.features_of(i++ % train.num_instances()));
+    benchmark::DoNotOptimize(p);
+  }
+}
+BENCHMARK(BM_Project2d);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figs();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Table 1 + Figure 6: the labelled malware database — per-class sample
+// counts and the class distribution of the samples used, mirroring the
+// internet-wide distribution of Figure 3 (trojans dominate).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "workload/sample_database.hpp"
+
+namespace {
+
+using namespace hmd;
+
+void print_table1() {
+  const auto comp = workload::DatabaseComposition::paper_table1();
+  const auto db = workload::SampleDatabase::generate(comp, 2018);
+
+  TextTable table("Table 1: Number of samples of different application");
+  table.set_header({"Application", "Class", "Samples"});
+  for (workload::AppClass c : workload::malware_classes())
+    table.add_row({"Malware", std::string(workload::app_class_name(c)),
+                   std::to_string(db.count(c))});
+  table.add_row({"Benign", "inbuilt/installed programs",
+                 std::to_string(db.count(workload::AppClass::kBenign))});
+  table.add_row({"", "Total", std::to_string(db.size())});
+  table.print(std::cout);
+
+  TextTable dist("Figure 6: Distribution of malware (used) into classes");
+  dist.set_header({"Class", "Share of malware"});
+  for (const auto& [cls, share] : db.distribution(/*malware_only=*/true))
+    dist.add_row({std::string(workload::app_class_name(cls)),
+                  hmd::format("%.1f%%", share * 100.0)});
+  dist.print(std::cout);
+
+  // A few registry entries, to show the VirusShare/VirusTotal-style
+  // metadata the database carries.
+  TextTable examples("Sample registry (first entries)");
+  examples.set_header({"id", "class", "AV detections"});
+  for (std::size_t i = 0; i < 3; ++i) {
+    const auto& s = db.samples()[i];
+    examples.add_row({s.id, std::string(workload::app_class_name(s.label)),
+                      hmd::format("%d/%d", s.av_positives, s.av_total)});
+  }
+  examples.print(std::cout);
+}
+
+void BM_DatabaseGeneration(benchmark::State& state) {
+  const auto comp = workload::DatabaseComposition::paper_table1();
+  for (auto _ : state) {
+    auto db = workload::SampleDatabase::generate(comp, 2018);
+    benchmark::DoNotOptimize(db);
+  }
+}
+BENCHMARK(BM_DatabaseGeneration);
+
+void BM_ProfileInstantiation(benchmark::State& state) {
+  const auto comp = workload::DatabaseComposition::scaled(0.05);
+  const auto db = workload::SampleDatabase::generate(comp, 2018);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    auto profile = db.samples()[i++ % db.size()].profile();
+    benchmark::DoNotOptimize(profile);
+  }
+}
+BENCHMARK(BM_ProfileInstantiation);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table1();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Table 2: Reduced features from PCA — 4 features common to all malware
+// classes plus each class's custom 8-feature set (4 common + class-specific
+// principal features).
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace hmd;
+
+void print_table2() {
+  bench::print_banner("Table 2: Reduced features from PCA");
+  const core::FeatureReducer& reducer = bench::feature_reducer();
+  const core::ReducedFeatureTable table = reducer.reduced_table(4, 8);
+
+  TextTable common("Common features (high PCA rank for every class)");
+  common.set_header({"#", "feature"});
+  for (std::size_t i = 0; i < table.common.names.size(); ++i)
+    common.add_row({std::to_string(i + 1), table.common.names[i]});
+  common.print(std::cout);
+
+  TextTable custom("Custom 8-feature set per malware class");
+  std::vector<std::string> header = {"rank"};
+  for (const auto& [cls, fs] : table.custom)
+    header.emplace_back(workload::app_class_name(cls));
+  custom.set_header(header);
+  for (std::size_t rank = 0; rank < 8; ++rank) {
+    std::vector<std::string> row = {std::to_string(rank + 1)};
+    for (const auto& [cls, fs] : table.custom) {
+      std::string name = fs.names[rank];
+      // Mark features shared with the common set, as Table 2 groups them.
+      if (std::find(table.common.names.begin(), table.common.names.end(),
+                    name) != table.common.names.end())
+        name += " *";
+      row.push_back(std::move(name));
+    }
+    custom.add_row(row);
+  }
+  custom.print(std::cout);
+  std::cout << "(* = one of the common features)\n";
+}
+
+void BM_ReducedTable(benchmark::State& state) {
+  const core::FeatureReducer& reducer = bench::feature_reducer();
+  for (auto _ : state) {
+    auto table = reducer.reduced_table(4, 8);
+    benchmark::DoNotOptimize(table);
+  }
+}
+BENCHMARK(BM_ReducedTable)->Unit(benchmark::kMillisecond);
+
+void BM_RankOneClass(benchmark::State& state) {
+  const core::FeatureReducer& reducer = bench::feature_reducer();
+  for (auto _ : state) {
+    auto ranked = reducer.rank_for_class(workload::AppClass::kTrojan);
+    benchmark::DoNotOptimize(ranked);
+  }
+}
+BENCHMARK(BM_RankOneClass)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table2();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Malware family triage: the thesis's multiclass contribution in action.
+//
+// An analyst receives a batch of unknown samples. The PCA-assisted
+// one-vs-rest detector (each family scored on its own custom 8-feature
+// subset) classifies every sample's HPC windows and votes a family per
+// sample — the workflow a VirusTotal-style service would run with hardware
+// counters instead of signatures.
+//
+//   $ ./family_triage
+#include <iostream>
+#include <map>
+
+#include "core/dataset_builder.hpp"
+#include "core/detector.hpp"
+#include "hwsim/core.hpp"
+#include "perf/collector.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "workload/sandbox.hpp"
+
+int main() {
+  using namespace hmd;
+
+  // Train the triage model on a labelled corpus.
+  core::PipelineConfig config = core::PipelineConfig::quick(0.10, 8);
+  core::DatasetBuilder builder(config);
+  std::cout << "collecting training corpus...\n";
+  const ml::Dataset multiclass = builder.build_multiclass_dataset();
+  Rng rng(3);
+  auto [train, test] = multiclass.stratified_split(0.7, rng);
+
+  core::PcaAssistedOvr triage({.scheme = "MLR", .features_per_class = 8});
+  triage.train(train);
+  std::cout << "triage detector trained; per-family custom features:\n";
+  for (std::size_t c = 0; c < triage.class_features().size(); ++c)
+    std::cout << "  " << train.class_attribute().values()[c] << ": "
+              << join(triage.class_features()[c].names, ", ") << '\n';
+
+  // A fresh batch of unknown samples (disjoint seeds from training).
+  const auto unknown_db = workload::SampleDatabase::generate(
+      workload::DatabaseComposition::scaled(0.01), /*seed=*/777);
+
+  TextTable report("triage report (window-majority vote per sample)");
+  report.set_header({"sample", "true family", "predicted", "vote share"});
+  std::size_t correct = 0;
+  const perf::HpcCollector collector(config.collector);
+  for (const workload::SampleRecord& rec : unknown_db.samples()) {
+    workload::Sandbox sandbox(rec, config.sandbox);
+    hwsim::Core core(hwsim::CoreConfig{},
+                     hwsim::MemoryHierarchy::miniature());
+    const auto windows = collector.collect(core, sandbox, rec.seed);
+
+    std::map<std::size_t, int> votes;
+    for (const perf::HpcSample& w : windows) ++votes[triage.predict(w.counts)];
+    const auto winner = std::max_element(
+        votes.begin(), votes.end(),
+        [](const auto& a, const auto& b) { return a.second < b.second; });
+    const std::string predicted =
+        train.class_attribute().values()[winner->first];
+    const std::string truth(workload::app_class_name(rec.label));
+    if (predicted == truth) ++correct;
+    report.add_row({rec.id.substr(0, 24), truth, predicted,
+                    format("%d/%zu", winner->second, windows.size())});
+  }
+  report.print(std::cout);
+  std::cout << format("\nsample-level triage accuracy: %zu/%zu (%.0f%%)\n",
+                      correct, unknown_db.size(),
+                      100.0 * static_cast<double>(correct) /
+                          static_cast<double>(unknown_db.size()));
+  std::cout << "(window-level accuracy on held-out windows: "
+            << format("%.1f%%", triage.evaluate(test).accuracy() * 100.0)
+            << ")\n";
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Workload characterization: the simulator as a standalone tool.
+//
+// Runs the MiBench-style benign suite and one sample of each malware family
+// on the full-size Haswell-shaped hierarchy and prints the classic
+// characterization table — IPC, cache miss rates, branch mispredict rate —
+// the numbers an architect would use to sanity-check the behaviour models
+// before trusting any detector built on them.
+//
+//   $ ./workload_characterization
+#include <iostream>
+
+#include "hwsim/core.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "workload/mibench.hpp"
+#include "workload/sample_database.hpp"
+#include "workload/trace_generator.hpp"
+
+namespace {
+
+using namespace hmd;
+
+struct Row {
+  std::string name;
+  double ipc, l1d_mpki, llc_mpki, branch_miss_rate, itlb_mpki;
+};
+
+Row characterize(const std::string& name,
+                 const workload::BehaviorProfile& profile,
+                 std::uint64_t seed) {
+  hwsim::Core core;  // full-size Haswell geometry
+  workload::TraceGenerator gen(profile, seed);
+  constexpr std::size_t kOps = 200000;
+  for (std::size_t i = 0; i < kOps; ++i) core.execute(gen.next());
+
+  const auto& pmu = core.pmu();
+  const double kilo_instr =
+      static_cast<double>(core.instructions()) / 1000.0;
+  const auto mpki = [&](hwsim::HwEvent e) {
+    return static_cast<double>(pmu.true_count(e)) / kilo_instr;
+  };
+  const double branches =
+      static_cast<double>(pmu.true_count(hwsim::HwEvent::kBranchInstructions));
+  return {name, core.ipc(), mpki(hwsim::HwEvent::kL1DcacheLoadMisses),
+          mpki(hwsim::HwEvent::kLlcLoadMisses),
+          branches > 0
+              ? static_cast<double>(
+                    pmu.true_count(hwsim::HwEvent::kBranchMisses)) /
+                    branches
+              : 0.0,
+          mpki(hwsim::HwEvent::kITlbLoadMisses)};
+}
+
+}  // namespace
+
+int main() {
+  using namespace hmd;
+
+  TextTable table("workload characterization (200k ops, Haswell geometry)");
+  table.set_header({"workload", "IPC", "L1D MPKI", "LLC MPKI",
+                    "br-miss %", "iTLB MPKI"});
+  auto add = [&table](const Row& r) {
+    table.add_row({r.name, format("%.2f", r.ipc),
+                   format("%.1f", r.l1d_mpki), format("%.2f", r.llc_mpki),
+                   format("%.1f", r.branch_miss_rate * 100.0),
+                   format("%.2f", r.itlb_mpki)});
+  };
+
+  // MiBench benign kernels.
+  for (const auto& inst : workload::mibench_suite(1, 42))
+    add(characterize(inst.name, inst.profile, inst.seed));
+
+  // One sample of each malware family for contrast.
+  const auto db = workload::SampleDatabase::generate(
+      workload::DatabaseComposition{
+          .counts = {{workload::AppClass::kBackdoor, 1},
+                     {workload::AppClass::kRootkit, 1},
+                     {workload::AppClass::kTrojan, 1},
+                     {workload::AppClass::kVirus, 1},
+                     {workload::AppClass::kWorm, 1}}},
+      1234);
+  for (const auto& rec : db.samples())
+    add(characterize(std::string(workload::app_class_name(rec.label)),
+                     rec.profile(), rec.seed));
+
+  table.print(std::cout);
+  std::cout << "\nThe malware families' signatures are visible to the eye:\n"
+               "rootkit = branch misses + iTLB pressure; virus/worm = LLC "
+               "traffic;\nbackdoor = nothing (tiny and predictable) — which "
+               "is itself a signature.\n";
+  return 0;
+}

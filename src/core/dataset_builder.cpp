@@ -1,0 +1,121 @@
+#include "core/dataset_builder.hpp"
+
+#include <filesystem>
+#include <fstream>
+
+#include "hwsim/core.hpp"
+#include "ml/arff.hpp"
+#include "util/error.hpp"
+#include "workload/sandbox.hpp"
+
+namespace hmd::core {
+
+namespace {
+
+std::vector<ml::Attribute> feature_schema(
+    const std::vector<hwsim::HwEvent>& events) {
+  std::vector<ml::Attribute> attrs;
+  attrs.reserve(events.size() + 1);
+  for (hwsim::HwEvent e : events)
+    attrs.emplace_back(std::string(hwsim::event_name(e)));
+  std::vector<std::string> class_values;
+  for (workload::AppClass c : workload::all_app_classes())
+    class_values.emplace_back(workload::app_class_name(c));
+  attrs.emplace_back("class", std::move(class_values));
+  return attrs;
+}
+
+}  // namespace
+
+DatasetBuilder::DatasetBuilder(PipelineConfig config)
+    : config_(std::move(config)) {
+  if (config_.collector.events.empty())
+    config_.collector.events = perf::default_feature_events();
+}
+
+workload::SampleDatabase DatasetBuilder::build_database() const {
+  return workload::SampleDatabase::generate(config_.composition,
+                                            config_.seed);
+}
+
+std::vector<perf::HpcSample> DatasetBuilder::run_sample(
+    const workload::SampleRecord& rec) const {
+  workload::Sandbox sandbox(rec, config_.sandbox);
+  // Miniature hierarchy: window sizes are miniaturized, so cache capacities
+  // are scaled to match (see DESIGN.md).
+  hwsim::Core core(hwsim::CoreConfig{}, hwsim::MemoryHierarchy::miniature());
+  const perf::HpcCollector collector(config_.collector);
+  return collector.collect(core, sandbox, rec.seed ^ 0xab5e11);
+}
+
+ml::Dataset DatasetBuilder::build_multiclass_dataset(
+    const std::function<void(std::size_t, std::size_t)>& progress) const {
+  const workload::SampleDatabase db = build_database();
+  ml::Dataset data(feature_schema(config_.collector.events), "hmd_hpc");
+
+  std::size_t done = 0;
+  for (const workload::SampleRecord& rec : db.samples()) {
+    const auto windows = run_sample(rec);
+    const auto label = static_cast<double>(rec.label);
+    for (const perf::HpcSample& w : windows) {
+      ml::Instance row;
+      row.values.reserve(w.counts.size() + 1);
+      row.values.insert(row.values.end(), w.counts.begin(), w.counts.end());
+      row.values.push_back(label);
+      data.add(std::move(row));
+    }
+    ++done;
+    if (progress) progress(done, db.size());
+  }
+  return data;
+}
+
+ml::Dataset DatasetBuilder::to_binary(const ml::Dataset& multiclass) {
+  std::vector<std::size_t> positive;
+  for (workload::AppClass c : workload::malware_classes())
+    positive.push_back(static_cast<std::size_t>(c));
+  return multiclass.relabel_binary(positive, "benign", "malware");
+}
+
+std::vector<perf::RunLog> DatasetBuilder::collect_run_logs(
+    std::size_t max_runs) const {
+  const workload::SampleDatabase db = build_database();
+  std::vector<perf::RunLog> logs;
+  const std::size_t n = std::min(max_runs, db.size());
+  logs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const workload::SampleRecord& rec = db.samples()[i];
+    perf::RunLog log;
+    log.sample_id = rec.id;
+    log.label = std::string(workload::app_class_name(rec.label));
+    log.events = config_.collector.events;
+    log.samples = run_sample(rec);
+    logs.push_back(std::move(log));
+  }
+  return logs;
+}
+
+void DatasetBuilder::save_dataset_csv(const ml::Dataset& data,
+                                      const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw Error("cannot write dataset CSV: " + path);
+  ml::write_dataset_csv(out, data);
+}
+
+ml::Dataset DatasetBuilder::load_dataset_csv(const std::string& path) {
+  const CsvTable table = read_csv_file(path);
+  std::vector<std::string> class_values;
+  for (workload::AppClass c : workload::all_app_classes())
+    class_values.emplace_back(workload::app_class_name(c));
+  return ml::dataset_from_csv(table, class_values);
+}
+
+ml::Dataset DatasetBuilder::load_or_build(const std::string& path) const {
+  if (!path.empty() && std::filesystem::exists(path))
+    return load_dataset_csv(path);
+  ml::Dataset data = build_multiclass_dataset();
+  if (!path.empty()) save_dataset_csv(data, path);
+  return data;
+}
+
+}  // namespace hmd::core

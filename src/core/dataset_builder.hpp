@@ -1,0 +1,52 @@
+// DatasetBuilder: the full data-collection pipeline of Fig. 4/5 of the
+// thesis — sample database → sandboxed execution → perf-style HPC
+// collection → labelled dataset ("16 Performance Counters + class").
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "core/pipeline_config.hpp"
+#include "ml/dataset.hpp"
+#include "perf/perf_log.hpp"
+
+namespace hmd::core {
+
+class DatasetBuilder {
+ public:
+  explicit DatasetBuilder(PipelineConfig config);
+
+  const PipelineConfig& config() const { return config_; }
+
+  /// Generates the labelled database (Table 1 composition).
+  workload::SampleDatabase build_database() const;
+
+  /// Runs every sample and returns the 6-class dataset: one row per 10 ms
+  /// window, 16 features + class. Deterministic in config().seed.
+  /// `progress`, when set, is called with (done, total) sample counts.
+  ml::Dataset build_multiclass_dataset(
+      const std::function<void(std::size_t, std::size_t)>& progress = {}) const;
+
+  /// Binary view of a multiclass dataset: {benign, malware}.
+  static ml::Dataset to_binary(const ml::Dataset& multiclass);
+
+  /// Per-run perf text logs for the first `max_runs` samples — the thesis's
+  /// intermediate artifact (text files later combined into a CSV).
+  std::vector<perf::RunLog> collect_run_logs(std::size_t max_runs) const;
+
+  /// Cache helpers: write/read the multiclass dataset as CSV.
+  static void save_dataset_csv(const ml::Dataset& data,
+                               const std::string& path);
+  static ml::Dataset load_dataset_csv(const std::string& path);
+  /// Load from `path` if present, else build and save there. Empty path
+  /// always builds.
+  ml::Dataset load_or_build(const std::string& path) const;
+
+ private:
+  PipelineConfig config_;
+
+  std::vector<perf::HpcSample> run_sample(
+      const workload::SampleRecord& rec) const;
+};
+
+}  // namespace hmd::core

@@ -1,0 +1,118 @@
+#include "core/deployment.hpp"
+
+#include <cstdlib>
+#include <istream>
+#include <ostream>
+
+#include "ml/serialization.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace hmd::core {
+
+DeploymentBundle::DeploymentBundle(std::unique_ptr<ml::Classifier> model,
+                                   FeatureSet features,
+                                   OnlineDetectorConfig policy)
+    : model_(std::move(model)),
+      features_(std::move(features)),
+      policy_(policy) {
+  HMD_REQUIRE(model_ != nullptr, "DeploymentBundle: null model");
+  HMD_REQUIRE(model_->num_classes() >= 2,
+              "DeploymentBundle: model is not trained");
+  HMD_REQUIRE(features_.indices.size() == features_.names.size(),
+              "DeploymentBundle: feature set indices/names mismatch");
+}
+
+std::vector<double> DeploymentBundle::project(
+    std::span<const double> full) const {
+  if (features_.indices.empty()) return {full.begin(), full.end()};
+  std::vector<double> projected;
+  projected.reserve(features_.indices.size());
+  for (std::size_t idx : features_.indices) {
+    HMD_REQUIRE(idx < full.size(),
+                "DeploymentBundle: counter vector too short");
+    projected.push_back(full[idx]);
+  }
+  return projected;
+}
+
+std::size_t DeploymentBundle::predict(
+    std::span<const double> full_counters) const {
+  return model_->predict(project(full_counters));
+}
+
+double DeploymentBundle::malware_probability(
+    std::span<const double> full_counters) const {
+  HMD_REQUIRE(model_->num_classes() == 2,
+              "malware_probability: binary bundles only");
+  return model_->distribution(project(full_counters))[1];
+}
+
+OnlineDetector DeploymentBundle::make_monitor() const {
+  return OnlineDetector(*model_, policy_);
+}
+
+OnlineDetector::Verdict DeploymentBundle::observe_full(
+    OnlineDetector& monitor, std::span<const double> full_counters) const {
+  return monitor.observe(project(full_counters));
+}
+
+void save_bundle(std::ostream& out, const DeploymentBundle& bundle) {
+  out << "hmd-bundle v1\n";
+  out << "features " << bundle.features().indices.size() << '\n';
+  for (std::size_t i = 0; i < bundle.features().indices.size(); ++i)
+    out << "feature " << bundle.features().indices[i] << ' '
+        << bundle.features().names[i] << '\n';
+  out << format("policy %a %zu\n", bundle.policy().flag_threshold,
+                bundle.policy().confirm_windows);
+  ml::save_model(out, bundle.model());
+}
+
+DeploymentBundle load_bundle(std::istream& in) {
+  std::string line;
+  auto next_line = [&]() -> std::string {
+    while (std::getline(in, line)) {
+      if (!trim(line).empty()) return std::string(trim(line));
+    }
+    throw ParseError("bundle: unexpected end of input");
+  };
+
+  if (next_line() != "hmd-bundle v1")
+    throw ParseError("bundle: bad header (expected 'hmd-bundle v1')");
+
+  const auto feat_header = split(next_line(), ' ');
+  if (feat_header.size() != 2 || feat_header[0] != "features")
+    throw ParseError("bundle: bad features header");
+  const auto n_features =
+      static_cast<std::size_t>(parse_int(feat_header[1]));
+
+  FeatureSet features;
+  for (std::size_t i = 0; i < n_features; ++i) {
+    // "feature <idx> <name>" — event names are hyphenated, no spaces.
+    const auto tokens = split(next_line(), ' ');
+    if (tokens.size() != 3 || tokens[0] != "feature")
+      throw ParseError("bundle: bad feature line");
+    features.indices.push_back(
+        static_cast<std::size_t>(parse_int(tokens[1])));
+    features.names.push_back(tokens[2]);
+  }
+
+  const auto policy_tokens = split(next_line(), ' ');
+  if (policy_tokens.size() != 3 || policy_tokens[0] != "policy")
+    throw ParseError("bundle: bad policy line");
+  OnlineDetectorConfig policy;
+  {
+    const char* begin = policy_tokens[1].c_str();
+    char* end = nullptr;
+    policy.flag_threshold = std::strtod(begin, &end);
+    if (end != begin + policy_tokens[1].size())
+      throw ParseError("bundle: bad policy threshold");
+  }
+  policy.confirm_windows =
+      static_cast<std::size_t>(parse_int(policy_tokens[2]));
+
+  std::unique_ptr<ml::Classifier> model = ml::load_model(in);
+  return DeploymentBundle(std::move(model), std::move(features), policy);
+}
+
+}  // namespace hmd::core

@@ -1,0 +1,59 @@
+// Deployment bundles: everything a runtime monitor needs in one artifact.
+//
+// A deployed HMD is more than a model: it is a model, the counter subset
+// the PMU must be programmed with (feature reduction means the monitor
+// samples fewer events — possibly few enough to avoid multiplexing
+// entirely), and the alarm policy. The bundle serializes all three, so
+// training infrastructure and the monitor can be separate programs.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+
+#include "core/feature_reduction.hpp"
+#include "core/online_detector.hpp"
+#include "ml/classifier.hpp"
+
+namespace hmd::core {
+
+/// A complete, loadable detector deployment.
+class DeploymentBundle {
+ public:
+  /// Assemble a bundle. `features` lists the counter columns (of the full
+  /// 16-event layout) the model consumes, in model input order; empty
+  /// means the model consumes all counters unprojected.
+  DeploymentBundle(std::unique_ptr<ml::Classifier> model,
+                   FeatureSet features, OnlineDetectorConfig policy);
+
+  const ml::Classifier& model() const { return *model_; }
+  const FeatureSet& features() const { return features_; }
+  const OnlineDetectorConfig& policy() const { return policy_; }
+
+  /// Predicted class for a FULL counter vector (projection applied).
+  std::size_t predict(std::span<const double> full_counters) const;
+  /// P(malware) for a full counter vector (binary bundles).
+  double malware_probability(std::span<const double> full_counters) const;
+
+  /// A fresh monitor wired to this bundle's model and policy. The monitor
+  /// consumes full counter vectors through `observe_full`.
+  OnlineDetector make_monitor() const;
+  /// Observe a full counter vector on `monitor` (projection applied).
+  OnlineDetector::Verdict observe_full(
+      OnlineDetector& monitor, std::span<const double> full_counters) const;
+
+ private:
+  std::unique_ptr<ml::Classifier> model_;
+  FeatureSet features_;
+  OnlineDetectorConfig policy_;
+
+  std::vector<double> project(std::span<const double> full) const;
+};
+
+/// Serialize a bundle (embeds the model via ml::save_model, so only those
+/// schemes are supported).
+void save_bundle(std::ostream& out, const DeploymentBundle& bundle);
+
+/// Load a bundle saved by save_bundle.
+DeploymentBundle load_bundle(std::istream& in);
+
+}  // namespace hmd::core

@@ -1,0 +1,185 @@
+#include "core/feature_reduction.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace hmd::core {
+
+using workload::AppClass;
+
+FeatureReducer::FeatureReducer(const ml::Dataset& multiclass,
+                               double variance_cutoff)
+    : data_(multiclass), variance_cutoff_(variance_cutoff) {
+  HMD_REQUIRE(multiclass.num_classes() == workload::kNumAppClasses,
+              "FeatureReducer expects the 6-class dataset");
+}
+
+const ml::PrincipalComponents& FeatureReducer::fitted_pca() const {
+  if (!pca_.has_value()) {
+    pca_.emplace(variance_cutoff_);
+    pca_->fit(data_);
+  }
+  return *pca_;
+}
+
+std::vector<ml::RankedFeature> FeatureReducer::rank_for_class(
+    AppClass c) const {
+  // PCA is fitted once on the full dataset; the per-class "clustering"
+  // step weights each retained component by the Fisher separation of the
+  // class's windows against EVERYTHING ELSE along it. (Class-vs-benign
+  // weighting picks features that distinguish the class from benign but
+  // not from its sibling families, which is what the one-vs-rest
+  // detectors actually need — measured as a multi-point accuracy loss.)
+  const ml::PrincipalComponents& pca = fitted_pca();
+  const auto pos_class = static_cast<std::size_t>(c);
+  std::vector<RunningStats> pos(pca.num_components());
+  std::vector<RunningStats> neg(pca.num_components());
+  for (std::size_t i = 0; i < data_.num_instances(); ++i) {
+    const std::vector<double> pc = pca.transform(data_.features_of(i));
+    const bool is_pos = data_.class_of(i) == pos_class;
+    for (std::size_t j = 0; j < pc.size(); ++j)
+      (is_pos ? pos[j] : neg[j]).add(pc[j]);
+  }
+
+  // Components ordered by how well they separate the clusters.
+  std::vector<std::pair<double, std::size_t>> components;  // (sep, comp)
+  components.reserve(pca.num_components());
+  for (std::size_t j = 0; j < pca.num_components(); ++j) {
+    const double pooled_var =
+        0.5 * (pos[j].variance() + neg[j].variance());
+    const double sep =
+        pooled_var > 0.0
+            ? std::abs(pos[j].mean() - neg[j].mean()) / std::sqrt(pooled_var)
+            : 0.0;
+    components.emplace_back(sep, j);
+  }
+  std::stable_sort(components.rbegin(), components.rend());
+
+  // HPC counters are strongly correlated, so ranking attributes by summed
+  // loadings just returns k proxies of the single biggest direction.
+  // Instead, walk the separating components round-robin and let each one
+  // contribute its highest-|loading| attribute not yet chosen — one
+  // attribute per orthogonal separating direction, then the second-best
+  // per direction, and so on. (This is the "PCA + clustering" selection.)
+  const std::size_t d = data_.num_features();
+  std::vector<std::vector<std::size_t>> per_component(components.size());
+  for (std::size_t ci = 0; ci < components.size(); ++ci) {
+    std::vector<std::pair<double, std::size_t>> by_loading;  // (|l|, feat)
+    by_loading.reserve(d);
+    for (std::size_t f = 0; f < d; ++f)
+      by_loading.emplace_back(
+          std::abs(pca.loading(f, components[ci].second)), f);
+    std::stable_sort(by_loading.rbegin(), by_loading.rend());
+    per_component[ci].reserve(d);
+    for (const auto& [l, f] : by_loading) per_component[ci].push_back(f);
+  }
+
+  std::vector<ml::RankedFeature> ranked;
+  ranked.reserve(d);
+  std::set<std::size_t> seen;
+  for (std::size_t depth = 0; ranked.size() < d && depth < d; ++depth) {
+    for (std::size_t ci = 0; ci < components.size() && ranked.size() < d;
+         ++ci) {
+      const std::size_t f = per_component[ci][depth];
+      if (!seen.insert(f).second) continue;
+      ranked.push_back(
+          {.index = f,
+           .name = data_.attribute(f).name(),
+           .score = components[ci].first *
+                    std::abs(pca.loading(f, components[ci].second))});
+    }
+  }
+  for (std::size_t f = 0; f < d; ++f)  // numerical leftovers, if any
+    if (seen.insert(f).second)
+      ranked.push_back({.index = f, .name = data_.attribute(f).name(),
+                        .score = 0.0});
+  return ranked;
+}
+
+FeatureSet FeatureReducer::to_feature_set(
+    std::vector<ml::RankedFeature> ranked, std::size_t k) const {
+  if (ranked.size() > k) ranked.resize(k);
+  FeatureSet set;
+  for (const ml::RankedFeature& f : ranked) {
+    set.indices.push_back(f.index);
+    set.names.push_back(f.name);
+  }
+  return set;
+}
+
+FeatureSet FeatureReducer::custom_features(AppClass c, std::size_t k) const {
+  return to_feature_set(rank_for_class(c), k);
+}
+
+FeatureSet FeatureReducer::common_features(std::size_t k,
+                                           std::size_t per_class_k) const {
+  // Mean rank of each feature across the malware classes' PCA rankings.
+  // A feature outside a class's top-per_class_k counts as ranked at
+  // per_class_k (so a feature must rank highly for essentially every class
+  // to surface — these are Table 2's "common" features).
+  std::map<std::size_t, double> rank_sum;  // idx → summed rank
+  for (AppClass c : workload::malware_classes()) {
+    const auto ranked = rank_for_class(c);
+    for (std::size_t pos = 0; pos < ranked.size(); ++pos) {
+      const double effective =
+          static_cast<double>(std::min(pos, per_class_k));
+      rank_sum[ranked[pos].index] += effective;
+    }
+  }
+  std::vector<std::pair<double, std::size_t>> common;  // (mean rank, idx)
+  for (const auto& [idx, sum] : rank_sum) {
+    common.emplace_back(
+        sum / static_cast<double>(workload::kNumMalwareClasses), idx);
+  }
+  std::sort(common.begin(), common.end());
+  if (common.size() > k) common.resize(k);
+
+  FeatureSet set;
+  for (const auto& [rank, idx] : common) {
+    set.indices.push_back(idx);
+    set.names.push_back(data_.attribute(idx).name());
+  }
+  return set;
+}
+
+FeatureSet FeatureReducer::binary_top_features(std::size_t k) const {
+  // "Malware" is a union of families whose benign-separation lives along
+  // different counters (backdoor: memory quiet; rootkit: frontend; worm:
+  // DRAM traffic). Round-robin over the per-family rankings so the reduced
+  // set covers every family's strongest separators.
+  std::vector<std::vector<ml::RankedFeature>> rankings;
+  rankings.reserve(workload::kNumMalwareClasses);
+  for (AppClass c : workload::malware_classes())
+    rankings.push_back(rank_for_class(c));
+
+  FeatureSet fs;
+  std::set<std::size_t> seen;
+  for (std::size_t pos = 0; fs.indices.size() < k && pos < data_.num_features();
+       ++pos) {
+    for (const auto& ranking : rankings) {
+      if (fs.indices.size() >= k) break;
+      const ml::RankedFeature& f = ranking[pos];
+      if (seen.insert(f.index).second) {
+        fs.indices.push_back(f.index);
+        fs.names.push_back(f.name);
+      }
+    }
+  }
+  return fs;
+}
+
+ReducedFeatureTable FeatureReducer::reduced_table(std::size_t common_k,
+                                                  std::size_t custom_k) const {
+  ReducedFeatureTable table;
+  table.common = common_features(common_k, custom_k);
+  for (AppClass c : workload::malware_classes())
+    table.custom[c] = custom_features(c, custom_k);
+  return table;
+}
+
+}  // namespace hmd::core

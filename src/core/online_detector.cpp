@@ -1,0 +1,41 @@
+#include "core/online_detector.hpp"
+
+#include "util/error.hpp"
+
+namespace hmd::core {
+
+OnlineDetector::OnlineDetector(const ml::Classifier& model,
+                               OnlineDetectorConfig config)
+    : model_(model), config_(config) {
+  HMD_REQUIRE(config_.flag_threshold > 0.0 && config_.flag_threshold < 1.0,
+              "flag_threshold must be in (0, 1)");
+  HMD_REQUIRE(config_.confirm_windows >= 1,
+              "confirm_windows must be at least 1");
+}
+
+OnlineDetector::Verdict OnlineDetector::observe(
+    std::span<const double> counts) {
+  HMD_REQUIRE(model_.num_classes() == 2,
+              "OnlineDetector needs a binary (benign/malware) model");
+  Verdict verdict;
+  verdict.probability = model_.distribution(counts)[1];
+  verdict.flagged = verdict.probability > config_.flag_threshold;
+
+  streak_ = verdict.flagged ? streak_ + 1 : 0;
+  if (!alarmed_ && streak_ >= config_.confirm_windows) {
+    alarmed_ = true;
+    alarm_window_ = windows_;
+  }
+  verdict.alarm = alarmed_;
+  ++windows_;
+  return verdict;
+}
+
+void OnlineDetector::reset() {
+  windows_ = 0;
+  streak_ = 0;
+  alarmed_ = false;
+  alarm_window_ = kNoAlarm;
+}
+
+}  // namespace hmd::core

@@ -1,0 +1,62 @@
+// Runtime detection policy: turns a trained binary classifier into a
+// deployable monitor. Raw per-window argmax is unusable under the ~90 %
+// malware training prior (it flags everything), so the deployed detector
+// thresholds the malware probability and requires consecutive confirmation
+// before raising an alarm — trading detection latency for false-positive
+// rate, exactly the knob an SOC team tunes.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "ml/classifier.hpp"
+
+namespace hmd::core {
+
+/// Alarm policy parameters.
+struct OnlineDetectorConfig {
+  /// Minimum malware probability for a window to be flagged.
+  double flag_threshold = 0.97;
+  /// Consecutive flagged windows required to raise the alarm.
+  std::size_t confirm_windows = 4;
+};
+
+/// Stateful per-program monitor. Feed it HPC windows in order; it reports
+/// per-window flags and a latched alarm. One instance per monitored
+/// program; reset() when the program changes.
+class OnlineDetector {
+ public:
+  /// What the monitor concluded from one window.
+  struct Verdict {
+    double probability = 0.0;  ///< model's P(malware) for this window
+    bool flagged = false;      ///< probability above the threshold
+    bool alarm = false;        ///< alarm latched (this window or earlier)
+  };
+
+  /// `model` must be a trained binary classifier (class 1 = malware) and
+  /// must outlive the detector.
+  OnlineDetector(const ml::Classifier& model,
+                 OnlineDetectorConfig config = {});
+
+  /// Observe the next window's counter values.
+  Verdict observe(std::span<const double> counts);
+
+  bool alarmed() const { return alarmed_; }
+  std::size_t windows_seen() const { return windows_; }
+  /// Window index (0-based) at which the alarm latched, or npos.
+  std::size_t alarm_window() const { return alarm_window_; }
+  static constexpr std::size_t kNoAlarm = static_cast<std::size_t>(-1);
+
+  /// Forget all streak/alarm state (new program under observation).
+  void reset();
+
+ private:
+  const ml::Classifier& model_;
+  OnlineDetectorConfig config_;
+  std::size_t windows_ = 0;
+  std::size_t streak_ = 0;
+  bool alarmed_ = false;
+  std::size_t alarm_window_ = kNoAlarm;
+};
+
+}  // namespace hmd::core

@@ -1,0 +1,40 @@
+// End-to-end pipeline configuration: database composition, sandbox, HPC
+// collection, and evaluation protocol — the knobs of the thesis's
+// experimental setup in one place.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "perf/collector.hpp"
+#include "workload/sample_database.hpp"
+#include "workload/sandbox.hpp"
+
+namespace hmd::core {
+
+struct PipelineConfig {
+  /// Sample database composition (Table 1 by default, possibly scaled).
+  workload::DatabaseComposition composition =
+      workload::DatabaseComposition::paper_table1();
+  /// Master seed: the entire pipeline is deterministic in it.
+  std::uint64_t seed = 2018;
+  /// HPC collection (10 ms windows, 16 events, multiplexed 8-register PMU).
+  perf::CollectorConfig collector;
+  /// Container isolation / residual host noise.
+  workload::SandboxConfig sandbox;
+  /// Train share of the 70/30 split the thesis uses.
+  double train_fraction = 0.7;
+
+  /// Paper-scale configuration: full Table 1 database, 16 windows per
+  /// sample → ~49k dataset rows (the thesis reports "around 50,000").
+  static PipelineConfig paper();
+  /// Reduced-scale configuration for tests and quick runs: `scale` shrinks
+  /// the database, `windows` the rows per sample.
+  static PipelineConfig quick(double scale = 0.05, std::size_t windows = 6);
+
+  /// Stable fingerprint of everything that affects the generated dataset
+  /// (used as a cache key by the benches).
+  std::string cache_key() const;
+};
+
+}  // namespace hmd::core

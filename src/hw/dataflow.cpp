@@ -1,0 +1,171 @@
+#include "hw/dataflow.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/error.hpp"
+
+namespace hmd::hw {
+
+NodeId DataflowGraph::add_input() {
+  nodes_.push_back({.is_input = true, .op = HwOp::kAdd, .deps = {}});
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+NodeId DataflowGraph::add_node(HwOp op, std::vector<NodeId> deps) {
+  for (NodeId d : deps)
+    HMD_REQUIRE(d < nodes_.size(), "dataflow: dependency on unknown node");
+  nodes_.push_back({.is_input = false, .op = op, .deps = std::move(deps)});
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+const DataflowNode& DataflowGraph::node(NodeId id) const {
+  HMD_REQUIRE(id < nodes_.size(), "dataflow: node id out of range");
+  return nodes_[id];
+}
+
+std::size_t DataflowGraph::count_ops(HwOp op) const {
+  std::size_t n = 0;
+  for (const DataflowNode& node : nodes_)
+    if (!node.is_input && node.op == op) ++n;
+  return n;
+}
+
+std::size_t DataflowGraph::num_ops() const {
+  std::size_t n = 0;
+  for (const DataflowNode& node : nodes_)
+    if (!node.is_input) ++n;
+  return n;
+}
+
+ResourceCost DataflowGraph::total_resources() const {
+  ResourceCost total;
+  for (const DataflowNode& node : nodes_)
+    if (!node.is_input) total += hw_op_cost(node.op);
+  return total;
+}
+
+double DataflowGraph::total_energy_pj() const {
+  double total = 0.0;
+  for (const DataflowNode& node : nodes_)
+    if (!node.is_input) total += hw_op_energy_pj(node.op);
+  return total;
+}
+
+Schedule DataflowGraph::schedule_asap() const {
+  Schedule sched;
+  sched.start_cycle.assign(nodes_.size(), 0);
+  std::uint32_t makespan = 0;
+  // Nodes are appended in topological order by construction (deps must
+  // already exist), so one forward pass suffices.
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const DataflowNode& n = nodes_[i];
+    std::uint32_t ready = 0;
+    for (NodeId d : n.deps) {
+      const DataflowNode& dep = nodes_[d];
+      const std::uint32_t done =
+          sched.start_cycle[d] + (dep.is_input ? 0 : hw_op_latency(dep.op));
+      ready = std::max(ready, done);
+    }
+    sched.start_cycle[i] = ready;
+    if (!n.is_input)
+      makespan = std::max(makespan, ready + hw_op_latency(n.op));
+  }
+  sched.latency_cycles = makespan;
+  return sched;
+}
+
+namespace {
+
+enum class Pool : std::uint8_t { kMul, kAdd, kCmp, kUnlimited };
+
+Pool pool_of(HwOp op) {
+  switch (op) {
+    case HwOp::kMul:
+    case HwOp::kMac:
+      return Pool::kMul;
+    case HwOp::kAdd:
+      return Pool::kAdd;
+    case HwOp::kCompare:
+    case HwOp::kArgmaxStage:
+      return Pool::kCmp;
+    default:
+      return Pool::kUnlimited;
+  }
+}
+
+}  // namespace
+
+Schedule DataflowGraph::schedule_constrained(
+    const OperatorAllocation& alloc) const {
+  Schedule sched;
+  sched.start_cycle.assign(nodes_.size(), 0);
+
+  // Remaining-dependency counts and ready list.
+  std::vector<std::uint32_t> pending(nodes_.size(), 0);
+  std::vector<std::vector<NodeId>> dependents(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    pending[i] = static_cast<std::uint32_t>(nodes_[i].deps.size());
+    for (NodeId d : nodes_[i].deps)
+      dependents[d].push_back(static_cast<NodeId>(i));
+  }
+
+  // ready_at[i]: earliest cycle node i's operands are available.
+  std::vector<std::uint32_t> ready_at(nodes_.size(), 0);
+  // Min-heap of (ready cycle, node).
+  using Item = std::pair<std::uint32_t, NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> ready;
+  for (std::size_t i = 0; i < nodes_.size(); ++i)
+    if (pending[i] == 0) ready.emplace(0, static_cast<NodeId>(i));
+
+  auto pool_capacity = [&](Pool p) -> std::optional<std::uint32_t> {
+    switch (p) {
+      case Pool::kMul: return alloc.multipliers;
+      case Pool::kAdd: return alloc.adders;
+      case Pool::kCmp: return alloc.comparators;
+      case Pool::kUnlimited: return std::nullopt;
+    }
+    return std::nullopt;
+  };
+  // busy_until[pool] holds, per physical operator instance, the cycle at
+  // which it frees up (pipelining is conservative: one op per instance at a
+  // time — an upper bound on latency, which is what sharing costs).
+  std::vector<std::vector<std::uint32_t>> busy_until(3);
+
+  std::uint32_t makespan = 0;
+  while (!ready.empty()) {
+    auto [cycle, id] = ready.top();
+    ready.pop();
+    const DataflowNode& n = nodes_[id];
+    std::uint32_t start = std::max(cycle, ready_at[id]);
+
+    if (!n.is_input) {
+      const Pool p = pool_of(n.op);
+      const auto cap = pool_capacity(p);
+      if (cap.has_value()) {
+        HMD_REQUIRE(*cap > 0, "operator allocation must be positive");
+        auto& pool = busy_until[static_cast<std::size_t>(p)];
+        if (pool.size() < *cap) {
+          pool.push_back(0);
+        }
+        // Pick the instance that frees earliest.
+        auto it = std::min_element(pool.begin(), pool.end());
+        start = std::max(start, *it);
+        *it = start + hw_op_latency(n.op);
+      }
+    }
+
+    sched.start_cycle[id] = start;
+    const std::uint32_t done =
+        start + (n.is_input ? 0 : hw_op_latency(n.op));
+    makespan = std::max(makespan, done);
+    for (NodeId dep : dependents[id]) {
+      ready_at[dep] = std::max(ready_at[dep], done);
+      if (--pending[dep] == 0) ready.emplace(ready_at[dep], dep);
+    }
+  }
+  sched.latency_cycles = makespan;
+  return sched;
+}
+
+}  // namespace hmd::hw

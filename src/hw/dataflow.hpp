@@ -1,0 +1,72 @@
+// Dataflow graph + scheduler: the core of the HLS-style estimator.
+//
+// Classifier lowering (lowering.hpp) produces a DAG of datapath operators;
+// the scheduler computes latency under either full spatial parallelism
+// (every node gets its own operator — Vivado HLS with an unconstrained
+// PIPELINE/UNROLL directive set, which is what the thesis synthesized) or a
+// bounded operator allocation (resource-shared list scheduling, used by the
+// area/latency trade-off ablation).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "hw/resource.hpp"
+
+namespace hmd::hw {
+
+/// Node handle.
+using NodeId = std::uint32_t;
+
+/// One node: a primary input (no cost) or an operator instance.
+struct DataflowNode {
+  bool is_input = false;
+  HwOp op = HwOp::kAdd;      ///< meaningful when !is_input
+  std::vector<NodeId> deps;  ///< operand-producing nodes
+};
+
+/// Operator allocation for resource-shared scheduling: how many physical
+/// instances of each operator class exist. Missing entries = unlimited.
+struct OperatorAllocation {
+  std::optional<std::uint32_t> multipliers;  ///< shared kMul/kMac pool
+  std::optional<std::uint32_t> adders;       ///< shared kAdd pool
+  std::optional<std::uint32_t> comparators;  ///< shared kCompare pool
+};
+
+/// Schedule result.
+struct Schedule {
+  std::uint32_t latency_cycles = 0;
+  std::vector<std::uint32_t> start_cycle;  ///< per node
+};
+
+/// A DAG of fixed-point operators.
+class DataflowGraph {
+ public:
+  /// Primary input marker (no hardware cost, latency 0).
+  NodeId add_input();
+  /// Add an operator depending on `deps` (all must already exist).
+  NodeId add_node(HwOp op, std::vector<NodeId> deps = {});
+
+  std::size_t num_nodes() const { return nodes_.size(); }
+  const DataflowNode& node(NodeId id) const;
+  /// Count of operator nodes (inputs excluded) of kind `op`.
+  std::size_t count_ops(HwOp op) const;
+  /// Count of all operator nodes.
+  std::size_t num_ops() const;
+
+  /// Total resources under full spatial parallelism.
+  ResourceCost total_resources() const;
+  /// Total dynamic energy for one inference (pJ).
+  double total_energy_pj() const;
+
+  /// ASAP schedule (unbounded resources): latency = critical path.
+  Schedule schedule_asap() const;
+  /// Resource-constrained list schedule.
+  Schedule schedule_constrained(const OperatorAllocation& alloc) const;
+
+ private:
+  std::vector<DataflowNode> nodes_;
+};
+
+}  // namespace hmd::hw

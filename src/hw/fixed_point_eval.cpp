@@ -1,0 +1,38 @@
+#include "hw/fixed_point_eval.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/fixed_point.hpp"
+
+namespace hmd::hw {
+
+ml::EvaluationResult evaluate_fixed_point(const ml::Classifier& clf,
+                                          const ml::Dataset& test) {
+  HMD_REQUIRE(!test.empty(), "evaluate_fixed_point: empty test set");
+  // Per-feature scale so magnitudes fit the Q16.16 integer range; the same
+  // static scaling a hardware front-end would apply to raw counter values.
+  const std::size_t d = test.num_features();
+  std::vector<double> scale(d, 1.0);
+  for (std::size_t f = 0; f < d; ++f) {
+    double mx = 0.0;
+    for (std::size_t i = 0; i < test.num_instances(); ++i)
+      mx = std::max(mx, std::abs(test.features_of(i)[f]));
+    // Keep values within +-2^14 so products stay representable.
+    if (mx > 16000.0) scale[f] = 16000.0 / mx;
+  }
+
+  ml::EvaluationResult result(test.num_classes(),
+                              test.class_attribute().values());
+  std::vector<double> quantized(d);
+  for (std::size_t i = 0; i < test.num_instances(); ++i) {
+    const auto x = test.features_of(i);
+    for (std::size_t f = 0; f < d; ++f)
+      quantized[f] = quantize_q16(x[f] * scale[f]) / scale[f];
+    result.record(test.class_of(i), clf.predict(quantized));
+  }
+  return result;
+}
+
+}  // namespace hmd::hw

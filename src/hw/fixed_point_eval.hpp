@@ -1,0 +1,17 @@
+// Fixed-point accuracy check: re-evaluate a trained classifier with inputs
+// quantized through the Q16.16 datapath word, to confirm the hardware
+// implementation would not lose accuracy (part of validating the HLS-style
+// substitution for Vivado).
+#pragma once
+
+#include "ml/classifier.hpp"
+#include "ml/evaluation.hpp"
+
+namespace hmd::hw {
+
+/// Evaluate `clf` on `test` with every feature quantized to Q16.16 after
+/// per-feature scaling into the representable range.
+ml::EvaluationResult evaluate_fixed_point(const ml::Classifier& clf,
+                                          const ml::Dataset& test);
+
+}  // namespace hmd::hw

@@ -1,0 +1,213 @@
+#include "hw/lowering.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace hmd::hw {
+
+namespace {
+
+/// Adds the feature inputs and returns their node ids.
+std::vector<NodeId> add_inputs(DataflowGraph& g, std::size_t num_features) {
+  HMD_REQUIRE(num_features > 0, "lowering: need at least one feature input");
+  std::vector<NodeId> inputs(num_features);
+  for (auto& id : inputs) id = g.add_input();
+  return inputs;
+}
+
+/// Balanced binary reduction with `op` over `operands`.
+NodeId reduce_tree(DataflowGraph& g, HwOp op, std::vector<NodeId> operands) {
+  HMD_ASSERT(!operands.empty());
+  while (operands.size() > 1) {
+    std::vector<NodeId> next;
+    next.reserve((operands.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < operands.size(); i += 2)
+      next.push_back(g.add_node(op, {operands[i], operands[i + 1]}));
+    if (operands.size() % 2 == 1) next.push_back(operands.back());
+    operands = std::move(next);
+  }
+  return operands.front();
+}
+
+/// Argmax over `scores`: a balanced tree of compare+select stages.
+NodeId argmax_tree(DataflowGraph& g, std::vector<NodeId> scores) {
+  return reduce_tree(g, HwOp::kArgmaxStage, std::move(scores));
+}
+
+/// One dot product: parallel multipliers + adder reduction + bias add.
+NodeId dot_product(DataflowGraph& g, const std::vector<NodeId>& inputs) {
+  std::vector<NodeId> products;
+  products.reserve(inputs.size());
+  for (NodeId in : inputs) products.push_back(g.add_node(HwOp::kMul, {in}));
+  const NodeId sum = reduce_tree(g, HwOp::kAdd, std::move(products));
+  return g.add_node(HwOp::kAdd, {sum});  // + bias
+}
+
+}  // namespace
+
+DataflowGraph lower_one_r(const ml::OneR& model, std::size_t num_features) {
+  DataflowGraph g;
+  const auto inputs = add_inputs(g, num_features);
+  const NodeId x = inputs[model.chosen_feature()];
+  const auto& intervals = model.intervals();
+  // One comparator per internal boundary; priority mux chain selects the
+  // first matching interval's class constant.
+  std::vector<NodeId> comparators;
+  for (std::size_t i = 0; i + 1 < intervals.size(); ++i)
+    comparators.push_back(g.add_node(HwOp::kCompare, {x}));
+  if (comparators.empty()) {
+    // Single-interval rule: a constant output register.
+    g.add_node(HwOp::kRegister, {x});
+    return g;
+  }
+  NodeId selected = comparators.front();
+  for (std::size_t i = 1; i < comparators.size(); ++i)
+    selected = g.add_node(HwOp::kMux2, {comparators[i], selected});
+  g.add_node(HwOp::kRegister, {selected});
+  return g;
+}
+
+DataflowGraph lower_decision_stump(const ml::DecisionStump& model,
+                                   std::size_t num_features) {
+  DataflowGraph g;
+  const auto inputs = add_inputs(g, num_features);
+  const NodeId cmp =
+      g.add_node(HwOp::kCompare, {inputs[model.split_feature()]});
+  const NodeId mux = g.add_node(HwOp::kMux2, {cmp});
+  g.add_node(HwOp::kRegister, {mux});
+  return g;
+}
+
+namespace {
+NodeId lower_j48_node(DataflowGraph& g, const ml::J48::Node& node,
+                      const std::vector<NodeId>& inputs) {
+  if (node.is_leaf()) return g.add_node(HwOp::kRegister, {});  // class const
+  const NodeId cmp = g.add_node(HwOp::kCompare, {inputs[node.feature]});
+  const NodeId left = lower_j48_node(g, *node.left, inputs);
+  const NodeId right = lower_j48_node(g, *node.right, inputs);
+  return g.add_node(HwOp::kMux2, {cmp, left, right});
+}
+}  // namespace
+
+DataflowGraph lower_j48(const ml::J48& model, std::size_t num_features) {
+  DataflowGraph g;
+  const auto inputs = add_inputs(g, num_features);
+  const NodeId out = lower_j48_node(g, model.root(), inputs);
+  g.add_node(HwOp::kRegister, {out});
+  return g;
+}
+
+DataflowGraph lower_jrip(const ml::JRip& model, std::size_t num_features) {
+  DataflowGraph g;
+  const auto inputs = add_inputs(g, num_features);
+  std::vector<NodeId> rule_fires;
+  for (const ml::JRip::Rule& rule : model.rules()) {
+    std::vector<NodeId> conds;
+    conds.reserve(rule.conditions.size());
+    for (const ml::JRip::Condition& c : rule.conditions)
+      conds.push_back(g.add_node(HwOp::kCompare, {inputs[c.feature]}));
+    rule_fires.push_back(conds.empty()
+                             ? g.add_node(HwOp::kAnd, {})
+                             : reduce_tree(g, HwOp::kAnd, std::move(conds)));
+  }
+  if (rule_fires.empty()) {
+    g.add_node(HwOp::kRegister, {});  // default-class constant
+    return g;
+  }
+  // Priority selection down the ordered rule list.
+  NodeId selected = g.add_node(HwOp::kMux2, {rule_fires.back()});
+  for (std::size_t i = rule_fires.size() - 1; i-- > 0;)
+    selected = g.add_node(HwOp::kMux2, {rule_fires[i], selected});
+  g.add_node(HwOp::kRegister, {selected});
+  return g;
+}
+
+DataflowGraph lower_naive_bayes(const ml::NaiveBayes& model,
+                                std::size_t num_features) {
+  HMD_REQUIRE(model.num_classes() >= 2, "lower_naive_bayes: untrained model");
+  DataflowGraph g;
+  const auto inputs = add_inputs(g, num_features);
+  std::vector<NodeId> class_scores;
+  for (std::size_t c = 0; c < model.num_classes(); ++c) {
+    std::vector<NodeId> terms;
+    terms.reserve(num_features);
+    for (std::size_t f = 0; f < num_features; ++f) {
+      const NodeId diff = g.add_node(HwOp::kAdd, {inputs[f]});   // x - mu
+      const NodeId sq = g.add_node(HwOp::kMul, {diff, diff});    // (x-mu)^2
+      terms.push_back(g.add_node(HwOp::kMul, {sq}));             // / 2sigma^2
+    }
+    const NodeId sum = reduce_tree(g, HwOp::kAdd, std::move(terms));
+    class_scores.push_back(g.add_node(HwOp::kAdd, {sum}));  // + log prior
+  }
+  g.add_node(HwOp::kRegister, {argmax_tree(g, std::move(class_scores))});
+  return g;
+}
+
+DataflowGraph lower_linear_bank(std::size_t num_features,
+                                std::size_t num_classes) {
+  HMD_REQUIRE(num_classes >= 2, "lower_linear_bank: need >= 2 classes");
+  DataflowGraph g;
+  const auto inputs = add_inputs(g, num_features);
+  if (num_classes == 2) {
+    // One hyperplane; the sign comparator is the decision.
+    const NodeId score = dot_product(g, inputs);
+    const NodeId sign = g.add_node(HwOp::kCompare, {score});
+    g.add_node(HwOp::kRegister, {sign});
+    return g;
+  }
+  std::vector<NodeId> scores;
+  scores.reserve(num_classes);
+  for (std::size_t c = 0; c < num_classes; ++c)
+    scores.push_back(dot_product(g, inputs));
+  g.add_node(HwOp::kRegister, {argmax_tree(g, std::move(scores))});
+  return g;
+}
+
+DataflowGraph lower_mlp(const ml::Mlp& model, std::size_t num_features) {
+  HMD_REQUIRE(model.hidden_units() > 0, "lower_mlp: untrained model");
+  DataflowGraph g;
+  const auto inputs = add_inputs(g, num_features);
+  std::vector<NodeId> hidden;
+  hidden.reserve(model.hidden_units());
+  for (std::size_t h = 0; h < model.hidden_units(); ++h) {
+    const NodeId pre = dot_product(g, inputs);
+    hidden.push_back(g.add_node(HwOp::kSigmoidLut, {pre}));
+  }
+  std::vector<NodeId> scores;
+  scores.reserve(model.num_classes());
+  for (std::size_t c = 0; c < model.num_classes(); ++c)
+    scores.push_back(dot_product(g, hidden));
+  g.add_node(HwOp::kRegister, {argmax_tree(g, std::move(scores))});
+  return g;
+}
+
+DataflowGraph lower_classifier(const ml::Classifier& clf,
+                               std::size_t num_features) {
+  if (const auto* m = dynamic_cast<const ml::OneR*>(&clf))
+    return lower_one_r(*m, num_features);
+  if (const auto* m = dynamic_cast<const ml::DecisionStump*>(&clf))
+    return lower_decision_stump(*m, num_features);
+  if (const auto* m = dynamic_cast<const ml::J48*>(&clf))
+    return lower_j48(*m, num_features);
+  if (const auto* m = dynamic_cast<const ml::JRip*>(&clf))
+    return lower_jrip(*m, num_features);
+  if (const auto* m = dynamic_cast<const ml::NaiveBayes*>(&clf))
+    return lower_naive_bayes(*m, num_features);
+  if (const auto* m = dynamic_cast<const ml::Logistic*>(&clf))
+    return lower_linear_bank(num_features, m->num_classes());
+  if (const auto* m = dynamic_cast<const ml::LinearSvm*>(&clf))
+    return lower_linear_bank(num_features, m->num_classes());
+  if (const auto* m = dynamic_cast<const ml::Mlp*>(&clf))
+    return lower_mlp(*m, num_features);
+  throw PreconditionError("no hardware lowering for classifier " + clf.name());
+}
+
+SynthesisReport synthesize_classifier(const ml::Classifier& clf,
+                                      std::size_t num_features,
+                                      const SynthesisOptions& options) {
+  const DataflowGraph g = lower_classifier(clf, num_features);
+  return synthesize(g, clf.name(), options);
+}
+
+}  // namespace hmd::hw

@@ -1,0 +1,61 @@
+// Classifier → dataflow-graph lowering.
+//
+// Each trained model is compiled into the datapath a Vivado-HLS-style flow
+// would emit for a fully-unrolled, single-inference-per-call implementation:
+//
+//   OneR          — parallel threshold comparators + a priority mux chain
+//   DecisionStump — one comparator + one mux
+//   J48           — one comparator per internal node; the mux tree mirrors
+//                   the decision tree, so latency tracks tree depth
+//   JRip          — one comparator per condition, AND-reduction per rule,
+//                   priority mux chain over the ordered rule list
+//   NaiveBayes    — per (class, feature): subtract + square + scale, adder
+//                   reduction, prior add, argmax tree
+//   MLR / SVM     — per class: parallel multipliers + adder reduction + bias;
+//                   argmax tree (softmax is monotone, so the argmax decision
+//                   needs no exponentiation in hardware)
+//   MLP           — hidden layer of parallel dot products + sigmoid LUTs,
+//                   output layer of dot products, argmax tree
+//
+// These shapes are what give the thesis its Figs. 14-16: rule/tree learners
+// cost a few comparators while the MLP costs hundreds of DSP-mapped
+// multipliers.
+#pragma once
+
+#include "hw/dataflow.hpp"
+#include "hw/synthesis.hpp"
+#include "ml/classifier.hpp"
+#include "ml/decision_stump.hpp"
+#include "ml/j48.hpp"
+#include "ml/jrip.hpp"
+#include "ml/logistic.hpp"
+#include "ml/mlp.hpp"
+#include "ml/naive_bayes.hpp"
+#include "ml/one_r.hpp"
+#include "ml/svm.hpp"
+
+namespace hmd::hw {
+
+DataflowGraph lower_one_r(const ml::OneR& model, std::size_t num_features);
+DataflowGraph lower_decision_stump(const ml::DecisionStump& model,
+                                   std::size_t num_features);
+DataflowGraph lower_j48(const ml::J48& model, std::size_t num_features);
+DataflowGraph lower_jrip(const ml::JRip& model, std::size_t num_features);
+DataflowGraph lower_naive_bayes(const ml::NaiveBayes& model,
+                                std::size_t num_features);
+/// Shared by MLR and SVM: a bank of `num_classes` linear discriminants.
+DataflowGraph lower_linear_bank(std::size_t num_features,
+                                std::size_t num_classes);
+DataflowGraph lower_mlp(const ml::Mlp& model, std::size_t num_features);
+
+/// Dispatch on the concrete classifier type. Throws hmd::PreconditionError
+/// for classifiers with no hardware lowering (e.g. IBk/ZeroR).
+DataflowGraph lower_classifier(const ml::Classifier& clf,
+                               std::size_t num_features);
+
+/// Convenience: lower + synthesize in one call.
+SynthesisReport synthesize_classifier(const ml::Classifier& clf,
+                                      std::size_t num_features,
+                                      const SynthesisOptions& options = {});
+
+}  // namespace hmd::hw

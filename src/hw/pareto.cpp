@@ -1,0 +1,101 @@
+#include "hw/pareto.hpp"
+
+#include <algorithm>
+
+#include "hw/lowering.hpp"
+#include "util/error.hpp"
+
+namespace hmd::hw {
+
+namespace {
+
+DesignPoint evaluate(const DataflowGraph& graph,
+                     const OperatorAllocation& alloc, double clock_mhz) {
+  SynthesisOptions options;
+  options.clock_mhz = clock_mhz;
+  const bool bounded = alloc.multipliers.has_value() ||
+                       alloc.adders.has_value() ||
+                       alloc.comparators.has_value();
+  if (bounded) options.allocation = alloc;
+  const SynthesisReport report = synthesize(graph, "dse", options);
+  return {.allocation = alloc,
+          .area_slices = report.area_slices(),
+          .latency_cycles = report.latency_cycles,
+          .pareto_optimal = false};
+}
+
+void mark_pareto(std::vector<DesignPoint>& points) {
+  for (DesignPoint& p : points) {
+    p.pareto_optimal = true;
+    for (const DesignPoint& q : points) {
+      const bool dominates =
+          (q.area_slices <= p.area_slices &&
+           q.latency_cycles <= p.latency_cycles) &&
+          (q.area_slices < p.area_slices ||
+           q.latency_cycles < p.latency_cycles);
+      if (dominates) {
+        p.pareto_optimal = false;
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<DesignPoint> explore_design_space(const DataflowGraph& graph,
+                                              const ParetoOptions& options) {
+  HMD_REQUIRE(!options.pool_sizes.empty(),
+              "explore_design_space: no pool sizes");
+  std::vector<DesignPoint> points;
+
+  // Fully parallel reference point.
+  points.push_back(evaluate(graph, {}, options.clock_mhz));
+
+  // Shared-multiplier sweeps (the dominant cost), alone and with matched
+  // adder/comparator pools.
+  for (std::uint32_t m : options.pool_sizes) {
+    points.push_back(
+        evaluate(graph, {.multipliers = m}, options.clock_mhz));
+    points.push_back(evaluate(graph,
+                              {.multipliers = m, .adders = m,
+                               .comparators = m},
+                              options.clock_mhz));
+  }
+
+  std::sort(points.begin(), points.end(),
+            [](const DesignPoint& a, const DesignPoint& b) {
+              if (a.area_slices != b.area_slices)
+                return a.area_slices < b.area_slices;
+              return a.latency_cycles < b.latency_cycles;
+            });
+  // Deduplicate identical (area, latency) points.
+  points.erase(std::unique(points.begin(), points.end(),
+                           [](const DesignPoint& a, const DesignPoint& b) {
+                             return a.area_slices == b.area_slices &&
+                                    a.latency_cycles == b.latency_cycles;
+                           }),
+               points.end());
+  mark_pareto(points);
+  return points;
+}
+
+std::vector<DesignPoint> explore_classifier(const ml::Classifier& clf,
+                                            std::size_t num_features,
+                                            const ParetoOptions& options) {
+  return explore_design_space(lower_classifier(clf, num_features), options);
+}
+
+std::vector<DesignPoint> pareto_front(std::vector<DesignPoint> points) {
+  mark_pareto(points);
+  std::vector<DesignPoint> front;
+  for (const DesignPoint& p : points)
+    if (p.pareto_optimal) front.push_back(p);
+  std::sort(front.begin(), front.end(),
+            [](const DesignPoint& a, const DesignPoint& b) {
+              return a.area_slices < b.area_slices;
+            });
+  return front;
+}
+
+}  // namespace hmd::hw

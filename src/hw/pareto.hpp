@@ -1,0 +1,46 @@
+// Area-latency design-space exploration.
+//
+// The thesis synthesizes each classifier once (fully parallel); a real HLS
+// flow explores the allocation space. This module sweeps the shared
+// multiplier/adder/comparator pools of a lowered classifier and returns the
+// Pareto-optimal (area, latency) design points — the curve an implementer
+// actually chooses from.
+#pragma once
+
+#include <vector>
+
+#include "hw/dataflow.hpp"
+#include "hw/synthesis.hpp"
+#include "ml/classifier.hpp"
+
+namespace hmd::hw {
+
+/// One explored design point.
+struct DesignPoint {
+  OperatorAllocation allocation;  ///< empty optionals = unbounded
+  double area_slices = 0.0;
+  std::uint32_t latency_cycles = 0;
+  bool pareto_optimal = false;
+};
+
+/// Exploration controls.
+struct ParetoOptions {
+  /// Candidate pool sizes tried for each operator class (also combined).
+  std::vector<std::uint32_t> pool_sizes = {1, 2, 4, 8, 16, 32};
+  double clock_mhz = 100.0;
+};
+
+/// Sweep operator allocations for `graph`; all evaluated points are
+/// returned, sorted by area, with Pareto-optimal ones marked.
+std::vector<DesignPoint> explore_design_space(const DataflowGraph& graph,
+                                              const ParetoOptions& options = {});
+
+/// Convenience: lower `clf` and explore.
+std::vector<DesignPoint> explore_classifier(const ml::Classifier& clf,
+                                            std::size_t num_features,
+                                            const ParetoOptions& options = {});
+
+/// Filter to the Pareto-optimal subset (sorted by area ascending).
+std::vector<DesignPoint> pareto_front(std::vector<DesignPoint> points);
+
+}  // namespace hmd::hw

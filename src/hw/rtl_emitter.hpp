@@ -1,0 +1,67 @@
+// Verilog RTL emission for trained classifiers.
+//
+// The end product of the paper's Vivado HLS flow is RTL; this module emits
+// it directly for the hardware-friendly classifier families. The generated
+// module is self-contained synthesizable Verilog-2001:
+//
+//   module <name> (
+//     input  wire clk, rst, valid_in,
+//     input  wire signed [31:0] f0 .. f<d-1>,   // Q16.16 counter values
+//     output reg  [<ceil(log2 k)>-1:0] class_out,
+//     output reg  valid_out
+//   );
+//
+// Trained constants (thresholds, weights, biases) are baked in as Q16.16
+// localparams. For the linear models the internal standardizer is folded
+// into the weights, so the module consumes raw (pre-scaled) counter values.
+// The decision logic is combinational with one output register stage —
+// matching the unconstrained datapaths the cost model (lowering.hpp)
+// estimates.
+//
+// Supported: OneR, DecisionStump, J48, JRip, Logistic/MLR, LinearSvm.
+// MLP and NaiveBayes are estimator-only (their LUT/activation tables belong
+// to a memory-compiler flow, not inline RTL) and raise PreconditionError.
+#pragma once
+
+#include <string>
+
+#include "ml/classifier.hpp"
+#include "ml/dataset.hpp"
+#include "ml/decision_stump.hpp"
+#include "ml/j48.hpp"
+#include "ml/jrip.hpp"
+#include "ml/logistic.hpp"
+#include "ml/one_r.hpp"
+#include "ml/svm.hpp"
+
+namespace hmd::hw {
+
+std::string emit_verilog(const ml::OneR& model, std::size_t num_features,
+                         const std::string& module_name);
+std::string emit_verilog(const ml::DecisionStump& model,
+                         std::size_t num_features,
+                         const std::string& module_name);
+std::string emit_verilog(const ml::J48& model, std::size_t num_features,
+                         const std::string& module_name);
+std::string emit_verilog(const ml::JRip& model, std::size_t num_features,
+                         const std::string& module_name);
+std::string emit_verilog(const ml::Logistic& model, std::size_t num_features,
+                         const std::string& module_name);
+std::string emit_verilog(const ml::LinearSvm& model, std::size_t num_features,
+                         const std::string& module_name);
+
+/// Dispatch on the concrete classifier type; throws hmd::PreconditionError
+/// for unsupported classifiers.
+std::string emit_verilog(const ml::Classifier& clf, std::size_t num_features,
+                         const std::string& module_name);
+
+/// Self-checking Verilog testbench for a module produced by emit_verilog:
+/// drives the first `num_vectors` rows of `test` (quantized to Q16.16) and
+/// compares `class_out` against the C++ model's predictions, $display-ing
+/// PASS/FAIL per vector and a final summary.
+std::string emit_verilog_testbench(const ml::Classifier& clf,
+                                   const ml::Dataset& test,
+                                   std::size_t num_vectors,
+                                   const std::string& module_name);
+
+}  // namespace hmd::hw

@@ -1,0 +1,46 @@
+// Synthesis report: the numbers Vivado HLS hands back — area, latency,
+// power — for one lowered classifier, at the 100 MHz target clock.
+#pragma once
+
+#include <string>
+
+#include "hw/dataflow.hpp"
+
+namespace hmd::hw {
+
+/// Synthesis options.
+struct SynthesisOptions {
+  double clock_mhz = 100.0;
+  /// When set, schedule with this operator allocation instead of full
+  /// spatial parallelism (resources are then bounded by the allocation).
+  std::optional<OperatorAllocation> allocation;
+  /// Windows classified per second (drives average power): the paper's
+  /// 10 ms sampling period → 100 inferences/s per monitored core.
+  double inferences_per_second = 100.0;
+};
+
+/// The estimator's output for one classifier implementation.
+struct SynthesisReport {
+  std::string design_name;
+  ResourceCost resources;
+  std::uint32_t latency_cycles = 0;
+  double clock_mhz = 100.0;
+  double energy_per_inference_pj = 0.0;
+  double static_power_mw = 0.0;
+  double dynamic_power_mw = 0.0;
+
+  double latency_us() const {
+    return static_cast<double>(latency_cycles) / clock_mhz;
+  }
+  double area_slices() const { return resources.equivalent_slices(); }
+  double total_power_mw() const { return static_power_mw + dynamic_power_mw; }
+
+  /// Multi-line human-readable rendering.
+  std::string to_string() const;
+};
+
+/// Schedule + bind `graph` and produce the report.
+SynthesisReport synthesize(const DataflowGraph& graph, std::string design_name,
+                           const SynthesisOptions& options = {});
+
+}  // namespace hmd::hw

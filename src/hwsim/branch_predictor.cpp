@@ -1,0 +1,72 @@
+#include "hwsim/branch_predictor.hpp"
+
+#include <bit>
+
+#include "util/error.hpp"
+
+namespace hmd::hwsim {
+
+BranchPredictor::BranchPredictor(BranchPredictorConfig config)
+    : config_(config) {
+  HMD_REQUIRE(config_.history_bits > 0 && config_.history_bits <= 24,
+              "history_bits out of range");
+  HMD_REQUIRE(config_.table_bits > 0 && config_.table_bits <= 24,
+              "table_bits out of range");
+  HMD_REQUIRE(std::has_single_bit(config_.btb_entries),
+              "btb_entries must be a power of two");
+  counters_.assign(std::size_t{1} << config_.table_bits, 1);  // weakly not-taken
+  btb_.assign(config_.btb_entries, {});
+  history_mask_ = (std::uint64_t{1} << config_.history_bits) - 1;
+  table_mask_ = (std::uint64_t{1} << config_.table_bits) - 1;
+}
+
+bool BranchPredictor::predict_and_update(std::uint64_t pc, bool taken,
+                                         std::uint64_t target) {
+  ++branches_;
+  const std::uint64_t index = ((pc >> 2) ^ history_) & table_mask_;
+  std::uint8_t& ctr = counters_[index];
+  const bool predicted_taken = ctr >= 2;
+
+  bool correct = predicted_taken == taken;
+  if (taken && predicted_taken) {
+    // Direction correct; target must also come from the BTB.
+    BtbEntry& entry = btb_[(pc >> 2) & (config_.btb_entries - 1)];
+    if (!entry.valid || entry.pc != pc || entry.target != target)
+      correct = false;
+  }
+  if (!correct) ++mispredictions_;
+
+  // Update direction counter.
+  if (taken) {
+    if (ctr < 3) ++ctr;
+  } else {
+    if (ctr > 0) --ctr;
+  }
+  // Update BTB on taken branches.
+  if (taken) {
+    BtbEntry& entry = btb_[(pc >> 2) & (config_.btb_entries - 1)];
+    entry = {.pc = pc, .target = target, .valid = true};
+  }
+  history_ = ((history_ << 1) | (taken ? 1u : 0u)) & history_mask_;
+  return correct;
+}
+
+void BranchPredictor::reset() {
+  counters_.assign(counters_.size(), 1);
+  btb_.assign(btb_.size(), {});
+  history_ = 0;
+}
+
+double BranchPredictor::misprediction_rate() const {
+  return branches_ == 0
+             ? 0.0
+             : static_cast<double>(mispredictions_) /
+                   static_cast<double>(branches_);
+}
+
+void BranchPredictor::reset_stats() {
+  branches_ = 0;
+  mispredictions_ = 0;
+}
+
+}  // namespace hmd::hwsim

@@ -1,0 +1,53 @@
+// Gshare branch direction predictor with a direct-mapped BTB.
+//
+// Drives the branch-misses counter: a misprediction is a wrong direction or
+// (for taken branches) a BTB target miss.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace hmd::hwsim {
+
+/// Configuration of the gshare predictor.
+struct BranchPredictorConfig {
+  std::uint32_t history_bits = 12;   ///< global history register width
+  std::uint32_t table_bits = 12;     ///< log2(# of 2-bit counters)
+  std::uint32_t btb_entries = 4096;  ///< direct-mapped BTB size (power of two)
+};
+
+/// Gshare: PC xor global-history indexes a table of 2-bit saturating
+/// counters; taken branches also consult the BTB for the target.
+class BranchPredictor {
+ public:
+  explicit BranchPredictor(BranchPredictorConfig config = {});
+
+  /// Predicts and then updates with the actual outcome.
+  /// Returns true when the prediction was correct.
+  bool predict_and_update(std::uint64_t pc, bool taken, std::uint64_t target);
+
+  void reset();
+
+  std::uint64_t branches() const { return branches_; }
+  std::uint64_t mispredictions() const { return mispredictions_; }
+  double misprediction_rate() const;
+  void reset_stats();
+
+ private:
+  struct BtbEntry {
+    std::uint64_t pc = 0;
+    std::uint64_t target = 0;
+    bool valid = false;
+  };
+
+  BranchPredictorConfig config_;
+  std::vector<std::uint8_t> counters_;  ///< 2-bit saturating
+  std::vector<BtbEntry> btb_;
+  std::uint64_t history_ = 0;
+  std::uint64_t history_mask_;
+  std::uint64_t table_mask_;
+  std::uint64_t branches_ = 0;
+  std::uint64_t mispredictions_ = 0;
+};
+
+}  // namespace hmd::hwsim

@@ -1,0 +1,60 @@
+#include "hwsim/events.hpp"
+
+#include "util/error.hpp"
+
+namespace hmd::hwsim {
+
+namespace {
+constexpr std::array<std::string_view, kNumEvents> kNames = {
+    "instructions",
+    "branch-instructions",
+    "branch-misses",
+    "branch-loads",
+    "cache-references",
+    "cache-misses",
+    "L1-dcache-loads",
+    "L1-dcache-stores",
+    "L1-dcache-load-misses",
+    "L1-icache-load-misses",
+    "LLC-loads",
+    "LLC-load-misses",
+    "iTLB-load-misses",
+    "bus-cycles",
+    "node-loads",
+    "node-stores",
+    "cycles",
+    "L1-dcache-store-misses",
+    "dTLB-load-misses",
+    "LLC-stores",
+    "LLC-store-misses",
+    "stalled-cycles-frontend",
+};
+}  // namespace
+
+std::string_view event_name(HwEvent e) {
+  const auto i = static_cast<std::size_t>(e);
+  HMD_REQUIRE(i < kNumEvents, "event_name: invalid event");
+  return kNames[i];
+}
+
+HwEvent event_from_name(std::string_view name) {
+  for (std::size_t i = 0; i < kNumEvents; ++i)
+    if (kNames[i] == name) return static_cast<HwEvent>(i);
+  throw ParseError("unknown hardware event: " + std::string(name));
+}
+
+const std::array<HwEvent, kNumFeatureEvents>& feature_events() {
+  static const std::array<HwEvent, kNumFeatureEvents> kFeatures = {
+      HwEvent::kInstructions,        HwEvent::kBranchInstructions,
+      HwEvent::kBranchMisses,        HwEvent::kBranchLoads,
+      HwEvent::kCacheReferences,     HwEvent::kCacheMisses,
+      HwEvent::kL1DcacheLoads,       HwEvent::kL1DcacheStores,
+      HwEvent::kL1DcacheLoadMisses,  HwEvent::kL1IcacheLoadMisses,
+      HwEvent::kLlcLoads,            HwEvent::kLlcLoadMisses,
+      HwEvent::kITlbLoadMisses,      HwEvent::kBusCycles,
+      HwEvent::kNodeLoads,           HwEvent::kNodeStores,
+  };
+  return kFeatures;
+}
+
+}  // namespace hmd::hwsim

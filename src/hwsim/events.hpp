@@ -1,0 +1,67 @@
+// Hardware event definitions.
+//
+// The thesis collects 16 named perf events on an Intel Haswell Core i5-4590
+// (52 hardware events multiplexed onto 8 programmable PMU registers). This
+// header defines the subset of architectural events the simulator produces;
+// the 16 events used as classifier features are exactly the ones visible in
+// the thesis's WEKA screenshot (Fig. 8) and Table 2.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace hmd::hwsim {
+
+/// Architectural events counted by the simulated PMU.
+///
+/// Semantics follow perf(1) event names on Haswell:
+///  - kCacheReferences / kCacheMisses count at the last-level cache;
+///  - kNodeLoads / kNodeStores count local-memory-node traffic (LLC misses
+///    that reach DRAM);
+///  - kBusCycles advances at a fixed ratio of core cycles.
+enum class HwEvent : std::uint8_t {
+  kInstructions = 0,
+  kBranchInstructions,
+  kBranchMisses,
+  kBranchLoads,
+  kCacheReferences,
+  kCacheMisses,
+  kL1DcacheLoads,
+  kL1DcacheStores,
+  kL1DcacheLoadMisses,
+  kL1IcacheLoadMisses,
+  kLlcLoads,
+  kLlcLoadMisses,
+  kITlbLoadMisses,
+  kBusCycles,
+  kNodeLoads,
+  kNodeStores,
+  // Events below are supported by the PMU but are not among the paper's 16
+  // classifier features; they exist so that multiplexing pressure (more
+  // events than registers) can be exercised realistically.
+  kCycles,
+  kL1DcacheStoreMisses,
+  kDTlbLoadMisses,
+  kLlcStores,
+  kLlcStoreMisses,
+  kStalledCyclesFrontend,
+  kCount  // sentinel
+};
+
+inline constexpr std::size_t kNumEvents =
+    static_cast<std::size_t>(HwEvent::kCount);
+
+/// The 16 events used as classifier features throughout the paper.
+inline constexpr std::size_t kNumFeatureEvents = 16;
+
+/// perf(1)-style name for an event.
+std::string_view event_name(HwEvent e);
+
+/// Inverse of event_name; throws hmd::ParseError for unknown names.
+HwEvent event_from_name(std::string_view name);
+
+/// The 16 feature events in the order used for dataset columns.
+const std::array<HwEvent, kNumFeatureEvents>& feature_events();
+
+}  // namespace hmd::hwsim

@@ -1,0 +1,31 @@
+// The abstract instruction the simulator executes.
+//
+// The workload layer lowers application behaviour into streams of MicroOps;
+// the Core retires them through the memory hierarchy, branch predictor, and
+// PMU. This is deliberately ISA-free: the paper's detector only observes
+// event counts, so the op carries exactly what the event machinery needs.
+#pragma once
+
+#include <cstdint>
+
+namespace hmd::hwsim {
+
+/// Retired-instruction categories.
+enum class OpKind : std::uint8_t {
+  kAlu,     ///< integer/FP computation; no memory or control side effects
+  kLoad,    ///< data load from `addr`
+  kStore,   ///< data store to `addr`
+  kBranch,  ///< control transfer; see `conditional`/`taken`/`target`
+};
+
+/// One retired instruction.
+struct MicroOp {
+  OpKind kind = OpKind::kAlu;
+  std::uint64_t pc = 0;      ///< fetch address
+  std::uint64_t addr = 0;    ///< data address (loads/stores)
+  std::uint64_t target = 0;  ///< branch target (branches)
+  bool conditional = false;  ///< direction-predicted branch (BPU load)
+  bool taken = false;        ///< actual branch outcome
+};
+
+}  // namespace hmd::hwsim

@@ -1,0 +1,57 @@
+#include "hwsim/prefetcher.hpp"
+
+#include <bit>
+
+#include "util/error.hpp"
+
+namespace hmd::hwsim {
+
+StridePrefetcher::StridePrefetcher(PrefetcherConfig config)
+    : config_(config) {
+  HMD_REQUIRE(std::has_single_bit(config_.table_entries),
+              "prefetcher table size must be a power of two");
+  HMD_REQUIRE(config_.degree >= 1, "prefetch degree must be at least 1");
+  table_.assign(config_.table_entries, {});
+}
+
+std::vector<std::uint64_t> StridePrefetcher::observe(std::uint64_t pc,
+                                                     std::uint64_t addr) {
+  Entry& entry = table_[(pc >> 2) & (config_.table_entries - 1)];
+  std::vector<std::uint64_t> prefetches;
+
+  if (!entry.valid || entry.tag != pc) {
+    entry = {.tag = pc, .last_addr = addr, .stride = 0, .confidence = 0,
+             .valid = true};
+    return prefetches;
+  }
+
+  const auto stride =
+      static_cast<std::int64_t>(addr) -
+      static_cast<std::int64_t>(entry.last_addr);
+  if (stride != 0 && stride == entry.stride) {
+    if (entry.confidence < config_.min_confidence) ++entry.confidence;
+  } else {
+    entry.stride = stride;
+    entry.confidence = stride != 0 ? 1 : 0;
+  }
+  entry.last_addr = addr;
+
+  if (entry.confidence >= config_.min_confidence) {
+    prefetches.reserve(config_.degree);
+    std::int64_t ahead = static_cast<std::int64_t>(addr);
+    for (std::uint32_t d = 0; d < config_.degree; ++d) {
+      ahead += entry.stride;
+      if (ahead < 0) break;
+      prefetches.push_back(static_cast<std::uint64_t>(ahead));
+    }
+    issued_ += prefetches.size();
+  }
+  return prefetches;
+}
+
+void StridePrefetcher::reset() {
+  table_.assign(table_.size(), {});
+  issued_ = 0;
+}
+
+}  // namespace hmd::hwsim

@@ -1,0 +1,53 @@
+#include "hwsim/tlb.hpp"
+
+#include "util/error.hpp"
+
+namespace hmd::hwsim {
+
+Tlb::Tlb(TlbConfig config) : config_(config) {
+  HMD_REQUIRE(config_.entries > 0, "TLB needs at least one entry");
+  HMD_REQUIRE(config_.page_bits >= 10 && config_.page_bits <= 30,
+              "page size out of range");
+  entries_.assign(config_.entries, {});
+}
+
+bool Tlb::access(std::uint64_t addr) {
+  ++accesses_;
+  ++lru_clock_;
+  const std::uint64_t vpn = addr >> config_.page_bits;
+
+  Entry* victim = &entries_.front();
+  for (auto& e : entries_) {
+    if (e.valid && e.vpn == vpn) {
+      e.lru = lru_clock_;
+      return true;
+    }
+    if (!e.valid) {
+      victim = &e;
+    } else if (victim->valid && e.lru < victim->lru) {
+      victim = &e;
+    }
+  }
+
+  ++misses_;
+  *victim = {.vpn = vpn, .lru = lru_clock_, .valid = true};
+  return false;
+}
+
+void Tlb::flush() {
+  entries_.assign(entries_.size(), {});
+  lru_clock_ = 0;
+}
+
+double Tlb::miss_rate() const {
+  return accesses_ == 0
+             ? 0.0
+             : static_cast<double>(misses_) / static_cast<double>(accesses_);
+}
+
+void Tlb::reset_stats() {
+  accesses_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace hmd::hwsim

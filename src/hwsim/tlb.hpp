@@ -1,0 +1,47 @@
+// Fully-associative translation lookaside buffer with LRU replacement.
+//
+// Separate instances model the iTLB and dTLB; the PMU counts their load
+// misses (iTLB-load-misses is one of the paper's 16 features).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace hmd::hwsim {
+
+/// TLB geometry.
+struct TlbConfig {
+  std::uint32_t entries = 64;
+  std::uint32_t page_bits = 12;  ///< 4 KiB pages
+};
+
+/// Fully-associative TLB, true LRU.
+class Tlb {
+ public:
+  explicit Tlb(TlbConfig config = {});
+
+  /// Translates `addr`; returns true on a TLB hit.
+  bool access(std::uint64_t addr);
+
+  void flush();
+
+  std::uint64_t accesses() const { return accesses_; }
+  std::uint64_t misses() const { return misses_; }
+  double miss_rate() const;
+  void reset_stats();
+
+ private:
+  struct Entry {
+    std::uint64_t vpn = 0;
+    std::uint64_t lru = 0;
+    bool valid = false;
+  };
+
+  TlbConfig config_;
+  std::vector<Entry> entries_;
+  std::uint64_t lru_clock_ = 0;
+  std::uint64_t accesses_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace hmd::hwsim

@@ -1,0 +1,82 @@
+#include "ml/anomaly.hpp"
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace hmd::ml {
+
+void MahalanobisDetector::fit(
+    const std::vector<std::vector<double>>& benign_rows) {
+  HMD_REQUIRE(benign_rows.size() >= 8,
+              "MahalanobisDetector: need at least 8 benign rows");
+  const std::size_t d = benign_rows.front().size();
+  HMD_REQUIRE(d > 0, "MahalanobisDetector: empty feature vectors");
+
+  Matrix x(benign_rows.size(), d);
+  for (std::size_t i = 0; i < benign_rows.size(); ++i) {
+    HMD_REQUIRE(benign_rows[i].size() == d,
+                "MahalanobisDetector: ragged rows");
+    for (std::size_t f = 0; f < d; ++f) x(i, f) = benign_rows[i][f];
+  }
+
+  mean_.assign(d, 0.0);
+  for (std::size_t i = 0; i < benign_rows.size(); ++i)
+    for (std::size_t f = 0; f < d; ++f) mean_[f] += x(i, f);
+  for (double& m : mean_) m /= static_cast<double>(benign_rows.size());
+
+  Matrix cov = covariance_matrix(x);
+  // Ridge keeps the precision matrix well-conditioned: counters are
+  // strongly correlated and some are near-constant on benign data.
+  double trace = 0.0;
+  for (std::size_t f = 0; f < d; ++f) trace += cov(f, f);
+  const double ridge =
+      params_.regularization * std::max(trace / static_cast<double>(d), 1.0);
+  for (std::size_t f = 0; f < d; ++f) cov(f, f) += ridge;
+  precision_ = cov.inverse();
+
+  // Calibrate the alarm threshold on the training scores.
+  std::vector<double> scores;
+  scores.reserve(benign_rows.size());
+  for (const auto& row : benign_rows) scores.push_back(score(row));
+  threshold_ = percentile(scores, params_.threshold_percentile);
+}
+
+double MahalanobisDetector::score(std::span<const double> features) const {
+  HMD_REQUIRE(fitted(), "MahalanobisDetector: score before fit");
+  HMD_REQUIRE(features.size() == mean_.size(),
+              "MahalanobisDetector: feature width mismatch");
+  const std::size_t d = mean_.size();
+  std::vector<double> delta(d);
+  for (std::size_t f = 0; f < d; ++f) delta[f] = features[f] - mean_[f];
+  const std::vector<double> pd = precision_.multiply(delta);
+  double s = 0.0;
+  for (std::size_t f = 0; f < d; ++f) s += delta[f] * pd[f];
+  return s;
+}
+
+bool MahalanobisDetector::is_anomalous(
+    std::span<const double> features) const {
+  return score(features) > threshold_;
+}
+
+void AnomalyClassifier::train(const Dataset& data) {
+  require_trainable(data);
+  HMD_REQUIRE(data.num_classes() == 2,
+              "AnomalyClassifier expects a binary (benign/malware) dataset");
+  std::vector<std::vector<double>> benign;
+  for (std::size_t i = 0; i < data.num_instances(); ++i) {
+    if (data.class_of(i) != 0) continue;  // benign is class 0
+    const auto x = data.features_of(i);
+    benign.emplace_back(x.begin(), x.end());
+  }
+  HMD_REQUIRE(benign.size() >= 8,
+              "AnomalyClassifier: too few benign training rows");
+  detector_.fit(benign);
+}
+
+std::size_t AnomalyClassifier::predict(
+    std::span<const double> features) const {
+  return detector_.is_anomalous(features) ? 1u : 0u;
+}
+
+}  // namespace hmd::ml

@@ -1,0 +1,67 @@
+// Statistical anomaly detection — the thesis's future-work item #2
+// ("alternatives to Machine Learning Techniques for Classification"), and
+// the unsupervised direction of Tang et al. (RAID'14): model BENIGN
+// behaviour only and flag windows that deviate. No malware samples are
+// needed for training, so zero-day families are detectable in principle.
+#pragma once
+
+#include <span>
+
+#include "ml/classifier.hpp"
+#include "ml/dataset.hpp"
+#include "ml/matrix.hpp"
+#include "ml/preprocess.hpp"
+
+namespace hmd::ml {
+
+/// One-class detector: squared Mahalanobis distance to the benign centroid
+/// under the benign covariance; the alarm threshold is the given percentile
+/// of the training scores.
+class MahalanobisDetector {
+ public:
+  struct Params {
+    double threshold_percentile = 97.5;  ///< benign windows above this alarm
+    double regularization = 1e-3;        ///< ridge added to the covariance
+  };
+
+  MahalanobisDetector() : MahalanobisDetector(Params{}) {}
+  explicit MahalanobisDetector(Params params) : params_(params) {}
+
+  /// Fit on benign feature rows only.
+  void fit(const std::vector<std::vector<double>>& benign_rows);
+
+  bool fitted() const { return precision_.rows() > 0; }
+  /// Squared Mahalanobis distance of a window to the benign profile.
+  double score(std::span<const double> features) const;
+  /// True when score() exceeds the calibrated threshold.
+  bool is_anomalous(std::span<const double> features) const;
+  double threshold() const { return threshold_; }
+
+ private:
+  Params params_;
+  std::vector<double> mean_;
+  Matrix precision_;  ///< inverse covariance
+  double threshold_ = 0.0;
+};
+
+/// Classifier adapter: trains the one-class detector on the BENIGN rows of
+/// a binary dataset (class 0 = benign) and predicts 1 (malware) for
+/// anomalous windows — so the standard evaluation harness applies.
+class AnomalyClassifier final : public Classifier {
+ public:
+  AnomalyClassifier() = default;
+  explicit AnomalyClassifier(MahalanobisDetector::Params params)
+      : detector_(params) {}
+
+  void train(const Dataset& data) override;
+  std::size_t predict(std::span<const double> features) const override;
+  std::string name() const override { return "Mahalanobis"; }
+  std::size_t num_classes() const override { return 2; }
+
+  const MahalanobisDetector& detector() const { return detector_; }
+
+ private:
+  MahalanobisDetector detector_;
+};
+
+}  // namespace hmd::ml

@@ -1,0 +1,33 @@
+// ARFF (Attribute-Relation File Format) IO, plus the CSV→Dataset bridge.
+//
+// The thesis converts its combined CSV files to ARFF "for easier
+// implementation of Machine Learning models in WEKA"; both formats
+// round-trip here.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "ml/dataset.hpp"
+#include "util/csv.hpp"
+
+namespace hmd::ml {
+
+/// Write `data` as ARFF (numeric features + nominal class).
+void write_arff(std::ostream& out, const Dataset& data);
+
+/// Parse ARFF (numeric and nominal attributes; the last attribute must be
+/// nominal and becomes the class). Throws hmd::ParseError on malformed
+/// input.
+Dataset read_arff(std::istream& in);
+
+/// Build a Dataset from a CSV table: all columns but the last are numeric
+/// features; the last is the nominal class, value set in first-appearance
+/// order (or `class_values` when given, enforcing that order/closure).
+Dataset dataset_from_csv(const CsvTable& table,
+                         const std::vector<std::string>& class_values = {});
+
+/// Write `data` as CSV (the inverse of dataset_from_csv).
+void write_dataset_csv(std::ostream& out, const Dataset& data);
+
+}  // namespace hmd::ml

@@ -1,0 +1,23 @@
+#include "ml/classifier.hpp"
+
+#include "util/error.hpp"
+
+namespace hmd::ml {
+
+std::vector<double> Classifier::distribution(
+    std::span<const double> features) const {
+  std::vector<double> dist(num_classes(), 0.0);
+  const std::size_t p = predict(features);
+  HMD_ASSERT(p < dist.size());
+  dist[p] = 1.0;
+  return dist;
+}
+
+void Classifier::require_trainable(const Dataset& data) {
+  HMD_REQUIRE(!data.empty(), "train: dataset is empty");
+  HMD_REQUIRE(data.num_features() >= 1, "train: dataset has no features");
+  HMD_REQUIRE(data.num_classes() >= 2,
+              "train: class attribute needs at least two values");
+}
+
+}  // namespace hmd::ml

@@ -1,0 +1,48 @@
+// Abstract classifier interface — the equivalent of WEKA's Classifier.
+//
+// All classifiers consume a Dataset whose last column is the nominal class
+// attribute and predict a class index from a feature vector (the row minus
+// the class column). Training is batch; prediction is const and
+// thread-compatible.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ml/dataset.hpp"
+
+namespace hmd::ml {
+
+/// Base class for all learners.
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  /// Fit the model. Implementations must tolerate repeated calls
+  /// (retraining replaces the model).
+  virtual void train(const Dataset& data) = 0;
+
+  /// Predicted class index for a feature vector (dataset feature order).
+  virtual std::size_t predict(std::span<const double> features) const = 0;
+
+  /// Class probability distribution; default is a one-hot of predict().
+  virtual std::vector<double> distribution(
+      std::span<const double> features) const;
+
+  /// Short WEKA-style scheme name ("J48", "JRip", "OneR", ...).
+  virtual std::string name() const = 0;
+
+  /// Number of classes the trained model distinguishes (0 before train()).
+  virtual std::size_t num_classes() const = 0;
+
+ protected:
+  /// Shared precondition check for train().
+  static void require_trainable(const Dataset& data);
+};
+
+/// Factory signature used by the experiment harness.
+using ClassifierFactory = std::unique_ptr<Classifier> (*)();
+
+}  // namespace hmd::ml

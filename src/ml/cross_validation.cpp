@@ -1,0 +1,78 @@
+#include "ml/cross_validation.hpp"
+
+#include <cmath>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace hmd::ml {
+
+double CrossValidationResult::mean_accuracy() const {
+  if (fold_accuracies.empty()) return 0.0;
+  return std::accumulate(fold_accuracies.begin(), fold_accuracies.end(),
+                         0.0) /
+         static_cast<double>(fold_accuracies.size());
+}
+
+double CrossValidationResult::stddev_accuracy() const {
+  if (fold_accuracies.size() < 2) return 0.0;
+  const double m = mean_accuracy();
+  double s2 = 0.0;
+  for (double a : fold_accuracies) s2 += (a - m) * (a - m);
+  return std::sqrt(s2 / static_cast<double>(fold_accuracies.size() - 1));
+}
+
+CrossValidationResult cross_validate(
+    const std::function<std::unique_ptr<Classifier>()>& factory,
+    const Dataset& data, std::size_t folds, Rng& rng) {
+  HMD_REQUIRE(folds >= 2, "cross_validate: need at least two folds");
+  HMD_REQUIRE(data.num_instances() >= folds,
+              "cross_validate: more folds than instances");
+
+  // Stratified fold assignment: shuffle each class's rows, deal them out
+  // round-robin so every fold mirrors the class distribution.
+  std::vector<std::size_t> fold_of(data.num_instances(), 0);
+  std::vector<std::vector<std::size_t>> per_class(data.num_classes());
+  for (std::size_t i = 0; i < data.num_instances(); ++i)
+    per_class[data.class_of(i)].push_back(i);
+  std::size_t dealer = 0;
+  for (auto& rows : per_class) {
+    rng.shuffle(rows);
+    for (std::size_t r : rows) fold_of[r] = dealer++ % folds;
+  }
+
+  CrossValidationResult result{
+      .pooled = EvaluationResult(data.num_classes(),
+                                 data.class_attribute().values()),
+      .fold_accuracies = {}};
+  result.fold_accuracies.reserve(folds);
+
+  for (std::size_t fold = 0; fold < folds; ++fold) {
+    Dataset train(std::vector<Attribute>(data.attributes()),
+                  data.relation());
+    std::vector<std::size_t> test_rows;
+    for (std::size_t i = 0; i < data.num_instances(); ++i) {
+      if (fold_of[i] == fold)
+        test_rows.push_back(i);
+      else
+        train.add(data.instance(i));
+    }
+    HMD_ASSERT(!test_rows.empty());
+
+    std::unique_ptr<Classifier> clf = factory();
+    HMD_REQUIRE(clf != nullptr, "cross_validate: factory returned null");
+    clf->train(train);
+
+    std::size_t correct = 0;
+    for (std::size_t i : test_rows) {
+      const std::size_t predicted = clf->predict(data.features_of(i));
+      result.pooled.record(data.class_of(i), predicted);
+      correct += predicted == data.class_of(i);
+    }
+    result.fold_accuracies.push_back(static_cast<double>(correct) /
+                                     static_cast<double>(test_rows.size()));
+  }
+  return result;
+}
+
+}  // namespace hmd::ml

@@ -1,0 +1,29 @@
+// k-fold cross-validation — the third evaluation protocol the thesis
+// mentions ("self-testing, test-set or cross validation"); WEKA's default
+// is stratified 10-fold.
+#pragma once
+
+#include <functional>
+
+#include "ml/classifier.hpp"
+#include "ml/evaluation.hpp"
+#include "util/rng.hpp"
+
+namespace hmd::ml {
+
+/// Result of a k-fold run: pooled predictions plus per-fold accuracies.
+struct CrossValidationResult {
+  EvaluationResult pooled;             ///< all folds' predictions combined
+  std::vector<double> fold_accuracies;
+
+  double mean_accuracy() const;
+  double stddev_accuracy() const;
+};
+
+/// Stratified k-fold cross-validation. `factory` must return a fresh,
+/// untrained classifier per fold. Deterministic in `rng`'s state.
+CrossValidationResult cross_validate(
+    const std::function<std::unique_ptr<Classifier>()>& factory,
+    const Dataset& data, std::size_t folds, Rng& rng);
+
+}  // namespace hmd::ml

@@ -1,0 +1,213 @@
+#include "ml/dataset.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace hmd::ml {
+
+Attribute::Attribute(std::string name, std::vector<std::string> values)
+    : name_(std::move(name)), kind_(Kind::kNominal), values_(std::move(values)) {
+  HMD_REQUIRE(!values_.empty(), "nominal attribute needs at least one value");
+}
+
+std::size_t Attribute::value_index(std::string_view value) const {
+  HMD_REQUIRE(is_nominal(), "value_index on a numeric attribute");
+  for (std::size_t i = 0; i < values_.size(); ++i)
+    if (values_[i] == value) return i;
+  throw PreconditionError("unknown nominal value '" + std::string(value) +
+                          "' for attribute " + name_);
+}
+
+Dataset::Dataset(std::vector<Attribute> attributes, std::string relation)
+    : relation_(std::move(relation)), attributes_(std::move(attributes)) {
+  HMD_REQUIRE(attributes_.size() >= 2,
+              "dataset needs at least one feature and a class attribute");
+  HMD_REQUIRE(attributes_.back().is_nominal(),
+              "class attribute (last column) must be nominal");
+}
+
+const Attribute& Dataset::attribute(std::size_t i) const {
+  HMD_REQUIRE(i < attributes_.size(), "attribute index out of range");
+  return attributes_[i];
+}
+
+const Attribute& Dataset::class_attribute() const {
+  HMD_REQUIRE(!attributes_.empty(), "dataset has no attributes");
+  return attributes_.back();
+}
+
+std::size_t Dataset::feature_index(std::string_view name) const {
+  for (std::size_t i = 0; i + 1 < attributes_.size(); ++i)
+    if (attributes_[i].name() == name) return i;
+  throw PreconditionError("no feature named '" + std::string(name) + "'");
+}
+
+void Dataset::check_row(const Instance& inst) const {
+  HMD_REQUIRE(inst.values.size() == attributes_.size(),
+              "instance width does not match schema");
+  for (std::size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].is_nominal()) {
+      const double v = inst.values[i];
+      HMD_REQUIRE(v >= 0.0 && v < static_cast<double>(
+                                      attributes_[i].num_values()) &&
+                      v == std::floor(v),
+                  "nominal value index out of range");
+    }
+  }
+}
+
+void Dataset::add(Instance instance) {
+  check_row(instance);
+  instances_.push_back(std::move(instance));
+}
+
+const Instance& Dataset::instance(std::size_t i) const {
+  HMD_REQUIRE(i < instances_.size(), "instance index out of range");
+  return instances_[i];
+}
+
+std::size_t Dataset::class_of(std::size_t i) const {
+  return static_cast<std::size_t>(instance(i).values.back());
+}
+
+std::span<const double> Dataset::features_of(std::size_t i) const {
+  const Instance& inst = instance(i);
+  return {inst.values.data(), inst.values.size() - 1};
+}
+
+std::vector<std::size_t> Dataset::class_counts() const {
+  std::vector<std::size_t> counts(num_classes(), 0);
+  for (std::size_t i = 0; i < instances_.size(); ++i) ++counts[class_of(i)];
+  return counts;
+}
+
+std::size_t Dataset::majority_class() const {
+  const auto counts = class_counts();
+  return static_cast<std::size_t>(
+      std::max_element(counts.begin(), counts.end()) - counts.begin());
+}
+
+Dataset Dataset::with_same_schema() const {
+  Dataset out;
+  out.relation_ = relation_;
+  out.attributes_ = attributes_;
+  return out;
+}
+
+Dataset Dataset::project(
+    const std::vector<std::size_t>& feature_indices) const {
+  HMD_REQUIRE(!feature_indices.empty(), "project: keep at least one feature");
+  std::vector<Attribute> attrs;
+  attrs.reserve(feature_indices.size() + 1);
+  for (std::size_t f : feature_indices) {
+    HMD_REQUIRE(f + 1 < attributes_.size(),
+                "project: index is not a feature column");
+    attrs.push_back(attributes_[f]);
+  }
+  attrs.push_back(attributes_.back());
+  Dataset out(std::move(attrs), relation_);
+  for (const Instance& inst : instances_) {
+    Instance row;
+    row.values.reserve(feature_indices.size() + 1);
+    for (std::size_t f : feature_indices) row.values.push_back(inst.values[f]);
+    row.values.push_back(inst.values.back());
+    out.instances_.push_back(std::move(row));
+  }
+  return out;
+}
+
+Dataset Dataset::filter_classes(const std::vector<std::size_t>& keep) const {
+  HMD_REQUIRE(!keep.empty(), "filter_classes: keep at least one class");
+  const Attribute& cls = class_attribute();
+  std::vector<std::string> values;
+  values.reserve(keep.size());
+  std::vector<std::ptrdiff_t> remap(cls.num_values(), -1);
+  for (std::size_t i = 0; i < keep.size(); ++i) {
+    HMD_REQUIRE(keep[i] < cls.num_values(),
+                "filter_classes: class index out of range");
+    values.push_back(cls.values()[keep[i]]);
+    remap[keep[i]] = static_cast<std::ptrdiff_t>(i);
+  }
+  std::vector<Attribute> attrs(attributes_.begin(), attributes_.end() - 1);
+  attrs.emplace_back(cls.name(), std::move(values));
+  Dataset out(std::move(attrs), relation_);
+  for (const Instance& inst : instances_) {
+    const auto c = static_cast<std::size_t>(inst.values.back());
+    if (remap[c] < 0) continue;
+    Instance row = inst;
+    row.values.back() = static_cast<double>(remap[c]);
+    out.instances_.push_back(std::move(row));
+  }
+  return out;
+}
+
+Dataset Dataset::relabel_binary(const std::vector<std::size_t>& positive,
+                                const std::string& negative_name,
+                                const std::string& positive_name) const {
+  const Attribute& cls = class_attribute();
+  std::vector<bool> is_positive(cls.num_values(), false);
+  for (std::size_t p : positive) {
+    HMD_REQUIRE(p < cls.num_values(),
+                "relabel_binary: class index out of range");
+    is_positive[p] = true;
+  }
+  std::vector<Attribute> attrs(attributes_.begin(), attributes_.end() - 1);
+  attrs.emplace_back(cls.name(),
+                     std::vector<std::string>{negative_name, positive_name});
+  Dataset out(std::move(attrs), relation_);
+  for (const Instance& inst : instances_) {
+    Instance row = inst;
+    const auto c = static_cast<std::size_t>(inst.values.back());
+    row.values.back() = is_positive[c] ? 1.0 : 0.0;
+    out.instances_.push_back(std::move(row));
+  }
+  return out;
+}
+
+std::pair<Dataset, Dataset> Dataset::stratified_split(double train_fraction,
+                                                      Rng& rng) const {
+  HMD_REQUIRE(train_fraction > 0.0 && train_fraction < 1.0,
+              "train_fraction must be in (0, 1)");
+  Dataset train = with_same_schema();
+  Dataset test = with_same_schema();
+  // Bucket row indices per class, shuffle, and take the head of each.
+  std::vector<std::vector<std::size_t>> buckets(num_classes());
+  for (std::size_t i = 0; i < instances_.size(); ++i)
+    buckets[class_of(i)].push_back(i);
+  for (auto& bucket : buckets) {
+    rng.shuffle(bucket);
+    const auto n_train = static_cast<std::size_t>(
+        std::lround(train_fraction * static_cast<double>(bucket.size())));
+    for (std::size_t j = 0; j < bucket.size(); ++j) {
+      (j < n_train ? train : test).instances_.push_back(instances_[bucket[j]]);
+    }
+  }
+  // Shuffle row order so class blocks don't bias order-sensitive learners.
+  rng.shuffle(train.instances_);
+  rng.shuffle(test.instances_);
+  return {std::move(train), std::move(test)};
+}
+
+double Dataset::feature_mean(std::size_t feature) const {
+  HMD_REQUIRE(feature + 1 < attributes_.size(), "not a feature column");
+  if (instances_.empty()) return 0.0;
+  double s = 0.0;
+  for (const Instance& inst : instances_) s += inst.values[feature];
+  return s / static_cast<double>(instances_.size());
+}
+
+double Dataset::feature_stddev(std::size_t feature) const {
+  HMD_REQUIRE(feature + 1 < attributes_.size(), "not a feature column");
+  if (instances_.size() < 2) return 0.0;
+  const double m = feature_mean(feature);
+  double s2 = 0.0;
+  for (const Instance& inst : instances_) {
+    const double d = inst.values[feature] - m;
+    s2 += d * d;
+  }
+  return std::sqrt(s2 / static_cast<double>(instances_.size() - 1));
+}
+
+}  // namespace hmd::ml

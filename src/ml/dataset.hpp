@@ -1,0 +1,124 @@
+// Dataset container for the ML library — the C++ analogue of WEKA's
+// Instances/Attribute model, covering exactly what the thesis pipeline
+// needs: numeric features, one nominal class attribute (always the last
+// column, as in the paper's "16 performance counters + class" CSVs),
+// feature projection, stratified splitting, and CSV/ARFF round-tripping.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace hmd::ml {
+
+/// A column description: numeric, or nominal with a fixed value set.
+class Attribute {
+ public:
+  enum class Kind { kNumeric, kNominal };
+
+  /// Numeric attribute.
+  explicit Attribute(std::string name)
+      : name_(std::move(name)), kind_(Kind::kNumeric) {}
+  /// Nominal attribute with the given value set.
+  Attribute(std::string name, std::vector<std::string> values);
+
+  const std::string& name() const { return name_; }
+  Kind kind() const { return kind_; }
+  bool is_nominal() const { return kind_ == Kind::kNominal; }
+
+  /// Nominal values (empty for numeric).
+  const std::vector<std::string>& values() const { return values_; }
+  std::size_t num_values() const { return values_.size(); }
+  /// Index of a nominal value; throws if absent or numeric.
+  std::size_t value_index(std::string_view value) const;
+
+ private:
+  std::string name_;
+  Kind kind_;
+  std::vector<std::string> values_;
+};
+
+/// One row. Nominal attribute values are stored as value indices.
+struct Instance {
+  std::vector<double> values;
+};
+
+/// A table of instances with a designated class attribute.
+///
+/// Invariant maintained throughout the library: the class attribute is the
+/// LAST column (matching the paper's CSV layout). Feature columns are
+/// everything before it.
+class Dataset {
+ public:
+  Dataset() = default;
+  /// The last attribute is the class attribute.
+  explicit Dataset(std::vector<Attribute> attributes,
+                   std::string relation = "hmd");
+
+  const std::string& relation() const { return relation_; }
+  void set_relation(std::string relation) { relation_ = std::move(relation); }
+
+  std::size_t num_attributes() const { return attributes_.size(); }
+  std::size_t num_features() const { return attributes_.size() - 1; }
+  std::size_t num_instances() const { return instances_.size(); }
+  bool empty() const { return instances_.empty(); }
+
+  const Attribute& attribute(std::size_t i) const;
+  const std::vector<Attribute>& attributes() const { return attributes_; }
+  const Attribute& class_attribute() const;
+  std::size_t num_classes() const { return class_attribute().num_values(); }
+
+  /// Index of the feature column named `name` (throws if absent or if it
+  /// names the class column).
+  std::size_t feature_index(std::string_view name) const;
+
+  void add(Instance instance);
+  const Instance& instance(std::size_t i) const;
+  const std::vector<Instance>& instances() const { return instances_; }
+
+  /// Class value (nominal index) of row `i`.
+  std::size_t class_of(std::size_t i) const;
+  /// Feature values of row `i` (excludes the class column).
+  std::span<const double> features_of(std::size_t i) const;
+
+  /// Per-class instance counts.
+  std::vector<std::size_t> class_counts() const;
+  /// Index of the majority class (ties → lowest index).
+  std::size_t majority_class() const;
+
+  /// New dataset keeping only the feature columns in `feature_indices`
+  /// (class column always kept).
+  Dataset project(const std::vector<std::size_t>& feature_indices) const;
+
+  /// New dataset keeping rows whose class is in `keep` and re-encoding the
+  /// class attribute to just those values (order preserved from `keep`).
+  Dataset filter_classes(const std::vector<std::size_t>& keep) const;
+
+  /// Binary re-labelling: rows whose class index is in `positive` become
+  /// `positive_name`, everything else `negative_name`. Negative is class 0.
+  Dataset relabel_binary(const std::vector<std::size_t>& positive,
+                         const std::string& negative_name,
+                         const std::string& positive_name) const;
+
+  /// Stratified split: `train_fraction` of each class into the first
+  /// dataset, the rest into the second. Shuffles with `rng`.
+  std::pair<Dataset, Dataset> stratified_split(double train_fraction,
+                                               Rng& rng) const;
+
+  /// Column statistics over a feature.
+  double feature_mean(std::size_t feature) const;
+  double feature_stddev(std::size_t feature) const;
+
+ private:
+  std::string relation_ = "hmd";
+  std::vector<Attribute> attributes_;
+  std::vector<Instance> instances_;
+
+  void check_row(const Instance& inst) const;
+  Dataset with_same_schema() const;
+};
+
+}  // namespace hmd::ml

@@ -1,0 +1,87 @@
+#include "ml/decision_stump.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace hmd::ml {
+
+double entropy_of_counts(const std::vector<std::size_t>& counts) {
+  std::size_t total = 0;
+  for (std::size_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  double h = 0.0;
+  for (std::size_t c : counts) {
+    if (c == 0) continue;
+    const double p = static_cast<double>(c) / static_cast<double>(total);
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+void DecisionStump::train(const Dataset& data) {
+  require_trainable(data);
+  num_classes_ = data.num_classes();
+  const std::size_t n = data.num_instances();
+  const auto total_counts = data.class_counts();
+  const double base_entropy = entropy_of_counts(total_counts);
+
+  double best_gain = -1.0;
+  for (std::size_t f = 0; f < data.num_features(); ++f) {
+    // Sort (value, class) and scan every class-boundary threshold.
+    std::vector<std::pair<double, std::size_t>> column;
+    column.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+      column.emplace_back(data.features_of(i)[f], data.class_of(i));
+    std::sort(column.begin(), column.end());
+
+    std::vector<std::size_t> left(num_classes_, 0);
+    std::vector<std::size_t> right = total_counts;
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      ++left[column[i].second];
+      --right[column[i].second];
+      if (column[i].first == column[i + 1].first) continue;
+      const double nl = static_cast<double>(i + 1);
+      const double nr = static_cast<double>(n - i - 1);
+      const double gain =
+          base_entropy - (nl / static_cast<double>(n)) * entropy_of_counts(left) -
+          (nr / static_cast<double>(n)) * entropy_of_counts(right);
+      if (gain > best_gain) {
+        best_gain = gain;
+        feature_ = f;
+        threshold_ = 0.5 * (column[i].first + column[i + 1].first);
+        left_class_ = static_cast<std::size_t>(
+            std::max_element(left.begin(), left.end()) - left.begin());
+        right_class_ = static_cast<std::size_t>(
+            std::max_element(right.begin(), right.end()) - right.begin());
+      }
+    }
+  }
+  if (best_gain < 0.0) {
+    // Degenerate data (all feature values identical): majority on both sides.
+    feature_ = 0;
+    threshold_ = 0.0;
+    left_class_ = right_class_ = data.majority_class();
+  }
+  trained_ = true;
+}
+
+std::size_t DecisionStump::split_feature() const {
+  HMD_REQUIRE(trained_, "DecisionStump: model not trained");
+  return feature_;
+}
+
+double DecisionStump::split_threshold() const {
+  HMD_REQUIRE(trained_, "DecisionStump: model not trained");
+  return threshold_;
+}
+
+std::size_t DecisionStump::predict(std::span<const double> features) const {
+  HMD_REQUIRE(trained_, "DecisionStump: predict before train");
+  HMD_REQUIRE(feature_ < features.size(),
+              "DecisionStump: feature vector too short");
+  return features[feature_] <= threshold_ ? left_class_ : right_class_;
+}
+
+}  // namespace hmd::ml

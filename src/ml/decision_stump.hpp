@@ -1,0 +1,34 @@
+// Decision stump: a single information-gain-optimal threshold split.
+// Used as a baseline and as the cheapest tree-shaped hardware target.
+#pragma once
+
+#include "ml/classifier.hpp"
+
+namespace hmd::ml {
+
+class DecisionStump final : public Classifier {
+ public:
+  void train(const Dataset& data) override;
+  std::size_t predict(std::span<const double> features) const override;
+  std::string name() const override { return "DecisionStump"; }
+  std::size_t num_classes() const override { return num_classes_; }
+
+  std::size_t split_feature() const;
+  double split_threshold() const;
+  std::size_t left_class() const { return left_class_; }    ///< value <= threshold
+  std::size_t right_class() const { return right_class_; }  ///< value > threshold
+
+ private:
+  friend struct ModelIo;
+  bool trained_ = false;
+  std::size_t num_classes_ = 0;
+  std::size_t feature_ = 0;
+  double threshold_ = 0.0;
+  std::size_t left_class_ = 0;
+  std::size_t right_class_ = 0;
+};
+
+/// Shannon entropy (bits) of a count vector; 0 for an empty vector.
+double entropy_of_counts(const std::vector<std::size_t>& counts);
+
+}  // namespace hmd::ml

@@ -1,0 +1,152 @@
+#include "ml/ensemble.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace hmd::ml {
+
+namespace {
+
+/// Weighted bootstrap: n draws with replacement, probability ∝ weights.
+Dataset resample(const Dataset& data, const std::vector<double>& weights,
+                 Rng& rng) {
+  Dataset out(std::vector<Attribute>(data.attributes()), data.relation());
+  // Cumulative distribution for O(log n) draws.
+  std::vector<double> cumulative(weights.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    total += weights[i];
+    cumulative[i] = total;
+  }
+  HMD_ASSERT(total > 0.0);
+  for (std::size_t i = 0; i < data.num_instances(); ++i) {
+    const double r = rng.uniform() * total;
+    const auto it =
+        std::upper_bound(cumulative.begin(), cumulative.end(), r);
+    const auto idx = static_cast<std::size_t>(
+        std::min<std::ptrdiff_t>(it - cumulative.begin(),
+                                 static_cast<std::ptrdiff_t>(
+                                     cumulative.size() - 1)));
+    out.add(data.instance(idx));
+  }
+  return out;
+}
+
+}  // namespace
+
+void AdaBoostM1::train(const Dataset& data) {
+  require_trainable(data);
+  HMD_REQUIRE(base_ != nullptr, "AdaBoostM1: no base factory");
+  num_classes_ = data.num_classes();
+  members_.clear();
+  alphas_.clear();
+
+  const std::size_t n = data.num_instances();
+  std::vector<double> weights(n, 1.0 / static_cast<double>(n));
+  Rng rng(params_.seed);
+
+  for (std::size_t t = 0; t < params_.iterations; ++t) {
+    const Dataset sample = resample(data, weights, rng);
+    std::unique_ptr<Classifier> member = base_();
+    HMD_REQUIRE(member != nullptr, "AdaBoostM1: factory returned null");
+    member->train(sample);
+
+    // Weighted error on the ORIGINAL training distribution.
+    double error = 0.0;
+    std::vector<bool> wrong(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      wrong[i] = member->predict(data.features_of(i)) != data.class_of(i);
+      if (wrong[i]) error += weights[i];
+    }
+
+    if (error >= 0.5) {
+      // Worse than chance: discard and restart from uniform weights, as
+      // AdaBoost.M1 prescribes (stop if this is the first member).
+      if (members_.empty() && t + 1 == params_.iterations) break;
+      std::fill(weights.begin(), weights.end(),
+                1.0 / static_cast<double>(n));
+      continue;
+    }
+
+    const double bounded_error = std::max(error, 1e-10);
+    const double alpha =
+        std::log((1.0 - bounded_error) / bounded_error);
+    members_.push_back(std::move(member));
+    alphas_.push_back(alpha);
+
+    if (error <= 1e-10) break;  // perfect member: committee is done
+
+    // Reweight: misclassified instances gain weight.
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (wrong[i]) weights[i] *= std::exp(alpha);
+      total += weights[i];
+    }
+    for (double& w : weights) w /= total;
+  }
+
+  if (members_.empty()) {
+    // Degenerate data: fall back to a single base member.
+    std::unique_ptr<Classifier> member = base_();
+    member->train(data);
+    members_.push_back(std::move(member));
+    alphas_.push_back(1.0);
+  }
+}
+
+std::vector<double> AdaBoostM1::distribution(
+    std::span<const double> features) const {
+  HMD_REQUIRE(!members_.empty(), "AdaBoostM1: predict before train");
+  std::vector<double> votes(num_classes_, 0.0);
+  for (std::size_t m = 0; m < members_.size(); ++m)
+    votes[members_[m]->predict(features)] += alphas_[m];
+  double total = 0.0;
+  for (double v : votes) total += v;
+  if (total > 0.0)
+    for (double& v : votes) v /= total;
+  return votes;
+}
+
+std::size_t AdaBoostM1::predict(std::span<const double> features) const {
+  const auto dist = distribution(features);
+  return static_cast<std::size_t>(
+      std::max_element(dist.begin(), dist.end()) - dist.begin());
+}
+
+void Bagging::train(const Dataset& data) {
+  require_trainable(data);
+  HMD_REQUIRE(base_ != nullptr, "Bagging: no base factory");
+  HMD_REQUIRE(params_.bags >= 1, "Bagging: need at least one bag");
+  num_classes_ = data.num_classes();
+  members_.clear();
+
+  Rng rng(params_.seed);
+  const std::vector<double> uniform(data.num_instances(), 1.0);
+  for (std::size_t b = 0; b < params_.bags; ++b) {
+    const Dataset bag = resample(data, uniform, rng);
+    std::unique_ptr<Classifier> member = base_();
+    HMD_REQUIRE(member != nullptr, "Bagging: factory returned null");
+    member->train(bag);
+    members_.push_back(std::move(member));
+  }
+}
+
+std::vector<double> Bagging::distribution(
+    std::span<const double> features) const {
+  HMD_REQUIRE(!members_.empty(), "Bagging: predict before train");
+  std::vector<double> votes(num_classes_, 0.0);
+  for (const auto& member : members_)
+    votes[member->predict(features)] += 1.0;
+  for (double& v : votes) v /= static_cast<double>(members_.size());
+  return votes;
+}
+
+std::size_t Bagging::predict(std::span<const double> features) const {
+  const auto dist = distribution(features);
+  return static_cast<std::size_t>(
+      std::max_element(dist.begin(), dist.end()) - dist.begin());
+}
+
+}  // namespace hmd::ml

@@ -1,0 +1,78 @@
+// Ensemble learners — the direction the HMD literature took right after
+// the paper (Khasawneh et al. RAID'15; Sayadi et al. DAC'18 apply boosting
+// and bagging to hardware malware detectors). Provided as the repository's
+// related-work extension: AdaBoost.M1 and Bagging over any base scheme.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "ml/classifier.hpp"
+#include "util/rng.hpp"
+
+namespace hmd::ml {
+
+/// Factory producing fresh untrained base classifiers.
+using BaseFactory = std::function<std::unique_ptr<Classifier>()>;
+
+/// AdaBoost.M1 (Freund & Schapire) with weight-proportional resampling
+/// (how WEKA trains weight-unaware base learners).
+class AdaBoostM1 final : public Classifier {
+ public:
+  struct Params {
+    std::size_t iterations = 30;
+    std::uint64_t seed = 0xada;
+  };
+
+  AdaBoostM1(BaseFactory base, Params params)
+      : base_(std::move(base)), params_(params) {}
+  explicit AdaBoostM1(BaseFactory base) : AdaBoostM1(std::move(base), {}) {}
+
+  void train(const Dataset& data) override;
+  std::size_t predict(std::span<const double> features) const override;
+  std::vector<double> distribution(
+      std::span<const double> features) const override;
+  std::string name() const override { return "AdaBoostM1"; }
+  std::size_t num_classes() const override { return num_classes_; }
+
+  std::size_t committee_size() const { return members_.size(); }
+  const std::vector<double>& member_weights() const { return alphas_; }
+
+ private:
+  BaseFactory base_;
+  Params params_;
+  std::size_t num_classes_ = 0;
+  std::vector<std::unique_ptr<Classifier>> members_;
+  std::vector<double> alphas_;
+};
+
+/// Bagging (Breiman): bootstrap replicates + majority vote.
+class Bagging final : public Classifier {
+ public:
+  struct Params {
+    std::size_t bags = 10;
+    std::uint64_t seed = 0xba9;
+  };
+
+  Bagging(BaseFactory base, Params params)
+      : base_(std::move(base)), params_(params) {}
+  explicit Bagging(BaseFactory base) : Bagging(std::move(base), {}) {}
+
+  void train(const Dataset& data) override;
+  std::size_t predict(std::span<const double> features) const override;
+  std::vector<double> distribution(
+      std::span<const double> features) const override;
+  std::string name() const override { return "Bagging"; }
+  std::size_t num_classes() const override { return num_classes_; }
+
+  std::size_t committee_size() const { return members_.size(); }
+
+ private:
+  BaseFactory base_;
+  Params params_;
+  std::size_t num_classes_ = 0;
+  std::vector<std::unique_ptr<Classifier>> members_;
+};
+
+}  // namespace hmd::ml

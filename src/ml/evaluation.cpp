@@ -1,0 +1,125 @@
+#include "ml/evaluation.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace hmd::ml {
+
+EvaluationResult::EvaluationResult(std::size_t num_classes,
+                                   std::vector<std::string> class_names)
+    : class_names_(std::move(class_names)),
+      matrix_(num_classes * num_classes, 0) {
+  HMD_REQUIRE(class_names_.size() == num_classes,
+              "EvaluationResult: name/class count mismatch");
+  HMD_REQUIRE(num_classes >= 2, "EvaluationResult: need at least two classes");
+}
+
+void EvaluationResult::record(std::size_t actual, std::size_t predicted) {
+  const std::size_t k = num_classes();
+  HMD_REQUIRE(actual < k && predicted < k,
+              "EvaluationResult::record: class index out of range");
+  ++matrix_[actual * k + predicted];
+  ++total_;
+  if (actual == predicted) ++correct_;
+}
+
+double EvaluationResult::accuracy() const {
+  return total_ == 0 ? 0.0
+                     : static_cast<double>(correct_) /
+                           static_cast<double>(total_);
+}
+
+std::size_t EvaluationResult::confusion(std::size_t actual,
+                                        std::size_t predicted) const {
+  const std::size_t k = num_classes();
+  HMD_REQUIRE(actual < k && predicted < k,
+              "EvaluationResult::confusion: index out of range");
+  return matrix_[actual * k + predicted];
+}
+
+double EvaluationResult::recall(std::size_t c) const {
+  const std::size_t k = num_classes();
+  HMD_REQUIRE(c < k, "recall: class out of range");
+  std::size_t row = 0;
+  for (std::size_t j = 0; j < k; ++j) row += matrix_[c * k + j];
+  return row == 0 ? 0.0
+                  : static_cast<double>(matrix_[c * k + c]) /
+                        static_cast<double>(row);
+}
+
+double EvaluationResult::precision(std::size_t c) const {
+  const std::size_t k = num_classes();
+  HMD_REQUIRE(c < k, "precision: class out of range");
+  std::size_t col = 0;
+  for (std::size_t i = 0; i < k; ++i) col += matrix_[i * k + c];
+  return col == 0 ? 0.0
+                  : static_cast<double>(matrix_[c * k + c]) /
+                        static_cast<double>(col);
+}
+
+double EvaluationResult::f1(std::size_t c) const {
+  const double p = precision(c);
+  const double r = recall(c);
+  return p + r == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+double EvaluationResult::macro_recall() const {
+  const std::size_t k = num_classes();
+  double s = 0.0;
+  for (std::size_t c = 0; c < k; ++c) s += recall(c);
+  return s / static_cast<double>(k);
+}
+
+double EvaluationResult::kappa() const {
+  if (total_ == 0) return 0.0;
+  const std::size_t k = num_classes();
+  const double n = static_cast<double>(total_);
+  double expected = 0.0;
+  for (std::size_t c = 0; c < k; ++c) {
+    double row = 0.0, col = 0.0;
+    for (std::size_t j = 0; j < k; ++j) {
+      row += static_cast<double>(matrix_[c * k + j]);
+      col += static_cast<double>(matrix_[j * k + c]);
+    }
+    expected += (row / n) * (col / n);
+  }
+  const double observed = accuracy();
+  return expected >= 1.0 ? 0.0 : (observed - expected) / (1.0 - expected);
+}
+
+std::string EvaluationResult::to_string() const {
+  std::ostringstream os;
+  os << "accuracy: " << accuracy() * 100.0 << "% (" << correct_ << "/"
+     << total_ << "), kappa: " << kappa() << '\n';
+  TextTable table("confusion matrix (rows = actual)");
+  std::vector<std::string> header = {"actual\\pred"};
+  for (const auto& name : class_names_) header.push_back(name);
+  header.push_back("recall");
+  table.set_header(header);
+  const std::size_t k = num_classes();
+  for (std::size_t a = 0; a < k; ++a) {
+    std::vector<std::string> row = {class_names_[a]};
+    for (std::size_t p = 0; p < k; ++p)
+      row.push_back(std::to_string(matrix_[a * k + p]));
+    std::ostringstream rec;
+    rec.precision(3);
+    rec << recall(a);
+    row.push_back(rec.str());
+    table.add_row(row);
+  }
+  os << table.to_string();
+  return os.str();
+}
+
+EvaluationResult evaluate(const Classifier& clf, const Dataset& test) {
+  HMD_REQUIRE(!test.empty(), "evaluate: test set is empty");
+  EvaluationResult result(test.num_classes(),
+                          test.class_attribute().values());
+  for (std::size_t i = 0; i < test.num_instances(); ++i)
+    result.record(test.class_of(i), clf.predict(test.features_of(i)));
+  return result;
+}
+
+}  // namespace hmd::ml

@@ -1,0 +1,51 @@
+// Test-set evaluation — the counterpart of WEKA's Evaluation panel.
+// The thesis reports accuracy (binary and multiclass) and per-class
+// accuracy (recall), both provided here alongside the confusion matrix,
+// precision, F1, and Cohen's kappa.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ml/classifier.hpp"
+#include "ml/dataset.hpp"
+
+namespace hmd::ml {
+
+/// Result of evaluating a classifier on a labelled dataset.
+class EvaluationResult {
+ public:
+  EvaluationResult(std::size_t num_classes,
+                   std::vector<std::string> class_names);
+
+  void record(std::size_t actual, std::size_t predicted);
+
+  std::size_t total() const { return total_; }
+  std::size_t correct() const { return correct_; }
+  double accuracy() const;
+  /// Recall of class c — the thesis's "per-class accuracy".
+  double recall(std::size_t c) const;
+  double precision(std::size_t c) const;
+  double f1(std::size_t c) const;
+  /// Unweighted mean of per-class recalls.
+  double macro_recall() const;
+  double kappa() const;
+
+  std::size_t confusion(std::size_t actual, std::size_t predicted) const;
+  const std::vector<std::string>& class_names() const { return class_names_; }
+  std::size_t num_classes() const { return class_names_.size(); }
+
+  /// Multi-line text rendering (accuracy + confusion matrix).
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> class_names_;
+  std::vector<std::size_t> matrix_;  ///< [actual * k + predicted]
+  std::size_t total_ = 0;
+  std::size_t correct_ = 0;
+};
+
+/// Evaluate `clf` on every row of `test`.
+EvaluationResult evaluate(const Classifier& clf, const Dataset& test);
+
+}  // namespace hmd::ml

@@ -1,0 +1,107 @@
+#include "ml/feature_ranking.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "ml/decision_stump.hpp"  // entropy_of_counts
+#include "util/error.hpp"
+
+namespace hmd::ml {
+
+namespace {
+
+/// Equal-frequency bin id for each row of one feature column.
+std::vector<std::size_t> discretize(const Dataset& data, std::size_t feature,
+                                    std::size_t bins) {
+  const std::size_t n = data.num_instances();
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return data.features_of(a)[feature] <
+                            data.features_of(b)[feature];
+                   });
+  std::vector<std::size_t> bin_of(n, 0);
+  for (std::size_t rank = 0; rank < n; ++rank) {
+    std::size_t b = rank * bins / n;
+    // Ties must share a bin: extend the previous row's bin when values are
+    // equal (otherwise identical values would straddle a boundary).
+    if (rank > 0 && data.features_of(order[rank])[feature] ==
+                        data.features_of(order[rank - 1])[feature])
+      b = bin_of[order[rank - 1]];
+    bin_of[order[rank]] = b;
+  }
+  return bin_of;
+}
+
+struct GainParts {
+  double info_gain = 0.0;
+  double attribute_entropy = 0.0;
+};
+
+GainParts gain_of(const Dataset& data, std::size_t feature,
+                  std::size_t bins) {
+  const std::size_t n = data.num_instances();
+  const std::size_t k = data.num_classes();
+  const std::vector<std::size_t> bin_of = discretize(data, feature, bins);
+
+  // Joint counts bin x class.
+  std::vector<std::vector<std::size_t>> joint(
+      bins, std::vector<std::size_t>(k, 0));
+  std::vector<std::size_t> bin_counts(bins, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    ++joint[bin_of[i]][data.class_of(i)];
+    ++bin_counts[bin_of[i]];
+  }
+
+  const double class_entropy = entropy_of_counts(data.class_counts());
+  double conditional = 0.0;
+  for (std::size_t b = 0; b < bins; ++b) {
+    if (bin_counts[b] == 0) continue;
+    conditional += static_cast<double>(bin_counts[b]) /
+                   static_cast<double>(n) * entropy_of_counts(joint[b]);
+  }
+  return {.info_gain = class_entropy - conditional,
+          .attribute_entropy = entropy_of_counts(bin_counts)};
+}
+
+std::vector<RankedFeature> rank_with(
+    const Dataset& data, std::size_t bins,
+    const std::function<double(const GainParts&, double)>& score_fn) {
+  HMD_REQUIRE(!data.empty(), "feature ranking: empty dataset");
+  HMD_REQUIRE(bins >= 2, "feature ranking: need at least two bins");
+  const double class_entropy = entropy_of_counts(data.class_counts());
+  std::vector<RankedFeature> ranked;
+  ranked.reserve(data.num_features());
+  for (std::size_t f = 0; f < data.num_features(); ++f) {
+    const GainParts parts = gain_of(data, f, bins);
+    ranked.push_back({.index = f,
+                      .name = data.attribute(f).name(),
+                      .score = score_fn(parts, class_entropy)});
+  }
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const RankedFeature& a, const RankedFeature& b) {
+                     return a.score > b.score;
+                   });
+  return ranked;
+}
+
+}  // namespace
+
+std::vector<RankedFeature> rank_by_info_gain(const Dataset& data,
+                                             std::size_t bins) {
+  return rank_with(data, bins, [](const GainParts& p, double) {
+    return p.info_gain;
+  });
+}
+
+std::vector<RankedFeature> rank_by_symmetrical_uncertainty(
+    const Dataset& data, std::size_t bins) {
+  return rank_with(data, bins, [](const GainParts& p, double class_h) {
+    const double denom = p.attribute_entropy + class_h;
+    return denom > 0.0 ? 2.0 * p.info_gain / denom : 0.0;
+  });
+}
+
+}  // namespace hmd::ml

@@ -1,0 +1,29 @@
+// Supervised feature ranking — WEKA's InfoGainAttributeEval equivalent.
+//
+// The thesis uses PCA (unsupervised) for feature reduction; its related
+// work (Sayadi et al.) uses supervised rankers. This module provides the
+// standard information-gain ranking so the two selection philosophies can
+// be compared on the same dataset (see bench_ablation_feature_selection).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "ml/dataset.hpp"
+#include "ml/pca.hpp"  // RankedFeature
+
+namespace hmd::ml {
+
+/// Information gain of each feature w.r.t. the class, with numeric
+/// features discretized into `bins` equal-frequency bins. Returns all
+/// features, descending by gain.
+std::vector<RankedFeature> rank_by_info_gain(const Dataset& data,
+                                             std::size_t bins = 10);
+
+/// Symmetrical-uncertainty variant (gain normalized by the attribute and
+/// class entropies), WEKA's SymmetricalUncertAttributeEval: robust to
+/// features with many distinct values.
+std::vector<RankedFeature> rank_by_symmetrical_uncertainty(
+    const Dataset& data, std::size_t bins = 10);
+
+}  // namespace hmd::ml

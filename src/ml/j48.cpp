@@ -1,0 +1,202 @@
+#include "ml/j48.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ml/decision_stump.hpp"  // entropy_of_counts
+#include "util/error.hpp"
+
+namespace hmd::ml {
+
+namespace {
+
+/// Inverse standard normal CDF (Acklam's rational approximation); enough
+/// accuracy for the pruning confidence bound.
+double normal_quantile(double p) {
+  HMD_REQUIRE(p > 0.0 && p < 1.0, "normal_quantile: p outside (0,1)");
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  const double plow = 0.02425;
+  if (p < plow) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+            c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p > 1.0 - plow) {
+    const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+             c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  const double q = p - 0.5;
+  const double r = q * q;
+  return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) *
+         q /
+         (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+}
+
+struct Split {
+  std::size_t feature = 0;
+  double threshold = 0.0;
+  double gain_ratio = -1.0;
+};
+
+}  // namespace
+
+double pessimistic_error_count(std::size_t n, std::size_t errors, double cf) {
+  if (n == 0) return 0.0;
+  const double z = -normal_quantile(cf);  // upper-tail quantile
+  const double nn = static_cast<double>(n);
+  const double f = static_cast<double>(errors) / nn;
+  const double z2 = z * z;
+  const double upper =
+      (f + z2 / (2.0 * nn) +
+       z * std::sqrt(std::max(0.0, f / nn - f * f / nn + z2 / (4.0 * nn * nn)))) /
+      (1.0 + z2 / nn);
+  return upper * nn;
+}
+
+void J48::train(const Dataset& data) {
+  require_trainable(data);
+  num_classes_ = data.num_classes();
+  std::vector<std::size_t> rows(data.num_instances());
+  for (std::size_t i = 0; i < rows.size(); ++i) rows[i] = i;
+  root_ = build(data, rows, 0);
+  if (params_.prune) prune_subtree(*root_);
+}
+
+std::unique_ptr<J48::Node> J48::build(const Dataset& data,
+                                      std::vector<std::size_t>& rows,
+                                      std::size_t depth) {
+  auto node = std::make_unique<Node>();
+  node->n = rows.size();
+
+  std::vector<std::size_t> counts(num_classes_, 0);
+  for (std::size_t r : rows) ++counts[data.class_of(r)];
+  node->cls = static_cast<std::size_t>(
+      std::max_element(counts.begin(), counts.end()) - counts.begin());
+  node->errors = rows.size() - counts[node->cls];
+
+  const bool pure = counts[node->cls] == rows.size();
+  if (pure || rows.size() < 2 * params_.min_leaf ||
+      depth >= params_.max_depth)
+    return node;
+
+  const double base_entropy = entropy_of_counts(counts);
+  const double n_total = static_cast<double>(rows.size());
+
+  Split best;
+  std::vector<std::pair<double, std::size_t>> column(rows.size());
+  for (std::size_t f = 0; f < data.num_features(); ++f) {
+    for (std::size_t i = 0; i < rows.size(); ++i)
+      column[i] = {data.features_of(rows[i])[f], data.class_of(rows[i])};
+    std::sort(column.begin(), column.end());
+
+    std::vector<std::size_t> left(num_classes_, 0);
+    std::vector<std::size_t> right = counts;
+    for (std::size_t i = 0; i + 1 < column.size(); ++i) {
+      ++left[column[i].second];
+      --right[column[i].second];
+      if (column[i].first == column[i + 1].first) continue;
+      const std::size_t nl = i + 1;
+      const std::size_t nr = column.size() - nl;
+      if (nl < params_.min_leaf || nr < params_.min_leaf) continue;
+      const double pl = static_cast<double>(nl) / n_total;
+      const double pr = static_cast<double>(nr) / n_total;
+      const double gain = base_entropy - pl * entropy_of_counts(left) -
+                          pr * entropy_of_counts(right);
+      const double split_info = -pl * std::log2(pl) - pr * std::log2(pr);
+      if (split_info <= 1e-9) continue;
+      const double ratio = gain / split_info;
+      if (ratio > best.gain_ratio && gain > 1e-9) {
+        best = {.feature = f,
+                .threshold = 0.5 * (column[i].first + column[i + 1].first),
+                .gain_ratio = ratio};
+      }
+    }
+  }
+
+  if (best.gain_ratio <= 0.0) return node;  // no useful split
+
+  std::vector<std::size_t> left_rows;
+  std::vector<std::size_t> right_rows;
+  for (std::size_t r : rows) {
+    if (data.features_of(r)[best.feature] <= best.threshold)
+      left_rows.push_back(r);
+    else
+      right_rows.push_back(r);
+  }
+  HMD_ASSERT(!left_rows.empty() && !right_rows.empty());
+
+  node->feature = best.feature;
+  node->threshold = best.threshold;
+  rows.clear();
+  rows.shrink_to_fit();  // free before recursing
+  node->left = build(data, left_rows, depth + 1);
+  node->right = build(data, right_rows, depth + 1);
+  return node;
+}
+
+double J48::prune_subtree(Node& node) {
+  if (node.is_leaf())
+    return pessimistic_error_count(node.n, node.errors, params_.confidence);
+
+  const double subtree_est =
+      prune_subtree(*node.left) + prune_subtree(*node.right);
+  const double leaf_est =
+      pessimistic_error_count(node.n, node.errors, params_.confidence);
+  if (leaf_est <= subtree_est + 0.1) {
+    node.left.reset();
+    node.right.reset();
+    return leaf_est;
+  }
+  return subtree_est;
+}
+
+std::size_t J48::predict(std::span<const double> features) const {
+  HMD_REQUIRE(root_ != nullptr, "J48: predict before train");
+  const Node* node = root_.get();
+  while (!node->is_leaf()) {
+    HMD_REQUIRE(node->feature < features.size(),
+                "J48: feature vector too short");
+    node = features[node->feature] <= node->threshold ? node->left.get()
+                                                      : node->right.get();
+  }
+  return node->cls;
+}
+
+const J48::Node& J48::root() const {
+  HMD_REQUIRE(root_ != nullptr, "J48: model not trained");
+  return *root_;
+}
+
+namespace {
+std::size_t count_leaves(const J48::Node& n) {
+  if (n.is_leaf()) return 1;
+  return count_leaves(*n.left) + count_leaves(*n.right);
+}
+std::size_t count_nodes(const J48::Node& n) {
+  if (n.is_leaf()) return 1;
+  return 1 + count_nodes(*n.left) + count_nodes(*n.right);
+}
+std::size_t tree_depth(const J48::Node& n) {
+  if (n.is_leaf()) return 0;
+  return 1 + std::max(tree_depth(*n.left), tree_depth(*n.right));
+}
+}  // namespace
+
+std::size_t J48::num_leaves() const { return count_leaves(root()); }
+std::size_t J48::num_nodes() const { return count_nodes(root()); }
+std::size_t J48::depth() const { return tree_depth(root()); }
+
+}  // namespace hmd::ml

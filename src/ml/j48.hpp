@@ -1,0 +1,67 @@
+// J48 — WEKA's name for a C4.5 decision tree.
+//
+// Numeric features only (all HPC features are numeric): binary splits on
+// gain-ratio-optimal thresholds, minimum-instances-per-leaf stopping, and
+// C4.5-style pessimistic-error subtree-replacement pruning with the
+// standard 0.25 confidence factor.
+#pragma once
+
+#include <memory>
+
+#include "ml/classifier.hpp"
+
+namespace hmd::ml {
+
+class J48 final : public Classifier {
+ public:
+  struct Params {
+    std::size_t min_leaf = 8;    ///< WEKA -M (2 overfits noisy HPC data)
+    double confidence = 0.25;    ///< WEKA -C
+    std::size_t max_depth = 20;  ///< bound (tree depth = hardware latency)
+    bool prune = true;           ///< unpruned tree when false (WEKA -U)
+  };
+
+  /// A tree node; leaves have no children.
+  struct Node {
+    std::size_t feature = 0;
+    double threshold = 0.0;
+    std::unique_ptr<Node> left;   ///< value <= threshold
+    std::unique_ptr<Node> right;  ///< value >  threshold
+    std::size_t cls = 0;          ///< majority class at this node
+    std::size_t n = 0;            ///< training instances reaching the node
+    std::size_t errors = 0;       ///< training errors if made a leaf
+
+    bool is_leaf() const { return left == nullptr; }
+  };
+
+  J48() : J48(Params{}) {}
+  explicit J48(Params params) : params_(params) {}
+
+  void train(const Dataset& data) override;
+  std::size_t predict(std::span<const double> features) const override;
+  std::string name() const override { return "J48"; }
+  std::size_t num_classes() const override { return num_classes_; }
+
+  const Node& root() const;
+  std::size_t num_leaves() const;
+  std::size_t num_nodes() const;
+  std::size_t depth() const;
+
+ private:
+  friend struct ModelIo;
+  Params params_;
+  std::size_t num_classes_ = 0;
+  std::unique_ptr<Node> root_;
+
+  std::unique_ptr<Node> build(const Dataset& data,
+                              std::vector<std::size_t>& rows,
+                              std::size_t depth);
+  double prune_subtree(Node& node);
+};
+
+/// C4.5's pessimistic error estimate: the binomial upper confidence bound
+/// on the error count for `errors` observed errors out of `n`, at
+/// confidence factor `cf` (0.25 → z ≈ 0.6745... C4.5 uses 0.69).
+double pessimistic_error_count(std::size_t n, std::size_t errors, double cf);
+
+}  // namespace hmd::ml

@@ -1,0 +1,239 @@
+#include "ml/jrip.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace hmd::ml {
+
+namespace {
+
+/// Coverage of a rule over a row-index subset.
+struct Coverage {
+  std::size_t pos = 0;
+  std::size_t neg = 0;
+};
+
+Coverage coverage_of(const JRip::Rule& rule, const Dataset& data,
+                     const std::vector<std::size_t>& rows, std::size_t cls) {
+  Coverage cov;
+  for (std::size_t r : rows) {
+    if (!rule.matches(data.features_of(r))) continue;
+    if (data.class_of(r) == cls)
+      ++cov.pos;
+    else
+      ++cov.neg;
+  }
+  return cov;
+}
+
+double log2_ratio(double p, double n) {
+  return std::log2((p + 1.0) / (p + n + 2.0));  // Laplace-smoothed
+}
+
+/// Candidate thresholds for one feature: quantiles over the rows the rule
+/// currently covers (subsampled for cost).
+std::vector<double> candidate_thresholds(const Dataset& data,
+                                         const std::vector<std::size_t>& rows,
+                                         std::size_t feature,
+                                         std::size_t how_many, Rng& rng) {
+  std::vector<double> values;
+  const std::size_t max_sample = 512;
+  if (rows.size() <= max_sample) {
+    values.reserve(rows.size());
+    for (std::size_t r : rows) values.push_back(data.features_of(r)[feature]);
+  } else {
+    values.reserve(max_sample);
+    for (std::size_t i = 0; i < max_sample; ++i) {
+      const std::size_t r = rows[rng.uniform_index(rows.size())];
+      values.push_back(data.features_of(r)[feature]);
+    }
+  }
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  if (values.size() <= how_many) return values;
+  std::vector<double> out;
+  out.reserve(how_many);
+  for (std::size_t i = 1; i <= how_many; ++i) {
+    const std::size_t idx =
+        i * (values.size() - 1) / (how_many + 1);
+    out.push_back(values[idx]);
+  }
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace
+
+void JRip::train(const Dataset& data) {
+  require_trainable(data);
+  num_classes_ = data.num_classes();
+  rules_.clear();
+
+  Rng rng(params_.seed);
+
+  // Classes in ascending frequency; the most frequent becomes the default.
+  const auto counts = data.class_counts();
+  std::vector<std::size_t> order(num_classes_);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return counts[a] < counts[b];
+                   });
+  default_class_ = order.back();
+
+  std::vector<std::size_t> remaining(data.num_instances());
+  std::iota(remaining.begin(), remaining.end(), 0);
+
+  for (std::size_t ci = 0; ci + 1 < order.size(); ++ci) {
+    const std::size_t cls = order[ci];
+    std::size_t rules_for_class = 0;
+
+    while (rules_for_class < params_.max_rules_per_class) {
+      // Any positives left to cover?
+      std::size_t pos_left = 0;
+      for (std::size_t r : remaining)
+        if (data.class_of(r) == cls) ++pos_left;
+      if (pos_left < 2) break;
+
+      // Stratified-ish grow/prune split of the remaining data.
+      std::vector<std::size_t> shuffled = remaining;
+      rng.shuffle(shuffled);
+      const std::size_t n_prune = static_cast<std::size_t>(
+          params_.prune_fraction * static_cast<double>(shuffled.size()));
+      std::vector<std::size_t> prune_rows(shuffled.begin(),
+                                          shuffled.begin() +
+                                              static_cast<std::ptrdiff_t>(n_prune));
+      std::vector<std::size_t> grow_rows(shuffled.begin() +
+                                             static_cast<std::ptrdiff_t>(n_prune),
+                                         shuffled.end());
+
+      // ---- Grow ----
+      Rule rule;
+      rule.cls = cls;
+      std::vector<std::size_t> covered = grow_rows;
+      Coverage cov = coverage_of(rule, data, covered, cls);
+      while (cov.neg > 0 &&
+             rule.conditions.size() < params_.max_conditions_per_rule) {
+        Condition best_cond;
+        double best_gain = 0.0;
+        Coverage best_cov;
+        const double base = log2_ratio(static_cast<double>(cov.pos),
+                                       static_cast<double>(cov.neg));
+        for (std::size_t f = 0; f < data.num_features(); ++f) {
+          const auto thresholds = candidate_thresholds(
+              data, covered, f, params_.thresholds_per_feature, rng);
+          for (double t : thresholds) {
+            for (bool greater : {false, true}) {
+              const Condition cond{.feature = f, .greater = greater,
+                                   .threshold = t};
+              Coverage c;
+              for (std::size_t r : covered) {
+                if (!cond.matches(data.features_of(r))) continue;
+                if (data.class_of(r) == cls)
+                  ++c.pos;
+                else
+                  ++c.neg;
+              }
+              if (c.pos == 0) continue;
+              const double gain =
+                  static_cast<double>(c.pos) *
+                  (log2_ratio(static_cast<double>(c.pos),
+                              static_cast<double>(c.neg)) -
+                   base);
+              if (gain > best_gain) {
+                best_gain = gain;
+                best_cond = cond;
+                best_cov = c;
+              }
+            }
+          }
+        }
+        if (best_gain <= 1e-9) break;
+        rule.conditions.push_back(best_cond);
+        std::vector<std::size_t> still_covered;
+        still_covered.reserve(covered.size());
+        for (std::size_t r : covered)
+          if (best_cond.matches(data.features_of(r)))
+            still_covered.push_back(r);
+        covered = std::move(still_covered);
+        cov = best_cov;
+      }
+      if (rule.conditions.empty()) break;
+
+      // ---- Prune: drop trailing conditions maximizing (p-n)/(p+n). ----
+      auto rule_value = [&](const Rule& r) {
+        const Coverage c = coverage_of(r, data, prune_rows, cls);
+        if (c.pos + c.neg == 0) return -1.0;
+        return (static_cast<double>(c.pos) - static_cast<double>(c.neg)) /
+               static_cast<double>(c.pos + c.neg);
+      };
+      Rule pruned = rule;
+      double best_value = rule_value(pruned);
+      Rule candidate = rule;
+      while (candidate.conditions.size() > 1) {
+        candidate.conditions.pop_back();
+        const double v = rule_value(candidate);
+        if (v >= best_value) {
+          best_value = v;
+          pruned = candidate;
+        }
+      }
+
+      // ---- Accept? ----
+      const Coverage prune_cov = coverage_of(pruned, data, prune_rows, cls);
+      const std::size_t covered_total = prune_cov.pos + prune_cov.neg;
+      const double precision =
+          covered_total == 0
+              ? 0.0
+              : static_cast<double>(prune_cov.pos) /
+                    static_cast<double>(covered_total);
+      // Accept a rule the prune set never sees only if it grew clean.
+      const bool acceptable =
+          covered_total == 0 ? cov.neg == 0 : precision >= params_.min_precision;
+      if (!acceptable) break;
+
+      rules_.push_back(pruned);
+      ++rules_for_class;
+
+      // Remove everything the rule covers from the remaining data.
+      std::vector<std::size_t> still_remaining;
+      still_remaining.reserve(remaining.size());
+      for (std::size_t r : remaining)
+        if (!pruned.matches(data.features_of(r)))
+          still_remaining.push_back(r);
+      if (still_remaining.size() == remaining.size()) break;  // no progress
+      remaining = std::move(still_remaining);
+    }
+  }
+
+  // Default class: majority among uncovered instances (falls back to the
+  // globally most frequent class when everything is covered).
+  if (!remaining.empty()) {
+    std::vector<std::size_t> rem_counts(num_classes_, 0);
+    for (std::size_t r : remaining) ++rem_counts[data.class_of(r)];
+    default_class_ = static_cast<std::size_t>(
+        std::max_element(rem_counts.begin(), rem_counts.end()) -
+        rem_counts.begin());
+  }
+  trained_ = true;
+}
+
+std::size_t JRip::predict(std::span<const double> features) const {
+  HMD_REQUIRE(trained_, "JRip: predict before train");
+  for (const Rule& rule : rules_)
+    if (rule.matches(features)) return rule.cls;
+  return default_class_;
+}
+
+std::size_t JRip::total_conditions() const {
+  std::size_t n = 0;
+  for (const Rule& r : rules_) n += r.conditions.size();
+  return n;
+}
+
+}  // namespace hmd::ml

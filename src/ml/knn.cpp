@@ -1,0 +1,59 @@
+#include "ml/knn.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/error.hpp"
+
+namespace hmd::ml {
+
+void Knn::train(const Dataset& data) {
+  require_trainable(data);
+  HMD_REQUIRE(k_ >= 1, "Knn: k must be at least 1");
+  num_classes_ = data.num_classes();
+  standardizer_.fit(data);
+  points_.clear();
+  labels_.clear();
+  points_.reserve(data.num_instances());
+  labels_.reserve(data.num_instances());
+  for (std::size_t i = 0; i < data.num_instances(); ++i) {
+    points_.push_back(standardizer_.transform(data.features_of(i)));
+    labels_.push_back(data.class_of(i));
+  }
+}
+
+std::vector<double> Knn::distribution(std::span<const double> features) const {
+  HMD_REQUIRE(!points_.empty(), "Knn: predict before train");
+  const std::vector<double> x = standardizer_.transform(features);
+  // Max-heap of the k closest squared distances.
+  using Entry = std::pair<double, std::size_t>;  // distance², label
+  std::priority_queue<Entry> heap;
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    double d2 = 0.0;
+    for (std::size_t f = 0; f < x.size(); ++f) {
+      const double d = points_[i][f] - x[f];
+      d2 += d * d;
+    }
+    if (heap.size() < k_) {
+      heap.emplace(d2, labels_[i]);
+    } else if (d2 < heap.top().first) {
+      heap.pop();
+      heap.emplace(d2, labels_[i]);
+    }
+  }
+  std::vector<double> dist(num_classes_, 0.0);
+  const double share = 1.0 / static_cast<double>(heap.size());
+  while (!heap.empty()) {
+    dist[heap.top().second] += share;
+    heap.pop();
+  }
+  return dist;
+}
+
+std::size_t Knn::predict(std::span<const double> features) const {
+  const auto dist = distribution(features);
+  return static_cast<std::size_t>(
+      std::max_element(dist.begin(), dist.end()) - dist.begin());
+}
+
+}  // namespace hmd::ml

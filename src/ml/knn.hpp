@@ -1,0 +1,31 @@
+// k-nearest-neighbours (WEKA's IBk) over standardized Euclidean distance.
+// Lazy learner: training stores the data; prediction is a linear scan, so
+// use on modest datasets (it is an example/ablation classifier here, not a
+// hardware-deployment candidate — the paper's point exactly).
+#pragma once
+
+#include "ml/classifier.hpp"
+#include "ml/preprocess.hpp"
+
+namespace hmd::ml {
+
+class Knn final : public Classifier {
+ public:
+  explicit Knn(std::size_t k = 5) : k_(k) {}
+
+  void train(const Dataset& data) override;
+  std::size_t predict(std::span<const double> features) const override;
+  std::vector<double> distribution(
+      std::span<const double> features) const override;
+  std::string name() const override { return "IBk"; }
+  std::size_t num_classes() const override { return num_classes_; }
+
+ private:
+  std::size_t k_;
+  std::size_t num_classes_ = 0;
+  Standardizer standardizer_;
+  std::vector<std::vector<double>> points_;
+  std::vector<std::size_t> labels_;
+};
+
+}  // namespace hmd::ml

@@ -1,0 +1,91 @@
+#include "ml/logistic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace hmd::ml {
+
+void softmax_inplace(std::vector<double>& logits) {
+  HMD_REQUIRE(!logits.empty(), "softmax of empty vector");
+  const double mx = *std::max_element(logits.begin(), logits.end());
+  double total = 0.0;
+  for (double& v : logits) {
+    v = std::exp(v - mx);
+    total += v;
+  }
+  for (double& v : logits) v /= total;
+}
+
+void Logistic::train(const Dataset& data) {
+  require_trainable(data);
+  standardizer_.fit(data);
+  const std::size_t k = data.num_classes();
+  const std::size_t d = data.num_features();
+  const std::size_t n = data.num_instances();
+
+  // Pre-standardize the training matrix once.
+  std::vector<std::vector<double>> x(n);
+  for (std::size_t i = 0; i < n; ++i)
+    x[i] = standardizer_.transform(data.features_of(i));
+
+  weights_.assign(k, std::vector<double>(d + 1, 0.0));
+  std::vector<std::vector<double>> velocity(k,
+                                            std::vector<double>(d + 1, 0.0));
+  std::vector<std::vector<double>> grad(k, std::vector<double>(d + 1, 0.0));
+
+  std::vector<double> logits(k);
+  for (std::size_t iter = 0; iter < params_.iterations; ++iter) {
+    for (auto& g : grad) std::fill(g.begin(), g.end(), 0.0);
+
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t c = 0; c < k; ++c) {
+        double z = weights_[c][d];
+        for (std::size_t f = 0; f < d; ++f) z += weights_[c][f] * x[i][f];
+        logits[c] = z;
+      }
+      softmax_inplace(logits);
+      const std::size_t y = data.class_of(i);
+      for (std::size_t c = 0; c < k; ++c) {
+        const double err = logits[c] - (c == y ? 1.0 : 0.0);
+        for (std::size_t f = 0; f < d; ++f) grad[c][f] += err * x[i][f];
+        grad[c][d] += err;
+      }
+    }
+
+    const double inv_n = 1.0 / static_cast<double>(n);
+    for (std::size_t c = 0; c < k; ++c) {
+      for (std::size_t f = 0; f <= d; ++f) {
+        double g = grad[c][f] * inv_n;
+        if (f < d) g += params_.l2 * weights_[c][f];  // no bias decay
+        velocity[c][f] = params_.momentum * velocity[c][f] -
+                         params_.learning_rate * g;
+        weights_[c][f] += velocity[c][f];
+      }
+    }
+  }
+}
+
+std::vector<double> Logistic::distribution(
+    std::span<const double> features) const {
+  HMD_REQUIRE(!weights_.empty(), "Logistic: predict before train");
+  const std::vector<double> x = standardizer_.transform(features);
+  const std::size_t d = x.size();
+  std::vector<double> logits(weights_.size());
+  for (std::size_t c = 0; c < weights_.size(); ++c) {
+    double z = weights_[c][d];
+    for (std::size_t f = 0; f < d; ++f) z += weights_[c][f] * x[f];
+    logits[c] = z;
+  }
+  softmax_inplace(logits);
+  return logits;
+}
+
+std::size_t Logistic::predict(std::span<const double> features) const {
+  const auto dist = distribution(features);
+  return static_cast<std::size_t>(
+      std::max_element(dist.begin(), dist.end()) - dist.begin());
+}
+
+}  // namespace hmd::ml

@@ -1,0 +1,224 @@
+#include "ml/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace hmd::ml {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+double& Matrix::at(std::size_t r, std::size_t c) {
+  HMD_REQUIRE(r < rows_ && c < cols_, "matrix index out of range");
+  return data_[r * cols_ + c];
+}
+
+double Matrix::at(std::size_t r, std::size_t c) const {
+  HMD_REQUIRE(r < rows_ && c < cols_, "matrix index out of range");
+  return data_[r * cols_ + c];
+}
+
+std::span<const double> Matrix::row(std::size_t r) const {
+  HMD_REQUIRE(r < rows_, "matrix row out of range");
+  return {data_.data() + r * cols_, cols_};
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = at(r, c);
+  return t;
+}
+
+Matrix Matrix::operator*(const Matrix& other) const {
+  HMD_REQUIRE(cols_ == other.rows_, "matrix product shape mismatch");
+  Matrix out(rows_, other.cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = at(r, k);
+      if (a == 0.0) continue;
+      for (std::size_t c = 0; c < other.cols_; ++c)
+        out(r, c) += a * other(k, c);
+    }
+  }
+  return out;
+}
+
+std::vector<double> Matrix::multiply(std::span<const double> x) const {
+  HMD_REQUIRE(x.size() == cols_, "matrix-vector shape mismatch");
+  std::vector<double> y(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double s = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) s += at(r, c) * x[c];
+    y[r] = s;
+  }
+  return y;
+}
+
+bool Matrix::is_symmetric(double tol) const {
+  if (rows_ != cols_) return false;
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = r + 1; c < cols_; ++c)
+      if (std::abs(at(r, c) - at(c, r)) > tol) return false;
+  return true;
+}
+
+double Matrix::max_off_diagonal() const {
+  HMD_REQUIRE(rows_ == cols_, "max_off_diagonal needs a square matrix");
+  double m = 0.0;
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c)
+      if (r != c) m = std::max(m, std::abs(at(r, c)));
+  return m;
+}
+
+Matrix Matrix::inverse() const {
+  HMD_REQUIRE(rows_ == cols_, "inverse: matrix must be square");
+  const std::size_t n = rows_;
+  Matrix a = *this;
+  Matrix inv = Matrix::identity(n);
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r)
+      if (std::abs(a(r, col)) > std::abs(a(pivot, col))) pivot = r;
+    HMD_REQUIRE(std::abs(a(pivot, col)) > 1e-12,
+                "inverse: matrix is singular");
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) {
+        std::swap(a(pivot, c), a(col, c));
+        std::swap(inv(pivot, c), inv(col, c));
+      }
+    }
+    const double scale = 1.0 / a(col, col);
+    for (std::size_t c = 0; c < n; ++c) {
+      a(col, c) *= scale;
+      inv(col, c) *= scale;
+    }
+    for (std::size_t r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const double factor = a(r, col);
+      if (factor == 0.0) continue;
+      for (std::size_t c = 0; c < n; ++c) {
+        a(r, c) -= factor * a(col, c);
+        inv(r, c) -= factor * inv(col, c);
+      }
+    }
+  }
+  return inv;
+}
+
+Matrix covariance_matrix(const Matrix& data) {
+  HMD_REQUIRE(data.rows() >= 2, "covariance needs at least two rows");
+  const std::size_t n = data.rows();
+  const std::size_t d = data.cols();
+  std::vector<double> mean(d, 0.0);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < d; ++c) mean[c] += data(r, c);
+  for (double& m : mean) m /= static_cast<double>(n);
+
+  Matrix cov(d, d);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t i = 0; i < d; ++i) {
+      const double di = data(r, i) - mean[i];
+      for (std::size_t j = i; j < d; ++j)
+        cov(i, j) += di * (data(r, j) - mean[j]);
+    }
+  }
+  const double denom = static_cast<double>(n - 1);
+  for (std::size_t i = 0; i < d; ++i)
+    for (std::size_t j = i; j < d; ++j) {
+      cov(i, j) /= denom;
+      cov(j, i) = cov(i, j);
+    }
+  return cov;
+}
+
+Matrix correlation_matrix(const Matrix& data) {
+  Matrix cov = covariance_matrix(data);
+  const std::size_t d = cov.rows();
+  std::vector<double> sd(d);
+  for (std::size_t i = 0; i < d; ++i) sd[i] = std::sqrt(cov(i, i));
+  Matrix corr(d, d);
+  for (std::size_t i = 0; i < d; ++i) {
+    for (std::size_t j = 0; j < d; ++j) {
+      if (sd[i] <= 0.0 || sd[j] <= 0.0)
+        corr(i, j) = i == j ? 1.0 : 0.0;
+      else
+        corr(i, j) = cov(i, j) / (sd[i] * sd[j]);
+    }
+  }
+  return corr;
+}
+
+EigenDecomposition jacobi_eigen(const Matrix& m, double tol,
+                                std::size_t max_sweeps) {
+  HMD_REQUIRE(m.is_symmetric(1e-8), "jacobi_eigen: matrix must be symmetric");
+  const std::size_t n = m.rows();
+  Matrix a = m;
+  Matrix v = Matrix::identity(n);
+
+  for (std::size_t sweep = 0; sweep < max_sweeps; ++sweep) {
+    if (a.max_off_diagonal() < tol) break;
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = a(p, q);
+        if (std::abs(apq) < tol) continue;
+        const double app = a(p, p);
+        const double aqq = a(q, q);
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        // Apply the rotation G(p, q, theta): A <- G^T A G, V <- V G.
+        for (std::size_t k = 0; k < n; ++k) {
+          const double akp = a(k, p);
+          const double akq = a(k, q);
+          a(k, p) = c * akp - s * akq;
+          a(k, q) = s * akp + c * akq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double apk = a(p, k);
+          const double aqk = a(q, k);
+          a(p, k) = c * apk - s * aqk;
+          a(q, k) = s * apk + c * aqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v(k, p);
+          const double vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort eigenpairs descending by eigenvalue.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t i, std::size_t j) {
+    return a(i, i) > a(j, j);
+  });
+
+  EigenDecomposition out;
+  out.eigenvalues.resize(n);
+  out.eigenvectors = Matrix(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    out.eigenvalues[j] = a(order[j], order[j]);
+    for (std::size_t i = 0; i < n; ++i)
+      out.eigenvectors(i, j) = v(i, order[j]);
+  }
+  return out;
+}
+
+}  // namespace hmd::ml

@@ -1,0 +1,69 @@
+// Dense row-major matrix with exactly the linear algebra PCA needs:
+// products, transpose, covariance/correlation, and a cyclic Jacobi
+// eigensolver for symmetric matrices (the feature dimension is 16, so
+// Jacobi is both simple and plenty fast).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace hmd::ml {
+
+/// Dense row-major matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& at(std::size_t r, std::size_t c);
+  double at(std::size_t r, std::size_t c) const;
+  double& operator()(std::size_t r, std::size_t c) { return at(r, c); }
+  double operator()(std::size_t r, std::size_t c) const { return at(r, c); }
+
+  std::span<const double> row(std::size_t r) const;
+
+  static Matrix identity(std::size_t n);
+
+  Matrix transposed() const;
+  Matrix operator*(const Matrix& other) const;
+  /// y = A x for a vector x.
+  std::vector<double> multiply(std::span<const double> x) const;
+
+  bool is_symmetric(double tol = 1e-9) const;
+  /// Largest absolute off-diagonal element (square matrices).
+  double max_off_diagonal() const;
+
+  /// Inverse via Gauss–Jordan with partial pivoting. Throws
+  /// hmd::PreconditionError if the matrix is singular or non-square.
+  Matrix inverse() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Sample covariance matrix of `data` rows (columns are variables).
+Matrix covariance_matrix(const Matrix& data);
+
+/// Correlation matrix (covariance of standardized columns). Constant
+/// columns get unit self-correlation and zero cross-correlation.
+Matrix correlation_matrix(const Matrix& data);
+
+/// Result of a symmetric eigendecomposition, eigenvalues descending.
+struct EigenDecomposition {
+  std::vector<double> eigenvalues;
+  /// Column j of `eigenvectors` is the unit eigenvector for eigenvalue j.
+  Matrix eigenvectors;
+};
+
+/// Cyclic Jacobi eigendecomposition of a symmetric matrix.
+/// Throws hmd::PreconditionError if `m` is not symmetric.
+EigenDecomposition jacobi_eigen(const Matrix& m, double tol = 1e-12,
+                                std::size_t max_sweeps = 100);
+
+}  // namespace hmd::ml

@@ -1,0 +1,135 @@
+#include "ml/mlp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "ml/logistic.hpp"  // softmax_inplace
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace hmd::ml {
+
+namespace {
+double sigmoid(double z) { return 1.0 / (1.0 + std::exp(-z)); }
+}  // namespace
+
+void Mlp::train(const Dataset& data) {
+  require_trainable(data);
+  standardizer_.fit(data);
+  const std::size_t k = data.num_classes();
+  const std::size_t d = data.num_features();
+  const std::size_t n = data.num_instances();
+  const std::size_t h =
+      params_.hidden_units > 0 ? params_.hidden_units : (d + k) / 2;
+  HMD_REQUIRE(h > 0, "MLP needs at least one hidden unit");
+
+  std::vector<std::vector<double>> x(n);
+  for (std::size_t i = 0; i < n; ++i)
+    x[i] = standardizer_.transform(data.features_of(i));
+
+  Rng rng(params_.seed);
+  auto init = [&](std::size_t fan_in) {
+    return rng.normal(0.0, 1.0 / std::sqrt(static_cast<double>(fan_in)));
+  };
+  w1_.assign(h, std::vector<double>(d + 1, 0.0));
+  w2_.assign(k, std::vector<double>(h + 1, 0.0));
+  for (auto& row : w1_)
+    for (double& w : row) w = init(d + 1);
+  for (auto& row : w2_)
+    for (double& w : row) w = init(h + 1);
+
+  std::vector<std::vector<double>> v1(h, std::vector<double>(d + 1, 0.0));
+  std::vector<std::vector<double>> v2(k, std::vector<double>(h + 1, 0.0));
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+
+  std::vector<double> hidden(h);
+  std::vector<double> out(k);
+  std::vector<double> delta_h(h);
+
+  for (std::size_t epoch = 0; epoch < params_.epochs; ++epoch) {
+    const double lr =
+        params_.decay ? params_.learning_rate /
+                            (1.0 + 4.0 * static_cast<double>(epoch) /
+                                       static_cast<double>(params_.epochs))
+                      : params_.learning_rate;
+    rng.shuffle(order);
+    for (std::size_t idx : order) {
+      const std::vector<double>& xi = x[idx];
+      // Forward.
+      for (std::size_t j = 0; j < h; ++j) {
+        double z = w1_[j][d];
+        for (std::size_t f = 0; f < d; ++f) z += w1_[j][f] * xi[f];
+        hidden[j] = sigmoid(z);
+      }
+      for (std::size_t c = 0; c < k; ++c) {
+        double z = w2_[c][h];
+        for (std::size_t j = 0; j < h; ++j) z += w2_[c][j] * hidden[j];
+        out[c] = z;
+      }
+      softmax_inplace(out);
+
+      // Backward (cross-entropy + softmax → out - onehot).
+      const std::size_t y = data.class_of(idx);
+      std::fill(delta_h.begin(), delta_h.end(), 0.0);
+      for (std::size_t c = 0; c < k; ++c) {
+        const double err = out[c] - (c == y ? 1.0 : 0.0);
+        for (std::size_t j = 0; j < h; ++j) {
+          delta_h[j] += err * w2_[c][j];
+          v2[c][j] = params_.momentum * v2[c][j] -
+                     lr * err * hidden[j];
+          w2_[c][j] += v2[c][j];
+        }
+        v2[c][h] =
+            params_.momentum * v2[c][h] - lr * err;
+        w2_[c][h] += v2[c][h];
+      }
+      for (std::size_t j = 0; j < h; ++j) {
+        const double grad = delta_h[j] * hidden[j] * (1.0 - hidden[j]);
+        for (std::size_t f = 0; f < d; ++f) {
+          v1[j][f] = params_.momentum * v1[j][f] -
+                     lr * grad * xi[f];
+          w1_[j][f] += v1[j][f];
+        }
+        v1[j][d] =
+            params_.momentum * v1[j][d] - lr * grad;
+        w1_[j][d] += v1[j][d];
+      }
+    }
+  }
+}
+
+std::vector<double> Mlp::hidden_activations(std::span<const double> x) const {
+  const std::size_t d = x.size();
+  std::vector<double> hidden(w1_.size());
+  for (std::size_t j = 0; j < w1_.size(); ++j) {
+    double z = w1_[j][d];
+    for (std::size_t f = 0; f < d; ++f) z += w1_[j][f] * x[f];
+    hidden[j] = sigmoid(z);
+  }
+  return hidden;
+}
+
+std::vector<double> Mlp::distribution(std::span<const double> features) const {
+  HMD_REQUIRE(!w2_.empty(), "MLP: predict before train");
+  const std::vector<double> x = standardizer_.transform(features);
+  const std::vector<double> hidden = hidden_activations(x);
+  std::vector<double> out(w2_.size());
+  for (std::size_t c = 0; c < w2_.size(); ++c) {
+    double z = w2_[c][hidden.size()];
+    for (std::size_t j = 0; j < hidden.size(); ++j) z += w2_[c][j] * hidden[j];
+    out[c] = z;
+  }
+  softmax_inplace(out);
+  return out;
+}
+
+std::size_t Mlp::predict(std::span<const double> features) const {
+  const auto dist = distribution(features);
+  return static_cast<std::size_t>(
+      std::max_element(dist.begin(), dist.end()) - dist.begin());
+}
+
+}  // namespace hmd::ml

@@ -1,0 +1,54 @@
+// Multilayer perceptron — WEKA's MultilayerPerceptron with its default
+// topology: one hidden sigmoid layer of (features + classes) / 2 units
+// (WEKA's 'a' setting), softmax output, SGD with momentum.
+//
+// The thesis's most accurate — and by far most hardware-expensive —
+// classifier.
+#pragma once
+
+#include <cstdint>
+
+#include "ml/classifier.hpp"
+#include "ml/preprocess.hpp"
+
+namespace hmd::ml {
+
+class Mlp final : public Classifier {
+ public:
+  struct Params {
+    std::size_t hidden_units = 0;  ///< 0 → WEKA 'a': (features+classes)/2
+    std::size_t epochs = 300;
+    double learning_rate = 0.05;  ///< WEKA -L (0.3 default is unstable here)
+    double momentum = 0.9;       ///< WEKA -M
+    bool decay = true;           ///< WEKA -D: lr decays as epochs progress
+    std::uint64_t seed = 11;
+  };
+
+  Mlp() : Mlp(Params{}) {}
+  explicit Mlp(Params params) : params_(params) {}
+
+  void train(const Dataset& data) override;
+  std::size_t predict(std::span<const double> features) const override;
+  std::vector<double> distribution(
+      std::span<const double> features) const override;
+  std::string name() const override { return "MLP"; }
+  std::size_t num_classes() const override { return w2_.size(); }
+
+  std::size_t hidden_units() const { return w1_.size(); }
+  /// Input→hidden weights: w1()[h] has num_features entries + bias last.
+  const std::vector<std::vector<double>>& w1() const { return w1_; }
+  /// Hidden→output weights: w2()[c] has hidden_units entries + bias last.
+  const std::vector<std::vector<double>>& w2() const { return w2_; }
+  const Standardizer& standardizer() const { return standardizer_; }
+
+ private:
+  friend struct ModelIo;
+  Params params_;
+  Standardizer standardizer_;
+  std::vector<std::vector<double>> w1_;
+  std::vector<std::vector<double>> w2_;
+
+  std::vector<double> hidden_activations(std::span<const double> x) const;
+};
+
+}  // namespace hmd::ml

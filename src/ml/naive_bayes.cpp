@@ -1,0 +1,92 @@
+#include "ml/naive_bayes.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/error.hpp"
+
+namespace hmd::ml {
+
+void NaiveBayes::train(const Dataset& data) {
+  require_trainable(data);
+  const std::size_t k = data.num_classes();
+  const std::size_t d = data.num_features();
+  const std::size_t n = data.num_instances();
+
+  priors_.assign(k, 0.0);
+  mean_.assign(k, std::vector<double>(d, 0.0));
+  var_.assign(k, std::vector<double>(d, 0.0));
+  std::vector<std::size_t> counts(k, 0);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t c = data.class_of(i);
+    ++counts[c];
+    const auto x = data.features_of(i);
+    for (std::size_t f = 0; f < d; ++f) mean_[c][f] += x[f];
+  }
+  for (std::size_t c = 0; c < k; ++c) {
+    priors_[c] =
+        (static_cast<double>(counts[c]) + 1.0) / (static_cast<double>(n) + static_cast<double>(k));
+    if (counts[c] > 0)
+      for (double& m : mean_[c]) m /= static_cast<double>(counts[c]);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t c = data.class_of(i);
+    const auto x = data.features_of(i);
+    for (std::size_t f = 0; f < d; ++f) {
+      const double dlt = x[f] - mean_[c][f];
+      var_[c][f] += dlt * dlt;
+    }
+  }
+  // Variance floor keeps degenerate (constant) features from producing
+  // infinite densities; WEKA applies a similar minimum-precision floor.
+  for (std::size_t c = 0; c < k; ++c) {
+    for (std::size_t f = 0; f < d; ++f) {
+      var_[c][f] = counts[c] > 1
+                       ? var_[c][f] / static_cast<double>(counts[c] - 1)
+                       : 1.0;
+      const double global_sd = data.feature_stddev(f);
+      const double floor =
+          std::max(1e-6, 1e-4 * global_sd * global_sd);
+      var_[c][f] = std::max(var_[c][f], floor);
+    }
+  }
+}
+
+std::vector<double> NaiveBayes::distribution(
+    std::span<const double> features) const {
+  HMD_REQUIRE(!priors_.empty(), "NaiveBayes: predict before train");
+  HMD_REQUIRE(features.size() == mean_.front().size(),
+              "NaiveBayes: feature width mismatch");
+  const std::size_t k = priors_.size();
+  std::vector<double> log_post(k, 0.0);
+  for (std::size_t c = 0; c < k; ++c) {
+    double lp = std::log(priors_[c]);
+    for (std::size_t f = 0; f < features.size(); ++f) {
+      const double v = var_[c][f];
+      const double dlt = features[f] - mean_[c][f];
+      lp += -0.5 * std::log(2.0 * std::numbers::pi * v) -
+            dlt * dlt / (2.0 * v);
+    }
+    log_post[c] = lp;
+  }
+  // Softmax the log posteriors.
+  const double mx = *std::max_element(log_post.begin(), log_post.end());
+  double total = 0.0;
+  std::vector<double> post(k);
+  for (std::size_t c = 0; c < k; ++c) {
+    post[c] = std::exp(log_post[c] - mx);
+    total += post[c];
+  }
+  for (double& p : post) p /= total;
+  return post;
+}
+
+std::size_t NaiveBayes::predict(std::span<const double> features) const {
+  const auto dist = distribution(features);
+  return static_cast<std::size_t>(
+      std::max_element(dist.begin(), dist.end()) - dist.begin());
+}
+
+}  // namespace hmd::ml

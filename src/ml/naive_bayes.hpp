@@ -1,0 +1,30 @@
+// Gaussian Naive Bayes — WEKA's NaiveBayes with numeric attributes under
+// the default normal-density estimator.
+#pragma once
+
+#include "ml/classifier.hpp"
+
+namespace hmd::ml {
+
+class NaiveBayes final : public Classifier {
+ public:
+  void train(const Dataset& data) override;
+  std::size_t predict(std::span<const double> features) const override;
+  std::vector<double> distribution(
+      std::span<const double> features) const override;
+  std::string name() const override { return "NaiveBayes"; }
+  std::size_t num_classes() const override { return priors_.size(); }
+
+  /// Per-class per-feature Gaussian parameters (for the HW lowering).
+  const std::vector<std::vector<double>>& means() const { return mean_; }
+  const std::vector<std::vector<double>>& variances() const { return var_; }
+  const std::vector<double>& priors() const { return priors_; }
+
+ private:
+  friend struct ModelIo;
+  std::vector<double> priors_;              ///< [class]
+  std::vector<std::vector<double>> mean_;   ///< [class][feature]
+  std::vector<std::vector<double>> var_;    ///< [class][feature]
+};
+
+}  // namespace hmd::ml

@@ -1,0 +1,130 @@
+#include "ml/one_r.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace hmd::ml {
+
+namespace {
+
+struct ValueLabel {
+  double value;
+  std::size_t cls;
+};
+
+struct CandidateRule {
+  std::vector<OneR::Interval> intervals;
+  std::size_t errors = 0;
+};
+
+/// Builds the OneR interval rule for one feature.
+CandidateRule build_rule(std::vector<ValueLabel>& data,
+                         std::size_t num_classes,
+                         std::size_t min_bucket_size) {
+  std::sort(data.begin(), data.end(),
+            [](const ValueLabel& a, const ValueLabel& b) {
+              return a.value < b.value;
+            });
+
+  struct Bucket {
+    std::vector<std::size_t> counts;
+    std::size_t total = 0;
+    double last_value = 0.0;
+    std::size_t majority() const {
+      return static_cast<std::size_t>(
+          std::max_element(counts.begin(), counts.end()) - counts.begin());
+    }
+    std::size_t majority_count() const {
+      return *std::max_element(counts.begin(), counts.end());
+    }
+  };
+
+  std::vector<Bucket> buckets;
+  Bucket current{.counts = std::vector<std::size_t>(num_classes, 0)};
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    ++current.counts[data[i].cls];
+    ++current.total;
+    current.last_value = data[i].value;
+    const bool class_settled = current.majority_count() >= min_bucket_size;
+    const bool boundary =
+        i + 1 < data.size() && data[i + 1].value != data[i].value;
+    if (class_settled && boundary) {
+      buckets.push_back(current);
+      current = Bucket{.counts = std::vector<std::size_t>(num_classes, 0)};
+    }
+  }
+  if (current.total > 0) {
+    buckets.push_back(current);
+  }
+  HMD_ASSERT(!buckets.empty());
+
+  // Merge adjacent buckets with the same majority class.
+  std::vector<Bucket> merged;
+  for (Bucket& b : buckets) {
+    if (!merged.empty() && merged.back().majority() == b.majority()) {
+      Bucket& m = merged.back();
+      for (std::size_t c = 0; c < num_classes; ++c) m.counts[c] += b.counts[c];
+      m.total += b.total;
+      m.last_value = b.last_value;
+    } else {
+      merged.push_back(std::move(b));
+    }
+  }
+
+  CandidateRule rule;
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    OneR::Interval interval;
+    interval.cls = merged[i].majority();
+    if (i + 1 < merged.size()) {
+      // Boundary halfway between this bucket's last value and the next
+      // bucket's first value; approximate with last_value (the next bucket
+      // begins strictly above it by construction).
+      interval.upper_bound = merged[i].last_value;
+    }
+    rule.intervals.push_back(interval);
+    rule.errors += merged[i].total - merged[i].majority_count();
+  }
+  return rule;
+}
+
+}  // namespace
+
+void OneR::train(const Dataset& data) {
+  require_trainable(data);
+  num_classes_ = data.num_classes();
+  const std::size_t n = data.num_instances();
+
+  std::size_t best_errors = n + 1;
+  for (std::size_t f = 0; f < data.num_features(); ++f) {
+    std::vector<ValueLabel> column;
+    column.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+      column.push_back({data.features_of(i)[f], data.class_of(i)});
+    CandidateRule rule = build_rule(column, num_classes_, min_bucket_size_);
+    if (rule.errors < best_errors) {
+      best_errors = rule.errors;
+      feature_ = f;
+      intervals_ = std::move(rule.intervals);
+    }
+  }
+  training_error_ = static_cast<double>(best_errors) / static_cast<double>(n);
+  trained_ = true;
+}
+
+std::size_t OneR::chosen_feature() const {
+  HMD_REQUIRE(trained_, "OneR: model not trained");
+  return feature_;
+}
+
+std::size_t OneR::predict(std::span<const double> features) const {
+  HMD_REQUIRE(trained_, "OneR: predict before train");
+  HMD_REQUIRE(feature_ < features.size(), "OneR: feature vector too short");
+  const double v = features[feature_];
+  for (const Interval& interval : intervals_) {
+    if (v <= interval.upper_bound) return interval.cls;
+  }
+  return intervals_.back().cls;
+}
+
+}  // namespace hmd::ml

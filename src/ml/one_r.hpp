@@ -1,0 +1,52 @@
+// OneR (Holte, 1993): one rule on one attribute.
+//
+// For each feature, numeric values are discretized into intervals whose
+// majority class "settles" after a minimum bucket size (WEKA's -B, default
+// 6); the feature whose interval rule set has the lowest training error
+// wins. The thesis highlights OneR as the extreme low-cost end of the
+// accuracy/area trade-off: in hardware it is a handful of comparators.
+#pragma once
+
+#include <limits>
+
+#include "ml/classifier.hpp"
+
+namespace hmd::ml {
+
+class OneR final : public Classifier {
+ public:
+  /// `min_bucket_size` is WEKA's -B parameter.
+  explicit OneR(std::size_t min_bucket_size = 6)
+      : min_bucket_size_(min_bucket_size) {}
+
+  void train(const Dataset& data) override;
+  std::size_t predict(std::span<const double> features) const override;
+  std::string name() const override { return "OneR"; }
+  std::size_t num_classes() const override { return num_classes_; }
+
+  /// One interval of the learned rule: values < upper_bound (and >= the
+  /// previous interval's bound) map to `cls`. The last interval's bound is
+  /// +infinity.
+  struct Interval {
+    double upper_bound = std::numeric_limits<double>::infinity();
+    std::size_t cls = 0;
+  };
+
+  /// The chosen feature column.
+  std::size_t chosen_feature() const;
+  /// The learned intervals, ascending by bound.
+  const std::vector<Interval>& intervals() const { return intervals_; }
+  /// Training error rate of the winning rule.
+  double training_error() const { return training_error_; }
+
+ private:
+  friend struct ModelIo;
+  std::size_t min_bucket_size_;
+  std::size_t num_classes_ = 0;
+  std::size_t feature_ = 0;
+  bool trained_ = false;
+  std::vector<Interval> intervals_;
+  double training_error_ = 1.0;
+};
+
+}  // namespace hmd::ml

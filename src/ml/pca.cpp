@@ -1,0 +1,119 @@
+#include "ml/pca.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace hmd::ml {
+
+PrincipalComponents::PrincipalComponents(double variance_cutoff)
+    : variance_cutoff_(variance_cutoff) {
+  HMD_REQUIRE(variance_cutoff_ > 0.0 && variance_cutoff_ <= 1.0,
+              "variance_cutoff must be in (0, 1]");
+}
+
+void PrincipalComponents::fit(const Dataset& data) {
+  HMD_REQUIRE(data.num_instances() >= 2, "PCA: need at least two instances");
+  const std::size_t d = data.num_features();
+  standardizer_.fit(data);
+  feature_names_.clear();
+  for (std::size_t f = 0; f < d; ++f)
+    feature_names_.push_back(data.attribute(f).name());
+
+  // Standardized data matrix → covariance == correlation matrix.
+  Matrix x(data.num_instances(), d);
+  for (std::size_t i = 0; i < data.num_instances(); ++i) {
+    const std::vector<double> z = standardizer_.transform(data.features_of(i));
+    for (std::size_t f = 0; f < d; ++f) x(i, f) = z[f];
+  }
+  const Matrix corr = covariance_matrix(x);
+
+  EigenDecomposition eig = jacobi_eigen(corr);
+  eigenvalues_ = std::move(eig.eigenvalues);
+  eigenvectors_ = std::move(eig.eigenvectors);
+  // Numerical floor: correlation eigenvalues are non-negative in theory.
+  for (double& v : eigenvalues_) v = std::max(v, 0.0);
+
+  total_variance_ = 0.0;
+  for (double v : eigenvalues_) total_variance_ += v;
+  HMD_REQUIRE(total_variance_ > 0.0, "PCA: degenerate (all-constant) data");
+
+  double cum = 0.0;
+  retained_ = eigenvalues_.size();
+  for (std::size_t j = 0; j < eigenvalues_.size(); ++j) {
+    cum += eigenvalues_[j] / total_variance_;
+    if (cum >= variance_cutoff_) {
+      retained_ = j + 1;
+      break;
+    }
+  }
+}
+
+double PrincipalComponents::explained_variance_ratio(std::size_t j) const {
+  HMD_REQUIRE(fitted(), "PCA: not fitted");
+  HMD_REQUIRE(j < eigenvalues_.size(), "PCA: component out of range");
+  return eigenvalues_[j] / total_variance_;
+}
+
+double PrincipalComponents::loading(std::size_t feature,
+                                    std::size_t component) const {
+  HMD_REQUIRE(fitted(), "PCA: not fitted");
+  return eigenvectors_(feature, component);
+}
+
+std::vector<double> PrincipalComponents::transform(
+    std::span<const double> features) const {
+  HMD_REQUIRE(fitted(), "PCA: not fitted");
+  const std::vector<double> z = standardizer_.transform(features);
+  std::vector<double> out(retained_, 0.0);
+  for (std::size_t j = 0; j < retained_; ++j) {
+    double s = 0.0;
+    for (std::size_t f = 0; f < z.size(); ++f)
+      s += eigenvectors_(f, j) * z[f];
+    out[j] = s;
+  }
+  return out;
+}
+
+std::pair<double, double> PrincipalComponents::project2d(
+    std::span<const double> features) const {
+  HMD_REQUIRE(fitted(), "PCA: not fitted");
+  HMD_REQUIRE(eigenvalues_.size() >= 2, "PCA: fewer than two components");
+  const std::vector<double> z = standardizer_.transform(features);
+  double p0 = 0.0, p1 = 0.0;
+  for (std::size_t f = 0; f < z.size(); ++f) {
+    p0 += eigenvectors_(f, 0) * z[f];
+    p1 += eigenvectors_(f, 1) * z[f];
+  }
+  return {p0, p1};
+}
+
+std::vector<RankedFeature> PrincipalComponents::ranked_features() const {
+  HMD_REQUIRE(fitted(), "PCA: not fitted");
+  std::vector<RankedFeature> ranked;
+  const std::size_t d = eigenvalues_.size();
+  ranked.reserve(d);
+  for (std::size_t f = 0; f < d; ++f) {
+    double score = 0.0;
+    for (std::size_t j = 0; j < retained_; ++j)
+      score += explained_variance_ratio(j) * std::abs(eigenvectors_(f, j));
+    ranked.push_back({.index = f, .name = feature_names_[f], .score = score});
+  }
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const RankedFeature& a, const RankedFeature& b) {
+                     return a.score > b.score;
+                   });
+  return ranked;
+}
+
+std::vector<RankedFeature> top_pca_features(const Dataset& data, std::size_t k,
+                                            double variance_cutoff) {
+  PrincipalComponents pca(variance_cutoff);
+  pca.fit(data);
+  std::vector<RankedFeature> ranked = pca.ranked_features();
+  if (ranked.size() > k) ranked.resize(k);
+  return ranked;
+}
+
+}  // namespace hmd::ml

@@ -1,0 +1,30 @@
+#include "ml/preprocess.hpp"
+
+#include "util/error.hpp"
+
+namespace hmd::ml {
+
+void Standardizer::fit(const Dataset& data) {
+  HMD_REQUIRE(!data.empty(), "Standardizer::fit: empty dataset");
+  const std::size_t d = data.num_features();
+  mean_.assign(d, 0.0);
+  stddev_.assign(d, 0.0);
+  for (std::size_t f = 0; f < d; ++f) {
+    mean_[f] = data.feature_mean(f);
+    stddev_[f] = data.feature_stddev(f);
+  }
+}
+
+std::vector<double> Standardizer::transform(
+    std::span<const double> features) const {
+  HMD_REQUIRE(fitted(), "Standardizer::transform before fit");
+  HMD_REQUIRE(features.size() == mean_.size(),
+              "Standardizer::transform: width mismatch");
+  std::vector<double> out(features.size());
+  for (std::size_t f = 0; f < features.size(); ++f) {
+    out[f] = stddev_[f] > 0.0 ? (features[f] - mean_[f]) / stddev_[f] : 0.0;
+  }
+  return out;
+}
+
+}  // namespace hmd::ml

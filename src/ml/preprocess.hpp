@@ -1,0 +1,37 @@
+// Feature preprocessing: z-score standardization fitted on training data.
+//
+// Gradient-trained models (Logistic/MLR, SVM, MLP) standardize internally so
+// raw HPC magnitudes (which span orders of magnitude across counters) don't
+// dominate the optimization; tree/rule learners consume raw values, as WEKA's
+// do.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "ml/dataset.hpp"
+
+namespace hmd::ml {
+
+/// Per-feature z-score transform. Constant features map to 0.
+class Standardizer {
+ public:
+  /// Fit on the feature columns of `data`.
+  void fit(const Dataset& data);
+
+  bool fitted() const { return !mean_.empty(); }
+  std::size_t num_features() const { return mean_.size(); }
+
+  /// Transform one feature vector.
+  std::vector<double> transform(std::span<const double> features) const;
+
+  const std::vector<double>& means() const { return mean_; }
+  const std::vector<double>& stddevs() const { return stddev_; }
+
+ private:
+  friend struct ModelIo;
+  std::vector<double> mean_;
+  std::vector<double> stddev_;
+};
+
+}  // namespace hmd::ml

@@ -1,0 +1,49 @@
+#include "ml/registry.hpp"
+
+#include "ml/anomaly.hpp"
+#include "ml/decision_stump.hpp"
+#include "ml/ensemble.hpp"
+#include "ml/j48.hpp"
+#include "ml/jrip.hpp"
+#include "ml/knn.hpp"
+#include "ml/logistic.hpp"
+#include "ml/mlp.hpp"
+#include "ml/naive_bayes.hpp"
+#include "ml/one_r.hpp"
+#include "ml/svm.hpp"
+#include "ml/zero_r.hpp"
+#include "util/error.hpp"
+
+namespace hmd::ml {
+
+std::unique_ptr<Classifier> make_classifier(const std::string& name) {
+  if (name == "ZeroR") return std::make_unique<ZeroR>();
+  if (name == "OneR") return std::make_unique<OneR>();
+  if (name == "DecisionStump") return std::make_unique<DecisionStump>();
+  if (name == "J48") return std::make_unique<J48>();
+  if (name == "JRip") return std::make_unique<JRip>();
+  if (name == "NaiveBayes") return std::make_unique<NaiveBayes>();
+  if (name == "MLR" || name == "Logistic") return std::make_unique<Logistic>();
+  if (name == "SVM") return std::make_unique<LinearSvm>();
+  if (name == "MLP") return std::make_unique<Mlp>();
+  if (name == "IBk") return std::make_unique<Knn>();
+  if (name == "AdaBoostM1")
+    return std::make_unique<AdaBoostM1>(
+        [] { return std::make_unique<DecisionStump>(); });
+  if (name == "Bagging")
+    return std::make_unique<Bagging>([]() -> std::unique_ptr<Classifier> {
+      return std::make_unique<J48>();
+    });
+  if (name == "Mahalanobis") return std::make_unique<AnomalyClassifier>();
+  throw PreconditionError("unknown classifier scheme: " + name);
+}
+
+std::vector<std::string> binary_study_classifiers() {
+  return {"OneR", "JRip", "J48", "NaiveBayes", "MLR", "SVM", "MLP"};
+}
+
+std::vector<std::string> multiclass_study_classifiers() {
+  return {"MLR", "MLP", "SVM"};
+}
+
+}  // namespace hmd::ml

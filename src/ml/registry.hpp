@@ -1,0 +1,27 @@
+// Name-based classifier construction for the experiment harness and
+// benches ("give me a fresh J48"), mirroring WEKA's scheme-name strings.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/classifier.hpp"
+
+namespace hmd::ml {
+
+/// Construct a fresh classifier by scheme name. Known names:
+/// "ZeroR", "OneR", "DecisionStump", "J48", "JRip", "NaiveBayes",
+/// "MLR" (alias "Logistic"), "SVM", "MLP", "IBk",
+/// "AdaBoostM1" (boosted stumps), "Bagging" (bagged J48),
+/// "Mahalanobis" (benign-only anomaly detector, binary datasets only).
+/// Throws hmd::PreconditionError for unknown names.
+std::unique_ptr<Classifier> make_classifier(const std::string& name);
+
+/// The binary-detection classifier set compared in Figs. 13-16.
+std::vector<std::string> binary_study_classifiers();
+
+/// The multiclass classifier set compared in Figs. 17-19 (MLR, MLP, SVM).
+std::vector<std::string> multiclass_study_classifiers();
+
+}  // namespace hmd::ml

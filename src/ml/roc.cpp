@@ -1,0 +1,85 @@
+#include "ml/roc.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace hmd::ml {
+
+std::vector<RocPoint> roc_curve(const Classifier& clf, const Dataset& test) {
+  HMD_REQUIRE(test.num_classes() == 2, "roc_curve: binary datasets only");
+  HMD_REQUIRE(!test.empty(), "roc_curve: empty test set");
+
+  // Score every instance; sort by descending score.
+  struct Scored {
+    double score;
+    bool positive;
+  };
+  std::vector<Scored> scored;
+  scored.reserve(test.num_instances());
+  std::size_t positives = 0;
+  for (std::size_t i = 0; i < test.num_instances(); ++i) {
+    const double s = clf.distribution(test.features_of(i))[1];
+    const bool pos = test.class_of(i) == 1;
+    positives += pos;
+    scored.push_back({s, pos});
+  }
+  const std::size_t negatives = scored.size() - positives;
+  HMD_REQUIRE(positives > 0 && negatives > 0,
+              "roc_curve: test set needs both classes");
+  std::stable_sort(scored.begin(), scored.end(),
+                   [](const Scored& a, const Scored& b) {
+                     return a.score > b.score;
+                   });
+
+  std::vector<RocPoint> curve;
+  curve.push_back({.threshold = 1.0 + 1e-9,
+                   .true_positive_rate = 0.0,
+                   .false_positive_rate = 0.0});
+  std::size_t tp = 0, fp = 0;
+  for (std::size_t i = 0; i < scored.size(); ++i) {
+    if (scored[i].positive)
+      ++tp;
+    else
+      ++fp;
+    // Emit a point only at score boundaries (ties share one point).
+    if (i + 1 < scored.size() && scored[i + 1].score == scored[i].score)
+      continue;
+    curve.push_back(
+        {.threshold = scored[i].score,
+         .true_positive_rate =
+             static_cast<double>(tp) / static_cast<double>(positives),
+         .false_positive_rate =
+             static_cast<double>(fp) / static_cast<double>(negatives)});
+  }
+  return curve;
+}
+
+double auc(const std::vector<RocPoint>& curve) {
+  HMD_REQUIRE(curve.size() >= 2, "auc: need at least two ROC points");
+  double area = 0.0;
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    const double dx =
+        curve[i].false_positive_rate - curve[i - 1].false_positive_rate;
+    const double avg_y =
+        0.5 * (curve[i].true_positive_rate + curve[i - 1].true_positive_rate);
+    area += dx * avg_y;
+  }
+  return area;
+}
+
+double auc_of(const Classifier& clf, const Dataset& test) {
+  return auc(roc_curve(clf, test));
+}
+
+RocPoint best_youden_point(const std::vector<RocPoint>& curve) {
+  HMD_REQUIRE(!curve.empty(), "best_youden_point: empty curve");
+  const auto it = std::max_element(
+      curve.begin(), curve.end(), [](const RocPoint& a, const RocPoint& b) {
+        return (a.true_positive_rate - a.false_positive_rate) <
+               (b.true_positive_rate - b.false_positive_rate);
+      });
+  return *it;
+}
+
+}  // namespace hmd::ml

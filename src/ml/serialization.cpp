@@ -1,0 +1,395 @@
+#include "ml/serialization.hpp"
+
+#include <cstdlib>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "ml/decision_stump.hpp"
+#include "ml/j48.hpp"
+#include "ml/jrip.hpp"
+#include "ml/logistic.hpp"
+#include "ml/mlp.hpp"
+#include "ml/naive_bayes.hpp"
+#include "ml/one_r.hpp"
+#include "ml/svm.hpp"
+#include "ml/zero_r.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace hmd::ml {
+
+namespace {
+
+/// Exact double encoding (hexfloat; strtod parses it back bit-identically).
+std::string enc(double v) { return format("%a", v); }
+
+double dec(const std::string& token) {
+  const char* begin = token.c_str();
+  char* end = nullptr;
+  const double v = std::strtod(begin, &end);
+  if (end != begin + token.size())
+    throw ParseError("model: bad double token '" + token + "'");
+  return v;
+}
+
+/// Tokenized line reader with one-token lookahead-free semantics.
+class Reader {
+ public:
+  explicit Reader(std::istream& in) : in_(in) {}
+
+  /// Next non-empty line's tokens; throws at EOF.
+  std::vector<std::string> line() {
+    std::string raw;
+    while (std::getline(in_, raw)) {
+      std::vector<std::string> tokens;
+      for (const auto& t : split(raw, ' '))
+        if (!trim(t).empty()) tokens.emplace_back(trim(t));
+      if (!tokens.empty()) return tokens;
+    }
+    throw ParseError("model: unexpected end of input");
+  }
+
+  /// Next line must start with `key`; returns the remaining tokens.
+  std::vector<std::string> expect(const std::string& key) {
+    auto tokens = line();
+    if (tokens.front() != key)
+      throw ParseError("model: expected '" + key + "', got '" +
+                       tokens.front() + "'");
+    tokens.erase(tokens.begin());
+    return tokens;
+  }
+
+  std::size_t expect_size(const std::string& key) {
+    const auto tokens = expect(key);
+    if (tokens.size() != 1)
+      throw ParseError("model: '" + key + "' needs one value");
+    return static_cast<std::size_t>(parse_int(tokens[0]));
+  }
+
+ private:
+  std::istream& in_;
+};
+
+void write_vector(std::ostream& out, const std::string& key,
+                  const std::vector<double>& v) {
+  out << key;
+  for (double x : v) out << ' ' << enc(x);
+  out << '\n';
+}
+
+std::vector<double> read_vector(Reader& reader, const std::string& key,
+                                std::size_t expected) {
+  const auto tokens = reader.expect(key);
+  if (tokens.size() != expected)
+    throw ParseError("model: '" + key + "' expected " +
+                     std::to_string(expected) + " values, got " +
+                     std::to_string(tokens.size()));
+  std::vector<double> v;
+  v.reserve(tokens.size());
+  for (const auto& t : tokens) v.push_back(dec(t));
+  return v;
+}
+
+void write_matrix(std::ostream& out, const std::string& key,
+                  const std::vector<std::vector<double>>& m) {
+  out << key << ' ' << m.size() << ' '
+      << (m.empty() ? 0 : m.front().size()) << '\n';
+  for (const auto& row : m) write_vector(out, "row", row);
+}
+
+std::vector<std::vector<double>> read_matrix(Reader& reader,
+                                             const std::string& key) {
+  const auto dims = reader.expect(key);
+  if (dims.size() != 2) throw ParseError("model: bad matrix header");
+  const auto rows = static_cast<std::size_t>(parse_int(dims[0]));
+  const auto cols = static_cast<std::size_t>(parse_int(dims[1]));
+  std::vector<std::vector<double>> m;
+  m.reserve(rows);
+  for (std::size_t r = 0; r < rows; ++r)
+    m.push_back(read_vector(reader, "row", cols));
+  return m;
+}
+
+void write_standardizer(std::ostream& out, const Standardizer& s) {
+  write_vector(out, "standardizer_mean", s.means());
+  write_vector(out, "standardizer_sd", s.stddevs());
+}
+
+void write_j48_node(std::ostream& out, const J48::Node& node) {
+  if (node.is_leaf()) {
+    out << "leaf " << node.cls << ' ' << node.n << ' ' << node.errors
+        << '\n';
+    return;
+  }
+  out << "split " << node.feature << ' ' << enc(node.threshold) << ' '
+      << node.cls << ' ' << node.n << ' ' << node.errors << '\n';
+  write_j48_node(out, *node.left);
+  write_j48_node(out, *node.right);
+}
+
+std::unique_ptr<J48::Node> read_j48_node(Reader& reader) {
+  const auto tokens = reader.line();
+  auto node = std::make_unique<J48::Node>();
+  if (tokens.front() == "leaf") {
+    if (tokens.size() != 4) throw ParseError("model: bad leaf line");
+    node->cls = static_cast<std::size_t>(parse_int(tokens[1]));
+    node->n = static_cast<std::size_t>(parse_int(tokens[2]));
+    node->errors = static_cast<std::size_t>(parse_int(tokens[3]));
+    return node;
+  }
+  if (tokens.front() != "split" || tokens.size() != 6)
+    throw ParseError("model: bad tree line");
+  node->feature = static_cast<std::size_t>(parse_int(tokens[1]));
+  node->threshold = dec(tokens[2]);
+  node->cls = static_cast<std::size_t>(parse_int(tokens[3]));
+  node->n = static_cast<std::size_t>(parse_int(tokens[4]));
+  node->errors = static_cast<std::size_t>(parse_int(tokens[5]));
+  node->left = read_j48_node(reader);
+  node->right = read_j48_node(reader);
+  return node;
+}
+
+}  // namespace
+
+/// Private-state access point (befriended by the supported classifiers).
+struct ModelIo {
+  // ----- save ------------------------------------------------------------
+  static void save(std::ostream& out, const ZeroR& m) {
+    HMD_REQUIRE(!m.priors_.empty(), "save_model: untrained ZeroR");
+    out << "majority " << m.majority_ << '\n';
+    write_vector(out, "priors", m.priors_);
+  }
+  static void save(std::ostream& out, const OneR& m) {
+    HMD_REQUIRE(m.trained_, "save_model: untrained OneR");
+    out << "feature " << m.feature_ << '\n';
+    out << "training_error " << enc(m.training_error_) << '\n';
+    out << "intervals " << m.intervals_.size() << '\n';
+    for (const auto& iv : m.intervals_)
+      out << "interval " << enc(iv.upper_bound) << ' ' << iv.cls << '\n';
+  }
+  static void save(std::ostream& out, const DecisionStump& m) {
+    HMD_REQUIRE(m.trained_, "save_model: untrained DecisionStump");
+    out << "split " << m.feature_ << ' ' << enc(m.threshold_) << ' '
+        << m.left_class_ << ' ' << m.right_class_ << '\n';
+  }
+  static void save(std::ostream& out, const J48& m) {
+    HMD_REQUIRE(m.root_ != nullptr, "save_model: untrained J48");
+    write_j48_node(out, *m.root_);
+  }
+  static void save(std::ostream& out, const JRip& m) {
+    HMD_REQUIRE(m.trained_, "save_model: untrained JRip");
+    out << "default " << m.default_class_ << '\n';
+    out << "rules " << m.rules_.size() << '\n';
+    for (const auto& rule : m.rules_) {
+      out << "rule " << rule.cls << ' ' << rule.conditions.size() << '\n';
+      for (const auto& cond : rule.conditions)
+        out << "cond " << cond.feature << ' ' << (cond.greater ? 1 : 0)
+            << ' ' << enc(cond.threshold) << '\n';
+    }
+  }
+  static void save(std::ostream& out, const NaiveBayes& m) {
+    HMD_REQUIRE(!m.priors_.empty(), "save_model: untrained NaiveBayes");
+    write_vector(out, "priors", m.priors_);
+    write_matrix(out, "means", m.mean_);
+    write_matrix(out, "variances", m.var_);
+  }
+  static void save(std::ostream& out, const Logistic& m) {
+    HMD_REQUIRE(!m.weights_.empty(), "save_model: untrained MLR");
+    write_standardizer(out, m.standardizer_);
+    write_matrix(out, "weights", m.weights_);
+  }
+  static void save(std::ostream& out, const LinearSvm& m) {
+    HMD_REQUIRE(!m.weights_.empty(), "save_model: untrained SVM");
+    write_standardizer(out, m.standardizer_);
+    write_matrix(out, "weights", m.weights_);
+  }
+  static void save(std::ostream& out, const Mlp& m) {
+    HMD_REQUIRE(!m.w2_.empty(), "save_model: untrained MLP");
+    write_standardizer(out, m.standardizer_);
+    write_matrix(out, "w1", m.w1_);
+    write_matrix(out, "w2", m.w2_);
+  }
+
+  // ----- load ------------------------------------------------------------
+  static Standardizer read_standardizer(Reader& reader) {
+    Standardizer s;
+    {
+      const auto tokens = reader.expect("standardizer_mean");
+      for (const auto& t : tokens) s.mean_.push_back(dec(t));
+    }
+    {
+      const auto tokens = reader.expect("standardizer_sd");
+      for (const auto& t : tokens) s.stddev_.push_back(dec(t));
+    }
+    if (s.mean_.size() != s.stddev_.size())
+      throw ParseError("model: standardizer width mismatch");
+    return s;
+  }
+
+  static std::unique_ptr<Classifier> load(Reader& reader,
+                                          const std::string& scheme,
+                                          std::size_t classes) {
+    if (scheme == "ZeroR") {
+      auto m = std::make_unique<ZeroR>();
+      m->majority_ = reader.expect_size("majority");
+      const auto tokens = reader.expect("priors");
+      for (const auto& t : tokens) m->priors_.push_back(dec(t));
+      if (m->priors_.size() != classes)
+        throw ParseError("model: prior count mismatch");
+      return m;
+    }
+    if (scheme == "OneR") {
+      auto m = std::make_unique<OneR>();
+      m->num_classes_ = classes;
+      m->feature_ = reader.expect_size("feature");
+      m->training_error_ = dec(reader.expect("training_error").at(0));
+      const std::size_t n = reader.expect_size("intervals");
+      for (std::size_t i = 0; i < n; ++i) {
+        const auto tokens = reader.expect("interval");
+        if (tokens.size() != 2) throw ParseError("model: bad interval");
+        m->intervals_.push_back(
+            {.upper_bound = dec(tokens[0]),
+             .cls = static_cast<std::size_t>(parse_int(tokens[1]))});
+      }
+      if (m->intervals_.empty()) throw ParseError("model: OneR no intervals");
+      m->trained_ = true;
+      return m;
+    }
+    if (scheme == "DecisionStump") {
+      auto m = std::make_unique<DecisionStump>();
+      m->num_classes_ = classes;
+      const auto tokens = reader.expect("split");
+      if (tokens.size() != 4) throw ParseError("model: bad stump");
+      m->feature_ = static_cast<std::size_t>(parse_int(tokens[0]));
+      m->threshold_ = dec(tokens[1]);
+      m->left_class_ = static_cast<std::size_t>(parse_int(tokens[2]));
+      m->right_class_ = static_cast<std::size_t>(parse_int(tokens[3]));
+      m->trained_ = true;
+      return m;
+    }
+    if (scheme == "J48") {
+      auto m = std::make_unique<J48>();
+      m->num_classes_ = classes;
+      m->root_ = read_j48_node(reader);
+      return m;
+    }
+    if (scheme == "JRip") {
+      auto m = std::make_unique<JRip>();
+      m->num_classes_ = classes;
+      m->default_class_ = reader.expect_size("default");
+      const std::size_t n_rules = reader.expect_size("rules");
+      for (std::size_t r = 0; r < n_rules; ++r) {
+        const auto head = reader.expect("rule");
+        if (head.size() != 2) throw ParseError("model: bad rule header");
+        JRip::Rule rule;
+        rule.cls = static_cast<std::size_t>(parse_int(head[0]));
+        const auto n_conds = static_cast<std::size_t>(parse_int(head[1]));
+        for (std::size_t c = 0; c < n_conds; ++c) {
+          const auto tokens = reader.expect("cond");
+          if (tokens.size() != 3) throw ParseError("model: bad condition");
+          rule.conditions.push_back(
+              {.feature = static_cast<std::size_t>(parse_int(tokens[0])),
+               .greater = parse_int(tokens[1]) != 0,
+               .threshold = dec(tokens[2])});
+        }
+        m->rules_.push_back(std::move(rule));
+      }
+      m->trained_ = true;
+      return m;
+    }
+    if (scheme == "NaiveBayes") {
+      auto m = std::make_unique<NaiveBayes>();
+      const auto tokens = reader.expect("priors");
+      for (const auto& t : tokens) m->priors_.push_back(dec(t));
+      m->mean_ = read_matrix(reader, "means");
+      m->var_ = read_matrix(reader, "variances");
+      if (m->priors_.size() != classes || m->mean_.size() != classes ||
+          m->var_.size() != classes)
+        throw ParseError("model: NaiveBayes shape mismatch");
+      return m;
+    }
+    if (scheme == "MLR") {
+      auto m = std::make_unique<Logistic>();
+      m->standardizer_ = read_standardizer(reader);
+      m->weights_ = read_matrix(reader, "weights");
+      if (m->weights_.size() != classes)
+        throw ParseError("model: MLR shape mismatch");
+      return m;
+    }
+    if (scheme == "SVM") {
+      auto m = std::make_unique<LinearSvm>();
+      m->standardizer_ = read_standardizer(reader);
+      m->weights_ = read_matrix(reader, "weights");
+      if (m->weights_.size() != classes)
+        throw ParseError("model: SVM shape mismatch");
+      return m;
+    }
+    if (scheme == "MLP") {
+      auto m = std::make_unique<Mlp>();
+      m->standardizer_ = read_standardizer(reader);
+      m->w1_ = read_matrix(reader, "w1");
+      m->w2_ = read_matrix(reader, "w2");
+      if (m->w2_.size() != classes)
+        throw ParseError("model: MLP shape mismatch");
+      return m;
+    }
+    throw ParseError("model: unsupported scheme '" + scheme + "'");
+  }
+};
+
+void save_model(std::ostream& out, const Classifier& clf) {
+  HMD_REQUIRE(clf.num_classes() >= 2, "save_model: classifier not trained");
+  out << "hmd-model v1\n";
+  out << "scheme " << clf.name() << '\n';
+  out << "classes " << clf.num_classes() << '\n';
+
+  const bool saved = [&] {
+    if (const auto* m = dynamic_cast<const ZeroR*>(&clf)) {
+      ModelIo::save(out, *m);
+    } else if (const auto* m1 = dynamic_cast<const OneR*>(&clf)) {
+      ModelIo::save(out, *m1);
+    } else if (const auto* m2 = dynamic_cast<const DecisionStump*>(&clf)) {
+      ModelIo::save(out, *m2);
+    } else if (const auto* m3 = dynamic_cast<const J48*>(&clf)) {
+      ModelIo::save(out, *m3);
+    } else if (const auto* m4 = dynamic_cast<const JRip*>(&clf)) {
+      ModelIo::save(out, *m4);
+    } else if (const auto* m5 = dynamic_cast<const NaiveBayes*>(&clf)) {
+      ModelIo::save(out, *m5);
+    } else if (const auto* m6 = dynamic_cast<const Logistic*>(&clf)) {
+      ModelIo::save(out, *m6);
+    } else if (const auto* m7 = dynamic_cast<const LinearSvm*>(&clf)) {
+      ModelIo::save(out, *m7);
+    } else if (const auto* m8 = dynamic_cast<const Mlp*>(&clf)) {
+      ModelIo::save(out, *m8);
+    } else {
+      return false;
+    }
+    return true;
+  }();
+  if (!saved)
+    throw PreconditionError("save_model: no serialization for " + clf.name());
+
+  out << "end\n";
+}
+
+std::unique_ptr<Classifier> load_model(std::istream& in) {
+  Reader reader(in);
+  {
+    const auto header = reader.line();
+    if (header.size() != 2 || header[0] != "hmd-model" || header[1] != "v1")
+      throw ParseError("model: bad header (expected 'hmd-model v1')");
+  }
+  const auto scheme_tokens = reader.expect("scheme");
+  if (scheme_tokens.size() != 1) throw ParseError("model: bad scheme line");
+  const std::size_t classes = reader.expect_size("classes");
+  if (classes < 2) throw ParseError("model: class count must be >= 2");
+
+  std::unique_ptr<Classifier> model =
+      ModelIo::load(reader, scheme_tokens[0], classes);
+  reader.expect("end");
+  return model;
+}
+
+}  // namespace hmd::ml

@@ -1,0 +1,34 @@
+// Trained-model persistence.
+//
+// A deployed detector is trained once and shipped; this module saves and
+// loads trained classifiers in a line-oriented text format:
+//
+//   hmd-model v1
+//   scheme <name>
+//   classes <k>
+//   ...scheme-specific sections...
+//   end
+//
+// Supported schemes: ZeroR, OneR, DecisionStump, J48, JRip, NaiveBayes,
+// MLR (Logistic), SVM, MLP. Round-trip is exact: a loaded model produces
+// bit-identical predictions (all parameters serialize via hex-encoded
+// doubles). Lazy/ensemble learners (IBk, AdaBoostM1, Bagging, Mahalanobis)
+// are not currently serializable and raise PreconditionError.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+
+#include "ml/classifier.hpp"
+
+namespace hmd::ml {
+
+/// Serialize a trained classifier. Throws hmd::PreconditionError for
+/// unsupported or untrained models.
+void save_model(std::ostream& out, const Classifier& clf);
+
+/// Reconstruct a classifier saved by save_model. Throws hmd::ParseError on
+/// malformed input.
+std::unique_ptr<Classifier> load_model(std::istream& in);
+
+}  // namespace hmd::ml

@@ -1,0 +1,86 @@
+#include "ml/svm.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace hmd::ml {
+
+void LinearSvm::train(const Dataset& data) {
+  require_trainable(data);
+  standardizer_.fit(data);
+  const std::size_t k = data.num_classes();
+  const std::size_t d = data.num_features();
+  const std::size_t n = data.num_instances();
+
+  std::vector<std::vector<double>> x(n);
+  for (std::size_t i = 0; i < n; ++i)
+    x[i] = standardizer_.transform(data.features_of(i));
+
+  weights_.assign(k, std::vector<double>(d + 1, 0.0));
+  Rng rng(params_.seed);
+
+  // One Pegasos run per one-vs-rest problem.
+  for (std::size_t cls = 0; cls < k; ++cls) {
+    std::vector<double>& w = weights_[cls];
+    std::size_t t = 0;
+    for (std::size_t epoch = 0; epoch < params_.epochs; ++epoch) {
+      for (std::size_t step = 0; step < n; ++step) {
+        ++t;
+        const std::size_t i = static_cast<std::size_t>(rng.uniform_index(n));
+        const double y = data.class_of(i) == cls ? 1.0 : -1.0;
+        const double eta = 1.0 / (params_.lambda * static_cast<double>(t));
+        double score = w[d];
+        for (std::size_t f = 0; f < d; ++f) score += w[f] * x[i][f];
+        // Shrink then, on a margin violation, step toward the example.
+        const double shrink = 1.0 - eta * params_.lambda;
+        for (std::size_t f = 0; f < d; ++f) w[f] *= shrink;
+        if (y * score < 1.0) {
+          for (std::size_t f = 0; f < d; ++f) w[f] += eta * y * x[i][f];
+          w[d] += eta * y;  // unregularized bias
+        }
+      }
+    }
+  }
+}
+
+double LinearSvm::margin(std::size_t cls, std::span<const double> x) const {
+  const std::vector<double>& w = weights_[cls];
+  double s = w[x.size()];
+  for (std::size_t f = 0; f < x.size(); ++f) s += w[f] * x[f];
+  return s;
+}
+
+std::size_t LinearSvm::predict(std::span<const double> features) const {
+  HMD_REQUIRE(!weights_.empty(), "SVM: predict before train");
+  const std::vector<double> x = standardizer_.transform(features);
+  std::size_t best = 0;
+  double best_margin = margin(0, x);
+  for (std::size_t c = 1; c < weights_.size(); ++c) {
+    const double m = margin(c, x);
+    if (m > best_margin) {
+      best_margin = m;
+      best = c;
+    }
+  }
+  return best;
+}
+
+std::vector<double> LinearSvm::distribution(
+    std::span<const double> features) const {
+  HMD_REQUIRE(!weights_.empty(), "SVM: distribution before train");
+  const std::vector<double> x = standardizer_.transform(features);
+  std::vector<double> out(weights_.size());
+  double total = 0.0;
+  for (std::size_t c = 0; c < weights_.size(); ++c) {
+    out[c] = 1.0 / (1.0 + std::exp(-margin(c, x)));
+    total += out[c];
+  }
+  if (total > 0.0)
+    for (double& v : out) v /= total;
+  return out;
+}
+
+}  // namespace hmd::ml

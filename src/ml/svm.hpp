@@ -1,0 +1,46 @@
+// Linear support vector machine trained in the primal with Pegasos
+// (Shalev-Shwartz et al., 2007); multiclass via one-vs-rest, matching how
+// WEKA's SMO handles multiclass with a linear kernel.
+#pragma once
+
+#include <cstdint>
+
+#include "ml/classifier.hpp"
+#include "ml/preprocess.hpp"
+
+namespace hmd::ml {
+
+class LinearSvm final : public Classifier {
+ public:
+  struct Params {
+    double lambda = 1e-4;      ///< regularization (≈ 1/C·n)
+    std::size_t epochs = 30;   ///< passes over the data
+    std::uint64_t seed = 7;    ///< SGD sampling order
+  };
+
+  LinearSvm() : LinearSvm(Params{}) {}
+  explicit LinearSvm(Params params) : params_(params) {}
+
+  void train(const Dataset& data) override;
+  std::size_t predict(std::span<const double> features) const override;
+  /// Margins mapped through a logistic link (not calibrated probabilities).
+  std::vector<double> distribution(
+      std::span<const double> features) const override;
+  std::string name() const override { return "SVM"; }
+  std::size_t num_classes() const override { return weights_.size(); }
+
+  /// weights()[c]: one-vs-rest hyperplane, num_features entries + bias last
+  /// (standardized space).
+  const std::vector<std::vector<double>>& weights() const { return weights_; }
+  const Standardizer& standardizer() const { return standardizer_; }
+
+ private:
+  friend struct ModelIo;
+  Params params_;
+  Standardizer standardizer_;
+  std::vector<std::vector<double>> weights_;
+
+  double margin(std::size_t cls, std::span<const double> x) const;
+};
+
+}  // namespace hmd::ml

@@ -1,0 +1,27 @@
+#include "ml/zero_r.hpp"
+
+#include "util/error.hpp"
+
+namespace hmd::ml {
+
+void ZeroR::train(const Dataset& data) {
+  require_trainable(data);
+  const auto counts = data.class_counts();
+  priors_.assign(counts.size(), 0.0);
+  for (std::size_t c = 0; c < counts.size(); ++c)
+    priors_[c] = static_cast<double>(counts[c]) /
+                 static_cast<double>(data.num_instances());
+  majority_ = data.majority_class();
+}
+
+std::size_t ZeroR::predict(std::span<const double>) const {
+  HMD_REQUIRE(!priors_.empty(), "ZeroR: predict before train");
+  return majority_;
+}
+
+std::vector<double> ZeroR::distribution(std::span<const double>) const {
+  HMD_REQUIRE(!priors_.empty(), "ZeroR: distribution before train");
+  return priors_;
+}
+
+}  // namespace hmd::ml

@@ -1,0 +1,27 @@
+// ZeroR: predicts the majority class. The sanity-check baseline every WEKA
+// comparison includes — any real detector must beat it.
+#pragma once
+
+#include "ml/classifier.hpp"
+
+namespace hmd::ml {
+
+class ZeroR final : public Classifier {
+ public:
+  void train(const Dataset& data) override;
+  std::size_t predict(std::span<const double> features) const override;
+  std::vector<double> distribution(
+      std::span<const double> features) const override;
+  std::string name() const override { return "ZeroR"; }
+  std::size_t num_classes() const override { return priors_.size(); }
+
+  /// Training-set class priors.
+  const std::vector<double>& priors() const { return priors_; }
+
+ private:
+  friend struct ModelIo;
+  std::size_t majority_ = 0;
+  std::vector<double> priors_;
+};
+
+}  // namespace hmd::ml

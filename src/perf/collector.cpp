@@ -1,0 +1,14 @@
+#include "perf/collector.hpp"
+
+namespace hmd::perf {
+
+HpcCollector::HpcCollector(CollectorConfig config)
+    : config_(std::move(config)) {
+  if (config_.events.empty()) config_.events = default_feature_events();
+  HMD_REQUIRE(config_.ops_per_window > 0, "ops_per_window must be positive");
+  HMD_REQUIRE(config_.num_windows > 0, "num_windows must be positive");
+  HMD_REQUIRE(config_.window_ms > 0.0, "window_ms must be positive");
+  groups_ = schedule_event_groups(config_.events);
+}
+
+}  // namespace hmd::perf

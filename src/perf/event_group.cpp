@@ -1,0 +1,25 @@
+#include "perf/event_group.hpp"
+
+#include "util/error.hpp"
+
+namespace hmd::perf {
+
+std::vector<EventGroup> schedule_event_groups(
+    const std::vector<hwsim::HwEvent>& events, std::size_t registers) {
+  HMD_REQUIRE(!events.empty(), "schedule_event_groups: no events");
+  HMD_REQUIRE(registers > 0, "schedule_event_groups: no registers");
+  std::vector<EventGroup> groups;
+  for (std::size_t i = 0; i < events.size(); i += registers) {
+    const std::size_t end = std::min(i + registers, events.size());
+    groups.emplace_back(events.begin() + static_cast<std::ptrdiff_t>(i),
+                        events.begin() + static_cast<std::ptrdiff_t>(end));
+  }
+  return groups;
+}
+
+std::vector<hwsim::HwEvent> default_feature_events() {
+  const auto& fe = hwsim::feature_events();
+  return {fe.begin(), fe.end()};
+}
+
+}  // namespace hmd::perf

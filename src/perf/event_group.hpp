@@ -1,0 +1,29 @@
+// Scheduling events onto PMU registers.
+//
+// The i5-4590 exposes 8 programmable counters; the paper samples 16 events,
+// so perf time-multiplexes two groups of 8 within each sampling period and
+// scales counts by the fraction of time each group was scheduled. This
+// module computes the grouping.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "hwsim/events.hpp"
+#include "hwsim/pmu.hpp"
+
+namespace hmd::perf {
+
+/// A set of events that fits on the PMU register file simultaneously.
+using EventGroup = std::vector<hwsim::HwEvent>;
+
+/// Partition `events` into groups of at most `registers` events each,
+/// preserving order. Throws if `events` is empty.
+std::vector<EventGroup> schedule_event_groups(
+    const std::vector<hwsim::HwEvent>& events,
+    std::size_t registers = hwsim::Pmu::kNumCounters);
+
+/// The paper's 16 feature events, in dataset column order.
+std::vector<hwsim::HwEvent> default_feature_events();
+
+}  // namespace hmd::perf

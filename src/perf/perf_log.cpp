@@ -1,0 +1,97 @@
+#include "perf/perf_log.hpp"
+
+#include <istream>
+#include <map>
+#include <ostream>
+
+#include "util/csv.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace hmd::perf {
+
+void write_perf_log(std::ostream& out, const RunLog& run) {
+  HMD_REQUIRE(!run.events.empty(), "write_perf_log: no events");
+  out << "# sample: " << run.sample_id << '\n';
+  out << "# label: " << run.label << '\n';
+  double t = 0.0;
+  for (const HpcSample& s : run.samples) {
+    HMD_REQUIRE(s.counts.size() == run.events.size(),
+                "write_perf_log: sample width mismatch");
+    t += s.window_ms;
+    for (std::size_t i = 0; i < run.events.size(); ++i) {
+      out << format("%12.3f %18.0f  %s\n", t, s.counts[i],
+                    std::string(hwsim::event_name(run.events[i])).c_str());
+    }
+  }
+}
+
+RunLog read_perf_log(std::istream& in) {
+  RunLog run;
+  std::string line;
+  // time → (event → count), in insertion order of times.
+  std::vector<double> times;
+  std::map<double, HpcSample> windows;
+  while (std::getline(in, line)) {
+    const std::string_view trimmed = trim(line);
+    if (trimmed.empty()) continue;
+    if (trimmed.front() == '#') {
+      const std::string_view body = trim(trimmed.substr(1));
+      if (istarts_with(body, "sample:"))
+        run.sample_id = std::string(trim(body.substr(7)));
+      else if (istarts_with(body, "label:"))
+        run.label = std::string(trim(body.substr(6)));
+      continue;
+    }
+    // "<time> <count> <event>"
+    std::vector<std::string> parts;
+    for (const auto& p : split(std::string(trimmed), ' '))
+      if (!trim(p).empty()) parts.emplace_back(trim(p));
+    if (parts.size() != 3)
+      throw ParseError("perf log: malformed line: " + line);
+    const double t = parse_double(parts[0]);
+    const double count = parse_double(parts[1]);
+    const hwsim::HwEvent event = hwsim::event_from_name(parts[2]);
+
+    if (windows.find(t) == windows.end()) times.push_back(t);
+    HpcSample& w = windows[t];
+    // Record event order from the first window.
+    if (times.size() == 1) run.events.push_back(event);
+    w.counts.push_back(count);
+  }
+  run.samples.reserve(times.size());
+  double prev_t = 0.0;
+  for (double t : times) {
+    HpcSample s = windows.at(t);
+    s.window_ms = t - prev_t;
+    prev_t = t;
+    if (s.counts.size() != run.events.size())
+      throw ParseError("perf log: ragged window at t=" + std::to_string(t));
+    run.samples.push_back(std::move(s));
+  }
+  return run;
+}
+
+void combine_logs_to_csv(std::ostream& out, const std::vector<RunLog>& runs) {
+  HMD_REQUIRE(!runs.empty(), "combine_logs_to_csv: no runs");
+  CsvWriter writer(out);
+  std::vector<std::string> header;
+  for (hwsim::HwEvent e : runs.front().events)
+    header.emplace_back(hwsim::event_name(e));
+  header.emplace_back("class");
+  writer.write_row(header);
+
+  for (const RunLog& run : runs) {
+    HMD_REQUIRE(run.events == runs.front().events,
+                "combine_logs_to_csv: runs use differing event lists");
+    for (const HpcSample& s : run.samples) {
+      std::vector<std::string> row;
+      row.reserve(s.counts.size() + 1);
+      for (double c : s.counts) row.push_back(format("%.3f", c));
+      row.push_back(run.label);
+      writer.write_row(row);
+    }
+  }
+}
+
+}  // namespace hmd::perf

@@ -1,0 +1,39 @@
+// perf-stat-style text logs and the log→CSV combiner.
+//
+// The thesis stores each run's HPC values "into text files and later
+// combined into a CSV file to be used as input to Machine Learning
+// Classifiers". This module reproduces that exact flow so the pipeline can
+// round-trip through the same on-disk artifacts.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "hwsim/events.hpp"
+#include "perf/collector.hpp"
+
+namespace hmd::perf {
+
+/// One run's log: the sample identity plus its windows.
+struct RunLog {
+  std::string sample_id;
+  std::string label;  ///< class name ("benign", "trojan", ...)
+  std::vector<hwsim::HwEvent> events;
+  std::vector<HpcSample> samples;
+};
+
+/// Write a run as a perf-stat-interval-style text log:
+///   # sample: <id>
+///   # label: <class>
+///   <time_ms> <count> <event-name>   (one line per event per window)
+void write_perf_log(std::ostream& out, const RunLog& run);
+
+/// Parse a log previously written by write_perf_log.
+RunLog read_perf_log(std::istream& in);
+
+/// Combine runs into one CSV: header = event names + "class"; one row per
+/// window. This is the file the ML layer trains from.
+void combine_logs_to_csv(std::ostream& out, const std::vector<RunLog>& runs);
+
+}  // namespace hmd::perf

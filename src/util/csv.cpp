@@ -1,0 +1,118 @@
+#include "util/csv.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace hmd {
+
+namespace {
+
+// Parses one physical line of CSV. Quoted fields spanning multiple lines are
+// not supported (the pipeline never produces them).
+std::vector<std::string> parse_line(const std::string& line, std::size_t lineno) {
+  std::vector<std::string> cells;
+  std::string cell;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cell += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cell += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      cells.push_back(std::move(cell));
+      cell.clear();
+    } else {
+      cell += c;
+    }
+  }
+  if (in_quotes)
+    throw ParseError("CSV line " + std::to_string(lineno) +
+                     ": unterminated quoted field");
+  cells.push_back(std::move(cell));
+  return cells;
+}
+
+}  // namespace
+
+std::size_t CsvTable::column_index(const std::string& name) const {
+  for (std::size_t i = 0; i < header.size(); ++i)
+    if (header[i] == name) return i;
+  throw ParseError("CSV column not found: " + name);
+}
+
+CsvTable read_csv(std::istream& in) {
+  CsvTable table;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    auto cells = parse_line(line, lineno);
+    if (table.header.empty()) {
+      table.header = std::move(cells);
+    } else {
+      if (cells.size() != table.header.size())
+        throw ParseError("CSV line " + std::to_string(lineno) + ": expected " +
+                         std::to_string(table.header.size()) + " fields, got " +
+                         std::to_string(cells.size()));
+      table.rows.push_back(std::move(cells));
+    }
+  }
+  return table;
+}
+
+CsvTable read_csv_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot open CSV file: " + path);
+  return read_csv(in);
+}
+
+std::string csv_escape(const std::string& field) {
+  const bool needs_quote =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quote) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << csv_escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::write_row(const std::vector<double>& cells, int precision) {
+  std::ostringstream os;
+  os.precision(precision);
+  os << std::fixed;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) os << ',';
+    os << cells[i];
+  }
+  out_ << os.str() << '\n';
+}
+
+}  // namespace hmd

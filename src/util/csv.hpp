@@ -1,0 +1,45 @@
+// Minimal CSV reading/writing, matching the paper's pipeline where per-run
+// perf logs are combined into a CSV consumed by the ML tool.
+//
+// The dialect is deliberately simple: comma separator, optional double-quote
+// quoting with "" escapes, one header row. This matches what the thesis
+// produced from perf text logs.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hmd {
+
+/// An in-memory CSV table: one header row plus string cells.
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  std::size_t column_index(const std::string& name) const;  ///< throws if absent
+};
+
+/// Parse CSV from a stream. Throws hmd::ParseError on ragged rows.
+CsvTable read_csv(std::istream& in);
+
+/// Parse CSV from a file path.
+CsvTable read_csv_file(const std::string& path);
+
+/// Quote a field if it contains a comma, quote, or newline.
+std::string csv_escape(const std::string& field);
+
+/// Incremental CSV writer.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  void write_row(const std::vector<std::string>& cells);
+  /// Convenience: numeric row with fixed precision.
+  void write_row(const std::vector<double>& cells, int precision = 6);
+
+ private:
+  std::ostream& out_;
+};
+
+}  // namespace hmd

@@ -1,0 +1,63 @@
+// Error handling primitives for the hmdetect libraries.
+//
+// Library code throws hmd::Error (or a subclass) on precondition violations
+// and unrecoverable input errors; internal invariants use HMD_ASSERT, which
+// is active in all build types (the cost is negligible next to simulation).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace hmd {
+
+/// Base exception for all hmdetect errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a caller violates a documented precondition.
+class PreconditionError : public Error {
+ public:
+  explicit PreconditionError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown on malformed external input (files, configs).
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_precondition(const char* expr, const char* file,
+                                            int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "precondition failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw PreconditionError(os.str());
+}
+
+[[noreturn]] inline void throw_assert(const char* expr, const char* file,
+                                      int line) {
+  std::ostringstream os;
+  os << "internal invariant violated: " << expr << " at " << file << ':'
+     << line;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace hmd
+
+/// Validate a documented caller-facing precondition.
+#define HMD_REQUIRE(expr, msg)                                             \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::hmd::detail::throw_precondition(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+/// Validate an internal invariant. Active in all build types.
+#define HMD_ASSERT(expr)                                            \
+  do {                                                              \
+    if (!(expr)) ::hmd::detail::throw_assert(#expr, __FILE__, __LINE__); \
+  } while (false)

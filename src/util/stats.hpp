@@ -1,0 +1,72 @@
+// Streaming and batch statistics used across the simulator and ML library.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace hmd {
+
+/// Welford streaming accumulator: mean/variance/min/max over a stream.
+class RunningStats {
+ public:
+  void add(double x);
+  /// Merge another accumulator (parallel reduction).
+  void merge(const RunningStats& other);
+  void clear();
+
+  std::size_t count() const { return n_; }
+  double mean() const;
+  /// Sample variance (n-1 denominator). Zero for n < 2.
+  double variance() const;
+  double stddev() const;
+  /// Population variance (n denominator). Zero for n < 1.
+  double population_variance() const;
+  double min() const;
+  double max() const;
+  double sum() const { return mean() * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Pearson correlation of two equal-length series. Returns 0 when either
+/// series is constant.
+double pearson_correlation(std::span<const double> x, std::span<const double> y);
+
+/// Arithmetic mean; 0 for an empty span.
+double mean_of(std::span<const double> xs);
+
+/// Sample standard deviation; 0 for fewer than two values.
+double stddev_of(std::span<const double> xs);
+
+/// p-th percentile (0..100) by linear interpolation on a sorted copy.
+double percentile(std::span<const double> xs, double p);
+
+/// Fixed-width histogram over [lo, hi); values outside are clamped to the
+/// edge bins. Used for distribution summaries in benches and tests.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::size_t bin_count(std::size_t bin) const;
+  std::size_t bins() const { return counts_.size(); }
+  std::size_t total() const { return total_; }
+  double bin_low(std::size_t bin) const;
+  double bin_high(std::size_t bin) const;
+  /// Index of the most populated bin.
+  std::size_t mode_bin() const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace hmd

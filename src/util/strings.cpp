@@ -1,0 +1,95 @@
+#include "util/strings.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdarg>
+#include <cstdio>
+
+#include "util/error.hpp"
+
+namespace hmd {
+
+std::vector<std::string> split(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = s.find(delim, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(s.substr(start));
+      break;
+    }
+    out.emplace_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::string_view trim(std::string_view s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+bool istarts_with(std::string_view s, std::string_view prefix) {
+  if (s.size() < prefix.size()) return false;
+  for (std::size_t i = 0; i < prefix.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(s[i])) !=
+        std::tolower(static_cast<unsigned char>(prefix[i])))
+      return false;
+  }
+  return true;
+}
+
+double parse_double(std::string_view s) {
+  const std::string_view t = trim(s);
+  double value = 0.0;
+  const auto [ptr, ec] = std::from_chars(t.data(), t.data() + t.size(), value);
+  if (ec != std::errc{} || ptr != t.data() + t.size())
+    throw ParseError("cannot parse '" + std::string(s) + "' as a real number");
+  return value;
+}
+
+long long parse_int(std::string_view s) {
+  const std::string_view t = trim(s);
+  long long value = 0;
+  const auto [ptr, ec] = std::from_chars(t.data(), t.data() + t.size(), value);
+  if (ec != std::errc{} || ptr != t.data() + t.size())
+    throw ParseError("cannot parse '" + std::string(s) + "' as an integer");
+  return value;
+}
+
+std::string format(const char* fmt, ...) {
+  std::va_list args;
+  va_start(args, fmt);
+  std::va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  if (needed < 0) {
+    va_end(args_copy);
+    throw Error("format: encoding error");
+  }
+  std::string out(static_cast<std::size_t>(needed), '\0');
+  std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  va_end(args_copy);
+  return out;
+}
+
+}  // namespace hmd

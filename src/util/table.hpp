@@ -1,0 +1,33 @@
+// Plain-text table rendering for bench output and example programs.
+//
+// Every bench regenerates one of the paper's tables/figures; this helper
+// renders aligned columns so the output reads like the published artifact.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hmd {
+
+/// Column-aligned ASCII table with an optional title.
+class TextTable {
+ public:
+  explicit TextTable(std::string title = {}) : title_(std::move(title)) {}
+
+  void set_header(std::vector<std::string> header);
+  void add_row(std::vector<std::string> row);
+  /// Numeric convenience: formats each value with `precision` digits.
+  void add_row(const std::string& label, const std::vector<double>& values,
+               int precision = 2);
+
+  void print(std::ostream& out) const;
+  std::string to_string() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hmd

@@ -1,0 +1,40 @@
+#include "workload/app_class.hpp"
+
+#include "util/error.hpp"
+
+namespace hmd::workload {
+
+namespace {
+constexpr std::array<std::string_view, kNumAppClasses> kNames = {
+    "benign", "backdoor", "rootkit", "trojan", "virus", "worm"};
+}
+
+std::string_view app_class_name(AppClass c) {
+  const auto i = static_cast<std::size_t>(c);
+  HMD_REQUIRE(i < kNumAppClasses, "app_class_name: invalid class");
+  return kNames[i];
+}
+
+AppClass app_class_from_name(std::string_view name) {
+  for (std::size_t i = 0; i < kNumAppClasses; ++i)
+    if (kNames[i] == name) return static_cast<AppClass>(i);
+  throw ParseError("unknown application class: " + std::string(name));
+}
+
+const std::array<AppClass, kNumAppClasses>& all_app_classes() {
+  static const std::array<AppClass, kNumAppClasses> kAll = {
+      AppClass::kBenign, AppClass::kBackdoor, AppClass::kRootkit,
+      AppClass::kTrojan, AppClass::kVirus,    AppClass::kWorm};
+  return kAll;
+}
+
+const std::array<AppClass, kNumMalwareClasses>& malware_classes() {
+  static const std::array<AppClass, kNumMalwareClasses> kMal = {
+      AppClass::kBackdoor, AppClass::kRootkit, AppClass::kTrojan,
+      AppClass::kVirus, AppClass::kWorm};
+  return kMal;
+}
+
+bool is_malware(AppClass c) { return c != AppClass::kBenign; }
+
+}  // namespace hmd::workload

@@ -1,0 +1,43 @@
+// Application classes: the five malware families from the thesis plus
+// benign. Table 1 / Figures 3 and 6 use exactly these.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace hmd::workload {
+
+/// Class label for an application sample.
+enum class AppClass : std::uint8_t {
+  kBenign = 0,
+  kBackdoor,
+  kRootkit,
+  kTrojan,
+  kVirus,
+  kWorm,
+  kCount  // sentinel
+};
+
+inline constexpr std::size_t kNumAppClasses =
+    static_cast<std::size_t>(AppClass::kCount);
+
+/// Number of malware families (excludes benign).
+inline constexpr std::size_t kNumMalwareClasses = kNumAppClasses - 1;
+
+/// Human-readable name ("benign", "backdoor", ...).
+std::string_view app_class_name(AppClass c);
+
+/// Inverse of app_class_name; throws hmd::ParseError for unknown names.
+AppClass app_class_from_name(std::string_view name);
+
+/// All classes, benign first.
+const std::array<AppClass, kNumAppClasses>& all_app_classes();
+
+/// The five malware families (no benign).
+const std::array<AppClass, kNumMalwareClasses>& malware_classes();
+
+/// True for any class other than kBenign.
+bool is_malware(AppClass c);
+
+}  // namespace hmd::workload

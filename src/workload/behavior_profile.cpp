@@ -1,0 +1,266 @@
+#include "workload/behavior_profile.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace hmd::workload {
+
+void PhaseParams::sanitize() {
+  auto clamp01 = [](double& v) { v = std::clamp(v, 0.0, 1.0); };
+  clamp01(load_frac);
+  clamp01(store_frac);
+  clamp01(branch_frac);
+  // Keep the mix a valid distribution (ALU gets the remainder).
+  const double total = load_frac + store_frac + branch_frac;
+  if (total > 0.95) {
+    const double scale = 0.95 / total;
+    load_frac *= scale;
+    store_frac *= scale;
+    branch_frac *= scale;
+  }
+  clamp01(cond_branch_frac);
+  clamp01(branch_bias);
+  clamp01(jump_spread);
+  clamp01(hot_frac);
+  clamp01(stream_frac);
+  code_pages = std::max<std::uint32_t>(code_pages, 1);
+  data_pages = std::max<std::uint32_t>(data_pages, 1);
+  hot_pages = std::clamp<std::uint32_t>(hot_pages, 1, data_pages);
+  weight = std::max(weight, 1e-6);
+}
+
+std::vector<double> BehaviorProfile::normalized_weights() const {
+  HMD_REQUIRE(!phases.empty(), "profile must have at least one phase");
+  double total = 0.0;
+  for (const auto& p : phases) total += p.weight;
+  HMD_REQUIRE(total > 0.0, "phase weights must be positive");
+  std::vector<double> w;
+  w.reserve(phases.size());
+  for (const auto& p : phases) w.push_back(p.weight / total);
+  return w;
+}
+
+namespace {
+
+PhaseParams benign_compute() {
+  return {.name = "compute", .weight = 0.5,
+          .load_frac = 0.25, .store_frac = 0.12, .branch_frac = 0.18,
+          .cond_branch_frac = 0.80, .branch_bias = 0.93, .jump_spread = 0.05,
+          .code_pages = 16,
+          .data_pages = 48, .hot_pages = 8, .hot_frac = 0.80,
+          .stream_frac = 0.40};
+}
+
+PhaseParams benign_io() {
+  return {.name = "io", .weight = 0.3,
+          .load_frac = 0.30, .store_frac = 0.20, .branch_frac = 0.15,
+          .cond_branch_frac = 0.75, .branch_bias = 0.90, .jump_spread = 0.10,
+          .code_pages = 24,
+          .data_pages = 40, .hot_pages = 8, .hot_frac = 0.55,
+          .stream_frac = 0.60};
+}
+
+PhaseParams benign_idle() {
+  return {.name = "idle", .weight = 0.2,
+          .load_frac = 0.16, .store_frac = 0.06, .branch_frac = 0.20,
+          .cond_branch_frac = 0.80, .branch_bias = 0.92, .jump_spread = 0.04,
+          .code_pages = 8,
+          .data_pages = 12, .hot_pages = 4, .hot_frac = 0.85,
+          .stream_frac = 0.15};
+}
+
+BehaviorProfile benign_archetype() {
+  return {.app_class = AppClass::kBenign,
+          .phases = {benign_compute(), benign_io(), benign_idle()}};
+}
+
+BehaviorProfile backdoor_archetype() {
+  PhaseParams poll{.name = "poll", .weight = 0.8,
+                   .load_frac = 0.12, .store_frac = 0.03, .branch_frac = 0.34,
+                   .cond_branch_frac = 0.92, .branch_bias = 0.985,
+                   .jump_spread = 0.01,
+                   .code_pages = 2,
+                   .data_pages = 4, .hot_pages = 2, .hot_frac = 0.97,
+                   .stream_frac = 0.10};
+  PhaseParams command{.name = "command", .weight = 0.2,
+                      .load_frac = 0.28, .store_frac = 0.18,
+                      .branch_frac = 0.17,
+                      .cond_branch_frac = 0.75, .branch_bias = 0.88,
+                      .jump_spread = 0.10,
+                      .code_pages = 16,
+                      .data_pages = 32, .hot_pages = 6, .hot_frac = 0.60,
+                      .stream_frac = 0.50};
+  return {.app_class = AppClass::kBackdoor, .phases = {poll, command}};
+}
+
+BehaviorProfile rootkit_archetype() {
+  PhaseParams interpose{.name = "interpose", .weight = 0.6,
+                        .load_frac = 0.22, .store_frac = 0.10,
+                        .branch_frac = 0.24,
+                        .cond_branch_frac = 0.55, .branch_bias = 0.50,
+                        .jump_spread = 0.55,
+                        .code_pages = 128,
+                        .data_pages = 48, .hot_pages = 6, .hot_frac = 0.60,
+                        .stream_frac = 0.20};
+  PhaseParams scan{.name = "scan", .weight = 0.4,
+                   .load_frac = 0.30, .store_frac = 0.08, .branch_frac = 0.20,
+                   .cond_branch_frac = 0.65, .branch_bias = 0.70,
+                   .jump_spread = 0.30,
+                   .code_pages = 64,
+                   .data_pages = 96, .hot_pages = 8, .hot_frac = 0.45,
+                   .stream_frac = 0.60};
+  return {.app_class = AppClass::kRootkit, .phases = {interpose, scan}};
+}
+
+BehaviorProfile trojan_archetype() {
+  PhaseParams facade{.name = "facade", .weight = 0.5,
+                     .load_frac = 0.22, .store_frac = 0.10,
+                     .branch_frac = 0.22,
+                     .cond_branch_frac = 0.82, .branch_bias = 0.95,
+                     .jump_spread = 0.04,
+                     .code_pages = 8,
+                     .data_pages = 40, .hot_pages = 8, .hot_frac = 0.90,
+                     .stream_frac = 0.20};
+  PhaseParams keylog{.name = "keylog", .weight = 0.2,
+                     .load_frac = 0.18, .store_frac = 0.10,
+                     .branch_frac = 0.26,
+                     .cond_branch_frac = 0.85, .branch_bias = 0.94,
+                     .jump_spread = 0.05,
+                     .code_pages = 8,
+                     .data_pages = 16, .hot_pages = 4, .hot_frac = 0.85,
+                     .stream_frac = 0.15};
+  PhaseParams exfil{.name = "exfil", .weight = 0.3,
+                    .load_frac = 0.30, .store_frac = 0.32,
+                    .branch_frac = 0.10,
+                    .cond_branch_frac = 0.70, .branch_bias = 0.90,
+                    .jump_spread = 0.08,
+                    .code_pages = 16,
+                    .data_pages = 768, .hot_pages = 8, .hot_frac = 0.15,
+                    .stream_frac = 0.85};
+  return {.app_class = AppClass::kTrojan, .phases = {facade, keylog, exfil}};
+}
+
+BehaviorProfile virus_archetype() {
+  PhaseParams scan{.name = "scan", .weight = 0.55,
+                   .load_frac = 0.40, .store_frac = 0.06, .branch_frac = 0.16,
+                   .cond_branch_frac = 0.80, .branch_bias = 0.85,
+                   .jump_spread = 0.08,
+                   .code_pages = 24,
+                   .data_pages = 1024, .hot_pages = 16, .hot_frac = 0.15,
+                   .stream_frac = 0.92};
+  PhaseParams infect{.name = "infect", .weight = 0.25,
+                     .load_frac = 0.30, .store_frac = 0.25,
+                     .branch_frac = 0.14,
+                     .cond_branch_frac = 0.75, .branch_bias = 0.82,
+                     .jump_spread = 0.10,
+                     .code_pages = 24,
+                     .data_pages = 256, .hot_pages = 12, .hot_frac = 0.30,
+                     .stream_frac = 0.70};
+  PhaseParams dormant{.name = "dormant", .weight = 0.2,
+                      .load_frac = 0.20, .store_frac = 0.04,
+                      .branch_frac = 0.20,
+                      .cond_branch_frac = 0.88, .branch_bias = 0.97,
+                      .jump_spread = 0.02,
+                      .code_pages = 6,
+                      .data_pages = 8, .hot_pages = 4, .hot_frac = 0.92,
+                      .stream_frac = 0.10};
+  return {.app_class = AppClass::kVirus, .phases = {scan, infect, dormant}};
+}
+
+BehaviorProfile worm_archetype() {
+  PhaseParams replicate{.name = "replicate", .weight = 0.6,
+                        .load_frac = 0.32, .store_frac = 0.32,
+                        .branch_frac = 0.12,
+                        .cond_branch_frac = 0.70, .branch_bias = 0.88,
+                        .jump_spread = 0.06,
+                        .code_pages = 16,
+                        .data_pages = 2048, .hot_pages = 8, .hot_frac = 0.08,
+                        .stream_frac = 0.90};
+  PhaseParams propagate{.name = "propagate", .weight = 0.4,
+                        .load_frac = 0.25, .store_frac = 0.15,
+                        .branch_frac = 0.20,
+                        .cond_branch_frac = 0.80, .branch_bias = 0.85,
+                        .jump_spread = 0.12,
+                        .code_pages = 32,
+                        .data_pages = 128, .hot_pages = 8, .hot_frac = 0.40,
+                        .stream_frac = 0.50};
+  return {.app_class = AppClass::kWorm, .phases = {replicate, propagate}};
+}
+
+/// Multiplicative log-normal jitter, clamped to [0.4x, 2.5x].
+double jitter(Rng& rng, double value, double sigma) {
+  const double factor =
+      std::clamp(rng.lognormal(0.0, sigma), 0.4, 2.5);
+  return value * factor;
+}
+
+std::uint32_t jitter_pages(Rng& rng, std::uint32_t pages, double sigma) {
+  const double v = jitter(rng, static_cast<double>(pages), sigma);
+  return static_cast<std::uint32_t>(std::max(1.0, v));
+}
+
+}  // namespace
+
+BehaviorProfile class_archetype(AppClass c) {
+  switch (c) {
+    case AppClass::kBenign:   return benign_archetype();
+    case AppClass::kBackdoor: return backdoor_archetype();
+    case AppClass::kRootkit:  return rootkit_archetype();
+    case AppClass::kTrojan:   return trojan_archetype();
+    case AppClass::kVirus:    return virus_archetype();
+    case AppClass::kWorm:     return worm_archetype();
+    case AppClass::kCount:    break;
+  }
+  throw PreconditionError("class_archetype: invalid class");
+}
+
+BehaviorProfile instantiate_sample_profile(AppClass c, Rng& rng,
+                                           double stealth_prob) {
+  HMD_REQUIRE(stealth_prob >= 0.0 && stealth_prob <= 1.0,
+              "stealth_prob must be a probability");
+  BehaviorProfile profile = class_archetype(c);
+
+  // Benign samples vary widely (different programs): heavier jitter, and
+  // occasionally drop a phase entirely.
+  const bool benign = c == AppClass::kBenign;
+  const double frac_sigma = benign ? 0.18 : 0.15;
+  const double pages_sigma = benign ? 0.40 : 0.30;
+
+  for (PhaseParams& p : profile.phases) {
+    p.weight = jitter(rng, p.weight, 0.18);
+    p.load_frac = jitter(rng, p.load_frac, frac_sigma);
+    p.store_frac = jitter(rng, p.store_frac, frac_sigma);
+    p.branch_frac = jitter(rng, p.branch_frac, frac_sigma);
+    p.cond_branch_frac = jitter(rng, p.cond_branch_frac, 0.10);
+    p.branch_bias = jitter(rng, p.branch_bias, 0.04);
+    p.jump_spread = jitter(rng, p.jump_spread, 0.30);
+    p.code_pages = jitter_pages(rng, p.code_pages, pages_sigma);
+    p.data_pages = jitter_pages(rng, p.data_pages, pages_sigma);
+    p.hot_pages = jitter_pages(rng, p.hot_pages, 0.35);
+    p.hot_frac = jitter(rng, p.hot_frac, 0.15);
+    p.stream_frac = jitter(rng, p.stream_frac, 0.20);
+    p.sanitize();
+  }
+
+  if (benign && profile.phases.size() > 1 && rng.bernoulli(0.2)) {
+    profile.phases.erase(profile.phases.begin() +
+                         static_cast<std::ptrdiff_t>(
+                             rng.uniform_index(profile.phases.size())));
+  }
+
+  // Stealthy malware variants hide behind a benign facade for a sizeable
+  // share of their execution.
+  if (is_malware(c) && rng.bernoulli(stealth_prob)) {
+    PhaseParams facade = benign_compute();
+    facade.name = "stealth-facade";
+    facade.weight = rng.uniform(0.25, 0.45);
+    facade.sanitize();
+    profile.phases.push_back(facade);
+  }
+
+  return profile;
+}
+
+}  // namespace hmd::workload

@@ -1,0 +1,81 @@
+// Generative behaviour model for application classes.
+//
+// The paper executes real malware samples and benign programs; the detector
+// only ever observes 16 HPC values per 10 ms window. This module substitutes
+// real binaries with parameterized behaviour archetypes — one per class —
+// that encode the *published qualitative microarchitectural signatures* of
+// each malware family (see DESIGN.md):
+//
+//   backdoor — tight poll loops: branchy, highly predictable, tiny footprint
+//   rootkit  — hooking/interposition: indirect control flow over a large code
+//              footprint → icache/iTLB/branch-miss pressure
+//   trojan   — benign facade with keylogging + exfiltration bursts (the
+//              family that overlaps benign the most)
+//   virus    — file scanning/infection: streaming reads over large data
+//   worm     — self-replication: bulk memory copies with working sets beyond
+//              the LLC → node (DRAM) load/store traffic
+//   benign   — a mixture of compute / IO / idle shapes with high variance
+//              across samples (many different installed programs)
+//
+// Each *sample* is an instantiation of its class archetype with per-sample
+// parameter jitter; a fraction of malware samples additionally blend in a
+// benign facade phase ("stealthy" variants), which keeps classifiers off the
+// 100 %-accuracy ceiling just as real polymorphic samples do.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "workload/app_class.hpp"
+
+namespace hmd::workload {
+
+/// One execution phase of an application.
+struct PhaseParams {
+  std::string name;
+  double weight = 1.0;  ///< relative share of execution time
+
+  // Instruction mix (fractions of retired ops; remainder is ALU).
+  double load_frac = 0.25;
+  double store_frac = 0.10;
+  double branch_frac = 0.15;
+
+  // Control-flow behaviour.
+  double cond_branch_frac = 0.8;  ///< of branches, conditional share
+  double branch_bias = 0.9;       ///< predictable (loop-like) branch share
+  double jump_spread = 0.1;       ///< far-target share for unpatterned jumps
+
+  // Code footprint.
+  std::uint32_t code_pages = 16;  ///< instruction footprint, 4 KiB pages
+
+  // Data footprint and locality.
+  std::uint32_t data_pages = 256;  ///< working set, 4 KiB pages
+  std::uint32_t hot_pages = 16;    ///< hot-subset size
+  double hot_frac = 0.7;           ///< accesses hitting the hot subset
+  double stream_frac = 0.4;        ///< sequential share of cold accesses
+
+  /// Clamp fractions to valid ranges and footprints to sane minima.
+  void sanitize();
+};
+
+/// A complete behaviour description of one application sample.
+struct BehaviorProfile {
+  AppClass app_class = AppClass::kBenign;
+  std::vector<PhaseParams> phases;
+
+  /// Phase weights normalized to sum to 1.
+  std::vector<double> normalized_weights() const;
+};
+
+/// The archetype profile for a class (deterministic; no jitter).
+BehaviorProfile class_archetype(AppClass c);
+
+/// Instantiate a per-sample profile: multiplicative jitter on every numeric
+/// parameter, plus (for malware, with probability `stealth_prob`) blending a
+/// benign facade phase into the profile.
+BehaviorProfile instantiate_sample_profile(AppClass c, Rng& rng,
+                                           double stealth_prob = 0.15);
+
+}  // namespace hmd::workload

@@ -1,0 +1,153 @@
+#include "workload/mibench.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace hmd::workload {
+
+namespace {
+
+BehaviorProfile qsort_profile() {
+  // Recursive partitioning: comparison loads over the working set with
+  // data-dependent (hard-to-predict) comparison branches.
+  PhaseParams partition{.name = "partition", .weight = 0.7,
+                        .load_frac = 0.30, .store_frac = 0.14,
+                        .branch_frac = 0.22,
+                        .cond_branch_frac = 0.85, .branch_bias = 0.65,
+                        .jump_spread = 0.05,
+                        .code_pages = 4,
+                        .data_pages = 48, .hot_pages = 8, .hot_frac = 0.55,
+                        .stream_frac = 0.35};
+  PhaseParams recurse{.name = "recurse", .weight = 0.3,
+                      .load_frac = 0.22, .store_frac = 0.10,
+                      .branch_frac = 0.25,
+                      .cond_branch_frac = 0.70, .branch_bias = 0.80,
+                      .jump_spread = 0.10,
+                      .code_pages = 6,
+                      .data_pages = 24, .hot_pages = 6, .hot_frac = 0.70,
+                      .stream_frac = 0.20};
+  return {.app_class = AppClass::kBenign, .phases = {partition, recurse}};
+}
+
+BehaviorProfile dijkstra_profile() {
+  // Priority-queue relaxations: irregular pointer loads, mispredicting
+  // comparison branches, moderate working set.
+  PhaseParams relax{.name = "relax", .weight = 1.0,
+                    .load_frac = 0.34, .store_frac = 0.10,
+                    .branch_frac = 0.20,
+                    .cond_branch_frac = 0.80, .branch_bias = 0.60,
+                    .jump_spread = 0.08,
+                    .code_pages = 6,
+                    .data_pages = 40, .hot_pages = 6, .hot_frac = 0.40,
+                    .stream_frac = 0.10};
+  return {.app_class = AppClass::kBenign, .phases = {relax}};
+}
+
+BehaviorProfile crc32_profile() {
+  // Byte-stream checksum: tiny loop, one table, near-perfect prediction.
+  PhaseParams loop{.name = "crc-loop", .weight = 1.0,
+                   .load_frac = 0.35, .store_frac = 0.02,
+                   .branch_frac = 0.18,
+                   .cond_branch_frac = 0.95, .branch_bias = 0.99,
+                   .jump_spread = 0.0,
+                   .code_pages = 1,
+                   .data_pages = 16, .hot_pages = 1, .hot_frac = 0.55,
+                   .stream_frac = 0.95};
+  return {.app_class = AppClass::kBenign, .phases = {loop}};
+}
+
+BehaviorProfile jpeg_profile() {
+  // Blocked DCT + Huffman tables: compute-heavy with table lookups.
+  PhaseParams dct{.name = "dct", .weight = 0.6,
+                  .load_frac = 0.26, .store_frac = 0.12,
+                  .branch_frac = 0.10,
+                  .cond_branch_frac = 0.85, .branch_bias = 0.95,
+                  .jump_spread = 0.02,
+                  .code_pages = 10,
+                  .data_pages = 24, .hot_pages = 6, .hot_frac = 0.75,
+                  .stream_frac = 0.50};
+  PhaseParams huffman{.name = "huffman", .weight = 0.4,
+                      .load_frac = 0.30, .store_frac = 0.10,
+                      .branch_frac = 0.24,
+                      .cond_branch_frac = 0.85, .branch_bias = 0.70,
+                      .jump_spread = 0.04,
+                      .code_pages = 8,
+                      .data_pages = 12, .hot_pages = 4, .hot_frac = 0.85,
+                      .stream_frac = 0.30};
+  return {.app_class = AppClass::kBenign, .phases = {dct, huffman}};
+}
+
+BehaviorProfile susan_profile() {
+  // 2-D stencil smoothing: streaming loads with high spatial locality.
+  PhaseParams stencil{.name = "stencil", .weight = 1.0,
+                      .load_frac = 0.38, .store_frac = 0.12,
+                      .branch_frac = 0.12,
+                      .cond_branch_frac = 0.90, .branch_bias = 0.96,
+                      .jump_spread = 0.01,
+                      .code_pages = 4,
+                      .data_pages = 96, .hot_pages = 8, .hot_frac = 0.35,
+                      .stream_frac = 0.90};
+  return {.app_class = AppClass::kBenign, .phases = {stencil}};
+}
+
+BehaviorProfile sha_profile() {
+  // Crypto rounds: almost pure ALU, tiny state, perfect loops.
+  PhaseParams rounds{.name = "rounds", .weight = 1.0,
+                     .load_frac = 0.12, .store_frac = 0.04,
+                     .branch_frac = 0.10,
+                     .cond_branch_frac = 0.95, .branch_bias = 0.99,
+                     .jump_spread = 0.0,
+                     .code_pages = 2,
+                     .data_pages = 2, .hot_pages = 1, .hot_frac = 0.95,
+                     .stream_frac = 0.40};
+  return {.app_class = AppClass::kBenign, .phases = {rounds}};
+}
+
+}  // namespace
+
+const std::vector<std::string>& mibench_kernels() {
+  static const std::vector<std::string> kKernels = {
+      "qsort", "dijkstra", "crc32", "jpeg", "susan", "sha"};
+  return kKernels;
+}
+
+BehaviorProfile mibench_profile(const std::string& kernel) {
+  if (kernel == "qsort") return qsort_profile();
+  if (kernel == "dijkstra") return dijkstra_profile();
+  if (kernel == "crc32") return crc32_profile();
+  if (kernel == "jpeg") return jpeg_profile();
+  if (kernel == "susan") return susan_profile();
+  if (kernel == "sha") return sha_profile();
+  throw PreconditionError("unknown MiBench kernel: " + kernel);
+}
+
+std::vector<MibenchInstance> mibench_suite(std::size_t per_kernel,
+                                           std::uint64_t seed) {
+  HMD_REQUIRE(per_kernel >= 1, "mibench_suite: per_kernel must be >= 1");
+  std::vector<MibenchInstance> suite;
+  suite.reserve(mibench_kernels().size() * per_kernel);
+  Rng rng(seed);
+  for (const std::string& kernel : mibench_kernels()) {
+    for (std::size_t i = 0; i < per_kernel; ++i) {
+      const BehaviorProfile archetype = mibench_profile(kernel);
+      // Jitter every instance (input sizes differ run to run), using the
+      // same machinery as sample instantiation but milder.
+      BehaviorProfile jittered = archetype;
+      for (PhaseParams& p : jittered.phases) {
+        p.load_frac *= rng.uniform(0.9, 1.1);
+        p.store_frac *= rng.uniform(0.9, 1.1);
+        p.branch_frac *= rng.uniform(0.9, 1.1);
+        p.data_pages = static_cast<std::uint32_t>(
+            std::max(1.0, p.data_pages * rng.uniform(0.7, 1.5)));
+        p.hot_pages = std::min(p.hot_pages, p.data_pages);
+        p.sanitize();
+      }
+      suite.push_back({.name = format("%s_%02zu", kernel.c_str(), i),
+                       .profile = std::move(jittered),
+                       .seed = rng.next_u64()});
+    }
+  }
+  return suite;
+}
+
+}  // namespace hmd::workload

@@ -1,0 +1,48 @@
+// MiBench-style benign program suite.
+//
+// The thesis cites MiBench (Guthaus et al., WWC'01) as the source of
+// "commercially representative embedded" benign programs. This module
+// provides named benign behaviour profiles shaped after well-known MiBench
+// kernels — useful when an experiment wants specific, recognizable benign
+// programs rather than the generic benign archetype (e.g. characterization
+// studies, demos, or a benign suite for the anomaly detector).
+//
+// These are additive: the default database generation keeps using the
+// generic benign archetype so published results are unchanged.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "workload/behavior_profile.hpp"
+#include "workload/sample_database.hpp"
+
+namespace hmd::workload {
+
+/// Names of the provided MiBench-style kernels.
+///  qsort     — pointer-chasing comparisons over a working set
+///  dijkstra  — graph relaxations: irregular loads, data-dependent branches
+///  crc32     — tiny streaming loop, near-perfect prediction
+///  jpeg      — blocked compute with table lookups, moderate stores
+///  susan     — image smoothing: 2-D stencil streams
+///  sha       — register-heavy crypto rounds, almost no memory traffic
+const std::vector<std::string>& mibench_kernels();
+
+/// The behaviour profile for a named kernel; throws hmd::PreconditionError
+/// for unknown names.
+BehaviorProfile mibench_profile(const std::string& kernel);
+
+/// A named, jittered instance of a kernel (ready for TraceGenerator).
+struct MibenchInstance {
+  std::string name;        ///< e.g. "qsort_03"
+  BehaviorProfile profile;
+  std::uint64_t seed = 0;  ///< trace seed
+};
+
+/// `per_kernel` jittered instances of every kernel. Deterministic in
+/// `seed`. Use with TraceGenerator / the perf collector for benign-suite
+/// studies (e.g. training the anomaly detector on realistic benign mix).
+std::vector<MibenchInstance> mibench_suite(std::size_t per_kernel,
+                                           std::uint64_t seed);
+
+}  // namespace hmd::workload

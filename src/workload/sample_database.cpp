@@ -1,0 +1,100 @@
+#include "workload/sample_database.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace hmd::workload {
+
+BehaviorProfile SampleRecord::profile() const {
+  Rng rng(seed);
+  return instantiate_sample_profile(label, rng);
+}
+
+std::size_t DatabaseComposition::total() const {
+  std::size_t t = 0;
+  for (const auto& [cls, n] : counts) t += n;
+  return t;
+}
+
+DatabaseComposition DatabaseComposition::paper_table1() {
+  return {.counts = {{AppClass::kBackdoor, 452},
+                     {AppClass::kRootkit, 324},
+                     {AppClass::kTrojan, 1169},
+                     {AppClass::kVirus, 650},
+                     {AppClass::kWorm, 149},
+                     {AppClass::kBenign, 326}}};
+}
+
+DatabaseComposition DatabaseComposition::scaled(double factor) {
+  HMD_REQUIRE(factor > 0.0, "scale factor must be positive");
+  DatabaseComposition comp = paper_table1();
+  for (auto& [cls, n] : comp.counts) {
+    n = std::max<std::size_t>(
+        2, static_cast<std::size_t>(
+               std::ceil(static_cast<double>(n) * factor)));
+  }
+  return comp;
+}
+
+SampleDatabase SampleDatabase::generate(
+    const DatabaseComposition& composition, std::uint64_t seed) {
+  HMD_REQUIRE(!composition.counts.empty(), "empty database composition");
+  SampleDatabase db;
+  Rng rng(seed);
+  std::size_t benign_index = 0;
+  for (const auto& [cls, n] : composition.counts) {
+    for (std::size_t i = 0; i < n; ++i) {
+      SampleRecord rec;
+      rec.label = cls;
+      rec.seed = rng.next_u64();
+      if (is_malware(cls)) {
+        // VirusShare-style hash id + VirusTotal-style detection counts.
+        rec.id = format("VirusShare_%016llx",
+                        static_cast<unsigned long long>(rec.seed));
+        rec.av_total = 60 + static_cast<int>(rng.uniform_index(8));
+        const double detect_rate = rng.uniform(0.55, 0.95);
+        rec.av_positives = std::max(
+            1, static_cast<int>(std::lround(detect_rate * rec.av_total)));
+      } else {
+        rec.id = format("benign_prog_%03zu", benign_index++);
+        rec.av_total = 60 + static_cast<int>(rng.uniform_index(8));
+        rec.av_positives = 0;
+      }
+      db.samples_.push_back(std::move(rec));
+    }
+  }
+  return db;
+}
+
+std::vector<const SampleRecord*> SampleDatabase::by_class(AppClass c) const {
+  std::vector<const SampleRecord*> out;
+  for (const auto& s : samples_)
+    if (s.label == c) out.push_back(&s);
+  return out;
+}
+
+std::size_t SampleDatabase::count(AppClass c) const {
+  return static_cast<std::size_t>(
+      std::count_if(samples_.begin(), samples_.end(),
+                    [c](const SampleRecord& s) { return s.label == c; }));
+}
+
+std::vector<std::pair<AppClass, double>> SampleDatabase::distribution(
+    bool malware_only) const {
+  std::vector<std::pair<AppClass, double>> out;
+  std::size_t denom = 0;
+  for (const auto& s : samples_)
+    if (!malware_only || is_malware(s.label)) ++denom;
+  if (denom == 0) return out;
+  for (AppClass c : all_app_classes()) {
+    if (malware_only && !is_malware(c)) continue;
+    out.emplace_back(c, static_cast<double>(count(c)) /
+                            static_cast<double>(denom));
+  }
+  return out;
+}
+
+}  // namespace hmd::workload

@@ -1,0 +1,69 @@
+// The labelled sample database.
+//
+// The thesis downloads >3000 malware samples from virusshare.com, labels
+// them via virustotal.com, and adds benign programs, yielding the Table 1
+// composition (452 backdoor / 324 rootkit / 1169 trojan / 650 virus /
+// 149 worm / 326 benign = 3070). This module reproduces that registry
+// synthetically: each record carries a VirusShare-style identifier, a
+// VirusTotal-style label with AV-detection metadata, and the seed from which
+// its behaviour profile is instantiated.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "workload/app_class.hpp"
+#include "workload/behavior_profile.hpp"
+
+namespace hmd::workload {
+
+/// One application sample in the database.
+struct SampleRecord {
+  std::string id;          ///< e.g. "VirusShare_0f3a..." or "benign_firefox_12"
+  AppClass label = AppClass::kBenign;
+  std::uint64_t seed = 0;  ///< instantiation seed for the behaviour profile
+  int av_positives = 0;    ///< VirusTotal-style detections (out of av_total)
+  int av_total = 0;
+
+  /// The per-sample behaviour profile (deterministic in `seed`).
+  BehaviorProfile profile() const;
+};
+
+/// Per-class sample counts.
+struct DatabaseComposition {
+  std::vector<std::pair<AppClass, std::size_t>> counts;
+
+  std::size_t total() const;
+  /// Table 1 of the thesis: 452/324/1169/650/149 malware + 326 benign.
+  static DatabaseComposition paper_table1();
+  /// Table 1 scaled by `factor` (ceil, at least 2 per class) — for tests
+  /// and quick experiments.
+  static DatabaseComposition scaled(double factor);
+};
+
+/// The labelled database: generation, class queries, composition stats.
+class SampleDatabase {
+ public:
+  /// Builds a database with the given composition. Deterministic in `seed`.
+  static SampleDatabase generate(const DatabaseComposition& composition,
+                                 std::uint64_t seed);
+
+  const std::vector<SampleRecord>& samples() const { return samples_; }
+  std::size_t size() const { return samples_.size(); }
+
+  /// All samples with the given label.
+  std::vector<const SampleRecord*> by_class(AppClass c) const;
+  std::size_t count(AppClass c) const;
+
+  /// Class shares (Fig. 6 of the thesis), malware-only when
+  /// `malware_only` is set (as the paper's pie chart is).
+  std::vector<std::pair<AppClass, double>> distribution(
+      bool malware_only) const;
+
+ private:
+  std::vector<SampleRecord> samples_;
+};
+
+}  // namespace hmd::workload

@@ -1,0 +1,36 @@
+#include "workload/sandbox.hpp"
+
+#include "util/error.hpp"
+
+namespace hmd::workload {
+
+namespace {
+BehaviorProfile container_noise_profile() {
+  // Idle container daemons: tiny, branchy, predictable.
+  BehaviorProfile p = class_archetype(AppClass::kBenign);
+  // Keep only the idle-like last phase.
+  p.phases.erase(p.phases.begin(), p.phases.end() - 1);
+  p.phases.front().weight = 1.0;
+  return p;
+}
+}  // namespace
+
+Sandbox::Sandbox(const SampleRecord& sample, SandboxConfig config)
+    : sample_(sample),
+      config_(config),
+      app_trace_(sample.profile(), sample.seed),
+      noise_trace_(container_noise_profile(),
+                   sample.seed ^ config.noise_salt),
+      mix_rng_(sample.seed ^ (config.noise_salt * 0x9e3779b97f4a7c15ull)) {
+  HMD_REQUIRE(config_.host_noise_frac >= 0.0 && config_.host_noise_frac < 1.0,
+              "host_noise_frac must be in [0, 1)");
+}
+
+hwsim::MicroOp Sandbox::next() {
+  if (config_.host_noise_frac > 0.0 &&
+      mix_rng_.bernoulli(config_.host_noise_frac))
+    return noise_trace_.next();
+  return app_trace_.next();
+}
+
+}  // namespace hmd::workload

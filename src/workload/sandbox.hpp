@@ -1,0 +1,47 @@
+// LXC-style sandboxed execution of one sample.
+//
+// The thesis runs each malware inside a Linux container so that (a) the host
+// is not infected and (b) host activity does not bias the measured HPC
+// values. The simulator's analogue: each run gets a freshly reset core
+// (no cross-sample microarchitectural state), and a small, configurable
+// amount of residual container noise — background ops from an idle-system
+// profile interleaved into the sample's own stream — models the isolation
+// being good but not perfect.
+#pragma once
+
+#include <cstdint>
+
+#include "hwsim/micro_op.hpp"
+#include "workload/sample_database.hpp"
+#include "workload/trace_generator.hpp"
+
+namespace hmd::workload {
+
+/// Sandbox (container) configuration.
+struct SandboxConfig {
+  /// Fraction of retired ops contributed by container background activity.
+  double host_noise_frac = 0.03;
+  /// Seed salt for the noise stream (combined with the sample seed).
+  std::uint64_t noise_salt = 0x5b1dc0de;
+};
+
+/// An op source that interleaves the sample's trace with container noise.
+/// One Sandbox per run; feed its ops to a freshly reset hwsim::Core.
+class Sandbox {
+ public:
+  Sandbox(const SampleRecord& sample, SandboxConfig config = {});
+
+  /// Next retired op (sample trace or background noise).
+  hwsim::MicroOp next();
+
+  const SampleRecord& sample() const { return sample_; }
+
+ private:
+  SampleRecord sample_;
+  SandboxConfig config_;
+  TraceGenerator app_trace_;
+  TraceGenerator noise_trace_;
+  Rng mix_rng_;
+};
+
+}  // namespace hmd::workload

@@ -1,0 +1,139 @@
+#include "workload/trace_generator.hpp"
+
+#include "util/error.hpp"
+
+namespace hmd::workload {
+
+using hwsim::MicroOp;
+using hwsim::OpKind;
+
+TraceGenerator::TraceGenerator(BehaviorProfile profile, std::uint64_t seed)
+    : profile_(std::move(profile)),
+      phase_weights_(profile_.normalized_weights()),
+      rng_(seed) {
+  // Place code and data in disjoint seed-derived segments (1 GiB apart).
+  std::uint64_t s = seed;
+  code_base_ = 0x400000 + (splitmix64(s) % 1024) * 0x10000;
+  data_base_ = 0x40000000 + (splitmix64(s) % 4096) * 0x40000;
+  pc_ = code_base_;
+  enter_next_phase();
+}
+
+void TraceGenerator::enter_next_phase() {
+  phase_index_ = rng_.categorical(phase_weights_);
+  // Phase runs are short relative to a sampling window, so each window
+  // reflects the profile's phase mixture (a real 10 ms window covers tens
+  // of milliseconds' worth of alternating application phases).
+  phase_ops_left_ = 128 + rng_.uniform_index(256);
+  loop_count_left_ = 0;
+  // Phase change often means a fresh region of code.
+  pc_ = random_code_target(/*far=*/true);
+}
+
+std::uint64_t TraceGenerator::code_limit() const {
+  return code_base_ + static_cast<std::uint64_t>(phase().code_pages) * kPageBytes;
+}
+
+std::uint64_t TraceGenerator::random_code_target(bool far) {
+  const std::uint64_t span =
+      static_cast<std::uint64_t>(phase().code_pages) * kPageBytes;
+  if (far) {
+    // Anywhere in the code footprint, 4-byte aligned.
+    return code_base_ + (rng_.uniform_index(span) & ~std::uint64_t{3});
+  }
+  // Near target: within +-2 KiB of the current pc, clamped to the footprint.
+  const std::int64_t offset = rng_.uniform_int(-2048, 2048) & ~std::int64_t{3};
+  std::int64_t t = static_cast<std::int64_t>(pc_) + offset;
+  const auto lo = static_cast<std::int64_t>(code_base_);
+  const auto hi = static_cast<std::int64_t>(code_base_ + span - 4);
+  if (t < lo) t = lo;
+  if (t > hi) t = hi;
+  return static_cast<std::uint64_t>(t);
+}
+
+std::uint64_t TraceGenerator::data_address() {
+  const PhaseParams& p = phase();
+  if (rng_.bernoulli(p.hot_frac)) {
+    const std::uint64_t span =
+        static_cast<std::uint64_t>(p.hot_pages) * kPageBytes;
+    return data_base_ + (rng_.uniform_index(span) & ~std::uint64_t{7});
+  }
+  const std::uint64_t span =
+      static_cast<std::uint64_t>(p.data_pages) * kPageBytes;
+  if (rng_.bernoulli(p.stream_frac)) {
+    // Sequential streaming through the working set, one line per step.
+    stream_cursor_ = (stream_cursor_ + 64) % span;
+    return data_base_ + stream_cursor_;
+  }
+  return data_base_ + (rng_.uniform_index(span) & ~std::uint64_t{7});
+}
+
+MicroOp TraceGenerator::next() {
+  if (phase_ops_left_ == 0) enter_next_phase();
+  --phase_ops_left_;
+
+  const PhaseParams& p = phase();
+  MicroOp op;
+  op.pc = pc_;
+
+  const double r = rng_.uniform();
+  if (r < p.load_frac) {
+    op.kind = OpKind::kLoad;
+    op.addr = data_address();
+    pc_ += 4;
+  } else if (r < p.load_frac + p.store_frac) {
+    op.kind = OpKind::kStore;
+    op.addr = data_address();
+    pc_ += 4;
+  } else if (r < p.load_frac + p.store_frac + p.branch_frac) {
+    op.kind = OpKind::kBranch;
+    op.conditional = rng_.bernoulli(p.cond_branch_frac);
+    if (op.conditional) {
+      if (loop_count_left_ > 0) {
+        // Inside an emulated loop: the SAME loop-closing branch (fixed pc)
+        // jumps back to the loop head until the trip count runs out — the
+        // highly predictable pattern real loops give the BPU.
+        op.pc = loop_branch_pc_;
+        --loop_count_left_;
+        op.taken = loop_count_left_ > 0;
+        op.target = loop_head_pc_;
+      } else if (rng_.bernoulli(p.branch_bias)) {
+        // Start a new loop: 8..128 iterations closed by this branch.
+        loop_count_left_ = 8 + static_cast<std::uint32_t>(
+                                   rng_.uniform_index(120));
+        loop_head_pc_ = random_code_target(/*far=*/false);
+        loop_branch_pc_ = op.pc;
+        op.taken = true;
+        op.target = loop_head_pc_;
+      } else {
+        // Unpatterned data-dependent branch.
+        op.taken = rng_.bernoulli(0.5);
+        op.target = random_code_target(rng_.bernoulli(p.jump_spread));
+      }
+    } else {
+      // Unconditional jump / call / return.
+      op.taken = true;
+      op.target = random_code_target(rng_.bernoulli(p.jump_spread));
+    }
+    pc_ = op.taken ? op.target : pc_ + 4;
+  } else {
+    op.kind = OpKind::kAlu;
+    pc_ += 4;
+  }
+
+  // Keep the pc inside the footprint (sequential fall-through wrap).
+  if (pc_ >= code_limit()) pc_ = code_base_;
+  return op;
+}
+
+void TraceGenerator::fill(std::span<MicroOp> out) {
+  for (MicroOp& op : out) op = next();
+}
+
+std::vector<MicroOp> TraceGenerator::generate(std::size_t n) {
+  std::vector<MicroOp> ops(n);
+  fill(ops);
+  return ops;
+}
+
+}  // namespace hmd::workload

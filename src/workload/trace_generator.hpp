@@ -1,0 +1,65 @@
+// Lowers a BehaviorProfile into the MicroOp stream the simulated core
+// retires. This is where abstract behaviour (instruction mix, locality,
+// branch predictability, footprints) becomes concrete fetch/load/store/
+// branch addresses that exercise the cache/TLB/predictor models.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "hwsim/micro_op.hpp"
+#include "util/rng.hpp"
+#include "workload/behavior_profile.hpp"
+
+namespace hmd::workload {
+
+/// Stateful generator: call next() (or fill()) to stream ops indefinitely.
+///
+/// Address layout: each sample gets disjoint, seed-derived code and data
+/// segments so different samples map differently onto cache sets, as
+/// different binaries do.
+class TraceGenerator {
+ public:
+  static constexpr std::uint64_t kPageBytes = 4096;
+
+  TraceGenerator(BehaviorProfile profile, std::uint64_t seed);
+
+  hwsim::MicroOp next();
+  void fill(std::span<hwsim::MicroOp> out);
+  /// Generates `n` ops into a fresh vector.
+  std::vector<hwsim::MicroOp> generate(std::size_t n);
+
+  const BehaviorProfile& profile() const { return profile_; }
+  /// Index of the phase the generator is currently executing.
+  std::size_t current_phase() const { return phase_index_; }
+
+ private:
+  BehaviorProfile profile_;
+  std::vector<double> phase_weights_;
+  Rng rng_;
+
+  std::uint64_t code_base_;
+  std::uint64_t data_base_;
+
+  std::size_t phase_index_ = 0;
+  std::uint64_t phase_ops_left_ = 0;
+
+  std::uint64_t pc_;
+  std::uint64_t stream_cursor_ = 0;
+
+  // Loop emulation: a biased branch iterates `loop_count_left_` times.
+  // The loop-closing branch instruction lives at a fixed pc
+  // (`loop_branch_pc_`), as in real code, so the predictor/BTB can learn it.
+  std::uint64_t loop_head_pc_ = 0;
+  std::uint64_t loop_branch_pc_ = 0;
+  std::uint32_t loop_count_left_ = 0;
+
+  void enter_next_phase();
+  const PhaseParams& phase() const { return profile_.phases[phase_index_]; }
+  std::uint64_t code_limit() const;
+  std::uint64_t random_code_target(bool far);
+  std::uint64_t data_address();
+};
+
+}  // namespace hmd::workload

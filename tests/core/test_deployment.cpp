@@ -1,0 +1,114 @@
+#include "core/deployment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ml/registry.hpp"
+#include "tests/ml/synthetic_data.hpp"
+#include "util/error.hpp"
+
+namespace hmd::core {
+namespace {
+
+using ml::testdata::separable_binary;
+
+/// Binary model over features {1, 3} of a 4-feature layout.
+DeploymentBundle make_bundle() {
+  const ml::Dataset full = separable_binary(200);
+  FeatureSet fs;
+  fs.indices = {1, 3};
+  fs.names = {"f1", "f3"};
+  const ml::Dataset projected = full.project(fs.indices);
+  auto model = ml::make_classifier("MLR");
+  model->train(projected);
+  return DeploymentBundle(std::move(model), fs,
+                          {.flag_threshold = 0.9, .confirm_windows = 2});
+}
+
+TEST(DeploymentBundle, ProjectsFullCounterVectors) {
+  const DeploymentBundle bundle = make_bundle();
+  const ml::Dataset full = separable_binary(50);
+  const ml::Dataset projected = full.project({1, 3});
+  for (std::size_t i = 0; i < full.num_instances(); ++i) {
+    EXPECT_EQ(bundle.predict(full.features_of(i)),
+              bundle.model().predict(projected.features_of(i)));
+  }
+}
+
+TEST(DeploymentBundle, MalwareProbabilityMatchesModel) {
+  const DeploymentBundle bundle = make_bundle();
+  const ml::Dataset full = separable_binary(20);
+  for (std::size_t i = 0; i < full.num_instances(); ++i) {
+    const double p = bundle.malware_probability(full.features_of(i));
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(DeploymentBundle, MonitorUsesBundlePolicy) {
+  const DeploymentBundle bundle = make_bundle();
+  OnlineDetector monitor = bundle.make_monitor();
+  const ml::Dataset full = separable_binary(100);
+  // Feed only class-1 (malware-side) rows: alarm after 2 confirmations.
+  std::size_t fed = 0;
+  for (std::size_t i = 0; i < full.num_instances() && fed < 4; ++i) {
+    if (full.class_of(i) != 1) continue;
+    bundle.observe_full(monitor, full.features_of(i));
+    ++fed;
+  }
+  EXPECT_TRUE(monitor.alarmed());
+}
+
+TEST(DeploymentBundle, SaveLoadRoundTrip) {
+  const DeploymentBundle original = make_bundle();
+  std::ostringstream out;
+  save_bundle(out, original);
+  std::istringstream in(out.str());
+  const DeploymentBundle loaded = load_bundle(in);
+
+  EXPECT_EQ(loaded.features().indices, original.features().indices);
+  EXPECT_EQ(loaded.features().names, original.features().names);
+  EXPECT_DOUBLE_EQ(loaded.policy().flag_threshold,
+                   original.policy().flag_threshold);
+  EXPECT_EQ(loaded.policy().confirm_windows,
+            original.policy().confirm_windows);
+
+  const ml::Dataset full = separable_binary(80);
+  for (std::size_t i = 0; i < full.num_instances(); ++i)
+    EXPECT_EQ(loaded.predict(full.features_of(i)),
+              original.predict(full.features_of(i)));
+}
+
+TEST(DeploymentBundle, EmptyFeatureSetMeansIdentity) {
+  const ml::Dataset full = separable_binary(100);
+  auto model = ml::make_classifier("J48");
+  model->train(full);
+  const DeploymentBundle bundle(std::move(model), {}, {});
+  for (std::size_t i = 0; i < 20; ++i)
+    EXPECT_EQ(bundle.predict(full.features_of(i)),
+              bundle.model().predict(full.features_of(i)));
+}
+
+TEST(DeploymentBundle, RejectsBadConstruction) {
+  EXPECT_THROW(DeploymentBundle(nullptr, {}, {}), PreconditionError);
+  auto untrained = ml::make_classifier("J48");
+  EXPECT_THROW(DeploymentBundle(std::move(untrained), {}, {}),
+               PreconditionError);
+}
+
+TEST(DeploymentBundle, ShortCounterVectorThrows) {
+  const DeploymentBundle bundle = make_bundle();  // needs index 3
+  EXPECT_THROW((void)bundle.predict(std::vector<double>{1.0, 2.0}),
+               PreconditionError);
+}
+
+TEST(DeploymentBundle, LoadRejectsGarbage) {
+  std::istringstream bad("not-a-bundle\n");
+  EXPECT_THROW((void)load_bundle(bad), ParseError);
+  std::istringstream truncated("hmd-bundle v1\nfeatures 2\n");
+  EXPECT_THROW((void)load_bundle(truncated), ParseError);
+}
+
+}  // namespace
+}  // namespace hmd::core

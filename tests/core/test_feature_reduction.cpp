@@ -1,0 +1,129 @@
+#include "core/feature_reduction.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/dataset_builder.hpp"
+#include "util/error.hpp"
+
+namespace hmd::core {
+namespace {
+
+const ml::Dataset& shared_dataset() {
+  static const ml::Dataset d = [] {
+    PipelineConfig cfg = PipelineConfig::quick(0.04, 5);
+    cfg.collector.ops_per_window = 1200;
+    return DatasetBuilder(cfg).build_multiclass_dataset();
+  }();
+  return d;
+}
+
+TEST(FeatureReducer, RequiresSixClassDataset) {
+  const ml::Dataset binary = DatasetBuilder::to_binary(shared_dataset());
+  EXPECT_THROW(FeatureReducer r(binary), PreconditionError);
+}
+
+TEST(FeatureReducer, RankingCoversAllFeaturesOnce) {
+  // Ranks are a selection ORDER (round-robin across separating principal
+  // components), not a monotone score sort; every feature must appear
+  // exactly once with a finite non-negative score.
+  const FeatureReducer reducer(shared_dataset());
+  for (workload::AppClass c : workload::all_app_classes()) {
+    const auto ranked = reducer.rank_for_class(c);
+    EXPECT_EQ(ranked.size(), 16u);
+    std::set<std::size_t> seen;
+    for (const auto& f : ranked) {
+      seen.insert(f.index);
+      EXPECT_GE(f.score, 0.0);
+    }
+    EXPECT_EQ(seen.size(), 16u);
+  }
+}
+
+TEST(FeatureReducer, CustomSetsHaveRequestedSize) {
+  const FeatureReducer reducer(shared_dataset());
+  for (workload::AppClass c : workload::malware_classes()) {
+    const FeatureSet fs8 = reducer.custom_features(c, 8);
+    const FeatureSet fs4 = reducer.custom_features(c, 4);
+    EXPECT_EQ(fs8.indices.size(), 8u);
+    EXPECT_EQ(fs4.indices.size(), 4u);
+    EXPECT_EQ(fs8.names.size(), 8u);
+    // Top-4 is a prefix of top-8.
+    for (std::size_t i = 0; i < 4; ++i)
+      EXPECT_EQ(fs4.indices[i], fs8.indices[i]);
+  }
+}
+
+TEST(FeatureReducer, CustomSetsDifferAcrossClasses) {
+  const FeatureReducer reducer(shared_dataset());
+  const auto rootkit =
+      reducer.custom_features(workload::AppClass::kRootkit, 8);
+  const auto worm = reducer.custom_features(workload::AppClass::kWorm, 8);
+  EXPECT_NE(rootkit.indices, worm.indices);
+}
+
+TEST(FeatureReducer, CommonFeaturesAreExactlyK) {
+  const FeatureReducer reducer(shared_dataset());
+  const FeatureSet common = reducer.common_features(4, 8);
+  EXPECT_EQ(common.indices.size(), 4u);
+}
+
+TEST(FeatureReducer, CommonFeaturesRankHighForMostClasses) {
+  const FeatureReducer reducer(shared_dataset());
+  const FeatureSet common = reducer.common_features(4, 8);
+  // Each common feature must sit in the top-8 of at least 3 of 5 classes.
+  for (std::size_t idx : common.indices) {
+    int hits = 0;
+    for (workload::AppClass c : workload::malware_classes()) {
+      const auto ranked = reducer.rank_for_class(c);
+      for (std::size_t pos = 0; pos < 8; ++pos)
+        if (ranked[pos].index == idx) ++hits;
+    }
+    EXPECT_GE(hits, 3) << "feature " << idx;
+  }
+}
+
+TEST(FeatureReducer, BinaryTopFeaturesSubsetsNest) {
+  const FeatureReducer reducer(shared_dataset());
+  const FeatureSet top8 = reducer.binary_top_features(8);
+  const FeatureSet top4 = reducer.binary_top_features(4);
+  ASSERT_EQ(top8.indices.size(), 8u);
+  ASSERT_EQ(top4.indices.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i)
+    EXPECT_EQ(top4.indices[i], top8.indices[i]);
+}
+
+TEST(FeatureReducer, ReducedTableHasTableTwoShape) {
+  const FeatureReducer reducer(shared_dataset());
+  const ReducedFeatureTable table = reducer.reduced_table(4, 8);
+  EXPECT_EQ(table.common.indices.size(), 4u);
+  EXPECT_EQ(table.custom.size(), 5u);  // five malware families
+  for (const auto& [cls, fs] : table.custom)
+    EXPECT_EQ(fs.indices.size(), 8u);
+}
+
+TEST(FeatureReducer, RootkitRankingFavorsFrontendEvents) {
+  // Rootkits hammer the icache/iTLB/branch machinery; frontend events must
+  // rank clearly higher for rootkit than the dataset-wide memory cluster
+  // would suggest — require one inside the top-10.
+  const FeatureReducer reducer(shared_dataset());
+  const auto fs = reducer.custom_features(workload::AppClass::kRootkit, 10);
+  bool found = false;
+  for (const auto& name : fs.names) {
+    if (name == "L1-icache-load-misses" || name == "iTLB-load-misses" ||
+        name == "branch-misses" || name == "branch-loads")
+      found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(FeatureReducer, DeterministicAcrossCalls) {
+  const FeatureReducer reducer(shared_dataset());
+  const auto a = reducer.custom_features(workload::AppClass::kVirus, 8);
+  const auto b = reducer.custom_features(workload::AppClass::kVirus, 8);
+  EXPECT_EQ(a.indices, b.indices);
+}
+
+}  // namespace
+}  // namespace hmd::core

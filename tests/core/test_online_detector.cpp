@@ -1,0 +1,93 @@
+#include "core/online_detector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace hmd::core {
+namespace {
+
+/// Deterministic stub detector: P(malware) = features[0].
+class StubModel final : public ml::Classifier {
+ public:
+  void train(const ml::Dataset&) override {}
+  std::size_t predict(std::span<const double> f) const override {
+    return f[0] > 0.5 ? 1 : 0;
+  }
+  std::vector<double> distribution(
+      std::span<const double> f) const override {
+    return {1.0 - f[0], f[0]};
+  }
+  std::string name() const override { return "Stub"; }
+  std::size_t num_classes() const override { return 2; }
+};
+
+TEST(OnlineDetector, RejectsBadConfig) {
+  StubModel model;
+  EXPECT_THROW(OnlineDetector(model, {.flag_threshold = 0.0}),
+               PreconditionError);
+  EXPECT_THROW(OnlineDetector(model, {.flag_threshold = 1.0}),
+               PreconditionError);
+  EXPECT_THROW(OnlineDetector(model, {.confirm_windows = 0}),
+               PreconditionError);
+}
+
+TEST(OnlineDetector, FlagsOnlyAboveThreshold) {
+  StubModel model;
+  OnlineDetector det(model, {.flag_threshold = 0.9, .confirm_windows = 2});
+  EXPECT_FALSE(det.observe(std::vector<double>{0.5}).flagged);
+  EXPECT_FALSE(det.observe(std::vector<double>{0.89}).flagged);
+  EXPECT_TRUE(det.observe(std::vector<double>{0.95}).flagged);
+}
+
+TEST(OnlineDetector, AlarmNeedsConsecutiveConfirmation) {
+  StubModel model;
+  OnlineDetector det(model, {.flag_threshold = 0.9, .confirm_windows = 3});
+  const std::vector<double> hot = {0.99};
+  const std::vector<double> cold = {0.1};
+  EXPECT_FALSE(det.observe(hot).alarm);   // 1
+  EXPECT_FALSE(det.observe(hot).alarm);   // 2
+  EXPECT_FALSE(det.observe(cold).alarm);  // streak broken
+  EXPECT_FALSE(det.observe(hot).alarm);   // 1
+  EXPECT_FALSE(det.observe(hot).alarm);   // 2
+  EXPECT_TRUE(det.observe(hot).alarm);    // 3 → alarm
+  EXPECT_TRUE(det.alarmed());
+  EXPECT_EQ(det.alarm_window(), 5u);
+}
+
+TEST(OnlineDetector, AlarmLatches) {
+  StubModel model;
+  OnlineDetector det(model, {.flag_threshold = 0.9, .confirm_windows = 1});
+  det.observe(std::vector<double>{0.99});
+  EXPECT_TRUE(det.alarmed());
+  // Subsequent clean windows do not clear the alarm.
+  EXPECT_TRUE(det.observe(std::vector<double>{0.0}).alarm);
+  EXPECT_EQ(det.alarm_window(), 0u);
+}
+
+TEST(OnlineDetector, ResetClearsState) {
+  StubModel model;
+  OnlineDetector det(model, {.flag_threshold = 0.9, .confirm_windows = 1});
+  det.observe(std::vector<double>{0.99});
+  det.reset();
+  EXPECT_FALSE(det.alarmed());
+  EXPECT_EQ(det.windows_seen(), 0u);
+  EXPECT_EQ(det.alarm_window(), OnlineDetector::kNoAlarm);
+}
+
+TEST(OnlineDetector, CountsWindows) {
+  StubModel model;
+  OnlineDetector det(model);
+  for (int i = 0; i < 7; ++i) det.observe(std::vector<double>{0.1});
+  EXPECT_EQ(det.windows_seen(), 7u);
+}
+
+TEST(OnlineDetector, ProbabilityPassedThrough) {
+  StubModel model;
+  OnlineDetector det(model);
+  const auto verdict = det.observe(std::vector<double>{0.73});
+  EXPECT_DOUBLE_EQ(verdict.probability, 0.73);
+}
+
+}  // namespace
+}  // namespace hmd::core

@@ -1,0 +1,129 @@
+#include "hw/dataflow.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace hmd::hw {
+namespace {
+
+TEST(Dataflow, InputsAreFree) {
+  DataflowGraph g;
+  g.add_input();
+  g.add_input();
+  EXPECT_EQ(g.num_nodes(), 2u);
+  EXPECT_EQ(g.num_ops(), 0u);
+  EXPECT_EQ(g.total_resources().luts, 0u);
+  EXPECT_EQ(g.schedule_asap().latency_cycles, 0u);
+}
+
+TEST(Dataflow, SingleOpLatency) {
+  DataflowGraph g;
+  const NodeId in = g.add_input();
+  g.add_node(HwOp::kMul, {in});
+  EXPECT_EQ(g.schedule_asap().latency_cycles, hw_op_latency(HwOp::kMul));
+}
+
+TEST(Dataflow, ChainLatencyIsSum) {
+  DataflowGraph g;
+  const NodeId in = g.add_input();
+  const NodeId m = g.add_node(HwOp::kMul, {in});    // 3 cycles
+  const NodeId a = g.add_node(HwOp::kAdd, {m});     // 1 cycle
+  g.add_node(HwOp::kCompare, {a});                  // 1 cycle
+  EXPECT_EQ(g.schedule_asap().latency_cycles, 5u);
+}
+
+TEST(Dataflow, ParallelOpsShareCriticalPath) {
+  DataflowGraph g;
+  const NodeId in = g.add_input();
+  std::vector<NodeId> muls;
+  for (int i = 0; i < 16; ++i) muls.push_back(g.add_node(HwOp::kMul, {in}));
+  // 16 parallel multiplies: still just one mul latency.
+  EXPECT_EQ(g.schedule_asap().latency_cycles, hw_op_latency(HwOp::kMul));
+  EXPECT_EQ(g.count_ops(HwOp::kMul), 16u);
+}
+
+TEST(Dataflow, ResourcesSumOverOps) {
+  DataflowGraph g;
+  const NodeId in = g.add_input();
+  g.add_node(HwOp::kMul, {in});
+  g.add_node(HwOp::kMul, {in});
+  g.add_node(HwOp::kAdd, {in});
+  const ResourceCost total = g.total_resources();
+  EXPECT_EQ(total.dsps, 2 * hw_op_cost(HwOp::kMul).dsps);
+  EXPECT_EQ(total.luts,
+            2 * hw_op_cost(HwOp::kMul).luts + hw_op_cost(HwOp::kAdd).luts);
+}
+
+TEST(Dataflow, EnergySumsOverOps) {
+  DataflowGraph g;
+  const NodeId in = g.add_input();
+  g.add_node(HwOp::kMul, {in});
+  g.add_node(HwOp::kAdd, {in});
+  EXPECT_DOUBLE_EQ(
+      g.total_energy_pj(),
+      hw_op_energy_pj(HwOp::kMul) + hw_op_energy_pj(HwOp::kAdd));
+}
+
+TEST(Dataflow, UnknownDependencyThrows) {
+  DataflowGraph g;
+  EXPECT_THROW(g.add_node(HwOp::kAdd, {42}), hmd::PreconditionError);
+}
+
+TEST(Dataflow, ConstrainedScheduleNoWorseThanSerial) {
+  DataflowGraph g;
+  const NodeId in = g.add_input();
+  for (int i = 0; i < 8; ++i) g.add_node(HwOp::kMul, {in});
+  const auto unconstrained = g.schedule_asap();
+  OperatorAllocation alloc{.multipliers = 1};
+  const auto constrained = g.schedule_constrained(alloc);
+  // One multiplier for 8 ops: roughly serialized.
+  EXPECT_GE(constrained.latency_cycles,
+            8 * hw_op_latency(HwOp::kMul));
+  EXPECT_GT(constrained.latency_cycles, unconstrained.latency_cycles);
+}
+
+TEST(Dataflow, MoreOperatorsReduceLatency) {
+  DataflowGraph g;
+  const NodeId in = g.add_input();
+  std::vector<NodeId> muls;
+  for (int i = 0; i < 12; ++i) muls.push_back(g.add_node(HwOp::kMul, {in}));
+  const auto one = g.schedule_constrained({.multipliers = 1});
+  const auto four = g.schedule_constrained({.multipliers = 4});
+  const auto twelve = g.schedule_constrained({.multipliers = 12});
+  EXPECT_GT(one.latency_cycles, four.latency_cycles);
+  EXPECT_GE(four.latency_cycles, twelve.latency_cycles);
+  EXPECT_EQ(twelve.latency_cycles, g.schedule_asap().latency_cycles);
+}
+
+TEST(Dataflow, ConstrainedRespectsDependencies) {
+  DataflowGraph g;
+  const NodeId in = g.add_input();
+  const NodeId m1 = g.add_node(HwOp::kMul, {in});
+  const NodeId m2 = g.add_node(HwOp::kMul, {m1});
+  const auto sched = g.schedule_constrained({.multipliers = 2});
+  EXPECT_GE(sched.start_cycle[m2],
+            sched.start_cycle[m1] + hw_op_latency(HwOp::kMul));
+}
+
+TEST(Dataflow, UnlimitedPoolsMatchAsap) {
+  DataflowGraph g;
+  const NodeId in = g.add_input();
+  const NodeId m = g.add_node(HwOp::kMul, {in});
+  const NodeId s = g.add_node(HwOp::kSigmoidLut, {m});
+  g.add_node(HwOp::kAdd, {s});
+  const auto asap = g.schedule_asap();
+  const auto constrained = g.schedule_constrained({});
+  EXPECT_EQ(asap.latency_cycles, constrained.latency_cycles);
+}
+
+TEST(Dataflow, ZeroAllocationThrows) {
+  DataflowGraph g;
+  const NodeId in = g.add_input();
+  g.add_node(HwOp::kMul, {in});
+  EXPECT_THROW((void)g.schedule_constrained({.multipliers = 0}),
+               hmd::PreconditionError);
+}
+
+}  // namespace
+}  // namespace hmd::hw

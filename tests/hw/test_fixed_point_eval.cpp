@@ -1,0 +1,60 @@
+#include "hw/fixed_point_eval.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ml/registry.hpp"
+#include "tests/ml/synthetic_data.hpp"
+#include "util/error.hpp"
+
+namespace hmd::hw {
+namespace {
+
+TEST(FixedPointEval, MatchesFloatOnSeparableData) {
+  const auto d = ml::testdata::separable_binary();
+  auto clf = ml::make_classifier("J48");
+  clf->train(d);
+  const double float_acc = ml::evaluate(*clf, d).accuracy();
+  const double fixed_acc = evaluate_fixed_point(*clf, d).accuracy();
+  EXPECT_NEAR(fixed_acc, float_acc, 0.02);
+}
+
+TEST(FixedPointEval, HandlesLargeMagnitudeFeatures) {
+  // HPC counts reach 1e6+; the evaluator must rescale into Q16.16 range.
+  std::vector<ml::Attribute> attrs;
+  attrs.emplace_back("big");
+  attrs.emplace_back("class", std::vector<std::string>{"a", "b"});
+  ml::Dataset d(std::move(attrs));
+  hmd::Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const bool hi = i % 2 == 1;
+    d.add({{(hi ? 5e6 : 1e6) + rng.normal(0.0, 1e5), hi ? 1.0 : 0.0}});
+  }
+  auto clf = ml::make_classifier("DecisionStump");
+  clf->train(d);
+  const auto result = evaluate_fixed_point(*clf, d);
+  EXPECT_GT(result.accuracy(), 0.95);
+}
+
+TEST(FixedPointEval, QuantizationCostIsBoundedAcrossSchemes) {
+  const auto d = ml::testdata::three_class(120);
+  for (const auto& scheme : {"OneR", "J48", "MLR", "SVM", "NaiveBayes"}) {
+    auto clf = ml::make_classifier(scheme);
+    clf->train(d);
+    const double float_acc = ml::evaluate(*clf, d).accuracy();
+    const double fixed_acc = evaluate_fixed_point(*clf, d).accuracy();
+    EXPECT_NEAR(fixed_acc, float_acc, 0.05) << scheme;
+  }
+}
+
+TEST(FixedPointEval, EmptyTestSetThrows) {
+  std::vector<ml::Attribute> attrs;
+  attrs.emplace_back("f");
+  attrs.emplace_back("class", std::vector<std::string>{"a", "b"});
+  const ml::Dataset empty(std::move(attrs));
+  auto clf = ml::make_classifier("ZeroR");
+  EXPECT_THROW((void)evaluate_fixed_point(*clf, empty),
+               hmd::PreconditionError);
+}
+
+}  // namespace
+}  // namespace hmd::hw

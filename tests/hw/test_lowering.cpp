@@ -1,0 +1,164 @@
+#include "hw/lowering.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ml/knn.hpp"
+#include "ml/registry.hpp"
+#include "tests/ml/synthetic_data.hpp"
+#include "util/error.hpp"
+
+namespace hmd::hw {
+namespace {
+
+using ml::testdata::separable_binary;
+using ml::testdata::three_class;
+
+TEST(Lowering, OneRIsTiny) {
+  ml::OneR model;
+  const auto d = separable_binary();
+  model.train(d);
+  const DataflowGraph g = lower_one_r(model, d.num_features());
+  EXPECT_EQ(g.count_ops(HwOp::kMul), 0u);
+  EXPECT_LE(g.total_resources().equivalent_slices(), 200.0);
+}
+
+TEST(Lowering, StumpIsOneComparator) {
+  ml::DecisionStump model;
+  const auto d = separable_binary();
+  model.train(d);
+  const DataflowGraph g = lower_decision_stump(model, d.num_features());
+  EXPECT_EQ(g.count_ops(HwOp::kCompare), 1u);
+  EXPECT_EQ(g.count_ops(HwOp::kMux2), 1u);
+}
+
+TEST(Lowering, J48ComparatorPerInternalNode) {
+  ml::J48 model;
+  const auto d = separable_binary();
+  model.train(d);
+  const DataflowGraph g = lower_j48(model, d.num_features());
+  EXPECT_EQ(g.count_ops(HwOp::kCompare), model.num_nodes() - model.num_leaves());
+  EXPECT_EQ(g.count_ops(HwOp::kMux2), model.num_nodes() - model.num_leaves());
+}
+
+TEST(Lowering, DeeperTreeHasHigherLatency) {
+  const auto d = ml::testdata::overlapping_binary(400);
+  ml::J48 shallow({.min_leaf = 2, .max_depth = 2, .prune = false});
+  ml::J48 deep({.min_leaf = 2, .max_depth = 12, .prune = false});
+  shallow.train(d);
+  deep.train(d);
+  ASSERT_GT(deep.depth(), shallow.depth());
+  const auto s1 = synthesize(lower_j48(shallow, 4), "s");
+  const auto s2 = synthesize(lower_j48(deep, 4), "d");
+  EXPECT_LT(s1.latency_cycles, s2.latency_cycles);
+}
+
+TEST(Lowering, JRipComparatorPerCondition) {
+  ml::JRip model;
+  const auto d = separable_binary();
+  model.train(d);
+  const DataflowGraph g = lower_jrip(model, d.num_features());
+  EXPECT_EQ(g.count_ops(HwOp::kCompare), model.total_conditions());
+}
+
+TEST(Lowering, NaiveBayesScalesWithClassesTimesFeatures) {
+  ml::NaiveBayes model;
+  const auto d = three_class();  // 3 classes x 5 features
+  model.train(d);
+  const DataflowGraph g = lower_naive_bayes(model, d.num_features());
+  EXPECT_EQ(g.count_ops(HwOp::kMul), 2u * 3u * 5u);  // square + scale
+}
+
+TEST(Lowering, LinearBankBinaryUsesOneHyperplane) {
+  const DataflowGraph g = lower_linear_bank(16, 2);
+  EXPECT_EQ(g.count_ops(HwOp::kMul), 16u);
+  EXPECT_EQ(g.count_ops(HwOp::kArgmaxStage), 0u);
+}
+
+TEST(Lowering, LinearBankMulticlassUsesKHyperplanes) {
+  const DataflowGraph g = lower_linear_bank(16, 6);
+  EXPECT_EQ(g.count_ops(HwOp::kMul), 96u);
+  EXPECT_EQ(g.count_ops(HwOp::kArgmaxStage), 5u);
+}
+
+TEST(Lowering, MlpDominatesEverything) {
+  const auto d = separable_binary();
+  ml::Mlp mlp({.epochs = 5});
+  mlp.train(d);
+  ml::OneR oner;
+  oner.train(d);
+  const auto mlp_synth = synthesize(lower_mlp(mlp, d.num_features()), "mlp");
+  const auto oner_synth =
+      synthesize(lower_one_r(oner, d.num_features()), "oner");
+  EXPECT_GT(mlp_synth.area_slices(), 50.0 * oner_synth.area_slices());
+  EXPECT_GT(mlp_synth.latency_cycles, oner_synth.latency_cycles);
+}
+
+TEST(Lowering, MlpMultiplierCount) {
+  const auto d = separable_binary();  // 4 features, 2 classes
+  ml::Mlp mlp({.hidden_units = 6, .epochs = 3});
+  mlp.train(d);
+  const DataflowGraph g = lower_mlp(mlp, d.num_features());
+  // hidden: 6*4, output: 2*6 → 36 multipliers; sigmoid LUT per hidden unit.
+  EXPECT_EQ(g.count_ops(HwOp::kMul), 36u);
+  EXPECT_EQ(g.count_ops(HwOp::kSigmoidLut), 6u);
+}
+
+TEST(Lowering, DispatchCoversAllSynthesizableSchemes) {
+  const auto d = separable_binary();
+  for (const auto& scheme :
+       {"OneR", "DecisionStump", "J48", "JRip", "NaiveBayes", "MLR", "SVM",
+        "MLP"}) {
+    auto clf = ml::make_classifier(scheme);
+    clf->train(d);
+    const DataflowGraph g = lower_classifier(*clf, d.num_features());
+    EXPECT_GT(g.num_ops(), 0u) << scheme;
+  }
+}
+
+TEST(Lowering, UnsupportedClassifierThrows) {
+  ml::Knn knn;
+  knn.train(separable_binary());
+  EXPECT_THROW((void)lower_classifier(knn, 4), hmd::PreconditionError);
+}
+
+TEST(Synthesis, ReportFieldsConsistent) {
+  const auto d = separable_binary();
+  auto clf = ml::make_classifier("MLR");
+  clf->train(d);
+  const SynthesisReport r = synthesize_classifier(*clf, d.num_features());
+  EXPECT_EQ(r.design_name, "MLR");
+  EXPECT_GT(r.latency_cycles, 0u);
+  EXPECT_GT(r.area_slices(), 0.0);
+  EXPECT_GT(r.total_power_mw(), 0.0);
+  EXPECT_NEAR(r.latency_us(),
+              static_cast<double>(r.latency_cycles) / r.clock_mhz, 1e-12);
+  EXPECT_NE(r.to_string().find("MLR"), std::string::npos);
+}
+
+TEST(Synthesis, ResourceSharingTradesLatencyForArea) {
+  const auto d = separable_binary();
+  ml::Mlp mlp({.hidden_units = 8, .epochs = 3});
+  mlp.train(d);
+  const DataflowGraph g = lower_mlp(mlp, d.num_features());
+  SynthesisOptions shared;
+  shared.allocation = OperatorAllocation{.multipliers = 2};
+  const auto parallel = synthesize(g, "mlp");
+  const auto serial = synthesize(g, "mlp", shared);
+  EXPECT_LT(serial.resources.dsps, parallel.resources.dsps);
+  EXPECT_GT(serial.latency_cycles, parallel.latency_cycles);
+}
+
+TEST(Synthesis, FasterClockShortensLatency) {
+  const auto d = separable_binary();
+  auto clf = ml::make_classifier("SVM");
+  clf->train(d);
+  const auto slow =
+      synthesize_classifier(*clf, 4, {.clock_mhz = 100.0});
+  const auto fast =
+      synthesize_classifier(*clf, 4, {.clock_mhz = 200.0});
+  EXPECT_EQ(slow.latency_cycles, fast.latency_cycles);
+  EXPECT_GT(slow.latency_us(), fast.latency_us());
+}
+
+}  // namespace
+}  // namespace hmd::hw

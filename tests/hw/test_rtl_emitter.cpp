@@ -1,0 +1,199 @@
+#include "hw/rtl_emitter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "ml/registry.hpp"
+#include "tests/ml/synthetic_data.hpp"
+#include "util/error.hpp"
+
+namespace hmd::hw {
+namespace {
+
+using ml::testdata::separable_binary;
+using ml::testdata::three_class;
+
+std::size_t count_occurrences(const std::string& text,
+                              const std::string& needle) {
+  std::size_t count = 0;
+  std::size_t pos = 0;
+  while ((pos = text.find(needle, pos)) != std::string::npos) {
+    ++count;
+    pos += needle.size();
+  }
+  return count;
+}
+
+/// Structural sanity every emitted module must satisfy.
+void expect_well_formed(const std::string& rtl, std::size_t num_features) {
+  EXPECT_EQ(count_occurrences(rtl, "module "), 1u);
+  EXPECT_EQ(count_occurrences(rtl, "endmodule"), 1u);
+  // Every `begin` has an `end`; `endmodule` accounts for the extra one.
+  EXPECT_EQ(count_occurrences(rtl, "begin") + 1u,
+            count_occurrences(rtl, "end"));
+  // All feature ports present.
+  for (std::size_t f = 0; f < num_features; ++f)
+    EXPECT_NE(rtl.find("input  wire signed [31:0] f" + std::to_string(f)),
+              std::string::npos)
+        << "missing port f" << f;
+  EXPECT_NE(rtl.find("class_out"), std::string::npos);
+  EXPECT_NE(rtl.find("valid_out"), std::string::npos);
+  EXPECT_NE(rtl.find("always @(posedge clk)"), std::string::npos);
+}
+
+TEST(RtlEmitter, StumpGoldenDecisionLine) {
+  // Hand-built problem with a known split: signal feature 1 at ~2.5.
+  const auto d = ml::testdata::single_feature_rule(300);
+  ml::DecisionStump stump;
+  stump.train(d);
+  const std::string rtl = emit_verilog(stump, 2, "stump_detector");
+  expect_well_formed(rtl, 2);
+  // The decision references the learned split feature and a Q16.16 bound.
+  EXPECT_NE(rtl.find("assign decision = (f1 <= 32'sd"), std::string::npos)
+      << rtl;
+}
+
+TEST(RtlEmitter, OneRChainsIntervals) {
+  const auto d = separable_binary();
+  ml::OneR oner;
+  oner.train(d);
+  const std::string rtl = emit_verilog(oner, d.num_features(), "oner_det");
+  expect_well_formed(rtl, d.num_features());
+  // One comparator per internal interval boundary (the non-blocking `<=`
+  // assignments in the output stage don't reference feature ports).
+  const std::string cmp =
+      "(f" + std::to_string(oner.chosen_feature()) + " <= ";
+  EXPECT_EQ(count_occurrences(rtl, cmp), oner.intervals().size() - 1);
+}
+
+TEST(RtlEmitter, J48EmitsOneIfPerInternalNode) {
+  const auto d = separable_binary();
+  ml::J48 tree;
+  tree.train(d);
+  const std::string rtl = emit_verilog(tree, d.num_features(), "j48_det");
+  expect_well_formed(rtl, d.num_features());
+  const std::size_t internal = tree.num_nodes() - tree.num_leaves();
+  EXPECT_EQ(count_occurrences(rtl, "if (f["), internal);
+  EXPECT_EQ(count_occurrences(rtl, "decide_tree = "), tree.num_leaves());
+}
+
+TEST(RtlEmitter, JRipEmitsOneWirePerRule) {
+  const auto d = separable_binary();
+  ml::JRip rip;
+  rip.train(d);
+  const std::string rtl = emit_verilog(rip, d.num_features(), "jrip_det");
+  expect_well_formed(rtl, d.num_features());
+  for (std::size_t r = 0; r < rip.rules().size(); ++r)
+    EXPECT_NE(rtl.find("wire rule" + std::to_string(r) + " ="),
+              std::string::npos);
+}
+
+TEST(RtlEmitter, LinearBinaryUsesSignComparison) {
+  const auto d = separable_binary();
+  ml::LinearSvm svm;
+  svm.train(d);
+  const std::string rtl = emit_verilog(svm, d.num_features(), "svm_det");
+  expect_well_formed(rtl, d.num_features());
+  EXPECT_NE(rtl.find("score0"), std::string::npos);
+  EXPECT_NE(rtl.find("score1"), std::string::npos);
+  EXPECT_NE(rtl.find("(score1 > score0)"), std::string::npos);
+  // One MAC term per feature per class.
+  EXPECT_EQ(count_occurrences(rtl, ">>> 16"), 2 * d.num_features());
+}
+
+TEST(RtlEmitter, MulticlassLinearEmitsArgmax) {
+  const auto d = three_class();
+  ml::Logistic mlr;
+  mlr.train(d);
+  const std::string rtl = emit_verilog(mlr, d.num_features(), "mlr_det");
+  expect_well_formed(rtl, d.num_features());
+  EXPECT_NE(rtl.find("score2"), std::string::npos);
+  EXPECT_NE(rtl.find("best_idx"), std::string::npos);
+  // 3 classes need 2 selector bits.
+  EXPECT_NE(rtl.find("output reg  [1:0] class_out"), std::string::npos);
+}
+
+TEST(RtlEmitter, DispatchCoversSupportedSchemes) {
+  const auto d = separable_binary();
+  for (const auto& scheme : {"OneR", "DecisionStump", "J48", "JRip", "MLR",
+                             "SVM"}) {
+    auto clf = ml::make_classifier(scheme);
+    clf->train(d);
+    const std::string rtl =
+        emit_verilog(*clf, d.num_features(), "det");
+    EXPECT_GT(rtl.size(), 200u) << scheme;
+  }
+}
+
+TEST(RtlEmitter, UnsupportedSchemesThrow) {
+  const auto d = separable_binary();
+  for (const auto& scheme : {"MLP", "NaiveBayes", "ZeroR"}) {
+    auto clf = ml::make_classifier(scheme);
+    clf->train(d);
+    EXPECT_THROW((void)emit_verilog(*clf, d.num_features(), "det"),
+                 hmd::PreconditionError)
+        << scheme;
+  }
+}
+
+TEST(RtlEmitter, FeatureBeyondPortsThrows) {
+  const auto d = separable_binary();  // 4 features
+  ml::DecisionStump stump;
+  stump.train(d);
+  if (stump.split_feature() > 0)
+    EXPECT_THROW(
+        (void)emit_verilog(stump, stump.split_feature(), "det"),
+        hmd::PreconditionError);
+}
+
+TEST(RtlEmitter, ModuleNameHonored) {
+  const auto d = separable_binary();
+  ml::DecisionStump stump;
+  stump.train(d);
+  const std::string rtl = emit_verilog(stump, 4, "my_special_detector");
+  EXPECT_NE(rtl.find("module my_special_detector ("), std::string::npos);
+}
+
+TEST(RtlTestbench, SelfCheckingStructure) {
+  const auto d = separable_binary();
+  ml::JRip rip;
+  rip.train(d);
+  const std::string tb = emit_verilog_testbench(rip, d, 10, "jrip_det");
+  EXPECT_NE(tb.find("module jrip_det_tb;"), std::string::npos);
+  EXPECT_NE(tb.find("jrip_det dut ("), std::string::npos);
+  EXPECT_EQ(count_occurrences(tb, "check("), 10u);  // one call per vector
+  EXPECT_NE(tb.find("$finish"), std::string::npos);
+  EXPECT_NE(tb.find("PASS"), std::string::npos);
+}
+
+TEST(RtlTestbench, ExpectedValuesMatchModelPredictions) {
+  const auto d = separable_binary();
+  ml::DecisionStump stump;
+  stump.train(d);
+  const std::string tb = emit_verilog_testbench(stump, d, 5, "det");
+  // Every check() argument equals the C++ model's prediction.
+  for (std::size_t v = 0; v < 5; ++v) {
+    const std::string expected =
+        "check(1'd" + std::to_string(stump.predict(d.features_of(v))) + ")";
+    EXPECT_NE(tb.find(expected), std::string::npos) << expected;
+  }
+}
+
+TEST(RtlTestbench, ClampsVectorCountToTestSet) {
+  const auto d = separable_binary(3);  // 6 rows total
+  ml::DecisionStump stump;
+  stump.train(d);
+  const std::string tb = emit_verilog_testbench(stump, d, 1000, "det");
+  EXPECT_EQ(count_occurrences(tb, "check("), d.num_instances());
+}
+
+TEST(RtlEmitter, DeterministicOutput) {
+  const auto d = separable_binary();
+  ml::JRip rip;
+  rip.train(d);
+  EXPECT_EQ(emit_verilog(rip, 4, "a"), emit_verilog(rip, 4, "a"));
+}
+
+}  // namespace
+}  // namespace hmd::hw

@@ -1,0 +1,53 @@
+#include "hwsim/events.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/error.hpp"
+
+namespace hmd::hwsim {
+namespace {
+
+TEST(Events, NamesRoundTrip) {
+  for (std::size_t i = 0; i < kNumEvents; ++i) {
+    const auto e = static_cast<HwEvent>(i);
+    EXPECT_EQ(event_from_name(event_name(e)), e);
+  }
+}
+
+TEST(Events, NamesAreUnique) {
+  std::set<std::string_view> names;
+  for (std::size_t i = 0; i < kNumEvents; ++i)
+    names.insert(event_name(static_cast<HwEvent>(i)));
+  EXPECT_EQ(names.size(), kNumEvents);
+}
+
+TEST(Events, UnknownNameThrows) {
+  EXPECT_THROW(event_from_name("not-an-event"), hmd::ParseError);
+}
+
+TEST(Events, SixteenFeatureEvents) {
+  const auto& features = feature_events();
+  EXPECT_EQ(features.size(), 16u);
+  std::set<HwEvent> unique(features.begin(), features.end());
+  EXPECT_EQ(unique.size(), 16u);
+}
+
+TEST(Events, FeatureEventsMatchThesisNames) {
+  // The 16 events of the thesis's WEKA screenshot / Table 2.
+  const auto& features = feature_events();
+  EXPECT_EQ(event_name(features[0]), "instructions");
+  EXPECT_EQ(event_name(features[1]), "branch-instructions");
+  EXPECT_EQ(event_name(features[4]), "cache-references");
+  EXPECT_EQ(event_name(features[15]), "node-stores");
+}
+
+TEST(Events, MoreEventsThanRegistersExist) {
+  // Multiplexing pressure requires a larger event inventory than the 8
+  // registers, as on the real Haswell PMU.
+  EXPECT_GT(kNumEvents, 8u);
+}
+
+}  // namespace
+}  // namespace hmd::hwsim

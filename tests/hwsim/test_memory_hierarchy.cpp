@@ -1,0 +1,113 @@
+#include "hwsim/memory_hierarchy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hmd::hwsim {
+namespace {
+
+TEST(Hierarchy, ColdLoadMissesAllLevels) {
+  MemoryHierarchy mh;
+  const AccessOutcome out = mh.load(0x10000);
+  EXPECT_TRUE(out.l1_miss);
+  EXPECT_TRUE(out.l2_miss);
+  EXPECT_TRUE(out.llc_accessed);
+  EXPECT_TRUE(out.llc_miss);
+  EXPECT_TRUE(out.tlb_miss);
+}
+
+TEST(Hierarchy, WarmLoadHitsL1) {
+  MemoryHierarchy mh;
+  mh.load(0x10000);
+  const AccessOutcome out = mh.load(0x10000);
+  EXPECT_FALSE(out.l1_miss);
+  EXPECT_FALSE(out.llc_accessed);
+  EXPECT_FALSE(out.tlb_miss);
+}
+
+TEST(Hierarchy, L1HitLatencyLowest) {
+  MemoryHierarchy mh;
+  const auto cold = mh.load(0x10000);
+  const auto warm = mh.load(0x10000);
+  EXPECT_GT(cold.latency_cycles, warm.latency_cycles);
+  EXPECT_EQ(warm.latency_cycles, 1u);
+}
+
+TEST(Hierarchy, FetchUsesICacheAndITlb) {
+  MemoryHierarchy mh;
+  mh.fetch(0x400000);
+  EXPECT_EQ(mh.l1i().accesses(), 1u);
+  EXPECT_EQ(mh.l1d().accesses(), 0u);
+  EXPECT_EQ(mh.itlb().accesses(), 1u);
+  EXPECT_EQ(mh.dtlb().accesses(), 0u);
+}
+
+TEST(Hierarchy, LoadUsesDCacheAndDTlb) {
+  MemoryHierarchy mh;
+  mh.load(0x50000000);
+  EXPECT_EQ(mh.l1d().accesses(), 1u);
+  EXPECT_EQ(mh.l1i().accesses(), 0u);
+  EXPECT_EQ(mh.dtlb().accesses(), 1u);
+}
+
+TEST(Hierarchy, L1MissL2HitStopsThere) {
+  MemoryHierarchy mh = MemoryHierarchy::miniature();
+  // Touch enough lines to overflow miniature L1D (16 KiB = 256 lines) but
+  // stay inside L2 (64 KiB = 1024 lines).
+  for (std::uint64_t line = 0; line < 512; ++line) mh.load(line * 64);
+  // Revisit line 0: out of L1 (LRU) but still in L2.
+  const AccessOutcome out = mh.load(0);
+  EXPECT_TRUE(out.l1_miss);
+  EXPECT_FALSE(out.l2_miss);
+  EXPECT_FALSE(out.llc_accessed);
+}
+
+TEST(Hierarchy, DirtyStreamGeneratesNodeStores) {
+  MemoryHierarchy mh = MemoryHierarchy::miniature();
+  // Stream stores over 4x the miniature LLC (256 KiB): dirty lines must be
+  // written back to DRAM as they are evicted.
+  std::uint32_t node_stores = 0;
+  for (int pass = 0; pass < 2; ++pass)
+    for (std::uint64_t a = 0; a < 4u * 256 * 1024; a += 64)
+      node_stores += mh.store(a).node_stores;
+  EXPECT_GT(node_stores, 1000u);
+}
+
+TEST(Hierarchy, CleanStreamGeneratesNoNodeStores) {
+  MemoryHierarchy mh = MemoryHierarchy::miniature();
+  std::uint32_t node_stores = 0;
+  for (std::uint64_t a = 0; a < 4u * 256 * 1024; a += 64)
+    node_stores += mh.load(a).node_stores;
+  EXPECT_EQ(node_stores, 0u);
+}
+
+TEST(Hierarchy, FlushRestoresColdState) {
+  MemoryHierarchy mh;
+  mh.load(0x1234000);
+  mh.flush();
+  const AccessOutcome out = mh.load(0x1234000);
+  EXPECT_TRUE(out.l1_miss);
+  EXPECT_TRUE(out.llc_miss);
+  EXPECT_TRUE(out.tlb_miss);
+}
+
+TEST(Hierarchy, SmallWorkingSetNeverReachesLlc) {
+  MemoryHierarchy mh = MemoryHierarchy::miniature();
+  // 8 KiB hot set fits in L1D after warmup.
+  for (int pass = 0; pass < 4; ++pass)
+    for (std::uint64_t a = 0; a < 8 * 1024; a += 64) mh.load(a);
+  EXPECT_EQ(mh.llc().accesses(), mh.l2().misses() + 0u);
+  EXPECT_LE(mh.llc().accesses(), 128u);  // only cold fills
+}
+
+TEST(Hierarchy, TlbMissAddsWalkLatency) {
+  MemoryHierarchy mh;
+  const auto first = mh.load(0x77777000);   // TLB miss
+  mh.flush();
+  // Same cache path but pre-warm only the TLB.
+  mh.load(0x77777000);
+  const auto warm_tlb = mh.load(0x77777040);  // same page, new line → no walk
+  EXPECT_GT(first.latency_cycles, warm_tlb.latency_cycles);
+}
+
+}  // namespace
+}  // namespace hmd::hwsim

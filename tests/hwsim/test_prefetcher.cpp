@@ -1,0 +1,127 @@
+#include "hwsim/prefetcher.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hwsim/memory_hierarchy.hpp"
+#include "util/error.hpp"
+
+namespace hmd::hwsim {
+namespace {
+
+TEST(StridePrefetcher, RejectsBadConfig) {
+  EXPECT_THROW(StridePrefetcher({.table_entries = 3}),
+               hmd::PreconditionError);
+  EXPECT_THROW(StridePrefetcher({.degree = 0}), hmd::PreconditionError);
+}
+
+TEST(StridePrefetcher, NoPrefetchBeforeConfidence) {
+  StridePrefetcher pf({.min_confidence = 2});
+  EXPECT_TRUE(pf.observe(0x400, 0x1000).empty());   // first touch
+  EXPECT_TRUE(pf.observe(0x400, 0x1040).empty());   // stride observed once
+  // second stride repeat reaches confidence
+  const auto prefetches = pf.observe(0x400, 0x1080);
+  ASSERT_EQ(prefetches.size(), 2u);  // default degree = 2
+  EXPECT_EQ(prefetches[0], 0x10C0u);
+  EXPECT_EQ(prefetches[1], 0x1100u);
+}
+
+TEST(StridePrefetcher, TracksNegativeStrides) {
+  StridePrefetcher pf({.degree = 1, .min_confidence = 2});
+  pf.observe(0x400, 0x2000);
+  pf.observe(0x400, 0x1FC0);
+  const auto prefetches = pf.observe(0x400, 0x1F80);
+  ASSERT_EQ(prefetches.size(), 1u);
+  EXPECT_EQ(prefetches[0], 0x1F40u);
+}
+
+TEST(StridePrefetcher, StrideChangeResetsConfidence) {
+  StridePrefetcher pf({.min_confidence = 2});
+  pf.observe(0x400, 0x1000);
+  pf.observe(0x400, 0x1040);
+  pf.observe(0x400, 0x1080);        // confident now
+  EXPECT_TRUE(pf.observe(0x400, 0x5000).empty());  // stride broke
+  EXPECT_TRUE(pf.observe(0x400, 0x5040).empty());  // rebuilt once
+  EXPECT_FALSE(pf.observe(0x400, 0x5080).empty()); // confident again
+}
+
+TEST(StridePrefetcher, RandomAccessesNeverPrefetch) {
+  StridePrefetcher pf;
+  const std::uint64_t addrs[] = {0x9123, 0x10, 0x55555, 0x2, 0x884422};
+  for (std::uint64_t a : addrs) EXPECT_TRUE(pf.observe(0x400, a).empty());
+  EXPECT_EQ(pf.issued(), 0u);
+}
+
+TEST(StridePrefetcher, SeparateStreamsPerPc) {
+  StridePrefetcher pf({.degree = 1, .min_confidence = 2});
+  // Two interleaved strided streams from different pcs.
+  pf.observe(0x400, 0x1000);
+  pf.observe(0x404, 0x8000);
+  pf.observe(0x400, 0x1040);
+  pf.observe(0x404, 0x8100);
+  EXPECT_FALSE(pf.observe(0x400, 0x1080).empty());
+  EXPECT_FALSE(pf.observe(0x404, 0x8200).empty());
+}
+
+TEST(StridePrefetcher, ResetForgets) {
+  StridePrefetcher pf({.min_confidence = 2});
+  pf.observe(0x400, 0x1000);
+  pf.observe(0x400, 0x1040);
+  pf.observe(0x400, 0x1080);
+  pf.reset();
+  EXPECT_EQ(pf.issued(), 0u);
+  EXPECT_TRUE(pf.observe(0x400, 0x10C0).empty());
+}
+
+TEST(HierarchyPrefetch, StreamingMissesDropWithPrefetcher) {
+  MemoryHierarchy plain = MemoryHierarchy::miniature();
+  MemoryHierarchy prefetching = MemoryHierarchy::miniature();
+  prefetching.enable_prefetcher({.degree = 4});
+  EXPECT_TRUE(prefetching.prefetcher_enabled());
+  EXPECT_FALSE(plain.prefetcher_enabled());
+
+  // Stream 1 MiB of loads from a single pc (a scanner loop).
+  for (std::uint64_t a = 0; a < 1u << 20; a += 64) {
+    plain.load(a, 0x400);
+    prefetching.load(a, 0x400);
+  }
+  // Prefetch fills land in L2 ahead of demand, so L2 demand misses fall.
+  EXPECT_LT(prefetching.l2().misses(), plain.l2().misses() / 2);
+  ASSERT_NE(prefetching.prefetcher(), nullptr);
+  EXPECT_GT(prefetching.prefetcher()->issued(), 1000u);
+}
+
+TEST(HierarchyPrefetch, FillDoesNotPerturbDemandStats) {
+  MemoryHierarchy mh = MemoryHierarchy::miniature();
+  mh.enable_prefetcher({.degree = 2});
+  for (std::uint64_t a = 0; a < 1u << 16; a += 64) mh.load(a, 0x400);
+  // L1D demand loads = exactly the demand stream length.
+  EXPECT_EQ(mh.l1d().loads(), (1u << 16) / 64);
+}
+
+TEST(HierarchyPrefetch, PrefetchFillsReportedAsDramReads) {
+  MemoryHierarchy mh = MemoryHierarchy::miniature();
+  mh.enable_prefetcher({.degree = 2});
+  std::uint32_t prefetch_fills = 0;
+  for (std::uint64_t a = 0; a < 1u << 20; a += 64)
+    prefetch_fills += mh.load(a, 0x400).prefetch_fills;
+  EXPECT_GT(prefetch_fills, 1000u);
+}
+
+TEST(CacheFill, InstallsWithoutStats) {
+  Cache c(miniature_l2());
+  c.fill(0x4000);
+  EXPECT_EQ(c.loads(), 0u);
+  EXPECT_EQ(c.misses(), 0u);
+  EXPECT_TRUE(c.access(0x4000, false).hit);  // the line is really there
+}
+
+TEST(CacheFill, ReportsDirtyEvictions) {
+  Cache c({.name = "t", .size_bytes = 1024, .ways = 1, .line_bytes = 64});
+  // Dirty a line, then fill a conflicting one.
+  c.access(0x0, /*is_store=*/true);
+  const auto fill = c.fill(16 * 64);  // same set (16 sets x 64B, 1 way)
+  EXPECT_TRUE(fill.writeback);
+}
+
+}  // namespace
+}  // namespace hmd::hwsim

@@ -1,0 +1,84 @@
+#include "hwsim/tlb.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace hmd::hwsim {
+namespace {
+
+TEST(Tlb, RejectsBadConfig) {
+  EXPECT_THROW(Tlb({.entries = 0}), hmd::PreconditionError);
+  EXPECT_THROW(Tlb({.entries = 4, .page_bits = 40}), hmd::PreconditionError);
+}
+
+TEST(Tlb, FirstTranslationMisses) {
+  Tlb tlb({.entries = 4});
+  EXPECT_FALSE(tlb.access(0x1000));
+  EXPECT_EQ(tlb.misses(), 1u);
+}
+
+TEST(Tlb, SamePageHits) {
+  Tlb tlb({.entries = 4});
+  tlb.access(0x1000);
+  EXPECT_TRUE(tlb.access(0x1FFF));  // same 4 KiB page
+  EXPECT_EQ(tlb.misses(), 1u);
+}
+
+TEST(Tlb, DifferentPagesMiss) {
+  Tlb tlb({.entries = 4});
+  tlb.access(0x1000);
+  EXPECT_FALSE(tlb.access(0x2000));
+}
+
+TEST(Tlb, LruEviction) {
+  Tlb tlb({.entries = 2});
+  tlb.access(0x1000);  // A
+  tlb.access(0x2000);  // B
+  tlb.access(0x1000);  // touch A
+  tlb.access(0x3000);  // evicts B
+  EXPECT_TRUE(tlb.access(0x1000));
+  EXPECT_FALSE(tlb.access(0x2000));
+}
+
+TEST(Tlb, WorkingSetWithinReachAllHits) {
+  Tlb tlb({.entries = 8});
+  for (int pass = 0; pass < 3; ++pass)
+    for (std::uint64_t p = 0; p < 8; ++p) tlb.access(p << 12);
+  EXPECT_EQ(tlb.misses(), 8u);
+}
+
+TEST(Tlb, WorkingSetBeyondReachThrashes) {
+  Tlb tlb({.entries = 8});
+  for (int pass = 0; pass < 2; ++pass)
+    for (std::uint64_t p = 0; p < 64; ++p) tlb.access(p << 12);
+  EXPECT_DOUBLE_EQ(tlb.miss_rate(), 1.0);
+}
+
+TEST(Tlb, FlushInvalidates) {
+  Tlb tlb({.entries = 4});
+  tlb.access(0x1000);
+  tlb.flush();
+  EXPECT_FALSE(tlb.access(0x1000));
+}
+
+TEST(Tlb, ResetStatsKeepsEntries) {
+  Tlb tlb({.entries = 4});
+  tlb.access(0x1000);
+  tlb.reset_stats();
+  EXPECT_EQ(tlb.accesses(), 0u);
+  EXPECT_TRUE(tlb.access(0x1000));
+}
+
+TEST(Tlb, LargePagesWidenReach) {
+  Tlb small({.entries = 2, .page_bits = 12});
+  Tlb large({.entries = 2, .page_bits = 21});  // 2 MiB pages
+  for (std::uint64_t a = 0; a < 4u << 12; a += 1 << 12) {
+    small.access(a);
+    large.access(a);
+  }
+  EXPECT_GT(small.misses(), large.misses());
+}
+
+}  // namespace
+}  // namespace hmd::hwsim

@@ -1,0 +1,95 @@
+// Shared synthetic datasets for classifier tests.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ml/dataset.hpp"
+#include "util/rng.hpp"
+
+namespace hmd::ml::testdata {
+
+/// Gaussian blobs: `k` classes with means spaced `separation` apart along
+/// each of `d` features, `per_class` rows each.
+inline Dataset blobs(std::size_t k, std::size_t d, std::size_t per_class,
+                     double separation, double noise, std::uint64_t seed) {
+  std::vector<Attribute> attrs;
+  for (std::size_t f = 0; f < d; ++f)
+    attrs.emplace_back("f" + std::to_string(f));
+  std::vector<std::string> names;
+  for (std::size_t c = 0; c < k; ++c) names.push_back("c" + std::to_string(c));
+  attrs.emplace_back("class", names);
+  Dataset data(std::move(attrs), "blobs");
+  Rng rng(seed);
+  for (std::size_t c = 0; c < k; ++c) {
+    for (std::size_t i = 0; i < per_class; ++i) {
+      Instance row;
+      for (std::size_t f = 0; f < d; ++f)
+        row.values.push_back(
+            rng.normal(separation * static_cast<double>(c), noise));
+      row.values.push_back(static_cast<double>(c));
+      data.add(std::move(row));
+    }
+  }
+  return data;
+}
+
+/// Well-separated binary problem (accuracy ceiling ≈ 1).
+inline Dataset separable_binary(std::size_t n_per_class = 200,
+                                std::uint64_t seed = 5) {
+  return blobs(2, 4, n_per_class, 4.0, 1.0, seed);
+}
+
+/// Overlapping binary problem (Bayes accuracy well below 1).
+inline Dataset overlapping_binary(std::size_t n_per_class = 300,
+                                  std::uint64_t seed = 6) {
+  return blobs(2, 4, n_per_class, 1.0, 1.5, seed);
+}
+
+/// Three-class problem.
+inline Dataset three_class(std::size_t n_per_class = 150,
+                           std::uint64_t seed = 8) {
+  return blobs(3, 5, n_per_class, 3.0, 1.0, seed);
+}
+
+/// XOR: not linearly separable; trees/MLP solve it, linear models cannot.
+inline Dataset xor_problem(std::size_t n = 400, std::uint64_t seed = 9) {
+  std::vector<Attribute> attrs;
+  attrs.emplace_back("x");
+  attrs.emplace_back("y");
+  attrs.emplace_back("class", std::vector<std::string>{"off", "on"});
+  Dataset data(std::move(attrs), "xor");
+  Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool a = rng.bernoulli(0.5);
+    const bool b = rng.bernoulli(0.5);
+    Instance row;
+    row.values.push_back((a ? 1.0 : -1.0) + rng.normal(0.0, 0.2));
+    row.values.push_back((b ? 1.0 : -1.0) + rng.normal(0.0, 0.2));
+    row.values.push_back((a != b) ? 1.0 : 0.0);
+    data.add(std::move(row));
+  }
+  return data;
+}
+
+/// A problem decided by one feature only (ideal for OneR).
+inline Dataset single_feature_rule(std::size_t n = 300,
+                                   std::uint64_t seed = 10) {
+  std::vector<Attribute> attrs;
+  attrs.emplace_back("noise");
+  attrs.emplace_back("signal");
+  attrs.emplace_back("class", std::vector<std::string>{"lo", "hi"});
+  Dataset data(std::move(attrs), "rule");
+  Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool hi = rng.bernoulli(0.5);
+    Instance row;
+    row.values.push_back(rng.normal(0.0, 1.0));
+    row.values.push_back(hi ? rng.normal(5.0, 0.5) : rng.normal(0.0, 0.5));
+    row.values.push_back(hi ? 1.0 : 0.0);
+    data.add(std::move(row));
+  }
+  return data;
+}
+
+}  // namespace hmd::ml::testdata

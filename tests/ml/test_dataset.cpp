@@ -1,0 +1,192 @@
+#include "ml/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/error.hpp"
+
+namespace hmd::ml {
+namespace {
+
+Dataset make_dataset() {
+  std::vector<Attribute> attrs;
+  attrs.emplace_back("f0");
+  attrs.emplace_back("f1");
+  attrs.emplace_back("class", std::vector<std::string>{"neg", "pos"});
+  Dataset d(std::move(attrs), "test");
+  d.add({{1.0, 10.0, 0.0}});
+  d.add({{2.0, 20.0, 1.0}});
+  d.add({{3.0, 30.0, 1.0}});
+  return d;
+}
+
+TEST(Attribute, NominalValueLookup) {
+  Attribute a("cls", {"x", "y", "z"});
+  EXPECT_TRUE(a.is_nominal());
+  EXPECT_EQ(a.value_index("y"), 1u);
+  EXPECT_THROW((void)a.value_index("w"), PreconditionError);
+}
+
+TEST(Attribute, NumericHasNoValues) {
+  Attribute a("f");
+  EXPECT_FALSE(a.is_nominal());
+  EXPECT_EQ(a.num_values(), 0u);
+  EXPECT_THROW((void)a.value_index("x"), PreconditionError);
+}
+
+TEST(Attribute, EmptyNominalThrows) {
+  EXPECT_THROW(Attribute("c", std::vector<std::string>{}), PreconditionError);
+}
+
+TEST(Dataset, BasicAccessors) {
+  const Dataset d = make_dataset();
+  EXPECT_EQ(d.num_attributes(), 3u);
+  EXPECT_EQ(d.num_features(), 2u);
+  EXPECT_EQ(d.num_instances(), 3u);
+  EXPECT_EQ(d.num_classes(), 2u);
+  EXPECT_EQ(d.relation(), "test");
+  EXPECT_EQ(d.class_of(1), 1u);
+  EXPECT_EQ(d.features_of(2)[1], 30.0);
+}
+
+TEST(Dataset, RequiresNominalClassLast) {
+  std::vector<Attribute> attrs;
+  attrs.emplace_back("f0");
+  attrs.emplace_back("f1");
+  EXPECT_THROW((void)Dataset(attrs), PreconditionError);
+}
+
+TEST(Dataset, RejectsWrongWidthRows) {
+  Dataset d = make_dataset();
+  EXPECT_THROW(d.add({{1.0, 2.0}}), PreconditionError);
+}
+
+TEST(Dataset, RejectsOutOfRangeClassValue) {
+  Dataset d = make_dataset();
+  EXPECT_THROW(d.add({{1.0, 2.0, 5.0}}), PreconditionError);
+  EXPECT_THROW(d.add({{1.0, 2.0, 0.5}}), PreconditionError);
+}
+
+TEST(Dataset, ClassCountsAndMajority) {
+  const Dataset d = make_dataset();
+  const auto counts = d.class_counts();
+  EXPECT_EQ(counts[0], 1u);
+  EXPECT_EQ(counts[1], 2u);
+  EXPECT_EQ(d.majority_class(), 1u);
+}
+
+TEST(Dataset, FeatureIndexByName) {
+  const Dataset d = make_dataset();
+  EXPECT_EQ(d.feature_index("f1"), 1u);
+  EXPECT_THROW((void)d.feature_index("class"), PreconditionError);
+  EXPECT_THROW((void)d.feature_index("nope"), PreconditionError);
+}
+
+TEST(Dataset, ProjectKeepsSelectedFeatures) {
+  const Dataset d = make_dataset();
+  const Dataset p = d.project({1});
+  EXPECT_EQ(p.num_features(), 1u);
+  EXPECT_EQ(p.attribute(0).name(), "f1");
+  EXPECT_EQ(p.num_instances(), 3u);
+  EXPECT_EQ(p.features_of(0)[0], 10.0);
+  EXPECT_EQ(p.class_of(0), 0u);
+}
+
+TEST(Dataset, ProjectReordersFeatures) {
+  const Dataset d = make_dataset();
+  const Dataset p = d.project({1, 0});
+  EXPECT_EQ(p.attribute(0).name(), "f1");
+  EXPECT_EQ(p.attribute(1).name(), "f0");
+  EXPECT_EQ(p.features_of(2)[0], 30.0);
+  EXPECT_EQ(p.features_of(2)[1], 3.0);
+}
+
+TEST(Dataset, ProjectRejectsClassColumn) {
+  const Dataset d = make_dataset();
+  EXPECT_THROW((void)d.project({2}), PreconditionError);
+  EXPECT_THROW((void)d.project({}), PreconditionError);
+}
+
+TEST(Dataset, FilterClassesKeepsAndRemaps) {
+  std::vector<Attribute> attrs;
+  attrs.emplace_back("f");
+  attrs.emplace_back("class", std::vector<std::string>{"a", "b", "c"});
+  Dataset d(std::move(attrs));
+  d.add({{1.0, 0.0}});
+  d.add({{2.0, 1.0}});
+  d.add({{3.0, 2.0}});
+  const Dataset f = d.filter_classes({2, 0});
+  EXPECT_EQ(f.num_instances(), 2u);
+  EXPECT_EQ(f.num_classes(), 2u);
+  EXPECT_EQ(f.class_attribute().values()[0], "c");
+  // Row with class "c" (3.0) is now class 0.
+  EXPECT_EQ(f.class_of(1), 0u);
+  EXPECT_EQ(f.features_of(1)[0], 3.0);
+}
+
+TEST(Dataset, RelabelBinary) {
+  std::vector<Attribute> attrs;
+  attrs.emplace_back("f");
+  attrs.emplace_back("class", std::vector<std::string>{"a", "b", "c"});
+  Dataset d(std::move(attrs));
+  d.add({{1.0, 0.0}});
+  d.add({{2.0, 1.0}});
+  d.add({{3.0, 2.0}});
+  const Dataset b = d.relabel_binary({1, 2}, "clean", "dirty");
+  EXPECT_EQ(b.num_classes(), 2u);
+  EXPECT_EQ(b.class_of(0), 0u);
+  EXPECT_EQ(b.class_of(1), 1u);
+  EXPECT_EQ(b.class_of(2), 1u);
+  EXPECT_EQ(b.class_attribute().values()[1], "dirty");
+  EXPECT_EQ(b.num_instances(), 3u);
+}
+
+TEST(Dataset, StratifiedSplitPreservesClassShares) {
+  std::vector<Attribute> attrs;
+  attrs.emplace_back("f");
+  attrs.emplace_back("class", std::vector<std::string>{"a", "b"});
+  Dataset d(std::move(attrs));
+  for (int i = 0; i < 100; ++i) d.add({{static_cast<double>(i), 0.0}});
+  for (int i = 0; i < 50; ++i) d.add({{static_cast<double>(i), 1.0}});
+  Rng rng(3);
+  const auto [train, test] = d.stratified_split(0.7, rng);
+  EXPECT_EQ(train.num_instances() + test.num_instances(), 150u);
+  EXPECT_EQ(train.class_counts()[0], 70u);
+  EXPECT_EQ(train.class_counts()[1], 35u);
+  EXPECT_EQ(test.class_counts()[0], 30u);
+  EXPECT_EQ(test.class_counts()[1], 15u);
+}
+
+TEST(Dataset, StratifiedSplitIsDisjoint) {
+  std::vector<Attribute> attrs;
+  attrs.emplace_back("f");
+  attrs.emplace_back("class", std::vector<std::string>{"a", "b"});
+  Dataset d(std::move(attrs));
+  for (int i = 0; i < 40; ++i)
+    d.add({{static_cast<double>(i), static_cast<double>(i % 2)}});
+  Rng rng(5);
+  const auto [train, test] = d.stratified_split(0.5, rng);
+  std::set<double> train_ids;
+  for (std::size_t i = 0; i < train.num_instances(); ++i)
+    train_ids.insert(train.features_of(i)[0]);
+  for (std::size_t i = 0; i < test.num_instances(); ++i)
+    EXPECT_EQ(train_ids.count(test.features_of(i)[0]), 0u);
+}
+
+TEST(Dataset, SplitRejectsDegenerateFractions) {
+  Dataset d = make_dataset();
+  Rng rng(1);
+  EXPECT_THROW((void)d.stratified_split(0.0, rng), PreconditionError);
+  EXPECT_THROW((void)d.stratified_split(1.0, rng), PreconditionError);
+}
+
+TEST(Dataset, FeatureStatistics) {
+  const Dataset d = make_dataset();
+  EXPECT_DOUBLE_EQ(d.feature_mean(0), 2.0);
+  EXPECT_NEAR(d.feature_stddev(0), 1.0, 1e-12);
+  EXPECT_THROW((void)d.feature_mean(2), PreconditionError);
+}
+
+}  // namespace
+}  // namespace hmd::ml

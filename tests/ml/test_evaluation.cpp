@@ -1,0 +1,129 @@
+#include "ml/evaluation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ml/zero_r.hpp"
+#include "tests/ml/synthetic_data.hpp"
+#include "util/error.hpp"
+
+namespace hmd::ml {
+namespace {
+
+EvaluationResult two_class_result() {
+  EvaluationResult r(2, {"neg", "pos"});
+  // Confusion: actual neg: 8 correct, 2 as pos; actual pos: 1 as neg, 9 ok.
+  for (int i = 0; i < 8; ++i) r.record(0, 0);
+  for (int i = 0; i < 2; ++i) r.record(0, 1);
+  for (int i = 0; i < 1; ++i) r.record(1, 0);
+  for (int i = 0; i < 9; ++i) r.record(1, 1);
+  return r;
+}
+
+TEST(Evaluation, AccuracyComputation) {
+  const auto r = two_class_result();
+  EXPECT_EQ(r.total(), 20u);
+  EXPECT_EQ(r.correct(), 17u);
+  EXPECT_DOUBLE_EQ(r.accuracy(), 0.85);
+}
+
+TEST(Evaluation, ConfusionMatrixEntries) {
+  const auto r = two_class_result();
+  EXPECT_EQ(r.confusion(0, 0), 8u);
+  EXPECT_EQ(r.confusion(0, 1), 2u);
+  EXPECT_EQ(r.confusion(1, 0), 1u);
+  EXPECT_EQ(r.confusion(1, 1), 9u);
+}
+
+TEST(Evaluation, RecallPerClass) {
+  const auto r = two_class_result();
+  EXPECT_DOUBLE_EQ(r.recall(0), 0.8);
+  EXPECT_DOUBLE_EQ(r.recall(1), 0.9);
+  EXPECT_DOUBLE_EQ(r.macro_recall(), 0.85);
+}
+
+TEST(Evaluation, PrecisionPerClass) {
+  const auto r = two_class_result();
+  EXPECT_NEAR(r.precision(0), 8.0 / 9.0, 1e-12);
+  EXPECT_NEAR(r.precision(1), 9.0 / 11.0, 1e-12);
+}
+
+TEST(Evaluation, F1IsHarmonicMean) {
+  const auto r = two_class_result();
+  const double p = r.precision(1);
+  const double rec = r.recall(1);
+  EXPECT_NEAR(r.f1(1), 2 * p * rec / (p + rec), 1e-12);
+}
+
+TEST(Evaluation, KappaForPerfectClassifier) {
+  EvaluationResult r(2, {"a", "b"});
+  for (int i = 0; i < 10; ++i) {
+    r.record(0, 0);
+    r.record(1, 1);
+  }
+  EXPECT_NEAR(r.kappa(), 1.0, 1e-12);
+}
+
+TEST(Evaluation, KappaForChanceClassifier) {
+  EvaluationResult r(2, {"a", "b"});
+  // Predictions independent of truth.
+  for (int i = 0; i < 25; ++i) {
+    r.record(0, 0);
+    r.record(0, 1);
+    r.record(1, 0);
+    r.record(1, 1);
+  }
+  EXPECT_NEAR(r.kappa(), 0.0, 1e-12);
+}
+
+TEST(Evaluation, EmptyResultIsZero) {
+  EvaluationResult r(2, {"a", "b"});
+  EXPECT_EQ(r.accuracy(), 0.0);
+  EXPECT_EQ(r.kappa(), 0.0);
+  EXPECT_EQ(r.recall(0), 0.0);
+  EXPECT_EQ(r.precision(0), 0.0);
+}
+
+TEST(Evaluation, RecordRejectsOutOfRange) {
+  EvaluationResult r(2, {"a", "b"});
+  EXPECT_THROW(r.record(2, 0), PreconditionError);
+  EXPECT_THROW(r.record(0, 2), PreconditionError);
+}
+
+TEST(Evaluation, MismatchedNamesThrow) {
+  EXPECT_THROW(EvaluationResult(3, {"a", "b"}), PreconditionError);
+  EXPECT_THROW(EvaluationResult(1, {"a"}), PreconditionError);
+}
+
+TEST(Evaluation, ToStringMentionsAccuracyAndClasses) {
+  const auto r = two_class_result();
+  const std::string s = r.to_string();
+  EXPECT_NE(s.find("accuracy"), std::string::npos);
+  EXPECT_NE(s.find("neg"), std::string::npos);
+  EXPECT_NE(s.find("pos"), std::string::npos);
+}
+
+TEST(Evaluate, RunsClassifierOverTestSet) {
+  const Dataset d = testdata::separable_binary(50);
+  ZeroR z;
+  z.train(d);
+  const auto r = evaluate(z, d);
+  EXPECT_EQ(r.total(), d.num_instances());
+  EXPECT_DOUBLE_EQ(r.accuracy(), 0.5);  // balanced blobs
+}
+
+TEST(Evaluate, EmptyTestSetThrows) {
+  const Dataset d = testdata::separable_binary(10);
+  ZeroR z;
+  z.train(d);
+  std::vector<Attribute> attrs;
+  attrs.emplace_back("f0");
+  attrs.emplace_back("f1");
+  attrs.emplace_back("f2");
+  attrs.emplace_back("f3");
+  attrs.emplace_back("class", std::vector<std::string>{"c0", "c1"});
+  const Dataset empty(std::move(attrs));
+  EXPECT_THROW((void)evaluate(z, empty), PreconditionError);
+}
+
+}  // namespace
+}  // namespace hmd::ml

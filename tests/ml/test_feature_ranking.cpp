@@ -1,0 +1,100 @@
+#include "ml/feature_ranking.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tests/ml/synthetic_data.hpp"
+#include "util/error.hpp"
+
+namespace hmd::ml {
+namespace {
+
+using namespace testdata;
+
+/// Dataset with one strong feature, one weak, one pure noise.
+Dataset graded_signal(std::size_t n = 600, std::uint64_t seed = 5) {
+  std::vector<Attribute> attrs;
+  attrs.emplace_back("strong");
+  attrs.emplace_back("weak");
+  attrs.emplace_back("noise");
+  attrs.emplace_back("class", std::vector<std::string>{"a", "b"});
+  Dataset d(std::move(attrs));
+  Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool b = rng.bernoulli(0.5);
+    d.add({{b ? rng.normal(4.0, 0.5) : rng.normal(0.0, 0.5),
+            b ? rng.normal(0.6, 1.0) : rng.normal(0.0, 1.0),
+            rng.normal(0.0, 1.0), b ? 1.0 : 0.0}});
+  }
+  return d;
+}
+
+TEST(InfoGain, OrdersFeaturesBySignalStrength) {
+  const auto ranked = rank_by_info_gain(graded_signal());
+  ASSERT_EQ(ranked.size(), 3u);
+  EXPECT_EQ(ranked[0].name, "strong");
+  EXPECT_EQ(ranked[2].name, "noise");
+  EXPECT_GT(ranked[0].score, ranked[1].score);
+  EXPECT_GT(ranked[1].score, ranked[2].score);
+}
+
+TEST(InfoGain, NoiseHasNearZeroGain) {
+  const auto ranked = rank_by_info_gain(graded_signal(2000));
+  EXPECT_LT(ranked.back().score, 0.05);
+}
+
+TEST(InfoGain, PerfectFeatureApproachesClassEntropy) {
+  const auto ranked = rank_by_info_gain(graded_signal(2000));
+  // Balanced binary class → H(class) = 1 bit; "strong" separates cleanly.
+  EXPECT_GT(ranked.front().score, 0.9);
+}
+
+TEST(InfoGain, ScoresAreNonNegative) {
+  const auto ranked = rank_by_info_gain(overlapping_binary(400));
+  for (const auto& f : ranked) EXPECT_GE(f.score, -1e-12);
+}
+
+TEST(InfoGain, DeterministicAndCompleteRanking) {
+  const Dataset d = three_class();
+  const auto a = rank_by_info_gain(d);
+  const auto b = rank_by_info_gain(d);
+  ASSERT_EQ(a.size(), d.num_features());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].index, b[i].index);
+    EXPECT_DOUBLE_EQ(a[i].score, b[i].score);
+  }
+}
+
+TEST(InfoGain, TiedValuesShareABin) {
+  // A feature with few distinct values must not crash or split ties.
+  std::vector<Attribute> attrs;
+  attrs.emplace_back("coarse");
+  attrs.emplace_back("class", std::vector<std::string>{"a", "b"});
+  Dataset d(std::move(attrs));
+  for (int i = 0; i < 100; ++i)
+    d.add({{static_cast<double>(i % 2), static_cast<double>(i % 2)}});
+  const auto ranked = rank_by_info_gain(d, 10);
+  EXPECT_NEAR(ranked.front().score, 1.0, 1e-9);  // perfectly informative
+}
+
+TEST(SymmetricalUncertainty, BoundedByOne) {
+  const auto ranked =
+      rank_by_symmetrical_uncertainty(graded_signal(1000));
+  for (const auto& f : ranked) {
+    EXPECT_GE(f.score, 0.0);
+    EXPECT_LE(f.score, 1.0 + 1e-9);
+  }
+  EXPECT_EQ(ranked.front().name, "strong");
+}
+
+TEST(FeatureRanking, RejectsBadInput) {
+  std::vector<Attribute> attrs;
+  attrs.emplace_back("f");
+  attrs.emplace_back("class", std::vector<std::string>{"a", "b"});
+  const Dataset empty(std::move(attrs));
+  EXPECT_THROW((void)rank_by_info_gain(empty), PreconditionError);
+  EXPECT_THROW((void)rank_by_info_gain(graded_signal(50), 1),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace hmd::ml

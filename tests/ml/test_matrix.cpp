@@ -1,0 +1,208 @@
+#include "ml/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace hmd::ml {
+namespace {
+
+TEST(Matrix, ConstructionAndIndexing) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 0) = 7.0;
+  EXPECT_DOUBLE_EQ(m(0, 0), 7.0);
+  EXPECT_THROW((void)m.at(2, 0), PreconditionError);
+}
+
+TEST(Matrix, Identity) {
+  const Matrix i = Matrix::identity(3);
+  EXPECT_DOUBLE_EQ(i(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(i(0, 1), 0.0);
+}
+
+TEST(Matrix, Transpose) {
+  Matrix m(2, 3);
+  m(0, 1) = 5.0;
+  m(1, 2) = 7.0;
+  const Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_DOUBLE_EQ(t(1, 0), 5.0);
+  EXPECT_DOUBLE_EQ(t(2, 1), 7.0);
+}
+
+TEST(Matrix, Product) {
+  Matrix a(2, 2);
+  a(0, 0) = 1; a(0, 1) = 2; a(1, 0) = 3; a(1, 1) = 4;
+  Matrix b(2, 2);
+  b(0, 0) = 5; b(0, 1) = 6; b(1, 0) = 7; b(1, 1) = 8;
+  const Matrix c = a * b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, ProductShapeMismatchThrows) {
+  Matrix a(2, 3), b(2, 2);
+  EXPECT_THROW((void)(a * b), PreconditionError);
+}
+
+TEST(Matrix, MatrixVectorProduct) {
+  Matrix a(2, 3);
+  a(0, 0) = 1; a(0, 1) = 2; a(0, 2) = 3;
+  a(1, 0) = 4; a(1, 1) = 5; a(1, 2) = 6;
+  const std::vector<double> x = {1.0, 1.0, 1.0};
+  const auto y = a.multiply(x);
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_DOUBLE_EQ(y[0], 6.0);
+  EXPECT_DOUBLE_EQ(y[1], 15.0);
+}
+
+TEST(Matrix, SymmetryCheck) {
+  Matrix m(2, 2);
+  m(0, 1) = 3.0;
+  m(1, 0) = 3.0;
+  EXPECT_TRUE(m.is_symmetric());
+  m(1, 0) = 3.1;
+  EXPECT_FALSE(m.is_symmetric());
+  EXPECT_FALSE(Matrix(2, 3).is_symmetric());
+}
+
+TEST(Covariance, KnownValues) {
+  // Two perfectly correlated columns.
+  Matrix data(4, 2);
+  for (std::size_t i = 0; i < 4; ++i) {
+    data(i, 0) = static_cast<double>(i);
+    data(i, 1) = 2.0 * static_cast<double>(i);
+  }
+  const Matrix cov = covariance_matrix(data);
+  EXPECT_NEAR(cov(0, 0), 5.0 / 3.0, 1e-12);
+  EXPECT_NEAR(cov(1, 1), 20.0 / 3.0, 1e-12);
+  EXPECT_NEAR(cov(0, 1), 10.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(cov(0, 1), cov(1, 0));
+}
+
+TEST(Correlation, PerfectAndConstant) {
+  Matrix data(5, 3);
+  for (std::size_t i = 0; i < 5; ++i) {
+    data(i, 0) = static_cast<double>(i);
+    data(i, 1) = -3.0 * static_cast<double>(i);
+    data(i, 2) = 42.0;  // constant
+  }
+  const Matrix corr = correlation_matrix(data);
+  EXPECT_NEAR(corr(0, 1), -1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(corr(2, 2), 1.0);
+  EXPECT_DOUBLE_EQ(corr(0, 2), 0.0);
+}
+
+TEST(Jacobi, DiagonalMatrixIsItsOwnDecomposition) {
+  Matrix m(3, 3);
+  m(0, 0) = 3.0;
+  m(1, 1) = 1.0;
+  m(2, 2) = 2.0;
+  const auto eig = jacobi_eigen(m);
+  EXPECT_NEAR(eig.eigenvalues[0], 3.0, 1e-10);
+  EXPECT_NEAR(eig.eigenvalues[1], 2.0, 1e-10);
+  EXPECT_NEAR(eig.eigenvalues[2], 1.0, 1e-10);
+}
+
+TEST(Jacobi, KnownTwoByTwo) {
+  // [[2,1],[1,2]] → eigenvalues 3 and 1.
+  Matrix m(2, 2);
+  m(0, 0) = 2; m(0, 1) = 1; m(1, 0) = 1; m(1, 1) = 2;
+  const auto eig = jacobi_eigen(m);
+  EXPECT_NEAR(eig.eigenvalues[0], 3.0, 1e-10);
+  EXPECT_NEAR(eig.eigenvalues[1], 1.0, 1e-10);
+  // Eigenvector for 3 is (1,1)/sqrt(2) up to sign.
+  EXPECT_NEAR(std::abs(eig.eigenvectors(0, 0)), std::sqrt(0.5), 1e-8);
+  EXPECT_NEAR(eig.eigenvectors(0, 0), eig.eigenvectors(1, 0), 1e-8);
+}
+
+TEST(Jacobi, RejectsAsymmetric) {
+  Matrix m(2, 2);
+  m(0, 1) = 1.0;
+  EXPECT_THROW(jacobi_eigen(m), PreconditionError);
+}
+
+TEST(Jacobi, ReconstructsMatrix) {
+  // A = V diag(λ) V^T must hold.
+  Rng rng(17);
+  const std::size_t n = 6;
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i; j < n; ++j) {
+      a(i, j) = rng.normal();
+      a(j, i) = a(i, j);
+    }
+  const auto eig = jacobi_eigen(a);
+  Matrix lambda(n, n);
+  for (std::size_t i = 0; i < n; ++i) lambda(i, i) = eig.eigenvalues[i];
+  const Matrix rec =
+      eig.eigenvectors * lambda * eig.eigenvectors.transposed();
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      EXPECT_NEAR(rec(i, j), a(i, j), 1e-8);
+}
+
+TEST(Jacobi, EigenvectorsAreOrthonormal) {
+  Rng rng(23);
+  const std::size_t n = 8;
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i; j < n; ++j) {
+      a(i, j) = rng.normal();
+      a(j, i) = a(i, j);
+    }
+  const auto eig = jacobi_eigen(a);
+  const Matrix vtv = eig.eigenvectors.transposed() * eig.eigenvectors;
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      EXPECT_NEAR(vtv(i, j), i == j ? 1.0 : 0.0, 1e-8);
+}
+
+TEST(Jacobi, EigenvaluesSortedDescending) {
+  Rng rng(29);
+  const std::size_t n = 10;
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i; j < n; ++j) {
+      a(i, j) = rng.normal();
+      a(j, i) = a(i, j);
+    }
+  const auto eig = jacobi_eigen(a);
+  for (std::size_t i = 1; i < n; ++i)
+    EXPECT_GE(eig.eigenvalues[i - 1], eig.eigenvalues[i]);
+}
+
+// Property sweep: trace preservation across sizes.
+class JacobiSizeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(JacobiSizeSweep, TraceEqualsEigenvalueSum) {
+  const std::size_t n = GetParam();
+  Rng rng(n);
+  Matrix a(n, n);
+  double trace = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      a(i, j) = rng.normal();
+      a(j, i) = a(i, j);
+    }
+    trace += a(i, i);
+  }
+  const auto eig = jacobi_eigen(a);
+  double sum = 0.0;
+  for (double v : eig.eigenvalues) sum += v;
+  EXPECT_NEAR(sum, trace, 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, JacobiSizeSweep,
+                         ::testing::Values(2u, 3u, 5u, 8u, 16u));
+
+}  // namespace
+}  // namespace hmd::ml

@@ -1,0 +1,177 @@
+#include "ml/pca.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tests/ml/synthetic_data.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace hmd::ml {
+namespace {
+
+/// Dataset where feature 0 carries almost all variance, feature 2 is pure
+/// small noise, and feature 1 duplicates feature 0.
+Dataset variance_structured(std::size_t n = 400, std::uint64_t seed = 3) {
+  std::vector<Attribute> attrs;
+  attrs.emplace_back("big");
+  attrs.emplace_back("copy");
+  attrs.emplace_back("noise");
+  attrs.emplace_back("class", std::vector<std::string>{"a", "b"});
+  Dataset d(std::move(attrs));
+  Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double v = rng.normal(0.0, 10.0);
+    d.add({{v, v + rng.normal(0.0, 0.1), rng.normal(0.0, 1.0),
+            static_cast<double>(i % 2)}});
+  }
+  return d;
+}
+
+TEST(Pca, RejectsBadCutoff) {
+  EXPECT_THROW(PrincipalComponents(0.0), PreconditionError);
+  EXPECT_THROW(PrincipalComponents(1.5), PreconditionError);
+}
+
+TEST(Pca, EigenvaluesDescendAndSumToFeatureCount) {
+  // Correlation-matrix PCA: eigenvalues sum to d.
+  PrincipalComponents pca(1.0);
+  const Dataset d = testdata::blobs(2, 5, 200, 2.0, 1.0, 7);
+  pca.fit(d);
+  double total = 0.0;
+  for (std::size_t j = 0; j < pca.eigenvalues().size(); ++j) {
+    total += pca.eigenvalues()[j];
+    if (j > 0)
+      EXPECT_LE(pca.eigenvalues()[j], pca.eigenvalues()[j - 1]);
+  }
+  EXPECT_NEAR(total, 5.0, 1e-6);
+}
+
+TEST(Pca, CorrelatedPairCollapsesToOneComponent) {
+  PrincipalComponents pca(0.95);
+  pca.fit(variance_structured());
+  // "big" and "copy" are nearly identical → their shared component
+  // dominates; 95% of variance needs only 2 of 3 components.
+  EXPECT_LE(pca.num_components(), 2u);
+}
+
+TEST(Pca, ExplainedVarianceRatiosSumToOne) {
+  PrincipalComponents pca(1.0);
+  pca.fit(testdata::three_class());
+  double total = 0.0;
+  for (std::size_t j = 0; j < pca.num_input_features(); ++j)
+    total += pca.explained_variance_ratio(j);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Pca, TransformProducesRetainedComponentCount) {
+  PrincipalComponents pca(0.95);
+  const Dataset d = testdata::blobs(2, 6, 100, 2.0, 1.0, 9);
+  pca.fit(d);
+  const auto z = pca.transform(d.features_of(0));
+  EXPECT_EQ(z.size(), pca.num_components());
+}
+
+TEST(Pca, TransformedComponentsAreUncorrelated) {
+  PrincipalComponents pca(1.0);
+  const Dataset d = testdata::blobs(2, 4, 500, 1.0, 1.0, 11);
+  pca.fit(d);
+  std::vector<double> pc0, pc1;
+  for (std::size_t i = 0; i < d.num_instances(); ++i) {
+    const auto z = pca.transform(d.features_of(i));
+    pc0.push_back(z[0]);
+    pc1.push_back(z[1]);
+  }
+  EXPECT_NEAR(pearson_correlation(pc0, pc1), 0.0, 0.05);
+}
+
+TEST(Pca, Project2dMatchesTransform) {
+  PrincipalComponents pca(1.0);
+  const Dataset d = testdata::blobs(2, 4, 100, 2.0, 1.0, 13);
+  pca.fit(d);
+  const auto z = pca.transform(d.features_of(5));
+  const auto [p0, p1] = pca.project2d(d.features_of(5));
+  EXPECT_NEAR(p0, z[0], 1e-12);
+  EXPECT_NEAR(p1, z[1], 1e-12);
+}
+
+TEST(Pca, Project2dSeparatesSeparableClasses) {
+  // The thesis's Figs. 9-12: class clusters visible in PC1/PC2 space.
+  PrincipalComponents pca(0.95);
+  const Dataset d = testdata::separable_binary(200);
+  pca.fit(d);
+  RunningStats pc1_a, pc1_b;
+  for (std::size_t i = 0; i < d.num_instances(); ++i) {
+    const auto [p0, p1] = pca.project2d(d.features_of(i));
+    (d.class_of(i) == 0 ? pc1_a : pc1_b).add(p0);
+  }
+  const double gap = std::abs(pc1_a.mean() - pc1_b.mean());
+  EXPECT_GT(gap, 2.0 * (pc1_a.stddev() + pc1_b.stddev()));
+}
+
+TEST(Pca, RankedFeaturesCoverAllInputs) {
+  PrincipalComponents pca(0.95);
+  const Dataset d = testdata::blobs(3, 6, 100, 2.0, 1.0, 17);
+  pca.fit(d);
+  const auto ranked = pca.ranked_features();
+  EXPECT_EQ(ranked.size(), 6u);
+  for (std::size_t i = 1; i < ranked.size(); ++i)
+    EXPECT_GE(ranked[i - 1].score, ranked[i].score);
+}
+
+TEST(Pca, NoiseRanksBelowSignal) {
+  PrincipalComponents pca(0.95);
+  pca.fit(variance_structured());
+  const auto ranked = pca.ranked_features();
+  // "noise" (index 2) must rank last.
+  EXPECT_EQ(ranked.back().index, 2u);
+  EXPECT_EQ(ranked.back().name, "noise");
+}
+
+TEST(Pca, UnfittedQueriesThrow) {
+  PrincipalComponents pca;
+  EXPECT_THROW((void)pca.transform(std::vector<double>{1.0}),
+               PreconditionError);
+  EXPECT_THROW((void)pca.ranked_features(), PreconditionError);
+  EXPECT_THROW((void)pca.explained_variance_ratio(0), PreconditionError);
+}
+
+TEST(Pca, DegenerateDataThrows) {
+  std::vector<Attribute> attrs;
+  attrs.emplace_back("c1");
+  attrs.emplace_back("c2");
+  attrs.emplace_back("class", std::vector<std::string>{"a", "b"});
+  Dataset d(std::move(attrs));
+  for (int i = 0; i < 10; ++i) d.add({{1.0, 2.0, 0.0}});
+  PrincipalComponents pca;
+  EXPECT_THROW(pca.fit(d), Error);
+}
+
+TEST(TopPcaFeatures, ReturnsRequestedCount) {
+  const Dataset d = testdata::blobs(2, 8, 150, 2.0, 1.0, 19);
+  const auto top3 = top_pca_features(d, 3);
+  EXPECT_EQ(top3.size(), 3u);
+  const auto top99 = top_pca_features(d, 99);
+  EXPECT_EQ(top99.size(), 8u);
+}
+
+// Cutoff sweep: more variance retained → at least as many components.
+class CutoffSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(CutoffSweep, ComponentCountMonotoneInCutoff) {
+  const Dataset d = testdata::blobs(3, 8, 200, 1.5, 1.0, 23);
+  PrincipalComponents lo(GetParam());
+  PrincipalComponents hi(1.0);
+  lo.fit(d);
+  hi.fit(d);
+  EXPECT_LE(lo.num_components(), hi.num_components());
+  EXPECT_GE(lo.num_components(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Cutoffs, CutoffSweep,
+                         ::testing::Values(0.5, 0.75, 0.9, 0.95, 0.99));
+
+}  // namespace
+}  // namespace hmd::ml

@@ -1,0 +1,101 @@
+// Property-style sweeps over the whole classifier registry: invariants that
+// every scheme must satisfy regardless of algorithm.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/evaluation.hpp"
+#include "ml/registry.hpp"
+#include "ml/zero_r.hpp"
+#include "tests/ml/synthetic_data.hpp"
+#include "util/error.hpp"
+
+namespace hmd::ml {
+namespace {
+
+class SchemeSweep : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SchemeSweep, ConstructsWithCorrectName) {
+  const auto clf = make_classifier(GetParam());
+  ASSERT_NE(clf, nullptr);
+  // Logistic is surfaced as MLR (the thesis's name).
+  EXPECT_EQ(clf->name(), GetParam() == "Logistic" ? "MLR" : GetParam());
+}
+
+TEST_P(SchemeSweep, PredictionsAreValidClassIndices) {
+  const Dataset d = testdata::three_class(60);
+  auto clf = make_classifier(GetParam());
+  clf->train(d);
+  EXPECT_EQ(clf->num_classes(), 3u);
+  for (std::size_t i = 0; i < d.num_instances(); ++i)
+    EXPECT_LT(clf->predict(d.features_of(i)), 3u);
+}
+
+TEST_P(SchemeSweep, DistributionIsAProbabilityVector) {
+  const Dataset d = testdata::three_class(60);
+  auto clf = make_classifier(GetParam());
+  clf->train(d);
+  const auto dist = clf->distribution(d.features_of(0));
+  ASSERT_EQ(dist.size(), 3u);
+  double total = 0.0;
+  for (double p : dist) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0 + 1e-9);
+    total += p;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-6);
+}
+
+TEST_P(SchemeSweep, BeatsChanceOnSeparableData) {
+  const Dataset d = testdata::separable_binary(150);
+  auto clf = make_classifier(GetParam());
+  clf->train(d);
+  const double acc = evaluate(*clf, d).accuracy();
+  if (GetParam() == "ZeroR")
+    EXPECT_NEAR(acc, 0.5, 1e-9);
+  else
+    EXPECT_GT(acc, 0.9) << GetParam();
+}
+
+TEST_P(SchemeSweep, RetrainReplacesModel) {
+  // Train on one problem, retrain on its label-flipped twin: predictions
+  // must flip too (the old model must not leak through).
+  Dataset d = testdata::single_feature_rule(200);
+  auto clf = make_classifier(GetParam());
+  clf->train(d);
+  Dataset flipped = d.relabel_binary({0}, "x", "y");  // class 0 ↔ 1
+  clf->train(flipped);
+  const auto ev = evaluate(*clf, flipped);
+  if (GetParam() != "ZeroR") EXPECT_GT(ev.accuracy(), 0.9) << GetParam();
+}
+
+TEST_P(SchemeSweep, DeterministicAcrossIdenticalRuns) {
+  const Dataset d = testdata::overlapping_binary(120);
+  auto a = make_classifier(GetParam());
+  auto b = make_classifier(GetParam());
+  a->train(d);
+  b->train(d);
+  for (std::size_t i = 0; i < d.num_instances(); ++i)
+    EXPECT_EQ(a->predict(d.features_of(i)), b->predict(d.features_of(i)))
+        << GetParam() << " row " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, SchemeSweep,
+                         ::testing::Values("ZeroR", "OneR", "DecisionStump",
+                                           "J48", "JRip", "NaiveBayes", "MLR",
+                                           "SVM", "MLP", "IBk"));
+
+TEST(Registry, UnknownSchemeThrows) {
+  EXPECT_THROW(make_classifier("RandomForest"), PreconditionError);
+}
+
+TEST(Registry, StudySetsAreConsistent) {
+  for (const auto& name : binary_study_classifiers())
+    EXPECT_NE(make_classifier(name), nullptr);
+  for (const auto& name : multiclass_study_classifiers())
+    EXPECT_NE(make_classifier(name), nullptr);
+  EXPECT_EQ(multiclass_study_classifiers().size(), 3u);  // MLR, MLP, SVM
+}
+
+}  // namespace
+}  // namespace hmd::ml

@@ -1,0 +1,109 @@
+#include "ml/roc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ml/naive_bayes.hpp"
+#include "ml/registry.hpp"
+#include "ml/zero_r.hpp"
+#include "tests/ml/synthetic_data.hpp"
+#include "util/error.hpp"
+
+namespace hmd::ml {
+namespace {
+
+using namespace testdata;
+
+TEST(Roc, CurveSpansUnitSquare) {
+  const Dataset d = overlapping_binary(300);
+  NaiveBayes nb;
+  nb.train(d);
+  const auto curve = roc_curve(nb, d);
+  ASSERT_GE(curve.size(), 3u);
+  EXPECT_EQ(curve.front().true_positive_rate, 0.0);
+  EXPECT_EQ(curve.front().false_positive_rate, 0.0);
+  EXPECT_DOUBLE_EQ(curve.back().true_positive_rate, 1.0);
+  EXPECT_DOUBLE_EQ(curve.back().false_positive_rate, 1.0);
+}
+
+TEST(Roc, CurveIsMonotone) {
+  const Dataset d = overlapping_binary(300);
+  auto clf = make_classifier("MLR");
+  clf->train(d);
+  const auto curve = roc_curve(*clf, d);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].true_positive_rate, curve[i - 1].true_positive_rate);
+    EXPECT_GE(curve[i].false_positive_rate,
+              curve[i - 1].false_positive_rate);
+    EXPECT_LE(curve[i].threshold, curve[i - 1].threshold);
+  }
+}
+
+TEST(Roc, PerfectSeparationGivesUnitAuc) {
+  const Dataset d = blobs(2, 3, 150, 8.0, 0.5, 3);  // hugely separated
+  auto clf = make_classifier("MLR");
+  clf->train(d);
+  EXPECT_GT(auc_of(*clf, d), 0.999);
+}
+
+TEST(Roc, ChanceClassifierGivesHalfAuc) {
+  const Dataset d = overlapping_binary(400);
+  ZeroR z;  // constant prior scores → a single diagonal segment
+  z.train(d);
+  EXPECT_NEAR(auc_of(z, d), 0.5, 1e-9);
+}
+
+TEST(Roc, AucOrdersDetectorsSensibly) {
+  Dataset d = blobs(2, 4, 400, 2.0, 1.2, 9);
+  Rng rng(4);
+  const auto [train, test] = d.stratified_split(0.7, rng);
+  auto good = make_classifier("MLR");
+  good->train(train);
+  ZeroR chance;
+  chance.train(train);
+  EXPECT_GT(auc_of(*good, test), auc_of(chance, test) + 0.2);
+}
+
+TEST(Roc, BestYoudenPointBeatsExtremes) {
+  const Dataset d = overlapping_binary(400);
+  NaiveBayes nb;
+  nb.train(d);
+  const auto curve = roc_curve(nb, d);
+  const RocPoint best = best_youden_point(curve);
+  const double j = best.true_positive_rate - best.false_positive_rate;
+  EXPECT_GT(j, 0.2);
+  // No point on the curve beats it.
+  for (const auto& p : curve)
+    EXPECT_LE(p.true_positive_rate - p.false_positive_rate, j + 1e-12);
+}
+
+TEST(Roc, RejectsBadInput) {
+  const Dataset multi = three_class();
+  NaiveBayes nb;
+  nb.train(multi);
+  EXPECT_THROW((void)roc_curve(nb, multi), PreconditionError);
+  EXPECT_THROW((void)auc({}), PreconditionError);
+  EXPECT_THROW((void)best_youden_point({}), PreconditionError);
+}
+
+TEST(Roc, SingleClassTestSetThrows) {
+  std::vector<Attribute> attrs;
+  attrs.emplace_back("f");
+  attrs.emplace_back("class", std::vector<std::string>{"a", "b"});
+  Dataset d(std::move(attrs));
+  for (int i = 0; i < 10; ++i) d.add({{static_cast<double>(i), 0.0}});
+  NaiveBayes nb;
+  nb.train(overlapping_binary(50));
+  // Width mismatch aside, a one-class test set must be rejected.
+  std::vector<Attribute> attrs2;
+  attrs2.emplace_back("f0");
+  attrs2.emplace_back("f1");
+  attrs2.emplace_back("f2");
+  attrs2.emplace_back("f3");
+  attrs2.emplace_back("class", std::vector<std::string>{"c0", "c1"});
+  Dataset d2(std::move(attrs2));
+  for (int i = 0; i < 10; ++i) d2.add({{1.0, 2.0, 3.0, 4.0, 0.0}});
+  EXPECT_THROW((void)roc_curve(nb, d2), PreconditionError);
+}
+
+}  // namespace
+}  // namespace hmd::ml

@@ -1,0 +1,138 @@
+#include "ml/serialization.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ml/registry.hpp"
+#include "tests/ml/synthetic_data.hpp"
+#include "util/error.hpp"
+
+namespace hmd::ml {
+namespace {
+
+using namespace testdata;
+
+/// Round-trip a trained model and check bit-identical predictions.
+void expect_roundtrip(const std::string& scheme, const Dataset& train,
+                      const Dataset& check) {
+  auto original = make_classifier(scheme);
+  original->train(train);
+
+  std::ostringstream out;
+  save_model(out, *original);
+  std::istringstream in(out.str());
+  const auto loaded = load_model(in);
+
+  ASSERT_NE(loaded, nullptr) << scheme;
+  EXPECT_EQ(loaded->name(), original->name());
+  EXPECT_EQ(loaded->num_classes(), original->num_classes());
+  for (std::size_t i = 0; i < check.num_instances(); ++i) {
+    EXPECT_EQ(loaded->predict(check.features_of(i)),
+              original->predict(check.features_of(i)))
+        << scheme << " row " << i;
+  }
+}
+
+class RoundTripSweep : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(RoundTripSweep, BinaryPredictionsIdentical) {
+  const Dataset d = overlapping_binary(250);
+  expect_roundtrip(GetParam(), d, d);
+}
+
+TEST_P(RoundTripSweep, MulticlassPredictionsIdentical) {
+  const Dataset d = three_class(120);
+  expect_roundtrip(GetParam(), d, d);
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, RoundTripSweep,
+                         ::testing::Values("ZeroR", "OneR", "DecisionStump",
+                                           "J48", "JRip", "NaiveBayes",
+                                           "MLR", "SVM", "MLP"));
+
+TEST(Serialization, DistributionsAlsoRoundTrip) {
+  const Dataset d = three_class(100);
+  auto original = make_classifier("MLP");
+  original->train(d);
+  std::ostringstream out;
+  save_model(out, *original);
+  std::istringstream in(out.str());
+  const auto loaded = load_model(in);
+  for (std::size_t i = 0; i < 20; ++i) {
+    const auto a = original->distribution(d.features_of(i));
+    const auto b = loaded->distribution(d.features_of(i));
+    for (std::size_t c = 0; c < a.size(); ++c)
+      EXPECT_DOUBLE_EQ(a[c], b[c]);
+  }
+}
+
+TEST(Serialization, HeaderContainsSchemeAndVersion) {
+  const Dataset d = separable_binary(50);
+  auto clf = make_classifier("OneR");
+  clf->train(d);
+  std::ostringstream out;
+  save_model(out, *clf);
+  const std::string text = out.str();
+  EXPECT_EQ(text.rfind("hmd-model v1\n", 0), 0u);
+  EXPECT_NE(text.find("scheme OneR"), std::string::npos);
+  EXPECT_NE(text.find("\nend\n"), std::string::npos);
+}
+
+TEST(Serialization, UntrainedModelThrows) {
+  auto clf = make_classifier("J48");
+  std::ostringstream out;
+  EXPECT_THROW(save_model(out, *clf), PreconditionError);
+}
+
+TEST(Serialization, UnsupportedSchemeThrows) {
+  const Dataset d = separable_binary(60);
+  auto knn = make_classifier("IBk");
+  knn->train(d);
+  std::ostringstream out;
+  EXPECT_THROW(save_model(out, *knn), PreconditionError);
+}
+
+TEST(Serialization, RejectsBadHeader) {
+  std::istringstream in("not-a-model v9\n");
+  EXPECT_THROW((void)load_model(in), ParseError);
+}
+
+TEST(Serialization, RejectsTruncatedInput) {
+  const Dataset d = separable_binary(50);
+  auto clf = make_classifier("JRip");
+  clf->train(d);
+  std::ostringstream out;
+  save_model(out, *clf);
+  const std::string text = out.str();
+  std::istringstream in(text.substr(0, text.size() / 2));
+  EXPECT_THROW((void)load_model(in), ParseError);
+}
+
+TEST(Serialization, RejectsUnknownScheme) {
+  std::istringstream in("hmd-model v1\nscheme Quantum\nclasses 2\nend\n");
+  EXPECT_THROW((void)load_model(in), ParseError);
+}
+
+TEST(Serialization, RejectsCorruptedNumbers) {
+  std::istringstream in(
+      "hmd-model v1\nscheme DecisionStump\nclasses 2\n"
+      "split 0 not-a-number 0 1\nend\n");
+  EXPECT_THROW((void)load_model(in), ParseError);
+}
+
+TEST(Serialization, LoadedModelSavesIdentically) {
+  const Dataset d = overlapping_binary(150);
+  auto original = make_classifier("J48");
+  original->train(d);
+  std::ostringstream first;
+  save_model(first, *original);
+  std::istringstream in(first.str());
+  const auto loaded = load_model(in);
+  std::ostringstream second;
+  save_model(second, *loaded);
+  EXPECT_EQ(first.str(), second.str());
+}
+
+}  // namespace
+}  // namespace hmd::ml

@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/decision_stump.hpp"
+#include "ml/evaluation.hpp"
+#include "ml/naive_bayes.hpp"
+#include "ml/one_r.hpp"
+#include "ml/zero_r.hpp"
+#include "tests/ml/synthetic_data.hpp"
+#include "util/error.hpp"
+
+namespace hmd::ml {
+namespace {
+
+using namespace testdata;
+
+TEST(ZeroR, PredictsMajority) {
+  Dataset d = separable_binary();
+  d.add({{0, 0, 0, 0, 1.0}});  // tip the balance to class 1
+  ZeroR z;
+  z.train(d);
+  EXPECT_EQ(z.predict(std::vector<double>{9, 9, 9, 9}), 1u);
+}
+
+TEST(ZeroR, PriorsSumToOne) {
+  ZeroR z;
+  z.train(three_class());
+  double total = 0.0;
+  for (double p : z.priors()) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  EXPECT_EQ(z.num_classes(), 3u);
+}
+
+TEST(ZeroR, PredictBeforeTrainThrows) {
+  ZeroR z;
+  EXPECT_THROW((void)z.predict(std::vector<double>{1.0}), PreconditionError);
+}
+
+TEST(ZeroR, AccuracyEqualsMajorityShare) {
+  const Dataset d = blobs(2, 2, 100, 0.0, 1.0, 3);
+  ZeroR z;
+  z.train(d);
+  const auto ev = evaluate(z, d);
+  EXPECT_DOUBLE_EQ(ev.accuracy(), 0.5);
+}
+
+TEST(OneR, FindsTheSignalFeature) {
+  OneR r;
+  r.train(single_feature_rule());
+  EXPECT_EQ(r.chosen_feature(), 1u);  // "signal"
+  EXPECT_LT(r.training_error(), 0.05);
+}
+
+TEST(OneR, AccurateOnSingleFeatureProblem) {
+  const Dataset d = single_feature_rule();
+  OneR r;
+  r.train(d);
+  EXPECT_GT(evaluate(r, d).accuracy(), 0.95);
+}
+
+TEST(OneR, IntervalsAreOrdered) {
+  OneR r;
+  r.train(separable_binary());
+  const auto& intervals = r.intervals();
+  ASSERT_GE(intervals.size(), 1u);
+  for (std::size_t i = 1; i < intervals.size(); ++i)
+    EXPECT_LT(intervals[i - 1].upper_bound, intervals[i].upper_bound);
+  EXPECT_TRUE(std::isinf(intervals.back().upper_bound));
+}
+
+TEST(OneR, BeatsZeroROnSeparableData) {
+  const Dataset d = separable_binary();
+  OneR r;
+  ZeroR z;
+  r.train(d);
+  z.train(d);
+  EXPECT_GT(evaluate(r, d).accuracy(), evaluate(z, d).accuracy());
+}
+
+TEST(OneR, MinBucketControlsGranularity) {
+  const Dataset d = single_feature_rule();
+  OneR fine(2), coarse(50);
+  fine.train(d);
+  coarse.train(d);
+  EXPECT_GE(fine.intervals().size(), coarse.intervals().size());
+}
+
+TEST(OneR, HandlesConstantFeature) {
+  std::vector<Attribute> attrs;
+  attrs.emplace_back("c");
+  attrs.emplace_back("class", std::vector<std::string>{"a", "b"});
+  Dataset d(std::move(attrs));
+  for (int i = 0; i < 20; ++i)
+    d.add({{1.0, static_cast<double>(i % 2)}});
+  OneR r;
+  r.train(d);  // must not crash; rule degenerates to majority
+  EXPECT_LT(r.predict(std::vector<double>{1.0}), 2u);
+}
+
+TEST(DecisionStump, FindsInformativeSplit) {
+  DecisionStump s;
+  s.train(single_feature_rule());
+  EXPECT_EQ(s.split_feature(), 1u);
+  EXPECT_GT(s.split_threshold(), 1.0);
+  EXPECT_LT(s.split_threshold(), 4.0);
+  EXPECT_NE(s.left_class(), s.right_class());
+}
+
+TEST(DecisionStump, AccurateOnSeparableData) {
+  const Dataset d = single_feature_rule();
+  DecisionStump s;
+  s.train(d);
+  EXPECT_GT(evaluate(s, d).accuracy(), 0.95);
+}
+
+TEST(DecisionStump, HandlesDegenerateData) {
+  std::vector<Attribute> attrs;
+  attrs.emplace_back("c");
+  attrs.emplace_back("class", std::vector<std::string>{"a", "b"});
+  Dataset d(std::move(attrs));
+  for (int i = 0; i < 10; ++i) d.add({{5.0, 0.0}});
+  for (int i = 0; i < 4; ++i) d.add({{5.0, 1.0}});
+  DecisionStump s;
+  s.train(d);
+  EXPECT_EQ(s.predict(std::vector<double>{5.0}), 0u);
+}
+
+TEST(EntropyOfCounts, KnownValues) {
+  EXPECT_DOUBLE_EQ(entropy_of_counts({10, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(entropy_of_counts({5, 5}), 1.0);
+  EXPECT_DOUBLE_EQ(entropy_of_counts({}), 0.0);
+  EXPECT_NEAR(entropy_of_counts({1, 1, 1, 1}), 2.0, 1e-12);
+}
+
+TEST(NaiveBayes, LearnsClassMeans) {
+  NaiveBayes nb;
+  nb.train(separable_binary());
+  EXPECT_NEAR(nb.means()[0][0], 0.0, 0.3);
+  EXPECT_NEAR(nb.means()[1][0], 4.0, 0.3);
+}
+
+TEST(NaiveBayes, AccurateOnSeparableBlobs) {
+  const Dataset d = separable_binary();
+  NaiveBayes nb;
+  nb.train(d);
+  EXPECT_GT(evaluate(nb, d).accuracy(), 0.97);
+}
+
+TEST(NaiveBayes, DistributionSumsToOne) {
+  NaiveBayes nb;
+  nb.train(three_class());
+  const auto dist = nb.distribution(std::vector<double>{1, 1, 1, 1, 1});
+  double total = 0.0;
+  for (double p : dist) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(NaiveBayes, VarianceFloorPreventsDegeneracy) {
+  // A constant feature must not produce NaNs/infinities.
+  std::vector<Attribute> attrs;
+  attrs.emplace_back("const");
+  attrs.emplace_back("useful");
+  attrs.emplace_back("class", std::vector<std::string>{"a", "b"});
+  Dataset d(std::move(attrs));
+  Rng rng(2);
+  for (int i = 0; i < 40; ++i) {
+    const bool b = i % 2 == 1;
+    d.add({{3.0, b ? 5.0 + rng.normal() : rng.normal(),
+            b ? 1.0 : 0.0}});
+  }
+  NaiveBayes nb;
+  nb.train(d);
+  const auto dist = nb.distribution(std::vector<double>{3.0, 5.0});
+  EXPECT_TRUE(std::isfinite(dist[0]));
+  EXPECT_GT(dist[1], dist[0]);
+}
+
+TEST(NaiveBayes, PriorsReflectImbalance) {
+  Dataset d = blobs(2, 2, 10, 3.0, 0.5, 4);
+  for (int i = 0; i < 30; ++i) d.add({{0.0, 0.0, 0.0}});
+  NaiveBayes nb;
+  nb.train(d);
+  EXPECT_GT(nb.priors()[0], nb.priors()[1]);
+}
+
+TEST(Classifiers, RejectEmptyDataset) {
+  std::vector<Attribute> attrs;
+  attrs.emplace_back("f");
+  attrs.emplace_back("class", std::vector<std::string>{"a", "b"});
+  const Dataset empty(std::move(attrs));
+  ZeroR z;
+  OneR r;
+  DecisionStump s;
+  NaiveBayes nb;
+  EXPECT_THROW(z.train(empty), PreconditionError);
+  EXPECT_THROW(r.train(empty), PreconditionError);
+  EXPECT_THROW(s.train(empty), PreconditionError);
+  EXPECT_THROW(nb.train(empty), PreconditionError);
+}
+
+}  // namespace
+}  // namespace hmd::ml

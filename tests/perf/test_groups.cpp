@@ -1,0 +1,56 @@
+#include "perf/event_group.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace hmd::perf {
+namespace {
+
+using hwsim::HwEvent;
+
+TEST(EventGroups, SixteenEventsMakeTwoGroupsOfEight) {
+  const auto groups = schedule_event_groups(default_feature_events());
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0].size(), 8u);
+  EXPECT_EQ(groups[1].size(), 8u);
+}
+
+TEST(EventGroups, PreservesEventOrder) {
+  const auto events = default_feature_events();
+  const auto groups = schedule_event_groups(events);
+  std::size_t i = 0;
+  for (const auto& g : groups)
+    for (HwEvent e : g) EXPECT_EQ(e, events[i++]);
+}
+
+TEST(EventGroups, FewerEventsThanRegistersMakeOneGroup) {
+  const std::vector<HwEvent> events = {HwEvent::kInstructions,
+                                       HwEvent::kCycles};
+  const auto groups = schedule_event_groups(events);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].size(), 2u);
+}
+
+TEST(EventGroups, UnevenSplitKeepsRemainder) {
+  std::vector<HwEvent> events(11, HwEvent::kInstructions);
+  const auto groups = schedule_event_groups(events, 4);
+  ASSERT_EQ(groups.size(), 3u);
+  EXPECT_EQ(groups[2].size(), 3u);
+}
+
+TEST(EventGroups, RejectsEmptyInput) {
+  EXPECT_THROW(schedule_event_groups({}), hmd::PreconditionError);
+  EXPECT_THROW(schedule_event_groups({HwEvent::kCycles}, 0),
+               hmd::PreconditionError);
+}
+
+TEST(DefaultFeatureEvents, MatchesThe16PaperFeatures) {
+  const auto events = default_feature_events();
+  ASSERT_EQ(events.size(), 16u);
+  EXPECT_EQ(events.front(), HwEvent::kInstructions);
+  EXPECT_EQ(events.back(), HwEvent::kNodeStores);
+}
+
+}  // namespace
+}  // namespace hmd::perf

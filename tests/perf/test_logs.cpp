@@ -1,0 +1,96 @@
+#include "perf/perf_log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace hmd::perf {
+namespace {
+
+using hwsim::HwEvent;
+
+RunLog sample_log() {
+  RunLog run;
+  run.sample_id = "VirusShare_0123";
+  run.label = "trojan";
+  run.events = {HwEvent::kInstructions, HwEvent::kBranchMisses};
+  run.samples.push_back({.counts = {1000.0, 42.0}, .window_ms = 10.0});
+  run.samples.push_back({.counts = {1100.0, 37.0}, .window_ms = 10.0});
+  return run;
+}
+
+TEST(PerfLog, WriteContainsMetadataAndCounts) {
+  std::ostringstream out;
+  write_perf_log(out, sample_log());
+  const std::string s = out.str();
+  EXPECT_NE(s.find("# sample: VirusShare_0123"), std::string::npos);
+  EXPECT_NE(s.find("# label: trojan"), std::string::npos);
+  EXPECT_NE(s.find("instructions"), std::string::npos);
+  EXPECT_NE(s.find("branch-misses"), std::string::npos);
+}
+
+TEST(PerfLog, RoundTrip) {
+  std::ostringstream out;
+  write_perf_log(out, sample_log());
+  std::istringstream in(out.str());
+  const RunLog parsed = read_perf_log(in);
+  EXPECT_EQ(parsed.sample_id, "VirusShare_0123");
+  EXPECT_EQ(parsed.label, "trojan");
+  ASSERT_EQ(parsed.events.size(), 2u);
+  EXPECT_EQ(parsed.events[0], HwEvent::kInstructions);
+  ASSERT_EQ(parsed.samples.size(), 2u);
+  EXPECT_DOUBLE_EQ(parsed.samples[0].counts[0], 1000.0);
+  EXPECT_DOUBLE_EQ(parsed.samples[1].counts[1], 37.0);
+  EXPECT_NEAR(parsed.samples[0].window_ms, 10.0, 1e-9);
+}
+
+TEST(PerfLog, MalformedLineThrows) {
+  std::istringstream in("10.0 123\n");
+  EXPECT_THROW(read_perf_log(in), hmd::ParseError);
+}
+
+TEST(PerfLog, UnknownEventThrows) {
+  std::istringstream in("10.0 12 not-a-counter\n");
+  EXPECT_THROW(read_perf_log(in), hmd::ParseError);
+}
+
+TEST(PerfLog, WidthMismatchThrows) {
+  RunLog bad = sample_log();
+  bad.samples[0].counts.pop_back();
+  std::ostringstream out;
+  EXPECT_THROW(write_perf_log(out, bad), hmd::PreconditionError);
+}
+
+TEST(CombineLogs, ProducesCsvWithClassColumn) {
+  std::ostringstream out;
+  RunLog a = sample_log();
+  RunLog b = sample_log();
+  b.sample_id = "benign_01";
+  b.label = "benign";
+  combine_logs_to_csv(out, {a, b});
+  const std::string s = out.str();
+  EXPECT_NE(s.find("instructions,branch-misses,class"), std::string::npos);
+  EXPECT_NE(s.find(",trojan"), std::string::npos);
+  EXPECT_NE(s.find(",benign"), std::string::npos);
+  // 1 header + 4 data rows.
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 5);
+}
+
+TEST(CombineLogs, MismatchedEventListsThrow) {
+  RunLog a = sample_log();
+  RunLog b = sample_log();
+  b.events = {HwEvent::kInstructions, HwEvent::kCacheMisses};
+  std::ostringstream out;
+  EXPECT_THROW(combine_logs_to_csv(out, {a, b}), hmd::PreconditionError);
+}
+
+TEST(CombineLogs, EmptyThrows) {
+  std::ostringstream out;
+  EXPECT_THROW(combine_logs_to_csv(out, {}), hmd::PreconditionError);
+}
+
+}  // namespace
+}  // namespace hmd::perf

@@ -1,0 +1,94 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace hmd {
+namespace {
+
+TEST(CsvRead, ParsesHeaderAndRows) {
+  std::istringstream in("a,b,c\n1,2,3\n4,5,6\n");
+  const CsvTable t = read_csv(in);
+  ASSERT_EQ(t.header.size(), 3u);
+  EXPECT_EQ(t.header[0], "a");
+  ASSERT_EQ(t.rows.size(), 2u);
+  EXPECT_EQ(t.rows[1][2], "6");
+}
+
+TEST(CsvRead, HandlesQuotedFields) {
+  std::istringstream in("name,desc\nx,\"hello, world\"\n");
+  const CsvTable t = read_csv(in);
+  EXPECT_EQ(t.rows[0][1], "hello, world");
+}
+
+TEST(CsvRead, HandlesEscapedQuotes) {
+  std::istringstream in("a\n\"say \"\"hi\"\"\"\n");
+  const CsvTable t = read_csv(in);
+  EXPECT_EQ(t.rows[0][0], "say \"hi\"");
+}
+
+TEST(CsvRead, SkipsEmptyLinesAndCr) {
+  std::istringstream in("a,b\r\n\r\n1,2\r\n");
+  const CsvTable t = read_csv(in);
+  ASSERT_EQ(t.rows.size(), 1u);
+  EXPECT_EQ(t.rows[0][0], "1");
+}
+
+TEST(CsvRead, RaggedRowThrows) {
+  std::istringstream in("a,b\n1,2,3\n");
+  EXPECT_THROW(read_csv(in), ParseError);
+}
+
+TEST(CsvRead, UnterminatedQuoteThrows) {
+  std::istringstream in("a\n\"oops\n");
+  EXPECT_THROW(read_csv(in), ParseError);
+}
+
+TEST(CsvRead, EmptyFieldsPreserved) {
+  std::istringstream in("a,b,c\n,,\n");
+  const CsvTable t = read_csv(in);
+  ASSERT_EQ(t.rows[0].size(), 3u);
+  EXPECT_EQ(t.rows[0][0], "");
+}
+
+TEST(CsvRead, MissingFileThrows) {
+  EXPECT_THROW(read_csv_file("/nonexistent/path.csv"), Error);
+}
+
+TEST(CsvTable, ColumnIndexLookup) {
+  std::istringstream in("alpha,beta\n1,2\n");
+  const CsvTable t = read_csv(in);
+  EXPECT_EQ(t.column_index("beta"), 1u);
+  EXPECT_THROW((void)t.column_index("gamma"), ParseError);
+}
+
+TEST(CsvEscape, QuotesOnlyWhenNeeded) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("q\"q"), "\"q\"\"q\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvWriter, RoundTripsThroughReader) {
+  std::ostringstream out;
+  CsvWriter w(out);
+  w.write_row(std::vector<std::string>{"x", "y"});
+  w.write_row(std::vector<std::string>{"1", "with, comma"});
+  std::istringstream in(out.str());
+  const CsvTable t = read_csv(in);
+  EXPECT_EQ(t.header[1], "y");
+  EXPECT_EQ(t.rows[0][1], "with, comma");
+}
+
+TEST(CsvWriter, NumericRowPrecision) {
+  std::ostringstream out;
+  CsvWriter w(out);
+  w.write_row(std::vector<double>{1.5, 2.25}, 2);
+  EXPECT_EQ(out.str(), "1.50,2.25\n");
+}
+
+}  // namespace
+}  // namespace hmd

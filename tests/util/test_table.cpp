@@ -1,0 +1,58 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace hmd {
+namespace {
+
+TEST(TextTable, RendersTitleAndHeader) {
+  TextTable t("My Table");
+  t.set_header({"name", "value"});
+  t.add_row({"x", "1"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("== My Table =="), std::string::npos);
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("x"), std::string::npos);
+}
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t;
+  t.set_header({"a", "b"});
+  t.add_row({"longer", "1"});
+  t.add_row({"x", "22"});
+  const std::string s = t.to_string();
+  // Both data rows must place column b at the same offset.
+  std::istringstream in(s);
+  std::string l1, l2, l3, l4;
+  std::getline(in, l1);  // header
+  std::getline(in, l2);  // rule
+  std::getline(in, l3);
+  std::getline(in, l4);
+  EXPECT_EQ(l3.find('1'), l4.find("22"));
+}
+
+TEST(TextTable, NumericRowFormatting) {
+  TextTable t;
+  t.add_row("row", {1.234, 5.0}, 1);
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("1.2"), std::string::npos);
+  EXPECT_NE(s.find("5.0"), std::string::npos);
+}
+
+TEST(TextTable, PrintWritesToStream) {
+  TextTable t;
+  t.add_row({"only"});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_EQ(os.str(), t.to_string());
+}
+
+TEST(TextTable, EmptyTableRendersNothing) {
+  TextTable t;
+  EXPECT_EQ(t.to_string(), "");
+}
+
+}  // namespace
+}  // namespace hmd

@@ -1,0 +1,134 @@
+#include "workload/sample_database.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/error.hpp"
+
+namespace hmd::workload {
+namespace {
+
+TEST(Composition, PaperTable1Counts) {
+  const auto comp = DatabaseComposition::paper_table1();
+  EXPECT_EQ(comp.total(), 3070u);
+  std::map<AppClass, std::size_t> by_class(comp.counts.begin(),
+                                           comp.counts.end());
+  EXPECT_EQ(by_class[AppClass::kBackdoor], 452u);
+  EXPECT_EQ(by_class[AppClass::kRootkit], 324u);
+  EXPECT_EQ(by_class[AppClass::kTrojan], 1169u);
+  EXPECT_EQ(by_class[AppClass::kVirus], 650u);
+  EXPECT_EQ(by_class[AppClass::kWorm], 149u);
+  EXPECT_EQ(by_class[AppClass::kBenign], 326u);
+}
+
+TEST(Composition, ScaledKeepsAllClasses) {
+  const auto comp = DatabaseComposition::scaled(0.1);
+  EXPECT_EQ(comp.counts.size(), 6u);
+  for (const auto& [cls, n] : comp.counts) EXPECT_GE(n, 2u);
+}
+
+TEST(Composition, ScaleOneIsAtLeastPaper) {
+  EXPECT_GE(DatabaseComposition::scaled(1.0).total(), 3070u);
+}
+
+TEST(Composition, RejectsNonPositiveScale) {
+  EXPECT_THROW(DatabaseComposition::scaled(0.0), PreconditionError);
+}
+
+TEST(Database, GeneratesRequestedCounts) {
+  const auto db =
+      SampleDatabase::generate(DatabaseComposition::scaled(0.05), 1);
+  const auto comp = DatabaseComposition::scaled(0.05);
+  EXPECT_EQ(db.size(), comp.total());
+  for (const auto& [cls, n] : comp.counts) EXPECT_EQ(db.count(cls), n);
+}
+
+TEST(Database, DeterministicInSeed) {
+  const auto a =
+      SampleDatabase::generate(DatabaseComposition::scaled(0.02), 9);
+  const auto b =
+      SampleDatabase::generate(DatabaseComposition::scaled(0.02), 9);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.samples()[i].id, b.samples()[i].id);
+    EXPECT_EQ(a.samples()[i].seed, b.samples()[i].seed);
+  }
+}
+
+TEST(Database, SeedsAreUnique) {
+  const auto db =
+      SampleDatabase::generate(DatabaseComposition::scaled(0.1), 3);
+  std::set<std::uint64_t> seeds;
+  for (const auto& s : db.samples()) seeds.insert(s.seed);
+  EXPECT_EQ(seeds.size(), db.size());
+}
+
+TEST(Database, MalwareHasVirusShareIdsAndDetections) {
+  const auto db =
+      SampleDatabase::generate(DatabaseComposition::scaled(0.05), 5);
+  for (const auto& s : db.samples()) {
+    if (is_malware(s.label)) {
+      EXPECT_EQ(s.id.rfind("VirusShare_", 0), 0u) << s.id;
+      EXPECT_GT(s.av_positives, 0);
+      EXPECT_LE(s.av_positives, s.av_total);
+    } else {
+      EXPECT_EQ(s.av_positives, 0);
+      EXPECT_EQ(s.id.rfind("benign_", 0), 0u) << s.id;
+    }
+  }
+}
+
+TEST(Database, ByClassFiltersCorrectly) {
+  const auto db =
+      SampleDatabase::generate(DatabaseComposition::scaled(0.05), 5);
+  const auto worms = db.by_class(AppClass::kWorm);
+  EXPECT_EQ(worms.size(), db.count(AppClass::kWorm));
+  for (const auto* s : worms) EXPECT_EQ(s->label, AppClass::kWorm);
+}
+
+TEST(Database, DistributionSumsToOne) {
+  const auto db = SampleDatabase::generate(
+      DatabaseComposition::paper_table1(), 7);
+  for (bool malware_only : {false, true}) {
+    double total = 0.0;
+    for (const auto& [cls, share] : db.distribution(malware_only))
+      total += share;
+    EXPECT_NEAR(total, 1.0, 1e-12);
+  }
+}
+
+TEST(Database, TrojanDominatesMalwareDistribution) {
+  // Fig. 3/6: trojans are the largest family (~43% of the used samples,
+  // ~70% on the internet).
+  const auto db = SampleDatabase::generate(
+      DatabaseComposition::paper_table1(), 7);
+  const auto dist = db.distribution(/*malware_only=*/true);
+  double trojan_share = 0.0, max_other = 0.0;
+  for (const auto& [cls, share] : dist) {
+    if (cls == AppClass::kTrojan)
+      trojan_share = share;
+    else
+      max_other = std::max(max_other, share);
+  }
+  EXPECT_GT(trojan_share, max_other);
+  EXPECT_NEAR(trojan_share, 1169.0 / 2744.0, 1e-9);
+}
+
+TEST(Database, ProfileIsDeterministicPerRecord) {
+  const auto db =
+      SampleDatabase::generate(DatabaseComposition::scaled(0.02), 11);
+  const auto& rec = db.samples().front();
+  const BehaviorProfile p1 = rec.profile();
+  const BehaviorProfile p2 = rec.profile();
+  ASSERT_EQ(p1.phases.size(), p2.phases.size());
+  EXPECT_DOUBLE_EQ(p1.phases[0].load_frac, p2.phases[0].load_frac);
+  EXPECT_EQ(p1.app_class, rec.label);
+}
+
+TEST(Database, EmptyCompositionThrows) {
+  EXPECT_THROW(SampleDatabase::generate({}, 1), PreconditionError);
+}
+
+}  // namespace
+}  // namespace hmd::workload

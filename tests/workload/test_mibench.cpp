@@ -1,0 +1,78 @@
+#include "workload/mibench.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "hwsim/core.hpp"
+#include "util/error.hpp"
+#include "workload/trace_generator.hpp"
+
+namespace hmd::workload {
+namespace {
+
+TEST(Mibench, SixKernelsProvided) {
+  EXPECT_EQ(mibench_kernels().size(), 6u);
+}
+
+TEST(Mibench, EveryKernelHasAValidProfile) {
+  for (const std::string& kernel : mibench_kernels()) {
+    const BehaviorProfile p = mibench_profile(kernel);
+    EXPECT_EQ(p.app_class, AppClass::kBenign) << kernel;
+    EXPECT_GE(p.phases.size(), 1u);
+    const auto w = p.normalized_weights();
+    double total = 0.0;
+    for (double x : w) total += x;
+    EXPECT_NEAR(total, 1.0, 1e-12);
+  }
+}
+
+TEST(Mibench, UnknownKernelThrows) {
+  EXPECT_THROW(mibench_profile("doom"), PreconditionError);
+}
+
+TEST(Mibench, SuiteShapeAndDeterminism) {
+  const auto a = mibench_suite(3, 7);
+  const auto b = mibench_suite(3, 7);
+  EXPECT_EQ(a.size(), 18u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].name, b[i].name);
+    EXPECT_EQ(a[i].seed, b[i].seed);
+    EXPECT_DOUBLE_EQ(a[i].profile.phases[0].load_frac,
+                     b[i].profile.phases[0].load_frac);
+  }
+}
+
+TEST(Mibench, SuiteInstancesAreJittered) {
+  const auto suite = mibench_suite(2, 9);
+  // Two instances of the same kernel differ.
+  EXPECT_NE(suite[0].profile.phases[0].data_pages,
+            suite[1].profile.phases[0].data_pages);
+  std::set<std::uint64_t> seeds;
+  for (const auto& inst : suite) seeds.insert(inst.seed);
+  EXPECT_EQ(seeds.size(), suite.size());
+}
+
+TEST(Mibench, ShaIsComputeBoundCrcIsPredictable) {
+  // Run the kernels and check their signature microarchitectural traits.
+  auto run = [](const std::string& kernel) {
+    hwsim::Core core;
+    TraceGenerator gen(mibench_profile(kernel), 5);
+    for (int i = 0; i < 50000; ++i) core.execute(gen.next());
+    return std::pair{core.pmu().true_count(hwsim::HwEvent::kL1DcacheLoadMisses),
+                     core.pmu().true_count(hwsim::HwEvent::kBranchMisses)};
+  };
+  const auto [sha_misses, sha_bm] = run("sha");
+  const auto [susan_misses, susan_bm] = run("susan");
+  (void)sha_bm;
+  (void)susan_bm;
+  // The stencil streams memory; the crypto kernel barely touches it.
+  EXPECT_GT(susan_misses, sha_misses * 20);
+}
+
+TEST(Mibench, PerKernelZeroThrows) {
+  EXPECT_THROW(mibench_suite(0, 1), PreconditionError);
+}
+
+}  // namespace
+}  // namespace hmd::workload

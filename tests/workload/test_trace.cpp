@@ -1,0 +1,166 @@
+#include "workload/trace_generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "workload/app_class.hpp"
+
+namespace hmd::workload {
+namespace {
+
+using hwsim::MicroOp;
+using hwsim::OpKind;
+
+TraceGenerator make_gen(AppClass c, std::uint64_t seed = 7) {
+  return TraceGenerator(class_archetype(c), seed);
+}
+
+TEST(TraceGenerator, DeterministicInSeed) {
+  TraceGenerator a = make_gen(AppClass::kVirus, 42);
+  TraceGenerator b = make_gen(AppClass::kVirus, 42);
+  for (int i = 0; i < 1000; ++i) {
+    const MicroOp oa = a.next();
+    const MicroOp ob = b.next();
+    EXPECT_EQ(oa.pc, ob.pc);
+    EXPECT_EQ(static_cast<int>(oa.kind), static_cast<int>(ob.kind));
+    EXPECT_EQ(oa.addr, ob.addr);
+  }
+}
+
+TEST(TraceGenerator, DiffersAcrossSeeds) {
+  TraceGenerator a = make_gen(AppClass::kVirus, 1);
+  TraceGenerator b = make_gen(AppClass::kVirus, 2);
+  int identical = 0;
+  for (int i = 0; i < 200; ++i)
+    if (a.next().pc == b.next().pc) ++identical;
+  EXPECT_LT(identical, 100);
+}
+
+TEST(TraceGenerator, MixMatchesProfile) {
+  TraceGenerator gen = make_gen(AppClass::kBenign);
+  std::map<OpKind, int> counts;
+  const int n = 60000;
+  for (int i = 0; i < n; ++i) ++counts[gen.next().kind];
+  // The benign archetype mixes phases; check coarse bands.
+  const double load_frac = static_cast<double>(counts[OpKind::kLoad]) / n;
+  const double branch_frac = static_cast<double>(counts[OpKind::kBranch]) / n;
+  EXPECT_GT(load_frac, 0.10);
+  EXPECT_LT(load_frac, 0.40);
+  EXPECT_GT(branch_frac, 0.08);
+  EXPECT_LT(branch_frac, 0.35);
+}
+
+TEST(TraceGenerator, BackdoorIsBranchierThanWorm) {
+  TraceGenerator bd = make_gen(AppClass::kBackdoor);
+  TraceGenerator wm = make_gen(AppClass::kWorm);
+  int bd_branches = 0, wm_branches = 0;
+  for (int i = 0; i < 30000; ++i) {
+    bd_branches += bd.next().kind == OpKind::kBranch;
+    wm_branches += wm.next().kind == OpKind::kBranch;
+  }
+  EXPECT_GT(bd_branches, wm_branches);
+}
+
+TEST(TraceGenerator, LoadsCarryDataAddresses) {
+  TraceGenerator gen = make_gen(AppClass::kVirus);
+  for (int i = 0; i < 5000; ++i) {
+    const MicroOp op = gen.next();
+    if (op.kind == OpKind::kLoad || op.kind == OpKind::kStore)
+      EXPECT_GE(op.addr, 0x40000000u);
+  }
+}
+
+TEST(TraceGenerator, PcStaysInCodeSegment) {
+  TraceGenerator gen = make_gen(AppClass::kRootkit);
+  for (int i = 0; i < 20000; ++i) {
+    const MicroOp op = gen.next();
+    EXPECT_GE(op.pc, 0x400000u);
+    EXPECT_LT(op.pc, 0x40000000u);  // below the data segment
+  }
+}
+
+TEST(TraceGenerator, TakenBranchesRedirectPc) {
+  // Phase transitions legitimately reset the pc, so a small fraction of
+  // taken branches are followed by a fresh code region instead of their
+  // target; everything else must land on the target.
+  // Exclusions: phase transitions reset the pc, and a loop-closing branch
+  // immediately after a taken branch reports the fixed loop-branch site
+  // rather than the fall-through (see TraceGenerator's loop model).
+  TraceGenerator gen = make_gen(AppClass::kBenign);
+  MicroOp prev = gen.next();
+  int taken = 0, redirected = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const MicroOp op = gen.next();
+    if (prev.kind == OpKind::kBranch && prev.taken &&
+        !(op.kind == OpKind::kBranch && op.conditional)) {
+      ++taken;
+      redirected += op.pc == prev.target;
+    }
+    prev = op;
+  }
+  ASSERT_GT(taken, 100);
+  EXPECT_GT(static_cast<double>(redirected) / taken, 0.95);
+}
+
+TEST(TraceGenerator, WormTouchesMoreDataThanBackdoor) {
+  TraceGenerator bd = make_gen(AppClass::kBackdoor);
+  TraceGenerator wm = make_gen(AppClass::kWorm);
+  std::uint64_t bd_span = 0, wm_span = 0;
+  std::uint64_t bd_base = ~0ull, wm_base = ~0ull;
+  for (int i = 0; i < 30000; ++i) {
+    const MicroOp a = bd.next();
+    if (a.kind == OpKind::kLoad || a.kind == OpKind::kStore) {
+      bd_base = std::min(bd_base, a.addr);
+      bd_span = std::max(bd_span, a.addr);
+    }
+    const MicroOp b = wm.next();
+    if (b.kind == OpKind::kLoad || b.kind == OpKind::kStore) {
+      wm_base = std::min(wm_base, b.addr);
+      wm_span = std::max(wm_span, b.addr);
+    }
+  }
+  EXPECT_GT(wm_span - wm_base, (bd_span - bd_base) * 10);
+}
+
+TEST(TraceGenerator, GenerateFillsRequestedCount) {
+  TraceGenerator gen = make_gen(AppClass::kTrojan);
+  const auto ops = gen.generate(1234);
+  EXPECT_EQ(ops.size(), 1234u);
+}
+
+TEST(TraceGenerator, PhaseChangesOccur) {
+  TraceGenerator gen = make_gen(AppClass::kTrojan);
+  std::map<std::size_t, int> phase_hits;
+  for (int i = 0; i < 20000; ++i) {
+    gen.next();
+    ++phase_hits[gen.current_phase()];
+  }
+  // The trojan archetype has 3 phases; all should be visited.
+  EXPECT_EQ(phase_hits.size(), class_archetype(AppClass::kTrojan).phases.size());
+}
+
+// Property: every class generates valid op streams.
+class TraceClassSweep : public ::testing::TestWithParam<AppClass> {};
+
+TEST_P(TraceClassSweep, StreamsAreWellFormed) {
+  TraceGenerator gen(class_archetype(GetParam()), 99);
+  for (int i = 0; i < 5000; ++i) {
+    const MicroOp op = gen.next();
+    if (op.kind == OpKind::kBranch && op.taken) EXPECT_NE(op.target, 0u);
+    if (op.kind == OpKind::kLoad || op.kind == OpKind::kStore)
+      EXPECT_NE(op.addr, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Classes, TraceClassSweep,
+    ::testing::Values(AppClass::kBenign, AppClass::kBackdoor,
+                      AppClass::kRootkit, AppClass::kTrojan, AppClass::kVirus,
+                      AppClass::kWorm),
+    [](const auto& info) {
+      return std::string(app_class_name(info.param));
+    });
+
+}  // namespace
+}  // namespace hmd::workload

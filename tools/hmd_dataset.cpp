@@ -1,0 +1,97 @@
+// hmd_dataset — generate the labelled HPC dataset from the command line.
+//
+// Reproduces the thesis's data-collection stage at any scale and writes the
+// result as CSV or ARFF (the formats its WEKA stage consumed).
+//
+// Usage:
+//   hmd_dataset [--scale F] [--windows N] [--ops N] [--seed N]
+//               [--binary] [--arff] [--out FILE]
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "core/dataset_builder.hpp"
+#include "ml/arff.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+[[noreturn]] void usage() {
+  std::cerr <<
+      "usage: hmd_dataset [--scale F] [--windows N] [--ops N] [--seed N]\n"
+      "                   [--binary] [--arff] [--out FILE]\n"
+      "  --scale    database scale vs Table 1 (default 0.1; 1.0 = paper)\n"
+      "  --windows  sampling windows per sample (default 8)\n"
+      "  --ops      simulated ops per 10 ms window (default 3000)\n"
+      "  --seed     master seed (default 2018)\n"
+      "  --binary   emit benign/malware labels instead of the 6 classes\n"
+      "  --arff     emit ARFF instead of CSV\n"
+      "  --out      output path (default: stdout)\n";
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hmd;
+
+  double scale = 0.1;
+  core::PipelineConfig cfg;
+  cfg.collector.num_windows = 8;
+  cfg.collector.ops_per_window = 3000;
+  bool binary = false;
+  bool arff = false;
+  std::string out_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage();
+      return argv[++i];
+    };
+    if (arg == "--scale") scale = parse_double(next());
+    else if (arg == "--windows") cfg.collector.num_windows = static_cast<std::size_t>(parse_int(next()));
+    else if (arg == "--ops") cfg.collector.ops_per_window = static_cast<std::size_t>(parse_int(next()));
+    else if (arg == "--seed") cfg.seed = static_cast<std::uint64_t>(parse_int(next()));
+    else if (arg == "--binary") binary = true;
+    else if (arg == "--arff") arff = true;
+    else if (arg == "--out") out_path = next();
+    else usage();
+  }
+
+  try {
+    cfg.composition = workload::DatabaseComposition::scaled(scale);
+    core::DatasetBuilder builder(cfg);
+    std::cerr << "collecting " << cfg.composition.total() << " samples x "
+              << cfg.collector.num_windows << " windows...\n";
+    std::size_t last_pct = 0;
+    ml::Dataset data = builder.build_multiclass_dataset(
+        [&last_pct](std::size_t done, std::size_t total) {
+          const std::size_t pct = done * 100 / total;
+          if (pct >= last_pct + 10) {
+            std::cerr << "  " << pct << "%\n";
+            last_pct = pct;
+          }
+        });
+    if (binary) data = core::DatasetBuilder::to_binary(data);
+
+    std::ofstream file;
+    std::ostream* out = &std::cout;
+    if (!out_path.empty()) {
+      file.open(out_path);
+      if (!file) throw Error("cannot open output file: " + out_path);
+      out = &file;
+    }
+    if (arff)
+      ml::write_arff(*out, data);
+    else
+      ml::write_dataset_csv(*out, data);
+    std::cerr << "wrote " << data.num_instances() << " rows"
+              << (out_path.empty() ? "" : " to " + out_path) << '\n';
+    return 0;
+  } catch (const hmd::Error& e) {
+    std::cerr << "hmd_dataset: " << e.what() << '\n';
+    return 1;
+  }
+}

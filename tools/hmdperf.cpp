@@ -1,0 +1,102 @@
+// hmdperf — perf-stat over the simulator, from the command line.
+//
+// Runs one sandboxed sample (or MiBench kernel) under the HPC collector and
+// prints the perf-style interval log, exactly the intermediate artifact the
+// thesis's data collection produced per program.
+//
+// Usage:
+//   hmdperf [--class <benign|backdoor|rootkit|trojan|virus|worm>]
+//           [--kernel <qsort|dijkstra|crc32|jpeg|susan|sha>]
+//           [--seed N] [--windows N] [--ops N] [--ideal-pmu] [--csv]
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "hwsim/core.hpp"
+#include "perf/collector.hpp"
+#include "perf/perf_log.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+#include "workload/mibench.hpp"
+#include "workload/sandbox.hpp"
+
+namespace {
+
+using namespace hmd;
+
+[[noreturn]] void usage() {
+  std::cerr <<
+      "usage: hmdperf [--class <name> | --kernel <name>] [--seed N]\n"
+      "               [--windows N] [--ops N] [--ideal-pmu] [--csv]\n"
+      "  --class    application class to sample (default: virus)\n"
+      "  --kernel   MiBench kernel instead of a malware/benign class\n"
+      "  --seed     sample seed (default 42)\n"
+      "  --windows  10 ms windows to record (default 8)\n"
+      "  --ops      simulated ops per window (default 3000)\n"
+      "  --ideal-pmu  read exact counts (no 8-register multiplexing)\n"
+      "  --csv      emit the combined CSV instead of the text log\n";
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string app_class = "virus";
+  std::string kernel;
+  std::uint64_t seed = 42;
+  perf::CollectorConfig cfg;
+  cfg.num_windows = 8;
+  cfg.ops_per_window = 3000;
+  bool csv = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage();
+      return argv[++i];
+    };
+    if (arg == "--class") app_class = next();
+    else if (arg == "--kernel") kernel = next();
+    else if (arg == "--seed") seed = static_cast<std::uint64_t>(hmd::parse_int(next()));
+    else if (arg == "--windows") cfg.num_windows = static_cast<std::size_t>(hmd::parse_int(next()));
+    else if (arg == "--ops") cfg.ops_per_window = static_cast<std::size_t>(hmd::parse_int(next()));
+    else if (arg == "--ideal-pmu") cfg.ideal_pmu = true;
+    else if (arg == "--csv") csv = true;
+    else usage();
+  }
+
+  try {
+    perf::RunLog log;
+    log.events = perf::default_feature_events();
+    const perf::HpcCollector collector(cfg);
+    hwsim::Core core(hwsim::CoreConfig{},
+                     hwsim::MemoryHierarchy::miniature());
+
+    if (!kernel.empty()) {
+      // A named MiBench kernel, un-jittered.
+      workload::TraceGenerator gen(workload::mibench_profile(kernel), seed);
+      log.sample_id = "mibench_" + kernel;
+      log.label = "benign";
+      log.samples = collector.collect(core, gen, seed);
+    } else {
+      workload::SampleRecord rec{
+          .id = hmd::format("sample_%llu",
+                            static_cast<unsigned long long>(seed)),
+          .label = workload::app_class_from_name(app_class),
+          .seed = seed};
+      workload::Sandbox sandbox(rec);
+      log.sample_id = rec.id;
+      log.label = app_class;
+      log.samples = collector.collect(core, sandbox, seed);
+    }
+
+    if (csv)
+      perf::combine_logs_to_csv(std::cout, {log});
+    else
+      perf::write_perf_log(std::cout, log);
+    return 0;
+  } catch (const hmd::Error& e) {
+    std::cerr << "hmdperf: " << e.what() << '\n';
+    return 1;
+  }
+}
