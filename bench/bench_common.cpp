@@ -1,5 +1,6 @@
 #include "bench/bench_common.hpp"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -89,6 +90,8 @@ const core::FeatureReducer& feature_reducer() {
   return reducer;
 }
 
+ThreadPool& bench_pool() { return global_pool(); }
+
 const BinaryStudyResults& binary_study_results() {
   static const BinaryStudyResults results = [] {
     const auto& [train, test] = binary_split();
@@ -96,10 +99,20 @@ const BinaryStudyResults& binary_study_results() {
     const auto schemes = ml::binary_study_classifiers();
     const core::FeatureSet top8 = feature_reducer().binary_top_features(8);
     const core::FeatureSet top4 = feature_reducer().binary_top_features(4);
-    std::fprintf(stderr, "[bench] training %zu classifiers x 3 feature sets\n",
-                 schemes.size());
-    return BinaryStudyResults{study.run(schemes), study.run(schemes, &top8),
-                              study.run(schemes, &top4)};
+    ThreadPool& pool = bench_pool();
+    std::fprintf(stderr,
+                 "[bench] training %zu classifiers x 3 feature sets "
+                 "(%zu jobs)\n",
+                 schemes.size(), pool.size());
+    const auto start = std::chrono::steady_clock::now();
+    BinaryStudyResults r{study.run(schemes, nullptr, &pool),
+                         study.run(schemes, &top8, &pool),
+                         study.run(schemes, &top4, &pool)};
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    std::fprintf(stderr, "[bench] classifier sweep took %.2f s\n",
+                 elapsed.count());
+    return r;
   }();
   return results;
 }

@@ -20,6 +20,7 @@
 #include "core/feature_reduction.hpp"
 #include "core/pipeline_config.hpp"
 #include "ml/dataset.hpp"
+#include "util/thread_pool.hpp"
 
 namespace hmd::bench {
 
@@ -41,6 +42,11 @@ const core::FeatureReducer& feature_reducer();
 
 /// Prints the standard bench banner (dataset size, scale).
 void print_banner(const std::string& title);
+
+/// The shared experiment pool all benches fan sweeps across, sized by
+/// HMD_JOBS (default: hardware concurrency). Results are bit-identical to
+/// serial runs — see util/thread_pool.hpp.
+ThreadPool& bench_pool();
 
 /// The Figs. 13-16 study: every binary-study classifier trained, evaluated
 /// and synthesized at 16 (all), 8 and 4 (PCA-selected) features. Computed

@@ -4,6 +4,7 @@
 // features, while J48/OneR barely move.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <iostream>
 
 #include "bench/bench_common.hpp"
@@ -14,6 +15,37 @@
 namespace {
 
 using namespace hmd;
+
+/// Times the Fig. 13 classifier sweep serial vs pooled and logs the
+/// wall-clock speedup (the parallel engine's acceptance metric; expect
+/// >= 3x on a 4+-core machine, bounded by the slowest scheme, MLP).
+void log_sweep_speedup() {
+  const auto& [train, test] = bench::binary_split();
+  const core::BinaryStudy study(train, test);
+  const auto schemes = ml::binary_study_classifiers();
+  ThreadPool& pool = bench::bench_pool();
+
+  const auto time_run = [&](ThreadPool* p) {
+    const auto start = std::chrono::steady_clock::now();
+    const auto rows = study.run(schemes, nullptr, p);
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    return std::pair{elapsed.count(), rows};
+  };
+  const auto [serial_s, serial_rows] = time_run(nullptr);
+  const auto [parallel_s, parallel_rows] = time_run(&pool);
+
+  bool identical = serial_rows.size() == parallel_rows.size();
+  for (std::size_t i = 0; identical && i < serial_rows.size(); ++i)
+    identical = serial_rows[i].scheme == parallel_rows[i].scheme &&
+                serial_rows[i].accuracy == parallel_rows[i].accuracy;
+  std::fprintf(stderr,
+               "[bench] fig13 sweep: serial %.2f s, %zu jobs %.2f s -> "
+               "%.2fx speedup, results %s\n",
+               serial_s, pool.size(), parallel_s,
+               parallel_s > 0.0 ? serial_s / parallel_s : 0.0,
+               identical ? "bit-identical" : "DIVERGED");
+}
 
 void print_fig13() {
   bench::print_banner("Figure 13: Binary classification accuracy");
@@ -64,6 +96,7 @@ BENCHMARK_CAPTURE(BM_PredictThroughput, MLP, std::string("MLP"));
 
 int main(int argc, char** argv) {
   print_fig13();
+  log_sweep_speedup();
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -21,11 +21,12 @@ void print_fig18() {
 
   TextTable table("per-class recall (%) on the test split");
   std::vector<std::string> header = {"class"};
-  std::vector<ml::EvaluationResult> evals;
-  for (const std::string& scheme : ml::multiclass_study_classifiers()) {
-    header.push_back(scheme);
-    evals.push_back(core::train_and_evaluate(scheme, train, test).evaluation);
-  }
+  const std::vector<std::string> schemes = ml::multiclass_study_classifiers();
+  for (const std::string& scheme : schemes) header.push_back(scheme);
+  const std::vector<ml::EvaluationResult> evals =
+      parallel_map(&bench::bench_pool(), schemes, [&](const std::string& s) {
+        return core::train_and_evaluate(s, train, test).evaluation;
+      });
   table.set_header(header);
   for (std::size_t c = 0; c < test.num_classes(); ++c) {
     std::vector<std::string> row = {test.class_attribute().values()[c]};

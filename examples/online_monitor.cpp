@@ -43,6 +43,20 @@ void monitor_program(const ml::Classifier& model,
   for (const perf::HpcSample& w : windows)
     timeline += monitor.observe(w.counts).flagged ? '!' : '.';
   std::cout << timeline << "  (.=clean, !=flagged)\n";
+
+  // Forensic re-scan: the same trace scored in one batched call, model
+  // evaluation fanned across the shared pool. Must agree with streaming.
+  std::vector<double> flat;
+  for (const perf::HpcSample& w : windows)
+    flat.insert(flat.end(), w.counts.begin(), w.counts.end());
+  core::OnlineDetector rescan(model, policy);
+  std::string batch_timeline;
+  for (const auto& v :
+       rescan.score_windows(flat, windows.front().counts.size(),
+                            &global_pool()))
+    batch_timeline += v.flagged ? '!' : '.';
+  if (batch_timeline != timeline)
+    std::cout << "  WARNING: batched re-scan diverged from streaming!\n";
   if (monitor.alarmed())
     std::cout << format("  ALARM raised at t=%.0f ms "
                         "(%zu consecutive malicious windows)\n",

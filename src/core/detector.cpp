@@ -26,16 +26,15 @@ BinaryStudy::BinaryStudy(ml::Dataset train, ml::Dataset test)
               "BinaryStudy: train/test schema mismatch");
 }
 
-std::vector<BinaryStudyRow> BinaryStudy::run(
-    const std::vector<std::string>& schemes, const FeatureSet* features) const {
+std::vector<BinaryStudyRow> BinaryStudy::run(const std::vector<std::string>& schemes,
+                                             const FeatureSet* features,
+                                             ThreadPool* pool) const {
   const bool project = features != nullptr && !features->indices.empty();
   const ml::Dataset train =
       project ? train_.project(features->indices) : train_;
   const ml::Dataset test = project ? test_.project(features->indices) : test_;
 
-  std::vector<BinaryStudyRow> rows;
-  rows.reserve(schemes.size());
-  for (const std::string& scheme : schemes) {
+  return parallel_map(pool, schemes, [&](const std::string& scheme) {
     TrainedModel tm = train_and_evaluate(scheme, train, test);
     BinaryStudyRow row;
     row.scheme = scheme;
@@ -43,9 +42,8 @@ std::vector<BinaryStudyRow> BinaryStudy::run(
     row.accuracy = tm.evaluation.accuracy();
     row.synthesis =
         hw::synthesize_classifier(*tm.model, train.num_features());
-    rows.push_back(std::move(row));
-  }
-  return rows;
+    return row;
+  });
 }
 
 void PcaAssistedOvr::train(const ml::Dataset& train) {

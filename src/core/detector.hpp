@@ -18,6 +18,7 @@
 #include "hw/synthesis.hpp"
 #include "ml/classifier.hpp"
 #include "ml/evaluation.hpp"
+#include "util/thread_pool.hpp"
 
 namespace hmd::core {
 
@@ -50,8 +51,12 @@ class BinaryStudy {
   BinaryStudy(ml::Dataset train, ml::Dataset test);
 
   /// Evaluate `schemes` on the given feature subset (empty = all features).
+  /// Each scheme trains independently with its own fixed internal seeds, so
+  /// fanning the sweep across `pool` (nullptr = serial) returns
+  /// bit-identical rows in scheme order.
   std::vector<BinaryStudyRow> run(const std::vector<std::string>& schemes,
-                                  const FeatureSet* features = nullptr) const;
+                                  const FeatureSet* features = nullptr,
+                                  ThreadPool* pool = nullptr) const;
 
  private:
   ml::Dataset train_;

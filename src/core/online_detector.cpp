@@ -31,6 +31,43 @@ OnlineDetector::Verdict OnlineDetector::observe(
   return verdict;
 }
 
+std::vector<OnlineDetector::Verdict> OnlineDetector::score_windows(
+    std::span<const double> flat, std::size_t window_size, ThreadPool* pool) {
+  HMD_REQUIRE(model_.num_classes() == 2,
+              "OnlineDetector needs a binary (benign/malware) model");
+  HMD_REQUIRE(window_size > 0, "score_windows: window_size must be positive");
+  HMD_REQUIRE(flat.size() % window_size == 0,
+              "score_windows: input not a whole number of windows");
+  const std::size_t num_windows = flat.size() / window_size;
+
+  // Stage 1 (parallel): per-window malware probabilities. Classifier
+  // prediction is const and thread-compatible; each slot is written once.
+  std::vector<double> probabilities(num_windows);
+  parallel_for(pool, num_windows, [&](std::size_t w) {
+    probabilities[w] =
+        model_.distribution(flat.subspan(w * window_size, window_size))[1];
+  });
+
+  // Stage 2 (serial): the order-dependent streak/alarm state machine,
+  // mirroring observe() exactly.
+  std::vector<Verdict> verdicts;
+  verdicts.reserve(num_windows);
+  for (std::size_t w = 0; w < num_windows; ++w) {
+    Verdict verdict;
+    verdict.probability = probabilities[w];
+    verdict.flagged = verdict.probability > config_.flag_threshold;
+    streak_ = verdict.flagged ? streak_ + 1 : 0;
+    if (!alarmed_ && streak_ >= config_.confirm_windows) {
+      alarmed_ = true;
+      alarm_window_ = windows_;
+    }
+    verdict.alarm = alarmed_;
+    ++windows_;
+    verdicts.push_back(verdict);
+  }
+  return verdicts;
+}
+
 void OnlineDetector::reset() {
   windows_ = 0;
   streak_ = 0;

@@ -8,8 +8,10 @@
 
 #include <cstddef>
 #include <span>
+#include <vector>
 
 #include "ml/classifier.hpp"
+#include "util/thread_pool.hpp"
 
 namespace hmd::core {
 
@@ -40,6 +42,16 @@ class OnlineDetector {
 
   /// Observe the next window's counter values.
   Verdict observe(std::span<const double> counts);
+
+  /// Batched deployment-style scoring: `flat` holds consecutive windows of
+  /// `window_size` counters each (row-major). Model evaluation — the hot
+  /// part — fans across `pool` (nullptr = serial); the streak/alarm state
+  /// machine then replays serially in window order, so the verdicts and
+  /// final detector state are bit-identical to calling observe() on each
+  /// window in sequence.
+  std::vector<Verdict> score_windows(std::span<const double> flat,
+                                     std::size_t window_size,
+                                     ThreadPool* pool = nullptr);
 
   bool alarmed() const { return alarmed_; }
   std::size_t windows_seen() const { return windows_; }

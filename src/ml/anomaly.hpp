@@ -38,6 +38,7 @@ class MahalanobisDetector {
   double threshold() const { return threshold_; }
 
  private:
+  friend struct ModelIo;
   Params params_;
   std::vector<double> mean_;
   Matrix precision_;  ///< inverse covariance
@@ -61,6 +62,7 @@ class AnomalyClassifier final : public Classifier {
   const MahalanobisDetector& detector() const { return detector_; }
 
  private:
+  friend struct ModelIo;
   MahalanobisDetector detector_;
 };
 

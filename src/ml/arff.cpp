@@ -129,6 +129,8 @@ Dataset read_arff(std::istream& in) {
     dataset.add(std::move(inst));
   }
   if (!dataset_ready) throw ParseError("ARFF: missing @data section");
+  if (dataset.num_instances() == 0)
+    throw ParseError("ARFF: empty @data section");
   return dataset;
 }
 

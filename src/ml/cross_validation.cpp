@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <numeric>
+#include <utility>
 
 #include "util/error.hpp"
 
@@ -22,9 +23,20 @@ double CrossValidationResult::stddev_accuracy() const {
   return std::sqrt(s2 / static_cast<double>(fold_accuracies.size() - 1));
 }
 
-CrossValidationResult cross_validate(
-    const std::function<std::unique_ptr<Classifier>()>& factory,
-    const Dataset& data, std::size_t folds, Rng& rng) {
+namespace {
+
+/// One fold's outcome, merged into the pooled result in fold order.
+struct FoldOutcome {
+  std::vector<std::pair<std::size_t, std::size_t>> records;  ///< actual, pred
+  double accuracy = 0.0;
+};
+
+}  // namespace
+
+CrossValidationResult cross_validate(const SeededClassifierFactory& factory,
+                                     const Dataset& data, std::size_t folds,
+                                     Rng& rng,
+                                     const CrossValidationOptions& options) {
   HMD_REQUIRE(folds >= 2, "cross_validate: need at least two folds");
   HMD_REQUIRE(data.num_instances() >= folds,
               "cross_validate: more folds than instances");
@@ -41,13 +53,15 @@ CrossValidationResult cross_validate(
     for (std::size_t r : rows) fold_of[r] = dealer++ % folds;
   }
 
-  CrossValidationResult result{
-      .pooled = EvaluationResult(data.num_classes(),
-                                 data.class_attribute().values()),
-      .fold_accuracies = {}};
-  result.fold_accuracies.reserve(folds);
+  // Sub-seed an independent Rng per fold through splitmix64. One draw from
+  // `rng` feeds the stream, so rng's final state is the same however many
+  // threads run, and fold f's randomness depends only on (draw, f).
+  std::vector<std::uint64_t> fold_seeds(folds);
+  std::uint64_t seed_stream = rng.next_u64();
+  for (std::size_t fold = 0; fold < folds; ++fold)
+    fold_seeds[fold] = splitmix64(seed_stream);
 
-  for (std::size_t fold = 0; fold < folds; ++fold) {
+  const auto run_fold = [&](std::size_t fold) {
     Dataset train(std::vector<Attribute>(data.attributes()),
                   data.relation());
     std::vector<std::size_t> test_rows;
@@ -59,20 +73,57 @@ CrossValidationResult cross_validate(
     }
     HMD_ASSERT(!test_rows.empty());
 
-    std::unique_ptr<Classifier> clf = factory();
+    Rng fold_rng(fold_seeds[fold]);
+    std::unique_ptr<Classifier> clf = factory(fold_rng);
     HMD_REQUIRE(clf != nullptr, "cross_validate: factory returned null");
     clf->train(train);
 
+    FoldOutcome outcome;
+    outcome.records.reserve(test_rows.size());
     std::size_t correct = 0;
     for (std::size_t i : test_rows) {
       const std::size_t predicted = clf->predict(data.features_of(i));
-      result.pooled.record(data.class_of(i), predicted);
+      outcome.records.emplace_back(data.class_of(i), predicted);
       correct += predicted == data.class_of(i);
     }
-    result.fold_accuracies.push_back(static_cast<double>(correct) /
-                                     static_cast<double>(test_rows.size()));
+    outcome.accuracy = static_cast<double>(correct) /
+                       static_cast<double>(test_rows.size());
+    return outcome;
+  };
+
+  std::vector<FoldOutcome> outcomes(folds);
+  std::size_t threads = options.num_threads == 0 ? default_jobs()
+                                                 : options.num_threads;
+  if (threads <= 1) {
+    for (std::size_t fold = 0; fold < folds; ++fold)
+      outcomes[fold] = run_fold(fold);
+  } else {
+    ThreadPool* pool = options.pool != nullptr ? options.pool : &global_pool();
+    parallel_for(pool, folds,
+                 [&](std::size_t fold) { outcomes[fold] = run_fold(fold); });
+  }
+
+  // Merge in fold order: identical to the serial loop by construction.
+  CrossValidationResult result{
+      .pooled = EvaluationResult(data.num_classes(),
+                                 data.class_attribute().values()),
+      .fold_accuracies = {}};
+  result.fold_accuracies.reserve(folds);
+  for (FoldOutcome& outcome : outcomes) {
+    for (const auto& [actual, predicted] : outcome.records)
+      result.pooled.record(actual, predicted);
+    result.fold_accuracies.push_back(outcome.accuracy);
   }
   return result;
+}
+
+CrossValidationResult cross_validate(
+    const std::function<std::unique_ptr<Classifier>()>& factory,
+    const Dataset& data, std::size_t folds, Rng& rng,
+    const CrossValidationOptions& options) {
+  HMD_REQUIRE(factory != nullptr, "cross_validate: null factory");
+  return cross_validate(
+      [&factory](Rng&) { return factory(); }, data, folds, rng, options);
 }
 
 }  // namespace hmd::ml

@@ -1,6 +1,13 @@
 // k-fold cross-validation — the third evaluation protocol the thesis
 // mentions ("self-testing, test-set or cross validation"); WEKA's default
 // is stratified 10-fold.
+//
+// Folds are independent, so the engine can fan them across a ThreadPool.
+// Determinism contract: all rng consumption happens up front (fold
+// assignment + one draw that sub-seeds a splitmix64 stream of per-fold
+// Rngs), each fold's work depends only on its fold index, and fold results
+// merge in fold order — so serial and parallel runs produce bit-identical
+// CrossValidationResults and leave `rng` in the same state.
 #pragma once
 
 #include <functional>
@@ -8,6 +15,7 @@
 #include "ml/classifier.hpp"
 #include "ml/evaluation.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace hmd::ml {
 
@@ -20,10 +28,31 @@ struct CrossValidationResult {
   double stddev_accuracy() const;
 };
 
+/// Execution policy for cross_validate.
+struct CrossValidationOptions {
+  /// Fold-level parallelism: 1 = serial (default), 0 = default_jobs().
+  std::size_t num_threads = 1;
+  /// Pool to fan folds across; nullptr with num_threads > 1 uses
+  /// global_pool(). Ignored when num_threads == 1.
+  ThreadPool* pool = nullptr;
+};
+
+/// Factory receiving the fold's independent sub-seeded Rng, for stochastic
+/// schemes that want per-fold randomness without breaking reproducibility.
+using SeededClassifierFactory =
+    std::function<std::unique_ptr<Classifier>(Rng&)>;
+
 /// Stratified k-fold cross-validation. `factory` must return a fresh,
-/// untrained classifier per fold. Deterministic in `rng`'s state.
+/// untrained classifier per fold. Deterministic in `rng`'s state
+/// regardless of `options.num_threads`.
+CrossValidationResult cross_validate(
+    const SeededClassifierFactory& factory, const Dataset& data,
+    std::size_t folds, Rng& rng, const CrossValidationOptions& options = {});
+
+/// Convenience overload for rng-free factories.
 CrossValidationResult cross_validate(
     const std::function<std::unique_ptr<Classifier>()>& factory,
-    const Dataset& data, std::size_t folds, Rng& rng);
+    const Dataset& data, std::size_t folds, Rng& rng,
+    const CrossValidationOptions& options = {});
 
 }  // namespace hmd::ml

@@ -40,6 +40,7 @@ class AdaBoostM1 final : public Classifier {
   const std::vector<double>& member_weights() const { return alphas_; }
 
  private:
+  friend struct ModelIo;
   BaseFactory base_;
   Params params_;
   std::size_t num_classes_ = 0;
@@ -69,6 +70,7 @@ class Bagging final : public Classifier {
   std::size_t committee_size() const { return members_.size(); }
 
  private:
+  friend struct ModelIo;
   BaseFactory base_;
   Params params_;
   std::size_t num_classes_ = 0;

@@ -21,6 +21,7 @@ class Knn final : public Classifier {
   std::size_t num_classes() const override { return num_classes_; }
 
  private:
+  friend struct ModelIo;
   std::size_t k_;
   std::size_t num_classes_ = 0;
   Standardizer standardizer_;

@@ -5,9 +5,12 @@
 #include <ostream>
 #include <sstream>
 
+#include "ml/anomaly.hpp"
 #include "ml/decision_stump.hpp"
+#include "ml/ensemble.hpp"
 #include "ml/j48.hpp"
 #include "ml/jrip.hpp"
+#include "ml/knn.hpp"
 #include "ml/logistic.hpp"
 #include "ml/mlp.hpp"
 #include "ml/naive_bayes.hpp"
@@ -210,6 +213,69 @@ struct ModelIo {
     write_matrix(out, "w1", m.w1_);
     write_matrix(out, "w2", m.w2_);
   }
+  static void save(std::ostream& out, const Knn& m) {
+    HMD_REQUIRE(!m.points_.empty(), "save_model: untrained IBk");
+    out << "k " << m.k_ << '\n';
+    write_standardizer(out, m.standardizer_);
+    out << "labels";
+    for (std::size_t l : m.labels_) out << ' ' << l;
+    out << '\n';
+    write_matrix(out, "points", m.points_);
+  }
+  static void save(std::ostream& out, const AnomalyClassifier& m) {
+    const MahalanobisDetector& d = m.detector_;
+    HMD_REQUIRE(d.fitted(), "save_model: untrained Mahalanobis");
+    write_vector(out, "mean", d.mean_);
+    std::vector<std::vector<double>> precision(d.precision_.rows());
+    for (std::size_t r = 0; r < d.precision_.rows(); ++r) {
+      const auto row = d.precision_.row(r);
+      precision[r].assign(row.begin(), row.end());
+    }
+    write_matrix(out, "precision", precision);
+    out << "threshold " << enc(d.threshold_) << '\n';
+  }
+  /// Committee save: alphas (AdaBoost only) plus each member as a nested
+  /// "member <scheme>" block reusing the member scheme's own format.
+  static void save_committee(
+      std::ostream& out, const std::vector<std::unique_ptr<Classifier>>& members,
+      const std::vector<double>* alphas) {
+    out << "members " << members.size() << '\n';
+    if (alphas != nullptr) write_vector(out, "alphas", *alphas);
+    for (const auto& member : members) {
+      out << "member " << member->name() << '\n';
+      if (!save_body(out, *member))
+        throw PreconditionError("save_model: no serialization for member " +
+                                member->name());
+    }
+  }
+  static void save(std::ostream& out, const AdaBoostM1& m) {
+    HMD_REQUIRE(!m.members_.empty(), "save_model: untrained AdaBoostM1");
+    save_committee(out, m.members_, &m.alphas_);
+  }
+  static void save(std::ostream& out, const Bagging& m) {
+    HMD_REQUIRE(!m.members_.empty(), "save_model: untrained Bagging");
+    save_committee(out, m.members_, nullptr);
+  }
+
+  /// Scheme-dispatched body save shared by save_model and nested committee
+  /// members; returns false for schemes without a serialization.
+  static bool save_body(std::ostream& out, const Classifier& clf) {
+    if (const auto* m = dynamic_cast<const ZeroR*>(&clf)) save(out, *m);
+    else if (const auto* m1 = dynamic_cast<const OneR*>(&clf)) save(out, *m1);
+    else if (const auto* m2 = dynamic_cast<const DecisionStump*>(&clf)) save(out, *m2);
+    else if (const auto* m3 = dynamic_cast<const J48*>(&clf)) save(out, *m3);
+    else if (const auto* m4 = dynamic_cast<const JRip*>(&clf)) save(out, *m4);
+    else if (const auto* m5 = dynamic_cast<const NaiveBayes*>(&clf)) save(out, *m5);
+    else if (const auto* m6 = dynamic_cast<const Logistic*>(&clf)) save(out, *m6);
+    else if (const auto* m7 = dynamic_cast<const LinearSvm*>(&clf)) save(out, *m7);
+    else if (const auto* m8 = dynamic_cast<const Mlp*>(&clf)) save(out, *m8);
+    else if (const auto* m9 = dynamic_cast<const Knn*>(&clf)) save(out, *m9);
+    else if (const auto* m10 = dynamic_cast<const AnomalyClassifier*>(&clf)) save(out, *m10);
+    else if (const auto* m11 = dynamic_cast<const AdaBoostM1*>(&clf)) save(out, *m11);
+    else if (const auto* m12 = dynamic_cast<const Bagging*>(&clf)) save(out, *m12);
+    else return false;
+    return true;
+  }
 
   // ----- load ------------------------------------------------------------
   static Standardizer read_standardizer(Reader& reader) {
@@ -334,6 +400,70 @@ struct ModelIo {
         throw ParseError("model: MLP shape mismatch");
       return m;
     }
+    if (scheme == "IBk") {
+      auto m = std::make_unique<Knn>();
+      m->num_classes_ = classes;
+      m->k_ = reader.expect_size("k");
+      m->standardizer_ = read_standardizer(reader);
+      const auto tokens = reader.expect("labels");
+      for (const auto& t : tokens)
+        m->labels_.push_back(static_cast<std::size_t>(parse_int(t)));
+      m->points_ = read_matrix(reader, "points");
+      if (m->points_.size() != m->labels_.size() || m->points_.empty())
+        throw ParseError("model: IBk shape mismatch");
+      for (std::size_t l : m->labels_)
+        if (l >= classes) throw ParseError("model: IBk label out of range");
+      return m;
+    }
+    if (scheme == "Mahalanobis") {
+      if (classes != 2)
+        throw ParseError("model: Mahalanobis must be binary");
+      auto m = std::make_unique<AnomalyClassifier>();
+      MahalanobisDetector& d = m->detector_;
+      {
+        const auto tokens = reader.expect("mean");
+        for (const auto& t : tokens) d.mean_.push_back(dec(t));
+      }
+      const auto precision = read_matrix(reader, "precision");
+      if (precision.size() != d.mean_.size() || d.mean_.empty())
+        throw ParseError("model: Mahalanobis shape mismatch");
+      d.precision_ = Matrix(precision.size(), precision.size());
+      for (std::size_t r = 0; r < precision.size(); ++r) {
+        if (precision[r].size() != d.mean_.size())
+          throw ParseError("model: Mahalanobis precision not square");
+        for (std::size_t c = 0; c < precision[r].size(); ++c)
+          d.precision_(r, c) = precision[r][c];
+      }
+      d.threshold_ = dec(reader.expect("threshold").at(0));
+      return m;
+    }
+    if (scheme == "AdaBoostM1" || scheme == "Bagging") {
+      const bool boosted = scheme == "AdaBoostM1";
+      const std::size_t n_members = reader.expect_size("members");
+      if (n_members == 0) throw ParseError("model: empty committee");
+      std::vector<double> alphas;
+      if (boosted) alphas = read_vector(reader, "alphas", n_members);
+      std::vector<std::unique_ptr<Classifier>> members;
+      members.reserve(n_members);
+      for (std::size_t i = 0; i < n_members; ++i) {
+        const auto head = reader.expect("member");
+        if (head.size() != 1) throw ParseError("model: bad member header");
+        members.push_back(load(reader, head[0], classes));
+      }
+      // The factory is only needed to (re)train; a loaded committee is
+      // inference-only until train() is called with a fresh instance.
+      if (boosted) {
+        auto m = std::make_unique<AdaBoostM1>(BaseFactory{});
+        m->num_classes_ = classes;
+        m->members_ = std::move(members);
+        m->alphas_ = std::move(alphas);
+        return m;
+      }
+      auto m = std::make_unique<Bagging>(BaseFactory{});
+      m->num_classes_ = classes;
+      m->members_ = std::move(members);
+      return m;
+    }
     throw ParseError("model: unsupported scheme '" + scheme + "'");
   }
 };
@@ -344,31 +474,7 @@ void save_model(std::ostream& out, const Classifier& clf) {
   out << "scheme " << clf.name() << '\n';
   out << "classes " << clf.num_classes() << '\n';
 
-  const bool saved = [&] {
-    if (const auto* m = dynamic_cast<const ZeroR*>(&clf)) {
-      ModelIo::save(out, *m);
-    } else if (const auto* m1 = dynamic_cast<const OneR*>(&clf)) {
-      ModelIo::save(out, *m1);
-    } else if (const auto* m2 = dynamic_cast<const DecisionStump*>(&clf)) {
-      ModelIo::save(out, *m2);
-    } else if (const auto* m3 = dynamic_cast<const J48*>(&clf)) {
-      ModelIo::save(out, *m3);
-    } else if (const auto* m4 = dynamic_cast<const JRip*>(&clf)) {
-      ModelIo::save(out, *m4);
-    } else if (const auto* m5 = dynamic_cast<const NaiveBayes*>(&clf)) {
-      ModelIo::save(out, *m5);
-    } else if (const auto* m6 = dynamic_cast<const Logistic*>(&clf)) {
-      ModelIo::save(out, *m6);
-    } else if (const auto* m7 = dynamic_cast<const LinearSvm*>(&clf)) {
-      ModelIo::save(out, *m7);
-    } else if (const auto* m8 = dynamic_cast<const Mlp*>(&clf)) {
-      ModelIo::save(out, *m8);
-    } else {
-      return false;
-    }
-    return true;
-  }();
-  if (!saved)
+  if (!ModelIo::save_body(out, clf))
     throw PreconditionError("save_model: no serialization for " + clf.name());
 
   out << "end\n";

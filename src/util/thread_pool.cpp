@@ -1,0 +1,164 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <exception>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace hmd {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  const std::size_t n = std::max<std::size_t>(1, num_threads);
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void TaskHandle::wait() const {
+  std::unique_lock<std::mutex> lock(state_->mutex);
+  state_->cv.wait(lock, [s = state_.get()] { return s->done; });
+}
+
+void TaskHandle::get() const {
+  wait();
+  // No lock needed: error is written before done under the state mutex and
+  // never touched again once done is observed.
+  if (state_->error) std::rethrow_exception(state_->error);
+}
+
+TaskHandle ThreadPool::submit(std::function<void()> task) {
+  HMD_REQUIRE(task != nullptr, "ThreadPool::submit: null task");
+  auto state = std::make_shared<TaskHandle::State>();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    HMD_REQUIRE(!stopping_, "ThreadPool::submit: pool is shutting down");
+    queue_.push_back([task = std::move(task), state] {
+      std::exception_ptr error;
+      try {
+        task();
+      } catch (...) {
+        error = std::current_exception();
+      }
+      {
+        std::lock_guard<std::mutex> state_lock(state->mutex);
+        state->error = std::move(error);
+        state->done = true;
+      }
+      state->cv.notify_all();
+    });
+  }
+  cv_.notify_one();
+  return TaskHandle(std::move(state));
+}
+
+bool ThreadPool::on_worker_thread() const {
+  const std::thread::id self = std::this_thread::get_id();
+  for (const std::thread& w : workers_)
+    if (w.get_id() == self) return true;
+  return false;
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // the submit wrapper catches, so nothing escapes here
+  }
+}
+
+std::size_t default_jobs() {
+  if (const char* env = std::getenv("HMD_JOBS"); env != nullptr && *env) {
+    long long jobs = 0;
+    try {
+      jobs = parse_int(env);
+    } catch (const ParseError&) {
+      jobs = 0;
+    }
+    if (jobs >= 1) return static_cast<std::size_t>(jobs);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+ThreadPool& global_pool() {
+  static ThreadPool pool(default_jobs());
+  return pool;
+}
+
+namespace {
+
+/// Shared state of one parallel_for batch: a claim counter the caller and
+/// the drafted workers all drain, plus first-exception capture.
+struct ForBatch {
+  std::atomic<std::size_t> next{0};
+  std::size_t n = 0;
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::mutex error_mutex;
+  std::exception_ptr error;
+
+  void run_indices() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        (*fn)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!error) error = std::current_exception();
+        next.store(n, std::memory_order_relaxed);  // skip the rest
+        return;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+void parallel_for(ThreadPool* pool, std::size_t n,
+                  const std::function<void(std::size_t)>& fn) {
+  HMD_REQUIRE(fn != nullptr, "parallel_for: null body");
+  if (n == 0) return;
+  // Nested fan-out runs inline: a worker that blocked waiting on helper
+  // tasks could deadlock the pool if every other worker did the same.
+  if (pool == nullptr || pool->size() <= 1 || n == 1 ||
+      pool->on_worker_thread()) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  ForBatch batch;
+  batch.n = n;
+  batch.fn = &fn;
+
+  // Draft up to size() helpers; the caller drains the same counter, so even
+  // if every worker is busy (nested fan-out) the batch completes.
+  const std::size_t helpers = std::min(pool->size(), n - 1);
+  std::vector<TaskHandle> drafted;
+  drafted.reserve(helpers);
+  for (std::size_t h = 0; h < helpers; ++h)
+    drafted.push_back(pool->submit([&batch] { batch.run_indices(); }));
+
+  batch.run_indices();
+  for (auto& f : drafted) f.wait();
+
+  if (batch.error) std::rethrow_exception(batch.error);
+}
+
+}  // namespace hmd

@@ -1,0 +1,123 @@
+// Deterministic parallel experiment engine.
+//
+// A fixed-size thread pool with slot-indexed fan-out helpers
+// (parallel_for / parallel_map) designed for the repo's bit-reproducibility
+// contract: work items are identified by index, results land in
+// pre-allocated slots, and nothing about scheduling order can leak into the
+// results. There is deliberately NO work stealing between unrelated task
+// graphs — each parallel_for drains one shared counter, and the calling
+// thread participates, so nested fan-out from inside a worker can never
+// deadlock (the caller just runs its own batch inline).
+//
+// Thread count: pass an explicit count, or use default_jobs(), which reads
+// the HMD_JOBS environment variable and falls back to the hardware
+// concurrency. HMD_JOBS=1 forces every helper into its serial fast path.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+namespace hmd {
+
+/// Completion handle for one submitted task. Mutex/cv based rather than
+/// std::future so every synchronization edge lives in instrumented code
+/// (std::packaged_task parks the task's exception in libstdc++'s
+/// refcounted shared state, whose release a sanitizer cannot see), and so
+/// a propagated exception is always released by the waiting caller, never
+/// by a pool worker.
+class TaskHandle {
+ public:
+  /// Blocks until the task has finished running.
+  void wait() const;
+  /// Blocks, then rethrows the exception the task threw, if any.
+  void get() const;
+
+ private:
+  friend class ThreadPool;
+  struct State {
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool done = false;
+    std::exception_ptr error;
+  };
+  explicit TaskHandle(std::shared_ptr<State> state)
+      : state_(std::move(state)) {}
+  std::shared_ptr<State> state_;
+};
+
+/// Fixed-size worker pool. Construction spawns the workers; destruction
+/// drains the queue and joins them. Tasks submitted after shutdown begins
+/// are rejected with a PreconditionError.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (0 is clamped to 1).
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue a task. The returned handle rethrows any exception the task
+  /// throws, so callers own error propagation.
+  TaskHandle submit(std::function<void()> task);
+
+  /// True when called from one of this pool's worker threads.
+  bool on_worker_thread() const;
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Thread count for parallel helpers: HMD_JOBS if set (>= 1), else
+/// std::thread::hardware_concurrency(), else 1.
+std::size_t default_jobs();
+
+/// Process-wide pool sized by default_jobs(), created on first use.
+/// Benches and tools share it so one HMD_JOBS knob governs everything.
+ThreadPool& global_pool();
+
+/// Runs fn(0) ... fn(n - 1), fanning across `pool`. The calling thread
+/// participates in the batch, so calling from inside a worker is safe
+/// (the nested batch simply runs on the caller). Iterations must not
+/// depend on each other. If any iteration throws, the first exception (in
+/// completion order) is rethrown after the whole batch finishes; remaining
+/// iterations are skipped once a failure is seen. With a null pool, one
+/// thread, or n <= 1 the loop runs serially inline.
+void parallel_for(ThreadPool* pool, std::size_t n,
+                  const std::function<void(std::size_t)>& fn);
+
+/// Slot-indexed map: returns {fn(items[0]), ..., fn(items[n-1])} with
+/// result order matching input order regardless of scheduling. Results
+/// need not be default-constructible.
+template <typename T, typename F>
+auto parallel_map(ThreadPool* pool, const std::vector<T>& items, F&& fn)
+    -> std::vector<decltype(fn(items.front()))> {
+  using R = decltype(fn(items.front()));
+  std::vector<std::optional<R>> slots(items.size());
+  parallel_for(pool, items.size(),
+               [&](std::size_t i) { slots[i].emplace(fn(items[i])); });
+  std::vector<R> results;
+  results.reserve(items.size());
+  for (auto& slot : slots) results.push_back(std::move(*slot));
+  return results;
+}
+
+}  // namespace hmd

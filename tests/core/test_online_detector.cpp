@@ -89,5 +89,58 @@ TEST(OnlineDetector, ProbabilityPassedThrough) {
   EXPECT_DOUBLE_EQ(verdict.probability, 0.73);
 }
 
+TEST(OnlineDetector, ScoreWindowsMatchesStreamingObserve) {
+  // One probability per window; streak 0.99,0.99 → alarm at window 3.
+  const std::vector<double> flat = {0.1, 0.99, 0.2, 0.99, 0.99, 0.5};
+  const OnlineDetectorConfig config{.flag_threshold = 0.9,
+                                    .confirm_windows = 2};
+  StubModel model;
+
+  OnlineDetector streaming(model, config);
+  std::vector<OnlineDetector::Verdict> expected;
+  for (double p : flat)
+    expected.push_back(streaming.observe(std::vector<double>{p}));
+
+  OnlineDetector batched(model, config);
+  const auto serial = batched.score_windows(flat, 1);
+  ASSERT_EQ(serial.size(), expected.size());
+  for (std::size_t w = 0; w < expected.size(); ++w) {
+    EXPECT_DOUBLE_EQ(serial[w].probability, expected[w].probability);
+    EXPECT_EQ(serial[w].flagged, expected[w].flagged) << w;
+    EXPECT_EQ(serial[w].alarm, expected[w].alarm) << w;
+  }
+  EXPECT_EQ(batched.alarmed(), streaming.alarmed());
+  EXPECT_EQ(batched.alarm_window(), streaming.alarm_window());
+  EXPECT_EQ(batched.windows_seen(), streaming.windows_seen());
+
+  ThreadPool pool(4);
+  OnlineDetector parallel(model, config);
+  const auto verdicts = parallel.score_windows(flat, 1, &pool);
+  EXPECT_EQ(parallel.alarm_window(), streaming.alarm_window());
+  EXPECT_TRUE(verdicts.back().alarm);
+}
+
+TEST(OnlineDetector, ScoreWindowsContinuesStreamingState) {
+  // A flagged streak split across observe() and score_windows() must still
+  // latch: the batch path shares the same state machine.
+  StubModel model;
+  OnlineDetector det(model, {.flag_threshold = 0.9, .confirm_windows = 3});
+  det.observe(std::vector<double>{0.99});
+  det.observe(std::vector<double>{0.99});
+  const auto verdicts =
+      det.score_windows(std::vector<double>{0.99, 0.1}, 1);
+  EXPECT_TRUE(verdicts[0].alarm);
+  EXPECT_EQ(det.alarm_window(), 2u);
+}
+
+TEST(OnlineDetector, ScoreWindowsRejectsMalformedInput) {
+  StubModel model;
+  OnlineDetector det(model);
+  EXPECT_THROW(det.score_windows(std::vector<double>{1.0, 2.0, 3.0}, 2),
+               PreconditionError);
+  EXPECT_THROW(det.score_windows(std::vector<double>{1.0}, 0),
+               PreconditionError);
+}
+
 }  // namespace
 }  // namespace hmd::core

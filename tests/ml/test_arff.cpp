@@ -82,6 +82,55 @@ TEST(Arff, WrongFieldCountThrows) {
   EXPECT_THROW(read_arff(in), ParseError);
 }
 
+TEST(Arff, EmptyDataSectionThrows) {
+  std::istringstream in(
+      "@relation t\n@attribute f numeric\n@attribute class {a,b}\n@data\n");
+  EXPECT_THROW(read_arff(in), ParseError);
+}
+
+TEST(Arff, CommentsOnlyDataSectionThrows) {
+  std::istringstream in(
+      "@relation t\n@attribute f numeric\n@attribute class {a,b}\n@data\n"
+      "% no rows here\n");
+  EXPECT_THROW(read_arff(in), ParseError);
+}
+
+TEST(Arff, TruncatedFileThrows) {
+  // File cut off before the @data marker ever appears.
+  std::istringstream in("@relation t\n@attribute f numeric\n@attribute cl");
+  EXPECT_THROW(read_arff(in), ParseError);
+}
+
+TEST(Arff, TruncatedNominalSpecThrows) {
+  std::istringstream in("@relation t\n@attribute class {a,b\n");
+  EXPECT_THROW(read_arff(in), ParseError);
+}
+
+TEST(Arff, UnterminatedQuotedAttributeNameThrows) {
+  std::istringstream in("@relation t\n@attribute 'oops numeric\n");
+  EXPECT_THROW(read_arff(in), ParseError);
+}
+
+TEST(Arff, TooFewFieldsThrows) {
+  std::istringstream in(
+      "@relation t\n@attribute f numeric\n@attribute g numeric\n"
+      "@attribute class {a,b}\n@data\n"
+      "1.0,a\n");
+  EXPECT_THROW(read_arff(in), ParseError);
+}
+
+TEST(Arff, NonNumericCellThrows) {
+  std::istringstream in(
+      "@relation t\n@attribute f numeric\n@attribute class {a,b}\n@data\n"
+      "not_a_number,a\n");
+  EXPECT_THROW(read_arff(in), ParseError);
+}
+
+TEST(Arff, StrayHeaderGarbageThrows) {
+  std::istringstream in("@relation t\nbogus line\n@data\n");
+  EXPECT_THROW(read_arff(in), ParseError);
+}
+
 TEST(Arff, UnknownNominalValueThrows) {
   std::istringstream in(
       "@relation t\n@attribute f numeric\n@attribute class {a,b}\n@data\n"

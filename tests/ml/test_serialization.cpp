@@ -42,14 +42,20 @@ TEST_P(RoundTripSweep, BinaryPredictionsIdentical) {
 }
 
 TEST_P(RoundTripSweep, MulticlassPredictionsIdentical) {
+  if (GetParam() == "Mahalanobis")
+    GTEST_SKIP() << "benign-only detector is binary by construction";
   const Dataset d = three_class(120);
   expect_roundtrip(GetParam(), d, d);
 }
 
+// Every scheme the registry can construct must round-trip through the
+// model format — registry.hpp is the source of truth for this list.
 INSTANTIATE_TEST_SUITE_P(Schemes, RoundTripSweep,
                          ::testing::Values("ZeroR", "OneR", "DecisionStump",
                                            "J48", "JRip", "NaiveBayes",
-                                           "MLR", "SVM", "MLP"));
+                                           "MLR", "SVM", "MLP", "IBk",
+                                           "AdaBoostM1", "Bagging",
+                                           "Mahalanobis"));
 
 TEST(Serialization, DistributionsAlsoRoundTrip) {
   const Dataset d = three_class(100);
@@ -85,12 +91,19 @@ TEST(Serialization, UntrainedModelThrows) {
   EXPECT_THROW(save_model(out, *clf), PreconditionError);
 }
 
+/// A trained classifier the model format knows nothing about.
+class Unserializable final : public Classifier {
+ public:
+  void train(const Dataset&) override {}
+  std::size_t predict(std::span<const double>) const override { return 0; }
+  std::string name() const override { return "Unserializable"; }
+  std::size_t num_classes() const override { return 2; }
+};
+
 TEST(Serialization, UnsupportedSchemeThrows) {
-  const Dataset d = separable_binary(60);
-  auto knn = make_classifier("IBk");
-  knn->train(d);
+  Unserializable clf;
   std::ostringstream out;
-  EXPECT_THROW(save_model(out, *knn), PreconditionError);
+  EXPECT_THROW(save_model(out, clf), PreconditionError);
 }
 
 TEST(Serialization, RejectsBadHeader) {

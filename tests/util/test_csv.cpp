@@ -42,6 +42,33 @@ TEST(CsvRead, RaggedRowThrows) {
   EXPECT_THROW(read_csv(in), ParseError);
 }
 
+TEST(CsvRead, TruncatedRowThrows) {
+  // A row cut short (fewer columns than the header) is a parse error, not a
+  // silently padded record.
+  std::istringstream in("a,b,c\n1,2,3\n4,5\n");
+  EXPECT_THROW(read_csv(in), ParseError);
+}
+
+TEST(CsvRead, TruncatedFileMidQuoteThrows) {
+  // Stream ends inside a quoted field — e.g. a partial download.
+  std::istringstream in("a,b\n1,\"unfinis");
+  EXPECT_THROW(read_csv(in), ParseError);
+}
+
+TEST(CsvRead, HeaderOnlyYieldsNoRows) {
+  std::istringstream in("a,b,c\n");
+  const CsvTable t = read_csv(in);
+  EXPECT_EQ(t.header.size(), 3u);
+  EXPECT_TRUE(t.rows.empty());
+}
+
+TEST(CsvRead, EmptyStreamYieldsEmptyTable) {
+  std::istringstream in("");
+  const CsvTable t = read_csv(in);
+  EXPECT_TRUE(t.header.empty());
+  EXPECT_TRUE(t.rows.empty());
+}
+
 TEST(CsvRead, UnterminatedQuoteThrows) {
   std::istringstream in("a\n\"oops\n");
   EXPECT_THROW(read_csv(in), ParseError);

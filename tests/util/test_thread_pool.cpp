@@ -1,0 +1,166 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace hmd {
+namespace {
+
+TEST(ThreadPool, ConstructionSpawnsRequestedWorkers) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ThreadPool, ZeroThreadsClampedToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+}
+
+TEST(ThreadPool, TeardownDrainsPendingTasks) {
+  std::atomic<int> executed{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i)
+      (void)pool.submit([&executed] { ++executed; });
+    // Destructor must run everything already queued before joining.
+  }
+  EXPECT_EQ(executed.load(), 50);
+}
+
+TEST(ThreadPool, RepeatedConstructTeardownIsClean) {
+  for (int round = 0; round < 20; ++round) {
+    ThreadPool pool(4);
+    std::atomic<int> ran{0};
+    pool.submit([&ran] { ++ran; }).wait();
+    EXPECT_EQ(ran.load(), 1);
+  }
+}
+
+TEST(ThreadPool, SubmitRejectsNullTask) {
+  ThreadPool pool(1);
+  EXPECT_THROW((void)pool.submit(nullptr), PreconditionError);
+}
+
+TEST(ThreadPool, TaskExceptionPropagatesThroughHandle) {
+  ThreadPool pool(2);
+  auto handle = pool.submit([] { throw Error("task blew up"); });
+  try {
+    handle.get();
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_STREQ(e.what(), "task blew up");
+  }
+}
+
+TEST(ThreadPool, PoolSurvivesThrowingTasks) {
+  ThreadPool pool(2);
+  auto bad = pool.submit([] { throw Error("boom"); });
+  EXPECT_THROW(bad.get(), Error);
+  std::atomic<int> ran{0};
+  pool.submit([&ran] { ++ran; }).wait();
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  const std::size_t n = 10000;
+  std::vector<std::atomic<int>> hits(n);
+  parallel_for(&pool, n, [&](std::size_t i) { ++hits[i]; });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ParallelFor, NullPoolRunsSerially) {
+  std::vector<std::size_t> order;
+  parallel_for(nullptr, 5, [&](std::size_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelFor, ExceptionInIterationRethrown) {
+  ThreadPool pool(4);
+  EXPECT_THROW(parallel_for(&pool, 100,
+                            [](std::size_t i) {
+                              if (i == 37) throw Error("iteration 37");
+                            }),
+               Error);
+}
+
+TEST(ParallelFor, ExceptionSkipsRemainingIterations) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(parallel_for(&pool, 100000,
+                            [&](std::size_t) {
+                              ++ran;
+                              throw Error("first iteration fails");
+                            }),
+               Error);
+  // The batch bails out once a failure is recorded; with 2 workers plus
+  // the caller at most a handful of iterations can be in flight.
+  EXPECT_LT(ran.load(), 100);
+}
+
+TEST(ParallelMap, PreservesInputOrder) {
+  ThreadPool pool(4);
+  std::vector<int> items(200);
+  std::iota(items.begin(), items.end(), 0);
+  const auto results = parallel_map(&pool, items, [](int x) {
+    // Stagger completion so out-of-order finishes would be visible.
+    if (x % 7 == 0)
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    return x * x;
+  });
+  ASSERT_EQ(results.size(), items.size());
+  for (std::size_t i = 0; i < items.size(); ++i)
+    EXPECT_EQ(results[i], static_cast<int>(i * i)) << i;
+}
+
+TEST(ParallelMap, WorksWithNonDefaultConstructibleResults) {
+  struct NoDefault {
+    explicit NoDefault(int v) : value(v) {}
+    int value;
+  };
+  ThreadPool pool(2);
+  const std::vector<int> items = {1, 2, 3};
+  const auto results =
+      parallel_map(&pool, items, [](int x) { return NoDefault(x * 10); });
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(results[2].value, 30);
+}
+
+TEST(ParallelFor, NestedFanOutCompletesWithoutDeadlock) {
+  ThreadPool pool(2);  // fewer workers than outer iterations on purpose
+  const std::size_t outer = 8, inner = 16;
+  std::vector<std::atomic<int>> hits(outer * inner);
+  parallel_for(&pool, outer, [&](std::size_t o) {
+    // Runs on a worker; the nested batch must not block on pool capacity.
+    parallel_for(&pool, inner,
+                 [&](std::size_t i) { ++hits[o * inner + i]; });
+  });
+  for (std::size_t i = 0; i < hits.size(); ++i)
+    EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, OnWorkerThreadDetection) {
+  ThreadPool pool(2);
+  EXPECT_FALSE(pool.on_worker_thread());
+  std::atomic<bool> seen_on_worker{false};
+  pool.submit([&] { seen_on_worker = pool.on_worker_thread(); }).wait();
+  EXPECT_TRUE(seen_on_worker.load());
+}
+
+TEST(DefaultJobs, AtLeastOne) { EXPECT_GE(default_jobs(), 1u); }
+
+TEST(GlobalPool, StableIdentity) {
+  EXPECT_EQ(&global_pool(), &global_pool());
+  EXPECT_GE(global_pool().size(), 1u);
+}
+
+}  // namespace
+}  // namespace hmd

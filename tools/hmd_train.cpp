@@ -6,8 +6,8 @@
 //
 // Usage:
 //   hmd_train --data FILE [--scheme NAME] [--binary] [--top-k N]
-//             [--threshold P] [--confirm N] [--seed N]
-//             [--model FILE | --bundle FILE]
+//             [--threshold P] [--confirm N] [--seed N] [--jobs N]
+//             [--cv K] [--sweep] [--model FILE | --bundle FILE]
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -16,11 +16,14 @@
 #include "core/deployment.hpp"
 #include "core/feature_reduction.hpp"
 #include "ml/arff.hpp"
+#include "ml/cross_validation.hpp"
 #include "ml/evaluation.hpp"
 #include "ml/registry.hpp"
 #include "ml/serialization.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -34,9 +37,37 @@ namespace {
       "  --threshold P  bundle alarm threshold (default 0.97)\n"
       "  --confirm N    bundle confirmation windows (default 4)\n"
       "  --seed N       split seed (default 7)\n"
+      "  --jobs N       experiment threads (default: HMD_JOBS or hardware)\n"
+      "  --cv K         report K-fold cross-validation of the scheme\n"
+      "  --sweep        compare the full study classifier set in parallel\n"
+      "                 (binary study set with --binary, else MLR/MLP/SVM)\n"
       "  --model FILE   save the bare model\n"
       "  --bundle FILE  save a full deployment bundle (binary only)\n";
   std::exit(2);
+}
+
+/// Fan the study classifier sweep across the pool and print a table.
+void run_sweep(const hmd::ml::Dataset& train, const hmd::ml::Dataset& test,
+               bool binary, hmd::ThreadPool& pool) {
+  using namespace hmd;
+  const std::vector<std::string> schemes =
+      binary ? ml::binary_study_classifiers()
+             : ml::multiclass_study_classifiers();
+  std::cerr << "sweeping " << schemes.size() << " classifiers across "
+            << pool.size() << " threads\n";
+  const auto evals =
+      parallel_map(&pool, schemes, [&](const std::string& scheme) {
+        auto clf = ml::make_classifier(scheme);
+        clf->train(train);
+        return ml::evaluate(*clf, test);
+      });
+  TextTable table("classifier sweep (test split)");
+  table.set_header({"scheme", "accuracy %", "macro recall %", "kappa"});
+  for (std::size_t i = 0; i < schemes.size(); ++i)
+    table.add_row({schemes[i], format("%.2f", evals[i].accuracy() * 100.0),
+                   format("%.2f", evals[i].macro_recall() * 100.0),
+                   format("%.3f", evals[i].kappa())});
+  table.print(std::cout);
 }
 
 }  // namespace
@@ -45,31 +76,34 @@ int main(int argc, char** argv) {
   using namespace hmd;
 
   std::string data_path, scheme = "MLR", model_path, bundle_path;
-  bool binary = false;
-  std::size_t top_k = 0;
+  bool binary = false, sweep = false;
+  std::size_t top_k = 0, cv_folds = 0, jobs = default_jobs();
   core::OnlineDetectorConfig policy;
   std::uint64_t seed = 7;
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto next = [&]() -> std::string {
-      if (i + 1 >= argc) usage();
-      return argv[++i];
-    };
-    if (arg == "--data") data_path = next();
-    else if (arg == "--scheme") scheme = next();
-    else if (arg == "--binary") binary = true;
-    else if (arg == "--top-k") top_k = static_cast<std::size_t>(parse_int(next()));
-    else if (arg == "--threshold") policy.flag_threshold = parse_double(next());
-    else if (arg == "--confirm") policy.confirm_windows = static_cast<std::size_t>(parse_int(next()));
-    else if (arg == "--seed") seed = static_cast<std::uint64_t>(parse_int(next()));
-    else if (arg == "--model") model_path = next();
-    else if (arg == "--bundle") bundle_path = next();
-    else usage();
-  }
-  if (data_path.empty()) usage();
-
   try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto next = [&]() -> std::string {
+        if (i + 1 >= argc) usage();
+        return argv[++i];
+      };
+      if (arg == "--data") data_path = next();
+      else if (arg == "--scheme") scheme = next();
+      else if (arg == "--binary") binary = true;
+      else if (arg == "--top-k") top_k = static_cast<std::size_t>(parse_int(next()));
+      else if (arg == "--threshold") policy.flag_threshold = parse_double(next());
+      else if (arg == "--confirm") policy.confirm_windows = static_cast<std::size_t>(parse_int(next()));
+      else if (arg == "--seed") seed = static_cast<std::uint64_t>(parse_int(next()));
+      else if (arg == "--jobs") jobs = static_cast<std::size_t>(parse_int(next()));
+      else if (arg == "--cv") cv_folds = static_cast<std::size_t>(parse_int(next()));
+      else if (arg == "--sweep") sweep = true;
+      else if (arg == "--model") model_path = next();
+      else if (arg == "--bundle") bundle_path = next();
+      else usage();
+    }
+    if (data_path.empty()) usage();
+
     const ml::Dataset multi =
         core::DatasetBuilder::load_dataset_csv(data_path);
     std::cerr << "loaded " << multi.num_instances() << " rows\n";
@@ -86,8 +120,24 @@ int main(int argc, char** argv) {
         binary ? core::DatasetBuilder::to_binary(multi) : multi;
     if (top_k > 0) labelled = labelled.project(features.indices);
 
+    ThreadPool pool(jobs);
+
     Rng rng(seed);
     const auto [train, test] = labelled.stratified_split(0.7, rng);
+
+    if (sweep) run_sweep(train, test, binary, pool);
+
+    if (cv_folds >= 2) {
+      Rng cv_rng(seed);
+      const auto cv = ml::cross_validate(
+          [&scheme] { return ml::make_classifier(scheme); }, labelled,
+          cv_folds, cv_rng, {.num_threads = pool.size(), .pool = &pool});
+      std::cerr << format(
+          "%s %zu-fold CV: pooled %.2f%%, fold mean %.2f%% (sd %.3f)\n",
+          scheme.c_str(), cv_folds, cv.pooled.accuracy() * 100.0,
+          cv.mean_accuracy() * 100.0, cv.stddev_accuracy());
+    }
+
     auto model = ml::make_classifier(scheme);
     model->train(train);
     const auto eval = ml::evaluate(*model, test);
