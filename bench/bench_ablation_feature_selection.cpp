@@ -55,7 +55,7 @@ void print_ablation() {
   {
     std::vector<std::string> row = {"(all)", "16"};
     for (const auto& r : study.run(schemes))
-      row.push_back(format("%.2f", r.accuracy * 100.0));
+      row.push_back(format("%.2f", r.accuracy() * 100.0));
     table.add_row(row);
   }
   for (const auto& sel : selectors) {
@@ -64,7 +64,7 @@ void print_ablation() {
           std::pair{std::string("4"), &sel.top4}}) {
       std::vector<std::string> row = {sel.name, label};
       for (const auto& r : study.run(schemes, fs))
-        row.push_back(format("%.2f", r.accuracy * 100.0));
+        row.push_back(format("%.2f", r.accuracy() * 100.0));
       table.add_row(row);
     }
   }

@@ -1,13 +1,15 @@
 #include "bench/bench_common.hpp"
 
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 
 #include "ml/registry.hpp"
+#include "util/metrics.hpp"
 #include "util/rng.hpp"
 #include "util/strings.hpp"
+#include "util/trace.hpp"
 
 namespace hmd::bench {
 
@@ -104,20 +106,45 @@ const BinaryStudyResults& binary_study_results() {
                  "[bench] training %zu classifiers x 3 feature sets "
                  "(%zu jobs)\n",
                  schemes.size(), pool.size());
-    const auto start = std::chrono::steady_clock::now();
+    TraceSpan sweep("bench/binary_study");
     BinaryStudyResults r{study.run(schemes, nullptr, &pool),
                          study.run(schemes, &top8, &pool),
                          study.run(schemes, &top4, &pool)};
-    const std::chrono::duration<double> elapsed =
-        std::chrono::steady_clock::now() - start;
     std::fprintf(stderr, "[bench] classifier sweep took %.2f s\n",
-                 elapsed.count());
+                 sweep.elapsed_seconds());
     return r;
   }();
   return results;
 }
 
+void init_observability() {
+  static const bool initialized = [] {
+    const char* metrics_out = std::getenv("HMD_METRICS_OUT");
+    const char* trace_out = std::getenv("HMD_TRACE_OUT");
+    if (trace_out != nullptr && *trace_out != '\0')
+      tracer().set_enabled(true);
+    if ((metrics_out != nullptr && *metrics_out != '\0') ||
+        (trace_out != nullptr && *trace_out != '\0')) {
+      std::atexit([] {
+        if (const char* path = std::getenv("HMD_METRICS_OUT");
+            path != nullptr && *path != '\0') {
+          std::ofstream out(path);
+          metrics().write_json(out);
+        }
+        if (const char* path = std::getenv("HMD_TRACE_OUT");
+            path != nullptr && *path != '\0') {
+          std::ofstream out(path);
+          tracer().write_chrome_json(out);
+        }
+      });
+    }
+    return true;
+  }();
+  (void)initialized;
+}
+
 void print_banner(const std::string& title) {
+  init_observability();
   const auto& d = multiclass_dataset();
   std::printf("==========================================================\n");
   std::printf("%s\n", title.c_str());

@@ -40,8 +40,15 @@ std::pair<const ml::Dataset&, const ml::Dataset&> binary_split();
 /// Feature reducer fitted on the multiclass TRAINING split.
 const core::FeatureReducer& feature_reducer();
 
-/// Prints the standard bench banner (dataset size, scale).
+/// Prints the standard bench banner (dataset size, scale) and initializes
+/// observability export (see init_observability).
 void print_banner(const std::string& title);
+
+/// Wires the process metrics/trace registries to the environment:
+///   HMD_METRICS_OUT  write flat metrics JSON here at exit
+///   HMD_TRACE_OUT    enable span collection; write Chrome trace JSON here
+/// Idempotent; print_banner calls it, so every bench exports for free.
+void init_observability();
 
 /// The shared experiment pool all benches fan sweeps across, sized by
 /// HMD_JOBS (default: hardware concurrency). Results are bit-identical to

@@ -4,13 +4,13 @@
 // features, while J48/OneR barely move.
 #include <benchmark/benchmark.h>
 
-#include <chrono>
 #include <iostream>
 
 #include "bench/bench_common.hpp"
 #include "ml/registry.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
+#include "util/trace.hpp"
 
 namespace {
 
@@ -26,11 +26,10 @@ void log_sweep_speedup() {
   ThreadPool& pool = bench::bench_pool();
 
   const auto time_run = [&](ThreadPool* p) {
-    const auto start = std::chrono::steady_clock::now();
+    TraceSpan timer(p == nullptr ? "fig13/sweep_serial"
+                                 : "fig13/sweep_parallel");
     const auto rows = study.run(schemes, nullptr, p);
-    const std::chrono::duration<double> elapsed =
-        std::chrono::steady_clock::now() - start;
-    return std::pair{elapsed.count(), rows};
+    return std::pair{timer.elapsed_seconds(), rows};
   };
   const auto [serial_s, serial_rows] = time_run(nullptr);
   const auto [parallel_s, parallel_rows] = time_run(&pool);
@@ -38,7 +37,7 @@ void log_sweep_speedup() {
   bool identical = serial_rows.size() == parallel_rows.size();
   for (std::size_t i = 0; identical && i < serial_rows.size(); ++i)
     identical = serial_rows[i].scheme == parallel_rows[i].scheme &&
-                serial_rows[i].accuracy == parallel_rows[i].accuracy;
+                serial_rows[i].accuracy() == parallel_rows[i].accuracy();
   std::fprintf(stderr,
                "[bench] fig13 sweep: serial %.2f s, %zu jobs %.2f s -> "
                "%.2fx speedup, results %s\n",
@@ -55,12 +54,12 @@ void print_fig13() {
   table.set_header({"classifier", "16 features", "8 features", "4 features",
                     "drop 16->4 (pp)"});
   for (std::size_t i = 0; i < r.full.size(); ++i) {
-    table.add_row({r.full[i].scheme,
-                   format("%.2f", r.full[i].accuracy * 100.0),
-                   format("%.2f", r.top8[i].accuracy * 100.0),
-                   format("%.2f", r.top4[i].accuracy * 100.0),
-                   format("%+.2f", (r.top4[i].accuracy - r.full[i].accuracy) *
-                                       100.0)});
+    table.add_row(
+        {r.full[i].scheme, format("%.2f", r.full[i].accuracy() * 100.0),
+         format("%.2f", r.top8[i].accuracy() * 100.0),
+         format("%.2f", r.top4[i].accuracy() * 100.0),
+         format("%+.2f",
+                (r.top4[i].accuracy() - r.full[i].accuracy()) * 100.0)});
   }
   table.print(std::cout);
 }

@@ -23,7 +23,7 @@ void print_fig18() {
   std::vector<std::string> header = {"class"};
   const std::vector<std::string> schemes = ml::multiclass_study_classifiers();
   for (const std::string& scheme : schemes) header.push_back(scheme);
-  const std::vector<ml::EvaluationResult> evals =
+  const std::vector<ml::EvaluationReport> evals =
       parallel_map(&bench::bench_pool(), schemes, [&](const std::string& s) {
         return core::train_and_evaluate(s, train, test).evaluation;
       });

@@ -63,8 +63,7 @@ void print_fig19() {
   table.set_header({"features k", "PCA-assisted %", "non-custom avg %",
                     "gain (pp)"});
   double custom8 = 0.0;
-  ml::EvaluationResult custom8_eval(train.num_classes(),
-                                    train.class_attribute().values());
+  ml::EvaluationReport custom8_eval;
   const std::vector<std::size_t> ks = {8, 6, 4};
   // Fan the k-sweep across the pool; the nested baseline fan-out runs
   // inline on whichever thread owns each k.

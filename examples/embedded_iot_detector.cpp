@@ -59,7 +59,7 @@ int main() {
     const double fixed_acc =
         hw::evaluate_fixed_point(*clf, btest.project(top4.indices))
             .accuracy();
-    table.add_row({scheme, format("%.2f", row.accuracy * 100.0),
+    table.add_row({scheme, format("%.2f", row.accuracy() * 100.0),
                    format("%.0f", row.synthesis.area_slices()),
                    std::to_string(row.synthesis.resources.dsps),
                    format("%.2f", row.synthesis.latency_us()),

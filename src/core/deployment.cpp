@@ -21,6 +21,9 @@ DeploymentBundle::DeploymentBundle(std::unique_ptr<ml::Classifier> model,
               "DeploymentBundle: model is not trained");
   HMD_REQUIRE(features_.indices.size() == features_.names.size(),
               "DeploymentBundle: feature set indices/names mismatch");
+  // Reject broken alarm policies at assembly time, not first monitor use —
+  // this also guards load_bundle against corrupt persisted policies.
+  policy_.validate();
 }
 
 std::vector<double> DeploymentBundle::project(

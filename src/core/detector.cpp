@@ -3,18 +3,24 @@
 #include <algorithm>
 
 #include "hw/lowering.hpp"
+#include "ml/instrumented.hpp"
 #include "ml/registry.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
+#include "util/trace.hpp"
 
 namespace hmd::core {
 
 TrainedModel train_and_evaluate(const std::string& scheme,
                                 const ml::Dataset& train,
                                 const ml::Dataset& test) {
-  std::unique_ptr<ml::Classifier> model = ml::make_classifier(scheme);
+  std::unique_ptr<ml::Classifier> model =
+      ml::instrument(ml::make_classifier(scheme));
+  TraceSpan timer("");
   model->train(train);
-  ml::EvaluationResult evaluation = ml::evaluate(*model, test);
+  const double train_seconds = timer.elapsed_seconds();
+  ml::EvaluationReport evaluation = ml::evaluate(*model, test);
+  evaluation.train_seconds = train_seconds;
   return {std::move(model), std::move(evaluation)};
 }
 
@@ -35,11 +41,13 @@ std::vector<BinaryStudyRow> BinaryStudy::run(const std::vector<std::string>& sch
   const ml::Dataset test = project ? test_.project(features->indices) : test_;
 
   return parallel_map(pool, schemes, [&](const std::string& scheme) {
+    HMD_TRACE_SPAN("study/" + scheme + "/" +
+                   std::to_string(train.num_features()) + "f");
     TrainedModel tm = train_and_evaluate(scheme, train, test);
     BinaryStudyRow row;
     row.scheme = scheme;
     row.num_features = train.num_features();
-    row.accuracy = tm.evaluation.accuracy();
+    row.report = std::move(tm.evaluation);
     row.synthesis =
         hw::synthesize_classifier(*tm.model, train.num_features());
     return row;
@@ -117,13 +125,17 @@ std::size_t PcaAssistedOvr::predict(std::span<const double> features) const {
   return best;
 }
 
-ml::EvaluationResult PcaAssistedOvr::evaluate(const ml::Dataset& test) const {
+ml::EvaluationReport PcaAssistedOvr::evaluate(const ml::Dataset& test) const {
   HMD_REQUIRE(test.num_classes() == class_names_.size(),
               "PcaAssistedOvr: test class mismatch");
-  ml::EvaluationResult result(test.num_classes(), class_names_);
+  ml::EvaluationReport report;
+  report.scheme = "PcaOvr/" + config_.scheme;
+  report.result = ml::EvaluationResult(test.num_classes(), class_names_);
+  TraceSpan timer("");
   for (std::size_t i = 0; i < test.num_instances(); ++i)
-    result.record(test.class_of(i), predict(test.features_of(i)));
-  return result;
+    report.record(test.class_of(i), predict(test.features_of(i)));
+  report.predict_seconds = timer.elapsed_seconds();
+  return report;
 }
 
 }  // namespace hmd::core

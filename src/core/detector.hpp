@@ -23,9 +23,11 @@
 namespace hmd::core {
 
 /// Train a fresh `scheme` classifier on `train`, evaluate on `test`.
+/// The classifier is wrapped in the metrics-instrumented decorator, so
+/// every study run feeds the per-scheme train/predict histograms.
 struct TrainedModel {
   std::unique_ptr<ml::Classifier> model;
-  ml::EvaluationResult evaluation;
+  ml::EvaluationReport evaluation;
 };
 TrainedModel train_and_evaluate(const std::string& scheme,
                                 const ml::Dataset& train,
@@ -35,12 +37,13 @@ TrainedModel train_and_evaluate(const std::string& scheme,
 struct BinaryStudyRow {
   std::string scheme;
   std::size_t num_features = 0;
-  double accuracy = 0.0;
+  ml::EvaluationReport report;  ///< full evaluation incl. train/test time
   hw::SynthesisReport synthesis;
 
+  double accuracy() const { return report.accuracy(); }
   double accuracy_per_slice() const {
     const double area = synthesis.area_slices();
-    return area > 0.0 ? accuracy / area : 0.0;
+    return area > 0.0 ? accuracy() / area : 0.0;
   }
 };
 
@@ -89,7 +92,7 @@ class PcaAssistedOvr {
   void train(const ml::Dataset& train);
 
   std::size_t predict(std::span<const double> features) const;
-  ml::EvaluationResult evaluate(const ml::Dataset& test) const;
+  ml::EvaluationReport evaluate(const ml::Dataset& test) const;
 
   /// The per-class feature subsets actually used.
   const std::vector<FeatureSet>& class_features() const { return features_; }

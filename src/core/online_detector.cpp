@@ -1,16 +1,73 @@
 #include "core/online_detector.hpp"
 
+#include <algorithm>
+
 #include "util/error.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
 
 namespace hmd::core {
+
+namespace {
+
+/// Deployment-side instruments, resolved once per process.
+struct DetectorInstruments {
+  Counter& windows_scored;
+  Counter& windows_flagged;
+  Counter& alarms;
+  Histogram& alarm_latency_windows;
+  Histogram& batch_us;
+
+  static DetectorInstruments& get() {
+    static DetectorInstruments instance{
+        metrics().counter("online_detector.windows_scored"),
+        metrics().counter("online_detector.windows_flagged"),
+        metrics().counter("online_detector.alarms"),
+        metrics().histogram("online_detector.alarm_latency_windows",
+                            default_count_buckets()),
+        metrics().histogram("online_detector.batch_us",
+                            default_latency_buckets_us())};
+    return instance;
+  }
+};
+
+/// Windows per distribution_batch call in score_windows: large enough to
+/// amortize the virtual call, small enough to split across workers.
+constexpr std::size_t kScoreChunk = 256;
+
+}  // namespace
+
+void OnlineDetectorConfig::validate() const {
+  HMD_REQUIRE(flag_threshold > 0.0 && flag_threshold < 1.0,
+              "OnlineDetectorConfig: flag_threshold must be in (0, 1)");
+  HMD_REQUIRE(confirm_windows >= 1,
+              "OnlineDetectorConfig: confirm_windows must be at least 1");
+}
 
 OnlineDetector::OnlineDetector(const ml::Classifier& model,
                                OnlineDetectorConfig config)
     : model_(model), config_(config) {
-  HMD_REQUIRE(config_.flag_threshold > 0.0 && config_.flag_threshold < 1.0,
-              "flag_threshold must be in (0, 1)");
-  HMD_REQUIRE(config_.confirm_windows >= 1,
-              "confirm_windows must be at least 1");
+  config_.validate();
+}
+
+void OnlineDetector::advance(Verdict& verdict) {
+  DetectorInstruments& instruments = DetectorInstruments::get();
+  verdict.flagged = verdict.probability > config_.flag_threshold;
+  instruments.windows_scored.add();
+  if (verdict.flagged) {
+    ++flagged_;
+    instruments.windows_flagged.add();
+  }
+  streak_ = verdict.flagged ? streak_ + 1 : 0;
+  if (!alarmed_ && streak_ >= config_.confirm_windows) {
+    alarmed_ = true;
+    alarm_window_ = windows_;
+    instruments.alarms.add();
+    instruments.alarm_latency_windows.record(
+        static_cast<double>(windows_ + 1));
+  }
+  verdict.alarm = alarmed_;
+  ++windows_;
 }
 
 OnlineDetector::Verdict OnlineDetector::observe(
@@ -19,15 +76,7 @@ OnlineDetector::Verdict OnlineDetector::observe(
               "OnlineDetector needs a binary (benign/malware) model");
   Verdict verdict;
   verdict.probability = model_.distribution(counts)[1];
-  verdict.flagged = verdict.probability > config_.flag_threshold;
-
-  streak_ = verdict.flagged ? streak_ + 1 : 0;
-  if (!alarmed_ && streak_ >= config_.confirm_windows) {
-    alarmed_ = true;
-    alarm_window_ = windows_;
-  }
-  verdict.alarm = alarmed_;
-  ++windows_;
+  advance(verdict);
   return verdict;
 }
 
@@ -39,13 +88,27 @@ std::vector<OnlineDetector::Verdict> OnlineDetector::score_windows(
   HMD_REQUIRE(flat.size() % window_size == 0,
               "score_windows: input not a whole number of windows");
   const std::size_t num_windows = flat.size() / window_size;
+  HMD_TRACE_SPAN("online_detector/score_windows");
 
-  // Stage 1 (parallel): per-window malware probabilities. Classifier
-  // prediction is const and thread-compatible; each slot is written once.
+  // Stage 1 (parallel): per-window malware probabilities, computed chunk
+  // by chunk through distribution_batch so schemes with buffer-reusing
+  // overrides avoid a heap allocation per window. Each chunk writes a
+  // disjoint slice; each slot is written once.
   std::vector<double> probabilities(num_windows);
-  parallel_for(pool, num_windows, [&](std::size_t w) {
-    probabilities[w] =
-        model_.distribution(flat.subspan(w * window_size, window_size))[1];
+  const std::size_t num_chunks =
+      (num_windows + kScoreChunk - 1) / kScoreChunk;
+  DetectorInstruments& instruments = DetectorInstruments::get();
+  parallel_for(pool, num_chunks, [&](std::size_t c) {
+    const std::size_t begin = c * kScoreChunk;
+    const std::size_t count = std::min(kScoreChunk, num_windows - begin);
+    TraceSpan timer("");
+    std::vector<double> dist(count * 2);
+    model_.distribution_batch(
+        flat.subspan(begin * window_size, count * window_size), window_size,
+        dist);
+    for (std::size_t w = 0; w < count; ++w)
+      probabilities[begin + w] = dist[w * 2 + 1];
+    instruments.batch_us.record(timer.elapsed_seconds() * 1e6);
   });
 
   // Stage 2 (serial): the order-dependent streak/alarm state machine,
@@ -55,14 +118,7 @@ std::vector<OnlineDetector::Verdict> OnlineDetector::score_windows(
   for (std::size_t w = 0; w < num_windows; ++w) {
     Verdict verdict;
     verdict.probability = probabilities[w];
-    verdict.flagged = verdict.probability > config_.flag_threshold;
-    streak_ = verdict.flagged ? streak_ + 1 : 0;
-    if (!alarmed_ && streak_ >= config_.confirm_windows) {
-      alarmed_ = true;
-      alarm_window_ = windows_;
-    }
-    verdict.alarm = alarmed_;
-    ++windows_;
+    advance(verdict);
     verdicts.push_back(verdict);
   }
   return verdicts;
@@ -70,6 +126,7 @@ std::vector<OnlineDetector::Verdict> OnlineDetector::score_windows(
 
 void OnlineDetector::reset() {
   windows_ = 0;
+  flagged_ = 0;
   streak_ = 0;
   alarmed_ = false;
   alarm_window_ = kNoAlarm;

@@ -4,6 +4,13 @@
 // thresholds the malware probability and requires consecutive confirmation
 // before raising an alarm — trading detection latency for false-positive
 // rate, exactly the knob an SOC team tunes.
+//
+// Deployment counters feed the process metrics registry:
+//   online_detector.windows_scored   windows observed (all instances)
+//   online_detector.windows_flagged  windows above the flag threshold
+//   online_detector.alarms           alarms latched
+//   online_detector.alarm_latency_windows  histogram of windows-to-alarm
+//   online_detector.batch_us         histogram of score_windows chunk time
 #pragma once
 
 #include <cstddef>
@@ -21,6 +28,12 @@ struct OnlineDetectorConfig {
   double flag_threshold = 0.97;
   /// Consecutive flagged windows required to raise the alarm.
   std::size_t confirm_windows = 4;
+
+  /// Throws hmd::PreconditionError unless flag_threshold is in (0, 1) and
+  /// confirm_windows >= 1. Call sites that accept external policy (the
+  /// detector constructor, deployment-bundle load) all funnel through
+  /// this, so a corrupt persisted policy cannot arm a broken monitor.
+  void validate() const;
 };
 
 /// Stateful per-program monitor. Feed it HPC windows in order; it reports
@@ -36,7 +49,8 @@ class OnlineDetector {
   };
 
   /// `model` must be a trained binary classifier (class 1 = malware) and
-  /// must outlive the detector.
+  /// must outlive the detector. Throws PreconditionError for an invalid
+  /// config (see OnlineDetectorConfig::validate).
   OnlineDetector(const ml::Classifier& model,
                  OnlineDetectorConfig config = {});
 
@@ -45,10 +59,11 @@ class OnlineDetector {
 
   /// Batched deployment-style scoring: `flat` holds consecutive windows of
   /// `window_size` counters each (row-major). Model evaluation — the hot
-  /// part — fans across `pool` (nullptr = serial); the streak/alarm state
-  /// machine then replays serially in window order, so the verdicts and
-  /// final detector state are bit-identical to calling observe() on each
-  /// window in sequence.
+  /// part — runs through Classifier::distribution_batch in chunks fanned
+  /// across `pool` (nullptr = serial); the streak/alarm state machine then
+  /// replays serially in window order, so the verdicts and final detector
+  /// state are bit-identical to calling observe() on each window in
+  /// sequence.
   std::vector<Verdict> score_windows(std::span<const double> flat,
                                      std::size_t window_size,
                                      ThreadPool* pool = nullptr);
@@ -59,13 +74,24 @@ class OnlineDetector {
   std::size_t alarm_window() const { return alarm_window_; }
   static constexpr std::size_t kNoAlarm = static_cast<std::size_t>(-1);
 
+  /// Fraction of observed windows that were flagged (0 before any window).
+  double flag_rate() const {
+    return windows_ == 0 ? 0.0
+                         : static_cast<double>(flagged_) /
+                               static_cast<double>(windows_);
+  }
+
   /// Forget all streak/alarm state (new program under observation).
   void reset();
 
  private:
+  /// Shared streak/alarm update for observe() and score_windows().
+  void advance(Verdict& verdict);
+
   const ml::Classifier& model_;
   OnlineDetectorConfig config_;
   std::size_t windows_ = 0;
+  std::size_t flagged_ = 0;
   std::size_t streak_ = 0;
   bool alarmed_ = false;
   std::size_t alarm_window_ = kNoAlarm;

@@ -5,10 +5,11 @@
 
 #include "util/error.hpp"
 #include "util/fixed_point.hpp"
+#include "util/trace.hpp"
 
 namespace hmd::hw {
 
-ml::EvaluationResult evaluate_fixed_point(const ml::Classifier& clf,
+ml::EvaluationReport evaluate_fixed_point(const ml::Classifier& clf,
                                           const ml::Dataset& test) {
   HMD_REQUIRE(!test.empty(), "evaluate_fixed_point: empty test set");
   // Per-feature scale so magnitudes fit the Q16.16 integer range; the same
@@ -23,16 +24,20 @@ ml::EvaluationResult evaluate_fixed_point(const ml::Classifier& clf,
     if (mx > 16000.0) scale[f] = 16000.0 / mx;
   }
 
-  ml::EvaluationResult result(test.num_classes(),
-                              test.class_attribute().values());
+  ml::EvaluationReport report;
+  report.scheme = "fixed_point/" + clf.name();
+  report.result = ml::EvaluationResult(test.num_classes(),
+                                       test.class_attribute().values());
+  TraceSpan timer("");
   std::vector<double> quantized(d);
   for (std::size_t i = 0; i < test.num_instances(); ++i) {
     const auto x = test.features_of(i);
     for (std::size_t f = 0; f < d; ++f)
       quantized[f] = quantize_q16(x[f] * scale[f]) / scale[f];
-    result.record(test.class_of(i), clf.predict(quantized));
+    report.record(test.class_of(i), clf.predict(quantized));
   }
-  return result;
+  report.predict_seconds = timer.elapsed_seconds();
+  return report;
 }
 
 }  // namespace hmd::hw

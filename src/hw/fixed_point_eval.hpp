@@ -11,7 +11,7 @@ namespace hmd::hw {
 
 /// Evaluate `clf` on `test` with every feature quantized to Q16.16 after
 /// per-feature scaling into the representable range.
-ml::EvaluationResult evaluate_fixed_point(const ml::Classifier& clf,
+ml::EvaluationReport evaluate_fixed_point(const ml::Classifier& clf,
                                           const ml::Dataset& test);
 
 }  // namespace hmd::hw

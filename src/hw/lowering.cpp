@@ -182,8 +182,9 @@ DataflowGraph lower_mlp(const ml::Mlp& model, std::size_t num_features) {
   return g;
 }
 
-DataflowGraph lower_classifier(const ml::Classifier& clf,
+DataflowGraph lower_classifier(const ml::Classifier& wrapped,
                                std::size_t num_features) {
+  const ml::Classifier& clf = wrapped.unwrap();
   if (const auto* m = dynamic_cast<const ml::OneR*>(&clf))
     return lower_one_r(*m, num_features);
   if (const auto* m = dynamic_cast<const ml::DecisionStump*>(&clf))

@@ -1,5 +1,7 @@
 #include "ml/classifier.hpp"
 
+#include <algorithm>
+
 #include "util/error.hpp"
 
 namespace hmd::ml {
@@ -11,6 +13,32 @@ std::vector<double> Classifier::distribution(
   HMD_ASSERT(p < dist.size());
   dist[p] = 1.0;
   return dist;
+}
+
+void Classifier::distribution_batch(std::span<const double> flat,
+                                    std::size_t window_size,
+                                    std::span<double> out) const {
+  const std::size_t rows = require_batch(flat, window_size, out);
+  const std::size_t k = num_classes();
+  for (std::size_t r = 0; r < rows; ++r) {
+    const std::vector<double> dist =
+        distribution(flat.subspan(r * window_size, window_size));
+    HMD_ASSERT(dist.size() == k);
+    std::copy(dist.begin(), dist.end(), out.begin() + r * k);
+  }
+}
+
+std::size_t Classifier::require_batch(std::span<const double> flat,
+                                      std::size_t window_size,
+                                      std::span<const double> out) const {
+  HMD_REQUIRE(window_size > 0,
+              "distribution_batch: window_size must be positive");
+  HMD_REQUIRE(flat.size() % window_size == 0,
+              "distribution_batch: input not a whole number of rows");
+  const std::size_t rows = flat.size() / window_size;
+  HMD_REQUIRE(out.size() == rows * num_classes(),
+              "distribution_batch: output size must be rows x num_classes");
+  return rows;
 }
 
 void Classifier::require_trainable(const Dataset& data) {

@@ -31,8 +31,25 @@ class Classifier {
   virtual std::vector<double> distribution(
       std::span<const double> features) const;
 
+  /// Batched distributions: `flat` holds consecutive feature rows of
+  /// `window_size` values each (row-major); writes row r's distribution to
+  /// out[r * num_classes() ... r * num_classes() + num_classes()).
+  /// `out.size()` must equal rows x num_classes(). The default loops over
+  /// distribution(); schemes override it to reuse buffers across rows
+  /// (batch scorers like OnlineDetector::score_windows call this once per
+  /// chunk instead of allocating a fresh vector per row).
+  virtual void distribution_batch(std::span<const double> flat,
+                                  std::size_t window_size,
+                                  std::span<double> out) const;
+
   /// Short WEKA-style scheme name ("J48", "JRip", "OneR", ...).
   virtual std::string name() const = 0;
+
+  /// The underlying scheme object. Identity for concrete schemes;
+  /// decorators (InstrumentedClassifier) forward to the wrapped model so
+  /// dynamic_cast-dispatched consumers (hardware lowering, serialization)
+  /// see the concrete type.
+  virtual const Classifier& unwrap() const { return *this; }
 
   /// Number of classes the trained model distinguishes (0 before train()).
   virtual std::size_t num_classes() const = 0;
@@ -40,6 +57,11 @@ class Classifier {
  protected:
   /// Shared precondition check for train().
   static void require_trainable(const Dataset& data);
+
+  /// Validates distribution_batch arguments; returns the row count.
+  std::size_t require_batch(std::span<const double> flat,
+                            std::size_t window_size,
+                            std::span<const double> out) const;
 };
 
 /// Factory signature used by the experiment harness.

@@ -5,6 +5,8 @@
 #include <utility>
 
 #include "util/error.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
 
 namespace hmd::ml {
 
@@ -29,6 +31,9 @@ namespace {
 struct FoldOutcome {
   std::vector<std::pair<std::size_t, std::size_t>> records;  ///< actual, pred
   double accuracy = 0.0;
+  std::string scheme;
+  double train_seconds = 0.0;
+  double predict_seconds = 0.0;
 };
 
 }  // namespace
@@ -76,16 +81,25 @@ CrossValidationResult cross_validate(const SeededClassifierFactory& factory,
     Rng fold_rng(fold_seeds[fold]);
     std::unique_ptr<Classifier> clf = factory(fold_rng);
     HMD_REQUIRE(clf != nullptr, "cross_validate: factory returned null");
-    clf->train(train);
 
     FoldOutcome outcome;
+    outcome.scheme = clf->name();
+    HMD_TRACE_SPAN("cv_fold/" + outcome.scheme + "#" + std::to_string(fold));
+    {
+      TraceSpan timer("");
+      clf->train(train);
+      outcome.train_seconds = timer.elapsed_seconds();
+    }
+
     outcome.records.reserve(test_rows.size());
     std::size_t correct = 0;
+    TraceSpan timer("");
     for (std::size_t i : test_rows) {
       const std::size_t predicted = clf->predict(data.features_of(i));
       outcome.records.emplace_back(data.class_of(i), predicted);
       correct += predicted == data.class_of(i);
     }
+    outcome.predict_seconds = timer.elapsed_seconds();
     outcome.accuracy = static_cast<double>(correct) /
                        static_cast<double>(test_rows.size());
     return outcome;
@@ -104,15 +118,20 @@ CrossValidationResult cross_validate(const SeededClassifierFactory& factory,
   }
 
   // Merge in fold order: identical to the serial loop by construction.
-  CrossValidationResult result{
-      .pooled = EvaluationResult(data.num_classes(),
-                                 data.class_attribute().values()),
-      .fold_accuracies = {}};
+  CrossValidationResult result;
+  result.pooled.result = EvaluationResult(data.num_classes(),
+                                          data.class_attribute().values());
   result.fold_accuracies.reserve(folds);
+  Histogram& fold_ms = metrics().histogram("ml.cv_fold_ms",
+                                           default_latency_buckets_us());
   for (FoldOutcome& outcome : outcomes) {
     for (const auto& [actual, predicted] : outcome.records)
       result.pooled.record(actual, predicted);
     result.fold_accuracies.push_back(outcome.accuracy);
+    result.pooled.scheme = outcome.scheme;
+    result.pooled.train_seconds += outcome.train_seconds;
+    result.pooled.predict_seconds += outcome.predict_seconds;
+    fold_ms.record((outcome.train_seconds + outcome.predict_seconds) * 1e3);
   }
   return result;
 }

@@ -20,8 +20,10 @@
 namespace hmd::ml {
 
 /// Result of a k-fold run: pooled predictions plus per-fold accuracies.
+/// `pooled` is an EvaluationReport whose train/predict times are the sums
+/// across folds (wall time of the work, not of the possibly-parallel run).
 struct CrossValidationResult {
-  EvaluationResult pooled;             ///< all folds' predictions combined
+  EvaluationReport pooled;             ///< all folds' predictions combined
   std::vector<double> fold_accuracies;
 
   double mean_accuracy() const;

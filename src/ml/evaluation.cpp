@@ -1,9 +1,13 @@
 #include "ml/evaluation.hpp"
 
+#include <ostream>
 #include <sstream>
 
 #include "util/error.hpp"
+#include "util/metrics.hpp"
+#include "util/strings.hpp"
 #include "util/table.hpp"
+#include "util/trace.hpp"
 
 namespace hmd::ml {
 
@@ -113,13 +117,73 @@ std::string EvaluationResult::to_string() const {
   return os.str();
 }
 
-EvaluationResult evaluate(const Classifier& clf, const Dataset& test) {
+std::vector<EvaluationReport::ClassMetrics> EvaluationReport::per_class()
+    const {
+  std::vector<ClassMetrics> rows;
+  rows.reserve(num_classes());
+  for (std::size_t c = 0; c < num_classes(); ++c)
+    rows.push_back({class_names()[c], precision(c), recall(c), f1(c)});
+  return rows;
+}
+
+std::string EvaluationReport::to_string() const {
+  std::ostringstream os;
+  if (!scheme.empty()) os << scheme << '\n';
+  os << result.to_string();
+  os.precision(3);
+  os << "train: " << train_seconds * 1e3
+     << " ms, predict: " << predict_seconds * 1e3 << " ms\n";
+  return os.str();
+}
+
+void EvaluationReport::write_json(std::ostream& out) const {
+  const std::size_t k = num_classes();
+  out << "{\"scheme\": \"" << json_escape(scheme) << "\""
+      << ", \"total\": " << total() << ", \"correct\": " << correct()
+      << ", \"accuracy\": " << accuracy() << ", \"kappa\": " << kappa()
+      << ", \"macro_recall\": " << macro_recall()
+      << ", \"train_seconds\": " << train_seconds
+      << ", \"predict_seconds\": " << predict_seconds << ", \"classes\": [";
+  const auto rows = per_class();
+  for (std::size_t c = 0; c < rows.size(); ++c) {
+    if (c != 0) out << ", ";
+    out << "{\"name\": \"" << json_escape(rows[c].name) << "\""
+        << ", \"precision\": " << rows[c].precision
+        << ", \"recall\": " << rows[c].recall << ", \"f1\": " << rows[c].f1
+        << "}";
+  }
+  out << "], \"confusion\": [";
+  for (std::size_t a = 0; a < k; ++a) {
+    if (a != 0) out << ", ";
+    out << "[";
+    for (std::size_t p = 0; p < k; ++p) {
+      if (p != 0) out << ", ";
+      out << confusion(a, p);
+    }
+    out << "]";
+  }
+  out << "]}";
+}
+
+EvaluationReport evaluate(const Classifier& clf, const Dataset& test) {
   HMD_REQUIRE(!test.empty(), "evaluate: test set is empty");
-  EvaluationResult result(test.num_classes(),
-                          test.class_attribute().values());
-  for (std::size_t i = 0; i < test.num_instances(); ++i)
-    result.record(test.class_of(i), clf.predict(test.features_of(i)));
-  return result;
+  EvaluationReport report;
+  report.scheme = clf.name();
+  report.result = EvaluationResult(test.num_classes(),
+                                   test.class_attribute().values());
+  const std::size_t n = test.num_instances();
+  {
+    HMD_TRACE_SPAN("evaluate/" + report.scheme);
+    TraceSpan timer("");  // timing only; "" spans are not recorded
+    for (std::size_t i = 0; i < n; ++i)
+      report.record(test.class_of(i), clf.predict(test.features_of(i)));
+    report.predict_seconds = timer.elapsed_seconds();
+  }
+  metrics()
+      .histogram("ml.predict_us." + report.scheme,
+                 default_latency_buckets_us())
+      .record(report.predict_seconds * 1e6 / static_cast<double>(n));
+  return report;
 }
 
 }  // namespace hmd::ml

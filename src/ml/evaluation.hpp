@@ -2,8 +2,16 @@
 // The thesis reports accuracy (binary and multiclass) and per-class
 // accuracy (recall), both provided here alongside the confusion matrix,
 // precision, F1, and Cohen's kappa.
+//
+// Two layers:
+//  * EvaluationResult — the pure confusion-matrix arithmetic;
+//  * EvaluationReport — the one result type every study path returns
+//    (evaluate(), cross_validate(), train_and_evaluate, the Fig. 13-19
+//    benches): the result plus scheme name and train/predict wall time
+//    from the observability layer, with JSON export for dashboards.
 #pragma once
 
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -15,6 +23,10 @@ namespace hmd::ml {
 /// Result of evaluating a classifier on a labelled dataset.
 class EvaluationResult {
  public:
+  /// Empty placeholder (0 classes); record() rejects everything until a
+  /// real result is assigned over it.
+  EvaluationResult() = default;
+
   EvaluationResult(std::size_t num_classes,
                    std::vector<std::string> class_names);
 
@@ -45,7 +57,54 @@ class EvaluationResult {
   std::size_t correct_ = 0;
 };
 
-/// Evaluate `clf` on every row of `test`.
-EvaluationResult evaluate(const Classifier& clf, const Dataset& test);
+/// The consolidated evaluation artifact: confusion-matrix metrics plus the
+/// scheme name and measured train/predict wall time. Accessors forward to
+/// the embedded EvaluationResult, so report.accuracy() etc. read naturally.
+struct EvaluationReport {
+  std::string scheme;
+  EvaluationResult result;
+  double train_seconds = 0.0;    ///< 0 when the path did not train
+  double predict_seconds = 0.0;  ///< whole test-set prediction pass
+
+  double accuracy() const { return result.accuracy(); }
+  double recall(std::size_t c) const { return result.recall(c); }
+  double precision(std::size_t c) const { return result.precision(c); }
+  double f1(std::size_t c) const { return result.f1(c); }
+  double macro_recall() const { return result.macro_recall(); }
+  double kappa() const { return result.kappa(); }
+  std::size_t total() const { return result.total(); }
+  std::size_t correct() const { return result.correct(); }
+  std::size_t confusion(std::size_t actual, std::size_t predicted) const {
+    return result.confusion(actual, predicted);
+  }
+  std::size_t num_classes() const { return result.num_classes(); }
+  const std::vector<std::string>& class_names() const {
+    return result.class_names();
+  }
+  void record(std::size_t actual, std::size_t predicted) {
+    result.record(actual, predicted);
+  }
+
+  /// Per-class precision/recall/F1 rows, in class order.
+  struct ClassMetrics {
+    std::string name;
+    double precision = 0.0;
+    double recall = 0.0;
+    double f1 = 0.0;
+  };
+  std::vector<ClassMetrics> per_class() const;
+
+  /// Result text plus a timing line.
+  std::string to_string() const;
+
+  /// One JSON object: scheme, accuracy, kappa, timings, per-class
+  /// precision/recall/F1 and the confusion matrix.
+  void write_json(std::ostream& out) const;
+};
+
+/// Evaluate `clf` on every row of `test`: times the prediction pass,
+/// records per-scheme predict latency into the process metrics registry,
+/// and traces an "evaluate/<scheme>" span.
+EvaluationReport evaluate(const Classifier& clf, const Dataset& test);
 
 }  // namespace hmd::ml

@@ -1,0 +1,62 @@
+#include "ml/instrumented.hpp"
+
+#include <utility>
+
+#include "util/error.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
+
+namespace hmd::ml {
+
+InstrumentedClassifier::InstrumentedClassifier(
+    std::unique_ptr<Classifier> inner)
+    : inner_(std::move(inner)) {
+  HMD_REQUIRE(inner_ != nullptr, "InstrumentedClassifier: null classifier");
+  scheme_ = inner_->name();
+  MetricsRegistry& reg = metrics();
+  train_ms_ = &reg.histogram("ml.train_ms." + scheme_,
+                             default_latency_buckets_us());
+  predict_us_ = &reg.histogram("ml.predict_us." + scheme_,
+                               default_latency_buckets_us());
+  batch_us_ = &reg.histogram("ml.batch_us." + scheme_,
+                             default_latency_buckets_us());
+  batch_rows_ = &reg.counter("ml.batch_rows." + scheme_);
+}
+
+void InstrumentedClassifier::train(const Dataset& data) {
+  HMD_TRACE_SPAN("train/" + scheme_);
+  TraceSpan timer("");
+  inner_->train(data);
+  train_ms_->record(timer.elapsed_seconds() * 1e3);
+}
+
+std::size_t InstrumentedClassifier::predict(
+    std::span<const double> features) const {
+  TraceSpan timer("");
+  const std::size_t p = inner_->predict(features);
+  predict_us_->record(timer.elapsed_seconds() * 1e6);
+  return p;
+}
+
+std::vector<double> InstrumentedClassifier::distribution(
+    std::span<const double> features) const {
+  TraceSpan timer("");
+  std::vector<double> dist = inner_->distribution(features);
+  predict_us_->record(timer.elapsed_seconds() * 1e6);
+  return dist;
+}
+
+void InstrumentedClassifier::distribution_batch(std::span<const double> flat,
+                                                std::size_t window_size,
+                                                std::span<double> out) const {
+  TraceSpan timer("");
+  inner_->distribution_batch(flat, window_size, out);
+  batch_us_->record(timer.elapsed_seconds() * 1e6);
+  if (window_size > 0) batch_rows_->add(flat.size() / window_size);
+}
+
+std::unique_ptr<Classifier> instrument(std::unique_ptr<Classifier> inner) {
+  return std::make_unique<InstrumentedClassifier>(std::move(inner));
+}
+
+}  // namespace hmd::ml

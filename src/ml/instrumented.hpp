@@ -1,0 +1,58 @@
+// Observability wrapper for classifiers: times train()/distribution()/
+// distribution_batch() into the process metrics registry and emits trace
+// spans, without touching the scheme implementations themselves.
+//
+// The wrapper resolves its per-scheme instruments (histograms, counters)
+// once at construction, so the per-call overhead is two clock reads and an
+// atomic add — no registry lookups on the hot path.
+#pragma once
+
+#include <memory>
+
+#include "ml/classifier.hpp"
+
+namespace hmd {
+class Counter;
+class Histogram;
+}  // namespace hmd
+
+namespace hmd::ml {
+
+/// Decorates another classifier with metrics + tracing. Instruments:
+///   ml.train_ms.<scheme>      histogram, per train() call (milliseconds)
+///   ml.predict_us.<scheme>    histogram, per distribution()/predict() row
+///   ml.batch_rows.<scheme>    counter, rows scored via distribution_batch
+///   ml.batch_us.<scheme>      histogram, per distribution_batch() call
+class InstrumentedClassifier final : public Classifier {
+ public:
+  explicit InstrumentedClassifier(std::unique_ptr<Classifier> inner);
+
+  void train(const Dataset& data) override;
+  std::size_t predict(std::span<const double> features) const override;
+  std::vector<double> distribution(
+      std::span<const double> features) const override;
+  void distribution_batch(std::span<const double> flat,
+                          std::size_t window_size,
+                          std::span<double> out) const override;
+  std::string name() const override { return inner_->name(); }
+  std::size_t num_classes() const override { return inner_->num_classes(); }
+  const Classifier& unwrap() const override { return inner_->unwrap(); }
+
+  const Classifier& inner() const { return *inner_; }
+  Classifier& inner() { return *inner_; }
+  /// Releases ownership of the wrapped scheme (wrapper becomes unusable).
+  std::unique_ptr<Classifier> release() { return std::move(inner_); }
+
+ private:
+  std::unique_ptr<Classifier> inner_;
+  std::string scheme_;
+  Histogram* train_ms_;
+  Histogram* predict_us_;
+  Histogram* batch_us_;
+  Counter* batch_rows_;
+};
+
+/// Wraps `inner` in an InstrumentedClassifier.
+std::unique_ptr<Classifier> instrument(std::unique_ptr<Classifier> inner);
+
+}  // namespace hmd::ml

@@ -82,6 +82,42 @@ std::vector<double> Logistic::distribution(
   return logits;
 }
 
+void Logistic::distribution_batch(std::span<const double> flat,
+                                  std::size_t window_size,
+                                  std::span<double> out) const {
+  HMD_REQUIRE(!weights_.empty(), "Logistic: predict before train");
+  const std::size_t rows = require_batch(flat, window_size, out);
+  const std::size_t k = weights_.size();
+  const std::vector<double>& mean = standardizer_.means();
+  const std::vector<double>& stddev = standardizer_.stddevs();
+  HMD_REQUIRE(window_size == mean.size(),
+              "Logistic::distribution_batch: width mismatch");
+
+  std::vector<double> x(window_size);  // standardized row, reused
+  for (std::size_t r = 0; r < rows; ++r) {
+    const std::span<const double> raw = flat.subspan(r * window_size,
+                                                     window_size);
+    for (std::size_t f = 0; f < window_size; ++f)
+      x[f] = stddev[f] > 0.0 ? (raw[f] - mean[f]) / stddev[f] : 0.0;
+
+    const std::span<double> logits = out.subspan(r * k, k);
+    for (std::size_t c = 0; c < k; ++c) {
+      double z = weights_[c][window_size];
+      for (std::size_t f = 0; f < window_size; ++f)
+        z += weights_[c][f] * x[f];
+      logits[c] = z;
+    }
+    // Stable softmax in place in the output slice.
+    const double mx = *std::max_element(logits.begin(), logits.end());
+    double total = 0.0;
+    for (double& v : logits) {
+      v = std::exp(v - mx);
+      total += v;
+    }
+    for (double& v : logits) v /= total;
+  }
+}
+
 std::size_t Logistic::predict(std::span<const double> features) const {
   const auto dist = distribution(features);
   return static_cast<std::size_t>(

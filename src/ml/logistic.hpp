@@ -27,6 +27,11 @@ class Logistic final : public Classifier {
   std::size_t predict(std::span<const double> features) const override;
   std::vector<double> distribution(
       std::span<const double> features) const override;
+  /// Allocation-free batch scoring: one standardized-row buffer reused
+  /// across rows, softmax computed in place in the output slice.
+  void distribution_batch(std::span<const double> flat,
+                          std::size_t window_size,
+                          std::span<double> out) const override;
   std::string name() const override { return "MLR"; }
   std::size_t num_classes() const override { return weights_.size(); }
 

@@ -1,5 +1,7 @@
 #include "ml/registry.hpp"
 
+#include <algorithm>
+
 #include "ml/anomaly.hpp"
 #include "ml/decision_stump.hpp"
 #include "ml/ensemble.hpp"
@@ -16,34 +18,136 @@
 
 namespace hmd::ml {
 
+namespace {
+
+struct SchemeEntry {
+  const char* name;
+  const char* alias;  ///< nullptr when the scheme has no alias
+  const char* description;
+  std::unique_ptr<Classifier> (*make)();
+  int binary_order;  ///< position in the Figs. 13-16 study list, -1 if absent
+  int multi_order;   ///< position in the Figs. 17-19 study list, -1 if absent
+};
+
+// Registry order is presentation order (--list-classifiers, error
+// messages); binary_order/multi_order preserve the thesis's study-table
+// column order independently of it.
+constexpr int kNone = -1;
+const SchemeEntry kSchemes[] = {
+    {"ZeroR", nullptr, "majority-class baseline",
+     [] { return std::unique_ptr<Classifier>(std::make_unique<ZeroR>()); },
+     kNone, kNone},
+    {"OneR", nullptr, "single-feature rule learner",
+     [] { return std::unique_ptr<Classifier>(std::make_unique<OneR>()); }, 0,
+     kNone},
+    {"DecisionStump", nullptr, "one-split decision tree",
+     [] {
+       return std::unique_ptr<Classifier>(std::make_unique<DecisionStump>());
+     },
+     kNone, kNone},
+    {"J48", nullptr, "C4.5 decision tree",
+     [] { return std::unique_ptr<Classifier>(std::make_unique<J48>()); }, 2,
+     kNone},
+    {"JRip", nullptr, "RIPPER rule learner",
+     [] { return std::unique_ptr<Classifier>(std::make_unique<JRip>()); }, 1,
+     kNone},
+    {"NaiveBayes", nullptr, "Gaussian naive Bayes",
+     [] {
+       return std::unique_ptr<Classifier>(std::make_unique<NaiveBayes>());
+     },
+     3, kNone},
+    {"MLR", "Logistic", "multinomial logistic regression",
+     [] { return std::unique_ptr<Classifier>(std::make_unique<Logistic>()); },
+     4, 0},
+    {"SVM", nullptr, "linear soft-margin SVM",
+     [] { return std::unique_ptr<Classifier>(std::make_unique<LinearSvm>()); },
+     5, 2},
+    {"MLP", nullptr, "multi-layer perceptron",
+     [] { return std::unique_ptr<Classifier>(std::make_unique<Mlp>()); }, 6,
+     1},
+    {"IBk", nullptr, "k-nearest neighbours",
+     [] { return std::unique_ptr<Classifier>(std::make_unique<Knn>()); },
+     kNone, kNone},
+    {"AdaBoostM1", nullptr, "boosted decision stumps",
+     [] {
+       return std::unique_ptr<Classifier>(std::make_unique<AdaBoostM1>(
+           [] { return std::make_unique<DecisionStump>(); }));
+     },
+     kNone, kNone},
+    {"Bagging", nullptr, "bagged J48 trees",
+     [] {
+       return std::unique_ptr<Classifier>(
+           std::make_unique<Bagging>([]() -> std::unique_ptr<Classifier> {
+             return std::make_unique<J48>();
+           }));
+     },
+     kNone, kNone},
+    {"Mahalanobis", nullptr,
+     "benign-only anomaly detector (binary datasets)",
+     [] {
+       return std::unique_ptr<Classifier>(
+           std::make_unique<AnomalyClassifier>());
+     },
+     kNone, kNone},
+};
+
+const SchemeEntry* find_scheme(const std::string& name) {
+  for (const SchemeEntry& entry : kSchemes) {
+    if (name == entry.name ||
+        (entry.alias != nullptr && name == entry.alias))
+      return &entry;
+  }
+  return nullptr;
+}
+
+/// Schemes with `order` >= 0 via the given member, sorted by that order.
+std::vector<std::string> study_list(int SchemeEntry::* order) {
+  std::vector<const SchemeEntry*> picked;
+  for (const SchemeEntry& entry : kSchemes)
+    if (entry.*order >= 0) picked.push_back(&entry);
+  std::sort(picked.begin(), picked.end(),
+            [order](const SchemeEntry* a, const SchemeEntry* b) {
+              return a->*order < b->*order;
+            });
+  std::vector<std::string> names;
+  names.reserve(picked.size());
+  for (const SchemeEntry* entry : picked) names.emplace_back(entry->name);
+  return names;
+}
+
+}  // namespace
+
 std::unique_ptr<Classifier> make_classifier(const std::string& name) {
-  if (name == "ZeroR") return std::make_unique<ZeroR>();
-  if (name == "OneR") return std::make_unique<OneR>();
-  if (name == "DecisionStump") return std::make_unique<DecisionStump>();
-  if (name == "J48") return std::make_unique<J48>();
-  if (name == "JRip") return std::make_unique<JRip>();
-  if (name == "NaiveBayes") return std::make_unique<NaiveBayes>();
-  if (name == "MLR" || name == "Logistic") return std::make_unique<Logistic>();
-  if (name == "SVM") return std::make_unique<LinearSvm>();
-  if (name == "MLP") return std::make_unique<Mlp>();
-  if (name == "IBk") return std::make_unique<Knn>();
-  if (name == "AdaBoostM1")
-    return std::make_unique<AdaBoostM1>(
-        [] { return std::make_unique<DecisionStump>(); });
-  if (name == "Bagging")
-    return std::make_unique<Bagging>([]() -> std::unique_ptr<Classifier> {
-      return std::make_unique<J48>();
-    });
-  if (name == "Mahalanobis") return std::make_unique<AnomalyClassifier>();
-  throw PreconditionError("unknown classifier scheme: " + name);
+  if (const SchemeEntry* entry = find_scheme(name)) return entry->make();
+  std::string message = "unknown classifier scheme: " + name + " (known:";
+  for (const SchemeEntry& entry : kSchemes)
+    message += std::string(" ") + entry.name;
+  message += ")";
+  throw PreconditionError(message);
+}
+
+std::vector<std::string> known_schemes() {
+  std::vector<std::string> names;
+  names.reserve(std::size(kSchemes));
+  for (const SchemeEntry& entry : kSchemes) names.emplace_back(entry.name);
+  return names;
+}
+
+std::string scheme_description(const std::string& name) {
+  const SchemeEntry* entry = find_scheme(name);
+  return entry != nullptr ? entry->description : "";
+}
+
+bool is_known_scheme(const std::string& name) {
+  return find_scheme(name) != nullptr;
 }
 
 std::vector<std::string> binary_study_classifiers() {
-  return {"OneR", "JRip", "J48", "NaiveBayes", "MLR", "SVM", "MLP"};
+  return study_list(&SchemeEntry::binary_order);
 }
 
 std::vector<std::string> multiclass_study_classifiers() {
-  return {"MLR", "MLP", "SVM"};
+  return study_list(&SchemeEntry::multi_order);
 }
 
 }  // namespace hmd::ml

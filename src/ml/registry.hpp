@@ -1,5 +1,11 @@
 // Name-based classifier construction for the experiment harness and
 // benches ("give me a fresh J48"), mirroring WEKA's scheme-name strings.
+//
+// The registry is table-driven: one SchemeEntry per scheme carries the
+// factory, a one-line description, and the scheme's position (if any) in
+// the thesis's binary (Figs. 13-16) and multiclass (Figs. 17-19) study
+// lists — so known_schemes(), make_classifier() and the study lists can
+// never drift apart.
 #pragma once
 
 #include <memory>
@@ -10,13 +16,20 @@
 
 namespace hmd::ml {
 
-/// Construct a fresh classifier by scheme name. Known names:
-/// "ZeroR", "OneR", "DecisionStump", "J48", "JRip", "NaiveBayes",
-/// "MLR" (alias "Logistic"), "SVM", "MLP", "IBk",
-/// "AdaBoostM1" (boosted stumps), "Bagging" (bagged J48),
-/// "Mahalanobis" (benign-only anomaly detector, binary datasets only).
-/// Throws hmd::PreconditionError for unknown names.
+/// Construct a fresh classifier by scheme name (see known_schemes()).
+/// "Logistic" is accepted as an alias of "MLR". Throws
+/// hmd::PreconditionError listing all known schemes for unknown names.
 std::unique_ptr<Classifier> make_classifier(const std::string& name);
+
+/// Every scheme name make_classifier accepts (canonical names, no
+/// aliases), in registry order.
+std::vector<std::string> known_schemes();
+
+/// One-line description of a known scheme ("" for unknown names).
+std::string scheme_description(const std::string& name);
+
+/// True if `name` (canonical or alias) constructs a classifier.
+bool is_known_scheme(const std::string& name);
 
 /// The binary-detection classifier set compared in Figs. 13-16.
 std::vector<std::string> binary_study_classifiers();

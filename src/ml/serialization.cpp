@@ -259,7 +259,8 @@ struct ModelIo {
 
   /// Scheme-dispatched body save shared by save_model and nested committee
   /// members; returns false for schemes without a serialization.
-  static bool save_body(std::ostream& out, const Classifier& clf) {
+  static bool save_body(std::ostream& out, const Classifier& wrapped) {
+    const Classifier& clf = wrapped.unwrap();
     if (const auto* m = dynamic_cast<const ZeroR*>(&clf)) save(out, *m);
     else if (const auto* m1 = dynamic_cast<const OneR*>(&clf)) save(out, *m1);
     else if (const auto* m2 = dynamic_cast<const DecisionStump*>(&clf)) save(out, *m2);

@@ -17,7 +17,9 @@
 #include "hwsim/events.hpp"
 #include "perf/event_group.hpp"
 #include "util/error.hpp"
+#include "util/metrics.hpp"
 #include "util/rng.hpp"
+#include "util/trace.hpp"
 
 namespace hmd::perf {
 
@@ -66,6 +68,7 @@ class HpcCollector {
   template <typename Source>
   std::vector<HpcSample> collect(hwsim::Core& core, Source& source,
                                  std::uint64_t noise_seed = 0x9eb) const {
+    HMD_TRACE_SPAN("perf/collect");
     core.reset();
     run_ops(core, source, config_.warmup_windows * config_.ops_per_window);
     Rng noise(noise_seed);
@@ -77,6 +80,10 @@ class HpcCollector {
       truth_prev[i] = core.pmu().true_count(config_.events[i]);
     for (std::size_t w = 0; w < config_.num_windows; ++w)
       out.push_back(collect_window(core, source, truth_prev, noise));
+    metrics().counter("perf.windows_collected").add(out.size());
+    metrics().counter("perf.ops_executed")
+        .add((config_.warmup_windows + config_.num_windows) *
+             config_.ops_per_window);
     return out;
   }
 

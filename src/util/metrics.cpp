@@ -1,0 +1,240 @@
+#include "util/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <ostream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace hmd {
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)),
+      buckets_(bounds_.size() + 1),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {
+  HMD_REQUIRE(!bounds_.empty(), "Histogram: need at least one bucket bound");
+  for (std::size_t i = 1; i < bounds_.size(); ++i)
+    HMD_REQUIRE(bounds_[i - 1] < bounds_[i],
+                "Histogram: bounds must be strictly increasing");
+}
+
+namespace {
+
+/// fetch_min/fetch_max for atomic<double> via CAS.
+void atomic_min(std::atomic<double>& target, double v) noexcept {
+  double cur = target.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !target.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& target, double v) noexcept {
+  double cur = target.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !target.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void Histogram::record(double value) noexcept {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const auto bucket = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  atomic_min(min_, value);
+  atomic_max(max_, value);
+  count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+double Histogram::mean() const noexcept {
+  const std::uint64_t n = count();
+  return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+}
+
+double Histogram::min() const noexcept {
+  return count() == 0 ? 0.0 : min_.load(std::memory_order_relaxed);
+}
+
+double Histogram::max() const noexcept {
+  return count() == 0 ? 0.0 : max_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::bucket_count(std::size_t i) const {
+  HMD_REQUIRE(i < buckets_.size(), "Histogram: bucket index out of range");
+  return buckets_[i].load(std::memory_order_relaxed);
+}
+
+double Histogram::quantile(double q) const {
+  HMD_REQUIRE(q >= 0.0 && q <= 1.0, "Histogram: quantile must be in [0, 1]");
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(n)));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    cumulative += buckets_[i].load(std::memory_order_relaxed);
+    if (cumulative >= rank && cumulative > 0)
+      return i < bounds_.size() ? bounds_[i] : max();
+  }
+  return max();
+}
+
+void Histogram::reset() noexcept {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+}
+
+std::vector<double> default_latency_buckets_us() {
+  std::vector<double> bounds;
+  for (double decade = 1.0; decade <= 1e6; decade *= 10.0)
+    for (double step : {1.0, 2.0, 5.0}) bounds.push_back(decade * step);
+  bounds.push_back(1e7);  // 10 s
+  return bounds;
+}
+
+std::vector<double> default_count_buckets() {
+  std::vector<double> bounds;
+  for (double b = 1.0; b <= 4096.0; b *= 2.0) bounds.push_back(b);
+  return bounds;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> upper_bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    // Construct before inserting so a rejected bounds vector (empty,
+    // unsorted) never leaves a null entry behind.
+    it = histograms_
+             .emplace(name,
+                      std::make_unique<Histogram>(std::move(upper_bounds)))
+             .first;
+  } else {
+    HMD_REQUIRE(upper_bounds == it->second->upper_bounds(),
+                "MetricsRegistry: histogram '" + name +
+                    "' re-registered with different bucket bounds");
+  }
+  return *it->second;
+}
+
+std::vector<std::string> MetricsRegistry::names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  for (const auto& [name, _] : counters_) out.push_back("counter/" + name);
+  for (const auto& [name, _] : gauges_) out.push_back("gauge/" + name);
+  for (const auto& [name, _] : histograms_)
+    out.push_back("histogram/" + name);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+namespace {
+
+/// JSON number rendering that stays finite (chrome/json parsers reject
+/// Infinity/NaN literals).
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "0";
+  return format("%.9g", v);
+}
+
+}  // namespace
+
+void MetricsRegistry::write_json(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  out << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    out << (first ? "" : ",") << "\n    \"" << json_escape(name)
+        << "\": " << c->value();
+    first = false;
+  }
+  out << "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    out << (first ? "" : ",") << "\n    \"" << json_escape(name)
+        << "\": " << json_number(g->value());
+    first = false;
+  }
+  out << "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    out << (first ? "" : ",") << "\n    \"" << json_escape(name) << "\": {"
+        << "\"count\": " << h->count() << ", \"sum\": "
+        << json_number(h->sum()) << ", \"min\": " << json_number(h->min())
+        << ", \"max\": " << json_number(h->max())
+        << ", \"mean\": " << json_number(h->mean())
+        << ", \"p50\": " << json_number(h->quantile(0.5))
+        << ", \"p90\": " << json_number(h->quantile(0.9))
+        << ", \"p99\": " << json_number(h->quantile(0.99))
+        << ", \"buckets\": [";
+    for (std::size_t i = 0; i < h->num_buckets(); ++i) {
+      if (i) out << ", ";
+      out << "{\"le\": "
+          << (i < h->upper_bounds().size()
+                  ? json_number(h->upper_bounds()[i])
+                  : std::string("\"inf\""))
+          << ", \"count\": " << h->bucket_count(i) << '}';
+    }
+    out << "]}";
+    first = false;
+  }
+  out << "\n  }\n}\n";
+}
+
+void MetricsRegistry::write_csv(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  out << "kind,name,field,value\n";
+  for (const auto& [name, c] : counters_)
+    out << "counter," << name << ",value," << c->value() << '\n';
+  for (const auto& [name, g] : gauges_)
+    out << "gauge," << name << ",value," << format("%.9g", g->value())
+        << '\n';
+  for (const auto& [name, h] : histograms_) {
+    out << "histogram," << name << ",count," << h->count() << '\n';
+    out << "histogram," << name << ",sum," << format("%.9g", h->sum())
+        << '\n';
+    out << "histogram," << name << ",mean," << format("%.9g", h->mean())
+        << '\n';
+    out << "histogram," << name << ",p50," << format("%.9g", h->quantile(0.5))
+        << '\n';
+    out << "histogram," << name << ",p99,"
+        << format("%.9g", h->quantile(0.99)) << '\n';
+  }
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [_, c] : counters_) c->reset();
+  for (auto& [_, g] : gauges_) g->reset();
+  for (auto& [_, h] : histograms_) h->reset();
+}
+
+MetricsRegistry& metrics() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+}  // namespace hmd

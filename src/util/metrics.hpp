@@ -1,0 +1,151 @@
+// Process-wide metrics registry — the measurement substrate for the
+// parallel experiment engine and the deployed detector.
+//
+// Three instrument kinds, all safe to update concurrently from ThreadPool
+// workers (every hot-path update is a plain atomic operation; the registry
+// mutex only guards name lookup, which callers do once and cache):
+//
+//  * Counter   — monotonically increasing event count;
+//  * Gauge     — last-written value (utilization, sizes);
+//  * Histogram — fixed upper-bound buckets plus count/sum/min/max, for
+//                latency distributions.
+//
+// Instruments live as long as the registry that created them, so cached
+// references never dangle. The process-wide registry is `metrics()`;
+// tests can construct private MetricsRegistry instances.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace hmd {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written value.
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  void add(double v) noexcept {
+    value_.fetch_add(v, std::memory_order_relaxed);
+  }
+  double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket distribution: bucket i counts values <= upper_bounds[i]
+/// (first matching bound wins); one implicit overflow bucket catches the
+/// rest. Also tracks count/sum/min/max exactly.
+class Histogram {
+ public:
+  /// `upper_bounds` must be non-empty and strictly increasing.
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void record(double value) noexcept;
+
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+  double mean() const noexcept;
+  /// 0 when empty.
+  double min() const noexcept;
+  double max() const noexcept;
+
+  /// Including the overflow bucket (== upper_bounds().size() + 1).
+  std::size_t num_buckets() const noexcept { return buckets_.size(); }
+  std::uint64_t bucket_count(std::size_t i) const;
+  /// The recorded bounds (the overflow bucket has no finite bound).
+  const std::vector<double>& upper_bounds() const { return bounds_; }
+
+  /// Approximate quantile (q in [0, 1]) from the bucket histogram: the
+  /// upper bound of the bucket containing the rank; the overflow bucket
+  /// reports the observed max() so the value stays finite. 0 when empty.
+  double quantile(double q) const;
+
+  void reset() noexcept;
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;  ///< bounds + overflow
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_;
+  std::atomic<double> max_;
+};
+
+/// Default histogram bounds for latencies in microseconds: log-spaced
+/// 1 us .. 10 s.
+std::vector<double> default_latency_buckets_us();
+
+/// Histogram bounds counting in whole units (windows, items): powers of two
+/// 1 .. 4096.
+std::vector<double> default_count_buckets();
+
+/// Named instrument registry. Lookup takes a mutex; returned references
+/// stay valid for the registry's lifetime, so hot paths look up once and
+/// cache. Counters, gauges and histograms are separate namespaces.
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// Registers (first call) or looks up a histogram. `upper_bounds` must
+  /// be non-empty and strictly increasing; calling again under the same
+  /// name with different bounds throws PreconditionError, so an
+  /// instrument's definition cannot silently drift between call sites.
+  Histogram& histogram(const std::string& name,
+                       std::vector<double> upper_bounds);
+
+  /// All registered instrument names, sorted, kind-prefixed for display.
+  std::vector<std::string> names() const;
+
+  /// Flat JSON object: {"counters": {...}, "gauges": {...},
+  /// "histograms": {name: {count, sum, min, max, mean, p50, p90, p99,
+  /// buckets: [{le, count}...]}}}.
+  void write_json(std::ostream& out) const;
+  /// Flat CSV: kind,name,field,value — one row per scalar.
+  void write_csv(std::ostream& out) const;
+
+  /// Zero every registered instrument (objects stay valid). Intended for
+  /// tests; racing updates are not lost-update-safe, so quiesce first.
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// The process-wide registry all built-in instrumentation reports to.
+MetricsRegistry& metrics();
+
+}  // namespace hmd

@@ -101,13 +101,13 @@ double percentile(std::span<const double> xs, double p) {
   return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
 }
 
-Histogram::Histogram(double lo, double hi, std::size_t bins)
+BinnedHistogram::BinnedHistogram(double lo, double hi, std::size_t bins)
     : lo_(lo), hi_(hi), counts_(bins, 0) {
-  HMD_REQUIRE(hi > lo, "Histogram: hi must exceed lo");
-  HMD_REQUIRE(bins > 0, "Histogram: need at least one bin");
+  HMD_REQUIRE(hi > lo, "BinnedHistogram: hi must exceed lo");
+  HMD_REQUIRE(bins > 0, "BinnedHistogram: need at least one bin");
 }
 
-void Histogram::add(double x) {
+void BinnedHistogram::add(double x) {
   const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
   auto raw = static_cast<long long>(std::floor((x - lo_) / width));
   raw = std::clamp(raw, 0ll, static_cast<long long>(counts_.size()) - 1);
@@ -115,21 +115,21 @@ void Histogram::add(double x) {
   ++total_;
 }
 
-std::size_t Histogram::bin_count(std::size_t bin) const {
-  HMD_REQUIRE(bin < counts_.size(), "Histogram: bin out of range");
+std::size_t BinnedHistogram::bin_count(std::size_t bin) const {
+  HMD_REQUIRE(bin < counts_.size(), "BinnedHistogram: bin out of range");
   return counts_[bin];
 }
 
-double Histogram::bin_low(std::size_t bin) const {
+double BinnedHistogram::bin_low(std::size_t bin) const {
   const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
   return lo_ + width * static_cast<double>(bin);
 }
 
-double Histogram::bin_high(std::size_t bin) const {
+double BinnedHistogram::bin_high(std::size_t bin) const {
   return bin_low(bin + 1);
 }
 
-std::size_t Histogram::mode_bin() const {
+std::size_t BinnedHistogram::mode_bin() const {
   return static_cast<std::size_t>(
       std::max_element(counts_.begin(), counts_.end()) - counts_.begin());
 }

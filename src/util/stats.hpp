@@ -49,9 +49,9 @@ double percentile(std::span<const double> xs, double p);
 
 /// Fixed-width histogram over [lo, hi); values outside are clamped to the
 /// edge bins. Used for distribution summaries in benches and tests.
-class Histogram {
+class BinnedHistogram {
  public:
-  Histogram(double lo, double hi, std::size_t bins);
+  BinnedHistogram(double lo, double hi, std::size_t bins);
 
   void add(double x);
   std::size_t bin_count(std::size_t bin) const;

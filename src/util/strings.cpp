@@ -92,4 +92,25 @@ std::string format(const char* fmt, ...) {
   return out;
 }
 
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20)
+          out += format("\\u%04x", static_cast<unsigned>(
+                                       static_cast<unsigned char>(ch)));
+        else
+          out += ch;
+    }
+  }
+  return out;
+}
+
 }  // namespace hmd

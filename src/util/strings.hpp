@@ -31,4 +31,8 @@ long long parse_int(std::string_view s);
 /// printf-style formatting into a std::string.
 std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
 
+/// Escape for embedding inside a JSON string literal (quotes, backslashes,
+/// control characters; input is treated as opaque bytes).
+std::string json_escape(std::string_view s);
+
 }  // namespace hmd

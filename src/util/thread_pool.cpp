@@ -5,11 +5,24 @@
 #include <exception>
 
 #include "util/error.hpp"
+#include "util/metrics.hpp"
 #include "util/strings.hpp"
 
 namespace hmd {
 
-ThreadPool::ThreadPool(std::size_t num_threads) {
+ThreadPool::ThreadPool(std::size_t num_threads)
+    : created_(std::chrono::steady_clock::now()) {
+  // Instrument handles are owned by the process registry (which this
+  // lookup creates before the first worker spawns, so it outlives them).
+  MetricsRegistry& reg = metrics();
+  tasks_executed_ = &reg.counter("thread_pool.tasks_executed");
+  busy_us_ = &reg.counter("thread_pool.busy_us");
+  queue_wait_us_ =
+      &reg.histogram("thread_pool.queue_wait_us", default_latency_buckets_us());
+  utilization_gauge_ = &reg.gauge("thread_pool.utilization");
+  reg.gauge("thread_pool.workers")
+      .set(static_cast<double>(std::max<std::size_t>(1, num_threads)));
+
   const std::size_t n = std::max<std::size_t>(1, num_threads);
   workers_.reserve(n);
   for (std::size_t i = 0; i < n; ++i)
@@ -37,16 +50,52 @@ void TaskHandle::get() const {
   if (state_->error) std::rethrow_exception(state_->error);
 }
 
+void ThreadPool::run_task(std::function<void()>& task,
+                          std::chrono::steady_clock::time_point enqueued) {
+  using clock = std::chrono::steady_clock;
+  using std::chrono::duration_cast;
+  using std::chrono::microseconds;
+  const clock::time_point begin = clock::now();
+  queue_wait_us_->record(static_cast<double>(
+      duration_cast<microseconds>(begin - enqueued).count()));
+  task();
+  const auto busy = static_cast<std::uint64_t>(
+      duration_cast<microseconds>(clock::now() - begin).count());
+  tasks_executed_->add();
+  busy_us_->add(busy);
+  const std::uint64_t busy_total =
+      busy_us_total_.fetch_add(busy, std::memory_order_relaxed) + busy;
+  const auto uptime = static_cast<std::uint64_t>(
+      duration_cast<microseconds>(clock::now() - created_).count());
+  const double capacity =
+      static_cast<double>(workers_.size()) * static_cast<double>(uptime);
+  if (capacity > 0.0)
+    utilization_gauge_->set(static_cast<double>(busy_total) / capacity);
+}
+
+double ThreadPool::utilization() const {
+  const auto uptime = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - created_)
+          .count());
+  const double capacity =
+      static_cast<double>(workers_.size()) * static_cast<double>(uptime);
+  if (capacity <= 0.0) return 0.0;
+  return static_cast<double>(busy_us_total_.load(std::memory_order_relaxed)) /
+         capacity;
+}
+
 TaskHandle ThreadPool::submit(std::function<void()> task) {
   HMD_REQUIRE(task != nullptr, "ThreadPool::submit: null task");
   auto state = std::make_shared<TaskHandle::State>();
+  const auto enqueued = std::chrono::steady_clock::now();
   {
     std::lock_guard<std::mutex> lock(mutex_);
     HMD_REQUIRE(!stopping_, "ThreadPool::submit: pool is shutting down");
-    queue_.push_back([task = std::move(task), state] {
+    queue_.push_back([this, task = std::move(task), state, enqueued]() mutable {
       std::exception_ptr error;
       try {
-        task();
+        run_task(task, enqueued);
       } catch (...) {
         error = std::current_exception();
       }
@@ -135,6 +184,10 @@ void parallel_for(ThreadPool* pool, std::size_t n,
                   const std::function<void(std::size_t)>& fn) {
   HMD_REQUIRE(fn != nullptr, "parallel_for: null body");
   if (n == 0) return;
+  static Counter& batches = metrics().counter("parallel_for.batches");
+  static Counter& items = metrics().counter("parallel_for.items");
+  batches.add();
+  items.add(n);
   // Nested fan-out runs inline: a worker that blocked waiting on helper
   // tasks could deadlock the pool if every other worker did the same.
   if (pool == nullptr || pool->size() <= 1 || n == 1 ||

@@ -15,8 +15,10 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
@@ -27,6 +29,10 @@
 #include <vector>
 
 namespace hmd {
+
+class Counter;
+class Gauge;
+class Histogram;
 
 /// Completion handle for one submitted task. Mutex/cv based rather than
 /// std::future so every synchronization edge lives in instrumented code
@@ -76,14 +82,30 @@ class ThreadPool {
   /// True when called from one of this pool's worker threads.
   bool on_worker_thread() const;
 
+  /// Fraction of worker capacity spent running tasks since construction
+  /// (busy time / (workers x uptime)); also published to the process
+  /// metrics registry as the "thread_pool.utilization" gauge.
+  double utilization() const;
+
  private:
   void worker_loop();
+  void run_task(std::function<void()>& task,
+                std::chrono::steady_clock::time_point enqueued);
 
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   bool stopping_ = false;
+
+  // Observability (registry-owned instruments; the pool only caches
+  // references, so updates are plain atomic ops).
+  std::chrono::steady_clock::time_point created_;
+  std::atomic<std::uint64_t> busy_us_total_{0};
+  Counter* tasks_executed_ = nullptr;
+  Counter* busy_us_ = nullptr;
+  Histogram* queue_wait_us_ = nullptr;
+  Gauge* utilization_gauge_ = nullptr;
 };
 
 /// Thread count for parallel helpers: HMD_JOBS if set (>= 1), else

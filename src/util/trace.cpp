@@ -1,0 +1,100 @@
+#include "util/trace.hpp"
+
+#include <chrono>
+#include <ostream>
+
+#include "util/metrics.hpp"
+#include "util/strings.hpp"
+
+namespace hmd {
+
+namespace {
+
+std::chrono::steady_clock::time_point trace_epoch() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return epoch;
+}
+
+}  // namespace
+
+std::uint64_t Tracer::now_us() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - trace_epoch())
+          .count());
+}
+
+std::uint32_t Tracer::current_thread_id() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+void Tracer::record(TraceEvent event) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (events_.size() < kMaxEvents) {
+      events_.push_back(std::move(event));
+      return;
+    }
+  }
+  metrics().counter("trace.dropped_events").add();
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+std::size_t Tracer::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+}
+
+void Tracer::write_chrome_json(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  out << "{\"traceEvents\": [";
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const TraceEvent& e = events_[i];
+    if (i) out << ',';
+    out << "\n  {\"name\": \"" << json_escape(e.name)
+        << "\", \"ph\": \"X\", \"cat\": \"hmd\", \"pid\": 1, \"tid\": "
+        << e.tid << ", \"ts\": " << e.start_us
+        << ", \"dur\": " << e.duration_us << '}';
+  }
+  out << "\n]}\n";
+}
+
+Tracer& tracer() {
+  static Tracer instance;
+  return instance;
+}
+
+TraceSpan::TraceSpan(std::string name)
+    : name_(std::move(name)), start_us_(Tracer::now_us()) {}
+
+TraceSpan::~TraceSpan() { close(); }
+
+double TraceSpan::elapsed_seconds() const {
+  return static_cast<double>(Tracer::now_us() - start_us_) * 1e-6;
+}
+
+void TraceSpan::close() {
+  if (!open_) return;
+  open_ = false;
+  if (name_.empty()) return;  // pure scoped timer, never recorded
+  Tracer& t = tracer();
+  if (!t.enabled()) return;
+  t.record(TraceEvent{.name = std::move(name_),
+                      .tid = Tracer::current_thread_id(),
+                      .start_us = start_us_,
+                      .duration_us = Tracer::now_us() - start_us_});
+}
+
+}  // namespace hmd

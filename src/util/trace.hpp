@@ -1,0 +1,115 @@
+// Scoped-span tracing — where the wall-clock time of a run actually went.
+//
+// Usage:
+//
+//   void train_all() {
+//     HMD_TRACE_SPAN("bench/binary_study");      // whole-scope span
+//     ...
+//   }
+//
+// Spans record {name, thread, start, duration} into the process-wide
+// Tracer when it is enabled (tools enable it for --trace-out; it is off by
+// default, so instrumented code costs two steady_clock reads per span).
+// The collected timeline exports as Chrome Trace Event Format JSON — load
+// the file in chrome://tracing or https://ui.perfetto.dev.
+//
+// TraceSpan doubles as a scoped timer: elapsed_seconds() works whether or
+// not the tracer is recording, so callers that need the measured duration
+// (benches logging speedups) read it from the span instead of hand-rolling
+// chrono arithmetic.
+//
+// Building with -DHMD_TRACE_DISABLED (CMake option HMD_TRACE_DISABLED)
+// compiles HMD_TRACE_SPAN sites out entirely, for measuring
+// instrumentation overhead.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace hmd {
+
+/// One completed span on the process timeline.
+struct TraceEvent {
+  std::string name;
+  std::uint32_t tid = 0;       ///< small stable per-thread id
+  std::uint64_t start_us = 0;  ///< since the process trace epoch
+  std::uint64_t duration_us = 0;
+};
+
+/// Collects completed spans. Recording is gated by an atomic enabled flag;
+/// the event buffer is mutex-guarded and capped (drops count into the
+/// "trace.dropped_events" counter of the process metrics registry).
+class Tracer {
+ public:
+  /// Retained-event cap; beyond it new events are dropped, not rotated.
+  static constexpr std::size_t kMaxEvents = 1u << 20;
+
+  void set_enabled(bool on) noexcept {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  void record(TraceEvent event);
+
+  std::vector<TraceEvent> events() const;
+  std::size_t size() const;
+  void clear();
+
+  /// Chrome Trace Event Format: {"traceEvents": [{"ph": "X", ...}]}.
+  void write_chrome_json(std::ostream& out) const;
+
+  /// Small dense id of the calling thread (assigned on first use).
+  static std::uint32_t current_thread_id();
+  /// Microseconds since the process trace epoch (first call anchors it).
+  static std::uint64_t now_us();
+
+ private:
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+};
+
+/// The process-wide tracer HMD_TRACE_SPAN reports to.
+Tracer& tracer();
+
+/// RAII span: starts timing at construction, records into tracer() at
+/// destruction (or close()) when tracing is enabled. An empty name makes
+/// it a pure scoped timer — never recorded, only elapsed_seconds().
+class TraceSpan {
+ public:
+  explicit TraceSpan(std::string name);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Time since construction — usable as a plain scoped timer even when
+  /// the tracer is disabled.
+  double elapsed_seconds() const;
+
+  /// Record now (idempotent; the destructor then does nothing).
+  void close();
+
+ private:
+  std::string name_;
+  std::uint64_t start_us_ = 0;
+  bool open_ = true;
+};
+
+}  // namespace hmd
+
+#if defined(HMD_TRACE_DISABLED)
+#define HMD_TRACE_SPAN(...) ((void)0)
+#else
+#define HMD_TRACE_CONCAT_INNER(a, b) a##b
+#define HMD_TRACE_CONCAT(a, b) HMD_TRACE_CONCAT_INNER(a, b)
+/// Declares an anonymous TraceSpan covering the rest of the scope.
+#define HMD_TRACE_SPAN(...) \
+  ::hmd::TraceSpan HMD_TRACE_CONCAT(hmd_trace_span_, __LINE__){__VA_ARGS__}
+#endif

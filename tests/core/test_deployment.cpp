@@ -110,5 +110,22 @@ TEST(DeploymentBundle, LoadRejectsGarbage) {
   EXPECT_THROW((void)load_bundle(truncated), ParseError);
 }
 
+TEST(DeploymentBundle, LoadRejectsCorruptPolicyValues) {
+  // A bundle that parses cleanly but carries an impossible policy must not
+  // arm a monitor: the bundle constructor re-validates the policy, so the
+  // load throws PreconditionError rather than returning a broken detector.
+  const DeploymentBundle original = make_bundle();
+  std::ostringstream out;
+  save_bundle(out, original);
+  std::string text = out.str();
+  const std::string needle = "policy ";
+  const std::size_t pos = text.find(needle);
+  ASSERT_NE(pos, std::string::npos);
+  const std::size_t eol = text.find('\n', pos);
+  text.replace(pos, eol - pos, "policy 0x1.8p+1 4");  // threshold 3.0 > 1
+  std::istringstream in(text);
+  EXPECT_THROW((void)load_bundle(in), PreconditionError);
+}
+
 }  // namespace
 }  // namespace hmd::core

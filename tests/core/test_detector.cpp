@@ -52,7 +52,7 @@ TEST(BinaryStudy, RunsAllSchemesOnFullFeatures) {
   ASSERT_EQ(rows.size(), 3u);
   for (const auto& row : rows) {
     EXPECT_EQ(row.num_features, 16u);
-    EXPECT_GT(row.accuracy, 0.5);
+    EXPECT_GT(row.accuracy(), 0.5);
     EXPECT_GT(row.synthesis.area_slices(), 0.0);
     EXPECT_GT(row.accuracy_per_slice(), 0.0);
   }

@@ -79,7 +79,7 @@ TEST(Integration, FeatureReductionKeepsMostBinaryAccuracy) {
   const BinaryStudy study(fixture().btrain, fixture().btest);
   const auto full = study.run({"J48"});
   const auto reduced = study.run({"J48"}, &top8);
-  EXPECT_GT(reduced.front().accuracy, full.front().accuracy - 0.05);
+  EXPECT_GT(reduced.front().accuracy(), full.front().accuracy() - 0.05);
 }
 
 TEST(Integration, ReducedFeaturesShrinkLinearModelHardware) {

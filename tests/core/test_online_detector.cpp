@@ -32,6 +32,43 @@ TEST(OnlineDetector, RejectsBadConfig) {
                PreconditionError);
 }
 
+TEST(OnlineDetectorConfig, ValidateIsCallableStandalone) {
+  OnlineDetectorConfig ok;
+  EXPECT_NO_THROW(ok.validate());
+  OnlineDetectorConfig bad;
+  bad.flag_threshold = -0.5;
+  EXPECT_THROW(bad.validate(), PreconditionError);
+  bad.flag_threshold = 0.5;
+  bad.confirm_windows = 0;
+  EXPECT_THROW(bad.validate(), PreconditionError);
+}
+
+TEST(OnlineDetector, FlagRateTracksFlaggedFraction) {
+  StubModel model;
+  OnlineDetector det(model, {.flag_threshold = 0.9, .confirm_windows = 10});
+  EXPECT_DOUBLE_EQ(det.flag_rate(), 0.0);  // no windows yet
+  det.observe(std::vector<double>{0.95});  // flagged
+  det.observe(std::vector<double>{0.1});
+  det.observe(std::vector<double>{0.95});  // flagged
+  det.observe(std::vector<double>{0.1});
+  EXPECT_DOUBLE_EQ(det.flag_rate(), 0.5);
+  det.reset();
+  EXPECT_DOUBLE_EQ(det.flag_rate(), 0.0);
+}
+
+TEST(OnlineDetector, FlagRateConsistentAcrossBatchAndStreaming) {
+  const std::vector<double> flat = {0.95, 0.1, 0.95, 0.95, 0.2, 0.99};
+  const OnlineDetectorConfig config{.flag_threshold = 0.9,
+                                    .confirm_windows = 2};
+  StubModel model;
+  OnlineDetector streaming(model, config);
+  for (double p : flat) streaming.observe(std::vector<double>{p});
+  OnlineDetector batched(model, config);
+  batched.score_windows(flat, 1);
+  EXPECT_DOUBLE_EQ(batched.flag_rate(), streaming.flag_rate());
+  EXPECT_DOUBLE_EQ(batched.flag_rate(), 4.0 / 6.0);
+}
+
 TEST(OnlineDetector, FlagsOnlyAboveThreshold) {
   StubModel model;
   OnlineDetector det(model, {.flag_threshold = 0.9, .confirm_windows = 2});
@@ -131,6 +168,29 @@ TEST(OnlineDetector, ScoreWindowsContinuesStreamingState) {
       det.score_windows(std::vector<double>{0.99, 0.1}, 1);
   EXPECT_TRUE(verdicts[0].alarm);
   EXPECT_EQ(det.alarm_window(), 2u);
+}
+
+TEST(OnlineDetector, ScoreWindowsCrossesChunkBoundaries) {
+  // More windows than one internal scoring chunk (256): the serial replay
+  // must still see every window in order, including an alarm streak that
+  // straddles a chunk edge.
+  constexpr std::size_t kWindows = 600;
+  std::vector<double> flat(kWindows, 0.1);
+  flat[254] = flat[255] = flat[256] = 0.99;  // streak across the boundary
+  const OnlineDetectorConfig config{.flag_threshold = 0.9,
+                                    .confirm_windows = 3};
+  StubModel model;
+
+  OnlineDetector streaming(model, config);
+  for (double p : flat) streaming.observe(std::vector<double>{p});
+
+  ThreadPool pool(4);
+  OnlineDetector batched(model, config);
+  const auto verdicts = batched.score_windows(flat, 1, &pool);
+  ASSERT_EQ(verdicts.size(), kWindows);
+  EXPECT_EQ(batched.alarm_window(), streaming.alarm_window());
+  EXPECT_EQ(batched.alarm_window(), 256u);
+  EXPECT_DOUBLE_EQ(batched.flag_rate(), streaming.flag_rate());
 }
 
 TEST(OnlineDetector, ScoreWindowsRejectsMalformedInput) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "ml/zero_r.hpp"
 #include "tests/ml/synthetic_data.hpp"
 #include "util/error.hpp"
@@ -102,6 +104,61 @@ TEST(Evaluation, ToStringMentionsAccuracyAndClasses) {
   EXPECT_NE(s.find("pos"), std::string::npos);
 }
 
+TEST(EvaluationReport, ForwardsToEmbeddedResult) {
+  EvaluationReport report;
+  report.scheme = "Stub";
+  report.result = two_class_result();
+  EXPECT_DOUBLE_EQ(report.accuracy(), 0.85);
+  EXPECT_EQ(report.total(), 20u);
+  EXPECT_EQ(report.correct(), 17u);
+  EXPECT_EQ(report.confusion(0, 1), 2u);
+  EXPECT_EQ(report.num_classes(), 2u);
+  EXPECT_DOUBLE_EQ(report.macro_recall(), 0.85);
+  EXPECT_DOUBLE_EQ(report.recall(1), report.result.recall(1));
+  EXPECT_DOUBLE_EQ(report.f1(0), report.result.f1(0));
+  report.record(1, 1);
+  EXPECT_EQ(report.total(), 21u);
+}
+
+TEST(EvaluationReport, PerClassRowsMatchScalarAccessors) {
+  EvaluationReport report;
+  report.result = two_class_result();
+  const auto rows = report.per_class();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].name, "neg");
+  EXPECT_EQ(rows[1].name, "pos");
+  for (std::size_t c = 0; c < rows.size(); ++c) {
+    EXPECT_DOUBLE_EQ(rows[c].precision, report.precision(c));
+    EXPECT_DOUBLE_EQ(rows[c].recall, report.recall(c));
+    EXPECT_DOUBLE_EQ(rows[c].f1, report.f1(c));
+  }
+}
+
+TEST(EvaluationReport, ToStringIncludesTimingLine) {
+  EvaluationReport report;
+  report.result = two_class_result();
+  report.train_seconds = 0.25;
+  report.predict_seconds = 0.5;
+  const std::string s = report.to_string();
+  EXPECT_NE(s.find("accuracy"), std::string::npos);
+  EXPECT_NE(s.find("train"), std::string::npos);
+  EXPECT_NE(s.find("predict"), std::string::npos);
+}
+
+TEST(EvaluationReport, WriteJsonHasSchemeAndConfusion) {
+  EvaluationReport report;
+  report.scheme = "Na\"ive";  // name needing escaping
+  report.result = two_class_result();
+  std::ostringstream out;
+  report.write_json(out);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("\"scheme\": \"Na\\\"ive\""), std::string::npos);
+  EXPECT_NE(s.find("\"accuracy\""), std::string::npos);
+  EXPECT_NE(s.find("\"confusion\""), std::string::npos);
+  EXPECT_NE(s.find("\"classes\""), std::string::npos);
+  EXPECT_NE(s.find("\"train_seconds\""), std::string::npos);
+}
+
 TEST(Evaluate, RunsClassifierOverTestSet) {
   const Dataset d = testdata::separable_binary(50);
   ZeroR z;
@@ -109,6 +166,9 @@ TEST(Evaluate, RunsClassifierOverTestSet) {
   const auto r = evaluate(z, d);
   EXPECT_EQ(r.total(), d.num_instances());
   EXPECT_DOUBLE_EQ(r.accuracy(), 0.5);  // balanced blobs
+  EXPECT_EQ(r.scheme, "ZeroR");
+  EXPECT_GE(r.predict_seconds, 0.0);
+  EXPECT_EQ(r.train_seconds, 0.0);  // evaluate() does not train
 }
 
 TEST(Evaluate, EmptyTestSetThrows) {

@@ -1,0 +1,116 @@
+#include "ml/instrumented.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ml/registry.hpp"
+#include "ml/zero_r.hpp"
+#include "tests/ml/synthetic_data.hpp"
+#include "util/error.hpp"
+#include "util/metrics.hpp"
+
+namespace hmd::ml {
+namespace {
+
+using testdata::separable_binary;
+
+/// Flattens every feature row of `d` into one row-major buffer.
+std::vector<double> flatten(const Dataset& d) {
+  std::vector<double> flat;
+  flat.reserve(d.num_instances() * d.num_features());
+  for (std::size_t i = 0; i < d.num_instances(); ++i) {
+    const auto row = d.features_of(i);
+    flat.insert(flat.end(), row.begin(), row.end());
+  }
+  return flat;
+}
+
+/// distribution_batch must agree with per-row distribution() for `scheme`.
+void expect_batch_matches_per_row(const std::string& scheme) {
+  const Dataset d = separable_binary(80);
+  const auto clf = make_classifier(scheme);
+  clf->train(d);
+  const std::vector<double> flat = flatten(d);
+  std::vector<double> batched(d.num_instances() * clf->num_classes());
+  clf->distribution_batch(flat, d.num_features(), batched);
+  for (std::size_t i = 0; i < d.num_instances(); ++i) {
+    const auto row = clf->distribution(d.features_of(i));
+    for (std::size_t c = 0; c < row.size(); ++c)
+      EXPECT_DOUBLE_EQ(batched[i * row.size() + c], row[c])
+          << scheme << " row " << i << " class " << c;
+  }
+}
+
+TEST(DistributionBatch, DefaultLoopMatchesPerRow) {
+  expect_batch_matches_per_row("NaiveBayes");  // uses the base-class loop
+}
+
+TEST(DistributionBatch, LogisticOverrideMatchesPerRow) {
+  expect_batch_matches_per_row("MLR");  // buffer-reusing override
+}
+
+TEST(DistributionBatch, RejectsMalformedArguments) {
+  const Dataset d = separable_binary(10);
+  const auto clf = make_classifier("ZeroR");
+  clf->train(d);
+  const std::vector<double> flat = flatten(d);
+  std::vector<double> out(d.num_instances() * clf->num_classes());
+  EXPECT_THROW(clf->distribution_batch(flat, 0, out), PreconditionError);
+  // Input not a whole number of rows.
+  EXPECT_THROW(clf->distribution_batch(flat, d.num_features() + 1, out),
+               PreconditionError);
+  // Output size mismatch.
+  std::vector<double> short_out(2);
+  EXPECT_THROW(clf->distribution_batch(flat, d.num_features(), short_out),
+               PreconditionError);
+}
+
+TEST(Instrumented, ForwardsSchemeBehaviorUnchanged) {
+  const Dataset d = separable_binary(60);
+  auto plain = make_classifier("J48");
+  plain->train(d);
+  auto wrapped = instrument(make_classifier("J48"));
+  wrapped->train(d);
+  EXPECT_EQ(wrapped->name(), "J48");
+  EXPECT_EQ(wrapped->num_classes(), plain->num_classes());
+  for (std::size_t i = 0; i < d.num_instances(); ++i)
+    EXPECT_EQ(wrapped->predict(d.features_of(i)),
+              plain->predict(d.features_of(i)));
+}
+
+TEST(Instrumented, UnwrapExposesConcreteScheme) {
+  auto wrapped = instrument(std::make_unique<ZeroR>());
+  EXPECT_NE(dynamic_cast<const ZeroR*>(&wrapped->unwrap()), nullptr);
+  // A bare scheme unwraps to itself.
+  ZeroR plain;
+  EXPECT_EQ(&plain.unwrap(), &plain);
+}
+
+TEST(Instrumented, RecordsTrainAndBatchInstruments) {
+  const Dataset d = separable_binary(40);
+  MetricsRegistry& reg = metrics();
+  Histogram& train_ms =
+      reg.histogram("ml.train_ms.ZeroR", default_latency_buckets_us());
+  Counter& batch_rows = reg.counter("ml.batch_rows.ZeroR");
+  const std::uint64_t trains_before = train_ms.count();
+  const std::uint64_t rows_before = batch_rows.value();
+
+  auto wrapped = instrument(std::make_unique<ZeroR>());
+  wrapped->train(d);
+  std::vector<double> out(d.num_instances() * wrapped->num_classes());
+  wrapped->distribution_batch(flatten(d), d.num_features(), out);
+
+  EXPECT_EQ(train_ms.count(), trains_before + 1);
+  EXPECT_EQ(batch_rows.value(), rows_before + d.num_instances());
+}
+
+TEST(Instrumented, ReleaseReturnsInner) {
+  auto wrapped = std::make_unique<InstrumentedClassifier>(
+      std::make_unique<ZeroR>());
+  auto inner = wrapped->release();
+  EXPECT_NE(dynamic_cast<ZeroR*>(inner.get()), nullptr);
+}
+
+}  // namespace
+}  // namespace hmd::ml

@@ -1,0 +1,97 @@
+#include "ml/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "ml/evaluation.hpp"
+#include "tests/ml/synthetic_data.hpp"
+#include "util/error.hpp"
+
+namespace hmd::ml {
+namespace {
+
+TEST(Registry, KnownSchemesListsThirteenCanonicalNames) {
+  const auto schemes = known_schemes();
+  EXPECT_EQ(schemes.size(), 13u);
+  // No duplicates, no aliases.
+  auto sorted = schemes;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  EXPECT_EQ(std::count(schemes.begin(), schemes.end(), "Logistic"), 0);
+  // Every listed scheme constructs.
+  for (const auto& name : schemes) {
+    const auto clf = make_classifier(name);
+    ASSERT_NE(clf, nullptr) << name;
+    EXPECT_EQ(clf->name(), name);
+  }
+}
+
+TEST(Registry, IsKnownSchemeAcceptsCanonicalAndAlias) {
+  EXPECT_TRUE(is_known_scheme("MLR"));
+  EXPECT_TRUE(is_known_scheme("Logistic"));  // alias of MLR
+  EXPECT_TRUE(is_known_scheme("J48"));
+  EXPECT_FALSE(is_known_scheme("RandomForest"));
+  EXPECT_FALSE(is_known_scheme(""));
+}
+
+TEST(Registry, AliasConstructsSameSchemeAsCanonicalName) {
+  const auto canonical = make_classifier("MLR");
+  const auto alias = make_classifier("Logistic");
+  EXPECT_EQ(canonical->name(), alias->name());
+}
+
+TEST(Registry, DescriptionsExistForEveryScheme) {
+  for (const auto& name : known_schemes())
+    EXPECT_FALSE(scheme_description(name).empty()) << name;
+  EXPECT_TRUE(scheme_description("NotAScheme").empty());
+}
+
+TEST(Registry, UnknownSchemeErrorListsAllKnownNames) {
+  try {
+    (void)make_classifier("Bogus");
+    FAIL() << "expected PreconditionError";
+  } catch (const PreconditionError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("Bogus"), std::string::npos);
+    for (const auto& name : known_schemes())
+      EXPECT_NE(what.find(name), std::string::npos) << name;
+  }
+}
+
+TEST(Registry, StudyListsAreSubsetsOfKnownSchemes) {
+  const auto schemes = known_schemes();
+  for (const auto& name : binary_study_classifiers())
+    EXPECT_TRUE(std::count(schemes.begin(), schemes.end(), name)) << name;
+  for (const auto& name : multiclass_study_classifiers())
+    EXPECT_TRUE(std::count(schemes.begin(), schemes.end(), name)) << name;
+}
+
+TEST(Registry, EverySchemeReportsThroughEvaluationReport) {
+  // The unified evaluation artifact must work for all 13 schemes, not just
+  // the study subsets (Mahalanobis trains on the benign class only, the
+  // ensembles resample — evaluate() must not care).
+  const Dataset d = testdata::separable_binary(60);
+  for (const auto& name : known_schemes()) {
+    auto clf = make_classifier(name);
+    clf->train(d);
+    const EvaluationReport report = evaluate(*clf, d);
+    EXPECT_EQ(report.scheme, name);
+    EXPECT_EQ(report.total(), d.num_instances()) << name;
+    EXPECT_GE(report.predict_seconds, 0.0) << name;
+    EXPECT_EQ(report.num_classes(), 2u) << name;
+  }
+}
+
+TEST(Registry, StudyListsPreserveThesisOrdering) {
+  // Figs. 13-16 compare these schemes in this order; the multiclass study
+  // (Figs. 17-19) uses MLR, MLP, SVM.
+  const std::vector<std::string> binary = {
+      "OneR", "JRip", "J48", "NaiveBayes", "MLR", "SVM", "MLP"};
+  EXPECT_EQ(binary_study_classifiers(), binary);
+  const std::vector<std::string> multi = {"MLR", "MLP", "SVM"};
+  EXPECT_EQ(multiclass_study_classifiers(), multi);
+}
+
+}  // namespace
+}  // namespace hmd::ml

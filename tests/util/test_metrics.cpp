@@ -1,0 +1,162 @@
+#include "util/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+
+namespace hmd {
+namespace {
+
+TEST(MetricsCounter, AddAndReset) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("c");
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+  // Same name returns the same instrument.
+  EXPECT_EQ(&reg.counter("c"), &c);
+}
+
+TEST(MetricsGauge, SetAndAdd) {
+  MetricsRegistry reg;
+  Gauge& g = reg.gauge("g");
+  g.set(1.5);
+  EXPECT_DOUBLE_EQ(g.value(), 1.5);
+  g.add(0.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.0);
+  g.reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(MetricsHistogram, BucketEdgesUseLessOrEqualSemantics) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("h", {1.0, 10.0, 100.0});
+  h.record(1.0);    // lands in le=1 (boundary inclusive)
+  h.record(1.0001); // lands in le=10
+  h.record(10.0);   // le=10
+  h.record(100.0);  // le=100
+  h.record(101.0);  // overflow
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.bucket_count(1), 2u);
+  EXPECT_EQ(h.bucket_count(2), 1u);
+  EXPECT_EQ(h.bucket_count(3), 1u);  // overflow bucket
+}
+
+TEST(MetricsHistogram, SumMinMaxMean) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("h", {10.0, 100.0});
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);  // empty histogram reports zeros
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  h.record(5.0);
+  h.record(15.0);
+  h.record(40.0);
+  EXPECT_DOUBLE_EQ(h.sum(), 60.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 20.0);
+  EXPECT_DOUBLE_EQ(h.min(), 5.0);
+  EXPECT_DOUBLE_EQ(h.max(), 40.0);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+}
+
+TEST(MetricsHistogram, QuantileFromBucketBounds) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("h", {1.0, 2.0, 4.0, 8.0});
+  for (int i = 0; i < 90; ++i) h.record(1.5);  // le=2
+  for (int i = 0; i < 10; ++i) h.record(7.0);  // le=8
+  // p50 falls in the le=2 bucket; p99 in the le=8 bucket.
+  EXPECT_LE(h.quantile(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 8.0);
+}
+
+TEST(MetricsHistogram, RejectsUnsortedBounds) {
+  MetricsRegistry reg;
+  EXPECT_THROW(reg.histogram("bad", {10.0, 5.0}), PreconditionError);
+  EXPECT_THROW(reg.histogram("empty", {}), PreconditionError);
+}
+
+TEST(MetricsHistogram, MismatchedReRegistrationThrows) {
+  MetricsRegistry reg;
+  reg.histogram("h", {1.0, 2.0});
+  EXPECT_NO_THROW(reg.histogram("h", {1.0, 2.0}));
+  EXPECT_THROW(reg.histogram("h", {1.0, 3.0}), PreconditionError);
+}
+
+TEST(MetricsRegistry, NamesAndJson) {
+  MetricsRegistry reg;
+  reg.counter("requests").add(3);
+  reg.gauge("load").set(0.75);
+  reg.histogram("latency", {1.0, 10.0}).record(4.0);
+  const std::vector<std::string> names = reg.names();
+  EXPECT_EQ(names.size(), 3u);
+
+  std::ostringstream json;
+  reg.write_json(json);
+  const std::string s = json.str();
+  EXPECT_NE(s.find("\"requests\": 3"), std::string::npos);
+  EXPECT_NE(s.find("\"load\": 0.75"), std::string::npos);
+  EXPECT_NE(s.find("\"latency\""), std::string::npos);
+  EXPECT_NE(s.find("\"le\": \"inf\""), std::string::npos);
+
+  std::ostringstream csv;
+  reg.write_csv(csv);
+  EXPECT_NE(csv.str().find("counter,requests,value,3"), std::string::npos);
+}
+
+TEST(MetricsRegistry, DefaultLatencyBucketsAreSorted) {
+  const std::vector<double> b = default_latency_buckets_us();
+  ASSERT_GE(b.size(), 2u);
+  for (std::size_t i = 1; i < b.size(); ++i) EXPECT_LT(b[i - 1], b[i]);
+  const std::vector<double> c = default_count_buckets();
+  for (std::size_t i = 1; i < c.size(); ++i) EXPECT_LT(c[i - 1], c[i]);
+}
+
+// Concurrent increments from the thread pool must neither race nor lose
+// updates (this suite runs under TSan in CI).
+TEST(MetricsConcurrency, ParallelCounterIncrements) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("hits");
+  Histogram& h = reg.histogram("lat", {1.0, 10.0, 100.0});
+  ThreadPool pool(4);
+  constexpr std::size_t kItems = 10000;
+  parallel_for(&pool, kItems, [&](std::size_t i) {
+    c.add();
+    h.record(static_cast<double>(i % 120));
+  });
+  EXPECT_EQ(c.value(), kItems);
+  EXPECT_EQ(h.count(), kItems);
+}
+
+TEST(MetricsConcurrency, ParallelRegistryLookups) {
+  MetricsRegistry reg;
+  ThreadPool pool(4);
+  parallel_for(&pool, 1000, [&](std::size_t i) {
+    reg.counter("shared").add();
+    reg.counter("c" + std::to_string(i % 7)).add();
+  });
+  EXPECT_EQ(reg.counter("shared").value(), 1000u);
+  std::uint64_t spread = 0;
+  for (int i = 0; i < 7; ++i)
+    spread += reg.counter("c" + std::to_string(i)).value();
+  EXPECT_EQ(spread, 1000u);
+}
+
+TEST(MetricsConcurrency, GlobalRegistryFromGlobalPool) {
+  Counter& c = metrics().counter("test.metrics_concurrency");
+  c.reset();
+  parallel_for(&global_pool(), 2048, [&](std::size_t) { c.add(); });
+  EXPECT_EQ(c.value(), 2048u);
+}
+
+}  // namespace
+}  // namespace hmd

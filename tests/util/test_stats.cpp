@@ -149,8 +149,8 @@ TEST(Percentile, RejectsBadInput) {
   EXPECT_THROW((void)percentile({}, 50.0), PreconditionError);
 }
 
-TEST(Histogram, CountsIntoCorrectBins) {
-  Histogram h(0.0, 10.0, 10);
+TEST(BinnedHistogram, CountsIntoCorrectBins) {
+  BinnedHistogram h(0.0, 10.0, 10);
   h.add(0.5);
   h.add(9.5);
   h.add(5.0);
@@ -160,37 +160,37 @@ TEST(Histogram, CountsIntoCorrectBins) {
   EXPECT_EQ(h.total(), 3u);
 }
 
-TEST(Histogram, ClampsOutOfRange) {
-  Histogram h(0.0, 1.0, 4);
+TEST(BinnedHistogram, ClampsOutOfRange) {
+  BinnedHistogram h(0.0, 1.0, 4);
   h.add(-100.0);
   h.add(100.0);
   EXPECT_EQ(h.bin_count(0), 1u);
   EXPECT_EQ(h.bin_count(3), 1u);
 }
 
-TEST(Histogram, BinEdges) {
-  Histogram h(0.0, 10.0, 5);
+TEST(BinnedHistogram, BinEdges) {
+  BinnedHistogram h(0.0, 10.0, 5);
   EXPECT_DOUBLE_EQ(h.bin_low(0), 0.0);
   EXPECT_DOUBLE_EQ(h.bin_high(0), 2.0);
   EXPECT_DOUBLE_EQ(h.bin_low(4), 8.0);
 }
 
-TEST(Histogram, ModeBin) {
-  Histogram h(0.0, 3.0, 3);
+TEST(BinnedHistogram, ModeBin) {
+  BinnedHistogram h(0.0, 3.0, 3);
   h.add(1.5);
   h.add(1.5);
   h.add(0.5);
   EXPECT_EQ(h.mode_bin(), 1u);
 }
 
-TEST(Histogram, RejectsDegenerateGeometry) {
-  EXPECT_THROW(Histogram(1.0, 1.0, 4), PreconditionError);
-  EXPECT_THROW(Histogram(0.0, 1.0, 0), PreconditionError);
+TEST(BinnedHistogram, RejectsDegenerateGeometry) {
+  EXPECT_THROW(BinnedHistogram(1.0, 1.0, 4), PreconditionError);
+  EXPECT_THROW(BinnedHistogram(0.0, 1.0, 0), PreconditionError);
 }
 
-TEST(Histogram, NormalDistributionPeaksInMiddle) {
+TEST(BinnedHistogram, NormalDistributionPeaksInMiddle) {
   Rng rng(33);
-  Histogram h(-4.0, 4.0, 16);
+  BinnedHistogram h(-4.0, 4.0, 16);
   for (int i = 0; i < 50000; ++i) h.add(rng.normal());
   // Mode bin should straddle zero.
   const std::size_t mode = h.mode_bin();

@@ -1,0 +1,110 @@
+#include "util/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "util/thread_pool.hpp"
+
+namespace hmd {
+namespace {
+
+/// Enables the global tracer for one test and restores a clean slate.
+class TracerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    tracer().clear();
+    tracer().set_enabled(true);
+  }
+  void TearDown() override {
+    tracer().set_enabled(false);
+    tracer().clear();
+  }
+};
+
+TEST_F(TracerTest, SpanRecordsOnDestruction) {
+  {
+    TraceSpan span("unit/span");
+    EXPECT_EQ(tracer().size(), 0u);  // not recorded until it closes
+  }
+  ASSERT_EQ(tracer().size(), 1u);
+  const TraceEvent e = tracer().events().front();
+  EXPECT_EQ(e.name, "unit/span");
+}
+
+TEST_F(TracerTest, CloseIsIdempotent) {
+  TraceSpan span("unit/close");
+  span.close();
+  span.close();
+  EXPECT_EQ(tracer().size(), 1u);
+}
+
+TEST_F(TracerTest, EmptyNameIsPureTimer) {
+  {
+    TraceSpan timer("");
+    EXPECT_GE(timer.elapsed_seconds(), 0.0);
+  }
+  EXPECT_EQ(tracer().size(), 0u);
+}
+
+TEST_F(TracerTest, DisabledTracerRecordsNothing) {
+  tracer().set_enabled(false);
+  { TraceSpan span("unit/disabled"); }
+  EXPECT_EQ(tracer().size(), 0u);
+  // elapsed_seconds still works as a scoped timer.
+  TraceSpan timer("unit/timer");
+  EXPECT_GE(timer.elapsed_seconds(), 0.0);
+  timer.close();
+}
+
+TEST_F(TracerTest, NestedSpansBothRecordAndNest) {
+  {
+    TraceSpan outer("unit/outer");
+    { HMD_TRACE_SPAN("unit/inner"); }
+  }
+  const auto events = tracer().events();
+  ASSERT_EQ(events.size(), 2u);
+  // Inner closes first; outer's interval must contain inner's.
+  const TraceEvent& inner = events[0];
+  const TraceEvent& outer = events[1];
+  EXPECT_EQ(inner.name, "unit/inner");
+  EXPECT_EQ(outer.name, "unit/outer");
+  EXPECT_LE(outer.start_us, inner.start_us);
+  EXPECT_GE(outer.start_us + outer.duration_us,
+            inner.start_us + inner.duration_us);
+}
+
+TEST_F(TracerTest, ChromeJsonShape) {
+  { HMD_TRACE_SPAN("json/\"quoted\""); }
+  std::ostringstream out;
+  tracer().write_chrome_json(out);
+  const std::string s = out.str();
+  EXPECT_EQ(s.find("{\"traceEvents\": ["), 0u);
+  EXPECT_NE(s.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(s.find("json/\\\"quoted\\\""), std::string::npos);
+  EXPECT_NE(s.find("\"pid\": 1"), std::string::npos);
+}
+
+TEST_F(TracerTest, ConcurrentSpansFromPoolWorkers) {
+  ThreadPool pool(4);
+  parallel_for(&pool, 64, [&](std::size_t i) {
+    TraceSpan span("worker/" + std::to_string(i % 4));
+  });
+  EXPECT_EQ(tracer().size(), 64u);
+}
+
+TEST(TracerThreadIds, StableAndSmall) {
+  const std::uint32_t a = Tracer::current_thread_id();
+  const std::uint32_t b = Tracer::current_thread_id();
+  EXPECT_EQ(a, b);
+}
+
+TEST(TracerClock, Monotonic) {
+  const std::uint64_t t0 = Tracer::now_us();
+  const std::uint64_t t1 = Tracer::now_us();
+  EXPECT_GE(t1, t0);
+}
+
+}  // namespace
+}  // namespace hmd

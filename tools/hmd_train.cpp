@@ -8,6 +8,8 @@
 //   hmd_train --data FILE [--scheme NAME] [--binary] [--top-k N]
 //             [--threshold P] [--confirm N] [--seed N] [--jobs N]
 //             [--cv K] [--sweep] [--model FILE | --bundle FILE]
+//             [--metrics-out FILE] [--trace-out FILE]
+//   hmd_train --list-classifiers
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -15,15 +17,19 @@
 #include "core/dataset_builder.hpp"
 #include "core/deployment.hpp"
 #include "core/feature_reduction.hpp"
+#include "core/online_detector.hpp"
 #include "ml/arff.hpp"
 #include "ml/cross_validation.hpp"
 #include "ml/evaluation.hpp"
+#include "ml/instrumented.hpp"
 #include "ml/registry.hpp"
 #include "ml/serialization.hpp"
 #include "util/error.hpp"
+#include "util/metrics.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
+#include "util/trace.hpp"
 
 namespace {
 
@@ -42,8 +48,21 @@ namespace {
       "  --sweep        compare the full study classifier set in parallel\n"
       "                 (binary study set with --binary, else MLR/MLP/SVM)\n"
       "  --model FILE   save the bare model\n"
-      "  --bundle FILE  save a full deployment bundle (binary only)\n";
+      "  --bundle FILE  save a full deployment bundle (binary only)\n"
+      "  --metrics-out FILE  write process metrics JSON on exit\n"
+      "  --trace-out FILE    collect spans; write Chrome trace JSON\n"
+      "  --list-classifiers  print every known scheme and exit\n";
   std::exit(2);
+}
+
+void list_classifiers() {
+  using namespace hmd;
+  TextTable table("known classifier schemes");
+  table.set_header({"scheme", "description"});
+  for (const std::string& name : ml::known_schemes())
+    table.add_row({name, ml::scheme_description(name)});
+  table.print(std::cout);
+  std::cout << "alias: Logistic -> MLR\n";
 }
 
 /// Fan the study classifier sweep across the pool and print a table.
@@ -57,17 +76,51 @@ void run_sweep(const hmd::ml::Dataset& train, const hmd::ml::Dataset& test,
             << pool.size() << " threads\n";
   const auto evals =
       parallel_map(&pool, schemes, [&](const std::string& scheme) {
-        auto clf = ml::make_classifier(scheme);
+        auto clf = ml::instrument(ml::make_classifier(scheme));
+        TraceSpan timer("");
         clf->train(train);
-        return ml::evaluate(*clf, test);
+        const double train_seconds = timer.elapsed_seconds();
+        auto report = ml::evaluate(*clf, test);
+        report.train_seconds = train_seconds;
+        return report;
       });
   TextTable table("classifier sweep (test split)");
-  table.set_header({"scheme", "accuracy %", "macro recall %", "kappa"});
+  table.set_header({"scheme", "accuracy %", "macro recall %", "kappa",
+                    "train ms", "predict ms"});
   for (std::size_t i = 0; i < schemes.size(); ++i)
     table.add_row({schemes[i], format("%.2f", evals[i].accuracy() * 100.0),
                    format("%.2f", evals[i].macro_recall() * 100.0),
-                   format("%.3f", evals[i].kappa())});
+                   format("%.3f", evals[i].kappa()),
+                   format("%.1f", evals[i].train_seconds * 1e3),
+                   format("%.1f", evals[i].predict_seconds * 1e3)});
   table.print(std::cout);
+}
+
+/// Replay the held-out binary windows through the runtime monitor, so
+/// every training run also reports deployment-side counters (flag rate,
+/// alarms) into the metrics registry.
+void run_deployment_replay(const hmd::ml::Classifier& model,
+                           const hmd::ml::Dataset& test,
+                           hmd::core::OnlineDetectorConfig policy,
+                           hmd::ThreadPool& pool) {
+  using namespace hmd;
+  const std::size_t n = test.num_instances();
+  const std::size_t d = test.num_features();
+  std::vector<double> flat;
+  flat.reserve(n * d);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto row = test.features_of(i);
+    flat.insert(flat.end(), row.begin(), row.end());
+  }
+  core::OnlineDetector monitor(model, policy);
+  const auto verdicts = monitor.score_windows(flat, d, &pool);
+  (void)verdicts;
+  std::cerr << format(
+      "deployment replay: %zu windows, flag rate %.1f%%, %s\n",
+      monitor.windows_seen(), monitor.flag_rate() * 100.0,
+      monitor.alarmed()
+          ? format("alarm at window %zu", monitor.alarm_window()).c_str()
+          : "no alarm");
 }
 
 }  // namespace
@@ -76,6 +129,7 @@ int main(int argc, char** argv) {
   using namespace hmd;
 
   std::string data_path, scheme = "MLR", model_path, bundle_path;
+  std::string metrics_path, trace_path;
   bool binary = false, sweep = false;
   std::size_t top_k = 0, cv_folds = 0, jobs = default_jobs();
   core::OnlineDetectorConfig policy;
@@ -100,9 +154,16 @@ int main(int argc, char** argv) {
       else if (arg == "--sweep") sweep = true;
       else if (arg == "--model") model_path = next();
       else if (arg == "--bundle") bundle_path = next();
+      else if (arg == "--metrics-out") metrics_path = next();
+      else if (arg == "--trace-out") trace_path = next();
+      else if (arg == "--list-classifiers") {
+        list_classifiers();
+        return 0;
+      }
       else usage();
     }
     if (data_path.empty()) usage();
+    if (!trace_path.empty()) tracer().set_enabled(true);
 
     const ml::Dataset multi =
         core::DatasetBuilder::load_dataset_csv(data_path);
@@ -138,12 +199,33 @@ int main(int argc, char** argv) {
           cv.mean_accuracy() * 100.0, cv.stddev_accuracy());
     }
 
-    auto model = ml::make_classifier(scheme);
-    model->train(train);
+    auto model = ml::instrument(ml::make_classifier(scheme));
+    {
+      HMD_TRACE_SPAN("hmd_train/final_model");
+      model->train(train);
+    }
     const auto eval = ml::evaluate(*model, test);
     std::cerr << format("%s test accuracy: %.2f%% (kappa %.3f)\n",
                         scheme.c_str(), eval.accuracy() * 100.0,
                         eval.kappa());
+
+    // Deployment replay: exercise the OnlineDetector against the held-out
+    // windows. With --binary the final model is reused; otherwise a fresh
+    // binary view of the data trains a monitor model of the same scheme.
+    {
+      HMD_TRACE_SPAN("hmd_train/deployment_replay");
+      if (binary) {
+        run_deployment_replay(*model, test, policy, pool);
+      } else if (scheme != "Mahalanobis") {
+        Rng replay_rng(seed);
+        ml::Dataset bin = core::DatasetBuilder::to_binary(multi);
+        if (top_k > 0) bin = bin.project(features.indices);
+        const auto [btrain, btest] = bin.stratified_split(0.7, replay_rng);
+        auto monitor_model = ml::instrument(ml::make_classifier(scheme));
+        monitor_model->train(btrain);
+        run_deployment_replay(*monitor_model, btest, policy, pool);
+      }
+    }
 
     if (!model_path.empty()) {
       std::ofstream out(model_path);
@@ -160,6 +242,19 @@ int main(int argc, char** argv) {
       if (!out) throw Error("cannot write " + bundle_path);
       core::save_bundle(out, bundle);
       std::cerr << "wrote bundle to " << bundle_path << '\n';
+    }
+
+    if (!metrics_path.empty()) {
+      std::ofstream out(metrics_path);
+      if (!out) throw Error("cannot write " + metrics_path);
+      metrics().write_json(out);
+      std::cerr << "wrote metrics to " << metrics_path << '\n';
+    }
+    if (!trace_path.empty()) {
+      std::ofstream out(trace_path);
+      if (!out) throw Error("cannot write " + trace_path);
+      tracer().write_chrome_json(out);
+      std::cerr << "wrote trace to " << trace_path << '\n';
     }
     return 0;
   } catch (const hmd::Error& e) {

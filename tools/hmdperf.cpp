@@ -8,7 +8,9 @@
 //   hmdperf [--class <benign|backdoor|rootkit|trojan|virus|worm>]
 //           [--kernel <qsort|dijkstra|crc32|jpeg|susan|sha>]
 //           [--seed N] [--windows N] [--ops N] [--ideal-pmu] [--csv]
+//           [--metrics-out FILE] [--trace-out FILE]
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 
@@ -16,7 +18,9 @@
 #include "perf/collector.hpp"
 #include "perf/perf_log.hpp"
 #include "util/error.hpp"
+#include "util/metrics.hpp"
 #include "util/strings.hpp"
+#include "util/trace.hpp"
 #include "workload/mibench.hpp"
 #include "workload/sandbox.hpp"
 
@@ -34,7 +38,9 @@ using namespace hmd;
       "  --windows  10 ms windows to record (default 8)\n"
       "  --ops      simulated ops per window (default 3000)\n"
       "  --ideal-pmu  read exact counts (no 8-register multiplexing)\n"
-      "  --csv      emit the combined CSV instead of the text log\n";
+      "  --csv      emit the combined CSV instead of the text log\n"
+      "  --metrics-out FILE  write process metrics JSON on exit\n"
+      "  --trace-out FILE    collect spans; write Chrome trace JSON\n";
   std::exit(2);
 }
 
@@ -48,6 +54,7 @@ int main(int argc, char** argv) {
   cfg.num_windows = 8;
   cfg.ops_per_window = 3000;
   bool csv = false;
+  std::string metrics_path, trace_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -62,8 +69,11 @@ int main(int argc, char** argv) {
     else if (arg == "--ops") cfg.ops_per_window = static_cast<std::size_t>(hmd::parse_int(next()));
     else if (arg == "--ideal-pmu") cfg.ideal_pmu = true;
     else if (arg == "--csv") csv = true;
+    else if (arg == "--metrics-out") metrics_path = next();
+    else if (arg == "--trace-out") trace_path = next();
     else usage();
   }
+  if (!trace_path.empty()) hmd::tracer().set_enabled(true);
 
   try {
     perf::RunLog log;
@@ -94,6 +104,17 @@ int main(int argc, char** argv) {
       perf::combine_logs_to_csv(std::cout, {log});
     else
       perf::write_perf_log(std::cout, log);
+
+    if (!metrics_path.empty()) {
+      std::ofstream out(metrics_path);
+      if (!out) throw Error("cannot write " + metrics_path);
+      metrics().write_json(out);
+    }
+    if (!trace_path.empty()) {
+      std::ofstream out(trace_path);
+      if (!out) throw Error("cannot write " + trace_path);
+      tracer().write_chrome_json(out);
+    }
     return 0;
   } catch (const hmd::Error& e) {
     std::cerr << "hmdperf: " << e.what() << '\n';
