@@ -90,7 +90,7 @@ void PcaAssistedOvr::train(const ml::Dataset& train) {
                             static_cast<double>(counts[0]);
         for (std::size_t i = 0; i < projected.num_instances(); ++i) {
           if (projected.class_of(i) == 1 || rng.bernoulli(keep))
-            balanced.add(projected.instance(i));
+            balanced.add_row(projected.row(i));
         }
         projected = std::move(balanced);
       }

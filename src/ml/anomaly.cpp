@@ -1,5 +1,6 @@
 #include "ml/anomaly.hpp"
 
+#include "ml/kernels.hpp"
 #include "util/error.hpp"
 #include "util/stats.hpp"
 
@@ -49,9 +50,7 @@ double MahalanobisDetector::score(std::span<const double> features) const {
   std::vector<double> delta(d);
   for (std::size_t f = 0; f < d; ++f) delta[f] = features[f] - mean_[f];
   const std::vector<double> pd = precision_.multiply(delta);
-  double s = 0.0;
-  for (std::size_t f = 0; f < d; ++f) s += delta[f] * pd[f];
-  return s;
+  return kernels::dot(delta, pd);
 }
 
 bool MahalanobisDetector::is_anomalous(
@@ -59,7 +58,7 @@ bool MahalanobisDetector::is_anomalous(
   return score(features) > threshold_;
 }
 
-void AnomalyClassifier::train(const Dataset& data) {
+void AnomalyClassifier::train(const DatasetView& data) {
   require_trainable(data);
   HMD_REQUIRE(data.num_classes() == 2,
               "AnomalyClassifier expects a binary (benign/malware) dataset");

@@ -54,7 +54,7 @@ class AnomalyClassifier final : public Classifier {
   explicit AnomalyClassifier(MahalanobisDetector::Params params)
       : detector_(params) {}
 
-  void train(const Dataset& data) override;
+  void train(const DatasetView& data) override;
   std::size_t predict(std::span<const double> features) const override;
   std::string name() const override { return "Mahalanobis"; }
   std::size_t num_classes() const override { return 2; }

@@ -27,7 +27,7 @@ void write_arff(std::ostream& out, const Dataset& data) {
   }
   out << "\n@data\n";
   for (std::size_t i = 0; i < data.num_instances(); ++i) {
-    const Instance& inst = data.instance(i);
+    const auto inst = data.instance(i);
     for (std::size_t a = 0; a < data.num_attributes(); ++a) {
       if (a) out << ',';
       const Attribute& attr = data.attribute(a);
@@ -174,7 +174,7 @@ void write_dataset_csv(std::ostream& out, const Dataset& data) {
   for (const Attribute& a : data.attributes()) header.push_back(a.name());
   writer.write_row(header);
   for (std::size_t i = 0; i < data.num_instances(); ++i) {
-    const Instance& inst = data.instance(i);
+    const auto inst = data.instance(i);
     std::vector<std::string> row;
     row.reserve(inst.values.size());
     for (std::size_t a = 0; a < data.num_attributes(); ++a) {

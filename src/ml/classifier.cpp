@@ -41,7 +41,7 @@ std::size_t Classifier::require_batch(std::span<const double> flat,
   return rows;
 }
 
-void Classifier::require_trainable(const Dataset& data) {
+void Classifier::require_trainable(const DatasetView& data) {
   HMD_REQUIRE(!data.empty(), "train: dataset is empty");
   HMD_REQUIRE(data.num_features() >= 1, "train: dataset has no features");
   HMD_REQUIRE(data.num_classes() >= 2,

@@ -21,8 +21,10 @@ class Classifier {
   virtual ~Classifier() = default;
 
   /// Fit the model. Implementations must tolerate repeated calls
-  /// (retraining replaces the model).
-  virtual void train(const Dataset& data) = 0;
+  /// (retraining replaces the model). Takes a DatasetView — a Dataset
+  /// converts implicitly, and row-subset views (CV folds, bootstrap bags)
+  /// train without materializing a copy.
+  virtual void train(const DatasetView& data) = 0;
 
   /// Predicted class index for a feature vector (dataset feature order).
   virtual std::size_t predict(std::span<const double> features) const = 0;
@@ -56,7 +58,7 @@ class Classifier {
 
  protected:
   /// Shared precondition check for train().
-  static void require_trainable(const Dataset& data);
+  static void require_trainable(const DatasetView& data);
 
   /// Validates distribution_batch arguments; returns the row count.
   std::size_t require_batch(std::span<const double> flat,

@@ -67,16 +67,19 @@ CrossValidationResult cross_validate(const SeededClassifierFactory& factory,
     fold_seeds[fold] = splitmix64(seed_stream);
 
   const auto run_fold = [&](std::size_t fold) {
-    Dataset train(std::vector<Attribute>(data.attributes()),
-                  data.relation());
+    // Zero-copy fold selection: the training set is a row-index view over
+    // the parent dataset (same ascending row order the materialized copy
+    // used to have), so no per-fold deep copy happens.
+    std::vector<std::size_t> train_rows;
     std::vector<std::size_t> test_rows;
     for (std::size_t i = 0; i < data.num_instances(); ++i) {
       if (fold_of[i] == fold)
         test_rows.push_back(i);
       else
-        train.add(data.instance(i));
+        train_rows.push_back(i);
     }
     HMD_ASSERT(!test_rows.empty());
+    const DatasetView train(data, std::move(train_rows));
 
     Rng fold_rng(fold_seeds[fold]);
     std::unique_ptr<Classifier> clf = factory(fold_rng);
@@ -123,7 +126,7 @@ CrossValidationResult cross_validate(const SeededClassifierFactory& factory,
                                           data.class_attribute().values());
   result.fold_accuracies.reserve(folds);
   Histogram& fold_ms = metrics().histogram("ml.cv_fold_ms",
-                                           default_latency_buckets_us());
+                                           default_latency_buckets_ms());
   for (FoldOutcome& outcome : outcomes) {
     for (const auto& [actual, predicted] : outcome.records)
       result.pooled.record(actual, predicted);

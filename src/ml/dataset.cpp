@@ -28,6 +28,59 @@ Dataset::Dataset(std::vector<Attribute> attributes, std::string relation)
               "class attribute (last column) must be nominal");
 }
 
+// The column mirror's atomic/mutex members are not copyable, so copies and
+// moves are spelled out. A copy starts with a cold mirror (rebuilt on first
+// use); a move steals the source's mirror if it was ready.
+Dataset::Dataset(const Dataset& other)
+    : relation_(other.relation_),
+      attributes_(other.attributes_),
+      storage_(other.storage_),
+      num_rows_(other.num_rows_) {}
+
+Dataset& Dataset::operator=(const Dataset& other) {
+  if (this == &other) return *this;
+  relation_ = other.relation_;
+  attributes_ = other.attributes_;
+  storage_ = other.storage_;
+  num_rows_ = other.num_rows_;
+  columns_.clear();
+  columns_ready_.store(false, std::memory_order_release);
+  return *this;
+}
+
+Dataset::Dataset(Dataset&& other) noexcept
+    : relation_(std::move(other.relation_)),
+      attributes_(std::move(other.attributes_)),
+      storage_(std::move(other.storage_)),
+      num_rows_(other.num_rows_) {
+  if (other.columns_ready_.load(std::memory_order_acquire)) {
+    columns_ = std::move(other.columns_);
+    columns_ready_.store(true, std::memory_order_release);
+  }
+  other.num_rows_ = 0;
+  other.columns_.clear();
+  other.columns_ready_.store(false, std::memory_order_release);
+}
+
+Dataset& Dataset::operator=(Dataset&& other) noexcept {
+  if (this == &other) return *this;
+  relation_ = std::move(other.relation_);
+  attributes_ = std::move(other.attributes_);
+  storage_ = std::move(other.storage_);
+  num_rows_ = other.num_rows_;
+  if (other.columns_ready_.load(std::memory_order_acquire)) {
+    columns_ = std::move(other.columns_);
+    columns_ready_.store(true, std::memory_order_release);
+  } else {
+    columns_.clear();
+    columns_ready_.store(false, std::memory_order_release);
+  }
+  other.num_rows_ = 0;
+  other.columns_.clear();
+  other.columns_ready_.store(false, std::memory_order_release);
+  return *this;
+}
+
 const Attribute& Dataset::attribute(std::size_t i) const {
   HMD_REQUIRE(i < attributes_.size(), "attribute index out of range");
   return attributes_[i];
@@ -44,12 +97,12 @@ std::size_t Dataset::feature_index(std::string_view name) const {
   throw PreconditionError("no feature named '" + std::string(name) + "'");
 }
 
-void Dataset::check_row(const Instance& inst) const {
-  HMD_REQUIRE(inst.values.size() == attributes_.size(),
+void Dataset::check_row(std::span<const double> values) const {
+  HMD_REQUIRE(values.size() == attributes_.size(),
               "instance width does not match schema");
   for (std::size_t i = 0; i < attributes_.size(); ++i) {
     if (attributes_[i].is_nominal()) {
-      const double v = inst.values[i];
+      const double v = values[i];
       HMD_REQUIRE(v >= 0.0 && v < static_cast<double>(
                                       attributes_[i].num_values()) &&
                       v == std::floor(v),
@@ -58,28 +111,54 @@ void Dataset::check_row(const Instance& inst) const {
   }
 }
 
-void Dataset::add(Instance instance) {
-  check_row(instance);
-  instances_.push_back(std::move(instance));
+void Dataset::add(Instance instance) { add_row(instance.values); }
+
+void Dataset::add_row(std::span<const double> values) {
+  check_row(values);
+  storage_.insert(storage_.end(), values.begin(), values.end());
+  ++num_rows_;
+  if (columns_ready_.load(std::memory_order_relaxed)) {
+    columns_.clear();
+    columns_ready_.store(false, std::memory_order_release);
+  }
 }
 
-const Instance& Dataset::instance(std::size_t i) const {
-  HMD_REQUIRE(i < instances_.size(), "instance index out of range");
-  return instances_[i];
+RowRef Dataset::instance(std::size_t i) const {
+  HMD_REQUIRE(i < num_rows_, "instance index out of range");
+  return RowRef{row(i)};
 }
 
-std::size_t Dataset::class_of(std::size_t i) const {
-  return static_cast<std::size_t>(instance(i).values.back());
+std::span<const double> Dataset::row(std::size_t i) const {
+  const std::size_t width = attributes_.size();
+  return {storage_.data() + i * width, width};
 }
 
-std::span<const double> Dataset::features_of(std::size_t i) const {
-  const Instance& inst = instance(i);
-  return {inst.values.data(), inst.values.size() - 1};
+void Dataset::build_columns() const {
+  std::lock_guard<std::mutex> lock(columns_mutex_);
+  if (columns_ready_.load(std::memory_order_relaxed)) return;
+  const std::size_t width = attributes_.size();
+  columns_.resize(width * num_rows_);
+  for (std::size_t i = 0; i < num_rows_; ++i) {
+    const double* src = storage_.data() + i * width;
+    for (std::size_t a = 0; a < width; ++a) columns_[a * num_rows_ + i] = src[a];
+  }
+  columns_ready_.store(true, std::memory_order_release);
+}
+
+std::span<const double> Dataset::column(std::size_t a) const {
+  HMD_REQUIRE(a < attributes_.size(), "column index out of range");
+  if (!columns_ready_.load(std::memory_order_acquire)) build_columns();
+  return {columns_.data() + a * num_rows_, num_rows_};
+}
+
+std::span<const double> Dataset::feature_columns() const {
+  if (!columns_ready_.load(std::memory_order_acquire)) build_columns();
+  return {columns_.data(), (attributes_.size() - 1) * num_rows_};
 }
 
 std::vector<std::size_t> Dataset::class_counts() const {
   std::vector<std::size_t> counts(num_classes(), 0);
-  for (std::size_t i = 0; i < instances_.size(); ++i) ++counts[class_of(i)];
+  for (std::size_t i = 0; i < num_rows_; ++i) ++counts[class_of(i)];
   return counts;
 }
 
@@ -108,13 +187,14 @@ Dataset Dataset::project(
   }
   attrs.push_back(attributes_.back());
   Dataset out(std::move(attrs), relation_);
-  for (const Instance& inst : instances_) {
-    Instance row;
-    row.values.reserve(feature_indices.size() + 1);
-    for (std::size_t f : feature_indices) row.values.push_back(inst.values[f]);
-    row.values.push_back(inst.values.back());
-    out.instances_.push_back(std::move(row));
+  const std::size_t width = attributes_.size();
+  out.storage_.reserve((feature_indices.size() + 1) * num_rows_);
+  for (std::size_t i = 0; i < num_rows_; ++i) {
+    const double* src = storage_.data() + i * width;
+    for (std::size_t f : feature_indices) out.storage_.push_back(src[f]);
+    out.storage_.push_back(src[width - 1]);
   }
+  out.num_rows_ = num_rows_;
   return out;
 }
 
@@ -133,12 +213,14 @@ Dataset Dataset::filter_classes(const std::vector<std::size_t>& keep) const {
   std::vector<Attribute> attrs(attributes_.begin(), attributes_.end() - 1);
   attrs.emplace_back(cls.name(), std::move(values));
   Dataset out(std::move(attrs), relation_);
-  for (const Instance& inst : instances_) {
-    const auto c = static_cast<std::size_t>(inst.values.back());
+  const std::size_t width = attributes_.size();
+  for (std::size_t i = 0; i < num_rows_; ++i) {
+    const double* src = storage_.data() + i * width;
+    const auto c = static_cast<std::size_t>(src[width - 1]);
     if (remap[c] < 0) continue;
-    Instance row = inst;
-    row.values.back() = static_cast<double>(remap[c]);
-    out.instances_.push_back(std::move(row));
+    out.storage_.insert(out.storage_.end(), src, src + width - 1);
+    out.storage_.push_back(static_cast<double>(remap[c]));
+    ++out.num_rows_;
   }
   return out;
 }
@@ -157,57 +239,152 @@ Dataset Dataset::relabel_binary(const std::vector<std::size_t>& positive,
   attrs.emplace_back(cls.name(),
                      std::vector<std::string>{negative_name, positive_name});
   Dataset out(std::move(attrs), relation_);
-  for (const Instance& inst : instances_) {
-    Instance row = inst;
-    const auto c = static_cast<std::size_t>(inst.values.back());
-    row.values.back() = is_positive[c] ? 1.0 : 0.0;
-    out.instances_.push_back(std::move(row));
+  const std::size_t width = attributes_.size();
+  out.storage_.reserve(storage_.size());
+  for (std::size_t i = 0; i < num_rows_; ++i) {
+    const double* src = storage_.data() + i * width;
+    out.storage_.insert(out.storage_.end(), src, src + width - 1);
+    const auto c = static_cast<std::size_t>(src[width - 1]);
+    out.storage_.push_back(is_positive[c] ? 1.0 : 0.0);
   }
+  out.num_rows_ = num_rows_;
   return out;
 }
 
-std::pair<Dataset, Dataset> Dataset::stratified_split(double train_fraction,
-                                                      Rng& rng) const {
+std::pair<std::vector<std::size_t>, std::vector<std::size_t>>
+Dataset::stratified_split_rows(double train_fraction, Rng& rng) const {
   HMD_REQUIRE(train_fraction > 0.0 && train_fraction < 1.0,
               "train_fraction must be in (0, 1)");
-  Dataset train = with_same_schema();
-  Dataset test = with_same_schema();
+  std::vector<std::size_t> train_rows;
+  std::vector<std::size_t> test_rows;
   // Bucket row indices per class, shuffle, and take the head of each.
   std::vector<std::vector<std::size_t>> buckets(num_classes());
-  for (std::size_t i = 0; i < instances_.size(); ++i)
+  for (std::size_t i = 0; i < num_rows_; ++i)
     buckets[class_of(i)].push_back(i);
   for (auto& bucket : buckets) {
     rng.shuffle(bucket);
     const auto n_train = static_cast<std::size_t>(
         std::lround(train_fraction * static_cast<double>(bucket.size())));
     for (std::size_t j = 0; j < bucket.size(); ++j) {
-      (j < n_train ? train : test).instances_.push_back(instances_[bucket[j]]);
+      (j < n_train ? train_rows : test_rows).push_back(bucket[j]);
     }
   }
   // Shuffle row order so class blocks don't bias order-sensitive learners.
-  rng.shuffle(train.instances_);
-  rng.shuffle(test.instances_);
-  return {std::move(train), std::move(test)};
+  // (Shuffling index lists consumes the same RNG draws the seed consumed
+  // shuffling materialized rows — same lengths, same Fisher–Yates.)
+  rng.shuffle(train_rows);
+  rng.shuffle(test_rows);
+  return {std::move(train_rows), std::move(test_rows)};
+}
+
+std::pair<Dataset, Dataset> Dataset::stratified_split(double train_fraction,
+                                                      Rng& rng) const {
+  auto [train_rows, test_rows] = stratified_split_rows(train_fraction, rng);
+  return {DatasetView(*this, std::move(train_rows)).materialize(),
+          DatasetView(*this, std::move(test_rows)).materialize()};
+}
+
+std::pair<DatasetView, DatasetView> Dataset::stratified_split_views(
+    double train_fraction, Rng& rng) const {
+  auto [train_rows, test_rows] = stratified_split_rows(train_fraction, rng);
+  return {DatasetView(*this, std::move(train_rows)),
+          DatasetView(*this, std::move(test_rows))};
 }
 
 double Dataset::feature_mean(std::size_t feature) const {
   HMD_REQUIRE(feature + 1 < attributes_.size(), "not a feature column");
-  if (instances_.empty()) return 0.0;
+  if (num_rows_ == 0) return 0.0;
+  const std::size_t width = attributes_.size();
   double s = 0.0;
-  for (const Instance& inst : instances_) s += inst.values[feature];
-  return s / static_cast<double>(instances_.size());
+  for (std::size_t i = 0; i < num_rows_; ++i) s += storage_[i * width + feature];
+  return s / static_cast<double>(num_rows_);
 }
 
 double Dataset::feature_stddev(std::size_t feature) const {
   HMD_REQUIRE(feature + 1 < attributes_.size(), "not a feature column");
-  if (instances_.size() < 2) return 0.0;
+  if (num_rows_ < 2) return 0.0;
   const double m = feature_mean(feature);
+  const std::size_t width = attributes_.size();
   double s2 = 0.0;
-  for (const Instance& inst : instances_) {
-    const double d = inst.values[feature] - m;
+  for (std::size_t i = 0; i < num_rows_; ++i) {
+    const double d = storage_[i * width + feature] - m;
     s2 += d * d;
   }
-  return std::sqrt(s2 / static_cast<double>(instances_.size() - 1));
+  return std::sqrt(s2 / static_cast<double>(num_rows_ - 1));
+}
+
+std::vector<std::size_t> DatasetView::class_counts() const {
+  if (identity_) return data_->class_counts();
+  std::vector<std::size_t> counts(num_classes(), 0);
+  for (std::size_t r : rows_) ++counts[data_->class_of(r)];
+  return counts;
+}
+
+std::size_t DatasetView::majority_class() const {
+  const auto counts = class_counts();
+  return static_cast<std::size_t>(
+      std::max_element(counts.begin(), counts.end()) - counts.begin());
+}
+
+double DatasetView::feature_mean(std::size_t feature) const {
+  if (identity_) return data_->feature_mean(feature);
+  HMD_REQUIRE(feature + 1 < num_attributes(), "not a feature column");
+  if (rows_.empty()) return 0.0;
+  double s = 0.0;
+  for (std::size_t r : rows_) s += data_->features_of(r)[feature];
+  return s / static_cast<double>(rows_.size());
+}
+
+double DatasetView::feature_stddev(std::size_t feature) const {
+  if (identity_) return data_->feature_stddev(feature);
+  HMD_REQUIRE(feature + 1 < num_attributes(), "not a feature column");
+  if (rows_.size() < 2) return 0.0;
+  const double m = feature_mean(feature);
+  double s2 = 0.0;
+  for (std::size_t r : rows_) {
+    const double d = data_->features_of(r)[feature] - m;
+    s2 += d * d;
+  }
+  return std::sqrt(s2 / static_cast<double>(rows_.size() - 1));
+}
+
+DatasetView DatasetView::select(const std::vector<std::size_t>& rows) const {
+  std::vector<std::size_t> parent_rows;
+  parent_rows.reserve(rows.size());
+  for (std::size_t i : rows) {
+    HMD_REQUIRE(i < num_instances(), "select: row index out of range");
+    parent_rows.push_back(row_index(i));
+  }
+  return DatasetView(*data_, std::move(parent_rows));
+}
+
+Dataset DatasetView::materialize() const {
+  Dataset out;
+  out.relation_ = data_->relation_;
+  out.attributes_ = data_->attributes_;
+  const std::size_t n = num_instances();
+  const std::size_t width = out.attributes_.size();
+  out.storage_.reserve(n * width);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto r = row(i);
+    out.storage_.insert(out.storage_.end(), r.begin(), r.end());
+  }
+  out.num_rows_ = n;
+  return out;
+}
+
+std::span<const double> DatasetView::feature_columns(
+    std::vector<double>& scratch) const {
+  if (identity_) return data_->feature_columns();
+  const std::size_t n = rows_.size();
+  const std::size_t features = num_features();
+  scratch.resize(features * n);
+  for (std::size_t f = 0; f < features; ++f) {
+    const auto parent_col = data_->column(f);
+    double* dst = scratch.data() + f * n;
+    for (std::size_t i = 0; i < n; ++i) dst[i] = parent_col[rows_[i]];
+  }
+  return {scratch.data(), scratch.size()};
 }
 
 }  // namespace hmd::ml

@@ -3,9 +3,21 @@
 // needs: numeric features, one nominal class attribute (always the last
 // column, as in the paper's "16 performance counters + class" CSVs),
 // feature projection, stratified splitting, and CSV/ARFF round-tripping.
+//
+// Storage layout (see docs/perf.md): rows live in ONE contiguous row-major
+// block (stride = num_attributes), so row access is a span into that block
+// and training loops stream memory instead of chasing per-row heap
+// allocations. A column-major mirror is built lazily on the first
+// column()/feature_columns() call — split finders and column statistics
+// gather from it — and is invalidated by add(). The mirror build is
+// double-checked-locked, so concurrent readers (parallel CV folds sharing
+// one parent Dataset) are race-free; add() is NOT safe to run concurrently
+// with readers.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -41,10 +53,21 @@ class Attribute {
   std::vector<std::string> values_;
 };
 
-/// One row. Nominal attribute values are stored as value indices.
+/// One row, by value. Nominal attribute values are stored as value
+/// indices. Used to BUILD datasets; stored rows live in the dataset's
+/// contiguous block and are read back through spans (RowRef).
 struct Instance {
   std::vector<double> values;
 };
+
+/// Zero-copy reference to one stored row (all columns, class last).
+/// Returned by value; the span aliases the dataset's storage and is
+/// invalidated by add().
+struct RowRef {
+  std::span<const double> values;
+};
+
+class DatasetView;
 
 /// A table of instances with a designated class attribute.
 ///
@@ -58,13 +81,18 @@ class Dataset {
   explicit Dataset(std::vector<Attribute> attributes,
                    std::string relation = "hmd");
 
+  Dataset(const Dataset& other);
+  Dataset& operator=(const Dataset& other);
+  Dataset(Dataset&& other) noexcept;
+  Dataset& operator=(Dataset&& other) noexcept;
+
   const std::string& relation() const { return relation_; }
   void set_relation(std::string relation) { relation_ = std::move(relation); }
 
   std::size_t num_attributes() const { return attributes_.size(); }
   std::size_t num_features() const { return attributes_.size() - 1; }
-  std::size_t num_instances() const { return instances_.size(); }
-  bool empty() const { return instances_.empty(); }
+  std::size_t num_instances() const { return num_rows_; }
+  bool empty() const { return num_rows_ == 0; }
 
   const Attribute& attribute(std::size_t i) const;
   const std::vector<Attribute>& attributes() const { return attributes_; }
@@ -76,13 +104,32 @@ class Dataset {
   std::size_t feature_index(std::string_view name) const;
 
   void add(Instance instance);
-  const Instance& instance(std::size_t i) const;
-  const std::vector<Instance>& instances() const { return instances_; }
+  /// Appends one row (all columns, class last) without an Instance
+  /// allocation. Invalidates the column mirror and outstanding spans.
+  void add_row(std::span<const double> values);
+
+  /// Row `i` as a zero-copy reference (`.values` spans all columns).
+  RowRef instance(std::size_t i) const;
+  /// Row `i` as a span over all columns (class last).
+  std::span<const double> row(std::size_t i) const;
 
   /// Class value (nominal index) of row `i`.
-  std::size_t class_of(std::size_t i) const;
+  std::size_t class_of(std::size_t i) const {
+    return static_cast<std::size_t>(
+        storage_[i * attributes_.size() + attributes_.size() - 1]);
+  }
   /// Feature values of row `i` (excludes the class column).
-  std::span<const double> features_of(std::size_t i) const;
+  std::span<const double> features_of(std::size_t i) const {
+    return {storage_.data() + i * attributes_.size(), attributes_.size() - 1};
+  }
+
+  /// Column `a` of the lazily built column-major mirror, one value per
+  /// row. Thread-safe against concurrent column() callers; invalidated by
+  /// add().
+  std::span<const double> column(std::size_t a) const;
+  /// The mirror's feature block: num_features() columns of num_instances()
+  /// values each, column-contiguous (column f starts at f * rows).
+  std::span<const double> feature_columns() const;
 
   /// Per-class instance counts.
   std::vector<std::size_t> class_counts() const;
@@ -107,18 +154,114 @@ class Dataset {
   /// dataset, the rest into the second. Shuffles with `rng`.
   std::pair<Dataset, Dataset> stratified_split(double train_fraction,
                                                Rng& rng) const;
+  /// Zero-copy variant: the same split as row-index views over this
+  /// dataset. Consumes `rng` identically to stratified_split, so the two
+  /// produce the same rows in the same order.
+  std::pair<DatasetView, DatasetView> stratified_split_views(
+      double train_fraction, Rng& rng) const;
 
   /// Column statistics over a feature.
   double feature_mean(std::size_t feature) const;
   double feature_stddev(std::size_t feature) const;
 
  private:
+  friend class DatasetView;  // materialize() builds Datasets directly
+
   std::string relation_ = "hmd";
   std::vector<Attribute> attributes_;
-  std::vector<Instance> instances_;
+  /// Row-major block: num_rows_ x num_attributes() values.
+  std::vector<double> storage_;
+  std::size_t num_rows_ = 0;
 
-  void check_row(const Instance& inst) const;
+  /// Lazily built column-major mirror (num_attributes() columns of
+  /// num_rows_ values). `columns_ready_` is the double-checked publication
+  /// flag; `columns_mutex_` serializes the build.
+  mutable std::vector<double> columns_;
+  mutable std::atomic<bool> columns_ready_{false};
+  mutable std::mutex columns_mutex_;
+
+  void check_row(std::span<const double> values) const;
+  void build_columns() const;
   Dataset with_same_schema() const;
+  /// The split's index lists (shared by both stratified_split flavours).
+  std::pair<std::vector<std::size_t>, std::vector<std::size_t>>
+  stratified_split_rows(double train_fraction, Rng& rng) const;
+};
+
+/// Zero-copy row selection over a Dataset: a schema/storage pointer plus a
+/// row-index list. Mirrors the read API classifiers train against, so
+/// cross-validation folds, stratified splits and ensemble bootstrap bags
+/// can train without materializing copied Datasets. Implicitly
+/// constructible from Dataset, so `clf->train(dataset)` call sites are
+/// unchanged.
+///
+/// Views alias the parent's storage: the parent must outlive the view and
+/// must not be add()-ed to while the view is in use. Read-only sharing
+/// across threads is race-free (see Dataset::column).
+class DatasetView {
+ public:
+  /// Whole-dataset (identity) view; no index list is allocated.
+  DatasetView(const Dataset& data)  // NOLINT(google-explicit-constructor)
+      : data_(&data), identity_(true) {}
+  /// View of `rows` (parent row indices, in view order; duplicates allowed
+  /// — bootstrap resampling uses them).
+  DatasetView(const Dataset& data, std::vector<std::size_t> rows)
+      : data_(&data), rows_(std::move(rows)), identity_(false) {}
+
+  const Dataset& dataset() const { return *data_; }
+  bool is_identity() const { return identity_; }
+
+  std::size_t num_instances() const {
+    return identity_ ? data_->num_instances() : rows_.size();
+  }
+  bool empty() const { return num_instances() == 0; }
+  std::size_t num_attributes() const { return data_->num_attributes(); }
+  std::size_t num_features() const { return data_->num_features(); }
+  std::size_t num_classes() const { return data_->num_classes(); }
+  const std::string& relation() const { return data_->relation(); }
+  const Attribute& attribute(std::size_t i) const {
+    return data_->attribute(i);
+  }
+  const std::vector<Attribute>& attributes() const {
+    return data_->attributes();
+  }
+  const Attribute& class_attribute() const { return data_->class_attribute(); }
+
+  /// Parent row index of view row `i`.
+  std::size_t row_index(std::size_t i) const {
+    return identity_ ? i : rows_[i];
+  }
+  std::span<const double> features_of(std::size_t i) const {
+    return data_->features_of(row_index(i));
+  }
+  std::span<const double> row(std::size_t i) const {
+    return data_->row(row_index(i));
+  }
+  std::size_t class_of(std::size_t i) const {
+    return data_->class_of(row_index(i));
+  }
+
+  std::vector<std::size_t> class_counts() const;
+  std::size_t majority_class() const;
+  double feature_mean(std::size_t feature) const;
+  double feature_stddev(std::size_t feature) const;
+
+  /// View of this view's rows at positions `rows` (composes index lists,
+  /// so the result still points straight at the parent Dataset).
+  DatasetView select(const std::vector<std::size_t>& rows) const;
+
+  /// Deep copy into a standalone Dataset (row order = view order).
+  Dataset materialize() const;
+
+  /// Column-major feature matrix of this view: num_features() columns of
+  /// num_instances() values. Identity views return the parent's mirror
+  /// directly (zero-copy); subset views gather into `scratch`.
+  std::span<const double> feature_columns(std::vector<double>& scratch) const;
+
+ private:
+  const Dataset* data_;
+  std::vector<std::size_t> rows_;  ///< empty when identity_
+  bool identity_;
 };
 
 }  // namespace hmd::ml

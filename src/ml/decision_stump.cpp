@@ -20,20 +20,28 @@ double entropy_of_counts(const std::vector<std::size_t>& counts) {
   return h;
 }
 
-void DecisionStump::train(const Dataset& data) {
+void DecisionStump::train(const DatasetView& data) {
   require_trainable(data);
   num_classes_ = data.num_classes();
   const std::size_t n = data.num_instances();
   const auto total_counts = data.class_counts();
   const double base_entropy = entropy_of_counts(total_counts);
 
+  // One columnar gather up front; the per-feature loop then reads
+  // contiguous column slices instead of strided row storage.
+  std::vector<double> col_scratch;
+  const auto cols = data.feature_columns(col_scratch);
+  std::vector<std::size_t> classes(n);
+  for (std::size_t i = 0; i < n; ++i) classes[i] = data.class_of(i);
+
   double best_gain = -1.0;
+  std::vector<std::pair<double, std::size_t>> column;
   for (std::size_t f = 0; f < data.num_features(); ++f) {
     // Sort (value, class) and scan every class-boundary threshold.
-    std::vector<std::pair<double, std::size_t>> column;
+    const double* col = cols.data() + f * n;
+    column.clear();
     column.reserve(n);
-    for (std::size_t i = 0; i < n; ++i)
-      column.emplace_back(data.features_of(i)[f], data.class_of(i));
+    for (std::size_t i = 0; i < n; ++i) column.emplace_back(col[i], classes[i]);
     std::sort(column.begin(), column.end());
 
     std::vector<std::size_t> left(num_classes_, 0);

@@ -8,7 +8,7 @@ namespace hmd::ml {
 
 class DecisionStump final : public Classifier {
  public:
-  void train(const Dataset& data) override;
+  void train(const DatasetView& data) override;
   std::size_t predict(std::span<const double> features) const override;
   std::string name() const override { return "DecisionStump"; }
   std::size_t num_classes() const override { return num_classes_; }

@@ -10,9 +10,10 @@ namespace hmd::ml {
 namespace {
 
 /// Weighted bootstrap: n draws with replacement, probability ∝ weights.
-Dataset resample(const Dataset& data, const std::vector<double>& weights,
-                 Rng& rng) {
-  Dataset out(std::vector<Attribute>(data.attributes()), data.relation());
+/// Returns row indices so callers can train on a zero-copy view.
+std::vector<std::size_t> resample(const DatasetView& data,
+                                  const std::vector<double>& weights,
+                                  Rng& rng) {
   // Cumulative distribution for O(log n) draws.
   std::vector<double> cumulative(weights.size());
   double total = 0.0;
@@ -21,6 +22,8 @@ Dataset resample(const Dataset& data, const std::vector<double>& weights,
     cumulative[i] = total;
   }
   HMD_ASSERT(total > 0.0);
+  std::vector<std::size_t> rows;
+  rows.reserve(data.num_instances());
   for (std::size_t i = 0; i < data.num_instances(); ++i) {
     const double r = rng.uniform() * total;
     const auto it =
@@ -29,14 +32,14 @@ Dataset resample(const Dataset& data, const std::vector<double>& weights,
         std::min<std::ptrdiff_t>(it - cumulative.begin(),
                                  static_cast<std::ptrdiff_t>(
                                      cumulative.size() - 1)));
-    out.add(data.instance(idx));
+    rows.push_back(idx);
   }
-  return out;
+  return rows;
 }
 
 }  // namespace
 
-void AdaBoostM1::train(const Dataset& data) {
+void AdaBoostM1::train(const DatasetView& data) {
   require_trainable(data);
   HMD_REQUIRE(base_ != nullptr, "AdaBoostM1: no base factory");
   num_classes_ = data.num_classes();
@@ -48,7 +51,7 @@ void AdaBoostM1::train(const Dataset& data) {
   Rng rng(params_.seed);
 
   for (std::size_t t = 0; t < params_.iterations; ++t) {
-    const Dataset sample = resample(data, weights, rng);
+    const DatasetView sample = data.select(resample(data, weights, rng));
     std::unique_ptr<Classifier> member = base_();
     HMD_REQUIRE(member != nullptr, "AdaBoostM1: factory returned null");
     member->train(sample);
@@ -115,7 +118,7 @@ std::size_t AdaBoostM1::predict(std::span<const double> features) const {
       std::max_element(dist.begin(), dist.end()) - dist.begin());
 }
 
-void Bagging::train(const Dataset& data) {
+void Bagging::train(const DatasetView& data) {
   require_trainable(data);
   HMD_REQUIRE(base_ != nullptr, "Bagging: no base factory");
   HMD_REQUIRE(params_.bags >= 1, "Bagging: need at least one bag");
@@ -125,7 +128,7 @@ void Bagging::train(const Dataset& data) {
   Rng rng(params_.seed);
   const std::vector<double> uniform(data.num_instances(), 1.0);
   for (std::size_t b = 0; b < params_.bags; ++b) {
-    const Dataset bag = resample(data, uniform, rng);
+    const DatasetView bag = data.select(resample(data, uniform, rng));
     std::unique_ptr<Classifier> member = base_();
     HMD_REQUIRE(member != nullptr, "Bagging: factory returned null");
     member->train(bag);

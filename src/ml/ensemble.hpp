@@ -29,7 +29,7 @@ class AdaBoostM1 final : public Classifier {
       : base_(std::move(base)), params_(params) {}
   explicit AdaBoostM1(BaseFactory base) : AdaBoostM1(std::move(base), {}) {}
 
-  void train(const Dataset& data) override;
+  void train(const DatasetView& data) override;
   std::size_t predict(std::span<const double> features) const override;
   std::vector<double> distribution(
       std::span<const double> features) const override;
@@ -60,7 +60,7 @@ class Bagging final : public Classifier {
       : base_(std::move(base)), params_(params) {}
   explicit Bagging(BaseFactory base) : Bagging(std::move(base), {}) {}
 
-  void train(const Dataset& data) override;
+  void train(const DatasetView& data) override;
   std::size_t predict(std::span<const double> features) const override;
   std::vector<double> distribution(
       std::span<const double> features) const override;

@@ -23,7 +23,7 @@ InstrumentedClassifier::InstrumentedClassifier(
   batch_rows_ = &reg.counter("ml.batch_rows." + scheme_);
 }
 
-void InstrumentedClassifier::train(const Dataset& data) {
+void InstrumentedClassifier::train(const DatasetView& data) {
   HMD_TRACE_SPAN("train/" + scheme_);
   TraceSpan timer("");
   inner_->train(data);

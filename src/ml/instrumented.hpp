@@ -27,7 +27,7 @@ class InstrumentedClassifier final : public Classifier {
  public:
   explicit InstrumentedClassifier(std::unique_ptr<Classifier> inner);
 
-  void train(const Dataset& data) override;
+  void train(const DatasetView& data) override;
   std::size_t predict(std::span<const double> features) const override;
   std::vector<double> distribution(
       std::span<const double> features) const override;

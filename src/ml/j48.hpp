@@ -37,7 +37,7 @@ class J48 final : public Classifier {
   J48() : J48(Params{}) {}
   explicit J48(Params params) : params_(params) {}
 
-  void train(const Dataset& data) override;
+  void train(const DatasetView& data) override;
   std::size_t predict(std::span<const double> features) const override;
   std::string name() const override { return "J48"; }
   std::size_t num_classes() const override { return num_classes_; }
@@ -52,11 +52,6 @@ class J48 final : public Classifier {
   Params params_;
   std::size_t num_classes_ = 0;
   std::unique_ptr<Node> root_;
-
-  std::unique_ptr<Node> build(const Dataset& data,
-                              std::vector<std::size_t>& rows,
-                              std::size_t depth);
-  double prune_subtree(Node& node);
 };
 
 /// C4.5's pessimistic error estimate: the binomial upper confidence bound

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <numeric>
 
 #include "util/error.hpp"
@@ -12,18 +13,37 @@ namespace hmd::ml {
 
 namespace {
 
+/// Train-local columnar snapshot of the training view: rule growing
+/// evaluates thousands of candidate conditions per feature, so conditions
+/// read contiguous column slices instead of strided row storage.
+struct ColumnData {
+  std::span<const double> cols;  ///< column-major, cols[f*n + r]
+  std::size_t n = 0;
+  std::vector<std::uint32_t> classes;
+
+  const double* col(std::size_t f) const { return cols.data() + f * n; }
+
+  bool matches(const JRip::Rule& rule, std::size_t r) const {
+    for (const JRip::Condition& c : rule.conditions) {
+      const double v = col(c.feature)[r];
+      if (!(c.greater ? v > c.threshold : v <= c.threshold)) return false;
+    }
+    return true;
+  }
+};
+
 /// Coverage of a rule over a row-index subset.
 struct Coverage {
   std::size_t pos = 0;
   std::size_t neg = 0;
 };
 
-Coverage coverage_of(const JRip::Rule& rule, const Dataset& data,
+Coverage coverage_of(const JRip::Rule& rule, const ColumnData& data,
                      const std::vector<std::size_t>& rows, std::size_t cls) {
   Coverage cov;
   for (std::size_t r : rows) {
-    if (!rule.matches(data.features_of(r))) continue;
-    if (data.class_of(r) == cls)
+    if (!data.matches(rule, r)) continue;
+    if (data.classes[r] == cls)
       ++cov.pos;
     else
       ++cov.neg;
@@ -37,20 +57,21 @@ double log2_ratio(double p, double n) {
 
 /// Candidate thresholds for one feature: quantiles over the rows the rule
 /// currently covers (subsampled for cost).
-std::vector<double> candidate_thresholds(const Dataset& data,
+std::vector<double> candidate_thresholds(const ColumnData& data,
                                          const std::vector<std::size_t>& rows,
                                          std::size_t feature,
                                          std::size_t how_many, Rng& rng) {
   std::vector<double> values;
+  const double* col = data.col(feature);
   const std::size_t max_sample = 512;
   if (rows.size() <= max_sample) {
     values.reserve(rows.size());
-    for (std::size_t r : rows) values.push_back(data.features_of(r)[feature]);
+    for (std::size_t r : rows) values.push_back(col[r]);
   } else {
     values.reserve(max_sample);
     for (std::size_t i = 0; i < max_sample; ++i) {
       const std::size_t r = rows[rng.uniform_index(rows.size())];
-      values.push_back(data.features_of(r)[feature]);
+      values.push_back(col[r]);
     }
   }
   std::sort(values.begin(), values.end());
@@ -69,15 +90,25 @@ std::vector<double> candidate_thresholds(const Dataset& data,
 
 }  // namespace
 
-void JRip::train(const Dataset& data) {
-  require_trainable(data);
-  num_classes_ = data.num_classes();
+void JRip::train(const DatasetView& view) {
+  require_trainable(view);
+  num_classes_ = view.num_classes();
   rules_.clear();
 
   Rng rng(params_.seed);
 
+  const std::size_t n = view.num_instances();
+  const std::size_t num_features = view.num_features();
+  ColumnData data;
+  std::vector<double> col_scratch;
+  data.cols = view.feature_columns(col_scratch);
+  data.n = n;
+  data.classes.resize(n);
+  for (std::size_t i = 0; i < n; ++i)
+    data.classes[i] = static_cast<std::uint32_t>(view.class_of(i));
+
   // Classes in ascending frequency; the most frequent becomes the default.
-  const auto counts = data.class_counts();
+  const auto counts = view.class_counts();
   std::vector<std::size_t> order(num_classes_);
   std::iota(order.begin(), order.end(), 0);
   std::stable_sort(order.begin(), order.end(),
@@ -86,7 +117,7 @@ void JRip::train(const Dataset& data) {
                    });
   default_class_ = order.back();
 
-  std::vector<std::size_t> remaining(data.num_instances());
+  std::vector<std::size_t> remaining(n);
   std::iota(remaining.begin(), remaining.end(), 0);
 
   for (std::size_t ci = 0; ci + 1 < order.size(); ++ci) {
@@ -97,7 +128,7 @@ void JRip::train(const Dataset& data) {
       // Any positives left to cover?
       std::size_t pos_left = 0;
       for (std::size_t r : remaining)
-        if (data.class_of(r) == cls) ++pos_left;
+        if (data.classes[r] == cls) ++pos_left;
       if (pos_left < 2) break;
 
       // Stratified-ish grow/prune split of the remaining data.
@@ -124,17 +155,19 @@ void JRip::train(const Dataset& data) {
         Coverage best_cov;
         const double base = log2_ratio(static_cast<double>(cov.pos),
                                        static_cast<double>(cov.neg));
-        for (std::size_t f = 0; f < data.num_features(); ++f) {
+        for (std::size_t f = 0; f < num_features; ++f) {
           const auto thresholds = candidate_thresholds(
               data, covered, f, params_.thresholds_per_feature, rng);
+          const double* col = data.col(f);
           for (double t : thresholds) {
             for (bool greater : {false, true}) {
               const Condition cond{.feature = f, .greater = greater,
                                    .threshold = t};
               Coverage c;
               for (std::size_t r : covered) {
-                if (!cond.matches(data.features_of(r))) continue;
-                if (data.class_of(r) == cls)
+                const double v = col[r];
+                if (!(greater ? v > t : v <= t)) continue;
+                if (data.classes[r] == cls)
                   ++c.pos;
                 else
                   ++c.neg;
@@ -155,11 +188,15 @@ void JRip::train(const Dataset& data) {
         }
         if (best_gain <= 1e-9) break;
         rule.conditions.push_back(best_cond);
+        const double* col = data.col(best_cond.feature);
         std::vector<std::size_t> still_covered;
         still_covered.reserve(covered.size());
-        for (std::size_t r : covered)
-          if (best_cond.matches(data.features_of(r)))
+        for (std::size_t r : covered) {
+          const double v = col[r];
+          if (best_cond.greater ? v > best_cond.threshold
+                                : v <= best_cond.threshold)
             still_covered.push_back(r);
+        }
         covered = std::move(still_covered);
         cov = best_cov;
       }
@@ -204,7 +241,7 @@ void JRip::train(const Dataset& data) {
       std::vector<std::size_t> still_remaining;
       still_remaining.reserve(remaining.size());
       for (std::size_t r : remaining)
-        if (!pruned.matches(data.features_of(r)))
+        if (!data.matches(pruned, r))
           still_remaining.push_back(r);
       if (still_remaining.size() == remaining.size()) break;  // no progress
       remaining = std::move(still_remaining);
@@ -215,7 +252,7 @@ void JRip::train(const Dataset& data) {
   // globally most frequent class when everything is covered).
   if (!remaining.empty()) {
     std::vector<std::size_t> rem_counts(num_classes_, 0);
-    for (std::size_t r : remaining) ++rem_counts[data.class_of(r)];
+    for (std::size_t r : remaining) ++rem_counts[data.classes[r]];
     default_class_ = static_cast<std::size_t>(
         std::max_element(rem_counts.begin(), rem_counts.end()) -
         rem_counts.begin());

@@ -58,7 +58,7 @@ class JRip final : public Classifier {
   JRip() : JRip(Params{}) {}
   explicit JRip(Params params) : params_(params) {}
 
-  void train(const Dataset& data) override;
+  void train(const DatasetView& data) override;
   std::size_t predict(std::span<const double> features) const override;
   std::string name() const override { return "JRip"; }
   std::size_t num_classes() const override { return num_classes_; }

@@ -1,0 +1,75 @@
+#include "ml/kernels.hpp"
+
+namespace hmd::ml::kernels {
+
+namespace {
+
+// Integer math only — every instantiation computes the identical exact
+// result, so runtime dispatch cannot change behaviour, only speed.
+// Baseline x86-64 codegen cannot vectorize the widening multiply-accumulate
+// well, which is why the SIMD variants exist at all.
+#if defined(__GNUC__)
+__attribute__((always_inline))
+#endif
+inline void
+screen_body(const std::int16_t* __restrict block,
+            const std::int16_t* __restrict qx, std::size_t dims,
+            std::int32_t* __restrict acc) {
+  for (std::size_t b = 0; b < kScreenBlock; ++b) acc[b] = 0;
+  for (std::size_t j = 0; j < dims; ++j) {
+    const std::int16_t* col = block + j * kScreenBlock;
+    const std::int32_t q = qx[j];
+    for (std::size_t b = 0; b < kScreenBlock; ++b) {
+      const std::int32_t d = q - col[b];
+      acc[b] += d * d;
+    }
+  }
+}
+
+// Dispatch by hand instead of target_clones: the ifunc resolvers clones
+// emit run before sanitizer runtimes initialize and crash TSan/ASan
+// binaries at startup, while a function-pointer static chosen on first
+// call is sanitizer-clean.
+#if defined(__x86_64__) && defined(__GNUC__)
+#define HMD_SCREEN_SIMD_DISPATCH 1
+
+__attribute__((target("avx512f,avx512bw"))) void screen_avx512(
+    const std::int16_t* __restrict block, const std::int16_t* __restrict qx,
+    std::size_t dims, std::int32_t* __restrict acc) {
+  screen_body(block, qx, dims, acc);
+}
+
+__attribute__((target("avx2"))) void screen_avx2(
+    const std::int16_t* __restrict block, const std::int16_t* __restrict qx,
+    std::size_t dims, std::int32_t* __restrict acc) {
+  screen_body(block, qx, dims, acc);
+}
+#endif
+
+}  // namespace
+
+void screen_squared_l2_i16(const std::int16_t* block, const std::int16_t* qx,
+                           std::size_t dims, std::int32_t* acc) {
+#ifdef HMD_SCREEN_SIMD_DISPATCH
+  using Fn = void (*)(const std::int16_t*, const std::int16_t*, std::size_t,
+                      std::int32_t*);
+  static const Fn impl = [] {
+    if (__builtin_cpu_supports("avx512bw")) return Fn(screen_avx512);
+    if (__builtin_cpu_supports("avx2")) return Fn(screen_avx2);
+    return Fn(screen_body);
+  }();
+  impl(block, qx, dims, acc);
+#else
+  screen_body(block, qx, dims, acc);
+#endif
+}
+
+void gemv_row_major(std::span<const double> matrix, std::size_t rows,
+                    std::span<const double> x, std::span<double> out) {
+  const std::size_t cols = x.size();
+  for (std::size_t r = 0; r < rows; ++r) {
+    out[r] = dot({matrix.data() + r * cols, cols}, x);
+  }
+}
+
+}  // namespace hmd::ml::kernels

@@ -1,0 +1,91 @@
+// Shared hot-path numeric kernels for the ML library. Every classifier's
+// inner loop (logistic/SVM/MLP dots, Knn distances, Mahalanobis forms,
+// PCA covariance) funnels through these so the memory-access pattern is
+// written once and optimized once.
+//
+// Bit-exactness contract: each kernel accumulates LEFT TO RIGHT in the
+// same order the pre-refactor per-classifier loops did (init value first,
+// then elements ascending), and nothing here may be compiled with
+// -ffast-math. Changing an accumulation order is a behaviour change —
+// the determinism regression tests will catch it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace hmd::ml::kernels {
+
+/// init + Σ a[i]*b[i], accumulated left to right. The `init` seed makes
+/// bias-first affine forms (`z = w[d] + Σ w[f]*x[f]`) exact.
+inline double dot(std::span<const double> a, std::span<const double> b,
+                  double init = 0.0) {
+  double acc = init;
+  const std::size_t n = a.size();
+  for (std::size_t i = 0; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+/// Affine form with the bias stored LAST in `weights` (the library's
+/// weight-vector convention): weights[n] + Σ weights[f]*x[f].
+inline double affine_bias_last(std::span<const double> weights,
+                               std::span<const double> x) {
+  return dot({weights.data(), x.size()}, x, weights[x.size()]);
+}
+
+/// y[i] += alpha * x[i].
+inline void axpy(double alpha, std::span<const double> x,
+                 std::span<double> y) {
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+/// Σ (a[i]-b[i])², accumulated left to right.
+inline double squared_l2(std::span<const double> a,
+                         std::span<const double> b) {
+  double acc = 0.0;
+  const std::size_t n = a.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+/// Rows per quantized-screen block (see screen_squared_l2_i16).
+inline constexpr std::size_t kScreenBlock = 256;
+
+/// Exact integer squared-L2 screen over one block of quantized candidates.
+/// `block` holds kScreenBlock rows in column-major order within the block
+/// (block[j * kScreenBlock + b] is dimension j of row b), so the inner loop
+/// is a straight-line int16 stream the compiler can vectorize. For every b:
+///
+///   acc[b] = sum_j (qx[j] - block[j * kScreenBlock + b])^2
+///
+/// Grid values lie in [-2047, 2047] (12-bit grid), so each difference fits
+/// int16 and each per-lane sum stays below INT32_MAX for dims <= 128 — the
+/// arithmetic is exact integer math with no rounding; reassociating it
+/// across lanes is therefore a pure speed change. Implemented out of line
+/// with runtime-dispatched SIMD clones.
+void screen_squared_l2_i16(const std::int16_t* block, const std::int16_t* qx,
+                           std::size_t dims, std::int32_t* acc);
+
+/// Standardize `x` into `out`: (x-mean)/stddev per feature, 0 where the
+/// training stddev was 0 (constant column). Matches Standardizer::transform
+/// exactly, without the per-call allocation.
+inline void standardize_into(std::span<const double> x,
+                             std::span<const double> means,
+                             std::span<const double> stddevs,
+                             std::span<double> out) {
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = stddevs[i] > 0.0 ? (x[i] - means[i]) / stddevs[i] : 0.0;
+  }
+}
+
+/// Row-major GEMV: out[r] = dot(matrix row r, x) for r in [0, rows).
+/// `matrix` holds rows contiguously with stride `cols` (= x.size()).
+void gemv_row_major(std::span<const double> matrix, std::size_t rows,
+                    std::span<const double> x, std::span<double> out);
+
+}  // namespace hmd::ml::kernels

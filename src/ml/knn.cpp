@@ -1,53 +1,191 @@
 #include "ml/knn.hpp"
 
 #include <algorithm>
-#include <queue>
+#include <array>
+#include <cmath>
+#include <limits>
 
+#include "ml/kernels.hpp"
 #include "util/error.hpp"
 
 namespace hmd::ml {
 
-void Knn::train(const Dataset& data) {
+void Knn::train(const DatasetView& data) {
   require_trainable(data);
   HMD_REQUIRE(k_ >= 1, "Knn: k must be at least 1");
   num_classes_ = data.num_classes();
   standardizer_.fit(data);
-  points_.clear();
-  labels_.clear();
-  points_.reserve(data.num_instances());
-  labels_.reserve(data.num_instances());
-  for (std::size_t i = 0; i < data.num_instances(); ++i) {
-    points_.push_back(standardizer_.transform(data.features_of(i)));
-    labels_.push_back(data.class_of(i));
+  const std::size_t n = data.num_instances();
+  const std::size_t d = data.num_features();
+  points_.assign(n * d, 0.0);
+  labels_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    kernels::standardize_into(data.features_of(i), standardizer_.means(),
+                              standardizer_.stddevs(),
+                              {points_.data() + i * d, d});
+    labels_[i] = data.class_of(i);
   }
+  build_quantized();
+}
+
+void Knn::build_quantized() {
+  constexpr std::size_t B = kernels::kScreenBlock;
+  const std::size_t d = dim();
+  qpoints_.clear();
+  // Per-lane screen sums must stay below INT32_MAX: dims * 4094^2 < 2^31
+  // holds up to 128 dimensions. Past that the screen is simply disabled
+  // and score_into falls back to the plain exact scan.
+  if (points_.empty() || d > 128) return;
+  double lo = points_[0];
+  double hi = points_[0];
+  for (double v : points_) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  qlo_ = lo;
+  const double range = hi - lo;
+  qscale_ = range > 0.0 ? range / 4094.0 : 1.0;
+  const std::size_t n = labels_.size();
+  const std::size_t padded = (n + B - 1) / B * B;
+  qpoints_.assign(padded * d, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < d; ++j) {
+      // Training values always land inside [lo, hi], so the rounded grid
+      // index is in [0, 4094] and the representation error is at most
+      // qscale_/2 per coordinate. Blocked column-major layout: dimension j
+      // of row i lives at block(i) + j*B + (i mod B).
+      const double t = (points_[i * d + j] - qlo_) / qscale_;
+      qpoints_[(i / B) * B * d + j * B + i % B] =
+          static_cast<std::int16_t>(std::llround(t) - 2047);
+    }
+  }
+}
+
+// Scores one standardized query against all training points. The k-closest
+// heap mirrors std::priority_queue exactly (push_heap/pop_heap on a vector
+// with the default pair comparator), so the kept set — ties included — is
+// identical to the pre-refactor per-row priority_queue.
+//
+// The scan is memory-bound (every query streams the whole points_ block),
+// so candidates are first screened against the int16 mirror, which is 4x
+// smaller. The screen is an exact-integer lower bound on the true
+// distance: with per-coordinate reconstruction error at most
+// err_j = |x_j - dequant(qx_j)| + qscale/2 and E = ||err||_2, the triangle
+// inequality gives ||x - p|| >= qscale*||qx - qp|| - E. A candidate with
+// qscale*sqrt(S_q) - E > sqrt(cap) therefore cannot beat the heap's k-th
+// distance, whether or not its exact distance is ever computed — rejecting
+// it is provably identical to the full scan. Survivors (a handful per
+// query) get the exact left-to-right double scan, so every distance that
+// reaches the heap is bit-identical to the unscreened code.
+void Knn::score_into(std::span<const double> x, std::vector<Entry>& heap,
+                     std::span<double> dist) const {
+  constexpr std::size_t B = kernels::kScreenBlock;
+  const std::size_t d = x.size();
+  const std::size_t n = labels_.size();
+  heap.clear();
+  const auto offer = [&](double d2, std::size_t i) {
+    if (heap.size() < k_) {
+      heap.emplace_back(d2, labels_[i]);
+      std::push_heap(heap.begin(), heap.end());
+      return heap.size() == k_;
+    }
+    if (d2 < heap.front().first) {
+      std::pop_heap(heap.begin(), heap.end());
+      heap.back() = {d2, labels_[i]};
+      std::push_heap(heap.begin(), heap.end());
+      return true;
+    }
+    return false;
+  };
+
+  if (qpoints_.empty()) {
+    // Screen disabled (too many dimensions): plain exact scan.
+    for (std::size_t i = 0; i < n; ++i) {
+      offer(kernels::squared_l2({points_.data() + i * d, d}, x), i);
+    }
+  } else {
+    // Quantize the query onto the training grid, tracking its exact
+    // reconstruction error (clamped coordinates just widen the error term —
+    // the bound stays rigorous; a NaN coordinate maps to grid 0 and is
+    // likewise absorbed into its error term).
+    std::vector<std::int16_t> qx(d);
+    double err_sq = 0.0;
+    for (std::size_t j = 0; j < d; ++j) {
+      const double t = (x[j] - qlo_) / qscale_;
+      long long q = 0;
+      if (t >= 4094.0)
+        q = 4094;
+      else if (t >= 0.0)
+        q = std::llround(t);
+      const double recon = qlo_ + qscale_ * static_cast<double>(q);
+      qx[j] = static_cast<std::int16_t>(q - 2047);
+      const double e = std::abs(x[j] - recon) + 0.5 * qscale_;
+      err_sq += e * e;
+    }
+    const double err = std::sqrt(err_sq);
+
+    // Integer screen threshold derived from the heap's current k-th
+    // distance; INT32_MAX (no rejection possible) until the heap is full.
+    // The 1e-12 relative slack dwarfs the ~1e-15 rounding of the exact
+    // double scan while staying far below the quantization margin, so a
+    // candidate with screen sum > thr provably cannot enter the heap. The
+    // threshold is refreshed on every heap improvement; blocks screened
+    // against a momentarily stale (larger) threshold only pass extra
+    // candidates to the exact path, never reject a viable one.
+    std::int32_t thr = std::numeric_limits<std::int32_t>::max();
+    const auto update_threshold = [&]() {
+      const double t =
+          (std::sqrt(heap.front().first) * (1.0 + 1e-12) + err) / qscale_;
+      const double t_sq = t * t;
+      thr = t_sq >= 2147483647.0 ? std::numeric_limits<std::int32_t>::max()
+                                 : static_cast<std::int32_t>(t_sq);
+    };
+
+    std::array<std::int32_t, B> acc;
+    for (std::size_t base = 0; base < n; base += B) {
+      kernels::screen_squared_l2_i16(qpoints_.data() + base * d, qx.data(), d,
+                                     acc.data());
+      const std::size_t lim = std::min(B, n - base);
+      for (std::size_t b = 0; b < lim; ++b) {
+        if (acc[b] > thr) continue;  // provably >= current k-th distance
+        const std::size_t i = base + b;
+        const double d2 = kernels::squared_l2({points_.data() + i * d, d}, x);
+        if (offer(d2, i)) update_threshold();
+      }
+    }
+  }
+
+  std::fill(dist.begin(), dist.end(), 0.0);
+  const double share = 1.0 / static_cast<double>(heap.size());
+  for (const Entry& e : heap) dist[e.second] += share;
 }
 
 std::vector<double> Knn::distribution(std::span<const double> features) const {
   HMD_REQUIRE(!points_.empty(), "Knn: predict before train");
   const std::vector<double> x = standardizer_.transform(features);
-  // Max-heap of the k closest squared distances.
-  using Entry = std::pair<double, std::size_t>;  // distance², label
-  std::priority_queue<Entry> heap;
-  for (std::size_t i = 0; i < points_.size(); ++i) {
-    double d2 = 0.0;
-    for (std::size_t f = 0; f < x.size(); ++f) {
-      const double d = points_[i][f] - x[f];
-      d2 += d * d;
-    }
-    if (heap.size() < k_) {
-      heap.emplace(d2, labels_[i]);
-    } else if (d2 < heap.top().first) {
-      heap.pop();
-      heap.emplace(d2, labels_[i]);
-    }
-  }
+  std::vector<Entry> heap;
+  heap.reserve(k_);
   std::vector<double> dist(num_classes_, 0.0);
-  const double share = 1.0 / static_cast<double>(heap.size());
-  while (!heap.empty()) {
-    dist[heap.top().second] += share;
-    heap.pop();
-  }
+  score_into(x, heap, dist);
   return dist;
+}
+
+void Knn::distribution_batch(std::span<const double> flat,
+                             std::size_t window_size,
+                             std::span<double> out) const {
+  HMD_REQUIRE(!points_.empty(), "Knn: predict before train");
+  const std::size_t rows = require_batch(flat, window_size, out);
+  HMD_REQUIRE(window_size == dim(),
+              "Knn::distribution_batch: width mismatch");
+  std::vector<double> x(window_size);  // standardized row, reused
+  std::vector<Entry> heap;
+  heap.reserve(k_);
+  for (std::size_t r = 0; r < rows; ++r) {
+    kernels::standardize_into(flat.subspan(r * window_size, window_size),
+                              standardizer_.means(), standardizer_.stddevs(),
+                              x);
+    score_into(x, heap, out.subspan(r * num_classes_, num_classes_));
+  }
 }
 
 std::size_t Knn::predict(std::span<const double> features) const {

@@ -4,6 +4,8 @@
 // hardware-deployment candidate — the paper's point exactly).
 #pragma once
 
+#include <cstdint>
+
 #include "ml/classifier.hpp"
 #include "ml/preprocess.hpp"
 
@@ -13,20 +15,46 @@ class Knn final : public Classifier {
  public:
   explicit Knn(std::size_t k = 5) : k_(k) {}
 
-  void train(const Dataset& data) override;
+  void train(const DatasetView& data) override;
   std::size_t predict(std::span<const double> features) const override;
   std::vector<double> distribution(
       std::span<const double> features) const override;
+  /// Buffer-reusing batch path: one standardized-row buffer and one k-heap
+  /// reused across the whole chunk (the per-row path allocates both).
+  void distribution_batch(std::span<const double> flat,
+                          std::size_t window_size,
+                          std::span<double> out) const override;
   std::string name() const override { return "IBk"; }
   std::size_t num_classes() const override { return num_classes_; }
 
  private:
   friend struct ModelIo;
+  /// (distance², label) — heap entries for the k-closest scan.
+  using Entry = std::pair<double, std::size_t>;
+
+  std::size_t dim() const { return standardizer_.means().size(); }
+  void score_into(std::span<const double> x, std::vector<Entry>& heap,
+                  std::span<double> dist) const;
+  /// Rebuilds the int16 screen mirror from points_ (train and model load).
+  void build_quantized();
+
   std::size_t k_;
   std::size_t num_classes_ = 0;
   Standardizer standardizer_;
-  std::vector<std::vector<double>> points_;
+  /// Standardized training points, row-major n x dim() (contiguous so the
+  /// distance scan streams memory).
+  std::vector<double> points_;
   std::vector<std::size_t> labels_;
+  /// 12-bit quantization of points_ in blocked column-major layout
+  /// (kernels::kScreenBlock rows per block, 4x fewer bytes than the double
+  /// rows). The distance scan is memory-bound, so most candidates are
+  /// rejected from this mirror via an exact-integer lower bound on their
+  /// distance; only candidates the bound cannot rule out touch the double
+  /// rows. The verdicts are provably identical to scanning points_
+  /// directly — see score_into. Empty when the screen is disabled.
+  std::vector<std::int16_t> qpoints_;
+  double qlo_ = 0.0;     ///< value mapped to grid index 0 (stored -2047)
+  double qscale_ = 1.0;  ///< quantization step
 };
 
 }  // namespace hmd::ml

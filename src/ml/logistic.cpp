@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "ml/kernels.hpp"
 #include "util/error.hpp"
 
 namespace hmd::ml {
@@ -18,17 +19,22 @@ void softmax_inplace(std::vector<double>& logits) {
   for (double& v : logits) v /= total;
 }
 
-void Logistic::train(const Dataset& data) {
+void Logistic::train(const DatasetView& data) {
   require_trainable(data);
   standardizer_.fit(data);
   const std::size_t k = data.num_classes();
   const std::size_t d = data.num_features();
   const std::size_t n = data.num_instances();
 
-  // Pre-standardize the training matrix once.
-  std::vector<std::vector<double>> x(n);
-  for (std::size_t i = 0; i < n; ++i)
-    x[i] = standardizer_.transform(data.features_of(i));
+  // Pre-standardize the training matrix once, into one contiguous block.
+  std::vector<double> x(n * d);
+  std::vector<std::size_t> labels(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    kernels::standardize_into(data.features_of(i), standardizer_.means(),
+                              standardizer_.stddevs(),
+                              {x.data() + i * d, d});
+    labels[i] = data.class_of(i);
+  }
 
   weights_.assign(k, std::vector<double>(d + 1, 0.0));
   std::vector<std::vector<double>> velocity(k,
@@ -40,16 +46,15 @@ void Logistic::train(const Dataset& data) {
     for (auto& g : grad) std::fill(g.begin(), g.end(), 0.0);
 
     for (std::size_t i = 0; i < n; ++i) {
+      const std::span<const double> xi{x.data() + i * d, d};
       for (std::size_t c = 0; c < k; ++c) {
-        double z = weights_[c][d];
-        for (std::size_t f = 0; f < d; ++f) z += weights_[c][f] * x[i][f];
-        logits[c] = z;
+        logits[c] = kernels::dot({weights_[c].data(), d}, xi, weights_[c][d]);
       }
       softmax_inplace(logits);
-      const std::size_t y = data.class_of(i);
+      const std::size_t y = labels[i];
       for (std::size_t c = 0; c < k; ++c) {
         const double err = logits[c] - (c == y ? 1.0 : 0.0);
-        for (std::size_t f = 0; f < d; ++f) grad[c][f] += err * x[i][f];
+        kernels::axpy(err, xi, {grad[c].data(), d});
         grad[c][d] += err;
       }
     }
@@ -71,13 +76,9 @@ std::vector<double> Logistic::distribution(
     std::span<const double> features) const {
   HMD_REQUIRE(!weights_.empty(), "Logistic: predict before train");
   const std::vector<double> x = standardizer_.transform(features);
-  const std::size_t d = x.size();
   std::vector<double> logits(weights_.size());
-  for (std::size_t c = 0; c < weights_.size(); ++c) {
-    double z = weights_[c][d];
-    for (std::size_t f = 0; f < d; ++f) z += weights_[c][f] * x[f];
-    logits[c] = z;
-  }
+  for (std::size_t c = 0; c < weights_.size(); ++c)
+    logits[c] = kernels::affine_bias_last(weights_[c], x);
   softmax_inplace(logits);
   return logits;
 }
@@ -95,18 +96,12 @@ void Logistic::distribution_batch(std::span<const double> flat,
 
   std::vector<double> x(window_size);  // standardized row, reused
   for (std::size_t r = 0; r < rows; ++r) {
-    const std::span<const double> raw = flat.subspan(r * window_size,
-                                                     window_size);
-    for (std::size_t f = 0; f < window_size; ++f)
-      x[f] = stddev[f] > 0.0 ? (raw[f] - mean[f]) / stddev[f] : 0.0;
+    kernels::standardize_into(flat.subspan(r * window_size, window_size),
+                              mean, stddev, x);
 
     const std::span<double> logits = out.subspan(r * k, k);
-    for (std::size_t c = 0; c < k; ++c) {
-      double z = weights_[c][window_size];
-      for (std::size_t f = 0; f < window_size; ++f)
-        z += weights_[c][f] * x[f];
-      logits[c] = z;
-    }
+    for (std::size_t c = 0; c < k; ++c)
+      logits[c] = kernels::affine_bias_last(weights_[c], x);
     // Stable softmax in place in the output slice.
     const double mx = *std::max_element(logits.begin(), logits.end());
     double total = 0.0;

@@ -23,7 +23,7 @@ class Logistic final : public Classifier {
   Logistic() : Logistic(Params{}) {}
   explicit Logistic(Params params) : params_(params) {}
 
-  void train(const Dataset& data) override;
+  void train(const DatasetView& data) override;
   std::size_t predict(std::span<const double> features) const override;
   std::vector<double> distribution(
       std::span<const double> features) const override;

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "ml/kernels.hpp"
 #include "util/error.hpp"
 
 namespace hmd::ml {
@@ -22,6 +23,11 @@ double Matrix::at(std::size_t r, std::size_t c) const {
 }
 
 std::span<const double> Matrix::row(std::size_t r) const {
+  HMD_REQUIRE(r < rows_, "matrix row out of range");
+  return {data_.data() + r * cols_, cols_};
+}
+
+std::span<double> Matrix::mutable_row(std::size_t r) {
   HMD_REQUIRE(r < rows_, "matrix row out of range");
   return {data_.data() + r * cols_, cols_};
 }
@@ -56,11 +62,7 @@ Matrix Matrix::operator*(const Matrix& other) const {
 std::vector<double> Matrix::multiply(std::span<const double> x) const {
   HMD_REQUIRE(x.size() == cols_, "matrix-vector shape mismatch");
   std::vector<double> y(rows_, 0.0);
-  for (std::size_t r = 0; r < rows_; ++r) {
-    double s = 0.0;
-    for (std::size_t c = 0; c < cols_; ++c) s += at(r, c) * x[c];
-    y[r] = s;
-  }
+  kernels::gemv_row_major({data_.data(), data_.size()}, rows_, x, y);
   return y;
 }
 
@@ -126,12 +128,17 @@ Matrix covariance_matrix(const Matrix& data) {
     for (std::size_t c = 0; c < d; ++c) mean[c] += data(r, c);
   for (double& m : mean) m /= static_cast<double>(n);
 
+  // Per-row centered buffer + axpy on the upper-triangle row slices; the
+  // per-(i, j) accumulation order over rows is unchanged from the nested
+  // at()-based loops, so the result is bit-identical.
   Matrix cov(d, d);
+  std::vector<double> delta(d);
   for (std::size_t r = 0; r < n; ++r) {
+    const auto row = data.row(r);
+    for (std::size_t j = 0; j < d; ++j) delta[j] = row[j] - mean[j];
     for (std::size_t i = 0; i < d; ++i) {
-      const double di = data(r, i) - mean[i];
-      for (std::size_t j = i; j < d; ++j)
-        cov(i, j) += di * (data(r, j) - mean[j]);
+      kernels::axpy(delta[i], {delta.data() + i, d - i},
+                    cov.mutable_row(i).subspan(i));
     }
   }
   const double denom = static_cast<double>(n - 1);

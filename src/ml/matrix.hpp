@@ -25,6 +25,8 @@ class Matrix {
   double operator()(std::size_t r, std::size_t c) const { return at(r, c); }
 
   std::span<const double> row(std::size_t r) const;
+  /// Writable view of row `r` (kernels write standardized rows in place).
+  std::span<double> mutable_row(std::size_t r);
 
   static Matrix identity(std::size_t n);
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "ml/kernels.hpp"
 #include "ml/logistic.hpp"  // softmax_inplace
 #include "util/error.hpp"
 #include "util/rng.hpp"
@@ -14,7 +15,7 @@ namespace {
 double sigmoid(double z) { return 1.0 / (1.0 + std::exp(-z)); }
 }  // namespace
 
-void Mlp::train(const Dataset& data) {
+void Mlp::train(const DatasetView& data) {
   require_trainable(data);
   standardizer_.fit(data);
   const std::size_t k = data.num_classes();
@@ -24,9 +25,14 @@ void Mlp::train(const Dataset& data) {
       params_.hidden_units > 0 ? params_.hidden_units : (d + k) / 2;
   HMD_REQUIRE(h > 0, "MLP needs at least one hidden unit");
 
-  std::vector<std::vector<double>> x(n);
-  for (std::size_t i = 0; i < n; ++i)
-    x[i] = standardizer_.transform(data.features_of(i));
+  std::vector<double> x(n * d);  // standardized rows, contiguous
+  std::vector<std::size_t> labels(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    kernels::standardize_into(data.features_of(i), standardizer_.means(),
+                              standardizer_.stddevs(),
+                              {x.data() + i * d, d});
+    labels[i] = data.class_of(i);
+  }
 
   Rng rng(params_.seed);
   auto init = [&](std::size_t fan_in) {
@@ -57,44 +63,39 @@ void Mlp::train(const Dataset& data) {
                       : params_.learning_rate;
     rng.shuffle(order);
     for (std::size_t idx : order) {
-      const std::vector<double>& xi = x[idx];
+      const std::span<const double> xi{x.data() + idx * d, d};
       // Forward.
-      for (std::size_t j = 0; j < h; ++j) {
-        double z = w1_[j][d];
-        for (std::size_t f = 0; f < d; ++f) z += w1_[j][f] * xi[f];
-        hidden[j] = sigmoid(z);
-      }
-      for (std::size_t c = 0; c < k; ++c) {
-        double z = w2_[c][h];
-        for (std::size_t j = 0; j < h; ++j) z += w2_[c][j] * hidden[j];
-        out[c] = z;
-      }
+      for (std::size_t j = 0; j < h; ++j)
+        hidden[j] = sigmoid(kernels::dot({w1_[j].data(), d}, xi, w1_[j][d]));
+      for (std::size_t c = 0; c < k; ++c)
+        out[c] = kernels::dot({w2_[c].data(), h}, hidden, w2_[c][h]);
       softmax_inplace(out);
 
-      // Backward (cross-entropy + softmax → out - onehot).
-      const std::size_t y = data.class_of(idx);
+      // Backward (cross-entropy + softmax → out - onehot). delta_h is
+      // accumulated from the PRE-update output weights, then the momentum
+      // step runs per layer — value-identical to the interleaved per-j
+      // form, since each delta_h[j] read w2_[c][j] before that j updated.
+      const std::size_t y = labels[idx];
       std::fill(delta_h.begin(), delta_h.end(), 0.0);
       for (std::size_t c = 0; c < k; ++c) {
         const double err = out[c] - (c == y ? 1.0 : 0.0);
+        kernels::axpy(err, {w2_[c].data(), h}, delta_h);
+        const double scale = lr * err;
         for (std::size_t j = 0; j < h; ++j) {
-          delta_h[j] += err * w2_[c][j];
-          v2[c][j] = params_.momentum * v2[c][j] -
-                     lr * err * hidden[j];
+          v2[c][j] = params_.momentum * v2[c][j] - scale * hidden[j];
           w2_[c][j] += v2[c][j];
         }
-        v2[c][h] =
-            params_.momentum * v2[c][h] - lr * err;
+        v2[c][h] = params_.momentum * v2[c][h] - lr * err;
         w2_[c][h] += v2[c][h];
       }
       for (std::size_t j = 0; j < h; ++j) {
         const double grad = delta_h[j] * hidden[j] * (1.0 - hidden[j]);
+        const double scale = lr * grad;
         for (std::size_t f = 0; f < d; ++f) {
-          v1[j][f] = params_.momentum * v1[j][f] -
-                     lr * grad * xi[f];
+          v1[j][f] = params_.momentum * v1[j][f] - scale * xi[f];
           w1_[j][f] += v1[j][f];
         }
-        v1[j][d] =
-            params_.momentum * v1[j][d] - lr * grad;
+        v1[j][d] = params_.momentum * v1[j][d] - lr * grad;
         w1_[j][d] += v1[j][d];
       }
     }
@@ -102,13 +103,9 @@ void Mlp::train(const Dataset& data) {
 }
 
 std::vector<double> Mlp::hidden_activations(std::span<const double> x) const {
-  const std::size_t d = x.size();
   std::vector<double> hidden(w1_.size());
-  for (std::size_t j = 0; j < w1_.size(); ++j) {
-    double z = w1_[j][d];
-    for (std::size_t f = 0; f < d; ++f) z += w1_[j][f] * x[f];
-    hidden[j] = sigmoid(z);
-  }
+  for (std::size_t j = 0; j < w1_.size(); ++j)
+    hidden[j] = sigmoid(kernels::affine_bias_last(w1_[j], x));
   return hidden;
 }
 
@@ -117,11 +114,8 @@ std::vector<double> Mlp::distribution(std::span<const double> features) const {
   const std::vector<double> x = standardizer_.transform(features);
   const std::vector<double> hidden = hidden_activations(x);
   std::vector<double> out(w2_.size());
-  for (std::size_t c = 0; c < w2_.size(); ++c) {
-    double z = w2_[c][hidden.size()];
-    for (std::size_t j = 0; j < hidden.size(); ++j) z += w2_[c][j] * hidden[j];
-    out[c] = z;
-  }
+  for (std::size_t c = 0; c < w2_.size(); ++c)
+    out[c] = kernels::affine_bias_last(w2_[c], hidden);
   softmax_inplace(out);
   return out;
 }

@@ -27,7 +27,7 @@ class Mlp final : public Classifier {
   Mlp() : Mlp(Params{}) {}
   explicit Mlp(Params params) : params_(params) {}
 
-  void train(const Dataset& data) override;
+  void train(const DatasetView& data) override;
   std::size_t predict(std::span<const double> features) const override;
   std::vector<double> distribution(
       std::span<const double> features) const override;

@@ -8,7 +8,7 @@
 
 namespace hmd::ml {
 
-void NaiveBayes::train(const Dataset& data) {
+void NaiveBayes::train(const DatasetView& data) {
   require_trainable(data);
   const std::size_t k = data.num_classes();
   const std::size_t d = data.num_features();

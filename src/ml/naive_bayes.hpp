@@ -8,7 +8,7 @@ namespace hmd::ml {
 
 class NaiveBayes final : public Classifier {
  public:
-  void train(const Dataset& data) override;
+  void train(const DatasetView& data) override;
   std::size_t predict(std::span<const double> features) const override;
   std::vector<double> distribution(
       std::span<const double> features) const override;

@@ -90,7 +90,7 @@ CandidateRule build_rule(std::vector<ValueLabel>& data,
 
 }  // namespace
 
-void OneR::train(const Dataset& data) {
+void OneR::train(const DatasetView& data) {
   require_trainable(data);
   num_classes_ = data.num_classes();
   const std::size_t n = data.num_instances();

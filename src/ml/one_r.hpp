@@ -19,7 +19,7 @@ class OneR final : public Classifier {
   explicit OneR(std::size_t min_bucket_size = 6)
       : min_bucket_size_(min_bucket_size) {}
 
-  void train(const Dataset& data) override;
+  void train(const DatasetView& data) override;
   std::size_t predict(std::span<const double> features) const override;
   std::string name() const override { return "OneR"; }
   std::size_t num_classes() const override { return num_classes_; }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "ml/kernels.hpp"
 #include "util/error.hpp"
 
 namespace hmd::ml {
@@ -13,7 +14,7 @@ PrincipalComponents::PrincipalComponents(double variance_cutoff)
               "variance_cutoff must be in (0, 1]");
 }
 
-void PrincipalComponents::fit(const Dataset& data) {
+void PrincipalComponents::fit(const DatasetView& data) {
   HMD_REQUIRE(data.num_instances() >= 2, "PCA: need at least two instances");
   const std::size_t d = data.num_features();
   standardizer_.fit(data);
@@ -24,8 +25,8 @@ void PrincipalComponents::fit(const Dataset& data) {
   // Standardized data matrix → covariance == correlation matrix.
   Matrix x(data.num_instances(), d);
   for (std::size_t i = 0; i < data.num_instances(); ++i) {
-    const std::vector<double> z = standardizer_.transform(data.features_of(i));
-    for (std::size_t f = 0; f < d; ++f) x(i, f) = z[f];
+    kernels::standardize_into(data.features_of(i), standardizer_.means(),
+                              standardizer_.stddevs(), x.mutable_row(i));
   }
   const Matrix corr = covariance_matrix(x);
 
@@ -107,7 +108,8 @@ std::vector<RankedFeature> PrincipalComponents::ranked_features() const {
   return ranked;
 }
 
-std::vector<RankedFeature> top_pca_features(const Dataset& data, std::size_t k,
+std::vector<RankedFeature> top_pca_features(const DatasetView& data,
+                                            std::size_t k,
                                             double variance_cutoff) {
   PrincipalComponents pca(variance_cutoff);
   pca.fit(data);

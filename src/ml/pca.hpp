@@ -33,7 +33,7 @@ class PrincipalComponents {
   explicit PrincipalComponents(double variance_cutoff = 0.95);
 
   /// Fit on the feature columns of `data` (class column ignored).
-  void fit(const Dataset& data);
+  void fit(const DatasetView& data);
 
   bool fitted() const { return !eigenvalues_.empty(); }
   std::size_t num_components() const { return retained_; }
@@ -66,7 +66,8 @@ class PrincipalComponents {
 };
 
 /// Convenience: fit PCA on `data` and return the top `k` ranked features.
-std::vector<RankedFeature> top_pca_features(const Dataset& data, std::size_t k,
+std::vector<RankedFeature> top_pca_features(const DatasetView& data,
+                                            std::size_t k,
                                             double variance_cutoff = 0.95);
 
 }  // namespace hmd::ml

@@ -4,7 +4,7 @@
 
 namespace hmd::ml {
 
-void Standardizer::fit(const Dataset& data) {
+void Standardizer::fit(const DatasetView& data) {
   HMD_REQUIRE(!data.empty(), "Standardizer::fit: empty dataset");
   const std::size_t d = data.num_features();
   mean_.assign(d, 0.0);

@@ -17,7 +17,7 @@ namespace hmd::ml {
 class Standardizer {
  public:
   /// Fit on the feature columns of `data`.
-  void fit(const Dataset& data);
+  void fit(const DatasetView& data);
 
   bool fitted() const { return !mean_.empty(); }
   std::size_t num_features() const { return mean_.size(); }

@@ -220,7 +220,16 @@ struct ModelIo {
     out << "labels";
     for (std::size_t l : m.labels_) out << ' ' << l;
     out << '\n';
-    write_matrix(out, "points", m.points_);
+    // points_ is stored flat row-major; the on-disk format stays one row
+    // per reference point.
+    const std::size_t dim = m.standardizer_.means().size();
+    const std::size_t n = dim == 0 ? 0 : m.points_.size() / dim;
+    std::vector<std::vector<double>> rows(n);
+    for (std::size_t r = 0; r < n; ++r)
+      rows[r].assign(m.points_.begin() + static_cast<std::ptrdiff_t>(r * dim),
+                     m.points_.begin() +
+                         static_cast<std::ptrdiff_t>((r + 1) * dim));
+    write_matrix(out, "points", rows);
   }
   static void save(std::ostream& out, const AnomalyClassifier& m) {
     const MahalanobisDetector& d = m.detector_;
@@ -409,9 +418,17 @@ struct ModelIo {
       const auto tokens = reader.expect("labels");
       for (const auto& t : tokens)
         m->labels_.push_back(static_cast<std::size_t>(parse_int(t)));
-      m->points_ = read_matrix(reader, "points");
-      if (m->points_.size() != m->labels_.size() || m->points_.empty())
+      const auto rows = read_matrix(reader, "points");
+      if (rows.size() != m->labels_.size() || rows.empty())
         throw ParseError("model: IBk shape mismatch");
+      const std::size_t dim = rows.front().size();
+      m->points_.reserve(rows.size() * dim);
+      for (const auto& row : rows) {
+        if (row.size() != dim)
+          throw ParseError("model: IBk ragged points matrix");
+        m->points_.insert(m->points_.end(), row.begin(), row.end());
+      }
+      m->build_quantized();
       for (std::size_t l : m->labels_)
         if (l >= classes) throw ParseError("model: IBk label out of range");
       return m;

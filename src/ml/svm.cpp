@@ -3,21 +3,27 @@
 #include <algorithm>
 #include <cmath>
 
+#include "ml/kernels.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 
 namespace hmd::ml {
 
-void LinearSvm::train(const Dataset& data) {
+void LinearSvm::train(const DatasetView& data) {
   require_trainable(data);
   standardizer_.fit(data);
   const std::size_t k = data.num_classes();
   const std::size_t d = data.num_features();
   const std::size_t n = data.num_instances();
 
-  std::vector<std::vector<double>> x(n);
-  for (std::size_t i = 0; i < n; ++i)
-    x[i] = standardizer_.transform(data.features_of(i));
+  std::vector<double> x(n * d);  // standardized rows, contiguous
+  std::vector<std::size_t> labels(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    kernels::standardize_into(data.features_of(i), standardizer_.means(),
+                              standardizer_.stddevs(),
+                              {x.data() + i * d, d});
+    labels[i] = data.class_of(i);
+  }
 
   weights_.assign(k, std::vector<double>(d + 1, 0.0));
   Rng rng(params_.seed);
@@ -30,15 +36,15 @@ void LinearSvm::train(const Dataset& data) {
       for (std::size_t step = 0; step < n; ++step) {
         ++t;
         const std::size_t i = static_cast<std::size_t>(rng.uniform_index(n));
-        const double y = data.class_of(i) == cls ? 1.0 : -1.0;
+        const std::span<const double> xi{x.data() + i * d, d};
+        const double y = labels[i] == cls ? 1.0 : -1.0;
         const double eta = 1.0 / (params_.lambda * static_cast<double>(t));
-        double score = w[d];
-        for (std::size_t f = 0; f < d; ++f) score += w[f] * x[i][f];
+        const double score = kernels::dot({w.data(), d}, xi, w[d]);
         // Shrink then, on a margin violation, step toward the example.
         const double shrink = 1.0 - eta * params_.lambda;
         for (std::size_t f = 0; f < d; ++f) w[f] *= shrink;
         if (y * score < 1.0) {
-          for (std::size_t f = 0; f < d; ++f) w[f] += eta * y * x[i][f];
+          kernels::axpy(eta * y, xi, {w.data(), d});
           w[d] += eta * y;  // unregularized bias
         }
       }
@@ -47,10 +53,7 @@ void LinearSvm::train(const Dataset& data) {
 }
 
 double LinearSvm::margin(std::size_t cls, std::span<const double> x) const {
-  const std::vector<double>& w = weights_[cls];
-  double s = w[x.size()];
-  for (std::size_t f = 0; f < x.size(); ++f) s += w[f] * x[f];
-  return s;
+  return kernels::affine_bias_last(weights_[cls], x);
 }
 
 std::size_t LinearSvm::predict(std::span<const double> features) const {

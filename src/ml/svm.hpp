@@ -21,7 +21,7 @@ class LinearSvm final : public Classifier {
   LinearSvm() : LinearSvm(Params{}) {}
   explicit LinearSvm(Params params) : params_(params) {}
 
-  void train(const Dataset& data) override;
+  void train(const DatasetView& data) override;
   std::size_t predict(std::span<const double> features) const override;
   /// Margins mapped through a logistic link (not calibrated probabilities).
   std::vector<double> distribution(

@@ -4,7 +4,7 @@
 
 namespace hmd::ml {
 
-void ZeroR::train(const Dataset& data) {
+void ZeroR::train(const DatasetView& data) {
   require_trainable(data);
   const auto counts = data.class_counts();
   priors_.assign(counts.size(), 0.0);

@@ -101,6 +101,14 @@ std::vector<double> default_latency_buckets_us() {
   return bounds;
 }
 
+std::vector<double> default_latency_buckets_ms() {
+  std::vector<double> bounds;
+  for (double decade = 1.0; decade <= 1e6; decade *= 10.0)
+    for (double step : {1.0, 2.0, 5.0}) bounds.push_back(decade * step);
+  bounds.push_back(1e7);  // 10000 s
+  return bounds;
+}
+
 std::vector<double> default_count_buckets() {
   std::vector<double> bounds;
   for (double b = 1.0; b <= 4096.0; b *= 2.0) bounds.push_back(b);

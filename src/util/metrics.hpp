@@ -106,6 +106,11 @@ class Histogram {
 /// 1 us .. 10 s.
 std::vector<double> default_latency_buckets_us();
 
+/// Default histogram bounds for latencies in milliseconds: log-spaced
+/// 1 ms .. 10000 s. Use for values recorded in ms (e.g. fold wall time)
+/// so they do not all land in the overflow bucket of the us scale.
+std::vector<double> default_latency_buckets_ms();
+
 /// Histogram bounds counting in whole units (windows, items): powers of two
 /// 1 .. 4096.
 std::vector<double> default_count_buckets();

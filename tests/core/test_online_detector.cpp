@@ -10,7 +10,7 @@ namespace {
 /// Deterministic stub detector: P(malware) = features[0].
 class StubModel final : public ml::Classifier {
  public:
-  void train(const ml::Dataset&) override {}
+  void train(const ml::DatasetView&) override {}
   std::size_t predict(std::span<const double> f) const override {
     return f[0] > 0.5 ? 1 : 0;
   }

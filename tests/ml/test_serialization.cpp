@@ -94,7 +94,7 @@ TEST(Serialization, UntrainedModelThrows) {
 /// A trained classifier the model format knows nothing about.
 class Unserializable final : public Classifier {
  public:
-  void train(const Dataset&) override {}
+  void train(const DatasetView&) override {}
   std::size_t predict(std::span<const double>) const override { return 0; }
   std::string name() const override { return "Unserializable"; }
   std::size_t num_classes() const override { return 2; }
