@@ -65,10 +65,12 @@ const ml::Dataset& multiclass_dataset() {
     if (!std::filesystem::exists(path))
       std::fprintf(stderr,
                    "[bench] collecting HPC dataset (%zu samples x %zu "
-                   "windows) -> %s\n",
+                   "windows, %zu jobs) -> %s\n",
                    cfg.composition.total(), cfg.collector.num_windows,
-                   path.c_str());
-    return builder.load_or_build(path);
+                   bench_pool().size(), path.c_str());
+    // Collection fans per-sample simulation across the pool; the cached
+    // CSV is bit-identical to a serial build (see DatasetBuilder).
+    return builder.load_or_build(path, &bench_pool());
   }();
   return data;
 }

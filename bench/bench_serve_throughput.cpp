@@ -1,0 +1,269 @@
+// Streaming-serve throughput: the sharded StreamEngine vs a serial
+// OnlineDetector::observe loop over the same windows.
+//
+// The grid is streams {1, 8, 64, 512} x shards {1, 2, 4}. Each config
+// feeds every stream the same deterministic window sequence through up to
+// four feeder threads (one feeder per stream at most), drains, and
+// cross-checks the engine's per-stream monitor state against the serial
+// replay — the determinism contract the serve tests pin, re-asserted on
+// bench-sized inputs. Like bench_train_throughput this collects no HPC
+// dataset: the model is an IBk (k-NN) trained on synthetic binary blobs —
+// one of the thesis's strongest binary detectors and, with its per-window
+// distance scan over the training set, a scoring-bound model: the regime
+// where cross-stream batching and sharding actually pay. (With a trivial
+// per-window model like a bare Logistic dot product, queueing overhead
+// dominates and serving infrastructure of any kind only slows you down.)
+//
+// Emits BENCH_serve.json (windows/sec for engine and serial baseline,
+// speedup, e2e latency p50/p99 from the serve.e2e_latency_us histogram)
+// and mirrors every row as a [bench] stderr line for CI greps.
+//
+// Scale knobs (environment):
+//   HMD_SERVE_WINDOWS      windows per stream        (default 256)
+//   HMD_SERVE_MAX_STREAMS  cap on the stream counts  (default 512)
+//   HMD_SERVE_TRAIN_ROWS   k-NN training rows        (default 1024)
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "ml/dataset.hpp"
+#include "ml/knn.hpp"
+#include "serve/stream_engine.hpp"
+#include "util/metrics.hpp"
+#include "util/rng.hpp"
+#include "util/trace.hpp"
+
+namespace {
+
+using namespace hmd;
+
+constexpr std::size_t kFeatures = 16;
+constexpr std::size_t kMaxFeeders = 4;
+
+std::size_t env_or(const char* name, std::size_t fallback) {
+  const char* v = std::getenv(name);
+  return (v != nullptr && *v != '\0')
+             ? static_cast<std::size_t>(std::strtoull(v, nullptr, 10))
+             : fallback;
+}
+
+/// Two Gaussian blobs (benign/malware) in the counter layout's shape.
+ml::Dataset synthetic_binary(std::size_t rows, std::uint64_t seed) {
+  std::vector<ml::Attribute> attrs;
+  for (std::size_t f = 0; f < kFeatures; ++f)
+    attrs.emplace_back("f" + std::to_string(f));
+  attrs.emplace_back("class",
+                     std::vector<std::string>{"benign", "malware"});
+  ml::Dataset data(std::move(attrs), "serve_blobs");
+  Rng rng(seed);
+  for (std::size_t i = 0; i < rows; ++i) {
+    const std::size_t c = i % 2;
+    ml::Instance row;
+    for (std::size_t f = 0; f < kFeatures; ++f)
+      row.values.push_back(
+          rng.normal(c == 0 ? 1.0 : 3.0 + 0.2 * static_cast<double>(f),
+                     1.2));
+    row.values.push_back(static_cast<double>(c));
+    data.add(std::move(row));
+  }
+  return data;
+}
+
+/// Per-stream window sequences, deterministic in the stream index.
+std::vector<std::vector<std::vector<double>>> make_windows(
+    std::size_t streams, std::size_t windows_per_stream) {
+  std::vector<std::vector<std::vector<double>>> all(streams);
+  for (std::size_t s = 0; s < streams; ++s) {
+    Rng rng(0x5e12e + s);
+    all[s].reserve(windows_per_stream);
+    for (std::size_t w = 0; w < windows_per_stream; ++w) {
+      std::vector<double> window(kFeatures);
+      const bool hot = rng.bernoulli(0.2);
+      for (std::size_t f = 0; f < kFeatures; ++f)
+        window[f] = rng.normal(hot ? 3.4 : 1.0, 1.2);
+      all[s].push_back(std::move(window));
+    }
+  }
+  return all;
+}
+
+struct ConfigResult {
+  std::size_t streams = 0;
+  std::size_t shards = 0;
+  double engine_wps = 0.0;  ///< windows/sec through the engine
+  double serial_wps = 0.0;  ///< windows/sec through observe()
+  double p50_us = 0.0;      ///< e2e ingest -> verdict latency
+  double p99_us = 0.0;
+  double mean_batch = 0.0;  ///< windows per scored batch
+};
+
+/// Serial baseline: every stream replayed through its own OnlineDetector.
+/// Returns windows/sec and fills `alarm_windows` for the identity check.
+double run_serial(const ml::Classifier& model,
+                  const core::OnlineDetectorConfig& policy,
+                  const std::vector<std::vector<std::vector<double>>>& wins,
+                  std::vector<std::size_t>& alarm_windows) {
+  std::size_t total = 0;
+  alarm_windows.clear();
+  TraceSpan t("serve_bench/serial");
+  for (const auto& stream : wins) {
+    core::OnlineDetector det(model, policy);
+    for (const auto& w : stream) det.observe(w);
+    alarm_windows.push_back(det.alarm_window());
+    total += stream.size();
+  }
+  return static_cast<double>(total) / t.elapsed_seconds();
+}
+
+ConfigResult run_config(const ml::Classifier& model,
+                        const core::OnlineDetectorConfig& policy,
+                        std::size_t streams, std::size_t shards,
+                        const std::vector<std::vector<std::vector<double>>>&
+                            wins,
+                        double serial_wps,
+                        const std::vector<std::size_t>& serial_alarms) {
+  ConfigResult r;
+  r.streams = streams;
+  r.shards = shards;
+  r.serial_wps = serial_wps;
+
+  metrics().reset();
+  serve::ServeConfig config;
+  config.num_shards = shards;
+  config.window_size = kFeatures;
+  config.policy = policy;
+  serve::StreamEngine engine(model, config);
+
+  std::vector<serve::StreamEngine::StreamHandle> handles;
+  handles.reserve(streams);
+  for (std::size_t s = 0; s < streams; ++s)
+    handles.push_back(engine.register_stream(s));
+
+  const std::size_t feeders = std::min(kMaxFeeders, streams);
+  std::size_t total = 0;
+  for (const auto& stream : wins) total += stream.size();
+
+  TraceSpan t("serve_bench/engine");
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(feeders);
+    for (std::size_t f = 0; f < feeders; ++f)
+      threads.emplace_back([&, f] {
+        // Feeder f owns streams s with s % feeders == f and round-robins
+        // window-by-window across them (per-stream order preserved).
+        const std::size_t per_stream = wins.front().size();
+        for (std::size_t w = 0; w < per_stream; ++w)
+          for (std::size_t s = f; s < streams; s += feeders)
+            engine.ingest(handles[s], wins[s][w]);
+      });
+    for (auto& th : threads) th.join();
+    engine.drain();
+  }
+  r.engine_wps = static_cast<double>(total) / t.elapsed_seconds();
+
+  // Determinism cross-check: each stream's latched alarm state must match
+  // its serial replay regardless of shard count or feeder interleaving.
+  for (std::size_t s = 0; s < streams; ++s) {
+    if (engine.monitor(handles[s]).alarm_window() != serial_alarms[s]) {
+      std::fprintf(stderr,
+                   "[bench] serve DETERMINISM VIOLATION: stream %zu alarm "
+                   "%zu != serial %zu (streams=%zu shards=%zu)\n",
+                   s, engine.monitor(handles[s]).alarm_window(),
+                   serial_alarms[s], streams, shards);
+      std::exit(1);
+    }
+  }
+
+  const Histogram& e2e =
+      metrics().histogram("serve.e2e_latency_us",
+                          default_latency_buckets_us());
+  const Histogram& batch =
+      metrics().histogram("serve.batch_size", default_count_buckets());
+  r.p50_us = e2e.quantile(0.50);
+  r.p99_us = e2e.quantile(0.99);
+  r.mean_batch = batch.mean();
+  engine.shutdown();
+
+  std::fprintf(stderr,
+               "[bench] serve %4zu streams x %zu shards: %9.0f w/s engine "
+               "%9.0f w/s serial (%.2fx) | e2e p50 %6.0f us p99 %6.0f us | "
+               "mean batch %.1f\n",
+               streams, shards, r.engine_wps, r.serial_wps,
+               r.engine_wps / r.serial_wps, r.p50_us, r.p99_us,
+               r.mean_batch);
+  return r;
+}
+
+void write_json(const std::string& path, std::size_t windows_per_stream,
+                const std::vector<ConfigResult>& results) {
+  std::ofstream out(path);
+  out << "{\n"
+      << "  \"windows_per_stream\": " << windows_per_stream << ",\n"
+      << "  \"features\": " << kFeatures << ",\n"
+      << "  \"configs\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const ConfigResult& r = results[i];
+    out << "    {\"streams\": " << r.streams
+        << ", \"shards\": " << r.shards
+        << ", \"engine_windows_per_s\": " << r.engine_wps
+        << ", \"serial_windows_per_s\": " << r.serial_wps
+        << ", \"speedup\": " << r.engine_wps / r.serial_wps
+        << ", \"e2e_p50_us\": " << r.p50_us
+        << ", \"e2e_p99_us\": " << r.p99_us
+        << ", \"mean_batch_windows\": " << r.mean_batch << "}"
+        << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main() {
+  bench::init_observability();
+  const std::size_t windows_per_stream = env_or("HMD_SERVE_WINDOWS", 256);
+  const std::size_t max_streams = env_or("HMD_SERVE_MAX_STREAMS", 512);
+  const std::size_t train_rows = env_or("HMD_SERVE_TRAIN_ROWS", 1024);
+
+  // IBk "training" just stores the rows; every window scored costs a
+  // distance scan over all of them, so scoring dominates the pipeline.
+  const ml::Dataset train = synthetic_binary(train_rows, 11);
+  ml::Knn model(5);
+  model.train(train);
+  const core::OnlineDetectorConfig policy{.flag_threshold = 0.9,
+                                          .confirm_windows = 4};
+
+  std::vector<std::size_t> stream_counts;
+  for (std::size_t s : {std::size_t{1}, std::size_t{8}, std::size_t{64},
+                        std::size_t{512}})
+    if (s <= max_streams) stream_counts.push_back(s);
+  const std::vector<std::size_t> shard_counts = {1, 2, 4};
+
+  std::fprintf(stderr,
+               "[bench] serve grid: streams up to %zu x shards {1,2,4}, "
+               "%zu windows/stream, %zu hw threads\n",
+               stream_counts.back(), windows_per_stream,
+               static_cast<std::size_t>(
+                   std::thread::hardware_concurrency()));
+
+  std::vector<ConfigResult> results;
+  for (std::size_t streams : stream_counts) {
+    const auto wins = make_windows(streams, windows_per_stream);
+    std::vector<std::size_t> serial_alarms;
+    const double serial_wps =
+        run_serial(model, policy, wins, serial_alarms);
+    for (std::size_t shards : shard_counts)
+      results.push_back(run_config(model, policy, streams, shards, wins,
+                                   serial_wps, serial_alarms));
+  }
+
+  const std::string path = "BENCH_serve.json";
+  write_json(path, windows_per_stream, results);
+  std::fprintf(stderr, "[bench] serve results written to %s\n",
+               path.c_str());
+  return 0;
+}

@@ -1,11 +1,14 @@
 #include "core/dataset_builder.hpp"
 
+#include <atomic>
 #include <filesystem>
 #include <fstream>
+#include <mutex>
 
 #include "hwsim/core.hpp"
 #include "ml/arff.hpp"
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 #include "workload/sandbox.hpp"
 
 namespace hmd::core {
@@ -49,23 +52,39 @@ std::vector<perf::HpcSample> DatasetBuilder::run_sample(
 }
 
 ml::Dataset DatasetBuilder::build_multiclass_dataset(
-    const std::function<void(std::size_t, std::size_t)>& progress) const {
+    const std::function<void(std::size_t, std::size_t)>& progress,
+    ThreadPool* pool) const {
   const workload::SampleDatabase db = build_database();
   ml::Dataset data(feature_schema(config_.collector.events), "hmd_hpc");
 
-  std::size_t done = 0;
-  for (const workload::SampleRecord& rec : db.samples()) {
-    const auto windows = run_sample(rec);
-    const auto label = static_cast<double>(rec.label);
-    for (const perf::HpcSample& w : windows) {
+  // Stage 1 (parallel): simulate every sample. Each run is seeded by its
+  // record's own splitmix64-derived sub-seed, so the windows depend only
+  // on the record, never on scheduling. Results land in per-sample slots.
+  const auto& samples = db.samples();
+  std::vector<std::vector<perf::HpcSample>> windows(samples.size());
+  std::atomic<std::size_t> done{0};
+  std::mutex progress_mutex;
+  parallel_for(pool, samples.size(), [&](std::size_t i) {
+    windows[i] = run_sample(samples[i]);
+    const std::size_t finished =
+        done.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (progress) {
+      std::lock_guard<std::mutex> lock(progress_mutex);
+      progress(finished, samples.size());
+    }
+  });
+
+  // Stage 2 (serial): append rows in database order — the exact row order
+  // of the serial build, so the cached CSV is bit-identical.
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const auto label = static_cast<double>(samples[i].label);
+    for (const perf::HpcSample& w : windows[i]) {
       ml::Instance row;
       row.values.reserve(w.counts.size() + 1);
       row.values.insert(row.values.end(), w.counts.begin(), w.counts.end());
       row.values.push_back(label);
       data.add(std::move(row));
     }
-    ++done;
-    if (progress) progress(done, db.size());
   }
   return data;
 }
@@ -110,10 +129,11 @@ ml::Dataset DatasetBuilder::load_dataset_csv(const std::string& path) {
   return ml::dataset_from_csv(table, class_values);
 }
 
-ml::Dataset DatasetBuilder::load_or_build(const std::string& path) const {
+ml::Dataset DatasetBuilder::load_or_build(const std::string& path,
+                                          ThreadPool* pool) const {
   if (!path.empty() && std::filesystem::exists(path))
     return load_dataset_csv(path);
-  ml::Dataset data = build_multiclass_dataset();
+  ml::Dataset data = build_multiclass_dataset({}, pool);
   if (!path.empty()) save_dataset_csv(data, path);
   return data;
 }

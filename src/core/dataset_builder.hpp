@@ -10,6 +10,10 @@
 #include "ml/dataset.hpp"
 #include "perf/perf_log.hpp"
 
+namespace hmd {
+class ThreadPool;
+}
+
 namespace hmd::core {
 
 class DatasetBuilder {
@@ -24,8 +28,18 @@ class DatasetBuilder {
   /// Runs every sample and returns the 6-class dataset: one row per 10 ms
   /// window, 16 features + class. Deterministic in config().seed.
   /// `progress`, when set, is called with (done, total) sample counts.
+  ///
+  /// Collection fans the per-sample simulations across `pool` (nullptr =
+  /// serial). Every sample already carries its own splitmix64-derived
+  /// sub-seed (SampleDatabase::generate), so runs are independent of
+  /// scheduling and the resulting dataset — and its CSV — is bit-identical
+  /// to the serial build at any thread count (regression-tested). Under a
+  /// pool, `progress` is invoked in completion order (done still counts
+  /// monotonically 1..total) and must therefore be thread-compatible; the
+  /// builder serializes the calls.
   ml::Dataset build_multiclass_dataset(
-      const std::function<void(std::size_t, std::size_t)>& progress = {}) const;
+      const std::function<void(std::size_t, std::size_t)>& progress = {},
+      ThreadPool* pool = nullptr) const;
 
   /// Binary view of a multiclass dataset: {benign, malware}.
   static ml::Dataset to_binary(const ml::Dataset& multiclass);
@@ -38,9 +52,11 @@ class DatasetBuilder {
   static void save_dataset_csv(const ml::Dataset& data,
                                const std::string& path);
   static ml::Dataset load_dataset_csv(const std::string& path);
-  /// Load from `path` if present, else build and save there. Empty path
+  /// Load from `path` if present, else build (collection fanned across
+  /// `pool`, see build_multiclass_dataset) and save there. Empty path
   /// always builds.
-  ml::Dataset load_or_build(const std::string& path) const;
+  ml::Dataset load_or_build(const std::string& path,
+                            ThreadPool* pool = nullptr) const;
 
  private:
   PipelineConfig config_;

@@ -31,10 +31,6 @@ struct DetectorInstruments {
   }
 };
 
-/// Windows per distribution_batch call in score_windows: large enough to
-/// amortize the virtual call, small enough to split across workers.
-constexpr std::size_t kScoreChunk = 256;
-
 }  // namespace
 
 void OnlineDetectorConfig::validate() const {
@@ -42,6 +38,8 @@ void OnlineDetectorConfig::validate() const {
               "OnlineDetectorConfig: flag_threshold must be in (0, 1)");
   HMD_REQUIRE(confirm_windows >= 1,
               "OnlineDetectorConfig: confirm_windows must be at least 1");
+  HMD_REQUIRE(score_chunk_windows >= 1,
+              "OnlineDetectorConfig: score_chunk_windows must be at least 1");
 }
 
 OnlineDetector::OnlineDetector(const ml::Classifier& model,
@@ -74,8 +72,13 @@ OnlineDetector::Verdict OnlineDetector::observe(
     std::span<const double> counts) {
   HMD_REQUIRE(model_.num_classes() == 2,
               "OnlineDetector needs a binary (benign/malware) model");
+  return apply_probability(model_.distribution(counts)[1]);
+}
+
+OnlineDetector::Verdict OnlineDetector::apply_probability(
+    double probability) {
   Verdict verdict;
-  verdict.probability = model_.distribution(counts)[1];
+  verdict.probability = probability;
   advance(verdict);
   return verdict;
 }
@@ -95,12 +98,12 @@ std::vector<OnlineDetector::Verdict> OnlineDetector::score_windows(
   // overrides avoid a heap allocation per window. Each chunk writes a
   // disjoint slice; each slot is written once.
   std::vector<double> probabilities(num_windows);
-  const std::size_t num_chunks =
-      (num_windows + kScoreChunk - 1) / kScoreChunk;
+  const std::size_t chunk = config_.score_chunk_windows;
+  const std::size_t num_chunks = (num_windows + chunk - 1) / chunk;
   DetectorInstruments& instruments = DetectorInstruments::get();
   parallel_for(pool, num_chunks, [&](std::size_t c) {
-    const std::size_t begin = c * kScoreChunk;
-    const std::size_t count = std::min(kScoreChunk, num_windows - begin);
+    const std::size_t begin = c * chunk;
+    const std::size_t count = std::min(chunk, num_windows - begin);
     TraceSpan timer("");
     std::vector<double> dist(count * 2);
     model_.distribution_batch(
@@ -115,12 +118,8 @@ std::vector<OnlineDetector::Verdict> OnlineDetector::score_windows(
   // mirroring observe() exactly.
   std::vector<Verdict> verdicts;
   verdicts.reserve(num_windows);
-  for (std::size_t w = 0; w < num_windows; ++w) {
-    Verdict verdict;
-    verdict.probability = probabilities[w];
-    advance(verdict);
-    verdicts.push_back(verdict);
-  }
+  for (std::size_t w = 0; w < num_windows; ++w)
+    verdicts.push_back(apply_probability(probabilities[w]));
   return verdicts;
 }
 

@@ -28,11 +28,17 @@ struct OnlineDetectorConfig {
   double flag_threshold = 0.97;
   /// Consecutive flagged windows required to raise the alarm.
   std::size_t confirm_windows = 4;
+  /// Windows per Classifier::distribution_batch call in score_windows —
+  /// the unit of work fanned across the pool. Purely a tuning knob (the
+  /// serve engine and benches size it to their batch shape); it never
+  /// affects verdicts and is not part of the persisted policy.
+  std::size_t score_chunk_windows = 256;
 
-  /// Throws hmd::PreconditionError unless flag_threshold is in (0, 1) and
-  /// confirm_windows >= 1. Call sites that accept external policy (the
-  /// detector constructor, deployment-bundle load) all funnel through
-  /// this, so a corrupt persisted policy cannot arm a broken monitor.
+  /// Throws hmd::PreconditionError unless flag_threshold is in (0, 1),
+  /// confirm_windows >= 1 and score_chunk_windows >= 1. Call sites that
+  /// accept external policy (the detector constructor, deployment-bundle
+  /// load) all funnel through this, so a corrupt persisted policy cannot
+  /// arm a broken monitor.
   void validate() const;
 };
 
@@ -56,6 +62,14 @@ class OnlineDetector {
 
   /// Observe the next window's counter values.
   Verdict observe(std::span<const double> counts);
+
+  /// Advance the streak/alarm state machine on an externally computed
+  /// P(malware) — the batched serving path (serve::StreamEngine) scores
+  /// whole cross-stream batches through Classifier::distribution_batch
+  /// and then applies each probability here, so batched and per-window
+  /// scoring share one state machine. observe(w) is exactly
+  /// apply_probability(model.distribution(w)[1]).
+  Verdict apply_probability(double probability);
 
   /// Batched deployment-style scoring: `flat` holds consecutive windows of
   /// `window_size` counters each (row-major). Model evaluation — the hot

@@ -1,0 +1,406 @@
+#include "serve/stream_engine.hpp"
+
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <condition_variable>
+#include <string>
+#include <thread>
+
+#include "serve/spsc_ring.hpp"
+#include "util/error.hpp"
+#include "util/metrics.hpp"
+#include "util/rng.hpp"
+#include "util/trace.hpp"
+
+namespace hmd::serve {
+
+namespace {
+
+/// One enqueued window: ingest timestamp (for the e2e latency histogram —
+/// metrics only, never results) plus the counter values inline, so a ring
+/// slot needs no heap indirection.
+struct WindowSample {
+  std::uint64_t ingest_us = 0;
+  std::array<double, kMaxWindowWidth> counts{};
+};
+
+/// How long a shard worker sleeps when parked with nothing to do. Bounds
+/// the staleness of any lost wakeup race to one timeout.
+constexpr auto kParkTimeout = std::chrono::microseconds(200);
+
+}  // namespace
+
+void ServeConfig::validate() const {
+  HMD_REQUIRE(num_shards >= 1, "ServeConfig: num_shards must be >= 1");
+  HMD_REQUIRE(window_size >= 1 && window_size <= kMaxWindowWidth,
+              "ServeConfig: window_size must be in [1, 16]");
+  HMD_REQUIRE(ring_capacity >= 2,
+              "ServeConfig: ring_capacity must be >= 2");
+  HMD_REQUIRE(max_batch_windows >= 1,
+              "ServeConfig: max_batch_windows must be >= 1");
+  policy.validate();
+}
+
+StreamRouter::StreamRouter(std::size_t num_shards)
+    : num_shards_(num_shards) {
+  HMD_REQUIRE(num_shards_ >= 1, "StreamRouter: need at least one shard");
+}
+
+std::size_t StreamRouter::shard_of(std::uint64_t stream_id) const {
+  // splitmix64 scrambles sequential ids (0, 1, 2, ...) into an even
+  // spread; identical ids always land on the same shard.
+  std::uint64_t x = stream_id;
+  return static_cast<std::size_t>(splitmix64(x) % num_shards_);
+}
+
+/// Per-stream serving state. The ring is SPSC (the stream's feeder in,
+/// the owning shard worker out); everything below `monitor` is written
+/// only by the shard worker and read by callers after drain().
+struct StreamEngine::Stream {
+  Stream(StreamId stream_id, std::size_t shard_index,
+         std::size_t ring_capacity, const ml::Classifier& model,
+         const core::OnlineDetectorConfig& policy)
+      : id(stream_id),
+        shard(shard_index),
+        ring(ring_capacity),
+        monitor(model, policy) {}
+
+  const StreamId id;
+  const std::size_t shard;
+  SpscRing<WindowSample> ring;
+  core::OnlineDetector monitor;
+  std::vector<Verdict> verdict_log;  ///< only when record_verdicts
+  std::atomic<std::uint64_t> accepted{0};
+  std::atomic<std::uint64_t> evicted{0};
+};
+
+/// Per-shard worker state. `produced`/`consumed` converge once producers
+/// quiesce; drain() waits on exactly that. The worker publishes scored
+/// state with a release fetch_add on `consumed`, which drain()'s acquire
+/// load synchronizes with (fetch_add chains preserve the release
+/// sequence), so post-drain reads of monitors and verdict logs are safe.
+struct StreamEngine::Shard {
+  std::size_t index = 0;
+
+  // Stream membership: registration appends under `reg_mutex` and bumps
+  // `generation`; the worker refreshes its private snapshot when the
+  // generation moves, so the gather loop runs lock-free.
+  std::mutex reg_mutex;
+  std::vector<Stream*> registered;
+  std::atomic<std::uint64_t> generation{0};
+
+  std::atomic<std::uint64_t> produced{0};
+  std::atomic<std::uint64_t> consumed{0};
+
+  // Parking: the worker naps when every ring is empty; ingest rings the
+  // doorbell only when `parked` is set, keeping the hot path wait-free.
+  std::mutex park_mutex;
+  std::condition_variable park_cv;
+  std::atomic<bool> parked{false};
+
+  std::thread worker;
+  std::string span_name;  ///< "serve/shard<k>/batch"
+
+  // Registry-owned instruments (resolved once in the engine constructor).
+  Counter* ingest_total = nullptr;
+  Counter* dropped = nullptr;
+  Counter* batches = nullptr;
+  Histogram* batch_size = nullptr;
+  Gauge* queue_depth = nullptr;
+  Histogram* score_us = nullptr;
+  Histogram* e2e_us = nullptr;
+  // Engine-wide aggregates shared by all shards.
+  Counter* agg_ingest_total = nullptr;
+  Counter* agg_dropped = nullptr;
+  Histogram* agg_batch_size = nullptr;
+  Histogram* agg_score_us = nullptr;
+  Histogram* agg_e2e_us = nullptr;
+};
+
+StreamEngine::StreamEngine(const ml::Classifier& model, ServeConfig config)
+    : model_(model), config_(config), router_(config.num_shards) {
+  config_.validate();
+  HMD_REQUIRE(model_.num_classes() == 2,
+              "StreamEngine needs a binary (benign/malware) model");
+
+  MetricsRegistry& reg = metrics();
+  Counter& agg_ingest = reg.counter("serve.ingest_total");
+  Counter& agg_dropped = reg.counter("serve.dropped");
+  Histogram& agg_batch =
+      reg.histogram("serve.batch_size", default_count_buckets());
+  Histogram& agg_score =
+      reg.histogram("serve.score_us", default_latency_buckets_us());
+  Histogram& agg_e2e =
+      reg.histogram("serve.e2e_latency_us", default_latency_buckets_us());
+
+  shards_.reserve(config_.num_shards);
+  for (std::size_t k = 0; k < config_.num_shards; ++k) {
+    auto shard = std::make_unique<Shard>();
+    shard->index = k;
+    const std::string suffix = ".shard" + std::to_string(k);
+    shard->span_name = "serve/shard" + std::to_string(k) + "/batch";
+    shard->ingest_total = &reg.counter("serve.ingest_total" + suffix);
+    shard->dropped = &reg.counter("serve.dropped" + suffix);
+    shard->batches = &reg.counter("serve.batches" + suffix);
+    shard->batch_size = &reg.histogram("serve.batch_size" + suffix,
+                                       default_count_buckets());
+    shard->queue_depth = &reg.gauge("serve.queue_depth" + suffix);
+    shard->score_us = &reg.histogram("serve.score_us" + suffix,
+                                     default_latency_buckets_us());
+    shard->e2e_us = &reg.histogram("serve.e2e_latency_us" + suffix,
+                                   default_latency_buckets_us());
+    shard->agg_ingest_total = &agg_ingest;
+    shard->agg_dropped = &agg_dropped;
+    shard->agg_batch_size = &agg_batch;
+    shard->agg_score_us = &agg_score;
+    shard->agg_e2e_us = &agg_e2e;
+    shards_.push_back(std::move(shard));
+  }
+  for (auto& shard : shards_)
+    shard->worker = std::thread([this, s = shard.get()] { worker_loop(*s); });
+}
+
+StreamEngine::~StreamEngine() {
+  try {
+    shutdown();
+  } catch (...) {
+    // A scoring error surfaced by drain(); destruction must not throw.
+  }
+}
+
+std::size_t StreamEngine::num_streams() const {
+  std::lock_guard<std::mutex> lock(streams_mutex_);
+  return streams_.size();
+}
+
+StreamEngine::StreamHandle StreamEngine::register_stream(StreamId id) {
+  auto stream = std::make_unique<Stream>(id, router_.shard_of(id),
+                                         config_.ring_capacity, model_,
+                                         config_.policy);
+  Stream* handle = stream.get();
+  {
+    std::lock_guard<std::mutex> lock(streams_mutex_);
+    streams_.push_back(std::move(stream));
+  }
+  Shard& shard = *shards_[handle->shard];
+  {
+    std::lock_guard<std::mutex> lock(shard.reg_mutex);
+    shard.registered.push_back(handle);
+  }
+  shard.generation.fetch_add(1, std::memory_order_release);
+  return handle;
+}
+
+bool StreamEngine::ingest(StreamHandle stream,
+                          std::span<const double> window) {
+  HMD_REQUIRE(stream != nullptr, "StreamEngine::ingest: null stream");
+  HMD_REQUIRE(window.size() == config_.window_size,
+              "StreamEngine::ingest: window width != config window_size");
+
+  WindowSample sample;
+  sample.ingest_us = Tracer::now_us();
+  std::copy(window.begin(), window.end(), sample.counts.begin());
+
+  Shard& shard = *shards_[stream->shard];
+  bool dropped_one = false;
+  while (!stream->ring.try_push(sample)) {
+    if (config_.backpressure == ServeConfig::Backpressure::kDropOldest) {
+      if (stream->ring.pop_discard()) {
+        dropped_one = true;
+        stream->evicted.fetch_add(1, std::memory_order_relaxed);
+        shard.dropped->add();
+        shard.agg_dropped->add();
+        // The evicted window was counted into `produced`; account it as
+        // consumed so drain() still converges.
+        shard.consumed.fetch_add(1, std::memory_order_relaxed);
+      }
+    } else {
+      // kBlock: the worker is guaranteed to make space; just get out of
+      // its way (and make sure it is not parked on a full ring, which
+      // can happen if it parked between our push attempts).
+      unpark(shard);
+      std::this_thread::yield();
+    }
+  }
+  stream->accepted.fetch_add(1, std::memory_order_relaxed);
+  shard.produced.fetch_add(1, std::memory_order_relaxed);
+  shard.ingest_total->add();
+  shard.agg_ingest_total->add();
+  if (shard.parked.load(std::memory_order_seq_cst)) unpark(shard);
+  return !dropped_one;
+}
+
+void StreamEngine::unpark(Shard& shard) {
+  std::lock_guard<std::mutex> lock(shard.park_mutex);
+  shard.park_cv.notify_one();
+}
+
+void StreamEngine::worker_loop(Shard& shard) {
+  std::vector<Stream*> snapshot;
+  std::uint64_t seen_generation = 0;
+
+  struct Pending {
+    Stream* stream;
+    std::uint64_t ingest_us;
+  };
+  std::vector<Pending> pending;
+  std::vector<double> flat;
+  std::vector<double> dist;
+  const std::size_t width = config_.window_size;
+  pending.reserve(config_.max_batch_windows);
+  flat.reserve(config_.max_batch_windows * width);
+
+  for (;;) {
+    if (shard.generation.load(std::memory_order_acquire) !=
+        seen_generation) {
+      std::lock_guard<std::mutex> lock(shard.reg_mutex);
+      snapshot = shard.registered;
+      seen_generation = shard.generation.load(std::memory_order_acquire);
+    }
+
+    // Gather: sweep this shard's streams in registration order, popping
+    // every pending window (up to the batch cap) into one contiguous
+    // row-major block. Within a stream, pops are FIFO, so per-stream
+    // arrival order survives batching.
+    pending.clear();
+    flat.clear();
+    WindowSample sample;
+    for (Stream* stream : snapshot) {
+      while (pending.size() < config_.max_batch_windows &&
+             stream->ring.try_pop(sample)) {
+        pending.push_back({stream, sample.ingest_us});
+        flat.insert(flat.end(), sample.counts.begin(),
+                    sample.counts.begin() + static_cast<std::ptrdiff_t>(width));
+      }
+      if (pending.size() >= config_.max_batch_windows) break;
+    }
+
+    if (!pending.empty()) {
+      std::size_t backlog = 0;
+      for (Stream* stream : snapshot) backlog += stream->ring.size_approx();
+      shard.queue_depth->set(static_cast<double>(backlog));
+
+      const std::size_t n = pending.size();
+      if (!failed_.load(std::memory_order_relaxed)) {
+        try {
+          TraceSpan span(shard.span_name);
+          dist.assign(n * 2, 0.0);
+          model_.distribution_batch(flat, width, dist);
+          // Serial per-stream replay of the streak/alarm machine, in
+          // gather order — per stream this is exactly arrival order.
+          const std::uint64_t now = Tracer::now_us();
+          for (std::size_t w = 0; w < n; ++w) {
+            Stream& stream = *pending[w].stream;
+            const Verdict verdict =
+                stream.monitor.apply_probability(dist[w * 2 + 1]);
+            if (config_.record_verdicts)
+              stream.verdict_log.push_back(verdict);
+            const std::uint64_t e2e =
+                now >= pending[w].ingest_us ? now - pending[w].ingest_us : 0;
+            shard.e2e_us->record(static_cast<double>(e2e));
+            shard.agg_e2e_us->record(static_cast<double>(e2e));
+          }
+          const double score_us = span.elapsed_seconds() * 1e6;
+          shard.batches->add();
+          shard.batch_size->record(static_cast<double>(n));
+          shard.agg_batch_size->record(static_cast<double>(n));
+          shard.score_us->record(score_us);
+          shard.agg_score_us->record(score_us);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(error_mutex_);
+          if (!first_error_) first_error_ = std::current_exception();
+          failed_.store(true, std::memory_order_release);
+        }
+      }
+      // In the failed state windows are still drained (and discarded) so
+      // drain() terminates and surfaces the stored error.
+      shard.consumed.fetch_add(n, std::memory_order_release);
+      continue;
+    }
+
+    if (stop_.load(std::memory_order_acquire)) break;
+
+    // Park until new work (or a registration) arrives. The post-park
+    // re-check closes the push-vs-park race; a lost doorbell costs at
+    // most kParkTimeout.
+    shard.parked.store(true, std::memory_order_seq_cst);
+    bool work = shard.generation.load(std::memory_order_acquire) !=
+                seen_generation;
+    for (Stream* stream : snapshot)
+      if (!stream->ring.empty_approx()) {
+        work = true;
+        break;
+      }
+    if (!work && !stop_.load(std::memory_order_acquire)) {
+      std::unique_lock<std::mutex> lock(shard.park_mutex);
+      shard.park_cv.wait_for(lock, kParkTimeout);
+    }
+    shard.parked.store(false, std::memory_order_seq_cst);
+  }
+}
+
+void StreamEngine::drain_internal() {
+  for (auto& shard : shards_) {
+    while (shard->produced.load(std::memory_order_acquire) !=
+           shard->consumed.load(std::memory_order_acquire)) {
+      unpark(*shard);
+      std::this_thread::sleep_for(std::chrono::microseconds(20));
+    }
+  }
+}
+
+void StreamEngine::rethrow_if_failed() {
+  if (!failed_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(error_mutex_);
+  if (first_error_) std::rethrow_exception(first_error_);
+}
+
+void StreamEngine::drain() {
+  drain_internal();
+  rethrow_if_failed();
+}
+
+void StreamEngine::shutdown() {
+  if (!joined_) {
+    drain_internal();
+    stop_.store(true, std::memory_order_release);
+    for (auto& shard : shards_) unpark(*shard);
+    for (auto& shard : shards_)
+      if (shard->worker.joinable()) shard->worker.join();
+    joined_ = true;
+  }
+  rethrow_if_failed();
+}
+
+const core::OnlineDetector& StreamEngine::monitor(
+    StreamHandle stream) const {
+  HMD_REQUIRE(stream != nullptr, "StreamEngine::monitor: null stream");
+  return stream->monitor;
+}
+
+const std::vector<StreamEngine::Verdict>& StreamEngine::verdicts(
+    StreamHandle stream) const {
+  HMD_REQUIRE(stream != nullptr, "StreamEngine::verdicts: null stream");
+  return stream->verdict_log;
+}
+
+std::uint64_t StreamEngine::dropped(StreamHandle stream) const {
+  HMD_REQUIRE(stream != nullptr, "StreamEngine::dropped: null stream");
+  return stream->evicted.load(std::memory_order_relaxed);
+}
+
+std::uint64_t StreamEngine::ingested(StreamHandle stream) const {
+  HMD_REQUIRE(stream != nullptr, "StreamEngine::ingested: null stream");
+  return stream->accepted.load(std::memory_order_relaxed);
+}
+
+std::uint64_t StreamEngine::total_ingested() const {
+  std::uint64_t total = 0;
+  std::lock_guard<std::mutex> lock(streams_mutex_);
+  for (const auto& stream : streams_)
+    total += stream->accepted.load(std::memory_order_relaxed);
+  return total;
+}
+
+}  // namespace hmd::serve

@@ -1,0 +1,186 @@
+// Sharded streaming detection engine — the serving path of the detector.
+//
+// A deployed HMD scores many monitored processes ("streams") at once. This
+// engine turns the per-window OnlineDetector into a multi-stream service:
+//
+//   feeder threads ──ingest──▶ per-stream lock-free rings (spsc_ring.hpp)
+//                                      │ StreamRouter: stream id → shard
+//                                      ▼
+//   shard workers ──gather──▶ one contiguous cross-stream batch
+//                 ──score───▶ a single Classifier::distribution_batch call
+//                 ──apply───▶ per-stream OnlineDetector streak/alarm state
+//
+// Batching across streams is the point: instead of one virtual
+// distribution() call (and allocation) per window per stream, a shard
+// gathers every pending window from all of its streams into one columnar-
+// friendly block and scores it in one call, keeping the ml kernels' hot
+// path warm. The streak/alarm state machine then replays per stream in
+// arrival order, so for any shard count the verdict sequence of each
+// stream is bit-identical to feeding that stream serially through
+// OnlineDetector::observe (pinned by tests/serve/test_stream_engine.cpp).
+//
+// Backpressure is per stream and bounded (ServeConfig::backpressure):
+//   kBlock      — ingest spins until the ring has space (lossless);
+//   kDropOldest — ingest discards the stream's oldest unscored window and
+//                 counts it (serve.dropped); the newest window always wins.
+//
+// Observability (process metrics registry; see docs/serving.md):
+//   serve.ingest_total[.shard<k>]    counter   windows accepted
+//   serve.dropped[.shard<k>]         counter   windows dropped (kDropOldest)
+//   serve.batches.shard<k>           counter   batches scored
+//   serve.batch_size[.shard<k>]      histogram windows per batch
+//   serve.queue_depth.shard<k>       gauge     windows pending after gather
+//   serve.score_us[.shard<k>]        histogram batch score wall time
+//   serve.e2e_latency_us[.shard<k>]  histogram ingest → verdict latency
+// plus a "serve/shard<k>/batch" trace span per scored batch.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "core/online_detector.hpp"
+#include "ml/classifier.hpp"
+
+namespace hmd::serve {
+
+/// Hard cap on counters per window (the PMU exposes 16 events; reduced
+/// feature sets are smaller). Ring slots store this many doubles inline.
+inline constexpr std::size_t kMaxWindowWidth = 16;
+
+/// Engine shape and policy. validate() is called by the engine
+/// constructor; all fields are fixed for the engine's lifetime.
+struct ServeConfig {
+  /// Independent scoring workers; streams hash onto shards.
+  std::size_t num_shards = 1;
+  /// Counters per window (model input width), 1..kMaxWindowWidth.
+  std::size_t window_size = 16;
+  /// Per-stream ring capacity (rounded up to a power of two).
+  std::size_t ring_capacity = 256;
+  /// Max windows a shard gathers into one cross-stream batch.
+  std::size_t max_batch_windows = 1024;
+
+  enum class Backpressure {
+    kBlock,      ///< ingest waits for ring space (lossless)
+    kDropOldest  ///< ingest evicts the stream's oldest pending window
+  };
+  Backpressure backpressure = Backpressure::kBlock;
+
+  /// Alarm policy replicated into every stream's monitor.
+  core::OnlineDetectorConfig policy;
+
+  /// Keep every verdict per stream (StreamEngine::verdicts). Off by
+  /// default: long-lived deployments only need the monitor's latched
+  /// state, not an unbounded verdict log.
+  bool record_verdicts = false;
+
+  /// Throws hmd::PreconditionError on out-of-range fields (including the
+  /// embedded alarm policy).
+  void validate() const;
+};
+
+/// Deterministic stream-id → shard mapping (splitmix64 hash, mod shards).
+/// A stream's shard never changes, so its windows are always consumed by
+/// one worker, preserving per-stream order.
+class StreamRouter {
+ public:
+  explicit StreamRouter(std::size_t num_shards);
+  std::size_t num_shards() const { return num_shards_; }
+  std::size_t shard_of(std::uint64_t stream_id) const;
+
+ private:
+  std::size_t num_shards_;
+};
+
+/// The engine. Construction spawns one worker per shard; destruction
+/// drains and joins. `model` must be a trained binary classifier
+/// (class 1 = malware) and must outlive the engine; it is shared by all
+/// shards (prediction is const and thread-compatible).
+///
+/// Threading contract:
+///  * register_stream may be called from any thread, at any time;
+///  * each stream's ingest calls must be serialized (one feeder per
+///    stream — that is what defines the stream's window order); distinct
+///    streams may ingest concurrently from distinct threads;
+///  * drain()/shutdown() require producers to have quiesced first;
+///  * monitor()/verdicts()/dropped() are stable after drain() returns.
+class StreamEngine {
+ public:
+  using StreamId = std::uint64_t;
+  using Verdict = core::OnlineDetector::Verdict;
+
+  /// Opaque per-stream registration returned by register_stream.
+  struct Stream;
+  using StreamHandle = Stream*;
+
+  StreamEngine(const ml::Classifier& model, ServeConfig config = {});
+  ~StreamEngine();
+
+  StreamEngine(const StreamEngine&) = delete;
+  StreamEngine& operator=(const StreamEngine&) = delete;
+
+  const ServeConfig& config() const { return config_; }
+  std::size_t num_shards() const { return router_.num_shards(); }
+  std::size_t shard_of(StreamId id) const { return router_.shard_of(id); }
+  std::size_t num_streams() const;
+
+  /// Create (and start serving) a new stream. Ids need not be unique —
+  /// two registrations are two independent streams that happen to share a
+  /// shard. The handle stays valid for the engine's lifetime.
+  StreamHandle register_stream(StreamId id);
+
+  /// Feed the stream's next window (exactly config().window_size
+  /// counters). Returns false iff the backpressure policy dropped a
+  /// window (kDropOldest evicted the oldest; the new window was still
+  /// accepted). Lock-free except for a parked-worker wakeup.
+  bool ingest(StreamHandle stream, std::span<const double> window);
+
+  /// Block until every ingested window has been scored (producers must
+  /// be quiet). Rethrows the first scoring error, if any. Workers keep
+  /// running; more windows may be ingested afterwards.
+  void drain();
+
+  /// drain(), then stop and join the workers. Idempotent. Called by the
+  /// destructor (which swallows a pending scoring error).
+  void shutdown();
+
+  /// Per-stream monitor (streak/alarm state) — read after drain().
+  const core::OnlineDetector& monitor(StreamHandle stream) const;
+  /// Per-stream verdict log (empty unless config().record_verdicts).
+  const std::vector<Verdict>& verdicts(StreamHandle stream) const;
+  /// Windows evicted from this stream under kDropOldest.
+  std::uint64_t dropped(StreamHandle stream) const;
+  /// Windows this stream accepted (including later-dropped ones).
+  std::uint64_t ingested(StreamHandle stream) const;
+  /// Windows accepted across all streams.
+  std::uint64_t total_ingested() const;
+
+ private:
+  struct Shard;
+
+  void worker_loop(Shard& shard);
+  void drain_internal();
+  void rethrow_if_failed();
+  void unpark(Shard& shard);
+
+  const ml::Classifier& model_;
+  ServeConfig config_;
+  StreamRouter router_;
+
+  mutable std::mutex streams_mutex_;
+  std::vector<std::unique_ptr<Stream>> streams_;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<bool> stop_{false};
+  bool joined_ = false;
+
+  std::mutex error_mutex_;
+  std::exception_ptr first_error_;
+  std::atomic<bool> failed_{false};
+};
+
+}  // namespace hmd::serve

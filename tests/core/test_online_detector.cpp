@@ -193,6 +193,69 @@ TEST(OnlineDetector, ScoreWindowsCrossesChunkBoundaries) {
   EXPECT_DOUBLE_EQ(batched.flag_rate(), streaming.flag_rate());
 }
 
+TEST(OnlineDetectorConfig, RejectsZeroScoreChunk) {
+  OnlineDetectorConfig bad;
+  bad.score_chunk_windows = 0;
+  EXPECT_THROW(bad.validate(), PreconditionError);
+  StubModel model;
+  EXPECT_THROW(OnlineDetector(model, {.score_chunk_windows = 0}),
+               PreconditionError);
+}
+
+TEST(OnlineDetector, ScoreChunkSizeNeverChangesVerdicts) {
+  // The chunk size is a batching/throughput knob; any value must replay
+  // the identical per-window state machine. Exercise a tiny chunk (3) and
+  // a chunk larger than the input against the streaming reference.
+  const std::vector<double> flat = {0.1, 0.99, 0.99, 0.99, 0.2,
+                                    0.99, 0.99, 0.1,  0.99, 0.99};
+  StubModel model;
+  OnlineDetector streaming(
+      model, {.flag_threshold = 0.9, .confirm_windows = 3});
+  std::vector<OnlineDetector::Verdict> expected;
+  for (double p : flat)
+    expected.push_back(streaming.observe(std::vector<double>{p}));
+
+  for (const std::size_t chunk : {std::size_t{1}, std::size_t{3},
+                                  std::size_t{64}}) {
+    OnlineDetector batched(model, {.flag_threshold = 0.9,
+                                   .confirm_windows = 3,
+                                   .score_chunk_windows = chunk});
+    const auto verdicts = batched.score_windows(flat, 1);
+    ASSERT_EQ(verdicts.size(), expected.size()) << "chunk " << chunk;
+    for (std::size_t w = 0; w < expected.size(); ++w) {
+      EXPECT_EQ(verdicts[w].flagged, expected[w].flagged)
+          << "chunk " << chunk << " window " << w;
+      EXPECT_EQ(verdicts[w].alarm, expected[w].alarm)
+          << "chunk " << chunk << " window " << w;
+      EXPECT_DOUBLE_EQ(verdicts[w].probability, expected[w].probability);
+    }
+    EXPECT_EQ(batched.alarm_window(), streaming.alarm_window());
+    EXPECT_DOUBLE_EQ(batched.flag_rate(), streaming.flag_rate());
+  }
+}
+
+TEST(OnlineDetector, ApplyProbabilityMatchesObserve) {
+  // apply_probability() is the model-free entry the serve engine uses
+  // after batched scoring; it must drive the same state machine.
+  const std::vector<double> probs = {0.1, 0.99, 0.99, 0.2, 0.99,
+                                     0.99, 0.99, 0.3};
+  StubModel model;
+  const OnlineDetectorConfig config{.flag_threshold = 0.9,
+                                    .confirm_windows = 3};
+  OnlineDetector via_observe(model, config);
+  OnlineDetector via_apply(model, config);
+  for (double p : probs) {
+    const auto a = via_observe.observe(std::vector<double>{p});
+    const auto b = via_apply.apply_probability(p);
+    EXPECT_DOUBLE_EQ(b.probability, a.probability);
+    EXPECT_EQ(b.flagged, a.flagged);
+    EXPECT_EQ(b.alarm, a.alarm);
+  }
+  EXPECT_EQ(via_apply.alarm_window(), via_observe.alarm_window());
+  EXPECT_EQ(via_apply.windows_seen(), via_observe.windows_seen());
+  EXPECT_DOUBLE_EQ(via_apply.flag_rate(), via_observe.flag_rate());
+}
+
 TEST(OnlineDetector, ScoreWindowsRejectsMalformedInput) {
   StubModel model;
   OnlineDetector det(model);

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
@@ -7,9 +8,11 @@
 
 #include "core/dataset_builder.hpp"
 #include "core/pipeline_config.hpp"
+#include "ml/arff.hpp"
 #include "perf/perf_log.hpp"
 #include "util/csv.hpp"
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace hmd::core {
 namespace {
@@ -101,6 +104,45 @@ TEST(DatasetBuilder, ProgressCallbackCoversAllSamples) {
   });
   EXPECT_EQ(calls, tiny_config().composition.total());
   EXPECT_EQ(last_done, total);
+}
+
+TEST(DatasetBuilder, ParallelCollectionBitIdenticalToSerial) {
+  // The collection pass fans per-sample simulation across a pool; each
+  // sample is seeded independently, so the dataset — and the cached CSV
+  // byte stream — must not depend on the thread count.
+  DatasetBuilder builder(tiny_config(31));
+  const ml::Dataset serial = builder.build_multiclass_dataset();
+  ThreadPool pool(4);
+  const ml::Dataset parallel = builder.build_multiclass_dataset({}, &pool);
+
+  ASSERT_EQ(parallel.num_instances(), serial.num_instances());
+  for (std::size_t i = 0; i < serial.num_instances(); ++i) {
+    EXPECT_EQ(parallel.class_of(i), serial.class_of(i));
+    for (std::size_t f = 0; f < serial.num_features(); ++f)
+      EXPECT_EQ(parallel.features_of(i)[f], serial.features_of(i)[f])
+          << "row " << i << " feature " << f;
+  }
+
+  std::ostringstream serial_csv, parallel_csv;
+  ml::write_dataset_csv(serial_csv, serial);
+  ml::write_dataset_csv(parallel_csv, parallel);
+  EXPECT_EQ(parallel_csv.str(), serial_csv.str());
+}
+
+TEST(DatasetBuilder, ParallelProgressStillCoversAllSamples) {
+  DatasetBuilder builder(tiny_config());
+  ThreadPool pool(3);
+  std::size_t calls = 0, max_done = 0, total = 0;
+  builder.build_multiclass_dataset(
+      [&](std::size_t done, std::size_t t) {
+        // The builder serializes progress calls; done counts completions.
+        ++calls;
+        max_done = std::max(max_done, done);
+        total = t;
+      },
+      &pool);
+  EXPECT_EQ(calls, tiny_config().composition.total());
+  EXPECT_EQ(max_done, total);
 }
 
 TEST(DatasetBuilder, BinaryRelabelGroupsMalware) {

@@ -1,0 +1,183 @@
+#include "serve/spsc_ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace hmd::serve {
+namespace {
+
+TEST(SpscRing, RejectsZeroCapacity) {
+  EXPECT_THROW(SpscRing<int>(0), PreconditionError);
+}
+
+TEST(SpscRing, RoundsCapacityUpToPowerOfTwo) {
+  EXPECT_EQ(SpscRing<int>(1).capacity(), 2u);
+  EXPECT_EQ(SpscRing<int>(2).capacity(), 2u);
+  EXPECT_EQ(SpscRing<int>(3).capacity(), 4u);
+  EXPECT_EQ(SpscRing<int>(8).capacity(), 8u);
+  EXPECT_EQ(SpscRing<int>(9).capacity(), 16u);
+}
+
+TEST(SpscRing, FifoOrderWithWraparound) {
+  // 10 laps push 20 items through 16 slots, so the cursors wrap; the net
+  // +1 growth per lap peaks at 11 queued, comfortably under capacity.
+  SpscRing<int> ring(16);
+  int out = 0;
+  int next_push = 0, next_pop = 0;
+  for (int lap = 0; lap < 10; ++lap) {
+    ASSERT_TRUE(ring.try_push(next_push++));
+    ASSERT_TRUE(ring.try_push(next_push++));
+    ASSERT_TRUE(ring.try_pop(out));
+    EXPECT_EQ(out, next_pop++);
+  }
+  while (ring.try_pop(out)) EXPECT_EQ(out, next_pop++);
+  EXPECT_EQ(next_pop, next_push);
+}
+
+TEST(SpscRing, FullRingRejectsPush) {
+  SpscRing<int> ring(2);
+  EXPECT_TRUE(ring.try_push(1));
+  EXPECT_TRUE(ring.try_push(2));
+  EXPECT_FALSE(ring.try_push(3));
+  EXPECT_EQ(ring.size_approx(), 2u);
+  int out = 0;
+  EXPECT_TRUE(ring.try_pop(out));
+  EXPECT_TRUE(ring.try_push(3));  // space again after a pop
+}
+
+TEST(SpscRing, EmptyRingRejectsPop) {
+  SpscRing<int> ring(4);
+  int out = 0;
+  EXPECT_FALSE(ring.try_pop(out));
+  EXPECT_TRUE(ring.empty_approx());
+  ring.try_push(7);
+  EXPECT_TRUE(ring.try_pop(out));
+  EXPECT_EQ(out, 7);
+  EXPECT_FALSE(ring.try_pop(out));
+}
+
+TEST(SpscRing, PopDiscardDropsOldest) {
+  SpscRing<int> ring(2);
+  ASSERT_TRUE(ring.try_push(10));
+  ASSERT_TRUE(ring.try_push(11));
+  ASSERT_FALSE(ring.try_push(12));
+  ASSERT_TRUE(ring.pop_discard());  // evicts 10
+  ASSERT_TRUE(ring.try_push(12));
+  int out = 0;
+  ASSERT_TRUE(ring.try_pop(out));
+  EXPECT_EQ(out, 11);
+  ASSERT_TRUE(ring.try_pop(out));
+  EXPECT_EQ(out, 12);
+  EXPECT_FALSE(ring.pop_discard());  // empty
+}
+
+// SPSC stress: one producer, one consumer, order and completeness under
+// contention (the TSan CI job runs this suite).
+TEST(SpscRing, SpscStressPreservesOrder) {
+  constexpr std::uint64_t kItems = 100000;
+  SpscRing<std::uint64_t> ring(64);
+  std::thread producer([&] {
+    for (std::uint64_t i = 0; i < kItems; ++i)
+      while (!ring.try_push(i)) std::this_thread::yield();
+  });
+  std::uint64_t expected = 0;
+  while (expected < kItems) {
+    std::uint64_t v = 0;
+    if (ring.try_pop(v)) {
+      ASSERT_EQ(v, expected);
+      ++expected;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  producer.join();
+  EXPECT_TRUE(ring.empty_approx());
+}
+
+// The slot-sequenced implementation tolerates multiple producers (that is
+// what makes producer-side drop-oldest safe). Verify per-producer
+// subsequence order and exact totals under 4-way push contention.
+TEST(SpscRing, MultiProducerContentionKeepsPerProducerOrder) {
+  constexpr std::uint64_t kPerProducer = 20000;
+  constexpr std::uint64_t kProducers = 4;
+  SpscRing<std::uint64_t> ring(32);
+  std::vector<std::thread> producers;
+  for (std::uint64_t p = 0; p < kProducers; ++p)
+    producers.emplace_back([&ring, p] {
+      for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+        const std::uint64_t tagged = (p << 32) | i;
+        while (!ring.try_push(tagged)) std::this_thread::yield();
+      }
+    });
+
+  std::vector<std::uint64_t> next(kProducers, 0);
+  std::uint64_t received = 0;
+  while (received < kPerProducer * kProducers) {
+    std::uint64_t v = 0;
+    if (!ring.try_pop(v)) {
+      std::this_thread::yield();
+      continue;
+    }
+    const std::uint64_t p = v >> 32;
+    const std::uint64_t i = v & 0xffffffffu;
+    ASSERT_LT(p, kProducers);
+    ASSERT_EQ(i, next[p]) << "producer " << p << " reordered";
+    ++next[p];
+    ++received;
+  }
+  for (auto& t : producers) t.join();
+  for (std::uint64_t p = 0; p < kProducers; ++p)
+    EXPECT_EQ(next[p], kPerProducer);
+}
+
+// Producer-side discard racing the consumer (the drop-oldest path): no
+// element is delivered twice and accounting is exact.
+TEST(SpscRing, ConcurrentDiscardAndPopNeverDuplicates) {
+  constexpr std::uint64_t kItems = 50000;
+  SpscRing<std::uint64_t> ring(8);
+  std::atomic<std::uint64_t> discarded{0};
+  std::atomic<std::uint64_t> popped{0};
+  std::vector<std::atomic<std::uint8_t>> seen(kItems);
+  for (auto& s : seen) s.store(0);
+
+  std::thread producer([&] {
+    for (std::uint64_t i = 0; i < kItems; ++i) {
+      while (!ring.try_push(i)) {
+        std::uint64_t sink = 0;
+        if (ring.try_pop(sink)) {
+          discarded.fetch_add(1);
+          ASSERT_EQ(seen[sink].fetch_add(1), 0u);
+        }
+      }
+    }
+  });
+  std::thread consumer([&] {
+    std::uint64_t v = 0;
+    while (popped.load() + discarded.load() < kItems) {
+      if (ring.try_pop(v)) {
+        popped.fetch_add(1);
+        ASSERT_EQ(seen[v].fetch_add(1), 0u);
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+  producer.join();
+  consumer.join();
+  // Drain whatever the consumer's exit condition left behind.
+  std::uint64_t v = 0;
+  while (ring.try_pop(v)) {
+    popped.fetch_add(1);
+    ASSERT_EQ(seen[v].fetch_add(1), 0u);
+  }
+  EXPECT_EQ(popped.load() + discarded.load(), kItems);
+}
+
+}  // namespace
+}  // namespace hmd::serve

@@ -14,6 +14,7 @@
 #include "ml/arff.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -63,8 +64,11 @@ int main(int argc, char** argv) {
   try {
     cfg.composition = workload::DatabaseComposition::scaled(scale);
     core::DatasetBuilder builder(cfg);
+    // Per-sample simulation fans across the shared pool (HMD_JOBS jobs;
+    // output is bit-identical to a serial build at any thread count).
     std::cerr << "collecting " << cfg.composition.total() << " samples x "
-              << cfg.collector.num_windows << " windows...\n";
+              << cfg.collector.num_windows << " windows ("
+              << global_pool().size() << " jobs)...\n";
     std::size_t last_pct = 0;
     ml::Dataset data = builder.build_multiclass_dataset(
         [&last_pct](std::size_t done, std::size_t total) {
@@ -73,7 +77,8 @@ int main(int argc, char** argv) {
             std::cerr << "  " << pct << "%\n";
             last_pct = pct;
           }
-        });
+        },
+        &global_pool());
     if (binary) data = core::DatasetBuilder::to_binary(data);
 
     std::ofstream file;
