@@ -13,12 +13,25 @@ namespace hmd::core {
 DeploymentBundle::DeploymentBundle(std::unique_ptr<ml::Classifier> model,
                                    FeatureSet features,
                                    OnlineDetectorConfig policy)
+    : DeploymentBundle(std::move(model), nullptr, std::move(features),
+                       policy) {}
+
+DeploymentBundle::DeploymentBundle(std::unique_ptr<ml::Classifier> model,
+                                   std::unique_ptr<ml::Classifier> fallback,
+                                   FeatureSet features,
+                                   OnlineDetectorConfig policy)
     : model_(std::move(model)),
+      fallback_(std::move(fallback)),
       features_(std::move(features)),
       policy_(policy) {
   HMD_REQUIRE(model_ != nullptr, "DeploymentBundle: null model");
   HMD_REQUIRE(model_->num_classes() >= 2,
               "DeploymentBundle: model is not trained");
+  HMD_REQUIRE(fallback_ == nullptr || fallback_->num_classes() >= 2,
+              "DeploymentBundle: fallback model is not trained");
+  HMD_REQUIRE(fallback_ == nullptr ||
+                  fallback_->num_classes() == model_->num_classes(),
+              "DeploymentBundle: fallback class count differs from primary");
   HMD_REQUIRE(features_.indices.size() == features_.names.size(),
               "DeploymentBundle: feature set indices/names mismatch");
   // Reject broken alarm policies at assembly time, not first monitor use —
@@ -61,17 +74,23 @@ OnlineDetector::Verdict DeploymentBundle::observe_full(
 }
 
 void save_bundle(std::ostream& out, const DeploymentBundle& bundle) {
-  out << "hmd-bundle v1\n";
+  const bool v2 = bundle.fallback_model() != nullptr;
+  out << (v2 ? "hmd-bundle v2\n" : "hmd-bundle v1\n");
   out << "features " << bundle.features().indices.size() << '\n';
   for (std::size_t i = 0; i < bundle.features().indices.size(); ++i)
     out << "feature " << bundle.features().indices[i] << ' '
         << bundle.features().names[i] << '\n';
   out << format("policy %a %zu\n", bundle.policy().flag_threshold,
                 bundle.policy().confirm_windows);
+  if (v2) out << "fallback 1\n";
   ml::save_model(out, bundle.model());
+  if (v2) ml::save_model(out, *bundle.fallback_model());
 }
 
-DeploymentBundle load_bundle(std::istream& in) {
+namespace {
+
+/// The actual parser (v1 and v2); throws ParseError on malformed input.
+DeploymentBundle load_bundle_impl(std::istream& in) {
   std::string line;
   auto next_line = [&]() -> std::string {
     while (std::getline(in, line)) {
@@ -80,8 +99,13 @@ DeploymentBundle load_bundle(std::istream& in) {
     throw ParseError("bundle: unexpected end of input");
   };
 
-  if (next_line() != "hmd-bundle v1")
-    throw ParseError("bundle: bad header (expected 'hmd-bundle v1')");
+  const std::string header = next_line();
+  bool v2 = false;
+  if (header == "hmd-bundle v2")
+    v2 = true;
+  else if (header != "hmd-bundle v1")
+    throw ParseError(
+        "bundle: bad header (expected 'hmd-bundle v1' or 'hmd-bundle v2')");
 
   const auto feat_header = split(next_line(), ' ');
   if (feat_header.size() != 2 || feat_header[0] != "features")
@@ -114,8 +138,33 @@ DeploymentBundle load_bundle(std::istream& in) {
   policy.confirm_windows =
       static_cast<std::size_t>(parse_int(policy_tokens[2]));
 
+  bool has_fallback = false;
+  if (v2) {
+    const auto fb_tokens = split(next_line(), ' ');
+    if (fb_tokens.size() != 2 || fb_tokens[0] != "fallback")
+      throw ParseError("bundle: bad fallback line");
+    if (fb_tokens[1] != "0" && fb_tokens[1] != "1")
+      throw ParseError("bundle: fallback must be 0 or 1");
+    has_fallback = fb_tokens[1] == "1";
+  }
+
   std::unique_ptr<ml::Classifier> model = ml::load_model(in);
-  return DeploymentBundle(std::move(model), std::move(features), policy);
+  std::unique_ptr<ml::Classifier> fallback;
+  if (has_fallback) fallback = ml::load_model(in);
+  return DeploymentBundle(std::move(model), std::move(fallback),
+                          std::move(features), policy);
+}
+
+}  // namespace
+
+Result<DeploymentBundle> try_load_bundle(std::istream& in) {
+  return capture_result([&in] { return load_bundle_impl(in); })
+      .with_context("loading deployment bundle");
+}
+
+DeploymentBundle load_bundle(std::istream& in) {
+  // Thin throwing wrapper: value() raises the ErrorInfo as a ParseError.
+  return try_load_bundle(in).value();
 }
 
 }  // namespace hmd::core

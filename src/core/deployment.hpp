@@ -5,6 +5,12 @@
 // samples fewer events — possibly few enough to avoid multiplexing
 // entirely), and the alarm policy. The bundle serializes all three, so
 // training infrastructure and the monitor can be separate programs.
+//
+// Format v2 adds an optional *fallback* model — a cheap secondary
+// classifier (OneR, ZeroR, a small stump) the serving path degrades to
+// when the primary keeps failing or blows its latency budget (see
+// serve/resilience.hpp and docs/resilience.md). v1 bundles load
+// unchanged; bundles without a fallback still save as v1.
 #pragma once
 
 #include <iosfwd>
@@ -13,6 +19,7 @@
 #include "core/feature_reduction.hpp"
 #include "core/online_detector.hpp"
 #include "ml/classifier.hpp"
+#include "util/result.hpp"
 
 namespace hmd::core {
 
@@ -25,7 +32,16 @@ class DeploymentBundle {
   DeploymentBundle(std::unique_ptr<ml::Classifier> model,
                    FeatureSet features, OnlineDetectorConfig policy);
 
+  /// Assemble a bundle with a degraded-mode fallback model (v2). The
+  /// fallback consumes the same projected counter layout as the primary;
+  /// nullptr is equivalent to the three-argument constructor.
+  DeploymentBundle(std::unique_ptr<ml::Classifier> model,
+                   std::unique_ptr<ml::Classifier> fallback,
+                   FeatureSet features, OnlineDetectorConfig policy);
+
   const ml::Classifier& model() const { return *model_; }
+  /// The degraded-mode secondary model, or nullptr (v1 bundles).
+  const ml::Classifier* fallback_model() const { return fallback_.get(); }
   const FeatureSet& features() const { return features_; }
   const OnlineDetectorConfig& policy() const { return policy_; }
 
@@ -43,17 +59,25 @@ class DeploymentBundle {
 
  private:
   std::unique_ptr<ml::Classifier> model_;
+  std::unique_ptr<ml::Classifier> fallback_;  ///< may be null (v1)
   FeatureSet features_;
   OnlineDetectorConfig policy_;
 
   std::vector<double> project(std::span<const double> full) const;
 };
 
-/// Serialize a bundle (embeds the model via ml::save_model, so only those
-/// schemes are supported).
+/// Serialize a bundle (embeds the models via ml::save_model, so only those
+/// schemes are supported). Bundles without a fallback write format v1;
+/// bundles with one write v2.
 void save_bundle(std::ostream& out, const DeploymentBundle& bundle);
 
-/// Load a bundle saved by save_bundle.
+/// Load a bundle saved by save_bundle (v1 or v2). Malformed input yields
+/// an ErrorInfo (ErrCode::kParse) carrying a "loading deployment bundle"
+/// context frame — the hot-swap path (serve::ModelHub::publish_from_stream)
+/// rejects the swap on error and keeps the previous model serving.
+Result<DeploymentBundle> try_load_bundle(std::istream& in);
+
+/// Thin throwing wrapper over try_load_bundle (raises hmd::ParseError).
 DeploymentBundle load_bundle(std::istream& in);
 
 }  // namespace hmd::core

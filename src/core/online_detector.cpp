@@ -123,6 +123,22 @@ std::vector<OnlineDetector::Verdict> OnlineDetector::score_windows(
   return verdicts;
 }
 
+void OnlineDetector::restore(const State& state) {
+  HMD_REQUIRE(state.flagged <= state.windows,
+              "OnlineDetector::restore: flagged exceeds windows");
+  HMD_REQUIRE(state.streak <= state.flagged,
+              "OnlineDetector::restore: streak exceeds flagged");
+  HMD_REQUIRE(state.alarmed == (state.alarm_window != kNoAlarm),
+              "OnlineDetector::restore: alarmed and alarm_window disagree");
+  HMD_REQUIRE(!state.alarmed || state.alarm_window < state.windows,
+              "OnlineDetector::restore: alarm_window beyond windows seen");
+  windows_ = state.windows;
+  flagged_ = state.flagged;
+  streak_ = state.streak;
+  alarmed_ = state.alarmed;
+  alarm_window_ = state.alarm_window;
+}
+
 void OnlineDetector::reset() {
   windows_ = 0;
   flagged_ = 0;

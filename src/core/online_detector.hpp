@@ -88,6 +88,28 @@ class OnlineDetector {
   std::size_t alarm_window() const { return alarm_window_; }
   static constexpr std::size_t kNoAlarm = static_cast<std::size_t>(-1);
 
+  /// The complete mutable detector state — everything observe() advances.
+  /// Snapshotting this and restoring it into a fresh detector over the
+  /// same model/policy continues the verdict sequence bit-identically
+  /// (the serving engine's checkpoint/restore path is built on this).
+  struct State {
+    std::size_t windows = 0;
+    std::size_t flagged = 0;
+    std::size_t streak = 0;
+    bool alarmed = false;
+    std::size_t alarm_window = kNoAlarm;
+  };
+
+  /// Copy out the streak/alarm state.
+  State state() const {
+    return {windows_, flagged_, streak_, alarmed_, alarm_window_};
+  }
+
+  /// Overwrite the streak/alarm state (checkpoint restore). Throws
+  /// PreconditionError on internally inconsistent states (flagged or
+  /// streak exceeding windows, alarm_window set without alarmed, ...).
+  void restore(const State& state);
+
   /// Fraction of observed windows that were flagged (0 before any window).
   double flag_rate() const {
     return windows_ == 0 ? 0.0

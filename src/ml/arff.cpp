@@ -81,7 +81,10 @@ Attribute parse_attribute_line(std::string_view body, std::size_t lineno) {
 
 }  // namespace
 
-Dataset read_arff(std::istream& in) {
+namespace {
+
+/// The actual parser; throws ParseError on malformed input.
+Dataset read_arff_impl(std::istream& in) {
   std::string relation = "unnamed";
   std::vector<Attribute> attributes;
   bool in_data = false;
@@ -132,6 +135,18 @@ Dataset read_arff(std::istream& in) {
   if (dataset.num_instances() == 0)
     throw ParseError("ARFF: empty @data section");
   return dataset;
+}
+
+}  // namespace
+
+Result<Dataset> try_read_arff(std::istream& in) {
+  return capture_result([&in] { return read_arff_impl(in); })
+      .with_context("reading ARFF");
+}
+
+Dataset read_arff(std::istream& in) {
+  // Thin throwing wrapper: value() raises the ErrorInfo as a ParseError.
+  return try_read_arff(in).value();
 }
 
 Dataset dataset_from_csv(const CsvTable& table,

@@ -10,6 +10,7 @@
 
 #include "ml/dataset.hpp"
 #include "util/csv.hpp"
+#include "util/result.hpp"
 
 namespace hmd::ml {
 
@@ -17,8 +18,11 @@ namespace hmd::ml {
 void write_arff(std::ostream& out, const Dataset& data);
 
 /// Parse ARFF (numeric and nominal attributes; the last attribute must be
-/// nominal and becomes the class). Throws hmd::ParseError on malformed
-/// input.
+/// nominal and becomes the class). Malformed input yields an ErrorInfo
+/// (ErrCode::kParse) with a "reading ARFF" context frame.
+Result<Dataset> try_read_arff(std::istream& in);
+
+/// Thin throwing wrapper over try_read_arff (raises hmd::ParseError).
 Dataset read_arff(std::istream& in);
 
 /// Build a Dataset from a CSV table: all columns but the last are numeric

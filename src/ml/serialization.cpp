@@ -498,7 +498,10 @@ void save_model(std::ostream& out, const Classifier& clf) {
   out << "end\n";
 }
 
-std::unique_ptr<Classifier> load_model(std::istream& in) {
+namespace {
+
+/// The actual parser; throws ParseError on malformed input.
+std::unique_ptr<Classifier> load_model_impl(std::istream& in) {
   Reader reader(in);
   {
     const auto header = reader.line();
@@ -514,6 +517,18 @@ std::unique_ptr<Classifier> load_model(std::istream& in) {
       ModelIo::load(reader, scheme_tokens[0], classes);
   reader.expect("end");
   return model;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Classifier>> try_load_model(std::istream& in) {
+  return capture_result([&in] { return load_model_impl(in); })
+      .with_context("loading model");
+}
+
+std::unique_ptr<Classifier> load_model(std::istream& in) {
+  // Thin throwing wrapper: value() raises the ErrorInfo as a ParseError.
+  return try_load_model(in).value();
 }
 
 }  // namespace hmd::ml

@@ -20,6 +20,7 @@
 #include <memory>
 
 #include "ml/classifier.hpp"
+#include "util/result.hpp"
 
 namespace hmd::ml {
 
@@ -27,8 +28,13 @@ namespace hmd::ml {
 /// unsupported or untrained models.
 void save_model(std::ostream& out, const Classifier& clf);
 
-/// Reconstruct a classifier saved by save_model. Throws hmd::ParseError on
-/// malformed input.
+/// Reconstruct a classifier saved by save_model. Malformed input yields an
+/// ErrorInfo (ErrCode::kParse) with a "loading model" context frame — the
+/// primary load API; the resilience layer branches on it without unwinding.
+Result<std::unique_ptr<Classifier>> try_load_model(std::istream& in);
+
+/// Thin throwing wrapper over try_load_model: raises hmd::ParseError on
+/// malformed input. Kept so pre-Result call sites compile unchanged.
 std::unique_ptr<Classifier> load_model(std::istream& in);
 
 }  // namespace hmd::ml

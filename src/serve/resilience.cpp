@@ -1,0 +1,281 @@
+#include "serve/resilience.hpp"
+
+#include <chrono>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "core/deployment.hpp"
+#include "util/rng.hpp"
+
+namespace hmd::serve {
+
+// --------------------------------------------------------------------------
+// ModelHub
+// --------------------------------------------------------------------------
+
+namespace {
+
+void validate_epoch_models(const ml::Classifier& primary,
+                           const ml::Classifier* fallback) {
+  HMD_REQUIRE(primary.num_classes() == 2,
+              "ModelHub: primary must be a trained binary classifier");
+  if (fallback != nullptr)
+    HMD_REQUIRE(fallback->num_classes() == primary.num_classes(),
+                "ModelHub: fallback class count differs from primary");
+}
+
+}  // namespace
+
+std::uint64_t ModelHub::publish(
+    std::shared_ptr<const ml::Classifier> primary,
+    std::shared_ptr<const ml::Classifier> fallback) {
+  HMD_REQUIRE(primary != nullptr, "ModelHub::publish: null primary");
+  validate_epoch_models(*primary, fallback.get());
+  auto epoch = std::make_shared<Epoch>();
+  epoch->primary = std::move(primary);
+  epoch->fallback = std::move(fallback);
+  std::lock_guard<std::mutex> lock(mutex_);
+  epoch->version = next_version_++;
+  current_ = std::move(epoch);
+  return current_->version;
+}
+
+std::uint64_t ModelHub::publish_unowned(const ml::Classifier& primary,
+                                        const ml::Classifier* fallback) {
+  // Aliasing shared_ptrs with an empty owner: no lifetime management,
+  // same epoch plumbing as owned models.
+  std::shared_ptr<const ml::Classifier> p(std::shared_ptr<void>(), &primary);
+  std::shared_ptr<const ml::Classifier> f;
+  if (fallback != nullptr)
+    f = std::shared_ptr<const ml::Classifier>(std::shared_ptr<void>(),
+                                              fallback);
+  return publish(std::move(p), std::move(f));
+}
+
+Result<std::uint64_t> ModelHub::publish_from_stream(std::istream& in) {
+  Result<core::DeploymentBundle> loaded = core::try_load_bundle(in);
+  if (!loaded)
+    return Result<std::uint64_t>(std::move(loaded.error()))
+        .with_context("hot-swap rejected");
+  // The bundle owns the models; aliasing shared_ptrs keep it alive for as
+  // long as any batch holds the epoch.
+  auto bundle =
+      std::make_shared<core::DeploymentBundle>(std::move(loaded).value());
+  std::shared_ptr<const ml::Classifier> primary(bundle, &bundle->model());
+  std::shared_ptr<const ml::Classifier> fallback;
+  if (bundle->fallback_model() != nullptr)
+    fallback = std::shared_ptr<const ml::Classifier>(bundle,
+                                                     bundle->fallback_model());
+  return capture_result([&] {
+    return publish(std::move(primary), std::move(fallback));
+  }).with_context("hot-swap rejected");
+}
+
+std::shared_ptr<const ModelHub::Epoch> ModelHub::current() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return current_;
+}
+
+std::uint64_t ModelHub::version() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return current_ ? current_->version : 0;
+}
+
+// --------------------------------------------------------------------------
+// EngineSnapshot
+// --------------------------------------------------------------------------
+
+void EngineSnapshot::write(std::ostream& out) const {
+  out << "hmd-snapshot v1\n";
+  out << "model_version " << model_version << "\n";
+  out << "streams " << streams.size() << "\n";
+  for (const StreamSnapshot& s : streams) {
+    out << "stream " << s.id << " accepted " << s.accepted << " evicted "
+        << s.evicted << " high_water " << s.high_water << " windows "
+        << s.detector.windows << " flagged " << s.detector.flagged
+        << " streak " << s.detector.streak << " alarmed "
+        << (s.detector.alarmed ? 1 : 0) << " alarm_window ";
+    if (s.detector.alarmed)
+      out << s.detector.alarm_window;
+    else
+      out << "-";
+    out << "\n";
+  }
+}
+
+namespace {
+
+[[noreturn]] void snapshot_fail(const std::string& what) {
+  throw ParseError("snapshot: " + what);
+}
+
+/// Reads "<keyword> <value>" from `line`, failing loudly on drift — a
+/// snapshot is a restart-critical artifact, so silent misparses are worse
+/// than rejects.
+std::uint64_t expect_field(std::istringstream& line, const char* keyword) {
+  std::string word;
+  if (!(line >> word) || word != keyword)
+    snapshot_fail(std::string("expected field '") + keyword + "'");
+  std::uint64_t value = 0;
+  if (!(line >> value))
+    snapshot_fail(std::string("bad value for field '") + keyword + "'");
+  return value;
+}
+
+EngineSnapshot read_snapshot_impl(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line) || line != "hmd-snapshot v1")
+    snapshot_fail("bad header (expected 'hmd-snapshot v1')");
+
+  EngineSnapshot snapshot;
+  if (!std::getline(in, line)) snapshot_fail("missing model_version line");
+  {
+    std::istringstream fields(line);
+    snapshot.model_version = expect_field(fields, "model_version");
+  }
+  if (!std::getline(in, line)) snapshot_fail("missing streams line");
+  std::uint64_t count = 0;
+  {
+    std::istringstream fields(line);
+    count = expect_field(fields, "streams");
+  }
+
+  snapshot.streams.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    if (!std::getline(in, line))
+      snapshot_fail("truncated: expected " + std::to_string(count) +
+                    " stream lines, got " + std::to_string(i));
+    std::istringstream fields(line);
+    StreamSnapshot s;
+    s.id = expect_field(fields, "stream");
+    s.accepted = expect_field(fields, "accepted");
+    s.evicted = expect_field(fields, "evicted");
+    s.high_water = expect_field(fields, "high_water");
+    s.detector.windows = expect_field(fields, "windows");
+    s.detector.flagged = expect_field(fields, "flagged");
+    s.detector.streak = expect_field(fields, "streak");
+    const std::uint64_t alarmed = expect_field(fields, "alarmed");
+    if (alarmed > 1) snapshot_fail("alarmed must be 0 or 1");
+    s.detector.alarmed = alarmed == 1;
+    std::string word;
+    if (!(fields >> word) || word != "alarm_window")
+      snapshot_fail("expected field 'alarm_window'");
+    if (!(fields >> word)) snapshot_fail("bad value for field 'alarm_window'");
+    if (word == "-") {
+      s.detector.alarm_window = core::OnlineDetector::kNoAlarm;
+    } else {
+      std::istringstream value(word);
+      std::uint64_t w = 0;
+      if (!(value >> w)) snapshot_fail("bad value for field 'alarm_window'");
+      s.detector.alarm_window = static_cast<std::size_t>(w);
+    }
+    if (fields >> word) snapshot_fail("trailing tokens on stream line");
+    // Cross-field consistency is OnlineDetector::restore's job; reject
+    // here so a corrupt snapshot fails at load, not mid-restore.
+    if (s.detector.alarmed != (s.detector.alarm_window !=
+                               core::OnlineDetector::kNoAlarm) ||
+        s.detector.flagged > s.detector.windows ||
+        s.detector.streak > s.detector.flagged)
+      snapshot_fail("inconsistent detector state for stream " +
+                    std::to_string(s.id));
+    snapshot.streams.push_back(s);
+  }
+  return snapshot;
+}
+
+}  // namespace
+
+Result<EngineSnapshot> EngineSnapshot::read(std::istream& in) {
+  return capture_result([&in] { return read_snapshot_impl(in); })
+      .with_context("reading engine snapshot");
+}
+
+EngineSnapshot EngineSnapshot::read_or_throw(std::istream& in) {
+  return read(in).value();
+}
+
+// --------------------------------------------------------------------------
+// FaultInjector
+// --------------------------------------------------------------------------
+
+void FaultPlan::validate() const {
+  HMD_REQUIRE(score_throw_rate >= 0.0 && score_throw_rate <= 1.0,
+              "FaultPlan: score_throw_rate must be in [0, 1]");
+  HMD_REQUIRE(slow_batch_rate >= 0.0 && slow_batch_rate <= 1.0,
+              "FaultPlan: slow_batch_rate must be in [0, 1]");
+  HMD_REQUIRE(throw_burst >= 1, "FaultPlan: throw_burst must be >= 1");
+}
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(plan) {
+  plan_.validate();
+}
+
+namespace {
+
+/// Deterministic uniform [0, 1) from (seed, shard, ordinal, salt) — a few
+/// splitmix64 steps over a mixed key. Pure, so tests can predict the
+/// fault schedule.
+double fault_uniform(std::uint64_t seed, std::size_t shard,
+                     std::uint64_t ordinal, std::uint64_t salt) {
+  std::uint64_t x = seed;
+  x ^= splitmix64(x) + static_cast<std::uint64_t>(shard);
+  x ^= splitmix64(x) + ordinal;
+  x ^= splitmix64(x) + salt;
+  const std::uint64_t bits = splitmix64(x);
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+bool FaultInjector::batch_throws(std::size_t shard,
+                                 std::uint64_t ordinal) const {
+  if (ordinal < plan_.fail_first_batches) return true;
+  return plan_.score_throw_rate > 0.0 &&
+         fault_uniform(plan_.seed, shard, ordinal, /*salt=*/1) <
+             plan_.score_throw_rate;
+}
+
+bool FaultInjector::batch_is_slow(std::size_t shard,
+                                  std::uint64_t ordinal) const {
+  return plan_.slow_batch_rate > 0.0 &&
+         fault_uniform(plan_.seed, shard, ordinal, /*salt=*/2) <
+             plan_.slow_batch_rate;
+}
+
+void FaultInjector::on_score_attempt(std::size_t shard, std::uint64_t ordinal,
+                                     std::size_t attempt) {
+  if (attempt == 0 && plan_.slow_batch_us > 0 &&
+      batch_is_slow(shard, ordinal)) {
+    delays_injected_.fetch_add(1, std::memory_order_relaxed);
+    std::this_thread::sleep_for(std::chrono::microseconds(plan_.slow_batch_us));
+  }
+  if (!batch_throws(shard, ordinal)) return;
+  // fail_first_batches faults every attempt (forces retry exhaustion);
+  // rate-chosen faults fail only the first throw_burst attempts, so a
+  // retry budget >= throw_burst masks them completely.
+  if (ordinal >= plan_.fail_first_batches && attempt >= plan_.throw_burst)
+    return;
+  throws_injected_.fetch_add(1, std::memory_order_relaxed);
+  throw InjectedFault("injected scoring fault (shard " +
+                      std::to_string(shard) + ", batch " +
+                      std::to_string(ordinal) + ", attempt " +
+                      std::to_string(attempt) + ")");
+}
+
+// --------------------------------------------------------------------------
+// ResilienceConfig
+// --------------------------------------------------------------------------
+
+void ResilienceConfig::validate() const {
+  HMD_REQUIRE(degrade_after >= 1,
+              "ResilienceConfig: degrade_after must be >= 1");
+  HMD_REQUIRE(probe_every >= 1, "ResilienceConfig: probe_every must be >= 1");
+  HMD_REQUIRE(budget_strikes >= 1,
+              "ResilienceConfig: budget_strikes must be >= 1");
+  if (faults) faults->plan().validate();
+}
+
+}  // namespace hmd::serve

@@ -4,6 +4,7 @@
 #include <array>
 #include <chrono>
 #include <condition_variable>
+#include <ostream>
 #include <string>
 #include <thread>
 
@@ -29,6 +30,13 @@ struct WindowSample {
 /// the staleness of any lost wakeup race to one timeout.
 constexpr auto kParkTimeout = std::chrono::microseconds(200);
 
+/// Single-epoch hub for the static-model constructor.
+std::shared_ptr<ModelHub> hub_for(const ml::Classifier& model) {
+  auto hub = std::make_shared<ModelHub>();
+  hub->publish_unowned(model);
+  return hub;
+}
+
 }  // namespace
 
 void ServeConfig::validate() const {
@@ -40,6 +48,7 @@ void ServeConfig::validate() const {
   HMD_REQUIRE(max_batch_windows >= 1,
               "ServeConfig: max_batch_windows must be >= 1");
   policy.validate();
+  resilience.validate();
 }
 
 StreamRouter::StreamRouter(std::size_t num_shards)
@@ -55,24 +64,35 @@ std::size_t StreamRouter::shard_of(std::uint64_t stream_id) const {
 }
 
 /// Per-stream serving state. The ring is SPSC (the stream's feeder in,
-/// the owning shard worker out); everything below `monitor` is written
-/// only by the shard worker and read by callers after drain().
+/// the owning shard worker out); the monitor and logs are written only by
+/// the shard worker under the shard's apply mutex (snapshot() takes the
+/// same mutex) and read by callers after drain().
 struct StreamEngine::Stream {
   Stream(StreamId stream_id, std::size_t shard_index,
-         std::size_t ring_capacity, const ml::Classifier& model,
+         std::size_t ring_capacity,
+         std::shared_ptr<const ml::Classifier> model,
          const core::OnlineDetectorConfig& policy)
       : id(stream_id),
         shard(shard_index),
         ring(ring_capacity),
-        monitor(model, policy) {}
+        monitor_model(std::move(model)),
+        monitor(*monitor_model, policy) {}
 
   const StreamId id;
   const std::size_t shard;
   SpscRing<WindowSample> ring;
+  /// Pins the registration epoch's primary: the monitor holds a reference
+  /// to it for its whole lifetime, across hot-swaps. The engine never
+  /// calls monitor.observe() — batches are scored through the current
+  /// epoch and fed in via apply_probability — so the pinned model is a
+  /// lifetime anchor, not a scoring path.
+  std::shared_ptr<const ml::Classifier> monitor_model;
   core::OnlineDetector monitor;
-  std::vector<Verdict> verdict_log;  ///< only when record_verdicts
+  std::vector<Verdict> verdict_log;        ///< only when record_verdicts
+  std::vector<std::uint64_t> version_log;  ///< parallel to verdict_log
   std::atomic<std::uint64_t> accepted{0};
   std::atomic<std::uint64_t> evicted{0};
+  std::atomic<std::uint64_t> high_water{0};  ///< peak pending ring depth
 };
 
 /// Per-shard worker state. `produced`/`consumed` converge once producers
@@ -99,6 +119,17 @@ struct StreamEngine::Shard {
   std::condition_variable park_cv;
   std::atomic<bool> parked{false};
 
+  // Resilience state. The worker thread owns everything here except
+  // `apply_mutex` (shared with snapshot()) and `degraded` (read by
+  // shard_degraded() and tests).
+  std::mutex apply_mutex;  ///< held around monitor updates per batch
+  std::uint64_t batch_ordinal = 0;       ///< fault-injection key
+  std::uint64_t last_epoch_version = 0;  ///< for swap detection
+  std::size_t consecutive_failures = 0;  ///< batches that exhausted retries
+  std::size_t budget_overruns = 0;       ///< consecutive over-budget batches
+  std::uint64_t degraded_batches = 0;    ///< probe cadence counter
+  std::atomic<bool> degraded{false};
+
   std::thread worker;
   std::string span_name;  ///< "serve/shard<k>/batch"
 
@@ -118,11 +149,47 @@ struct StreamEngine::Shard {
   Histogram* agg_e2e_us = nullptr;
 };
 
+/// One gathered cross-stream batch (worker-local buffers, reused).
+struct StreamEngine::Batch {
+  struct Item {
+    Stream* stream;
+    std::uint64_t ingest_us;
+  };
+  std::vector<Item> items;
+  std::vector<double> flat;
+  std::vector<double> dist;
+};
+
+/// The serve.resilience.* family, resolved once in the constructor so
+/// every instrument appears in metrics exports even while still zero.
+struct StreamEngine::ResilienceInstruments {
+  Counter& retries;
+  Counter& score_failures;
+  Counter& fallback_batches;
+  Counter& degrade_events;
+  Counter& recoveries;
+  Counter& budget_overruns;
+  Counter& swaps_observed;
+  Counter& errors_swallowed;
+  Counter& checkpoints;
+  Counter& restored_streams;
+  Gauge& degraded_shards;
+  Gauge& model_version;
+};
+
 StreamEngine::StreamEngine(const ml::Classifier& model, ServeConfig config)
-    : model_(model), config_(config), router_(config.num_shards) {
+    : StreamEngine(hub_for(model), std::move(config)) {}
+
+StreamEngine::StreamEngine(std::shared_ptr<ModelHub> hub, ServeConfig config)
+    : hub_(std::move(hub)),
+      config_(std::move(config)),
+      router_(config_.num_shards) {
+  HMD_REQUIRE(hub_ != nullptr, "StreamEngine: null model hub");
   config_.validate();
-  HMD_REQUIRE(model_.num_classes() == 2,
-              "StreamEngine needs a binary (benign/malware) model");
+  HMD_REQUIRE(hub_->version() != 0,
+              "StreamEngine: hub must have a published epoch");
+  if (config_.restore_from != nullptr)
+    restore_claimed_.assign(config_.restore_from->streams.size(), false);
 
   MetricsRegistry& reg = metrics();
   Counter& agg_ingest = reg.counter("serve.ingest_total");
@@ -133,6 +200,21 @@ StreamEngine::StreamEngine(const ml::Classifier& model, ServeConfig config)
       reg.histogram("serve.score_us", default_latency_buckets_us());
   Histogram& agg_e2e =
       reg.histogram("serve.e2e_latency_us", default_latency_buckets_us());
+
+  res_ = std::make_unique<ResilienceInstruments>(ResilienceInstruments{
+      reg.counter("serve.resilience.retries"),
+      reg.counter("serve.resilience.score_failures"),
+      reg.counter("serve.resilience.fallback_batches"),
+      reg.counter("serve.resilience.degrade_events"),
+      reg.counter("serve.resilience.recoveries"),
+      reg.counter("serve.resilience.budget_overruns"),
+      reg.counter("serve.resilience.swaps_observed"),
+      reg.counter("serve.resilience.errors_swallowed"),
+      reg.counter("serve.resilience.checkpoints"),
+      reg.counter("serve.resilience.restored_streams"),
+      reg.gauge("serve.resilience.degraded_shards"),
+      reg.gauge("serve.resilience.model_version")});
+  res_->model_version.set(static_cast<double>(hub_->version()));
 
   shards_.reserve(config_.num_shards);
   for (std::size_t k = 0; k < config_.num_shards; ++k) {
@@ -162,10 +244,15 @@ StreamEngine::StreamEngine(const ml::Classifier& model, ServeConfig config)
 }
 
 StreamEngine::~StreamEngine() {
-  try {
-    shutdown();
-  } catch (...) {
-    // A scoring error surfaced by drain(); destruction must not throw.
+  join_workers();
+  // A latched error nobody has seen must not vanish with the engine:
+  // count it and put it on the timeline so post-mortems can find it.
+  std::lock_guard<std::mutex> lock(error_mutex_);
+  if (first_error_.has_value() && !error_reported_) {
+    res_->errors_swallowed.add();
+    if (tracer().enabled())
+      tracer().record({"serve/error_swallowed: " + first_error_->to_string(),
+                       Tracer::current_thread_id(), Tracer::now_us(), 0});
   }
 }
 
@@ -175,12 +262,29 @@ std::size_t StreamEngine::num_streams() const {
 }
 
 StreamEngine::StreamHandle StreamEngine::register_stream(StreamId id) {
-  auto stream = std::make_unique<Stream>(id, router_.shard_of(id),
-                                         config_.ring_capacity, model_,
-                                         config_.policy);
+  auto epoch = hub_->current();
+  auto stream =
+      std::make_unique<Stream>(id, router_.shard_of(id), config_.ring_capacity,
+                               epoch->primary, config_.policy);
   Stream* handle = stream.get();
   {
     std::lock_guard<std::mutex> lock(streams_mutex_);
+    if (config_.restore_from != nullptr) {
+      // Resume from the checkpoint before the stream becomes visible to
+      // its shard; duplicate ids claim snapshot entries first-come.
+      const auto& snaps = config_.restore_from->streams;
+      for (std::size_t i = 0; i < snaps.size(); ++i) {
+        if (restore_claimed_[i] || snaps[i].id != id) continue;
+        handle->monitor.restore(snaps[i].detector);
+        handle->accepted.store(snaps[i].accepted, std::memory_order_relaxed);
+        handle->evicted.store(snaps[i].evicted, std::memory_order_relaxed);
+        handle->high_water.store(snaps[i].high_water,
+                                 std::memory_order_relaxed);
+        restore_claimed_[i] = true;
+        res_->restored_streams.add();
+        break;
+      }
+    }
     streams_.push_back(std::move(stream));
   }
   Shard& shard = *shards_[handle->shard];
@@ -224,6 +328,13 @@ bool StreamEngine::ingest(StreamHandle stream,
     }
   }
   stream->accepted.fetch_add(1, std::memory_order_relaxed);
+  // Ring high-water mark (capacity planning; persisted in snapshots).
+  const auto depth =
+      static_cast<std::uint64_t>(stream->ring.size_approx());
+  std::uint64_t seen = stream->high_water.load(std::memory_order_relaxed);
+  while (depth > seen && !stream->high_water.compare_exchange_weak(
+                             seen, depth, std::memory_order_relaxed)) {
+  }
   shard.produced.fetch_add(1, std::memory_order_relaxed);
   shard.ingest_total->add();
   shard.agg_ingest_total->add();
@@ -236,20 +347,173 @@ void StreamEngine::unpark(Shard& shard) {
   shard.park_cv.notify_one();
 }
 
+void StreamEngine::enter_degraded(Shard& shard, const char* reason) {
+  shard.degraded.store(true, std::memory_order_release);
+  shard.degraded_batches = 0;
+  shard.budget_overruns = 0;
+  res_->degrade_events.add();
+  res_->degraded_shards.set(static_cast<double>(
+      degraded_count_.fetch_add(1, std::memory_order_relaxed) + 1));
+  if (tracer().enabled())
+    tracer().record({"serve/shard" + std::to_string(shard.index) +
+                         "/degrade:" + reason,
+                     Tracer::current_thread_id(), Tracer::now_us(), 0});
+}
+
+void StreamEngine::leave_degraded(Shard& shard) {
+  shard.degraded.store(false, std::memory_order_release);
+  shard.consecutive_failures = 0;
+  shard.budget_overruns = 0;
+  shard.degraded_batches = 0;
+  res_->recoveries.add();
+  res_->degraded_shards.set(static_cast<double>(
+      degraded_count_.fetch_sub(1, std::memory_order_relaxed) - 1));
+  if (tracer().enabled())
+    tracer().record({"serve/shard" + std::to_string(shard.index) + "/recover",
+                     Tracer::current_thread_id(), Tracer::now_us(), 0});
+}
+
+void StreamEngine::latch_error(ErrorInfo error) {
+  std::lock_guard<std::mutex> lock(error_mutex_);
+  if (!first_error_.has_value()) first_error_.emplace(std::move(error));
+  failed_.store(true, std::memory_order_release);
+}
+
+bool StreamEngine::score_batch(Shard& shard, Batch& batch) {
+  const std::size_t n = batch.items.size();
+  const std::size_t width = config_.window_size;
+  const ResilienceConfig& res = config_.resilience;
+  FaultInjector* faults = res.faults.get();
+
+  // Pin the epoch for the whole batch: a concurrent publish cannot pull
+  // the models out from under us, and every verdict below is stamped
+  // with this version.
+  const std::shared_ptr<const ModelHub::Epoch> epoch = hub_->current();
+  const std::uint64_t ordinal = shard.batch_ordinal++;
+  if (epoch->version != shard.last_epoch_version) {
+    if (shard.last_epoch_version != 0) res_->swaps_observed.add();
+    shard.last_epoch_version = epoch->version;
+    res_->model_version.set(static_cast<double>(epoch->version));
+  }
+  const bool have_fallback = epoch->fallback != nullptr;
+
+  std::optional<ErrorInfo> failure;
+  auto attempt_score = [&](const ml::Classifier& model,
+                           std::size_t attempt_no, bool inject) -> bool {
+    try {
+      if (inject && faults != nullptr)
+        faults->on_score_attempt(shard.index, ordinal, attempt_no);
+      batch.dist.assign(n * 2, 0.0);
+      model.distribution_batch(batch.flat, width, batch.dist);
+      return true;
+    } catch (...) {
+      res_->score_failures.add();
+      failure = ErrorInfo::from_current_exception();
+      return false;
+    }
+  };
+
+  TraceSpan span(shard.span_name);
+  bool scored = false;
+  bool by_primary = false;
+
+  if (!shard.degraded.load(std::memory_order_relaxed)) {
+    // Normal mode: primary with bounded retries and linear backoff.
+    for (std::size_t a = 0; a <= res.max_retries && !scored; ++a) {
+      if (a > 0) {
+        res_->retries.add();
+        if (res.retry_backoff_us > 0)
+          std::this_thread::sleep_for(std::chrono::microseconds(
+              res.retry_backoff_us * static_cast<std::uint64_t>(a)));
+      }
+      scored = attempt_score(*epoch->primary, a, true);
+    }
+    if (scored) {
+      by_primary = true;
+      shard.consecutive_failures = 0;
+    } else {
+      ++shard.consecutive_failures;
+    }
+  } else {
+    // Degraded mode: fallback scores; every probe_every-th batch probes
+    // the primary, and a single success recovers the shard.
+    ++shard.degraded_batches;
+    if (shard.degraded_batches % res.probe_every == 0 &&
+        attempt_score(*epoch->primary, 0, true)) {
+      scored = true;
+      by_primary = true;
+      leave_degraded(shard);
+    }
+  }
+
+  if (!scored && have_fallback) {
+    scored = attempt_score(*epoch->fallback, 0, false);
+    if (scored) res_->fallback_batches.add();
+  }
+
+  const double score_us = span.elapsed_seconds() * 1e6;
+
+  if (!scored) {
+    // End of the ladder: no attempt succeeded and there is nowhere left
+    // to fall. Latch; this batch's windows are dropped and subsequent
+    // batches are drained unscored.
+    HMD_ASSERT(failure.has_value());
+    latch_error(std::move(*failure).with_context(
+        "scoring batch on shard " + std::to_string(shard.index)));
+    return false;
+  }
+
+  if (!shard.degraded.load(std::memory_order_relaxed)) {
+    if (shard.consecutive_failures >= res.degrade_after && have_fallback) {
+      enter_degraded(shard, "failures");
+    } else if (by_primary && res.latency_budget_us > 0) {
+      if (score_us > static_cast<double>(res.latency_budget_us)) {
+        res_->budget_overruns.add();
+        if (++shard.budget_overruns >= res.budget_strikes && have_fallback)
+          enter_degraded(shard, "latency");
+      } else {
+        shard.budget_overruns = 0;
+      }
+    }
+  }
+
+  // Serial per-stream replay of the streak/alarm machine, in gather
+  // order — per stream this is exactly arrival order. Under the apply
+  // mutex so snapshot() only ever sees monitors between batches.
+  {
+    std::lock_guard<std::mutex> apply_lock(shard.apply_mutex);
+    const std::uint64_t now = Tracer::now_us();
+    for (std::size_t w = 0; w < n; ++w) {
+      Stream& stream = *batch.items[w].stream;
+      const Verdict verdict =
+          stream.monitor.apply_probability(batch.dist[w * 2 + 1]);
+      if (config_.record_verdicts) {
+        stream.verdict_log.push_back(verdict);
+        stream.version_log.push_back(epoch->version);
+      }
+      const std::uint64_t e2e =
+          now >= batch.items[w].ingest_us ? now - batch.items[w].ingest_us
+                                          : 0;
+      shard.e2e_us->record(static_cast<double>(e2e));
+      shard.agg_e2e_us->record(static_cast<double>(e2e));
+    }
+  }
+  shard.batches->add();
+  shard.batch_size->record(static_cast<double>(n));
+  shard.agg_batch_size->record(static_cast<double>(n));
+  shard.score_us->record(score_us);
+  shard.agg_score_us->record(score_us);
+  return true;
+}
+
 void StreamEngine::worker_loop(Shard& shard) {
   std::vector<Stream*> snapshot;
   std::uint64_t seen_generation = 0;
 
-  struct Pending {
-    Stream* stream;
-    std::uint64_t ingest_us;
-  };
-  std::vector<Pending> pending;
-  std::vector<double> flat;
-  std::vector<double> dist;
+  Batch batch;
   const std::size_t width = config_.window_size;
-  pending.reserve(config_.max_batch_windows);
-  flat.reserve(config_.max_batch_windows * width);
+  batch.items.reserve(config_.max_batch_windows);
+  batch.flat.reserve(config_.max_batch_windows * width);
 
   for (;;) {
     if (shard.generation.load(std::memory_order_acquire) !=
@@ -263,58 +527,30 @@ void StreamEngine::worker_loop(Shard& shard) {
     // every pending window (up to the batch cap) into one contiguous
     // row-major block. Within a stream, pops are FIFO, so per-stream
     // arrival order survives batching.
-    pending.clear();
-    flat.clear();
+    batch.items.clear();
+    batch.flat.clear();
     WindowSample sample;
     for (Stream* stream : snapshot) {
-      while (pending.size() < config_.max_batch_windows &&
+      while (batch.items.size() < config_.max_batch_windows &&
              stream->ring.try_pop(sample)) {
-        pending.push_back({stream, sample.ingest_us});
-        flat.insert(flat.end(), sample.counts.begin(),
-                    sample.counts.begin() + static_cast<std::ptrdiff_t>(width));
+        batch.items.push_back({stream, sample.ingest_us});
+        batch.flat.insert(
+            batch.flat.end(), sample.counts.begin(),
+            sample.counts.begin() + static_cast<std::ptrdiff_t>(width));
       }
-      if (pending.size() >= config_.max_batch_windows) break;
+      if (batch.items.size() >= config_.max_batch_windows) break;
     }
 
-    if (!pending.empty()) {
+    if (!batch.items.empty()) {
       std::size_t backlog = 0;
       for (Stream* stream : snapshot) backlog += stream->ring.size_approx();
       shard.queue_depth->set(static_cast<double>(backlog));
 
-      const std::size_t n = pending.size();
-      if (!failed_.load(std::memory_order_relaxed)) {
-        try {
-          TraceSpan span(shard.span_name);
-          dist.assign(n * 2, 0.0);
-          model_.distribution_batch(flat, width, dist);
-          // Serial per-stream replay of the streak/alarm machine, in
-          // gather order — per stream this is exactly arrival order.
-          const std::uint64_t now = Tracer::now_us();
-          for (std::size_t w = 0; w < n; ++w) {
-            Stream& stream = *pending[w].stream;
-            const Verdict verdict =
-                stream.monitor.apply_probability(dist[w * 2 + 1]);
-            if (config_.record_verdicts)
-              stream.verdict_log.push_back(verdict);
-            const std::uint64_t e2e =
-                now >= pending[w].ingest_us ? now - pending[w].ingest_us : 0;
-            shard.e2e_us->record(static_cast<double>(e2e));
-            shard.agg_e2e_us->record(static_cast<double>(e2e));
-          }
-          const double score_us = span.elapsed_seconds() * 1e6;
-          shard.batches->add();
-          shard.batch_size->record(static_cast<double>(n));
-          shard.agg_batch_size->record(static_cast<double>(n));
-          shard.score_us->record(score_us);
-          shard.agg_score_us->record(score_us);
-        } catch (...) {
-          std::lock_guard<std::mutex> lock(error_mutex_);
-          if (!first_error_) first_error_ = std::current_exception();
-          failed_.store(true, std::memory_order_release);
-        }
-      }
+      const std::size_t n = batch.items.size();
       // In the failed state windows are still drained (and discarded) so
       // drain() terminates and surfaces the stored error.
+      if (!failed_.load(std::memory_order_relaxed))
+        score_batch(shard, batch);
       shard.consumed.fetch_add(n, std::memory_order_release);
       continue;
     }
@@ -353,7 +589,10 @@ void StreamEngine::drain_internal() {
 void StreamEngine::rethrow_if_failed() {
   if (!failed_.load(std::memory_order_acquire)) return;
   std::lock_guard<std::mutex> lock(error_mutex_);
-  if (first_error_) std::rethrow_exception(first_error_);
+  if (first_error_.has_value()) {
+    error_reported_ = true;
+    first_error_->raise();
+  }
 }
 
 void StreamEngine::drain() {
@@ -361,16 +600,60 @@ void StreamEngine::drain() {
   rethrow_if_failed();
 }
 
+void StreamEngine::join_workers() {
+  if (joined_) return;
+  drain_internal();
+  stop_.store(true, std::memory_order_release);
+  for (auto& shard : shards_) unpark(*shard);
+  for (auto& shard : shards_)
+    if (shard->worker.joinable()) shard->worker.join();
+  joined_ = true;
+}
+
 void StreamEngine::shutdown() {
-  if (!joined_) {
-    drain_internal();
-    stop_.store(true, std::memory_order_release);
-    for (auto& shard : shards_) unpark(*shard);
-    for (auto& shard : shards_)
-      if (shard->worker.joinable()) shard->worker.join();
-    joined_ = true;
-  }
+  join_workers();
   rethrow_if_failed();
+}
+
+std::optional<ErrorInfo> StreamEngine::last_error() const {
+  std::lock_guard<std::mutex> lock(error_mutex_);
+  return first_error_;
+}
+
+EngineSnapshot StreamEngine::snapshot() const {
+  HMD_TRACE_SPAN("serve/checkpoint");
+  EngineSnapshot snap;
+  snap.model_version = hub_->version();
+  // Hold every shard's apply mutex: monitor state machines quiesce
+  // between batches, so the captured states are a consistent cut even
+  // while ingest and scoring are live.
+  std::vector<std::unique_lock<std::mutex>> apply_locks;
+  apply_locks.reserve(shards_.size());
+  for (const auto& shard : shards_)
+    apply_locks.emplace_back(shard->apply_mutex);
+  std::lock_guard<std::mutex> lock(streams_mutex_);
+  snap.streams.reserve(streams_.size());
+  for (const auto& stream : streams_) {
+    StreamSnapshot s;
+    s.id = stream->id;
+    s.accepted = stream->accepted.load(std::memory_order_relaxed);
+    s.evicted = stream->evicted.load(std::memory_order_relaxed);
+    s.high_water = stream->high_water.load(std::memory_order_relaxed);
+    s.detector = stream->monitor.state();
+    snap.streams.push_back(s);
+  }
+  res_->checkpoints.add();
+  return snap;
+}
+
+void StreamEngine::checkpoint(std::ostream& out) const {
+  snapshot().write(out);
+}
+
+bool StreamEngine::shard_degraded(std::size_t shard) const {
+  HMD_REQUIRE(shard < shards_.size(),
+              "StreamEngine::shard_degraded: shard out of range");
+  return shards_[shard]->degraded.load(std::memory_order_acquire);
 }
 
 const core::OnlineDetector& StreamEngine::monitor(
@@ -385,6 +668,13 @@ const std::vector<StreamEngine::Verdict>& StreamEngine::verdicts(
   return stream->verdict_log;
 }
 
+const std::vector<std::uint64_t>& StreamEngine::verdict_versions(
+    StreamHandle stream) const {
+  HMD_REQUIRE(stream != nullptr,
+              "StreamEngine::verdict_versions: null stream");
+  return stream->version_log;
+}
+
 std::uint64_t StreamEngine::dropped(StreamHandle stream) const {
   HMD_REQUIRE(stream != nullptr, "StreamEngine::dropped: null stream");
   return stream->evicted.load(std::memory_order_relaxed);
@@ -393,6 +683,11 @@ std::uint64_t StreamEngine::dropped(StreamHandle stream) const {
 std::uint64_t StreamEngine::ingested(StreamHandle stream) const {
   HMD_REQUIRE(stream != nullptr, "StreamEngine::ingested: null stream");
   return stream->accepted.load(std::memory_order_relaxed);
+}
+
+std::uint64_t StreamEngine::high_water(StreamHandle stream) const {
+  HMD_REQUIRE(stream != nullptr, "StreamEngine::high_water: null stream");
+  return stream->high_water.load(std::memory_order_relaxed);
 }
 
 std::uint64_t StreamEngine::total_ingested() const {

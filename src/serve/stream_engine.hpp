@@ -24,6 +24,16 @@
 //   kDropOldest — ingest discards the stream's oldest unscored window and
 //                 counts it (serve.dropped); the newest window always wins.
 //
+// Resilience (serve/resilience.hpp, docs/resilience.md): models arrive
+// through a ModelHub — workers pin the current epoch per batch, so a
+// hot-swap is one atomic publish and every verdict is stamped with the
+// epoch version that scored it. A failing or over-budget primary walks
+// the degradation ladder (retry w/ backoff → fallback model → probe &
+// recover); only when there is no fallback does the engine latch a fatal
+// error (surfaced as an ErrorInfo via drain()/last_error()). snapshot()/
+// checkpoint() capture per-stream monitor state for bit-identical restart
+// (ServeConfig::restore_from), safely while ingest is live.
+//
 // Observability (process metrics registry; see docs/serving.md):
 //   serve.ingest_total[.shard<k>]    counter   windows accepted
 //   serve.dropped[.shard<k>]         counter   windows dropped (kDropOldest)
@@ -32,19 +42,27 @@
 //   serve.queue_depth.shard<k>       gauge     windows pending after gather
 //   serve.score_us[.shard<k>]        histogram batch score wall time
 //   serve.e2e_latency_us[.shard<k>]  histogram ingest → verdict latency
-// plus a "serve/shard<k>/batch" trace span per scored batch.
+// plus the serve.resilience.* family (docs/resilience.md):
+//   retries, score_failures, fallback_batches, degrade_events, recoveries,
+//   budget_overruns, swaps_observed, errors_swallowed, checkpoints,
+//   restored_streams (counters); degraded_shards, model_version (gauges);
+// and a "serve/shard<k>/batch" trace span per scored batch.
 #pragma once
 
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <span>
 #include <vector>
 
 #include "core/online_detector.hpp"
 #include "ml/classifier.hpp"
+#include "serve/resilience.hpp"
+#include "util/result.hpp"
 
 namespace hmd::serve {
 
@@ -73,13 +91,22 @@ struct ServeConfig {
   /// Alarm policy replicated into every stream's monitor.
   core::OnlineDetectorConfig policy;
 
-  /// Keep every verdict per stream (StreamEngine::verdicts). Off by
-  /// default: long-lived deployments only need the monitor's latched
-  /// state, not an unbounded verdict log.
+  /// Keep every verdict per stream (StreamEngine::verdicts), plus the
+  /// model version that scored it (verdict_versions). Off by default:
+  /// long-lived deployments only need the monitor's latched state, not
+  /// an unbounded verdict log.
   bool record_verdicts = false;
 
+  /// Retry / fallback / fault-injection policy (serve/resilience.hpp).
+  ResilienceConfig resilience;
+
+  /// Checkpoint to resume from: streams registered with an id present in
+  /// the snapshot pick up that stream's detector state and counters
+  /// (first-come for duplicate ids). Null = cold start.
+  std::shared_ptr<const EngineSnapshot> restore_from;
+
   /// Throws hmd::PreconditionError on out-of-range fields (including the
-  /// embedded alarm policy).
+  /// embedded alarm and resilience policies).
   void validate() const;
 };
 
@@ -97,15 +124,18 @@ class StreamRouter {
 };
 
 /// The engine. Construction spawns one worker per shard; destruction
-/// drains and joins. `model` must be a trained binary classifier
-/// (class 1 = malware) and must outlive the engine; it is shared by all
-/// shards (prediction is const and thread-compatible).
+/// drains and joins. Models come from a ModelHub (hot-swappable) or, for
+/// the common static case, a single classifier reference that must
+/// outlive the engine.
 ///
 /// Threading contract:
 ///  * register_stream may be called from any thread, at any time;
 ///  * each stream's ingest calls must be serialized (one feeder per
 ///    stream — that is what defines the stream's window order); distinct
 ///    streams may ingest concurrently from distinct threads;
+///  * hub().publish* may be called from any thread while traffic flows;
+///  * snapshot()/checkpoint() may be called from any thread, any time —
+///    they capture a between-batches state of every monitor;
 ///  * drain()/shutdown() require producers to have quiesced first;
 ///  * monitor()/verdicts()/dropped() are stable after drain() returns.
 class StreamEngine {
@@ -117,7 +147,16 @@ class StreamEngine {
   struct Stream;
   using StreamHandle = Stream*;
 
-  StreamEngine(const ml::Classifier& model, ServeConfig config = {});
+  /// Serve epochs published to `hub` (at least one must be published
+  /// already). The engine shares ownership of the hub; models stay alive
+  /// for as long as any in-flight batch pins their epoch.
+  explicit StreamEngine(std::shared_ptr<ModelHub> hub,
+                        ServeConfig config = {});
+
+  /// Static-model convenience: wraps `model` (trained, binary, must
+  /// outlive the engine) in a single-epoch hub.
+  explicit StreamEngine(const ml::Classifier& model, ServeConfig config = {});
+
   ~StreamEngine();
 
   StreamEngine(const StreamEngine&) = delete;
@@ -128,9 +167,15 @@ class StreamEngine {
   std::size_t shard_of(StreamId id) const { return router_.shard_of(id); }
   std::size_t num_streams() const;
 
+  /// The model hub — publish here to hot-swap under live traffic.
+  ModelHub& hub() { return *hub_; }
+  const ModelHub& hub() const { return *hub_; }
+
   /// Create (and start serving) a new stream. Ids need not be unique —
   /// two registrations are two independent streams that happen to share a
-  /// shard. The handle stays valid for the engine's lifetime.
+  /// shard. The handle stays valid for the engine's lifetime. When
+  /// config().restore_from holds a snapshot with this id, the stream
+  /// resumes from the checkpointed detector state.
   StreamHandle register_stream(StreamId id);
 
   /// Feed the stream's next window (exactly config().window_size
@@ -140,46 +185,84 @@ class StreamEngine {
   bool ingest(StreamHandle stream, std::span<const double> window);
 
   /// Block until every ingested window has been scored (producers must
-  /// be quiet). Rethrows the first scoring error, if any. Workers keep
-  /// running; more windows may be ingested afterwards.
+  /// be quiet). Raises the first latched scoring error, if any. Workers
+  /// keep running; more windows may be ingested afterwards.
   void drain();
 
-  /// drain(), then stop and join the workers. Idempotent. Called by the
-  /// destructor (which swallows a pending scoring error).
+  /// drain(), then stop and join the workers. Idempotent. Raises any
+  /// latched error; the destructor instead records it
+  /// (serve.resilience.errors_swallowed + a trace event) and stays
+  /// silent.
   void shutdown();
+
+  /// The latched engine error as a value, if any — set when a batch
+  /// exhausts every recovery option (retries, then fallback). Inspect
+  /// without rethrowing; drain()/shutdown() raise() the same ErrorInfo.
+  std::optional<ErrorInfo> last_error() const;
+
+  /// Capture a checkpoint of every stream (detector state + counters +
+  /// ring high-water). Safe under live ingest: briefly pauses each
+  /// shard's apply step so monitors are captured between batches.
+  EngineSnapshot snapshot() const;
+  /// snapshot() serialized to `out` (EngineSnapshot text format v1).
+  void checkpoint(std::ostream& out) const;
+
+  /// True while shard k is scoring on the fallback model.
+  bool shard_degraded(std::size_t shard) const;
 
   /// Per-stream monitor (streak/alarm state) — read after drain().
   const core::OnlineDetector& monitor(StreamHandle stream) const;
   /// Per-stream verdict log (empty unless config().record_verdicts).
   const std::vector<Verdict>& verdicts(StreamHandle stream) const;
+  /// Model-hub epoch version that scored each logged verdict (parallel
+  /// to verdicts(); empty unless config().record_verdicts).
+  const std::vector<std::uint64_t>& verdict_versions(
+      StreamHandle stream) const;
   /// Windows evicted from this stream under kDropOldest.
   std::uint64_t dropped(StreamHandle stream) const;
   /// Windows this stream accepted (including later-dropped ones).
   std::uint64_t ingested(StreamHandle stream) const;
+  /// Peak pending depth this stream's ring ever reached.
+  std::uint64_t high_water(StreamHandle stream) const;
   /// Windows accepted across all streams.
   std::uint64_t total_ingested() const;
 
  private:
   struct Shard;
+  struct Batch;
+  struct ResilienceInstruments;
 
   void worker_loop(Shard& shard);
+  /// One batch through the degradation ladder; returns false when the
+  /// batch could not be scored at all (error latched, windows dropped).
+  bool score_batch(Shard& shard, Batch& batch);
+  void enter_degraded(Shard& shard, const char* reason);
+  void leave_degraded(Shard& shard);
+  void latch_error(ErrorInfo error);
   void drain_internal();
+  void join_workers();
   void rethrow_if_failed();
   void unpark(Shard& shard);
 
-  const ml::Classifier& model_;
+  std::shared_ptr<ModelHub> hub_;
   ServeConfig config_;
   StreamRouter router_;
 
   mutable std::mutex streams_mutex_;
   std::vector<std::unique_ptr<Stream>> streams_;
+  /// restore_from entries already claimed by a registration.
+  std::vector<bool> restore_claimed_;
 
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<bool> stop_{false};
   bool joined_ = false;
 
-  std::mutex error_mutex_;
-  std::exception_ptr first_error_;
+  std::unique_ptr<ResilienceInstruments> res_;
+  std::atomic<std::size_t> degraded_count_{0};
+
+  mutable std::mutex error_mutex_;
+  std::optional<ErrorInfo> first_error_;
+  bool error_reported_ = false;  ///< raised to a caller at least once
   std::atomic<bool> failed_{false};
 };
 

@@ -1,0 +1,156 @@
+#include "util/cli.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+
+#include "util/strings.hpp"
+
+namespace hmd {
+
+ArgParser::ArgParser(std::string program, std::string summary)
+    : program_(std::move(program)), summary_(std::move(summary)) {}
+
+void ArgParser::add_spec(Spec spec) {
+  HMD_REQUIRE(spec.name.size() > 2 && spec.name.rfind("--", 0) == 0,
+              "ArgParser: flag names must start with --");
+  HMD_REQUIRE(find(spec.name) == nullptr,
+              "ArgParser: duplicate flag " + spec.name);
+  specs_.push_back(std::move(spec));
+}
+
+void ArgParser::add_flag(const std::string& name, bool* out,
+                         std::string help) {
+  add_spec({name, "", std::move(help), false,
+            [out](const std::string&) -> Result<void> {
+              *out = true;
+              return {};
+            }});
+}
+
+void ArgParser::add_string(const std::string& name, std::string* out,
+                           std::string value_name, std::string help) {
+  add_spec({name, std::move(value_name), std::move(help), true,
+            [out](const std::string& v) -> Result<void> {
+              *out = v;
+              return {};
+            }});
+}
+
+void ArgParser::add_strings(const std::string& name,
+                            std::vector<std::string>* out,
+                            std::string value_name, std::string help) {
+  add_spec({name, std::move(value_name), std::move(help), true,
+            [out](const std::string& v) -> Result<void> {
+              out->push_back(v);
+              return {};
+            }});
+}
+
+void ArgParser::add_double(const std::string& name, double* out,
+                           std::string value_name, std::string help) {
+  add_spec({name, std::move(value_name), std::move(help), true,
+            [out](const std::string& v) -> Result<void> {
+              return capture_result([&] { *out = parse_double(v); });
+            }});
+}
+
+void ArgParser::add_size(const std::string& name, std::size_t* out,
+                         std::string value_name, std::string help) {
+  add_spec({name, std::move(value_name), std::move(help), true,
+            [out](const std::string& v) -> Result<void> {
+              return capture_result(
+                  [&] { *out = static_cast<std::size_t>(parse_int(v)); });
+            }});
+}
+
+void ArgParser::add_uint64(const std::string& name, std::uint64_t* out,
+                           std::string value_name, std::string help) {
+  add_spec({name, std::move(value_name), std::move(help), true,
+            [out](const std::string& v) -> Result<void> {
+              return capture_result(
+                  [&] { *out = static_cast<std::uint64_t>(parse_int(v)); });
+            }});
+}
+
+const ArgParser::Spec* ArgParser::find(const std::string& name) const {
+  for (const Spec& spec : specs_)
+    if (spec.name == name) return &spec;
+  return nullptr;
+}
+
+std::string ArgParser::known_flags() const {
+  std::vector<std::string> names;
+  names.reserve(specs_.size() + 1);
+  for (const Spec& spec : specs_) names.push_back(spec.name);
+  names.push_back("--help");
+  return join(names, ", ");
+}
+
+Result<void> ArgParser::parse(int argc, const char* const* argv) {
+  help_requested_ = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      continue;
+    }
+    const Spec* spec = find(arg);
+    if (spec == nullptr)
+      return ErrorInfo(ErrCode::kPrecondition,
+                       "unknown flag '" + arg +
+                           "' (valid flags: " + known_flags() + ")");
+    std::string value;
+    if (spec->takes_value) {
+      if (i + 1 >= argc)
+        return ErrorInfo(ErrCode::kPrecondition,
+                         "flag " + spec->name + " expects a value <" +
+                             spec->value_name + ">");
+      value = argv[++i];
+    }
+    if (Result<void> applied = spec->apply(value); !applied)
+      return std::move(applied).with_context("flag " + spec->name);
+  }
+  return {};
+}
+
+std::string ArgParser::help() const {
+  // "usage:" line listing every flag, then one aligned help line each —
+  // the same shape the tools' hand-written usage() blocks had.
+  std::string text = "usage: " + program_;
+  for (const Spec& spec : specs_) {
+    text += " [" + spec.name;
+    if (spec.takes_value) text += " " + spec.value_name;
+    text += "]";
+  }
+  text += "\n";
+  if (!summary_.empty()) text += summary_ + "\n";
+
+  std::size_t width = 0;
+  auto label = [](const Spec& spec) {
+    return spec.takes_value ? spec.name + " " + spec.value_name : spec.name;
+  };
+  for (const Spec& spec : specs_)
+    width = std::max(width, label(spec).size());
+  for (const Spec& spec : specs_) {
+    std::string lhs = label(spec);
+    lhs.resize(width, ' ');
+    text += "  " + lhs + "  " + spec.help + "\n";
+  }
+  return text;
+}
+
+void ArgParser::parse_or_exit(int argc, const char* const* argv) {
+  const Result<void> parsed = parse(argc, argv);
+  if (help_requested_) {
+    std::cout << help();
+    std::exit(0);
+  }
+  if (!parsed) {
+    std::cerr << program_ << ": " << parsed.error().to_string() << "\n\n"
+              << help();
+    std::exit(2);
+  }
+}
+
+}  // namespace hmd

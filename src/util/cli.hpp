@@ -1,0 +1,93 @@
+// Shared command-line flag parser for the hmdetect tools.
+//
+// Before this existed, hmd_train, hmd_dataset, hmdperf and hmd_serve each
+// hand-rolled the same `for (int i = 1; ...)` loop with a `next()` lambda
+// and a hand-maintained usage() block that drifted from the real flag set.
+// ArgParser keeps one source of truth: a flag is registered once with its
+// target, value placeholder and help line, and parsing, --help generation
+// and the unknown-flag error (which lists every valid flag) all derive
+// from that registration.
+//
+//   bool binary = false; std::size_t seed = 7; std::string out;
+//   ArgParser parser("hmd_tool", "one-line summary");
+//   parser.add_flag("--binary", &binary, "emit binary labels");
+//   parser.add_size("--seed", &seed, "N", "master seed (default 7)");
+//   parser.add_string("--out", &out, "FILE", "output path");
+//   parser.parse_or_exit(argc, argv);   // --help prints help, exits 0
+//
+// parse() itself is Result-based (util/result.hpp): tools that want
+// custom error handling inspect the ErrorInfo instead of exiting.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/result.hpp"
+
+namespace hmd {
+
+/// Declarative typed flag parser. Flags are all of the form
+/// "--name [value]"; there are no positional arguments (no tool needs
+/// them). Targets must outlive parse().
+class ArgParser {
+ public:
+  ArgParser(std::string program, std::string summary);
+
+  /// Boolean switch: present -> *out = true. Takes no value.
+  void add_flag(const std::string& name, bool* out, std::string help);
+  /// String-valued flag.
+  void add_string(const std::string& name, std::string* out,
+                  std::string value_name, std::string help);
+  /// Repeatable string flag (each occurrence appends).
+  void add_strings(const std::string& name, std::vector<std::string>* out,
+                   std::string value_name, std::string help);
+  /// Floating-point flag (hmd::parse_double rules).
+  void add_double(const std::string& name, double* out,
+                  std::string value_name, std::string help);
+  /// Non-negative integer flags (hmd::parse_int rules).
+  void add_size(const std::string& name, std::size_t* out,
+                std::string value_name, std::string help);
+  void add_uint64(const std::string& name, std::uint64_t* out,
+                  std::string value_name, std::string help);
+
+  /// Parse argv. On failure returns an ErrorInfo (kParse for a bad value,
+  /// kPrecondition for an unknown flag or missing value; the unknown-flag
+  /// message lists every registered flag). "--help" is always accepted and
+  /// only sets help_requested(). Targets touched before the failing
+  /// argument keep their parsed values.
+  Result<void> parse(int argc, const char* const* argv);
+
+  /// True if the last parse() saw "--help".
+  bool help_requested() const { return help_requested_; }
+
+  /// Generated usage text: summary plus one aligned line per flag.
+  std::string help() const;
+
+  /// parse(); on failure prints the error and the help text to stderr and
+  /// exits 2. On "--help" prints the help text to stdout and exits 0.
+  void parse_or_exit(int argc, const char* const* argv);
+
+ private:
+  struct Spec {
+    std::string name;        ///< "--seed"
+    std::string value_name;  ///< "N" ("" for bare switches)
+    std::string help;
+    bool takes_value = false;
+    /// Applies a value (or "" for switches); kParse error on bad input.
+    std::function<Result<void>(const std::string&)> apply;
+  };
+
+  const Spec* find(const std::string& name) const;
+  void add_spec(Spec spec);
+  std::string known_flags() const;
+
+  std::string program_;
+  std::string summary_;
+  std::vector<Spec> specs_;
+  bool help_requested_ = false;
+};
+
+}  // namespace hmd

@@ -55,7 +55,10 @@ std::size_t CsvTable::column_index(const std::string& name) const {
   throw ParseError("CSV column not found: " + name);
 }
 
-CsvTable read_csv(std::istream& in) {
+namespace {
+
+/// The actual parser; throws ParseError on ragged rows.
+CsvTable read_csv_impl(std::istream& in) {
   CsvTable table;
   std::string line;
   std::size_t lineno = 0;
@@ -77,10 +80,27 @@ CsvTable read_csv(std::istream& in) {
   return table;
 }
 
-CsvTable read_csv_file(const std::string& path) {
+}  // namespace
+
+Result<CsvTable> try_read_csv(std::istream& in) {
+  return capture_result([&in] { return read_csv_impl(in); })
+      .with_context("reading CSV");
+}
+
+CsvTable read_csv(std::istream& in) {
+  // Thin throwing wrapper: value() raises the ErrorInfo as a ParseError.
+  return try_read_csv(in).value();
+}
+
+Result<CsvTable> try_read_csv_file(const std::string& path) {
   std::ifstream in(path);
-  if (!in) throw Error("cannot open CSV file: " + path);
-  return read_csv(in);
+  if (!in)
+    return ErrorInfo(ErrCode::kIo, "cannot open CSV file: " + path);
+  return try_read_csv(in).with_context(path);
+}
+
+CsvTable read_csv_file(const std::string& path) {
+  return try_read_csv_file(path).value();
 }
 
 std::string csv_escape(const std::string& field) {

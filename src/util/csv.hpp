@@ -10,6 +10,8 @@
 #include <string>
 #include <vector>
 
+#include "util/result.hpp"
+
 namespace hmd {
 
 /// An in-memory CSV table: one header row plus string cells.
@@ -20,10 +22,17 @@ struct CsvTable {
   std::size_t column_index(const std::string& name) const;  ///< throws if absent
 };
 
-/// Parse CSV from a stream. Throws hmd::ParseError on ragged rows.
+/// Parse CSV from a stream. Ragged rows yield an ErrorInfo
+/// (ErrCode::kParse) with a "reading CSV" context frame.
+Result<CsvTable> try_read_csv(std::istream& in);
+
+/// Thin throwing wrapper over try_read_csv (raises hmd::ParseError).
 CsvTable read_csv(std::istream& in);
 
-/// Parse CSV from a file path.
+/// Parse CSV from a file path; an unopenable file yields ErrCode::kIo.
+Result<CsvTable> try_read_csv_file(const std::string& path);
+
+/// Thin throwing wrapper over try_read_csv_file.
 CsvTable read_csv_file(const std::string& path);
 
 /// Quote a field if it contains a comma, quote, or newline.

@@ -1,0 +1,232 @@
+// Value-based error handling — the Result side of the library's error API.
+//
+// Exceptions (util/error.hpp) remain the right surface for programming
+// errors: precondition violations and broken internal invariants abort the
+// operation wherever they are detected. External inputs are different: a
+// corrupt model file, bundle, ARFF or CSV is an *expected* outcome that
+// callers routinely want to inspect, log, retry or fall back from — the
+// serving path's resilience layer (serve/resilience.hpp) rejects a corrupt
+// hot-swap bundle and keeps the old model live, which is awkward to write
+// with try/catch at every boundary. Those fallible load paths therefore
+// return Result<T>:
+//
+//   hmd::Result<ml::Dataset> r = ml::try_read_arff(in);
+//   if (!r) { log(r.error().to_string()); return; }
+//   use(r.value());
+//
+// An ErrorInfo carries a coarse machine-checkable code, the innermost
+// message, and a context chain pushed by each boundary the error crossed
+// ("loading deployment bundle: model section: bad scheme name"). raise()
+// converts back to the matching exception type, which is how the thin
+// throwing wrappers (load_model, load_bundle, read_arff, read_csv) keep
+// existing call sites compiling — and failing — exactly as before.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace hmd {
+
+/// Coarse classification of a failure, for callers that branch on kind
+/// rather than message text.
+enum class ErrCode {
+  kParse,         ///< malformed external input (file, stream, flag value)
+  kPrecondition,  ///< documented precondition violated
+  kIo,            ///< underlying stream/file unusable
+  kUnavailable,   ///< dependency failed (model scoring, swapped-out epoch)
+  kInternal,      ///< anything else that surfaced as an exception
+};
+
+/// Short stable name of a code ("parse", "precondition", ...).
+const char* to_string(ErrCode code);
+
+/// A failure as a value: code + innermost message + the chain of
+/// boundaries it crossed (outermost last, via with_context).
+class ErrorInfo {
+ public:
+  ErrorInfo(ErrCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  ErrCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+  const std::vector<std::string>& context() const { return context_; }
+
+  /// Push an outer context frame ("loading deployment bundle"). Returns
+  /// *this so boundaries can annotate-and-return in one expression.
+  ErrorInfo& with_context(std::string frame) {
+    context_.push_back(std::move(frame));
+    return *this;
+  }
+
+  /// "outermost: ...: innermost-message" — the full human-readable chain.
+  std::string to_string() const {
+    std::string s;
+    for (auto it = context_.rbegin(); it != context_.rend(); ++it) {
+      s += *it;
+      s += ": ";
+    }
+    s += message_;
+    return s;
+  }
+
+  /// Re-throw as the exception type matching code(): ParseError for
+  /// kParse, PreconditionError for kPrecondition, Error otherwise. The
+  /// message is to_string(), so context survives the conversion.
+  [[noreturn]] void raise() const {
+    switch (code_) {
+      case ErrCode::kParse:
+        throw ParseError(to_string());
+      case ErrCode::kPrecondition:
+        throw PreconditionError(to_string());
+      default:
+        throw Error(to_string());
+    }
+  }
+
+  /// Build an ErrorInfo from the in-flight exception (call inside a catch
+  /// block). Maps ParseError -> kParse, PreconditionError ->
+  /// kPrecondition, other hmd::Error / std::exception -> kInternal.
+  static ErrorInfo from_current_exception() {
+    try {
+      throw;
+    } catch (const ParseError& e) {
+      return ErrorInfo(ErrCode::kParse, e.what());
+    } catch (const PreconditionError& e) {
+      return ErrorInfo(ErrCode::kPrecondition, e.what());
+    } catch (const std::exception& e) {
+      return ErrorInfo(ErrCode::kInternal, e.what());
+    } catch (...) {
+      return ErrorInfo(ErrCode::kInternal, "unknown non-standard exception");
+    }
+  }
+
+ private:
+  ErrCode code_;
+  std::string message_;
+  std::vector<std::string> context_;  ///< innermost first, outermost last
+};
+
+/// Either a T or an ErrorInfo. Move-only payloads (Result<DeploymentBundle>,
+/// Result<std::unique_ptr<Classifier>>) are supported; value() on an error
+/// raises the matching exception, which is what the thin throwing wrappers
+/// rely on.
+template <typename T>
+class [[nodiscard]] Result {
+  static_assert(!std::is_same_v<std::decay_t<T>, ErrorInfo>,
+                "Result<ErrorInfo> is ambiguous");
+
+ public:
+  Result(T value) : state_(std::in_place_index<0>, std::move(value)) {}
+  Result(ErrorInfo error) : state_(std::in_place_index<1>, std::move(error)) {}
+
+  bool ok() const { return state_.index() == 0; }
+  explicit operator bool() const { return ok(); }
+
+  /// The payload; raises the stored error when !ok().
+  T& value() & {
+    if (!ok()) std::get<1>(state_).raise();
+    return std::get<0>(state_);
+  }
+  const T& value() const& {
+    if (!ok()) std::get<1>(state_).raise();
+    return std::get<0>(state_);
+  }
+  T&& value() && {
+    if (!ok()) std::get<1>(state_).raise();
+    return std::get<0>(std::move(state_));
+  }
+
+  /// The payload, or `fallback` when this is an error.
+  T value_or(T fallback) && {
+    return ok() ? std::get<0>(std::move(state_)) : std::move(fallback);
+  }
+
+  /// The error; HMD_ASSERTs when ok().
+  const ErrorInfo& error() const {
+    HMD_ASSERT(!ok());
+    return std::get<1>(state_);
+  }
+  ErrorInfo& error() {
+    HMD_ASSERT(!ok());
+    return std::get<1>(state_);
+  }
+
+  /// Annotate the error (no-op when ok()); returns *this for chaining at
+  /// return statements.
+  Result&& with_context(std::string frame) && {
+    if (!ok()) std::get<1>(state_).with_context(std::move(frame));
+    return std::move(*this);
+  }
+
+ private:
+  std::variant<T, ErrorInfo> state_;
+};
+
+/// Result<void>: success carries nothing.
+template <>
+class [[nodiscard]] Result<void> {
+ public:
+  Result() = default;
+  Result(ErrorInfo error) : error_(std::in_place, std::move(error)) {}
+
+  bool ok() const { return !error_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  /// Raises the stored error when !ok(); no-op on success.
+  void value() const {
+    if (error_) error_->raise();
+  }
+
+  const ErrorInfo& error() const {
+    HMD_ASSERT(!ok());
+    return *error_;
+  }
+  ErrorInfo& error() {
+    HMD_ASSERT(!ok());
+    return *error_;
+  }
+
+  Result&& with_context(std::string frame) && {
+    if (error_) error_->with_context(std::move(frame));
+    return std::move(*this);
+  }
+
+ private:
+  std::optional<ErrorInfo> error_;
+};
+
+/// Run `fn`, converting any exception it throws into an ErrorInfo — the
+/// adapter between throw-style internals and Result-style boundaries.
+template <typename F>
+auto capture_result(F&& fn) -> Result<std::invoke_result_t<F>> {
+  using R = std::invoke_result_t<F>;
+  try {
+    if constexpr (std::is_void_v<R>) {
+      std::forward<F>(fn)();
+      return Result<void>();
+    } else {
+      return Result<R>(std::forward<F>(fn)());
+    }
+  } catch (...) {
+    return Result<R>(ErrorInfo::from_current_exception());
+  }
+}
+
+inline const char* to_string(ErrCode code) {
+  switch (code) {
+    case ErrCode::kParse: return "parse";
+    case ErrCode::kPrecondition: return "precondition";
+    case ErrCode::kIo: return "io";
+    case ErrCode::kUnavailable: return "unavailable";
+    case ErrCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+}  // namespace hmd

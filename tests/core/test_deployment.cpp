@@ -103,6 +103,88 @@ TEST(DeploymentBundle, ShortCounterVectorThrows) {
                PreconditionError);
 }
 
+/// make_bundle() plus a cheap OneR fallback (bundle format v2).
+DeploymentBundle make_v2_bundle() {
+  const ml::Dataset full = separable_binary(200);
+  FeatureSet fs;
+  fs.indices = {1, 3};
+  fs.names = {"f1", "f3"};
+  const ml::Dataset projected = full.project(fs.indices);
+  auto model = ml::make_classifier("MLR");
+  model->train(projected);
+  auto fallback = ml::make_classifier("OneR");
+  fallback->train(projected);
+  return DeploymentBundle(std::move(model), std::move(fallback), fs,
+                          {.flag_threshold = 0.9, .confirm_windows = 2});
+}
+
+TEST(DeploymentBundle, FallbackRoundTripsThroughV2Format) {
+  const DeploymentBundle original = make_v2_bundle();
+  std::ostringstream out;
+  save_bundle(out, original);
+  const std::string text = out.str();
+  EXPECT_EQ(text.rfind("hmd-bundle v2\n", 0), 0u);
+  EXPECT_NE(text.find("fallback 1\n"), std::string::npos);
+
+  std::istringstream in(text);
+  const DeploymentBundle loaded = load_bundle(in);
+  ASSERT_NE(loaded.fallback_model(), nullptr);
+  EXPECT_EQ(loaded.fallback_model()->name(),
+            original.fallback_model()->name());
+
+  // Both models must survive the round trip prediction-for-prediction.
+  const ml::Dataset full = separable_binary(80);
+  const ml::Dataset projected = full.project({1, 3});
+  for (std::size_t i = 0; i < full.num_instances(); ++i) {
+    EXPECT_EQ(loaded.predict(full.features_of(i)),
+              original.predict(full.features_of(i)));
+    EXPECT_EQ(loaded.fallback_model()->predict(projected.features_of(i)),
+              original.fallback_model()->predict(projected.features_of(i)));
+  }
+}
+
+TEST(DeploymentBundle, BundleWithoutFallbackStaysV1) {
+  // v1 stays the wire format for fallback-less bundles, so pre-v2 readers
+  // of those files keep working.
+  const DeploymentBundle original = make_bundle();
+  std::ostringstream out;
+  save_bundle(out, original);
+  EXPECT_EQ(out.str().rfind("hmd-bundle v1\n", 0), 0u);
+  EXPECT_EQ(out.str().find("fallback"), std::string::npos);
+  std::istringstream in(out.str());
+  EXPECT_EQ(load_bundle(in).fallback_model(), nullptr);
+}
+
+TEST(DeploymentBundle, RejectsUnusableFallback) {
+  const ml::Dataset projected = separable_binary(100).project({1, 3});
+  auto primary = ml::make_classifier("MLR");
+  primary->train(projected);
+  auto untrained = ml::make_classifier("OneR");
+  EXPECT_THROW(DeploymentBundle(std::move(primary), std::move(untrained),
+                                {}, {}),
+               PreconditionError);
+
+  auto primary2 = ml::make_classifier("MLR");
+  primary2->train(projected);
+  auto three_way = ml::make_classifier("OneR");
+  three_way->train(ml::testdata::three_class(60));
+  EXPECT_THROW(DeploymentBundle(std::move(primary2), std::move(three_way),
+                                {}, {}),
+               PreconditionError);
+}
+
+TEST(DeploymentBundle, LoadRejectsCorruptFallbackFlag) {
+  const DeploymentBundle original = make_v2_bundle();
+  std::ostringstream out;
+  save_bundle(out, original);
+  std::string text = out.str();
+  const std::size_t pos = text.find("fallback 1");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 10, "fallback 7");
+  std::istringstream in(text);
+  EXPECT_THROW((void)load_bundle(in), ParseError);
+}
+
 TEST(DeploymentBundle, LoadRejectsGarbage) {
   std::istringstream bad("not-a-bundle\n");
   EXPECT_THROW((void)load_bundle(bad), ParseError);

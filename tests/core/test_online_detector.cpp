@@ -256,6 +256,65 @@ TEST(OnlineDetector, ApplyProbabilityMatchesObserve) {
   EXPECT_DOUBLE_EQ(via_apply.flag_rate(), via_observe.flag_rate());
 }
 
+TEST(OnlineDetector, StateRoundTripContinuesBitIdentically) {
+  // Snapshot mid-streak, restore into a fresh detector, and the continued
+  // run must match an uninterrupted one verdict-for-verdict — the
+  // contract the serve engine's checkpoint/restore is built on.
+  const std::vector<double> probs = {0.1, 0.99, 0.2, 0.99, 0.99, 0.99,
+                                     0.1, 0.99, 0.99, 0.3};
+  StubModel model;
+  const OnlineDetectorConfig config{.flag_threshold = 0.9,
+                                    .confirm_windows = 3};
+  for (std::size_t cut = 0; cut <= probs.size(); ++cut) {
+    OnlineDetector uninterrupted(model, config);
+    OnlineDetector first(model, config);
+    for (std::size_t w = 0; w < cut; ++w) {
+      uninterrupted.apply_probability(probs[w]);
+      first.apply_probability(probs[w]);
+    }
+    OnlineDetector resumed(model, config);
+    resumed.restore(first.state());
+    for (std::size_t w = cut; w < probs.size(); ++w) {
+      const auto a = uninterrupted.apply_probability(probs[w]);
+      const auto b = resumed.apply_probability(probs[w]);
+      EXPECT_EQ(b.flagged, a.flagged) << "cut " << cut << " window " << w;
+      EXPECT_EQ(b.alarm, a.alarm) << "cut " << cut << " window " << w;
+    }
+    EXPECT_EQ(resumed.windows_seen(), uninterrupted.windows_seen());
+    EXPECT_EQ(resumed.alarmed(), uninterrupted.alarmed());
+    EXPECT_EQ(resumed.alarm_window(), uninterrupted.alarm_window());
+    EXPECT_DOUBLE_EQ(resumed.flag_rate(), uninterrupted.flag_rate());
+  }
+}
+
+TEST(OnlineDetector, RestoreRejectsInconsistentState) {
+  StubModel model;
+  OnlineDetector det(model);
+
+  OnlineDetector::State bad;
+  bad.windows = 2;
+  bad.flagged = 5;  // flagged > windows
+  EXPECT_THROW(det.restore(bad), PreconditionError);
+
+  bad = {};
+  bad.windows = 5;
+  bad.flagged = 2;
+  bad.streak = 3;  // streak > flagged
+  EXPECT_THROW(det.restore(bad), PreconditionError);
+
+  bad = {};
+  bad.windows = 5;
+  bad.alarmed = true;  // alarmed without an alarm window
+  EXPECT_THROW(det.restore(bad), PreconditionError);
+
+  bad = {};
+  bad.windows = 3;
+  bad.flagged = 1;
+  bad.alarmed = true;
+  bad.alarm_window = 7;  // alarm window beyond windows seen
+  EXPECT_THROW(det.restore(bad), PreconditionError);
+}
+
 TEST(OnlineDetector, ScoreWindowsRejectsMalformedInput) {
   StubModel model;
   OnlineDetector det(model);

@@ -1,0 +1,136 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace hmd {
+namespace {
+
+/// parse() from an initializer list, prepending the program name.
+Result<void> parse(ArgParser& parser, std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return parser.parse(static_cast<int>(args.size()), args.data());
+}
+
+TEST(ArgParser, ParsesEveryFlagKind) {
+  bool binary = false;
+  std::string out;
+  std::vector<std::string> logs;
+  double scale = 0.0;
+  std::size_t windows = 0;
+  std::uint64_t seed = 0;
+
+  ArgParser parser("prog", "summary");
+  parser.add_flag("--binary", &binary, "flag");
+  parser.add_string("--out", &out, "FILE", "string");
+  parser.add_strings("--log", &logs, "FILE", "repeatable");
+  parser.add_double("--scale", &scale, "F", "double");
+  parser.add_size("--windows", &windows, "N", "size");
+  parser.add_uint64("--seed", &seed, "N", "uint64");
+
+  const Result<void> r =
+      parse(parser, {"--binary", "--out", "a.csv", "--log", "x", "--log",
+                     "y", "--scale", "0.25", "--windows", "12", "--seed",
+                     "99"});
+  ASSERT_TRUE(r.ok()) << r.error().to_string();
+  EXPECT_TRUE(binary);
+  EXPECT_EQ(out, "a.csv");
+  EXPECT_EQ(logs, (std::vector<std::string>{"x", "y"}));
+  EXPECT_DOUBLE_EQ(scale, 0.25);
+  EXPECT_EQ(windows, 12u);
+  EXPECT_EQ(seed, 99u);
+  EXPECT_FALSE(parser.help_requested());
+}
+
+TEST(ArgParser, DefaultsSurviveWhenFlagsAbsent) {
+  std::size_t windows = 8;
+  ArgParser parser("prog", "");
+  parser.add_size("--windows", &windows, "N", "windows");
+  ASSERT_TRUE(parse(parser, {}).ok());
+  EXPECT_EQ(windows, 8u);
+}
+
+TEST(ArgParser, UnknownFlagListsEveryRegisteredFlag) {
+  bool binary = false;
+  std::string out;
+  ArgParser parser("prog", "");
+  parser.add_flag("--binary", &binary, "flag");
+  parser.add_string("--out", &out, "FILE", "string");
+  const Result<void> r = parse(parser, {"--bogus"});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code(), ErrCode::kPrecondition);
+  const std::string text = r.error().to_string();
+  EXPECT_NE(text.find("--bogus"), std::string::npos);
+  EXPECT_NE(text.find("--binary"), std::string::npos);
+  EXPECT_NE(text.find("--out"), std::string::npos);
+  EXPECT_NE(text.find("--help"), std::string::npos);
+}
+
+TEST(ArgParser, MissingValueIsPrecondition) {
+  std::string out;
+  ArgParser parser("prog", "");
+  parser.add_string("--out", &out, "FILE", "string");
+  const Result<void> r = parse(parser, {"--out"});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code(), ErrCode::kPrecondition);
+  EXPECT_NE(r.error().to_string().find("--out"), std::string::npos);
+}
+
+TEST(ArgParser, BadTypedValueIsParseErrorNamingTheFlag) {
+  std::size_t windows = 0;
+  double scale = 0.0;
+  ArgParser parser("prog", "");
+  parser.add_size("--windows", &windows, "N", "size");
+  parser.add_double("--scale", &scale, "F", "double");
+
+  const Result<void> bad_int = parse(parser, {"--windows", "soon"});
+  ASSERT_FALSE(bad_int.ok());
+  EXPECT_EQ(bad_int.error().code(), ErrCode::kParse);
+  EXPECT_NE(bad_int.error().to_string().find("flag --windows"),
+            std::string::npos);
+
+  const Result<void> bad_double = parse(parser, {"--scale", "wide"});
+  ASSERT_FALSE(bad_double.ok());
+  EXPECT_EQ(bad_double.error().code(), ErrCode::kParse);
+  EXPECT_NE(bad_double.error().to_string().find("flag --scale"),
+            std::string::npos);
+}
+
+TEST(ArgParser, HelpIsAlwaysAcceptedAndOnlySetsTheFlag) {
+  bool binary = false;
+  ArgParser parser("prog", "");
+  parser.add_flag("--binary", &binary, "flag");
+  const Result<void> r = parse(parser, {"--help", "--binary"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(parser.help_requested());
+  EXPECT_TRUE(binary);  // parsing continues past --help
+}
+
+TEST(ArgParser, HelpTextListsFlagsValuesAndSummary) {
+  bool binary = false;
+  std::size_t windows = 0;
+  ArgParser parser("prog", "one-line summary");
+  parser.add_flag("--binary", &binary, "emit binary labels");
+  parser.add_size("--windows", &windows, "N", "window count");
+  const std::string text = parser.help();
+  EXPECT_NE(text.find("usage: prog"), std::string::npos);
+  EXPECT_NE(text.find("one-line summary"), std::string::npos);
+  EXPECT_NE(text.find("--binary"), std::string::npos);
+  EXPECT_NE(text.find("--windows N"), std::string::npos);
+  EXPECT_NE(text.find("emit binary labels"), std::string::npos);
+}
+
+TEST(ArgParser, RejectsDuplicateAndMalformedRegistrations) {
+  bool b = false;
+  ArgParser parser("prog", "");
+  parser.add_flag("--binary", &b, "flag");
+  EXPECT_THROW(parser.add_flag("--binary", &b, "again"), PreconditionError);
+  EXPECT_THROW(parser.add_flag("binary", &b, "no dashes"), PreconditionError);
+}
+
+}  // namespace
+}  // namespace hmd

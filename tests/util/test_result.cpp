@@ -1,0 +1,170 @@
+#include "util/result.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "core/deployment.hpp"
+#include "ml/arff.hpp"
+#include "ml/serialization.hpp"
+#include "util/csv.hpp"
+
+namespace hmd {
+namespace {
+
+TEST(ErrorInfo, CarriesCodeMessageAndContext) {
+  ErrorInfo e(ErrCode::kParse, "bad token");
+  EXPECT_EQ(e.code(), ErrCode::kParse);
+  EXPECT_EQ(e.message(), "bad token");
+  EXPECT_TRUE(e.context().empty());
+  EXPECT_EQ(e.to_string(), "bad token");
+
+  e.with_context("line 3").with_context("loading widget");
+  ASSERT_EQ(e.context().size(), 2u);
+  // Innermost frame first in storage, outermost first in rendering.
+  EXPECT_EQ(e.to_string(), "loading widget: line 3: bad token");
+}
+
+TEST(ErrorInfo, RaiseMapsCodesToExceptionTypes) {
+  EXPECT_THROW(ErrorInfo(ErrCode::kParse, "x").raise(), ParseError);
+  EXPECT_THROW(ErrorInfo(ErrCode::kPrecondition, "x").raise(),
+               PreconditionError);
+  EXPECT_THROW(ErrorInfo(ErrCode::kIo, "x").raise(), Error);
+  EXPECT_THROW(ErrorInfo(ErrCode::kUnavailable, "x").raise(), Error);
+  EXPECT_THROW(ErrorInfo(ErrCode::kInternal, "x").raise(), Error);
+  try {
+    ErrorInfo(ErrCode::kParse, "inner").with_context("outer").raise();
+    FAIL() << "raise did not throw";
+  } catch (const ParseError& e) {
+    EXPECT_STREQ(e.what(), "outer: inner");
+  }
+}
+
+TEST(ErrorInfo, FromCurrentExceptionClassifies) {
+  auto classify = [](auto thrower) {
+    try {
+      thrower();
+    } catch (...) {
+      return ErrorInfo::from_current_exception();
+    }
+    return ErrorInfo(ErrCode::kInternal, "did not throw");
+  };
+  EXPECT_EQ(classify([] { throw ParseError("p"); }).code(), ErrCode::kParse);
+  EXPECT_EQ(classify([] { throw PreconditionError("q"); }).code(),
+            ErrCode::kPrecondition);
+  EXPECT_EQ(classify([] { throw Error("r"); }).code(), ErrCode::kInternal);
+  EXPECT_EQ(classify([] { throw std::runtime_error("s"); }).code(),
+            ErrCode::kInternal);
+  EXPECT_EQ(classify([] { throw 42; }).code(), ErrCode::kInternal);
+  EXPECT_EQ(classify([] { throw Error("msg kept"); }).message(), "msg kept");
+}
+
+TEST(Result, ValueAndErrorStates) {
+  Result<int> ok(7);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_TRUE(static_cast<bool>(ok));
+  EXPECT_EQ(ok.value(), 7);
+
+  Result<int> bad(ErrorInfo(ErrCode::kIo, "disk gone"));
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error().code(), ErrCode::kIo);
+  EXPECT_THROW((void)bad.value(), Error);
+  EXPECT_EQ(Result<int>(ErrorInfo(ErrCode::kIo, "x")).value_or(9), 9);
+  EXPECT_EQ(Result<int>(3).value_or(9), 3);
+}
+
+TEST(Result, SupportsMoveOnlyPayloads) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(5));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> owned = std::move(r).value();
+  EXPECT_EQ(*owned, 5);
+}
+
+TEST(Result, WithContextAnnotatesOnlyErrors) {
+  Result<int> bad = Result<int>(ErrorInfo(ErrCode::kParse, "bad digit"))
+                        .with_context("flag --seed");
+  EXPECT_EQ(bad.error().to_string(), "flag --seed: bad digit");
+  Result<int> fine = Result<int>(1).with_context("ignored");
+  EXPECT_TRUE(fine.ok());
+  EXPECT_EQ(fine.value(), 1);
+}
+
+TEST(ResultVoid, DefaultIsSuccess) {
+  Result<void> ok;
+  EXPECT_TRUE(ok.ok());
+  EXPECT_NO_THROW(ok.value());
+  Result<void> bad{ErrorInfo(ErrCode::kPrecondition, "nope")};
+  EXPECT_FALSE(bad.ok());
+  EXPECT_THROW(bad.value(), PreconditionError);
+}
+
+TEST(CaptureResult, ConvertsThrowsToValues) {
+  const Result<int> ok = capture_result([] { return 3; });
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 3);
+  const Result<int> bad =
+      capture_result([]() -> int { throw ParseError("boom"); });
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error().code(), ErrCode::kParse);
+  const Result<void> v = capture_result([] {});
+  EXPECT_TRUE(v.ok());
+}
+
+// ---------------------------------------------------------------------------
+// Migrated load boundaries: the Result surface of each fallible parser.
+// ---------------------------------------------------------------------------
+
+TEST(ResultBoundaries, CorruptBundleReportsParseChain) {
+  std::istringstream bad("definitely not a bundle\n");
+  const Result<core::DeploymentBundle> r = core::try_load_bundle(bad);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code(), ErrCode::kParse);
+  EXPECT_NE(r.error().to_string().find("loading deployment bundle"),
+            std::string::npos);
+}
+
+TEST(ResultBoundaries, CorruptModelReportsParseChain) {
+  std::istringstream bad("hmd-model v9 Nonsense\n");
+  const Result<std::unique_ptr<ml::Classifier>> r = ml::try_load_model(bad);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code(), ErrCode::kParse);
+  EXPECT_NE(r.error().to_string().find("loading model"), std::string::npos);
+}
+
+TEST(ResultBoundaries, CorruptArffReportsParseChain) {
+  std::istringstream bad("@relation x\n@attribute a numeric\n@data\n1,2,3\n");
+  const Result<ml::Dataset> r = ml::try_read_arff(bad);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code(), ErrCode::kParse);
+  EXPECT_NE(r.error().to_string().find("reading ARFF"), std::string::npos);
+}
+
+TEST(ResultBoundaries, RaggedCsvReportsParse) {
+  std::istringstream bad("a,b\n1,2\n3\n");
+  const Result<CsvTable> r = try_read_csv(bad);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code(), ErrCode::kParse);
+}
+
+TEST(ResultBoundaries, MissingCsvFileReportsIo) {
+  const Result<CsvTable> r =
+      try_read_csv_file("/nonexistent/definitely/missing.csv");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code(), ErrCode::kIo);
+}
+
+TEST(ResultBoundaries, ThrowingWrappersKeepExceptionTypes) {
+  // The thin wrappers must fail exactly as the pre-Result API did, so
+  // untouched call sites (and their tests) keep working.
+  std::istringstream bad_bundle("junk\n");
+  EXPECT_THROW((void)core::load_bundle(bad_bundle), ParseError);
+  std::istringstream bad_model("junk\n");
+  EXPECT_THROW((void)ml::load_model(bad_model), ParseError);
+  std::istringstream bad_arff("junk\n");
+  EXPECT_THROW((void)ml::read_arff(bad_arff), ParseError);
+}
+
+}  // namespace
+}  // namespace hmd

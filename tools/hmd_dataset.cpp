@@ -12,27 +12,10 @@
 
 #include "core/dataset_builder.hpp"
 #include "ml/arff.hpp"
+#include "util/cli.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
 #include "util/thread_pool.hpp"
-
-namespace {
-
-[[noreturn]] void usage() {
-  std::cerr <<
-      "usage: hmd_dataset [--scale F] [--windows N] [--ops N] [--seed N]\n"
-      "                   [--binary] [--arff] [--out FILE]\n"
-      "  --scale    database scale vs Table 1 (default 0.1; 1.0 = paper)\n"
-      "  --windows  sampling windows per sample (default 8)\n"
-      "  --ops      simulated ops per 10 ms window (default 3000)\n"
-      "  --seed     master seed (default 2018)\n"
-      "  --binary   emit benign/malware labels instead of the 6 classes\n"
-      "  --arff     emit ARFF instead of CSV\n"
-      "  --out      output path (default: stdout)\n";
-  std::exit(2);
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   using namespace hmd;
@@ -45,21 +28,21 @@ int main(int argc, char** argv) {
   bool arff = false;
   std::string out_path;
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto next = [&]() -> std::string {
-      if (i + 1 >= argc) usage();
-      return argv[++i];
-    };
-    if (arg == "--scale") scale = parse_double(next());
-    else if (arg == "--windows") cfg.collector.num_windows = static_cast<std::size_t>(parse_int(next()));
-    else if (arg == "--ops") cfg.collector.ops_per_window = static_cast<std::size_t>(parse_int(next()));
-    else if (arg == "--seed") cfg.seed = static_cast<std::uint64_t>(parse_int(next()));
-    else if (arg == "--binary") binary = true;
-    else if (arg == "--arff") arff = true;
-    else if (arg == "--out") out_path = next();
-    else usage();
-  }
+  ArgParser parser("hmd_dataset",
+                   "Generate the labelled HPC dataset (CSV or ARFF).");
+  parser.add_double("--scale", &scale, "F",
+                    "database scale vs Table 1 (default 0.1; 1.0 = paper)");
+  parser.add_size("--windows", &cfg.collector.num_windows, "N",
+                  "sampling windows per sample (default 8)");
+  parser.add_size("--ops", &cfg.collector.ops_per_window, "N",
+                  "simulated ops per 10 ms window (default 3000)");
+  parser.add_uint64("--seed", &cfg.seed, "N", "master seed (default 2018)");
+  parser.add_flag("--binary", &binary,
+                  "emit benign/malware labels instead of the 6 classes");
+  parser.add_flag("--arff", &arff, "emit ARFF instead of CSV");
+  parser.add_string("--out", &out_path, "FILE",
+                    "output path (default: stdout)");
+  parser.parse_or_exit(argc, argv);
 
   try {
     cfg.composition = workload::DatabaseComposition::scaled(scale);

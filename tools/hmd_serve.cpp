@@ -9,21 +9,30 @@
 // replays logs on several streams at once — a cheap way to exercise the
 // multi-stream path with real artifacts.
 //
+// Resilience: the bundle's models are published through a ModelHub (a v2
+// bundle's fallback becomes the degraded-mode secondary), --checkpoint
+// writes an engine snapshot after the replay drains, and --restore resumes
+// stream state from a previous checkpoint (see docs/resilience.md).
+//
 // Usage:
 //   hmd_serve --bundle FILE --log FILE [--log FILE ...]
 //             [--streams N] [--shards N] [--ring N] [--drop-oldest]
+//             [--checkpoint FILE] [--restore FILE]
 //             [--metrics-out FILE] [--trace-out FILE]
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "core/deployment.hpp"
 #include "perf/perf_log.hpp"
+#include "serve/resilience.hpp"
 #include "serve/stream_engine.hpp"
+#include "util/cli.hpp"
 #include "util/error.hpp"
 #include "util/metrics.hpp"
 #include "util/strings.hpp"
@@ -33,23 +42,6 @@ namespace {
 
 using namespace hmd;
 
-[[noreturn]] void usage() {
-  std::cerr <<
-      "usage: hmd_serve --bundle FILE --log FILE [--log FILE ...]\n"
-      "                 [--streams N] [--shards N] [--ring N]\n"
-      "                 [--drop-oldest] [--metrics-out FILE]\n"
-      "                 [--trace-out FILE]\n"
-      "  --bundle FILE  deployment bundle (hmd_train --bundle)\n"
-      "  --log FILE     perf log to replay (hmdperf); repeatable\n"
-      "  --streams N    concurrent streams (default: one per log)\n"
-      "  --shards N     scoring shards (default 2)\n"
-      "  --ring N       per-stream ring capacity (default 256)\n"
-      "  --drop-oldest  bounded-loss backpressure instead of blocking\n"
-      "  --metrics-out FILE  write process metrics JSON (serve.* included)\n"
-      "  --trace-out FILE    collect spans; write Chrome trace JSON\n";
-  std::exit(2);
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -58,32 +50,68 @@ int main(int argc, char** argv) {
   std::size_t streams = 0;
   serve::ServeConfig config;
   config.num_shards = 2;
-  std::string metrics_path, trace_path;
+  bool drop_oldest = false;
+  std::string checkpoint_path, restore_path, metrics_path, trace_path;
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto next = [&]() -> std::string {
-      if (i + 1 >= argc) usage();
-      return argv[++i];
-    };
-    if (arg == "--bundle") bundle_path = next();
-    else if (arg == "--log") log_paths.push_back(next());
-    else if (arg == "--streams") streams = static_cast<std::size_t>(parse_int(next()));
-    else if (arg == "--shards") config.num_shards = static_cast<std::size_t>(parse_int(next()));
-    else if (arg == "--ring") config.ring_capacity = static_cast<std::size_t>(parse_int(next()));
-    else if (arg == "--drop-oldest") config.backpressure = serve::ServeConfig::Backpressure::kDropOldest;
-    else if (arg == "--metrics-out") metrics_path = next();
-    else if (arg == "--trace-out") trace_path = next();
-    else usage();
+  ArgParser parser("hmd_serve",
+                   "Replay perf logs through the sharded streaming engine.");
+  parser.add_string("--bundle", &bundle_path, "FILE",
+                    "deployment bundle (hmd_train --bundle)");
+  parser.add_strings("--log", &log_paths, "FILE",
+                     "perf log to replay (hmdperf); repeatable");
+  parser.add_size("--streams", &streams, "N",
+                  "concurrent streams (default: one per log)");
+  parser.add_size("--shards", &config.num_shards, "N",
+                  "scoring shards (default 2)");
+  parser.add_size("--ring", &config.ring_capacity, "N",
+                  "per-stream ring capacity (default 256)");
+  parser.add_flag("--drop-oldest", &drop_oldest,
+                  "bounded-loss backpressure instead of blocking");
+  parser.add_string("--checkpoint", &checkpoint_path, "FILE",
+                    "write an engine snapshot after the replay drains");
+  parser.add_string("--restore", &restore_path, "FILE",
+                    "resume stream state from a snapshot (--checkpoint)");
+  parser.add_string("--metrics-out", &metrics_path, "FILE",
+                    "write process metrics JSON (serve.* included)");
+  parser.add_string("--trace-out", &trace_path, "FILE",
+                    "collect spans; write Chrome trace JSON");
+  parser.parse_or_exit(argc, argv);
+  if (drop_oldest)
+    config.backpressure = serve::ServeConfig::Backpressure::kDropOldest;
+  if (bundle_path.empty() || log_paths.empty()) {
+    std::cerr << "hmd_serve: --bundle and at least one --log are required\n\n"
+              << parser.help();
+    return 2;
   }
-  if (bundle_path.empty() || log_paths.empty()) usage();
   if (streams == 0) streams = log_paths.size();
   if (!trace_path.empty()) tracer().set_enabled(true);
 
   try {
     std::ifstream bundle_in(bundle_path);
     if (!bundle_in) throw Error("cannot open bundle: " + bundle_path);
-    const core::DeploymentBundle bundle = core::load_bundle(bundle_in);
+    // Result-based load: a corrupt bundle reports its full error chain
+    // (and would be rejected the same way by a live hot-swap).
+    Result<core::DeploymentBundle> loaded = core::try_load_bundle(bundle_in);
+    if (!loaded) {
+      std::cerr << "hmd_serve: " << loaded.error().to_string() << '\n';
+      return 1;
+    }
+    const core::DeploymentBundle bundle = std::move(loaded).value();
+
+    if (!restore_path.empty()) {
+      std::ifstream snap_in(restore_path);
+      if (!snap_in) throw Error("cannot open snapshot: " + restore_path);
+      Result<serve::EngineSnapshot> snap =
+          serve::EngineSnapshot::read(snap_in);
+      if (!snap) {
+        std::cerr << "hmd_serve: " << snap.error().to_string() << '\n';
+        return 1;
+      }
+      config.restore_from = std::make_shared<const serve::EngineSnapshot>(
+          std::move(snap).value());
+      std::cerr << "restoring " << config.restore_from->streams.size()
+                << " stream(s) from " << restore_path << '\n';
+    }
 
     std::vector<perf::RunLog> logs;
     for (const std::string& path : log_paths) {
@@ -120,7 +148,14 @@ int main(int argc, char** argv) {
     config.window_size = width;
     config.policy = bundle.policy();
     config.record_verdicts = false;
-    serve::StreamEngine engine(bundle.model(), config);
+    // Publish through a ModelHub so a v2 bundle's fallback is armed for
+    // degraded mode (and the epoch/version plumbing is exercised).
+    auto hub = std::make_shared<serve::ModelHub>();
+    hub->publish_unowned(bundle.model(), bundle.fallback_model());
+    serve::StreamEngine engine(hub, config);
+    if (bundle.fallback_model() != nullptr)
+      std::cerr << "fallback model armed: " << bundle.fallback_model()->name()
+                << '\n';
 
     std::vector<serve::StreamEngine::StreamHandle> handles;
     std::vector<std::size_t> source_log(streams);
@@ -151,6 +186,14 @@ int main(int argc, char** argv) {
     for (auto& th : threads) th.join();
     engine.drain();
     const double seconds = replay.elapsed_seconds();
+
+    if (!checkpoint_path.empty()) {
+      std::ofstream out(checkpoint_path);
+      if (!out) throw Error("cannot write " + checkpoint_path);
+      engine.checkpoint(out);
+      std::cerr << "wrote checkpoint (" << engine.num_streams()
+                << " streams) to " << checkpoint_path << '\n';
+    }
     engine.shutdown();
 
     std::printf("%-8s %-16s %-10s %8s %8s %8s %6s\n", "stream", "sample",

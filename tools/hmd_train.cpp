@@ -8,7 +8,7 @@
 //   hmd_train --data FILE [--scheme NAME] [--binary] [--top-k N]
 //             [--threshold P] [--confirm N] [--seed N] [--jobs N]
 //             [--cv K] [--sweep] [--model FILE | --bundle FILE]
-//             [--metrics-out FILE] [--trace-out FILE]
+//             [--fallback NAME] [--metrics-out FILE] [--trace-out FILE]
 //   hmd_train --list-classifiers
 #include <fstream>
 #include <iostream>
@@ -24,6 +24,7 @@
 #include "ml/instrumented.hpp"
 #include "ml/registry.hpp"
 #include "ml/serialization.hpp"
+#include "util/cli.hpp"
 #include "util/error.hpp"
 #include "util/metrics.hpp"
 #include "util/strings.hpp"
@@ -32,28 +33,6 @@
 #include "util/trace.hpp"
 
 namespace {
-
-[[noreturn]] void usage() {
-  std::cerr <<
-      "usage: hmd_train --data FILE [options]\n"
-      "  --data FILE    dataset CSV (16 counters + class, from hmd_dataset)\n"
-      "  --scheme NAME  classifier scheme (default MLR)\n"
-      "  --binary       relabel to benign/malware before training\n"
-      "  --top-k N      PCA-reduce to the top N counters (0 = all, default)\n"
-      "  --threshold P  bundle alarm threshold (default 0.97)\n"
-      "  --confirm N    bundle confirmation windows (default 4)\n"
-      "  --seed N       split seed (default 7)\n"
-      "  --jobs N       experiment threads (default: HMD_JOBS or hardware)\n"
-      "  --cv K         report K-fold cross-validation of the scheme\n"
-      "  --sweep        compare the full study classifier set in parallel\n"
-      "                 (binary study set with --binary, else MLR/MLP/SVM)\n"
-      "  --model FILE   save the bare model\n"
-      "  --bundle FILE  save a full deployment bundle (binary only)\n"
-      "  --metrics-out FILE  write process metrics JSON on exit\n"
-      "  --trace-out FILE    collect spans; write Chrome trace JSON\n"
-      "  --list-classifiers  print every known scheme and exit\n";
-  std::exit(2);
-}
 
 void list_classifiers() {
   using namespace hmd;
@@ -129,40 +108,57 @@ int main(int argc, char** argv) {
   using namespace hmd;
 
   std::string data_path, scheme = "MLR", model_path, bundle_path;
-  std::string metrics_path, trace_path;
-  bool binary = false, sweep = false;
+  std::string fallback_scheme, metrics_path, trace_path;
+  bool binary = false, sweep = false, list = false;
   std::size_t top_k = 0, cv_folds = 0, jobs = default_jobs();
   core::OnlineDetectorConfig policy;
   std::uint64_t seed = 7;
 
+  ArgParser parser("hmd_train",
+                   "Train a detector and save the model or a deployment "
+                   "bundle.");
+  parser.add_string("--data", &data_path, "FILE",
+                    "dataset CSV (16 counters + class, from hmd_dataset)");
+  parser.add_string("--scheme", &scheme, "NAME",
+                    "classifier scheme (default MLR)");
+  parser.add_flag("--binary", &binary,
+                  "relabel to benign/malware before training");
+  parser.add_size("--top-k", &top_k, "N",
+                  "PCA-reduce to the top N counters (0 = all, default)");
+  parser.add_double("--threshold", &policy.flag_threshold, "P",
+                    "bundle alarm threshold (default 0.97)");
+  parser.add_size("--confirm", &policy.confirm_windows, "N",
+                  "bundle confirmation windows (default 4)");
+  parser.add_uint64("--seed", &seed, "N", "split seed (default 7)");
+  parser.add_size("--jobs", &jobs, "N",
+                  "experiment threads (default: HMD_JOBS or hardware)");
+  parser.add_size("--cv", &cv_folds, "K",
+                  "report K-fold cross-validation of the scheme");
+  parser.add_flag("--sweep", &sweep,
+                  "compare the full study classifier set in parallel");
+  parser.add_string("--model", &model_path, "FILE", "save the bare model");
+  parser.add_string("--bundle", &bundle_path, "FILE",
+                    "save a full deployment bundle (binary only)");
+  parser.add_string("--fallback", &fallback_scheme, "NAME",
+                    "also train a degraded-mode fallback for the bundle "
+                    "(e.g. OneR; writes a v2 bundle)");
+  parser.add_string("--metrics-out", &metrics_path, "FILE",
+                    "write process metrics JSON on exit");
+  parser.add_string("--trace-out", &trace_path, "FILE",
+                    "collect spans; write Chrome trace JSON");
+  parser.add_flag("--list-classifiers", &list,
+                  "print every known scheme and exit");
+  parser.parse_or_exit(argc, argv);
+  if (list) {
+    list_classifiers();
+    return 0;
+  }
+
   try {
-    for (int i = 1; i < argc; ++i) {
-      const std::string arg = argv[i];
-      auto next = [&]() -> std::string {
-        if (i + 1 >= argc) usage();
-        return argv[++i];
-      };
-      if (arg == "--data") data_path = next();
-      else if (arg == "--scheme") scheme = next();
-      else if (arg == "--binary") binary = true;
-      else if (arg == "--top-k") top_k = static_cast<std::size_t>(parse_int(next()));
-      else if (arg == "--threshold") policy.flag_threshold = parse_double(next());
-      else if (arg == "--confirm") policy.confirm_windows = static_cast<std::size_t>(parse_int(next()));
-      else if (arg == "--seed") seed = static_cast<std::uint64_t>(parse_int(next()));
-      else if (arg == "--jobs") jobs = static_cast<std::size_t>(parse_int(next()));
-      else if (arg == "--cv") cv_folds = static_cast<std::size_t>(parse_int(next()));
-      else if (arg == "--sweep") sweep = true;
-      else if (arg == "--model") model_path = next();
-      else if (arg == "--bundle") bundle_path = next();
-      else if (arg == "--metrics-out") metrics_path = next();
-      else if (arg == "--trace-out") trace_path = next();
-      else if (arg == "--list-classifiers") {
-        list_classifiers();
-        return 0;
-      }
-      else usage();
+    if (data_path.empty()) {
+      std::cerr << "hmd_train: --data is required\n\n" << parser.help();
+      return 2;
     }
-    if (data_path.empty()) usage();
     if (!trace_path.empty()) tracer().set_enabled(true);
 
     const ml::Dataset multi =
@@ -236,7 +232,19 @@ int main(int argc, char** argv) {
     if (!bundle_path.empty()) {
       if (!binary)
         throw PreconditionError("--bundle requires --binary labels");
-      const core::DeploymentBundle bundle(std::move(model), features,
+      // A cheap secondary scheme trained on the same split becomes the
+      // serving path's degraded-mode model (bundle format v2).
+      std::unique_ptr<ml::Classifier> fallback;
+      if (!fallback_scheme.empty()) {
+        fallback = ml::make_classifier(fallback_scheme);
+        fallback->train(train);
+        const auto feval = ml::evaluate(*fallback, test);
+        std::cerr << format("fallback %s test accuracy: %.2f%%\n",
+                            fallback_scheme.c_str(),
+                            feval.accuracy() * 100.0);
+      }
+      const core::DeploymentBundle bundle(std::move(model),
+                                          std::move(fallback), features,
                                           policy);
       std::ofstream out(bundle_path);
       if (!out) throw Error("cannot write " + bundle_path);

@@ -17,6 +17,7 @@
 #include "hwsim/core.hpp"
 #include "perf/collector.hpp"
 #include "perf/perf_log.hpp"
+#include "util/cli.hpp"
 #include "util/error.hpp"
 #include "util/metrics.hpp"
 #include "util/strings.hpp"
@@ -27,22 +28,6 @@
 namespace {
 
 using namespace hmd;
-
-[[noreturn]] void usage() {
-  std::cerr <<
-      "usage: hmdperf [--class <name> | --kernel <name>] [--seed N]\n"
-      "               [--windows N] [--ops N] [--ideal-pmu] [--csv]\n"
-      "  --class    application class to sample (default: virus)\n"
-      "  --kernel   MiBench kernel instead of a malware/benign class\n"
-      "  --seed     sample seed (default 42)\n"
-      "  --windows  10 ms windows to record (default 8)\n"
-      "  --ops      simulated ops per window (default 3000)\n"
-      "  --ideal-pmu  read exact counts (no 8-register multiplexing)\n"
-      "  --csv      emit the combined CSV instead of the text log\n"
-      "  --metrics-out FILE  write process metrics JSON on exit\n"
-      "  --trace-out FILE    collect spans; write Chrome trace JSON\n";
-  std::exit(2);
-}
 
 }  // namespace
 
@@ -56,23 +41,26 @@ int main(int argc, char** argv) {
   bool csv = false;
   std::string metrics_path, trace_path;
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto next = [&]() -> std::string {
-      if (i + 1 >= argc) usage();
-      return argv[++i];
-    };
-    if (arg == "--class") app_class = next();
-    else if (arg == "--kernel") kernel = next();
-    else if (arg == "--seed") seed = static_cast<std::uint64_t>(hmd::parse_int(next()));
-    else if (arg == "--windows") cfg.num_windows = static_cast<std::size_t>(hmd::parse_int(next()));
-    else if (arg == "--ops") cfg.ops_per_window = static_cast<std::size_t>(hmd::parse_int(next()));
-    else if (arg == "--ideal-pmu") cfg.ideal_pmu = true;
-    else if (arg == "--csv") csv = true;
-    else if (arg == "--metrics-out") metrics_path = next();
-    else if (arg == "--trace-out") trace_path = next();
-    else usage();
-  }
+  ArgParser parser("hmdperf",
+                   "perf-stat over the simulator: one sample's interval log.");
+  parser.add_string("--class", &app_class, "NAME",
+                    "application class to sample (default: virus)");
+  parser.add_string("--kernel", &kernel, "NAME",
+                    "MiBench kernel instead of a malware/benign class");
+  parser.add_uint64("--seed", &seed, "N", "sample seed (default 42)");
+  parser.add_size("--windows", &cfg.num_windows, "N",
+                  "10 ms windows to record (default 8)");
+  parser.add_size("--ops", &cfg.ops_per_window, "N",
+                  "simulated ops per window (default 3000)");
+  parser.add_flag("--ideal-pmu", &cfg.ideal_pmu,
+                  "read exact counts (no 8-register multiplexing)");
+  parser.add_flag("--csv", &csv,
+                  "emit the combined CSV instead of the text log");
+  parser.add_string("--metrics-out", &metrics_path, "FILE",
+                    "write process metrics JSON on exit");
+  parser.add_string("--trace-out", &trace_path, "FILE",
+                    "collect spans; write Chrome trace JSON");
+  parser.parse_or_exit(argc, argv);
   if (!trace_path.empty()) hmd::tracer().set_enabled(true);
 
   try {
