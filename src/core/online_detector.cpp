@@ -52,9 +52,12 @@ void OnlineDetector::advance(Verdict& verdict) {
   DetectorInstruments& instruments = DetectorInstruments::get();
   verdict.flagged = verdict.probability > config_.flag_threshold;
   instruments.windows_scored.add();
+  score_stats_.add(verdict.probability);
   if (verdict.flagged) {
     ++flagged_;
     instruments.windows_flagged.add();
+  } else {
+    benign_score_stats_.add(verdict.probability);
   }
   streak_ = verdict.flagged ? streak_ + 1 : 0;
   if (!alarmed_ && streak_ >= config_.confirm_windows) {
@@ -145,6 +148,8 @@ void OnlineDetector::reset() {
   streak_ = 0;
   alarmed_ = false;
   alarm_window_ = kNoAlarm;
+  score_stats_.clear();
+  benign_score_stats_.clear();
 }
 
 }  // namespace hmd::core

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "ml/classifier.hpp"
+#include "util/stats.hpp"
 #include "util/thread_pool.hpp"
 
 namespace hmd::core {
@@ -117,6 +118,17 @@ class OnlineDetector {
                                static_cast<double>(windows_);
   }
 
+  /// Running summary of every observed P(malware). Observability export
+  /// (the drift layer and tools read the benign-side stats); deliberately
+  /// NOT part of State — restoring a checkpoint restores behavior, and
+  /// these summaries never affect verdicts.
+  const RunningStats& score_stats() const { return score_stats_; }
+  /// Running summary of the scores of UNFLAGGED windows only — the
+  /// benign-looking score mass a drift baseline should sit on.
+  const RunningStats& benign_score_stats() const {
+    return benign_score_stats_;
+  }
+
   /// Forget all streak/alarm state (new program under observation).
   void reset();
 
@@ -131,6 +143,8 @@ class OnlineDetector {
   std::size_t streak_ = 0;
   bool alarmed_ = false;
   std::size_t alarm_window_ = kNoAlarm;
+  RunningStats score_stats_;
+  RunningStats benign_score_stats_;
 };
 
 }  // namespace hmd::core

@@ -11,6 +11,7 @@
 #include "ml/logistic.hpp"
 #include "ml/mlp.hpp"
 #include "ml/naive_bayes.hpp"
+#include "ml/one_class.hpp"
 #include "ml/one_r.hpp"
 #include "ml/svm.hpp"
 #include "ml/zero_r.hpp"
@@ -27,6 +28,10 @@ struct SchemeEntry {
   std::unique_ptr<Classifier> (*make)();
   int binary_order;  ///< position in the Figs. 13-16 study list, -1 if absent
   int multi_order;   ///< position in the Figs. 17-19 study list, -1 if absent
+  /// Benign-only scheme: trains on the benign rows of a binary dataset
+  /// only, so the drift retrain loop can rebuild it from unlabeled
+  /// traffic (serve/drift.hpp).
+  bool one_class = false;
 };
 
 // Registry order is presentation order (--list-classifiers, error
@@ -88,7 +93,26 @@ const SchemeEntry kSchemes[] = {
        return std::unique_ptr<Classifier>(
            std::make_unique<AnomalyClassifier>());
      },
-     kNone, kNone},
+     kNone, kNone, true},
+    {"OneClassSvm", nullptr,
+     "one-class SVM margin over benign windows (binary datasets)",
+     [] {
+       return std::unique_ptr<Classifier>(std::make_unique<OneClassSvm>());
+     },
+     kNone, kNone, true},
+    {"KdeAnomaly", nullptr,
+     "benign kernel-density anomaly threshold (binary datasets)",
+     [] {
+       return std::unique_ptr<Classifier>(std::make_unique<KdeAnomaly>());
+     },
+     kNone, kNone, true},
+    {"MahalanobisThreshold", nullptr,
+     "calibrated Mahalanobis-distance threshold (binary datasets)",
+     [] {
+       return std::unique_ptr<Classifier>(
+           std::make_unique<MahalanobisThreshold>());
+     },
+     kNone, kNone, true},
 };
 
 const SchemeEntry* find_scheme(const std::string& name) {
@@ -140,6 +164,18 @@ std::string scheme_description(const std::string& name) {
 
 bool is_known_scheme(const std::string& name) {
   return find_scheme(name) != nullptr;
+}
+
+std::vector<std::string> one_class_schemes() {
+  std::vector<std::string> names;
+  for (const SchemeEntry& entry : kSchemes)
+    if (entry.one_class) names.emplace_back(entry.name);
+  return names;
+}
+
+bool is_one_class_scheme(const std::string& name) {
+  const SchemeEntry* entry = find_scheme(name);
+  return entry != nullptr && entry->one_class;
 }
 
 std::vector<std::string> binary_study_classifiers() {

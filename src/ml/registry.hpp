@@ -31,6 +31,14 @@ std::string scheme_description(const std::string& name);
 /// True if `name` (canonical or alias) constructs a classifier.
 bool is_known_scheme(const std::string& name);
 
+/// Benign-only (one-class) schemes, in registry order: they train on the
+/// benign rows of a binary dataset only, so the serving drift loop can
+/// retrain them from unlabeled live traffic (serve/drift.hpp).
+std::vector<std::string> one_class_schemes();
+
+/// True if `name` (canonical or alias) names a one-class scheme.
+bool is_one_class_scheme(const std::string& name);
+
 /// The binary-detection classifier set compared in Figs. 13-16.
 std::vector<std::string> binary_study_classifiers();
 

@@ -14,6 +14,7 @@
 #include "ml/logistic.hpp"
 #include "ml/mlp.hpp"
 #include "ml/naive_bayes.hpp"
+#include "ml/one_class.hpp"
 #include "ml/one_r.hpp"
 #include "ml/svm.hpp"
 #include "ml/zero_r.hpp"
@@ -243,6 +244,53 @@ struct ModelIo {
     write_matrix(out, "precision", precision);
     out << "threshold " << enc(d.threshold_) << '\n';
   }
+  /// Shared tail of every one-class block: the calibrated sigmoid.
+  static void save_calibration(std::ostream& out,
+                               const OneClassClassifier& m) {
+    out << "threshold " << enc(m.threshold_) << '\n';
+    out << "scale " << enc(m.scale_) << '\n';
+  }
+  static void load_calibration(Reader& reader, OneClassClassifier& m) {
+    m.threshold_ = dec(reader.expect("threshold").at(0));
+    m.scale_ = dec(reader.expect("scale").at(0));
+    if (m.scale_ <= 0.0)
+      throw ParseError("model: one-class scale must be positive");
+  }
+  static void save(std::ostream& out, const OneClassSvm& m) {
+    HMD_REQUIRE(m.calibrated(), "save_model: untrained OneClassSvm");
+    write_vector(out, "mean", m.mean_);
+    write_vector(out, "sd", m.sd_);
+    write_vector(out, "weights", m.weights_);
+    out << "rho " << enc(m.rho_) << '\n';
+    save_calibration(out, m);
+  }
+  static void save(std::ostream& out, const KdeAnomaly& m) {
+    HMD_REQUIRE(m.calibrated(), "save_model: untrained KdeAnomaly");
+    write_vector(out, "mean", m.mean_);
+    write_vector(out, "sd", m.sd_);
+    out << "bandwidth " << enc(m.bandwidth_) << '\n';
+    const std::size_t dim = m.mean_.size();
+    const std::size_t n = dim == 0 ? 0 : m.points_.size() / dim;
+    std::vector<std::vector<double>> rows(n);
+    for (std::size_t r = 0; r < n; ++r)
+      rows[r].assign(
+          m.points_.begin() + static_cast<std::ptrdiff_t>(r * dim),
+          m.points_.begin() + static_cast<std::ptrdiff_t>((r + 1) * dim));
+    write_matrix(out, "points", rows);
+    save_calibration(out, m);
+  }
+  static void save(std::ostream& out, const MahalanobisThreshold& m) {
+    HMD_REQUIRE(m.calibrated(), "save_model: untrained MahalanobisThreshold");
+    const MahalanobisDetector& d = m.detector_;
+    write_vector(out, "mean", d.mean_);
+    std::vector<std::vector<double>> precision(d.precision_.rows());
+    for (std::size_t r = 0; r < d.precision_.rows(); ++r) {
+      const auto row = d.precision_.row(r);
+      precision[r].assign(row.begin(), row.end());
+    }
+    write_matrix(out, "precision", precision);
+    save_calibration(out, m);
+  }
   /// Committee save: alphas (AdaBoost only) plus each member as a nested
   /// "member <scheme>" block reusing the member scheme's own format.
   static void save_committee(
@@ -283,6 +331,9 @@ struct ModelIo {
     else if (const auto* m10 = dynamic_cast<const AnomalyClassifier*>(&clf)) save(out, *m10);
     else if (const auto* m11 = dynamic_cast<const AdaBoostM1*>(&clf)) save(out, *m11);
     else if (const auto* m12 = dynamic_cast<const Bagging*>(&clf)) save(out, *m12);
+    else if (const auto* m13 = dynamic_cast<const OneClassSvm*>(&clf)) save(out, *m13);
+    else if (const auto* m14 = dynamic_cast<const KdeAnomaly*>(&clf)) save(out, *m14);
+    else if (const auto* m15 = dynamic_cast<const MahalanobisThreshold*>(&clf)) save(out, *m15);
     else return false;
     return true;
   }
@@ -453,6 +504,68 @@ struct ModelIo {
           d.precision_(r, c) = precision[r][c];
       }
       d.threshold_ = dec(reader.expect("threshold").at(0));
+      return m;
+    }
+    if (scheme == "OneClassSvm") {
+      if (classes != 2)
+        throw ParseError("model: OneClassSvm must be binary");
+      auto m = std::make_unique<OneClassSvm>();
+      {
+        const auto tokens = reader.expect("mean");
+        for (const auto& t : tokens) m->mean_.push_back(dec(t));
+      }
+      m->sd_ = read_vector(reader, "sd", m->mean_.size());
+      m->weights_ = read_vector(reader, "weights", 2 * m->mean_.size());
+      if (m->mean_.empty())
+        throw ParseError("model: OneClassSvm shape mismatch");
+      m->rho_ = dec(reader.expect("rho").at(0));
+      load_calibration(reader, *m);
+      return m;
+    }
+    if (scheme == "KdeAnomaly") {
+      if (classes != 2) throw ParseError("model: KdeAnomaly must be binary");
+      auto m = std::make_unique<KdeAnomaly>();
+      {
+        const auto tokens = reader.expect("mean");
+        for (const auto& t : tokens) m->mean_.push_back(dec(t));
+      }
+      m->sd_ = read_vector(reader, "sd", m->mean_.size());
+      m->bandwidth_ = dec(reader.expect("bandwidth").at(0));
+      if (m->mean_.empty() || m->bandwidth_ <= 0.0)
+        throw ParseError("model: KdeAnomaly shape mismatch");
+      const auto rows = read_matrix(reader, "points");
+      if (rows.empty()) throw ParseError("model: KdeAnomaly has no points");
+      m->points_.reserve(rows.size() * m->mean_.size());
+      for (const auto& row : rows) {
+        if (row.size() != m->mean_.size())
+          throw ParseError("model: KdeAnomaly point width mismatch");
+        m->points_.insert(m->points_.end(), row.begin(), row.end());
+      }
+      load_calibration(reader, *m);
+      return m;
+    }
+    if (scheme == "MahalanobisThreshold") {
+      if (classes != 2)
+        throw ParseError("model: MahalanobisThreshold must be binary");
+      auto m = std::make_unique<MahalanobisThreshold>();
+      MahalanobisDetector& d = m->detector_;
+      {
+        const auto tokens = reader.expect("mean");
+        for (const auto& t : tokens) d.mean_.push_back(dec(t));
+      }
+      const auto precision = read_matrix(reader, "precision");
+      if (precision.size() != d.mean_.size() || d.mean_.empty())
+        throw ParseError("model: MahalanobisThreshold shape mismatch");
+      d.precision_ = Matrix(precision.size(), precision.size());
+      for (std::size_t r = 0; r < precision.size(); ++r) {
+        if (precision[r].size() != d.mean_.size())
+          throw ParseError("model: MahalanobisThreshold precision not square");
+        for (std::size_t c = 0; c < precision[r].size(); ++c)
+          d.precision_(r, c) = precision[r][c];
+      }
+      load_calibration(reader, *m);
+      // The embedded detector thresholds at the same calibrated score.
+      d.threshold_ = m->threshold_;
       return m;
     }
     if (scheme == "AdaBoostM1" || scheme == "Bagging") {

@@ -10,10 +10,11 @@
 //   end
 //
 // Supported schemes: ZeroR, OneR, DecisionStump, J48, JRip, NaiveBayes,
-// MLR (Logistic), SVM, MLP. Round-trip is exact: a loaded model produces
-// bit-identical predictions (all parameters serialize via hex-encoded
-// doubles). Lazy/ensemble learners (IBk, AdaBoostM1, Bagging, Mahalanobis)
-// are not currently serializable and raise PreconditionError.
+// MLR (Logistic), SVM, MLP, IBk, AdaBoostM1, Bagging, Mahalanobis, and
+// the one-class family (OneClassSvm, KdeAnomaly, MahalanobisThreshold —
+// the drift retrain loop round-trips these through deployment bundles).
+// Round-trip is exact: a loaded model produces bit-identical predictions
+// (all parameters serialize via hex-encoded doubles).
 #pragma once
 
 #include <iosfwd>

@@ -1,6 +1,7 @@
 #include "serve/resilience.hpp"
 
 #include <chrono>
+#include <cstdlib>
 #include <istream>
 #include <ostream>
 #include <sstream>
@@ -9,6 +10,7 @@
 
 #include "core/deployment.hpp"
 #include "util/rng.hpp"
+#include "util/strings.hpp"
 
 namespace hmd::serve {
 
@@ -88,6 +90,22 @@ std::uint64_t ModelHub::version() const {
 // EngineSnapshot
 // --------------------------------------------------------------------------
 
+namespace {
+
+/// Doubles in snapshots use hexfloat ("%a"): exact round-trip, so restored
+/// drift baselines continue bit-identically (same contract as model
+/// serialization in ml/serialization.cpp).
+std::string hex_double(double v) { return format("%a", v); }
+
+void write_hex_vector(std::ostream& out, const char* keyword,
+                      const std::vector<double>& values) {
+  out << keyword << " " << values.size();
+  for (double v : values) out << " " << hex_double(v);
+  out << "\n";
+}
+
+}  // namespace
+
 void EngineSnapshot::write(std::ostream& out) const {
   out << "hmd-snapshot v1\n";
   out << "model_version " << model_version << "\n";
@@ -103,6 +121,27 @@ void EngineSnapshot::write(std::ostream& out) const {
     else
       out << "-";
     out << "\n";
+  }
+  if (drift.empty()) return;
+  // Optional trailing drift section — readers that predate it stop at the
+  // last stream line, readers that expect it treat EOF here as "none".
+  out << "drift_shards " << drift.size() << "\n";
+  for (const DriftShardSnapshot& d : drift) {
+    const ShardDriftDetector::State& st = d.state;
+    out << "drift_shard " << d.shard << " scores " << st.scores
+        << " cooldown_left " << st.cooldown_left << " suppressed "
+        << st.suppressed << "\n";
+    out << "ph count " << st.page_hinkley.count << " mean "
+        << hex_double(st.page_hinkley.mean) << " cumulative "
+        << hex_double(st.page_hinkley.cumulative) << " minimum "
+        << hex_double(st.page_hinkley.minimum) << " last_deviation "
+        << hex_double(st.page_hinkley.last_deviation) << " trips "
+        << st.page_hinkley.trips << "\n";
+    out << "ks observed " << st.ks.observed << " last_statistic "
+        << hex_double(st.ks.last_statistic) << " trips " << st.ks.trips
+        << "\n";
+    write_hex_vector(out, "ks_reference", st.ks.reference);
+    write_hex_vector(out, "ks_current", st.ks.current);
   }
 }
 
@@ -123,6 +162,56 @@ std::uint64_t expect_field(std::istringstream& line, const char* keyword) {
   if (!(line >> value))
     snapshot_fail(std::string("bad value for field '") + keyword + "'");
   return value;
+}
+
+/// Reads "<keyword> <hexfloat>" (strtod accepts the "%a" encoding).
+double expect_double_field(std::istringstream& line, const char* keyword) {
+  std::string word;
+  if (!(line >> word) || word != keyword)
+    snapshot_fail(std::string("expected field '") + keyword + "'");
+  if (!(line >> word))
+    snapshot_fail(std::string("bad value for field '") + keyword + "'");
+  char* end = nullptr;
+  const double value = std::strtod(word.c_str(), &end);
+  if (end == nullptr || *end != '\0')
+    snapshot_fail(std::string("bad double for field '") + keyword + "'");
+  return value;
+}
+
+/// Reads "<keyword> <n> <hexfloat>*n".
+std::vector<double> expect_hex_vector(std::istringstream& line,
+                                      const char* keyword) {
+  std::string word;
+  if (!(line >> word) || word != keyword)
+    snapshot_fail(std::string("expected field '") + keyword + "'");
+  std::size_t count = 0;
+  if (!(line >> count))
+    snapshot_fail(std::string("bad count for field '") + keyword + "'");
+  std::vector<double> values;
+  values.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (!(line >> word))
+      snapshot_fail(std::string("truncated vector for field '") + keyword +
+                    "'");
+    char* end = nullptr;
+    values.push_back(std::strtod(word.c_str(), &end));
+    if (end == nullptr || *end != '\0')
+      snapshot_fail(std::string("bad double in field '") + keyword + "'");
+  }
+  return values;
+}
+
+void expect_line_end(std::istringstream& line, const char* what) {
+  std::string word;
+  if (line >> word)
+    snapshot_fail(std::string("trailing tokens on ") + what + " line");
+}
+
+std::istringstream next_line(std::istream& in, const char* what) {
+  std::string line;
+  if (!std::getline(in, line))
+    snapshot_fail(std::string("truncated: missing ") + what + " line");
+  return std::istringstream(line);
 }
 
 EngineSnapshot read_snapshot_impl(std::istream& in) {
@@ -182,6 +271,66 @@ EngineSnapshot read_snapshot_impl(std::istream& in) {
       snapshot_fail("inconsistent detector state for stream " +
                     std::to_string(s.id));
     snapshot.streams.push_back(s);
+  }
+
+  // Optional drift section. EOF here means a pre-drift snapshot (or an
+  // engine running without drift) — both load fine with no drift state.
+  if (!std::getline(in, line)) return snapshot;
+  if (line.find_first_not_of(" \t\r") == std::string::npos) return snapshot;
+  std::uint64_t drift_count = 0;
+  {
+    std::istringstream fields(line);
+    drift_count = expect_field(fields, "drift_shards");
+    expect_line_end(fields, "drift_shards");
+  }
+  snapshot.drift.reserve(drift_count);
+  for (std::uint64_t i = 0; i < drift_count; ++i) {
+    DriftShardSnapshot d;
+    {
+      auto fields = next_line(in, "drift_shard");
+      d.shard = static_cast<std::size_t>(expect_field(fields, "drift_shard"));
+      d.state.scores = expect_field(fields, "scores");
+      d.state.cooldown_left = expect_field(fields, "cooldown_left");
+      d.state.suppressed = expect_field(fields, "suppressed");
+      expect_line_end(fields, "drift_shard");
+    }
+    {
+      auto fields = next_line(in, "ph");
+      std::string word;
+      if (!(fields >> word) || word != "ph")
+        snapshot_fail("expected field 'ph'");
+      d.state.page_hinkley.count = expect_field(fields, "count");
+      d.state.page_hinkley.mean = expect_double_field(fields, "mean");
+      d.state.page_hinkley.cumulative =
+          expect_double_field(fields, "cumulative");
+      d.state.page_hinkley.minimum = expect_double_field(fields, "minimum");
+      d.state.page_hinkley.last_deviation =
+          expect_double_field(fields, "last_deviation");
+      d.state.page_hinkley.trips = expect_field(fields, "trips");
+      expect_line_end(fields, "ph");
+    }
+    {
+      auto fields = next_line(in, "ks");
+      std::string word;
+      if (!(fields >> word) || word != "ks")
+        snapshot_fail("expected field 'ks'");
+      d.state.ks.observed = expect_field(fields, "observed");
+      d.state.ks.last_statistic =
+          expect_double_field(fields, "last_statistic");
+      d.state.ks.trips = expect_field(fields, "trips");
+      expect_line_end(fields, "ks");
+    }
+    {
+      auto fields = next_line(in, "ks_reference");
+      d.state.ks.reference = expect_hex_vector(fields, "ks_reference");
+      expect_line_end(fields, "ks_reference");
+    }
+    {
+      auto fields = next_line(in, "ks_current");
+      d.state.ks.current = expect_hex_vector(fields, "ks_current");
+      expect_line_end(fields, "ks_current");
+    }
+    snapshot.drift.push_back(std::move(d));
   }
   return snapshot;
 }

@@ -41,6 +41,7 @@
 
 #include "core/online_detector.hpp"
 #include "ml/classifier.hpp"
+#include "serve/drift.hpp"
 #include "util/error.hpp"
 #include "util/result.hpp"
 
@@ -115,6 +116,15 @@ struct StreamSnapshot {
   core::OnlineDetector::State detector;
 };
 
+/// Drift-detector state of one shard (serve/drift.hpp): the Page–Hinkley
+/// and KS baselines plus the cooldown/hysteresis counters, so a restored
+/// engine continues drift detection from the checkpointed baseline rather
+/// than re-warming (and possibly re-tripping) on restart.
+struct DriftShardSnapshot {
+  std::size_t shard = 0;
+  ShardDriftDetector::State state;
+};
+
 /// A whole-engine checkpoint. Write with checkpoint(); feed back through
 /// ServeConfig::restore_from to continue bit-identically. The format is a
 /// line-oriented text artifact ("hmd-snapshot v1") — small (streams are
@@ -122,6 +132,10 @@ struct StreamSnapshot {
 struct EngineSnapshot {
   std::uint64_t model_version = 0;  ///< hub epoch at snapshot time
   std::vector<StreamSnapshot> streams;
+  /// Per-shard drift state — an OPTIONAL trailing section: empty when the
+  /// engine ran without DriftConfig::enabled, and absent from (still
+  /// readable) snapshots written before the drift layer existed.
+  std::vector<DriftShardSnapshot> drift;
 
   void write(std::ostream& out) const;
 

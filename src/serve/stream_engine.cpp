@@ -8,10 +8,13 @@
 #include <string>
 #include <thread>
 
+#include "ml/dataset.hpp"
+#include "ml/registry.hpp"
 #include "serve/spsc_ring.hpp"
 #include "util/error.hpp"
 #include "util/metrics.hpp"
 #include "util/rng.hpp"
+#include "util/strings.hpp"
 #include "util/trace.hpp"
 
 namespace hmd::serve {
@@ -49,6 +52,7 @@ void ServeConfig::validate() const {
               "ServeConfig: max_batch_windows must be >= 1");
   policy.validate();
   resilience.validate();
+  if (drift.enabled) drift.validate();
 }
 
 StreamRouter::StreamRouter(std::size_t num_shards)
@@ -93,6 +97,14 @@ struct StreamEngine::Stream {
   std::atomic<std::uint64_t> accepted{0};
   std::atomic<std::uint64_t> evicted{0};
   std::atomic<std::uint64_t> high_water{0};  ///< peak pending ring depth
+
+  // Benign window log for drift retraining (drift.retrain only): a flat
+  // row-major ring of the last window_log_capacity UNFLAGGED windows.
+  // Written only by the owning shard worker under its apply mutex;
+  // harvest_window_log reads under the same locks.
+  std::vector<double> window_log;
+  std::size_t window_log_next = 0;      ///< next ring slot to overwrite
+  std::uint64_t window_log_total = 0;   ///< lifetime rows appended
 };
 
 /// Per-shard worker state. `produced`/`consumed` converge once producers
@@ -125,6 +137,11 @@ struct StreamEngine::Shard {
   std::mutex apply_mutex;  ///< held around monitor updates per batch
   std::uint64_t batch_ordinal = 0;       ///< fault-injection key
   std::uint64_t last_epoch_version = 0;  ///< for swap detection
+
+  // Drift detection (config.drift.enabled only). Owned by the worker
+  // under apply_mutex; snapshot() reads under the same lock.
+  std::unique_ptr<ShardDriftDetector> drift;
+  std::uint64_t drift_last_version = 0;  ///< drift-side swap detection
   std::size_t consecutive_failures = 0;  ///< batches that exhausted retries
   std::size_t budget_overruns = 0;       ///< consecutive over-budget batches
   std::uint64_t degraded_batches = 0;    ///< probe cadence counter
@@ -177,6 +194,21 @@ struct StreamEngine::ResilienceInstruments {
   Gauge& model_version;
 };
 
+/// The serve.drift.* family (resolved only when config.drift.enabled).
+struct StreamEngine::DriftInstruments {
+  Counter& scores;
+  Counter& trips;
+  Counter& trips_page_hinkley;
+  Counter& trips_ks;
+  Counter& suppressed;
+  Counter& retrains_started;
+  Counter& retrains_completed;
+  Counter& retrains_failed;
+  Counter& retrains_skipped;
+  Counter& swaps_published;
+  Gauge& window_log_rows;
+};
+
 StreamEngine::StreamEngine(const ml::Classifier& model, ServeConfig config)
     : StreamEngine(hub_for(model), std::move(config)) {}
 
@@ -216,6 +248,20 @@ StreamEngine::StreamEngine(std::shared_ptr<ModelHub> hub, ServeConfig config)
       reg.gauge("serve.resilience.model_version")});
   res_->model_version.set(static_cast<double>(hub_->version()));
 
+  if (config_.drift.enabled)
+    drift_ins_ = std::make_unique<DriftInstruments>(DriftInstruments{
+        reg.counter("serve.drift.scores"),
+        reg.counter("serve.drift.trips"),
+        reg.counter("serve.drift.trips_page_hinkley"),
+        reg.counter("serve.drift.trips_ks"),
+        reg.counter("serve.drift.suppressed"),
+        reg.counter("serve.drift.retrains_started"),
+        reg.counter("serve.drift.retrains_completed"),
+        reg.counter("serve.drift.retrains_failed"),
+        reg.counter("serve.drift.retrains_skipped"),
+        reg.counter("serve.drift.swaps_published"),
+        reg.gauge("serve.drift.window_log_rows")});
+
   shards_.reserve(config_.num_shards);
   for (std::size_t k = 0; k < config_.num_shards; ++k) {
     auto shard = std::make_unique<Shard>();
@@ -237,6 +283,18 @@ StreamEngine::StreamEngine(std::shared_ptr<ModelHub> hub, ServeConfig config)
     shard->agg_batch_size = &agg_batch;
     shard->agg_score_us = &agg_score;
     shard->agg_e2e_us = &agg_e2e;
+    if (config_.drift.enabled) {
+      shard->drift = std::make_unique<ShardDriftDetector>(config_.drift, k);
+      // Resume the drift baseline from the checkpoint (if it carries one
+      // for this shard index) so a restored engine does not re-warm — or
+      // spuriously re-trip — on the traffic it already saw.
+      if (config_.restore_from != nullptr)
+        for (const DriftShardSnapshot& d : config_.restore_from->drift)
+          if (d.shard == k) {
+            shard->drift->restore(d.state);
+            break;
+          }
+    }
     shards_.push_back(std::move(shard));
   }
   for (auto& shard : shards_)
@@ -483,19 +541,58 @@ bool StreamEngine::score_batch(Shard& shard, Batch& batch) {
   {
     std::lock_guard<std::mutex> apply_lock(shard.apply_mutex);
     const std::uint64_t now = Tracer::now_us();
+    // Drift-side swap detection: a published retrain legitimately moves
+    // the score distribution, so the detectors re-baseline rather than
+    // tripping on their own medicine.
+    if (shard.drift != nullptr &&
+        epoch->version != shard.drift_last_version) {
+      if (shard.drift_last_version != 0) shard.drift->on_model_swap();
+      shard.drift_last_version = epoch->version;
+    }
+    const std::uint64_t suppressed_before =
+        shard.drift != nullptr ? shard.drift->suppressed() : 0;
     for (std::size_t w = 0; w < n; ++w) {
       Stream& stream = *batch.items[w].stream;
-      const Verdict verdict =
-          stream.monitor.apply_probability(batch.dist[w * 2 + 1]);
+      const double probability = batch.dist[w * 2 + 1];
+      const Verdict verdict = stream.monitor.apply_probability(probability);
       if (config_.record_verdicts) {
         stream.verdict_log.push_back(verdict);
         stream.version_log.push_back(epoch->version);
+      }
+      if (shard.drift != nullptr) {
+        if (const auto event =
+                shard.drift->observe(probability, epoch->version))
+          record_drift_event(*event);
+        // Retrain data: windows the monitor did NOT flag are the stream's
+        // benign-looking recent past — exactly what a one-class rebuild
+        // should fit.
+        if (config_.drift.retrain && !verdict.flagged) {
+          const std::size_t cap = config_.drift.window_log_capacity;
+          const std::size_t width_d = config_.window_size;
+          if (stream.window_log.size() < cap * width_d)
+            stream.window_log.resize(cap * width_d, 0.0);
+          std::copy(batch.flat.begin() +
+                        static_cast<std::ptrdiff_t>(w * width_d),
+                    batch.flat.begin() +
+                        static_cast<std::ptrdiff_t>((w + 1) * width_d),
+                    stream.window_log.begin() +
+                        static_cast<std::ptrdiff_t>(
+                            stream.window_log_next * width_d));
+          stream.window_log_next = (stream.window_log_next + 1) % cap;
+          ++stream.window_log_total;
+        }
       }
       const std::uint64_t e2e =
           now >= batch.items[w].ingest_us ? now - batch.items[w].ingest_us
                                           : 0;
       shard.e2e_us->record(static_cast<double>(e2e));
       shard.agg_e2e_us->record(static_cast<double>(e2e));
+    }
+    if (shard.drift != nullptr) {
+      drift_ins_->scores.add(n);
+      const std::uint64_t suppressed_now = shard.drift->suppressed();
+      if (suppressed_now > suppressed_before)
+        drift_ins_->suppressed.add(suppressed_now - suppressed_before);
     }
   }
   shard.batches->add();
@@ -607,7 +704,205 @@ void StreamEngine::join_workers() {
   for (auto& shard : shards_) unpark(*shard);
   for (auto& shard : shards_)
     if (shard->worker.joinable()) shard->worker.join();
+  join_retrain_thread();
   joined_ = true;
+}
+
+void StreamEngine::join_retrain_thread() {
+  std::unique_lock<std::mutex> lock(drift_mutex_);
+  retrain_cv_.wait(lock, [this] { return !retrain_running_; });
+  // Safe to join while holding drift_mutex_: the worker's last lock use
+  // is clearing retrain_running_, so once the predicate holds the thread
+  // never reacquires it.
+  if (retrain_thread_.joinable()) retrain_thread_.join();
+}
+
+void StreamEngine::record_drift_event(const DriftEvent& event) {
+  // Caller holds the shard's apply mutex; apply → drift is the one legal
+  // lock order (see the member-declaration comment).
+  {
+    std::lock_guard<std::mutex> lock(drift_mutex_);
+    drift_events_.push_back(event);
+  }
+  drift_ins_->trips.add();
+  if (event.detector == DriftEvent::Detector::kPageHinkley)
+    drift_ins_->trips_page_hinkley.add();
+  else
+    drift_ins_->trips_ks.add();
+  if (config_.drift.retrain)
+    retrain_requested_.store(true, std::memory_order_release);
+  if (tracer().enabled())
+    tracer().record({"serve/drift/trip:" + to_string(event.detector) +
+                         ":shard" + std::to_string(event.shard),
+                     Tracer::current_thread_id(), Tracer::now_us(), 0});
+}
+
+std::vector<double> StreamEngine::harvest_window_log() const {
+  // Quiesce every apply step, then walk streams in registration order and
+  // copy each stream's ring oldest-first — the harvested block is a pure
+  // function of the traffic (no thread-timing dependence), which is what
+  // makes the retrain deterministic.
+  std::vector<std::unique_lock<std::mutex>> apply_locks;
+  apply_locks.reserve(shards_.size());
+  for (const auto& shard : shards_)
+    apply_locks.emplace_back(shard->apply_mutex);
+  std::lock_guard<std::mutex> lock(streams_mutex_);
+
+  const std::size_t width = config_.window_size;
+  const std::size_t cap = config_.drift.window_log_capacity;
+  std::vector<double> rows;
+  for (const auto& stream : streams_) {
+    const std::uint64_t total = stream->window_log_total;
+    if (total == 0) continue;
+    const std::size_t kept =
+        static_cast<std::size_t>(std::min<std::uint64_t>(total, cap));
+    const std::size_t start =
+        total <= cap ? 0 : stream->window_log_next;  // oldest slot
+    for (std::size_t r = 0; r < kept; ++r) {
+      const std::size_t slot = (start + r) % cap;
+      const auto* begin = stream->window_log.data() + slot * width;
+      rows.insert(rows.end(), begin, begin + width);
+    }
+  }
+  drift_ins_->window_log_rows.set(
+      static_cast<double>(rows.size() / width));
+  return rows;
+}
+
+void StreamEngine::retrain_worker(std::vector<double> rows) {
+  TraceSpan span("serve/drift/retrain");
+  std::shared_ptr<const ml::Classifier> trained;
+  std::optional<ErrorInfo> failure;
+  try {
+    const std::size_t width = config_.window_size;
+    std::size_t num_rows = rows.size() / width;
+
+    // Over-budget logs are thinned with a seeded index shuffle; keeping
+    // the survivors sorted preserves temporal order. Deterministic given
+    // (log, retrain_seed) — reruns rebuild the identical model.
+    if (num_rows > config_.drift.retrain_max_rows) {
+      std::vector<std::size_t> keep(num_rows);
+      for (std::size_t i = 0; i < num_rows; ++i) keep[i] = i;
+      Rng rng(config_.drift.retrain_seed);
+      rng.shuffle(keep);
+      keep.resize(config_.drift.retrain_max_rows);
+      std::sort(keep.begin(), keep.end());
+      std::vector<double> thinned;
+      thinned.reserve(keep.size() * width);
+      for (const std::size_t r : keep) {
+        const auto* begin = rows.data() + r * width;
+        thinned.insert(thinned.end(), begin, begin + width);
+      }
+      rows = std::move(thinned);
+      num_rows = keep.size();
+    }
+
+    // The window log is unlabeled benign-looking traffic: every row gets
+    // class 0 of a binary schema, which is exactly what a one-class
+    // scheme trains on (it ignores the malware class by construction).
+    std::vector<ml::Attribute> attrs;
+    attrs.reserve(width + 1);
+    for (std::size_t f = 0; f < width; ++f)
+      attrs.emplace_back(format("c%zu", f));
+    attrs.emplace_back(
+        ml::Attribute("class", {"benign", "malware"}));
+    ml::Dataset data(std::move(attrs), "drift-retrain");
+    std::vector<double> row(width + 1, 0.0);
+    for (std::size_t r = 0; r < num_rows; ++r) {
+      std::copy(rows.begin() + static_cast<std::ptrdiff_t>(r * width),
+                rows.begin() + static_cast<std::ptrdiff_t>((r + 1) * width),
+                row.begin());
+      data.add_row(row);
+    }
+
+    auto model = ml::make_classifier(config_.drift.retrain_scheme);
+    model->train(data);
+    trained = std::move(model);
+  } catch (...) {
+    failure = ErrorInfo::from_current_exception().with_context(
+        "drift retrain (" + config_.drift.retrain_scheme + ")");
+  }
+
+  std::lock_guard<std::mutex> lock(drift_mutex_);
+  if (failure.has_value()) {
+    retrain_error_ = std::move(failure);
+    drift_ins_->retrains_failed.add();
+  } else {
+    staged_model_ = std::move(trained);
+    retrain_error_.reset();
+    drift_ins_->retrains_completed.add();
+  }
+  retrain_running_ = false;
+  retrain_cv_.notify_all();
+}
+
+StreamEngine::DriftPumpResult StreamEngine::drift_pump() {
+  DriftPumpResult result;
+  if (!config_.drift.enabled) return result;
+
+  // 1. Publish a staged model from a finished retrain. Publishing happens
+  // only here (the caller's control point), never on the worker thread.
+  std::shared_ptr<const ml::Classifier> staged;
+  {
+    std::lock_guard<std::mutex> lock(drift_mutex_);
+    if (!retrain_running_ && staged_model_ != nullptr) {
+      staged = std::move(staged_model_);
+      if (retrain_thread_.joinable()) retrain_thread_.join();
+    }
+  }
+  if (staged != nullptr) {
+    const auto epoch = hub_->current();
+    result.published_version = hub_->publish(staged, epoch->fallback);
+    drift_ins_->swaps_published.add();
+    if (tracer().enabled())
+      tracer().record({"serve/drift/swap:v" +
+                           std::to_string(result.published_version),
+                       Tracer::current_thread_id(), Tracer::now_us(), 0});
+  }
+
+  // 2. Kick a pending retrain. The log is harvested before drift_mutex_
+  // is taken (harvest takes every apply mutex; see the lock-order note).
+  if (!config_.drift.retrain ||
+      !retrain_requested_.load(std::memory_order_acquire))
+    return result;
+  std::vector<double> rows = harvest_window_log();
+  std::lock_guard<std::mutex> lock(drift_mutex_);
+  if (retrain_running_) return result;  // request stays set for next pump
+  retrain_requested_.store(false, std::memory_order_release);
+  if (rows.size() / config_.window_size < config_.drift.retrain_min_rows) {
+    drift_ins_->retrains_skipped.add();
+    return result;
+  }
+  if (retrain_thread_.joinable()) retrain_thread_.join();
+  retrain_running_ = true;
+  drift_ins_->retrains_started.add();
+  retrain_thread_ = std::thread(
+      [this, moved = std::move(rows)]() mutable {
+        retrain_worker(std::move(moved));
+      });
+  result.retrain_started = true;
+  return result;
+}
+
+std::uint64_t StreamEngine::await_retrain() {
+  // Kick any pending request, wait out the worker, then pump again so
+  // the freshly staged model is published before we return.
+  drift_pump();
+  {
+    std::unique_lock<std::mutex> lock(drift_mutex_);
+    retrain_cv_.wait(lock, [this] { return !retrain_running_; });
+  }
+  return drift_pump().published_version;
+}
+
+std::vector<DriftEvent> StreamEngine::drift_events() const {
+  std::lock_guard<std::mutex> lock(drift_mutex_);
+  return drift_events_;
+}
+
+std::optional<ErrorInfo> StreamEngine::last_retrain_error() const {
+  std::lock_guard<std::mutex> lock(drift_mutex_);
+  return retrain_error_;
 }
 
 void StreamEngine::shutdown() {
@@ -641,6 +936,17 @@ EngineSnapshot StreamEngine::snapshot() const {
     s.high_water = stream->high_water.load(std::memory_order_relaxed);
     s.detector = stream->monitor.state();
     snap.streams.push_back(s);
+  }
+  // Drift baselines are part of the consistent cut: the apply locks held
+  // above also quiesce every ShardDriftDetector.
+  if (config_.drift.enabled) {
+    snap.drift.reserve(shards_.size());
+    for (const auto& shard : shards_) {
+      DriftShardSnapshot d;
+      d.shard = shard->index;
+      d.state = shard->drift->state();
+      snap.drift.push_back(std::move(d));
+    }
   }
   res_->checkpoints.add();
   return snap;

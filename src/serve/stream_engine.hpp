@@ -46,10 +46,16 @@
 //   retries, score_failures, fallback_batches, degrade_events, recoveries,
 //   budget_overruns, swaps_observed, errors_swallowed, checkpoints,
 //   restored_streams (counters); degraded_shards, model_version (gauges);
-// and a "serve/shard<k>/batch" trace span per scored batch.
+// the serve.drift.* family when config.drift.enabled (docs/drift.md):
+//   scores, trips, trips_page_hinkley, trips_ks, suppressed,
+//   retrains_started, retrains_completed, retrains_failed,
+//   retrains_skipped, swaps_published (counters); window_log_rows (gauge);
+// and a "serve/shard<k>/batch" trace span per scored batch (plus a
+// "serve/drift/retrain" span around each background rebuild).
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <iosfwd>
@@ -57,10 +63,12 @@
 #include <mutex>
 #include <optional>
 #include <span>
+#include <thread>
 #include <vector>
 
 #include "core/online_detector.hpp"
 #include "ml/classifier.hpp"
+#include "serve/drift.hpp"
 #include "serve/resilience.hpp"
 #include "util/result.hpp"
 
@@ -99,6 +107,13 @@ struct ServeConfig {
 
   /// Retry / fallback / fault-injection policy (serve/resilience.hpp).
   ResilienceConfig resilience;
+
+  /// Concept-drift detection + auto-retrain policy (serve/drift.hpp,
+  /// docs/drift.md). Off by default; when enabled each shard watches its
+  /// score stream and trips emit DriftEvents (drift_events()); with
+  /// drift.retrain the engine also keeps a benign window log and rebuilds
+  /// the model through drift_pump()/await_retrain().
+  DriftConfig drift;
 
   /// Checkpoint to resume from: streams registered with an id present in
   /// the snapshot pick up that stream's detector state and counters
@@ -227,10 +242,48 @@ class StreamEngine {
   /// Windows accepted across all streams.
   std::uint64_t total_ingested() const;
 
+  // --- Concept drift & auto-retrain (config().drift; docs/drift.md) ---
+
+  /// Every drift trip emitted so far, in detection order. Thread-safe;
+  /// stable after drain().
+  std::vector<DriftEvent> drift_events() const;
+
+  /// What one drift_pump() call did.
+  struct DriftPumpResult {
+    /// A background retrain was kicked off on the harvested window log.
+    bool retrain_started = false;
+    /// Non-zero when a finished retrain's model was published this call —
+    /// the new hub epoch version.
+    std::uint64_t published_version = 0;
+  };
+
+  /// The retrain loop's control point. Call between batches (after a
+  /// drain() in tests/tools; on a timer in a long-lived deployment):
+  ///   1. a finished retrain's staged model is published to the hub (the
+  ///      hot-swap every shard observes on its next batch);
+  ///   2. a pending drift trip harvests the benign window log and starts
+  ///      the background retrain worker (skipped while one is running or
+  ///      when the log has fewer than drift.retrain_min_rows rows).
+  /// Publishing only here — never from the worker thread — is what makes
+  /// a seeded drift→retrain→swap run deterministic: the swap lands at a
+  /// pump point the caller chose, not at a thread-timing accident.
+  DriftPumpResult drift_pump();
+
+  /// drift_pump(), wait for any in-flight retrain to finish, then pump
+  /// again so the fresh model is published. Returns the published epoch
+  /// version (0 when there was nothing to retrain or the retrain failed —
+  /// see last_retrain_error()).
+  std::uint64_t await_retrain();
+
+  /// Why the most recent retrain failed, if it did (the worker never
+  /// throws — a failed rebuild keeps the current epoch serving).
+  std::optional<ErrorInfo> last_retrain_error() const;
+
  private:
   struct Shard;
   struct Batch;
   struct ResilienceInstruments;
+  struct DriftInstruments;
 
   void worker_loop(Shard& shard);
   /// One batch through the degradation ladder; returns false when the
@@ -243,6 +296,18 @@ class StreamEngine {
   void join_workers();
   void rethrow_if_failed();
   void unpark(Shard& shard);
+
+  /// Called by a shard worker (under its apply mutex) when its detector
+  /// trips: logs the event, bumps metrics, flags a pending retrain.
+  void record_drift_event(const DriftEvent& event);
+  /// Copy the benign window logs of every stream, oldest-first per stream,
+  /// streams in registration order. Takes every apply lock (callers must
+  /// hold neither apply locks nor drift_mutex_).
+  std::vector<double> harvest_window_log() const;
+  /// Background thread body: rebuild drift.retrain_scheme on `rows` and
+  /// stage the result for the next pump.
+  void retrain_worker(std::vector<double> rows);
+  void join_retrain_thread();
 
   std::shared_ptr<ModelHub> hub_;
   ServeConfig config_;
@@ -264,6 +329,20 @@ class StreamEngine {
   std::optional<ErrorInfo> first_error_;
   bool error_reported_ = false;  ///< raised to a caller at least once
   std::atomic<bool> failed_{false};
+
+  // Drift + retrain state. Lock order: a shard's apply_mutex may be held
+  // when taking drift_mutex_ (record_drift_event); NEVER take an apply
+  // mutex while holding drift_mutex_ — harvest_window_log runs before
+  // drift_mutex_ in drift_pump for exactly this reason.
+  std::unique_ptr<DriftInstruments> drift_ins_;
+  mutable std::mutex drift_mutex_;
+  std::vector<DriftEvent> drift_events_;
+  std::atomic<bool> retrain_requested_{false};
+  std::thread retrain_thread_;
+  bool retrain_running_ = false;        ///< under drift_mutex_
+  std::condition_variable retrain_cv_;  ///< signals retrain_running_ false
+  std::shared_ptr<const ml::Classifier> staged_model_;  ///< under drift_mutex_
+  std::optional<ErrorInfo> retrain_error_;              ///< under drift_mutex_
 };
 
 }  // namespace hmd::serve

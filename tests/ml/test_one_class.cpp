@@ -1,0 +1,287 @@
+// Behaviour, determinism and golden-fingerprint pins for the one-class
+// (benign-only) schemes: OneClassSvm, KdeAnomaly, MahalanobisThreshold.
+// The sweep runs every scheme through the shared OneClassClassifier
+// contract (benign-only training, percentile threshold, calibrated
+// sigmoid distribution); the fingerprint suite hashes predictions and
+// distributions bit-for-bit so any numeric drift in the fit or scoring
+// paths fails loudly rather than as silent accuracy movement.
+#include "ml/one_class.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ml/registry.hpp"
+#include "ml/serialization.hpp"
+#include "tests/ml/synthetic_data.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace hmd::ml {
+namespace {
+
+/// Construct through the registry and downcast to the one-class contract.
+std::unique_ptr<OneClassClassifier> make_one_class(const std::string& name) {
+  auto clf = make_classifier(name);
+  auto* one_class = dynamic_cast<OneClassClassifier*>(clf.get());
+  EXPECT_NE(one_class, nullptr) << name;
+  clf.release();
+  return std::unique_ptr<OneClassClassifier>(one_class);
+}
+
+/// Binary benign/malware dataset from explicit feature rows.
+Dataset build_binary(const std::vector<std::vector<double>>& benign,
+                     const std::vector<std::vector<double>>& malware) {
+  std::vector<Attribute> attrs;
+  for (std::size_t f = 0; f < benign.front().size(); ++f)
+    attrs.emplace_back("f" + std::to_string(f));
+  attrs.emplace_back("class", std::vector<std::string>{"benign", "malware"});
+  Dataset data(std::move(attrs), "one-class");
+  for (const auto& row : benign) {
+    Instance inst;
+    inst.values = row;
+    inst.values.push_back(0.0);
+    data.add(std::move(inst));
+  }
+  for (const auto& row : malware) {
+    Instance inst;
+    inst.values = row;
+    inst.values.push_back(1.0);
+    data.add(std::move(inst));
+  }
+  return data;
+}
+
+/// Gaussian rows around `center` in every feature.
+std::vector<std::vector<double>> gaussian_rows(std::size_t n, std::size_t d,
+                                               double center, double noise,
+                                               std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> rows(n);
+  for (auto& row : rows) {
+    row.reserve(d);
+    for (std::size_t f = 0; f < d; ++f)
+      row.push_back(rng.normal(center, noise));
+  }
+  return rows;
+}
+
+class OneClassSweep : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(OneClassSweep, FlagsFarOutliersAndAcceptsBenign) {
+  // Benign mass at 0, malware 6 sigma away: a benign-only detector must
+  // keep its benign flag rate near the calibration percentile and still
+  // catch the (never seen in training) malware cluster.
+  const Dataset d = testdata::blobs(2, 4, 150, 6.0, 1.0, 21);
+  auto clf = make_one_class(GetParam());
+  clf->train(d);
+  ASSERT_TRUE(clf->calibrated());
+  std::size_t benign_flagged = 0, malware_flagged = 0, benign = 0,
+              malware = 0;
+  for (std::size_t i = 0; i < d.num_instances(); ++i) {
+    const std::size_t predicted = clf->predict(d.features_of(i));
+    if (d.class_of(i) == 0) {
+      ++benign;
+      benign_flagged += predicted;
+    } else {
+      ++malware;
+      malware_flagged += predicted;
+    }
+  }
+  EXPECT_LE(benign_flagged, benign / 5) << GetParam();
+  EXPECT_GE(malware_flagged, malware * 4 / 5) << GetParam();
+}
+
+TEST_P(OneClassSweep, AnomalyScoreGrowsAwayFromBenignMass) {
+  const Dataset d = testdata::blobs(2, 4, 150, 6.0, 1.0, 22);
+  auto clf = make_one_class(GetParam());
+  clf->train(d);
+  const std::vector<double> at_mean(4, 0.0);
+  const std::vector<double> three_sd(4, 3.0);
+  const std::vector<double> eight_sd(4, 8.0);
+  EXPECT_LT(clf->anomaly_score(at_mean), clf->anomaly_score(three_sd))
+      << GetParam();
+  EXPECT_LT(clf->anomaly_score(at_mean), clf->anomaly_score(eight_sd))
+      << GetParam();
+}
+
+TEST_P(OneClassSweep, CalibratedSigmoidIsCenteredAndMonotone) {
+  const Dataset d = testdata::blobs(2, 4, 150, 6.0, 1.0, 23);
+  auto clf = make_one_class(GetParam());
+  clf->train(d);
+  const double th = clf->threshold();
+  const double s = clf->score_scale();
+  ASSERT_GT(s, 0.0);
+  EXPECT_DOUBLE_EQ(clf->calibrated_probability(th), 0.5);
+  EXPECT_LT(clf->calibrated_probability(th - s), 0.5);
+  EXPECT_GT(clf->calibrated_probability(th + s), 0.5);
+  EXPECT_GT(clf->calibrated_probability(th - 10.0 * s), 0.0);
+  EXPECT_LT(clf->calibrated_probability(th + 10.0 * s), 1.0);
+  // distribution() is the calibrated sigmoid, normalized by construction.
+  const auto dist = clf->distribution(d.features_of(0));
+  ASSERT_EQ(dist.size(), 2u);
+  EXPECT_DOUBLE_EQ(dist[0] + dist[1], 1.0);
+}
+
+TEST_P(OneClassSweep, DistributionBatchMatchesPerRow) {
+  // The serving engine scores through distribution_batch; it must be
+  // bit-identical to the per-row path for every scheme.
+  const Dataset d = testdata::blobs(2, 4, 100, 4.0, 1.2, 24);
+  auto clf = make_one_class(GetParam());
+  clf->train(d);
+  const std::size_t n = d.num_instances();
+  std::vector<double> flat;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto x = d.features_of(i);
+    flat.insert(flat.end(), x.begin(), x.end());
+  }
+  std::vector<double> batched(n * 2);
+  clf->distribution_batch(flat, 4, batched);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto row = clf->distribution(d.features_of(i));
+    EXPECT_EQ(batched[i * 2], row[0]) << GetParam() << " row " << i;
+    EXPECT_EQ(batched[i * 2 + 1], row[1]) << GetParam() << " row " << i;
+  }
+}
+
+TEST_P(OneClassSweep, TrainingIsDeterministic) {
+  // Seeded fits: two trainings on the same view must agree bit-for-bit
+  // (the drift retrain loop's determinism contract rests on this).
+  const Dataset d = testdata::blobs(2, 5, 200, 5.0, 1.0, 25);
+  auto first = make_one_class(GetParam());
+  auto second = make_one_class(GetParam());
+  first->train(d);
+  second->train(d);
+  EXPECT_EQ(first->threshold(), second->threshold());
+  EXPECT_EQ(first->score_scale(), second->score_scale());
+  for (std::size_t i = 0; i < d.num_instances(); i += 7) {
+    const auto a = first->distribution(d.features_of(i));
+    const auto b = second->distribution(d.features_of(i));
+    EXPECT_EQ(a[1], b[1]) << GetParam() << " row " << i;
+  }
+}
+
+TEST_P(OneClassSweep, MalwareRowsNeverInfluenceTheFit) {
+  // Same benign rows, wildly different malware rows: the fitted model
+  // must be identical — that is what makes unlabeled-retrain sound.
+  const auto benign = gaussian_rows(120, 4, 0.0, 1.0, 31);
+  const Dataset a =
+      build_binary(benign, gaussian_rows(40, 4, 9.0, 1.0, 32));
+  const Dataset b =
+      build_binary(benign, gaussian_rows(90, 4, -5.0, 3.0, 33));
+  auto on_a = make_one_class(GetParam());
+  auto on_b = make_one_class(GetParam());
+  on_a->train(a);
+  on_b->train(b);
+  EXPECT_EQ(on_a->threshold(), on_b->threshold());
+  EXPECT_EQ(on_a->score_scale(), on_b->score_scale());
+  const auto probes = gaussian_rows(25, 4, 2.0, 2.0, 34);
+  for (const auto& probe : probes)
+    EXPECT_EQ(on_a->distribution(probe)[1], on_b->distribution(probe)[1])
+        << GetParam();
+}
+
+TEST_P(OneClassSweep, RetrainInvalidatesAndReplacesTheOldFit) {
+  auto clf = make_one_class(GetParam());
+  clf->train(testdata::blobs(2, 4, 100, 5.0, 1.0, 41));
+  const double first_threshold = clf->threshold();
+  clf->train(testdata::blobs(2, 4, 100, 5.0, 2.5, 42));
+  EXPECT_TRUE(clf->calibrated());
+  EXPECT_NE(clf->threshold(), first_threshold) << GetParam();
+}
+
+TEST_P(OneClassSweep, RejectsMulticlassDatasets) {
+  auto clf = make_one_class(GetParam());
+  EXPECT_THROW(clf->train(testdata::three_class(60)), PreconditionError);
+}
+
+TEST_P(OneClassSweep, RejectsTooFewBenignRows) {
+  // 4 benign rows is under kMinBenignRows regardless of malware volume.
+  const Dataset d = build_binary(gaussian_rows(4, 3, 0.0, 1.0, 51),
+                                 gaussian_rows(50, 3, 6.0, 1.0, 52));
+  auto clf = make_one_class(GetParam());
+  EXPECT_THROW(clf->train(d), PreconditionError);
+}
+
+TEST_P(OneClassSweep, ScoringBeforeTrainingThrows) {
+  auto clf = make_one_class(GetParam());
+  const std::vector<double> probe(4, 0.0);
+  EXPECT_FALSE(clf->calibrated());
+  EXPECT_THROW((void)clf->predict(probe), PreconditionError);
+  EXPECT_THROW((void)clf->distribution(probe), PreconditionError);
+  EXPECT_THROW((void)clf->anomaly_score(probe), PreconditionError);
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, OneClassSweep,
+                         ::testing::Values("OneClassSvm", "KdeAnomaly",
+                                           "MahalanobisThreshold"));
+
+// --- Golden fingerprints ----------------------------------------------------
+//
+// FNV-1a over the raw double bit patterns of predictions + distributions,
+// exactly as in tests/ml/test_dataset_storage.cpp. The constants pin the
+// current fit and scoring paths bit-for-bit; they also certify the
+// serialization round trip (the loaded model must reproduce the same
+// hash).
+
+std::uint64_t fnv_mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v;
+  return h * 1099511628211ull;
+}
+
+std::uint64_t fnv_double(std::uint64_t h, double d) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &d, sizeof(bits));
+  return fnv_mix(h, bits);
+}
+
+constexpr std::uint64_t kFnvSeed = 1469598103934665603ull;
+
+std::uint64_t hash_predictions(const Classifier& clf, const Dataset& test) {
+  std::uint64_t h = kFnvSeed;
+  for (std::size_t i = 0; i < test.num_instances(); ++i) {
+    h = fnv_mix(h, clf.predict(test.features_of(i)));
+    for (double p : clf.distribution(test.features_of(i)))
+      h = fnv_double(h, p);
+  }
+  return h;
+}
+
+class OneClassFingerprint : public ::testing::Test {
+ protected:
+  OneClassFingerprint() : data_(testdata::blobs(2, 6, 200, 5.0, 1.0, 123)) {}
+
+  void expect_fingerprint(const std::string& scheme, std::uint64_t want) {
+    auto clf = make_classifier(scheme);
+    clf->train(data_);
+    EXPECT_EQ(hash_predictions(*clf, data_), want) << scheme;
+    // The persisted form must reproduce the fit bit-for-bit.
+    std::ostringstream out;
+    save_model(out, *clf);
+    std::istringstream in(out.str());
+    const auto loaded = load_model(in);
+    EXPECT_EQ(hash_predictions(*loaded, data_), want)
+        << scheme << " after round trip";
+  }
+
+  Dataset data_;
+};
+
+TEST_F(OneClassFingerprint, OneClassSvm) {
+  expect_fingerprint("OneClassSvm", 0x6c89b0b9814d5d68ull);
+}
+
+TEST_F(OneClassFingerprint, KdeAnomaly) {
+  expect_fingerprint("KdeAnomaly", 0x6a939170551fbbf3ull);
+}
+
+TEST_F(OneClassFingerprint, MahalanobisThreshold) {
+  expect_fingerprint("MahalanobisThreshold", 0xaccf9eaa892422f4ull);
+}
+
+}  // namespace
+}  // namespace hmd::ml

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <sstream>
 
 #include "ml/evaluation.hpp"
 #include "tests/ml/synthetic_data.hpp"
@@ -11,9 +12,9 @@
 namespace hmd::ml {
 namespace {
 
-TEST(Registry, KnownSchemesListsThirteenCanonicalNames) {
+TEST(Registry, KnownSchemesListsSixteenCanonicalNames) {
   const auto schemes = known_schemes();
-  EXPECT_EQ(schemes.size(), 13u);
+  EXPECT_EQ(schemes.size(), 16u);
   // No duplicates, no aliases.
   auto sorted = schemes;
   std::sort(sorted.begin(), sorted.end());
@@ -57,6 +58,48 @@ TEST(Registry, UnknownSchemeErrorListsAllKnownNames) {
     for (const auto& name : known_schemes())
       EXPECT_NE(what.find(name), std::string::npos) << name;
   }
+}
+
+TEST(Registry, UnknownSchemeErrorEnumeratesExactlyTheRegistry) {
+  // Completeness cross-check: the "(known: ...)" list in the error message
+  // must be exactly known_schemes() — a scheme added to the table but
+  // missed in the error (or vice versa) fails here, not in a user report.
+  std::string what;
+  try {
+    (void)make_classifier("Bogus");
+    FAIL() << "expected PreconditionError";
+  } catch (const PreconditionError& e) {
+    what = e.what();
+  }
+  const auto open = what.find("known:");
+  ASSERT_NE(open, std::string::npos) << what;
+  const auto close = what.find(')', open);
+  ASSERT_NE(close, std::string::npos) << what;
+  const std::string list = what.substr(open + 6, close - open - 6);
+  std::vector<std::string> advertised;
+  std::istringstream words(list);
+  std::string word;
+  while (words >> word) advertised.push_back(word);
+  EXPECT_EQ(advertised, known_schemes());
+}
+
+TEST(Registry, OneClassSchemesAreFlaggedAndConstructible) {
+  // Mahalanobis (the thesis anomaly detector) is benign-only too, so it
+  // rides the same flag as the dedicated one-class family.
+  const std::vector<std::string> expected = {
+      "Mahalanobis", "OneClassSvm", "KdeAnomaly", "MahalanobisThreshold"};
+  EXPECT_EQ(one_class_schemes(), expected);
+  for (const auto& name : expected) {
+    EXPECT_TRUE(is_one_class_scheme(name)) << name;
+    EXPECT_TRUE(is_known_scheme(name)) << name;
+    const auto clf = make_classifier(name);
+    ASSERT_NE(clf, nullptr) << name;
+    EXPECT_EQ(clf->name(), name);
+    EXPECT_FALSE(scheme_description(name).empty()) << name;
+  }
+  EXPECT_FALSE(is_one_class_scheme("MLR"));
+  EXPECT_FALSE(is_one_class_scheme("SVM"));
+  EXPECT_FALSE(is_one_class_scheme("NotAScheme"));
 }
 
 TEST(Registry, StudyListsAreSubsetsOfKnownSchemes) {

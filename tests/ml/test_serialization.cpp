@@ -42,8 +42,8 @@ TEST_P(RoundTripSweep, BinaryPredictionsIdentical) {
 }
 
 TEST_P(RoundTripSweep, MulticlassPredictionsIdentical) {
-  if (GetParam() == "Mahalanobis")
-    GTEST_SKIP() << "benign-only detector is binary by construction";
+  if (is_one_class_scheme(GetParam()))
+    GTEST_SKIP() << "benign-only detectors are binary by construction";
   const Dataset d = three_class(120);
   expect_roundtrip(GetParam(), d, d);
 }
@@ -55,7 +55,20 @@ INSTANTIATE_TEST_SUITE_P(Schemes, RoundTripSweep,
                                            "J48", "JRip", "NaiveBayes",
                                            "MLR", "SVM", "MLP", "IBk",
                                            "AdaBoostM1", "Bagging",
-                                           "Mahalanobis"));
+                                           "Mahalanobis", "OneClassSvm",
+                                           "KdeAnomaly",
+                                           "MahalanobisThreshold"));
+
+// The sweep list above must track the registry exactly — a new scheme that
+// is registered but left out of the sweep silently loses round-trip
+// coverage. Compare against known_schemes() so that drift fails loudly.
+TEST(Serialization, RoundTripSweepCoversEveryRegisteredScheme) {
+  const std::vector<std::string> sweep = {
+      "ZeroR", "OneR", "DecisionStump", "J48", "JRip", "NaiveBayes",
+      "MLR", "SVM", "MLP", "IBk", "AdaBoostM1", "Bagging",
+      "Mahalanobis", "OneClassSvm", "KdeAnomaly", "MahalanobisThreshold"};
+  EXPECT_EQ(sweep, known_schemes());
+}
 
 TEST(Serialization, DistributionsAlsoRoundTrip) {
   const Dataset d = three_class(100);

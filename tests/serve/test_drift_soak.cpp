@@ -1,0 +1,264 @@
+// Drift → retrain → hot-swap soaks (the TSan CI job runs the DriftSoak
+// suite for race coverage). Two contracts:
+//
+//  * Determinism: a seeded phased run (benign feed → drain → shifted feed
+//    → drain → await_retrain → post-swap feed) produces the same swap
+//    epoch, bit-identical verdict/version streams and a byte-identical
+//    retrained model on every execution, because publishing happens only
+//    at the caller's pump points and the window-log harvest is a pure
+//    function of the traffic.
+//
+//  * Race-freedom: drift_pump(), snapshot(), concurrent feeders and the
+//    background retrain worker can all overlap without data races or
+//    deadlocks (asserts here are deliberately loose — TSan is the judge).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/online_detector.hpp"
+#include "ml/serialization.hpp"
+#include "serve/drift.hpp"
+#include "serve/resilience.hpp"
+#include "serve/stream_engine.hpp"
+#include "util/rng.hpp"
+
+namespace hmd::serve {
+namespace {
+
+using core::OnlineDetector;
+
+/// Deterministic stub: P(malware) = first counter value.
+class StubModel : public ml::Classifier {
+ public:
+  void train(const ml::DatasetView&) override {}
+  std::size_t predict(std::span<const double> f) const override {
+    return f[0] > 0.5 ? 1 : 0;
+  }
+  std::vector<double> distribution(
+      std::span<const double> f) const override {
+    return {1.0 - f[0], f[0]};
+  }
+  std::string name() const override { return "Stub"; }
+  std::size_t num_classes() const override { return 2; }
+};
+
+/// Windows whose first counter sits in [lo, hi) (the stub's P(malware))
+/// and whose remaining counters are benign-shaped noise the retrained
+/// one-class model fits on.
+std::vector<std::vector<double>> phase_windows(std::uint64_t seed,
+                                               std::size_t count,
+                                               std::size_t width, double lo,
+                                               double hi) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> windows(count);
+  for (auto& w : windows) {
+    w.resize(width);
+    w[0] = rng.uniform(lo, hi);
+    for (std::size_t f = 1; f < width; ++f) w[f] = rng.normal(0.0, 1.0);
+  }
+  return windows;
+}
+
+/// Feed one phase: one thread per stream (ingest must be serialized per
+/// stream), all streams concurrently, then join and drain.
+void feed_phase(StreamEngine& engine,
+                const std::vector<StreamEngine::StreamHandle>& handles,
+                const std::vector<std::vector<std::vector<double>>>& phase) {
+  std::vector<std::thread> feeders;
+  feeders.reserve(handles.size());
+  for (std::size_t s = 0; s < handles.size(); ++s)
+    feeders.emplace_back([&, s] {
+      for (const auto& w : phase[s]) engine.ingest(handles[s], w);
+    });
+  for (auto& t : feeders) t.join();
+  engine.drain();
+}
+
+struct SoakRun {
+  std::uint64_t swap_version = 0;
+  std::vector<std::vector<OnlineDetector::Verdict>> verdicts;
+  std::vector<std::vector<std::uint64_t>> versions;
+  std::string retrained_model;  ///< serialized post-swap primary
+};
+
+SoakRun run_seeded_soak(std::uint64_t seed) {
+  constexpr std::size_t kStreams = 4;
+  constexpr std::size_t kWidth = 4;
+  constexpr std::size_t kPhaseWindows = 150;
+
+  // All traffic is fixed up front: both executions of a seed feed the
+  // exact same windows.
+  std::vector<std::vector<std::vector<double>>> benign, shifted, post;
+  for (std::size_t s = 0; s < kStreams; ++s) {
+    benign.push_back(
+        phase_windows(seed * 100 + s, kPhaseWindows, kWidth, 0.05, 0.25));
+    shifted.push_back(phase_windows(seed * 100 + 50 + s, kPhaseWindows,
+                                    kWidth, 0.55, 0.85));
+    post.push_back(phase_windows(seed * 100 + 80 + s, kPhaseWindows, kWidth,
+                                 0.55, 0.85));
+  }
+
+  auto hub = std::make_shared<ModelHub>();
+  hub->publish(std::make_shared<StubModel>());
+
+  ServeConfig config;
+  config.window_size = kWidth;
+  config.num_shards = 2;
+  config.record_verdicts = true;
+  config.policy = {.flag_threshold = 0.97, .confirm_windows = 4};
+  config.drift.enabled = true;
+  config.drift.page_hinkley = {.delta = 0.005, .lambda = 5.0,
+                               .min_samples = 32};
+  config.drift.ks = {.window = 64, .threshold = 0.5, .stride = 16};
+  config.drift.cooldown_scores = 128;
+  config.drift.retrain = true;
+  config.drift.retrain_scheme = "MahalanobisThreshold";
+  config.drift.retrain_min_rows = 32;
+  config.drift.retrain_seed = seed;
+
+  StreamEngine engine(hub, config);
+  std::vector<StreamEngine::StreamHandle> handles;
+  for (std::size_t s = 0; s < kStreams; ++s)
+    handles.push_back(engine.register_stream(s));
+
+  feed_phase(engine, handles, benign);
+  (void)engine.drift_pump();  // stationary phase: nothing to do
+
+  feed_phase(engine, handles, shifted);
+  SoakRun run;
+  run.swap_version = engine.await_retrain();
+
+  feed_phase(engine, handles, post);
+
+  for (std::size_t s = 0; s < kStreams; ++s) {
+    run.verdicts.push_back(engine.verdicts(handles[s]));
+    run.versions.push_back(engine.verdict_versions(handles[s]));
+  }
+  const auto epoch = engine.hub().current();
+  std::ostringstream out;
+  ml::save_model(out, *epoch->primary);
+  run.retrained_model = out.str();
+  engine.shutdown();
+  return run;
+}
+
+TEST(DriftSoak, SeededRetrainLoopIsDeterministic) {
+  for (const std::uint64_t seed : {3u, 4u}) {
+    const SoakRun first = run_seeded_soak(seed);
+    const SoakRun second = run_seeded_soak(seed);
+
+    // The shift must actually have driven a retrain and a swap.
+    ASSERT_EQ(first.swap_version, 2u) << "seed " << seed;
+    EXPECT_EQ(second.swap_version, first.swap_version);
+    EXPECT_EQ(second.retrained_model, first.retrained_model)
+        << "seed " << seed << ": retrained models differ";
+    EXPECT_FALSE(first.retrained_model.empty());
+
+    ASSERT_EQ(first.verdicts.size(), second.verdicts.size());
+    for (std::size_t s = 0; s < first.verdicts.size(); ++s) {
+      const auto& va = first.verdicts[s];
+      const auto& vb = second.verdicts[s];
+      ASSERT_EQ(va.size(), vb.size()) << "seed " << seed << " stream " << s;
+      ASSERT_EQ(va.size(), 450u);  // three phases of 150
+      for (std::size_t w = 0; w < va.size(); ++w) {
+        ASSERT_EQ(va[w].probability, vb[w].probability)
+            << "seed " << seed << " stream " << s << " window " << w;
+        ASSERT_EQ(va[w].flagged, vb[w].flagged);
+        ASSERT_EQ(va[w].alarm, vb[w].alarm);
+        ASSERT_EQ(first.versions[s][w], second.versions[s][w])
+            << "seed " << seed << " stream " << s << " window " << w;
+      }
+      // Phases A and B scored by epoch 1, phase C by the retrained epoch.
+      EXPECT_EQ(first.versions[s].front(), 1u);
+      EXPECT_EQ(first.versions[s].back(), 2u);
+    }
+  }
+}
+
+TEST(DriftSoak, LiveRetrainUnderTrafficIsRaceFree) {
+  // Feeders, a pump/snapshot thread and the background retrain worker all
+  // overlap. Assertions are loose; the TSan job turns any race or lock
+  // inversion here into a failure.
+  auto hub = std::make_shared<ModelHub>();
+  hub->publish(std::make_shared<StubModel>());
+
+  ServeConfig config;
+  config.window_size = 2;
+  config.num_shards = 2;
+  config.ring_capacity = 32;
+  config.policy = {.flag_threshold = 0.97, .confirm_windows = 4};
+  config.drift.enabled = true;
+  config.drift.page_hinkley = {.delta = 0.0, .lambda = 1.0,
+                               .min_samples = 16};
+  config.drift.ks = {.window = 16, .threshold = 0.4, .stride = 8};
+  config.drift.cooldown_scores = 64;
+  config.drift.retrain = true;
+  config.drift.retrain_scheme = "MahalanobisThreshold";
+  config.drift.retrain_min_rows = 32;
+  config.drift.window_log_capacity = 128;
+  StreamEngine engine(hub, config);
+
+  constexpr std::size_t kFeeders = 3;
+  constexpr std::size_t kStreamsPerFeeder = 2;
+  constexpr std::size_t kStreams = kFeeders * kStreamsPerFeeder;
+  constexpr std::size_t kWindows = 400;
+  std::vector<StreamEngine::StreamHandle> handles;
+  std::vector<std::vector<std::vector<double>>> workload;
+  for (std::size_t s = 0; s < kStreams; ++s) {
+    handles.push_back(engine.register_stream(600 + s));
+    // First half benign, second half shifted: trips mid-traffic.
+    auto windows = phase_windows(40 + s, kWindows / 2, 2, 0.05, 0.25);
+    const auto tail =
+        phase_windows(70 + s, kWindows / 2, 2, 0.6, 0.9);
+    windows.insert(windows.end(), tail.begin(), tail.end());
+    workload.push_back(std::move(windows));
+  }
+
+  std::atomic<bool> feeding{true};
+  std::vector<std::thread> feeders;
+  for (std::size_t f = 0; f < kFeeders; ++f)
+    feeders.emplace_back([&, f] {
+      for (std::size_t w = 0; w < kWindows; ++w)
+        for (std::size_t j = 0; j < kStreamsPerFeeder; ++j) {
+          const std::size_t s = f * kStreamsPerFeeder + j;
+          engine.ingest(handles[s], workload[s][w]);
+        }
+    });
+
+  // Pump continuously while traffic is live: harvests, worker launches,
+  // publishes and snapshots all race the feeders.
+  std::thread pumper([&] {
+    while (feeding.load(std::memory_order_relaxed)) {
+      (void)engine.drift_pump();
+      const EngineSnapshot snap = engine.snapshot();
+      EXPECT_EQ(snap.drift.size(), config.num_shards);
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+  for (auto& t : feeders) t.join();
+  feeding.store(false, std::memory_order_relaxed);
+  pumper.join();
+  engine.drain();
+  (void)engine.await_retrain();  // settle any in-flight retrain
+
+  EXPECT_FALSE(engine.last_error().has_value());
+  EXPECT_FALSE(engine.drift_events().empty());
+  // At least one retrain was published — mid-traffic (pumper) or at the
+  // final await — and the engine still serves afterwards.
+  EXPECT_GE(engine.hub().version(), 2u);
+  for (std::size_t s = 0; s < kStreams; ++s)
+    engine.ingest(handles[s], std::vector<double>{0.1, 0.0});
+  engine.drain();
+  EXPECT_EQ(engine.total_ingested(), kStreams * kWindows + kStreams);
+  engine.shutdown();
+}
+
+}  // namespace
+}  // namespace hmd::serve

@@ -14,10 +14,18 @@
 // writes an engine snapshot after the replay drains, and --restore resumes
 // stream state from a previous checkpoint (see docs/resilience.md).
 //
+// Drift (docs/drift.md): --drift arms the per-shard Page–Hinkley + KS
+// detectors over the score stream; --retrain additionally keeps a benign
+// window log and rebuilds a one-class model when a detector trips,
+// hot-swapping it through the hub. --then-log replays a second traffic
+// phase after the first drains — point it at a shifted workload to watch
+// the trip → retrain → swap loop fire end to end.
+//
 // Usage:
 //   hmd_serve --bundle FILE --log FILE [--log FILE ...]
-//             [--streams N] [--shards N] [--ring N] [--drop-oldest]
-//             [--checkpoint FILE] [--restore FILE]
+//             [--then-log FILE ...] [--streams N] [--shards N] [--ring N]
+//             [--drop-oldest] [--drift] [--retrain] [--retrain-scheme S]
+//             [--drift-lambda X] [--checkpoint FILE] [--restore FILE]
 //             [--metrics-out FILE] [--trace-out FILE]
 #include <algorithm>
 #include <cstdio>
@@ -46,11 +54,12 @@ using namespace hmd;
 
 int main(int argc, char** argv) {
   std::string bundle_path;
-  std::vector<std::string> log_paths;
+  std::vector<std::string> log_paths, then_log_paths;
   std::size_t streams = 0;
   serve::ServeConfig config;
   config.num_shards = 2;
-  bool drop_oldest = false;
+  bool drop_oldest = false, drift = false, retrain = false;
+  std::string retrain_scheme;
   std::string checkpoint_path, restore_path, metrics_path, trace_path;
 
   ArgParser parser("hmd_serve",
@@ -59,6 +68,9 @@ int main(int argc, char** argv) {
                     "deployment bundle (hmd_train --bundle)");
   parser.add_strings("--log", &log_paths, "FILE",
                      "perf log to replay (hmdperf); repeatable");
+  parser.add_strings("--then-log", &then_log_paths, "FILE",
+                     "second traffic phase after --log drains (drift "
+                     "injection); repeatable");
   parser.add_size("--streams", &streams, "N",
                   "concurrent streams (default: one per log)");
   parser.add_size("--shards", &config.num_shards, "N",
@@ -67,6 +79,16 @@ int main(int argc, char** argv) {
                   "per-stream ring capacity (default 256)");
   parser.add_flag("--drop-oldest", &drop_oldest,
                   "bounded-loss backpressure instead of blocking");
+  parser.add_flag("--drift", &drift,
+                  "watch the score stream with per-shard drift detectors");
+  parser.add_flag("--retrain", &retrain,
+                  "auto-retrain a one-class model on drift (implies "
+                  "--drift)");
+  parser.add_string("--retrain-scheme", &retrain_scheme, "NAME",
+                    "one-class scheme the retrain rebuilds (default "
+                    "MahalanobisThreshold)");
+  parser.add_double("--drift-lambda", &config.drift.page_hinkley.lambda,
+                    "X", "Page-Hinkley trip threshold (default 25)");
   parser.add_string("--checkpoint", &checkpoint_path, "FILE",
                     "write an engine snapshot after the replay drains");
   parser.add_string("--restore", &restore_path, "FILE",
@@ -78,6 +100,9 @@ int main(int argc, char** argv) {
   parser.parse_or_exit(argc, argv);
   if (drop_oldest)
     config.backpressure = serve::ServeConfig::Backpressure::kDropOldest;
+  config.drift.enabled = drift || retrain;
+  config.drift.retrain = retrain;
+  if (!retrain_scheme.empty()) config.drift.retrain_scheme = retrain_scheme;
   if (bundle_path.empty() || log_paths.empty()) {
     std::cerr << "hmd_serve: --bundle and at least one --log are required\n\n"
               << parser.help();
@@ -113,12 +138,17 @@ int main(int argc, char** argv) {
                 << " stream(s) from " << restore_path << '\n';
     }
 
-    std::vector<perf::RunLog> logs;
-    for (const std::string& path : log_paths) {
-      std::ifstream in(path);
-      if (!in) throw Error("cannot open log: " + path);
-      logs.push_back(perf::read_perf_log(in));
-    }
+    const auto read_logs = [](const std::vector<std::string>& paths) {
+      std::vector<perf::RunLog> logs;
+      for (const std::string& path : paths) {
+        std::ifstream in(path);
+        if (!in) throw Error("cannot open log: " + path);
+        logs.push_back(perf::read_perf_log(in));
+      }
+      return logs;
+    };
+    std::vector<perf::RunLog> logs = read_logs(log_paths);
+    std::vector<perf::RunLog> then_logs = read_logs(then_log_paths);
 
     // The engine scores model-width windows; project each full counter
     // vector onto the bundle's feature subset up front.
@@ -126,24 +156,29 @@ int main(int argc, char** argv) {
     const std::size_t width = features.empty()
                                   ? serve::kMaxWindowWidth
                                   : features.size();
-    std::vector<std::vector<std::vector<double>>> projected(logs.size());
-    for (std::size_t l = 0; l < logs.size(); ++l) {
-      for (const perf::HpcSample& sample : logs[l].samples) {
-        std::vector<double> window;
-        window.reserve(width);
-        if (features.empty()) {
-          window.assign(sample.counts.begin(), sample.counts.end());
-        } else {
-          for (std::size_t idx : features) {
-            HMD_REQUIRE(idx < sample.counts.size(),
-                        "hmd_serve: log window narrower than bundle "
-                        "feature set");
-            window.push_back(sample.counts[idx]);
+    const auto project_logs = [&](const std::vector<perf::RunLog>& src) {
+      std::vector<std::vector<std::vector<double>>> projected(src.size());
+      for (std::size_t l = 0; l < src.size(); ++l) {
+        for (const perf::HpcSample& sample : src[l].samples) {
+          std::vector<double> window;
+          window.reserve(width);
+          if (features.empty()) {
+            window.assign(sample.counts.begin(), sample.counts.end());
+          } else {
+            for (std::size_t idx : features) {
+              HMD_REQUIRE(idx < sample.counts.size(),
+                          "hmd_serve: log window narrower than bundle "
+                          "feature set");
+              window.push_back(sample.counts[idx]);
+            }
           }
+          projected[l].push_back(std::move(window));
         }
-        projected[l].push_back(std::move(window));
       }
-    }
+      return projected;
+    };
+    const auto projected = project_logs(logs);
+    const auto then_projected = project_logs(then_logs);
 
     config.window_size = width;
     config.policy = bundle.policy();
@@ -166,25 +201,51 @@ int main(int argc, char** argv) {
 
     const std::size_t feeders =
         std::min<std::size_t>(4, streams);
+    const auto feed_phase =
+        [&](const std::vector<std::vector<std::vector<double>>>& phase) {
+          std::vector<std::thread> threads;
+          for (std::size_t f = 0; f < feeders; ++f)
+            threads.emplace_back([&, f] {
+              // Feeder f owns streams s % feeders == f; window-by-window
+              // round-robin keeps per-stream order (the determinism
+              // contract).
+              bool more = true;
+              for (std::size_t w = 0; more; ++w) {
+                more = false;
+                for (std::size_t s = f; s < streams; s += feeders) {
+                  const auto& wins = phase[s % phase.size()];
+                  if (w >= wins.size()) continue;
+                  engine.ingest(handles[s], wins[w]);
+                  more = true;
+                }
+              }
+            });
+          for (auto& th : threads) th.join();
+          engine.drain();
+        };
+
     TraceSpan replay("hmd_serve/replay");
-    std::vector<std::thread> threads;
-    for (std::size_t f = 0; f < feeders; ++f)
-      threads.emplace_back([&, f] {
-        // Feeder f owns streams s % feeders == f; window-by-window
-        // round-robin keeps per-stream order (the determinism contract).
-        bool more = true;
-        for (std::size_t w = 0; more; ++w) {
-          more = false;
-          for (std::size_t s = f; s < streams; s += feeders) {
-            const auto& wins = projected[source_log[s]];
-            if (w >= wins.size()) continue;
-            engine.ingest(handles[s], wins[w]);
-            more = true;
-          }
-        }
-      });
-    for (auto& th : threads) th.join();
-    engine.drain();
+    feed_phase(projected);
+    std::uint64_t swap_version = 0;
+    if (config.drift.enabled) {
+      // Pump at the phase boundary: a trip during phase 1 retrains here,
+      // and the swap is visible to all of phase 2's batches.
+      if (retrain) {
+        const std::uint64_t v = engine.await_retrain();
+        if (v != 0) swap_version = v;
+      } else {
+        engine.drift_pump();
+      }
+    }
+    if (!then_projected.empty()) {
+      feed_phase(then_projected);
+      if (retrain) {
+        const std::uint64_t v = engine.await_retrain();
+        if (v != 0) swap_version = v;
+      } else if (config.drift.enabled) {
+        engine.drift_pump();
+      }
+    }
     const double seconds = replay.elapsed_seconds();
 
     if (!checkpoint_path.empty()) {
@@ -196,8 +257,9 @@ int main(int argc, char** argv) {
     }
     engine.shutdown();
 
-    std::printf("%-8s %-16s %-10s %8s %8s %8s %6s\n", "stream", "sample",
-                "label", "windows", "flagged%", "dropped", "alarm");
+    std::printf("%-8s %-16s %-10s %8s %8s %9s %8s %6s\n", "stream",
+                "sample", "label", "windows", "flagged%", "benign-mu",
+                "dropped", "alarm");
     for (std::size_t s = 0; s < streams; ++s) {
       const perf::RunLog& log = logs[source_log[s]];
       const core::OnlineDetector& mon = engine.monitor(handles[s]);
@@ -207,9 +269,10 @@ int main(int argc, char** argv) {
         std::snprintf(alarm_buf, sizeof alarm_buf, "-");
       else
         std::snprintf(alarm_buf, sizeof alarm_buf, "@%zu", alarm);
-      std::printf("%-8zu %-16s %-10s %8zu %8.1f %8llu %6s\n", s,
+      std::printf("%-8zu %-16s %-10s %8zu %8.1f %9.3f %8llu %6s\n", s,
                   log.sample_id.c_str(), log.label.c_str(),
                   mon.windows_seen(), 100.0 * mon.flag_rate(),
+                  mon.benign_score_stats().mean(),
                   static_cast<unsigned long long>(
                       engine.dropped(handles[s])),
                   alarm_buf);
@@ -219,6 +282,28 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(engine.total_ingested()),
                 streams, engine.num_shards(), seconds,
                 static_cast<double>(engine.total_ingested()) / seconds);
+    if (config.drift.enabled) {
+      const auto events = engine.drift_events();
+      std::size_t ph_trips = 0, ks_trips = 0;
+      for (const auto& e : events)
+        (e.detector == serve::DriftEvent::Detector::kPageHinkley
+             ? ph_trips
+             : ks_trips)++;
+      std::printf("drift: %zu trip(s) (%zu page-hinkley, %zu ks)",
+                  events.size(), ph_trips, ks_trips);
+      if (retrain) {
+        if (swap_version != 0)
+          std::printf(", retrained %s swapped in as epoch v%llu",
+                      config.drift.retrain_scheme.c_str(),
+                      static_cast<unsigned long long>(swap_version));
+        else
+          std::printf(", no model swap");
+        if (const auto err = engine.last_retrain_error())
+          std::printf(" (last retrain failed: %s)",
+                      err->to_string().c_str());
+      }
+      std::printf("\n");
+    }
 
     if (!metrics_path.empty()) {
       std::ofstream out(metrics_path);

@@ -212,7 +212,9 @@ int main(int argc, char** argv) {
       HMD_TRACE_SPAN("hmd_train/deployment_replay");
       if (binary) {
         run_deployment_replay(*model, test, policy, pool);
-      } else if (scheme != "Mahalanobis") {
+      } else if (!ml::is_one_class_scheme(scheme)) {
+        // One-class schemes are benign-only detectors; their multiclass
+        // run has no meaningful fresh-binary replay.
         Rng replay_rng(seed);
         ml::Dataset bin = core::DatasetBuilder::to_binary(multi);
         if (top_k > 0) bin = bin.project(features.indices);
