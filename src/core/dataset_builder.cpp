@@ -38,7 +38,7 @@ DatasetBuilder::DatasetBuilder(PipelineConfig config)
 
 workload::SampleDatabase DatasetBuilder::build_database() const {
   return workload::SampleDatabase::generate(config_.composition,
-                                            config_.seed);
+                                            config_.seed, config_.evasion);
 }
 
 std::vector<perf::HpcSample> DatasetBuilder::run_sample(

@@ -33,13 +33,19 @@ struct DetectorInstruments {
 
 }  // namespace
 
-void OnlineDetectorConfig::validate() const {
-  HMD_REQUIRE(flag_threshold > 0.0 && flag_threshold < 1.0,
-              "OnlineDetectorConfig: flag_threshold must be in (0, 1)");
-  HMD_REQUIRE(confirm_windows >= 1,
-              "OnlineDetectorConfig: confirm_windows must be at least 1");
-  HMD_REQUIRE(score_chunk_windows >= 1,
-              "OnlineDetectorConfig: score_chunk_windows must be at least 1");
+Result<void> OnlineDetectorConfig::try_validate() const {
+  if (!(flag_threshold > 0.0 && flag_threshold < 1.0))
+    return ErrorInfo(
+        ErrCode::kPrecondition,
+        "OnlineDetectorConfig.flag_threshold: must be in (0, 1)");
+  if (confirm_windows < 1)
+    return ErrorInfo(ErrCode::kPrecondition,
+                     "OnlineDetectorConfig.confirm_windows: must be >= 1");
+  if (score_chunk_windows < 1)
+    return ErrorInfo(
+        ErrCode::kPrecondition,
+        "OnlineDetectorConfig.score_chunk_windows: must be >= 1");
+  return {};
 }
 
 OnlineDetector::OnlineDetector(const ml::Classifier& model,

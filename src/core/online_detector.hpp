@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "ml/classifier.hpp"
+#include "util/result.hpp"
 #include "util/stats.hpp"
 #include "util/thread_pool.hpp"
 
@@ -35,12 +36,15 @@ struct OnlineDetectorConfig {
   /// affects verdicts and is not part of the persisted policy.
   std::size_t score_chunk_windows = 256;
 
-  /// Throws hmd::PreconditionError unless flag_threshold is in (0, 1),
-  /// confirm_windows >= 1 and score_chunk_windows >= 1. Call sites that
-  /// accept external policy (the detector constructor, deployment-bundle
-  /// load) all funnel through this, so a corrupt persisted policy cannot
-  /// arm a broken monitor.
-  void validate() const;
+  /// kPrecondition error naming the offending field unless
+  /// flag_threshold is in (0, 1), confirm_windows >= 1 and
+  /// score_chunk_windows >= 1. Call sites that accept external policy
+  /// (the detector constructor, deployment-bundle load) all funnel
+  /// through this, so a corrupt persisted policy cannot arm a broken
+  /// monitor.
+  Result<void> try_validate() const;
+  /// Throwing wrapper over try_validate() (raises PreconditionError).
+  void validate() const { try_validate().value(); }
 };
 
 /// Stateful per-program monitor. Feed it HPC windows in order; it reports

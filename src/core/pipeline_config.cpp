@@ -38,6 +38,9 @@ std::string PipelineConfig::cache_key() const {
   mix(collector.events.size());
   mix(static_cast<std::uint64_t>(sandbox.host_noise_frac * 1e6));
   mix(static_cast<std::uint64_t>(train_fraction * 1e6));
+  // Mixed only when a plan is attached so clean-pipeline keys are
+  // unchanged from pre-evasion builds.
+  if (!evasion.empty()) mix(evasion.fingerprint());
   return format("hmd_%016llx", static_cast<unsigned long long>(h));
 }
 

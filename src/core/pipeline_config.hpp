@@ -7,6 +7,7 @@
 #include <string>
 
 #include "perf/collector.hpp"
+#include "workload/evasion.hpp"
 #include "workload/sample_database.hpp"
 #include "workload/sandbox.hpp"
 
@@ -24,6 +25,10 @@ struct PipelineConfig {
   workload::SandboxConfig sandbox;
   /// Train share of the 70/30 split the thesis uses.
   double train_fraction = 0.7;
+  /// Per-class adversarial perturbations applied to the generated samples
+  /// (empty = clean pipeline — the default; an empty plan leaves the
+  /// dataset and its cache key byte-identical to pre-evasion builds).
+  workload::EvasionPlan evasion;
 
   /// Paper-scale configuration: full Table 1 database, 16 windows per
   /// sample → ~49k dataset rows (the thesis reports "around 50,000").

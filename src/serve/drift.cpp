@@ -11,13 +11,17 @@ namespace hmd::serve {
 // ---------------------------------------------------------------------------
 // Page–Hinkley
 
-void PageHinkleyConfig::validate() const {
+Result<void> PageHinkleyConfig::try_validate() const {
   if (delta < 0.0)
-    throw PreconditionError("page-hinkley delta must be >= 0");
+    return ErrorInfo(ErrCode::kPrecondition,
+                     "PageHinkleyConfig.delta: must be >= 0");
   if (lambda <= 0.0)
-    throw PreconditionError("page-hinkley lambda must be > 0");
+    return ErrorInfo(ErrCode::kPrecondition,
+                     "PageHinkleyConfig.lambda: must be > 0");
   if (min_samples == 0)
-    throw PreconditionError("page-hinkley min_samples must be >= 1");
+    return ErrorInfo(ErrCode::kPrecondition,
+                     "PageHinkleyConfig.min_samples: must be >= 1");
+  return {};
 }
 
 PageHinkley::PageHinkley(PageHinkleyConfig config)
@@ -55,11 +59,17 @@ void PageHinkley::restore(const State& state) { state_ = state; }
 // ---------------------------------------------------------------------------
 // Windowed two-sample KS
 
-void KsConfig::validate() const {
-  if (window < 8) throw PreconditionError("ks window must be >= 8");
+Result<void> KsConfig::try_validate() const {
+  if (window < 8)
+    return ErrorInfo(ErrCode::kPrecondition,
+                     "KsConfig.window: must be >= 8");
   if (threshold <= 0.0 || threshold > 1.0)
-    throw PreconditionError("ks threshold must be in (0, 1]");
-  if (stride == 0) throw PreconditionError("ks stride must be >= 1");
+    return ErrorInfo(ErrCode::kPrecondition,
+                     "KsConfig.threshold: must be in (0, 1]");
+  if (stride == 0)
+    return ErrorInfo(ErrCode::kPrecondition,
+                     "KsConfig.stride: must be >= 1");
+  return {};
 }
 
 KsWindowDetector::KsWindowDetector(KsConfig config) : config_(config) {
@@ -171,22 +181,31 @@ std::string to_string(DriftEvent::Detector detector) {
   throw Error("unknown drift detector enumerator");
 }
 
-void DriftConfig::validate() const {
-  page_hinkley.validate();
-  ks.validate();
-  if (!retrain) return;
+Result<void> DriftConfig::try_validate() const {
+  if (Result<void> r = page_hinkley.try_validate(); !r)
+    return std::move(r).with_context("DriftConfig");
+  if (Result<void> r = ks.try_validate(); !r)
+    return std::move(r).with_context("DriftConfig");
+  if (!retrain) return {};
   if (!ml::is_one_class_scheme(retrain_scheme))
-    throw PreconditionError(
-        "drift retrain scheme must be one-class (got \"" + retrain_scheme +
-        "\"; the window log is unlabeled benign traffic)");
+    return ErrorInfo(
+        ErrCode::kPrecondition,
+        "DriftConfig.retrain_scheme: must be one-class (got \"" +
+            retrain_scheme + "\"; the window log is unlabeled benign "
+            "traffic)");
   if (window_log_capacity == 0)
-    throw PreconditionError("drift window_log_capacity must be >= 1");
+    return ErrorInfo(ErrCode::kPrecondition,
+                     "DriftConfig.window_log_capacity: must be >= 1");
   if (retrain_min_rows < 8)
-    throw PreconditionError(
-        "drift retrain_min_rows must be >= 8 (one-class training floor)");
+    return ErrorInfo(
+        ErrCode::kPrecondition,
+        "DriftConfig.retrain_min_rows: must be >= 8 (one-class training "
+        "floor)");
   if (retrain_max_rows < retrain_min_rows)
-    throw PreconditionError(
-        "drift retrain_max_rows must be >= retrain_min_rows");
+    return ErrorInfo(ErrCode::kPrecondition,
+                     "DriftConfig.retrain_max_rows: must be >= "
+                     "retrain_min_rows");
+  return {};
 }
 
 // ---------------------------------------------------------------------------

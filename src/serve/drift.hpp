@@ -37,6 +37,8 @@
 #include <string>
 #include <vector>
 
+#include "util/result.hpp"
+
 namespace hmd::serve {
 
 /// Page–Hinkley test parameters.
@@ -48,7 +50,10 @@ struct PageHinkleyConfig {
   /// Scores observed before the test may trip (baseline warm-up).
   std::size_t min_samples = 64;
 
-  void validate() const;  ///< throws hmd::PreconditionError
+  /// kPrecondition error naming the offending field, or success.
+  Result<void> try_validate() const;
+  /// Throwing wrapper over try_validate() (raises PreconditionError).
+  void validate() const { try_validate().value(); }
 };
 
 /// One-sided Page–Hinkley test for an upward mean shift in the score
@@ -98,7 +103,10 @@ struct KsConfig {
   /// Evaluate every `stride` scores once the sliding window is full.
   std::size_t stride = 32;
 
-  void validate() const;  ///< throws hmd::PreconditionError
+  /// kPrecondition error naming the offending field, or success.
+  Result<void> try_validate() const;
+  /// Throwing wrapper over try_validate() (raises PreconditionError).
+  void validate() const { try_validate().value(); }
 };
 
 /// Windowed two-sample Kolmogorov–Smirnov drift detector.
@@ -190,7 +198,12 @@ struct DriftConfig {
   std::size_t retrain_max_rows = 4096;
   std::uint64_t retrain_seed = 1;
 
-  void validate() const;  ///< throws hmd::PreconditionError
+  /// kPrecondition error naming the offending field; the nested detector
+  /// configs are cascaded with a "DriftConfig" context frame. The retrain
+  /// cluster is only checked when `retrain` is set.
+  Result<void> try_validate() const;
+  /// Throwing wrapper over try_validate() (raises PreconditionError).
+  void validate() const { try_validate().value(); }
 };
 
 /// Both drift detectors plus the cooldown/hysteresis state for one shard.

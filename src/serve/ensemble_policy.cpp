@@ -1,0 +1,181 @@
+#include "serve/ensemble_policy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace hmd::serve {
+
+const char* to_string(EnsembleConfig::Kind kind) {
+  switch (kind) {
+    case EnsembleConfig::Kind::kSingle: return "single";
+    case EnsembleConfig::Kind::kMajority: return "majority";
+    case EnsembleConfig::Kind::kStochastic: return "stochastic";
+  }
+  return "?";
+}
+
+Result<EnsembleConfig::Kind> ensemble_kind_from_name(
+    const std::string& name) {
+  if (name == "single") return EnsembleConfig::Kind::kSingle;
+  if (name == "majority") return EnsembleConfig::Kind::kMajority;
+  if (name == "stochastic") return EnsembleConfig::Kind::kStochastic;
+  return ErrorInfo(
+      ErrCode::kParse,
+      format("unknown policy kind '%s' (single|majority|stochastic)",
+             name.c_str()));
+}
+
+Result<void> EnsembleConfig::try_validate() const {
+  if (kind == Kind::kSingle) {
+    if (!members.empty())
+      return ErrorInfo(
+          ErrCode::kPrecondition,
+          "EnsembleConfig.members: single policy takes no extra members");
+    return {};
+  }
+  const std::size_t total = total_members();
+  if (total < 2)
+    return ErrorInfo(ErrCode::kPrecondition,
+                     format("EnsembleConfig.members: ensemble needs >= 2 "
+                            "total members, got %zu",
+                            total));
+  if (kind == Kind::kMajority && (total < 3 || total % 2 == 0))
+    return ErrorInfo(ErrCode::kPrecondition,
+                     format("EnsembleConfig.members: majority vote needs an "
+                            "odd member count >= 3, got %zu",
+                            total));
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    if (members[i].model == nullptr)
+      return ErrorInfo(ErrCode::kPrecondition,
+                       format("EnsembleConfig.members[%zu].model: null", i));
+    if (members[i].model->num_classes() != 2)
+      return ErrorInfo(
+          ErrCode::kPrecondition,
+          format("EnsembleConfig.members[%zu].model: '%s' is not a trained "
+                 "binary classifier",
+                 i, members[i].model->name().c_str()));
+  }
+  return {};
+}
+
+ScoringPolicy::ScoringPolicy(EnsembleConfig config)
+    : config_(std::move(config)) {
+  config_.validate();
+  HMD_REQUIRE(config_.kind != EnsembleConfig::Kind::kSingle,
+              "ScoringPolicy: single policies use the engine's direct path");
+}
+
+std::size_t ScoringPolicy::select_member(const WindowKey& key) const {
+  // Counter-keyed selection: hash (seed, stream, ordinal) through three
+  // splitmix64 rounds. Pure in its inputs, so the schedule is identical
+  // for any shard count, batch shape, or restore point.
+  std::uint64_t x = config_.seed;
+  std::uint64_t h = splitmix64(x);
+  x ^= key.stream_id + 0x9e3779b97f4a7c15ull;
+  h ^= splitmix64(x);
+  x ^= key.ordinal + 0xbf58476d1ce4e5b9ull;
+  h ^= splitmix64(x);
+  return static_cast<std::size_t>(h % total_members());
+}
+
+const ml::Classifier& ScoringPolicy::member_model(
+    std::size_t index, const ml::Classifier& primary) const {
+  if (config_.include_primary) {
+    if (index == 0) return primary;
+    return *config_.members[index - 1].model;
+  }
+  return *config_.members[index].model;
+}
+
+std::uint64_t ScoringPolicy::member_version(
+    std::size_t index, std::uint64_t primary_version) const {
+  if (config_.include_primary) {
+    if (index == 0) return primary_version;
+    return config_.members[index - 1].version;
+  }
+  return config_.members[index].version;
+}
+
+void ScoringPolicy::score(const ml::Classifier& primary,
+                          std::uint64_t primary_version,
+                          std::span<const double> flat, std::size_t width,
+                          std::span<const WindowKey> keys, std::span<double> dist,
+                          std::span<std::uint64_t> versions,
+                          Scratch& scratch) const {
+  const std::size_t n = keys.size();
+  HMD_REQUIRE(width > 0 && flat.size() == n * width,
+              "ScoringPolicy::score: flat/keys shape mismatch");
+  HMD_REQUIRE(dist.size() == n * 2 && versions.size() == n,
+              "ScoringPolicy::score: output shape mismatch");
+  const std::size_t total = total_members();
+  scratch.member_windows.assign(total, 0);
+  scratch.disagreements = 0;
+  if (n == 0) return;
+
+  if (config_.kind == EnsembleConfig::Kind::kMajority) {
+    // Every member scores the whole batch; the ensemble probability per
+    // window is the median member probability (== majority vote at any
+    // threshold for the odd member count validate() enforces).
+    scratch.member_dist.assign(total * n * 2, 0.0);
+    for (std::size_t m = 0; m < total; ++m) {
+      std::span<double> out(scratch.member_dist.data() + m * n * 2, n * 2);
+      member_model(m, primary).distribution_batch(flat, width, out);
+      scratch.member_windows[m] += n;
+    }
+    scratch.probs.resize(total);
+    for (std::size_t w = 0; w < n; ++w) {
+      std::size_t flagged = 0;
+      for (std::size_t m = 0; m < total; ++m) {
+        const double p = scratch.member_dist[m * n * 2 + w * 2 + 1];
+        scratch.probs[m] = p;
+        if (p >= 0.5) ++flagged;
+      }
+      auto mid = scratch.probs.begin() +
+                 static_cast<std::ptrdiff_t>(total / 2);
+      std::nth_element(scratch.probs.begin(), mid, scratch.probs.end());
+      const double median = *mid;
+      dist[w * 2] = 1.0 - median;
+      dist[w * 2 + 1] = median;
+      // The median IS the ensemble verdict, so its stamp is the live
+      // primary's version — the vote has no single scoring member.
+      versions[w] = primary_version;
+      if (flagged != 0 && flagged != total) ++scratch.disagreements;
+    }
+    return;
+  }
+
+  // Stochastic: pick each window's member, then batch the gathered
+  // windows per member so member models still see one distribution_batch
+  // call per batch.
+  scratch.selection.resize(n);
+  for (std::size_t w = 0; w < n; ++w)
+    scratch.selection[w] = select_member(keys[w]);
+  for (std::size_t m = 0; m < total; ++m) {
+    scratch.gathered.clear();
+    for (std::size_t w = 0; w < n; ++w)
+      if (scratch.selection[w] == m) scratch.gathered.push_back(w);
+    if (scratch.gathered.empty()) continue;
+    const std::size_t rows = scratch.gathered.size();
+    scratch.member_flat.resize(rows * width);
+    for (std::size_t r = 0; r < rows; ++r)
+      std::copy_n(flat.data() + scratch.gathered[r] * width, width,
+                  scratch.member_flat.data() + r * width);
+    scratch.member_dist.assign(rows * 2, 0.0);
+    member_model(m, primary).distribution_batch(
+        scratch.member_flat, width, scratch.member_dist);
+    const std::uint64_t version = member_version(m, primary_version);
+    for (std::size_t r = 0; r < rows; ++r) {
+      const std::size_t w = scratch.gathered[r];
+      dist[w * 2] = scratch.member_dist[r * 2];
+      dist[w * 2 + 1] = scratch.member_dist[r * 2 + 1];
+      versions[w] = version;
+    }
+    scratch.member_windows[m] += rows;
+  }
+}
+
+}  // namespace hmd::serve

@@ -1,0 +1,157 @@
+// Scoring policies for the streaming engine — the ensemble defense of
+// Kuruvila et al. ("Defending Hardware-based Malware Detectors against
+// Adversarial Attacks", arXiv:2005.03644).
+//
+// A single frozen detector is a stationary target: an adversary that can
+// probe it can shape a malware footprint toward benign until the model
+// stops flagging (workload/evasion.hpp builds exactly that attack). The
+// defense is detector diversity:
+//
+//   kSingle      status quo — the hub's live primary scores every window.
+//                The engine keeps its pre-policy scoring path, bit-identical
+//                to a policy-free build.
+//   kMajority    every member scores every window; the per-window ensemble
+//                probability is the MEDIAN member probability. For an odd
+//                member count, median >= t iff a majority of members score
+//                >= t — i.e. one median implements majority voting at every
+//                downstream flag threshold simultaneously (which is why the
+//                member count must be odd).
+//   kStochastic  each window is scored by one member chosen as a pure
+//                function of (policy seed, stream id, per-stream window
+//                ordinal) — the Kuruvila defense: the adversary cannot know
+//                which detector will score any given window, so a
+//                perturbation tuned to one model leaks through the others.
+//                The counter-keyed selection makes verdict streams
+//                bit-identical for any shard count or feeder interleaving,
+//                and checkpoint/restore resumes the selection sequence
+//                exactly (the "RNG state" is the restored per-stream window
+//                count; the EngineSnapshot policy section pins seed/kind/
+//                member count so a mismatched restore fails loudly).
+//
+// Member 0 is the ModelHub's live primary when include_primary is set, so
+// hot-swap and drift-retrain publishes rotate the ensemble's first slot
+// under live traffic; the remaining members are version-pinned frozen
+// models. Degraded shards (serve/resilience.hpp) bypass the ensemble and
+// score on the epoch fallback alone — resilience outranks defense.
+//
+// Metrics (registered only when a non-single policy is active):
+//   serve.policy.windows            counter  windows scored by the policy
+//   serve.policy.member<k>.windows  counter  windows member k scored (or
+//                                            contributed to, for majority)
+//   serve.policy.disagreements      counter  majority windows whose members
+//                                            straddled P(malware) = 0.5
+//   serve.policy.members            gauge    ensemble size
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ml/classifier.hpp"
+#include "util/result.hpp"
+
+namespace hmd::serve {
+
+/// One frozen ensemble member: a trained binary classifier plus the
+/// version stamp its verdicts carry (verdict_versions). Versions are
+/// caller-assigned labels; hmd_serve numbers bundle-loaded members from
+/// 1001 so they cannot collide with live hub epochs.
+struct PolicyMember {
+  std::string name;
+  std::shared_ptr<const ml::Classifier> model;
+  std::uint64_t version = 0;
+};
+
+/// Ensemble policy configuration (embedded in ServeConfig).
+struct EnsembleConfig {
+  enum class Kind {
+    kSingle,     ///< hub primary only (default; pre-policy scoring path)
+    kMajority,   ///< median member probability == majority vote
+    kStochastic  ///< seeded per-window member selection
+  };
+
+  Kind kind = Kind::kSingle;
+  /// Selection seed for kStochastic (part of the determinism contract and
+  /// persisted in snapshots).
+  std::uint64_t seed = 0;
+  /// Use the hub's live primary as member 0 (hot-swaps rotate it).
+  bool include_primary = true;
+  /// Frozen members after the optional primary slot.
+  std::vector<PolicyMember> members;
+
+  /// Members in the ensemble, counting the primary slot.
+  std::size_t total_members() const {
+    return members.size() + (include_primary ? 1 : 0);
+  }
+
+  /// kPrecondition error naming the offending field, or success: single
+  /// policies carry no members; ensembles need >= 2 total members (odd
+  /// and >= 3 for kMajority) and every member model trained binary.
+  Result<void> try_validate() const;
+  void validate() const { try_validate().value(); }
+};
+
+const char* to_string(EnsembleConfig::Kind kind);
+/// Inverse of to_string; kParse error for unknown names.
+Result<EnsembleConfig::Kind> ensemble_kind_from_name(const std::string& name);
+
+/// The scoring strategy between shard workers and the ModelHub. Stateless
+/// across calls (all mutable scratch is caller-owned), so shard workers
+/// share one instance without synchronization.
+class ScoringPolicy {
+ public:
+  /// Identity of one window for stochastic selection: the stream id and
+  /// the stream's scored-window ordinal (0-based). Both survive
+  /// checkpoint/restore, which is what resumes the selection sequence.
+  struct WindowKey {
+    std::uint64_t stream_id = 0;
+    std::uint64_t ordinal = 0;
+  };
+
+  /// Caller-owned (per-worker) buffers + per-call outcome counters.
+  struct Scratch {
+    std::vector<double> member_dist;   ///< majority: all members' outputs
+    std::vector<double> member_flat;   ///< stochastic: gathered windows
+    std::vector<double> probs;         ///< majority: per-window member probs
+    std::vector<std::size_t> selection;  ///< stochastic: member per window
+    std::vector<std::size_t> gathered;   ///< stochastic: window indices
+    /// Windows each member scored in the last score() call.
+    std::vector<std::uint64_t> member_windows;
+    /// Majority windows whose member predictions disagreed at 0.5.
+    std::uint64_t disagreements = 0;
+  };
+
+  /// `config` must be a validated non-single ensemble.
+  explicit ScoringPolicy(EnsembleConfig config);
+
+  const EnsembleConfig& config() const { return config_; }
+  std::size_t total_members() const { return config_.total_members(); }
+
+  /// Member index scoring window `key` under kStochastic — a pure
+  /// function of (config seed, key), exposed so tests can predict the
+  /// schedule.
+  std::size_t select_member(const WindowKey& key) const;
+
+  /// Score `keys.size()` windows of `width` counters ([flat] row-major).
+  /// `primary` is the pinned epoch's live model (member 0 when
+  /// include_primary), `primary_version` its hub version. Writes binary
+  /// distributions to `dist` (n x 2) and the scoring member's version to
+  /// `versions` (n). Member model failures propagate as exceptions — the
+  /// engine's retry/fallback ladder owns recovery.
+  void score(const ml::Classifier& primary, std::uint64_t primary_version,
+             std::span<const double> flat, std::size_t width,
+             std::span<const WindowKey> keys, std::span<double> dist,
+             std::span<std::uint64_t> versions, Scratch& scratch) const;
+
+ private:
+  const ml::Classifier& member_model(std::size_t index,
+                                     const ml::Classifier& primary) const;
+  std::uint64_t member_version(std::size_t index,
+                               std::uint64_t primary_version) const;
+
+  EnsembleConfig config_;
+};
+
+}  // namespace hmd::serve

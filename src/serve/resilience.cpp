@@ -122,27 +122,33 @@ void EngineSnapshot::write(std::ostream& out) const {
       out << "-";
     out << "\n";
   }
-  if (drift.empty()) return;
-  // Optional trailing drift section — readers that predate it stop at the
-  // last stream line, readers that expect it treat EOF here as "none".
-  out << "drift_shards " << drift.size() << "\n";
-  for (const DriftShardSnapshot& d : drift) {
-    const ShardDriftDetector::State& st = d.state;
-    out << "drift_shard " << d.shard << " scores " << st.scores
-        << " cooldown_left " << st.cooldown_left << " suppressed "
-        << st.suppressed << "\n";
-    out << "ph count " << st.page_hinkley.count << " mean "
-        << hex_double(st.page_hinkley.mean) << " cumulative "
-        << hex_double(st.page_hinkley.cumulative) << " minimum "
-        << hex_double(st.page_hinkley.minimum) << " last_deviation "
-        << hex_double(st.page_hinkley.last_deviation) << " trips "
-        << st.page_hinkley.trips << "\n";
-    out << "ks observed " << st.ks.observed << " last_statistic "
-        << hex_double(st.ks.last_statistic) << " trips " << st.ks.trips
-        << "\n";
-    write_hex_vector(out, "ks_reference", st.ks.reference);
-    write_hex_vector(out, "ks_current", st.ks.current);
+  if (!drift.empty()) {
+    // Optional trailing drift section — readers that predate it stop at
+    // the last stream line, readers that expect it treat EOF as "none".
+    out << "drift_shards " << drift.size() << "\n";
+    for (const DriftShardSnapshot& d : drift) {
+      const ShardDriftDetector::State& st = d.state;
+      out << "drift_shard " << d.shard << " scores " << st.scores
+          << " cooldown_left " << st.cooldown_left << " suppressed "
+          << st.suppressed << "\n";
+      out << "ph count " << st.page_hinkley.count << " mean "
+          << hex_double(st.page_hinkley.mean) << " cumulative "
+          << hex_double(st.page_hinkley.cumulative) << " minimum "
+          << hex_double(st.page_hinkley.minimum) << " last_deviation "
+          << hex_double(st.page_hinkley.last_deviation) << " trips "
+          << st.page_hinkley.trips << "\n";
+      out << "ks observed " << st.ks.observed << " last_statistic "
+          << hex_double(st.ks.last_statistic) << " trips " << st.ks.trips
+          << "\n";
+      write_hex_vector(out, "ks_reference", st.ks.reference);
+      write_hex_vector(out, "ks_current", st.ks.current);
+    }
   }
+  // Optional policy section (after drift): pins the scoring-policy
+  // identity so a restore under a different policy fails loudly.
+  if (policy.present)
+    out << "policy " << policy.kind << " seed " << policy.seed << " members "
+        << policy.members << "\n";
 }
 
 namespace {
@@ -214,6 +220,9 @@ std::istringstream next_line(std::istream& in, const char* what) {
   return std::istringstream(line);
 }
 
+void read_drift_shards(std::istream& in, std::uint64_t drift_count,
+                       EngineSnapshot& snapshot);
+
 EngineSnapshot read_snapshot_impl(std::istream& in) {
   std::string line;
   if (!std::getline(in, line) || line != "hmd-snapshot v1")
@@ -273,16 +282,41 @@ EngineSnapshot read_snapshot_impl(std::istream& in) {
     snapshot.streams.push_back(s);
   }
 
-  // Optional drift section. EOF here means a pre-drift snapshot (or an
-  // engine running without drift) — both load fine with no drift state.
+  // Optional trailing sections, in order: drift, then policy. EOF (or a
+  // blank line) at either point means a snapshot written before that
+  // layer existed, or by an engine running without it — all load fine.
   if (!std::getline(in, line)) return snapshot;
   if (line.find_first_not_of(" \t\r") == std::string::npos) return snapshot;
-  std::uint64_t drift_count = 0;
+  if (line.rfind("drift_shards", 0) == 0) {
+    std::uint64_t drift_count = 0;
+    {
+      std::istringstream fields(line);
+      drift_count = expect_field(fields, "drift_shards");
+      expect_line_end(fields, "drift_shards");
+    }
+    read_drift_shards(in, drift_count, snapshot);
+    if (!std::getline(in, line)) return snapshot;
+    if (line.find_first_not_of(" \t\r") == std::string::npos)
+      return snapshot;
+  }
   {
     std::istringstream fields(line);
-    drift_count = expect_field(fields, "drift_shards");
-    expect_line_end(fields, "drift_shards");
+    std::string word;
+    if (!(fields >> word) || word != "policy")
+      snapshot_fail("expected optional section 'drift_shards' or 'policy'");
+    if (!(fields >> snapshot.policy.kind))
+      snapshot_fail("bad value for field 'policy'");
+    snapshot.policy.seed = expect_field(fields, "seed");
+    snapshot.policy.members = expect_field(fields, "members");
+    expect_line_end(fields, "policy");
+    snapshot.policy.present = true;
   }
+  return snapshot;
+}
+
+/// Reads `drift_count` per-shard drift blocks into `snapshot.drift`.
+void read_drift_shards(std::istream& in, std::uint64_t drift_count,
+                       EngineSnapshot& snapshot) {
   snapshot.drift.reserve(drift_count);
   for (std::uint64_t i = 0; i < drift_count; ++i) {
     DriftShardSnapshot d;
@@ -332,7 +366,6 @@ EngineSnapshot read_snapshot_impl(std::istream& in) {
     }
     snapshot.drift.push_back(std::move(d));
   }
-  return snapshot;
 }
 
 }  // namespace
@@ -350,12 +383,17 @@ EngineSnapshot EngineSnapshot::read_or_throw(std::istream& in) {
 // FaultInjector
 // --------------------------------------------------------------------------
 
-void FaultPlan::validate() const {
-  HMD_REQUIRE(score_throw_rate >= 0.0 && score_throw_rate <= 1.0,
-              "FaultPlan: score_throw_rate must be in [0, 1]");
-  HMD_REQUIRE(slow_batch_rate >= 0.0 && slow_batch_rate <= 1.0,
-              "FaultPlan: slow_batch_rate must be in [0, 1]");
-  HMD_REQUIRE(throw_burst >= 1, "FaultPlan: throw_burst must be >= 1");
+Result<void> FaultPlan::try_validate() const {
+  if (!(score_throw_rate >= 0.0 && score_throw_rate <= 1.0))
+    return ErrorInfo(ErrCode::kPrecondition,
+                     "FaultPlan.score_throw_rate: must be in [0, 1]");
+  if (!(slow_batch_rate >= 0.0 && slow_batch_rate <= 1.0))
+    return ErrorInfo(ErrCode::kPrecondition,
+                     "FaultPlan.slow_batch_rate: must be in [0, 1]");
+  if (throw_burst < 1)
+    return ErrorInfo(ErrCode::kPrecondition,
+                     "FaultPlan.throw_burst: must be >= 1");
+  return {};
 }
 
 FaultInjector::FaultInjector(FaultPlan plan) : plan_(plan) {
@@ -418,13 +456,20 @@ void FaultInjector::on_score_attempt(std::size_t shard, std::uint64_t ordinal,
 // ResilienceConfig
 // --------------------------------------------------------------------------
 
-void ResilienceConfig::validate() const {
-  HMD_REQUIRE(degrade_after >= 1,
-              "ResilienceConfig: degrade_after must be >= 1");
-  HMD_REQUIRE(probe_every >= 1, "ResilienceConfig: probe_every must be >= 1");
-  HMD_REQUIRE(budget_strikes >= 1,
-              "ResilienceConfig: budget_strikes must be >= 1");
-  if (faults) faults->plan().validate();
+Result<void> ResilienceConfig::try_validate() const {
+  if (degrade_after < 1)
+    return ErrorInfo(ErrCode::kPrecondition,
+                     "ResilienceConfig.degrade_after: must be >= 1");
+  if (probe_every < 1)
+    return ErrorInfo(ErrCode::kPrecondition,
+                     "ResilienceConfig.probe_every: must be >= 1");
+  if (budget_strikes < 1)
+    return ErrorInfo(ErrCode::kPrecondition,
+                     "ResilienceConfig.budget_strikes: must be >= 1");
+  if (faults)
+    return std::move(faults->plan().try_validate())
+        .with_context("ResilienceConfig");
+  return {};
 }
 
 }  // namespace hmd::serve

@@ -37,6 +37,7 @@
 #include <iosfwd>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "core/online_detector.hpp"
@@ -125,6 +126,21 @@ struct DriftShardSnapshot {
   ShardDriftDetector::State state;
 };
 
+/// Identity of the scoring policy that produced a checkpoint
+/// (serve/ensemble_policy.hpp). The stochastic policy's selection
+/// sequence is a pure function of (seed, stream, window ordinal) and the
+/// ordinals are already restored through each stream's detector state, so
+/// nothing mutable needs persisting — but restoring a snapshot into an
+/// engine with a DIFFERENT policy would silently change the verdict
+/// stream. This section pins kind/seed/member count so such a restore
+/// fails loudly instead.
+struct PolicySnapshot {
+  bool present = false;  ///< engine ran a non-single scoring policy
+  std::string kind;      ///< to_string(EnsembleConfig::Kind)
+  std::uint64_t seed = 0;
+  std::uint64_t members = 0;  ///< total ensemble size
+};
+
 /// A whole-engine checkpoint. Write with checkpoint(); feed back through
 /// ServeConfig::restore_from to continue bit-identically. The format is a
 /// line-oriented text artifact ("hmd-snapshot v1") — small (streams are
@@ -136,6 +152,9 @@ struct EngineSnapshot {
   /// engine ran without DriftConfig::enabled, and absent from (still
   /// readable) snapshots written before the drift layer existed.
   std::vector<DriftShardSnapshot> drift;
+  /// Scoring-policy identity — an OPTIONAL trailing section after drift,
+  /// written only by engines running a non-single policy.
+  PolicySnapshot policy;
 
   void write(std::ostream& out) const;
 
@@ -180,7 +199,10 @@ struct FaultPlan {
   /// retry exhaustion and degraded mode deterministically.
   std::size_t fail_first_batches = 0;
 
-  void validate() const;  ///< throws PreconditionError on bad rates
+  /// kPrecondition error naming the offending field, or success.
+  Result<void> try_validate() const;
+  /// Throwing wrapper over try_validate() (raises PreconditionError).
+  void validate() const { try_validate().value(); }
 };
 
 /// The injection hook the shard workers call before every scoring
@@ -241,7 +263,11 @@ struct ResilienceConfig {
   /// Test hook; null in production.
   std::shared_ptr<FaultInjector> faults;
 
-  void validate() const;  ///< throws PreconditionError on zero cadences
+  /// kPrecondition error naming the offending field (an attached fault
+  /// plan is cascaded with a "ResilienceConfig" context frame).
+  Result<void> try_validate() const;
+  /// Throwing wrapper over try_validate() (raises PreconditionError).
+  void validate() const { try_validate().value(); }
 };
 
 }  // namespace hmd::serve

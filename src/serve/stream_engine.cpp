@@ -42,17 +42,29 @@ std::shared_ptr<ModelHub> hub_for(const ml::Classifier& model) {
 
 }  // namespace
 
-void ServeConfig::validate() const {
-  HMD_REQUIRE(num_shards >= 1, "ServeConfig: num_shards must be >= 1");
-  HMD_REQUIRE(window_size >= 1 && window_size <= kMaxWindowWidth,
-              "ServeConfig: window_size must be in [1, 16]");
-  HMD_REQUIRE(ring_capacity >= 2,
-              "ServeConfig: ring_capacity must be >= 2");
-  HMD_REQUIRE(max_batch_windows >= 1,
-              "ServeConfig: max_batch_windows must be >= 1");
-  policy.validate();
-  resilience.validate();
-  if (drift.enabled) drift.validate();
+Result<void> ServeConfig::try_validate() const {
+  if (num_shards < 1)
+    return ErrorInfo(ErrCode::kPrecondition,
+                     "ServeConfig.num_shards: must be >= 1");
+  if (window_size < 1 || window_size > kMaxWindowWidth)
+    return ErrorInfo(ErrCode::kPrecondition,
+                     "ServeConfig.window_size: must be in [1, 16]");
+  if (ring_capacity < 2)
+    return ErrorInfo(ErrCode::kPrecondition,
+                     "ServeConfig.ring_capacity: must be >= 2");
+  if (max_batch_windows < 1)
+    return ErrorInfo(ErrCode::kPrecondition,
+                     "ServeConfig.max_batch_windows: must be >= 1");
+  if (Result<void> r = policy.try_validate(); !r)
+    return std::move(r).with_context("ServeConfig");
+  if (Result<void> r = resilience.try_validate(); !r)
+    return std::move(r).with_context("ServeConfig");
+  if (drift.enabled)
+    if (Result<void> r = drift.try_validate(); !r)
+      return std::move(r).with_context("ServeConfig");
+  if (Result<void> r = ensemble.try_validate(); !r)
+    return std::move(r).with_context("ServeConfig");
+  return {};
 }
 
 StreamRouter::StreamRouter(std::size_t num_shards)
@@ -175,6 +187,12 @@ struct StreamEngine::Batch {
   std::vector<Item> items;
   std::vector<double> flat;
   std::vector<double> dist;
+  // Policy-scored batches only (config.ensemble non-single): window
+  // identities for member selection, the scoring member's version per
+  // window, and the policy's reusable buffers.
+  std::vector<ScoringPolicy::WindowKey> keys;
+  std::vector<std::uint64_t> versions;
+  ScoringPolicy::Scratch policy_scratch;
 };
 
 /// The serve.resilience.* family, resolved once in the constructor so
@@ -192,6 +210,14 @@ struct StreamEngine::ResilienceInstruments {
   Counter& restored_streams;
   Gauge& degraded_shards;
   Gauge& model_version;
+};
+
+/// The serve.policy.* family (resolved only for non-single ensembles).
+struct StreamEngine::PolicyInstruments {
+  Counter& windows;
+  Counter& disagreements;
+  Gauge& members;
+  std::vector<Counter*> member_windows;  ///< serve.policy.member<k>.windows
 };
 
 /// The serve.drift.* family (resolved only when config.drift.enabled).
@@ -261,6 +287,42 @@ StreamEngine::StreamEngine(std::shared_ptr<ModelHub> hub, ServeConfig config)
         reg.counter("serve.drift.retrains_skipped"),
         reg.counter("serve.drift.swaps_published"),
         reg.gauge("serve.drift.window_log_rows")});
+
+  if (config_.ensemble.kind != EnsembleConfig::Kind::kSingle) {
+    policy_ = std::make_unique<ScoringPolicy>(config_.ensemble);
+    policy_ins_ = std::make_unique<PolicyInstruments>(PolicyInstruments{
+        reg.counter("serve.policy.windows"),
+        reg.counter("serve.policy.disagreements"),
+        reg.gauge("serve.policy.members"),
+        {}});
+    policy_ins_->member_windows.reserve(policy_->total_members());
+    for (std::size_t m = 0; m < policy_->total_members(); ++m)
+      policy_ins_->member_windows.push_back(
+          &reg.counter(format("serve.policy.member%zu.windows", m)));
+    policy_ins_->members.set(static_cast<double>(policy_->total_members()));
+  }
+  if (config_.restore_from != nullptr &&
+      config_.restore_from->policy.present) {
+    // The stochastic selection sequence is keyed by (seed, stream, window
+    // ordinal); the ordinals resume through the restored detector states,
+    // so the only way to continue a checkpointed verdict stream correctly
+    // is under the SAME policy. Refuse mismatched restores.
+    const PolicySnapshot& snap = config_.restore_from->policy;
+    HMD_REQUIRE(policy_ != nullptr,
+                "ServeConfig.ensemble.kind: snapshot was written by a '" +
+                    snap.kind + "' policy engine, config is 'single'");
+    HMD_REQUIRE(snap.kind == to_string(config_.ensemble.kind),
+                "ServeConfig.ensemble.kind: snapshot policy kind '" +
+                    snap.kind + "' != configured '" +
+                    to_string(config_.ensemble.kind) + "'");
+    HMD_REQUIRE(snap.seed == config_.ensemble.seed,
+                "ServeConfig.ensemble.seed: does not match the snapshot's "
+                "policy seed");
+    HMD_REQUIRE(snap.members == config_.ensemble.total_members(),
+                "ServeConfig.ensemble.members: snapshot pinned " +
+                    std::to_string(snap.members) + " members, config has " +
+                    std::to_string(config_.ensemble.total_members()));
+  }
 
   shards_.reserve(config_.num_shards);
   for (std::size_t k = 0; k < config_.num_shards; ++k) {
@@ -455,14 +517,43 @@ bool StreamEngine::score_batch(Shard& shard, Batch& batch) {
   }
   const bool have_fallback = epoch->fallback != nullptr;
 
+  if (policy_ != nullptr) {
+    // Window identities for member selection: each stream's windows sit
+    // in one contiguous run of the gather order, so its ordinals are the
+    // monitor's windows_seen() (this worker is the only writer) plus the
+    // offset in the run. A failed batch never advances the monitors, so
+    // dropped windows consume no ordinals and the selection sequence
+    // stays a pure function of the scored traffic.
+    batch.keys.resize(n);
+    std::size_t w = 0;
+    while (w < n) {
+      Stream* stream = batch.items[w].stream;
+      const auto base =
+          static_cast<std::uint64_t>(stream->monitor.windows_seen());
+      std::uint64_t offset = 0;
+      while (w < n && batch.items[w].stream == stream) {
+        batch.keys[w] = {stream->id, base + offset};
+        ++offset;
+        ++w;
+      }
+    }
+  }
+
   std::optional<ErrorInfo> failure;
   auto attempt_score = [&](const ml::Classifier& model,
-                           std::size_t attempt_no, bool inject) -> bool {
+                           std::size_t attempt_no, bool inject,
+                           bool via_policy) -> bool {
     try {
       if (inject && faults != nullptr)
         faults->on_score_attempt(shard.index, ordinal, attempt_no);
       batch.dist.assign(n * 2, 0.0);
-      model.distribution_batch(batch.flat, width, batch.dist);
+      if (via_policy) {
+        batch.versions.assign(n, 0);
+        policy_->score(model, epoch->version, batch.flat, width, batch.keys,
+                       batch.dist, batch.versions, batch.policy_scratch);
+      } else {
+        model.distribution_batch(batch.flat, width, batch.dist);
+      }
       return true;
     } catch (...) {
       res_->score_failures.add();
@@ -484,7 +575,7 @@ bool StreamEngine::score_batch(Shard& shard, Batch& batch) {
           std::this_thread::sleep_for(std::chrono::microseconds(
               res.retry_backoff_us * static_cast<std::uint64_t>(a)));
       }
-      scored = attempt_score(*epoch->primary, a, true);
+      scored = attempt_score(*epoch->primary, a, true, policy_ != nullptr);
     }
     if (scored) {
       by_primary = true;
@@ -497,7 +588,7 @@ bool StreamEngine::score_batch(Shard& shard, Batch& batch) {
     // the primary, and a single success recovers the shard.
     ++shard.degraded_batches;
     if (shard.degraded_batches % res.probe_every == 0 &&
-        attempt_score(*epoch->primary, 0, true)) {
+        attempt_score(*epoch->primary, 0, true, policy_ != nullptr)) {
       scored = true;
       by_primary = true;
       leave_degraded(shard);
@@ -505,7 +596,10 @@ bool StreamEngine::score_batch(Shard& shard, Batch& batch) {
   }
 
   if (!scored && have_fallback) {
-    scored = attempt_score(*epoch->fallback, 0, false);
+    // Degraded scoring bypasses the ensemble: the fallback is the one
+    // model known-good right now, and a policy whose members include the
+    // failing primary would defeat the point of falling back.
+    scored = attempt_score(*epoch->fallback, 0, false, false);
     if (scored) res_->fallback_batches.add();
   }
 
@@ -535,6 +629,11 @@ bool StreamEngine::score_batch(Shard& shard, Batch& batch) {
     }
   }
 
+  // True when this batch's distributions came from the scoring policy
+  // (normal or probe path); fallback-scored batches carry the epoch
+  // fallback's verdicts and version.
+  const bool policy_scored = policy_ != nullptr && by_primary;
+
   // Serial per-stream replay of the streak/alarm machine, in gather
   // order — per stream this is exactly arrival order. Under the apply
   // mutex so snapshot() only ever sees monitors between batches.
@@ -557,7 +656,12 @@ bool StreamEngine::score_batch(Shard& shard, Batch& batch) {
       const Verdict verdict = stream.monitor.apply_probability(probability);
       if (config_.record_verdicts) {
         stream.verdict_log.push_back(verdict);
-        stream.version_log.push_back(epoch->version);
+        // Under a policy the stamp is the member that actually scored the
+        // window (majority verdicts carry the live primary's version);
+        // drift detection below keeps keying off the epoch version, since
+        // its swap re-baselining tracks hub publishes, not members.
+        stream.version_log.push_back(policy_scored ? batch.versions[w]
+                                                   : epoch->version);
       }
       if (shard.drift != nullptr) {
         if (const auto event =
@@ -594,6 +698,15 @@ bool StreamEngine::score_batch(Shard& shard, Batch& batch) {
       if (suppressed_now > suppressed_before)
         drift_ins_->suppressed.add(suppressed_now - suppressed_before);
     }
+  }
+  if (policy_scored) {
+    const ScoringPolicy::Scratch& scratch = batch.policy_scratch;
+    policy_ins_->windows.add(n);
+    if (scratch.disagreements > 0)
+      policy_ins_->disagreements.add(scratch.disagreements);
+    for (std::size_t m = 0; m < scratch.member_windows.size(); ++m)
+      if (scratch.member_windows[m] > 0)
+        policy_ins_->member_windows[m]->add(scratch.member_windows[m]);
   }
   shard.batches->add();
   shard.batch_size->record(static_cast<double>(n));
@@ -947,6 +1060,12 @@ EngineSnapshot StreamEngine::snapshot() const {
       d.state = shard->drift->state();
       snap.drift.push_back(std::move(d));
     }
+  }
+  if (policy_ != nullptr) {
+    snap.policy.present = true;
+    snap.policy.kind = to_string(config_.ensemble.kind);
+    snap.policy.seed = config_.ensemble.seed;
+    snap.policy.members = policy_->total_members();
   }
   res_->checkpoints.add();
   return snap;

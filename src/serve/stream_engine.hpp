@@ -50,6 +50,9 @@
 //   scores, trips, trips_page_hinkley, trips_ks, suppressed,
 //   retrains_started, retrains_completed, retrains_failed,
 //   retrains_skipped, swaps_published (counters); window_log_rows (gauge);
+// the serve.policy.* family when a non-single ensemble policy is active
+// (serve/ensemble_policy.hpp, docs/adversarial.md):
+//   windows, member<k>.windows, disagreements (counters); members (gauge);
 // and a "serve/shard<k>/batch" trace span per scored batch (plus a
 // "serve/drift/retrain" span around each background rebuild).
 #pragma once
@@ -69,6 +72,7 @@
 #include "core/online_detector.hpp"
 #include "ml/classifier.hpp"
 #include "serve/drift.hpp"
+#include "serve/ensemble_policy.hpp"
 #include "serve/resilience.hpp"
 #include "util/result.hpp"
 
@@ -115,14 +119,29 @@ struct ServeConfig {
   /// the model through drift_pump()/await_retrain().
   DriftConfig drift;
 
+  /// Scoring policy between shard workers and the hub
+  /// (serve/ensemble_policy.hpp, docs/adversarial.md). kSingle (the
+  /// default) keeps the engine's direct scoring path, bit-identical to a
+  /// policy-free build; majority/stochastic ensembles score through a
+  /// ScoringPolicy, stamping each verdict with its scoring member's
+  /// version. Degraded shards bypass the policy (fallback scores alone).
+  EnsembleConfig ensemble;
+
   /// Checkpoint to resume from: streams registered with an id present in
   /// the snapshot pick up that stream's detector state and counters
   /// (first-come for duplicate ids). Null = cold start.
   std::shared_ptr<const EngineSnapshot> restore_from;
 
-  /// Throws hmd::PreconditionError on out-of-range fields (including the
-  /// embedded alarm and resilience policies).
-  void validate() const;
+  /// The single validation entry point for the whole serving config: own
+  /// fields first, then every nested cluster (policy, resilience, drift
+  /// when enabled, ensemble). Failures are kPrecondition ErrorInfo values
+  /// naming the offending field ("ServeConfig: OnlineDetectorConfig.
+  /// flag_threshold: must be in (0, 1)"), so tools can print exactly
+  /// which knob is wrong without string-matching exception text.
+  Result<void> try_validate() const;
+  /// Throwing wrapper over try_validate() (raises PreconditionError) —
+  /// called by the engine constructor.
+  void validate() const { try_validate().value(); }
 };
 
 /// Deterministic stream-id → shard mapping (splitmix64 hash, mod shards).
@@ -225,6 +244,10 @@ class StreamEngine {
   /// True while shard k is scoring on the fallback model.
   bool shard_degraded(std::size_t shard) const;
 
+  /// The active scoring policy, or null when config().ensemble is single
+  /// (tests predict the stochastic schedule through it).
+  const ScoringPolicy* scoring_policy() const { return policy_.get(); }
+
   /// Per-stream monitor (streak/alarm state) — read after drain().
   const core::OnlineDetector& monitor(StreamHandle stream) const;
   /// Per-stream verdict log (empty unless config().record_verdicts).
@@ -284,6 +307,7 @@ class StreamEngine {
   struct Batch;
   struct ResilienceInstruments;
   struct DriftInstruments;
+  struct PolicyInstruments;
 
   void worker_loop(Shard& shard);
   /// One batch through the degradation ladder; returns false when the
@@ -324,6 +348,11 @@ class StreamEngine {
 
   std::unique_ptr<ResilienceInstruments> res_;
   std::atomic<std::size_t> degraded_count_{0};
+
+  /// Non-null iff config_.ensemble.kind != kSingle. Shared by all shard
+  /// workers (stateless; scratch lives in each worker's Batch).
+  std::unique_ptr<ScoringPolicy> policy_;
+  std::unique_ptr<PolicyInstruments> policy_ins_;
 
   mutable std::mutex error_mutex_;
   std::optional<ErrorInfo> first_error_;

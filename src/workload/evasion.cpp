@@ -1,0 +1,314 @@
+#include "workload/evasion.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "hwsim/core.hpp"
+#include "hwsim/memory_hierarchy.hpp"
+#include "ml/classifier.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+#include "workload/sandbox.hpp"
+
+namespace hmd::workload {
+
+namespace {
+
+/// Scales the k-th numeric knob of a phase (declaration order: weight,
+/// load_frac, store_frac, branch_frac, cond_branch_frac, branch_bias,
+/// jump_spread, code_pages, data_pages, hot_pages, hot_frac, stream_frac).
+void knob_scale(PhaseParams& p, std::size_t k, double factor) {
+  auto pages = [factor](std::uint32_t v) {
+    const double scaled = std::lround(static_cast<double>(v) * factor);
+    return static_cast<std::uint32_t>(std::max(1.0, scaled));
+  };
+  switch (k) {
+    case 0: p.weight *= factor; return;
+    case 1: p.load_frac *= factor; return;
+    case 2: p.store_frac *= factor; return;
+    case 3: p.branch_frac *= factor; return;
+    case 4: p.cond_branch_frac *= factor; return;
+    case 5: p.branch_bias *= factor; return;
+    case 6: p.jump_spread *= factor; return;
+    case 7: p.code_pages = pages(p.code_pages); return;
+    case 8: p.data_pages = pages(p.data_pages); return;
+    case 9: p.hot_pages = pages(p.hot_pages); return;
+    case 10: p.hot_frac *= factor; return;
+    case 11: p.stream_frac *= factor; return;
+    default: break;
+  }
+  throw PreconditionError("knob index out of range");
+}
+
+std::uint64_t fnv1a_mix(std::uint64_t h, std::uint64_t v) {
+  for (int byte = 0; byte < 8; ++byte) {
+    h ^= (v >> (byte * 8)) & 0xffull;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::uint64_t fnv1a_mix(std::uint64_t h, double v) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  return fnv1a_mix(h, bits);
+}
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+
+}  // namespace
+
+Result<void> EvasionBudget::try_validate() const {
+  if (!(max_rel_step > 0.0 && max_rel_step < 1.0))
+    return ErrorInfo(ErrCode::kPrecondition,
+                     "EvasionBudget.max_rel_step: must be in (0, 1)");
+  if (!(max_facade_weight >= 0.0 && max_facade_weight < 1.0))
+    return ErrorInfo(ErrCode::kPrecondition,
+                     "EvasionBudget.max_facade_weight: must be in [0, 1)");
+  return {};
+}
+
+BehaviorProfile EvasionPerturbation::apply(const BehaviorProfile& base) const {
+  HMD_REQUIRE(factors.size() % kKnobsPerPhase == 0,
+              "EvasionPerturbation.factors must be phases x kKnobsPerPhase");
+  BehaviorProfile out = base;
+  const std::size_t covered =
+      std::min(out.phases.size(), factors.size() / kKnobsPerPhase);
+  for (std::size_t p = 0; p < covered; ++p) {
+    for (std::size_t k = 0; k < kKnobsPerPhase; ++k)
+      knob_scale(out.phases[p], k, factors[p * kKnobsPerPhase + k]);
+    out.phases[p].sanitize();
+  }
+  if (facade_weight > 0.0) {
+    HMD_REQUIRE(facade_weight < 1.0, "facade_weight must be < 1");
+    double total = 0.0;
+    for (const PhaseParams& p : out.phases) total += p.weight;
+    PhaseParams facade = class_archetype(AppClass::kBenign).phases.front();
+    facade.name = "evasion-facade";
+    // Weight chosen so the facade's *normalized* share is facade_weight.
+    facade.weight = facade_weight / (1.0 - facade_weight) * total;
+    facade.sanitize();
+    out.phases.push_back(std::move(facade));
+  }
+  return out;
+}
+
+Result<void> EvasionPerturbation::try_validate(
+    const EvasionBudget& budget) const {
+  if (Result<void> r = budget.try_validate(); !r) return r;
+  if (factors.size() % kKnobsPerPhase != 0)
+    return ErrorInfo(
+        ErrCode::kPrecondition,
+        format("EvasionPerturbation.factors: size %zu is not a multiple of "
+               "%zu knobs per phase",
+               factors.size(), kKnobsPerPhase));
+  const double lo = 1.0 - budget.max_rel_step;
+  const double hi = 1.0 + budget.max_rel_step;
+  for (std::size_t i = 0; i < factors.size(); ++i) {
+    const double f = factors[i];
+    if (!std::isfinite(f) || f < lo || f > hi)
+      return ErrorInfo(
+          ErrCode::kPrecondition,
+          format("EvasionPerturbation.factors[%zu]: %g outside budget "
+                 "[%g, %g]",
+                 i, f, lo, hi));
+  }
+  if (!std::isfinite(facade_weight) || facade_weight < 0.0 ||
+      facade_weight > budget.max_facade_weight)
+    return ErrorInfo(
+        ErrCode::kPrecondition,
+        format("EvasionPerturbation.facade_weight: %g outside [0, %g]",
+               facade_weight, budget.max_facade_weight));
+  return {};
+}
+
+std::uint64_t EvasionPerturbation::fingerprint() const {
+  std::uint64_t h = kFnvOffset;
+  h = fnv1a_mix(h, static_cast<std::uint64_t>(factors.size()));
+  for (double f : factors) h = fnv1a_mix(h, f);
+  h = fnv1a_mix(h, facade_weight);
+  return h;
+}
+
+BehaviorProfile ProfileSpec::instantiate() const {
+  Rng rng(seed_);
+  BehaviorProfile profile =
+      instantiate_sample_profile(family_, rng, stealth_prob_);
+  if (perturbation_ && !perturbation_->empty())
+    profile = perturbation_->apply(profile);
+  return profile;
+}
+
+void EvasionPlan::set(AppClass c, EvasionPerturbation p) {
+  const auto idx = static_cast<std::size_t>(c);
+  HMD_REQUIRE(idx < kNumAppClasses, "EvasionPlan: invalid class");
+  by_class_[idx] = std::make_shared<const EvasionPerturbation>(std::move(p));
+}
+
+std::shared_ptr<const EvasionPerturbation> EvasionPlan::find(
+    AppClass c) const {
+  const auto idx = static_cast<std::size_t>(c);
+  HMD_REQUIRE(idx < kNumAppClasses, "EvasionPlan: invalid class");
+  return by_class_[idx];
+}
+
+bool EvasionPlan::empty() const {
+  return std::all_of(by_class_.begin(), by_class_.end(),
+                     [](const auto& p) { return p == nullptr; });
+}
+
+std::uint64_t EvasionPlan::fingerprint() const {
+  std::uint64_t h = kFnvOffset;
+  for (std::size_t c = 0; c < kNumAppClasses; ++c) {
+    if (by_class_[c] == nullptr) continue;
+    h = fnv1a_mix(h, static_cast<std::uint64_t>(c));
+    h = fnv1a_mix(h, by_class_[c]->fingerprint());
+  }
+  return h;
+}
+
+perf::CollectorConfig default_probe_collector() {
+  perf::CollectorConfig cfg;
+  cfg.num_windows = 4;
+  cfg.warmup_windows = 2;
+  cfg.ops_per_window = 2000;
+  return cfg;
+}
+
+Result<void> EvasionConfig::try_validate() const {
+  if (iterations == 0)
+    return ErrorInfo(ErrCode::kPrecondition,
+                     "EvasionConfig.iterations: must be >= 1");
+  if (probe_samples == 0)
+    return ErrorInfo(ErrCode::kPrecondition,
+                     "EvasionConfig.probe_samples: must be >= 1");
+  if (!(step > 0.0 && step < 1.0))
+    return ErrorInfo(ErrCode::kPrecondition,
+                     "EvasionConfig.step: must be in (0, 1)");
+  if (collector.num_windows == 0)
+    return ErrorInfo(ErrCode::kPrecondition,
+                     "EvasionConfig.collector.num_windows: must be >= 1");
+  return std::move(budget.try_validate()).with_context("EvasionConfig");
+}
+
+namespace {
+
+/// Mean surrogate P(malware) over probe instantiations of `family` under
+/// `perturbation`. Probes run the full sandbox -> core -> collector
+/// pipeline that dataset builds use, including the default container
+/// noise model and the builder's noise-seed salt.
+double evasion_objective(AppClass family, const ml::Classifier& surrogate,
+                         const EvasionConfig& config,
+                         const EvasionPerturbation& perturbation,
+                         const std::vector<std::uint64_t>& probe_seeds) {
+  const auto shared =
+      std::make_shared<const EvasionPerturbation>(perturbation);
+  double sum = 0.0;
+  std::size_t windows = 0;
+  std::vector<double> features;
+  for (std::uint64_t probe_seed : probe_seeds) {
+    SampleRecord rec;
+    rec.id = "evasion-probe";
+    rec.label = family;
+    rec.seed = probe_seed;
+    rec.perturbation = shared;
+    Sandbox sandbox(rec);
+    hwsim::Core core(hwsim::CoreConfig{},
+                     hwsim::MemoryHierarchy::miniature());
+    const perf::HpcCollector collector(config.collector);
+    const auto samples =
+        collector.collect(core, sandbox, probe_seed ^ 0xab5e11);
+    for (const perf::HpcSample& w : samples) {
+      features.clear();
+      if (config.feature_subset.empty()) {
+        features.assign(w.counts.begin(), w.counts.end());
+      } else {
+        for (std::size_t idx : config.feature_subset) {
+          HMD_REQUIRE(idx < w.counts.size(),
+                      "EvasionConfig.feature_subset index out of range");
+          features.push_back(w.counts[idx]);
+        }
+      }
+      sum += surrogate.distribution(features)[1];
+      ++windows;
+    }
+  }
+  return sum / static_cast<double>(windows);
+}
+
+}  // namespace
+
+EvasionResult evade_family(AppClass family, const ml::Classifier& surrogate,
+                           const EvasionConfig& config) {
+  config.validate();
+  HMD_REQUIRE(is_malware(family), "evade_family: family must be malware");
+  HMD_REQUIRE(surrogate.num_classes() == 2,
+              "evade_family: surrogate must be a binary classifier");
+
+  // Probe sub-seeds are fixed up front from the config seed so every
+  // candidate is scored on the same instantiations.
+  std::vector<std::uint64_t> probe_seeds;
+  probe_seeds.reserve(config.probe_samples);
+  std::uint64_t chain = config.seed ^ 0xe7a5'1011'5eed'0a11ull;
+  for (std::size_t i = 0; i < config.probe_samples; ++i)
+    probe_seeds.push_back(splitmix64(chain));
+
+  const std::size_t num_phases = class_archetype(family).phases.size();
+  const std::size_t num_factor_knobs = num_phases * kKnobsPerPhase;
+
+  EvasionResult result;
+  result.perturbation.factors.assign(num_factor_knobs, 1.0);
+  result.clean_score = evasion_objective(family, surrogate, config,
+                                         result.perturbation, probe_seeds);
+  result.evaluations = 1;
+
+  double best = result.clean_score;
+  const double lo = 1.0 - config.budget.max_rel_step;
+  const double hi = 1.0 + config.budget.max_rel_step;
+
+  // Coordinates are visited in seeded random order, one full pass after
+  // another (the extra index is the facade weight). Independent uniform
+  // picks would leave many knobs untouched whenever iterations is of the
+  // same order as the knob count — and reach the facade, the single most
+  // effective knob, only with probability 1/(n+1) per iteration.
+  std::vector<std::size_t> order(num_factor_knobs + 1);
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  Rng rng(config.seed);
+  for (std::size_t iter = 0; iter < config.iterations; ++iter) {
+    // One coordinate per iteration; all rng draws happen unconditionally
+    // so the search trajectory is a pure function of the seed.
+    if (iter % order.size() == 0) rng.shuffle(order);
+    const std::size_t k = order[iter % order.size()];
+    const double magnitude = config.step * rng.uniform(0.5, 1.5);
+    for (const double direction : {1.0, -1.0}) {
+      EvasionPerturbation candidate = result.perturbation;
+      if (k == num_factor_knobs) {
+        candidate.facade_weight =
+            std::clamp(candidate.facade_weight + direction * magnitude,
+                       0.0, config.budget.max_facade_weight);
+        if (candidate.facade_weight == result.perturbation.facade_weight)
+          continue;
+      } else {
+        candidate.factors[k] =
+            std::clamp(candidate.factors[k] + direction * magnitude, lo, hi);
+        if (candidate.factors[k] == result.perturbation.factors[k]) continue;
+      }
+      const double score = evasion_objective(family, surrogate, config,
+                                             candidate, probe_seeds);
+      ++result.evaluations;
+      if (score < best) {
+        best = score;
+        result.perturbation = std::move(candidate);
+        ++result.accepted_steps;
+        break;
+      }
+    }
+  }
+
+  result.evaded_score = best;
+  return result;
+}
+
+}  // namespace hmd::workload

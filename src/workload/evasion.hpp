@@ -1,0 +1,198 @@
+// Adversarial evasion of HPC-based detectors (Kuruvila et al.,
+// arXiv:2005.03644): shape a malware family's hardware-counter footprint
+// toward the benign distribution while preserving the payload-defining
+// structure of its behaviour profile.
+//
+// The attack operates on the *generative* parameters, not on counter
+// values directly: an EvasionPerturbation multiplies the numeric knobs of
+// the family archetype's phases (instruction mix, branch behaviour,
+// footprints, locality) by bounded per-knob factors and may blend in a
+// benign "evasion-facade" phase — the knobs an author of a real evasive
+// variant could actually turn. Payload structure is preserved by
+// construction: the archetype's phases are never removed or reordered,
+// only rescaled within the declared EvasionBudget.
+//
+// evade_family() searches for such a perturbation with a seeded,
+// gradient-free coordinate hill-climb scored against a frozen surrogate
+// classifier: each candidate is evaluated by instantiating probe samples,
+// running them through the same sandbox -> simulated core -> HPC collector
+// pipeline that builds training datasets, and averaging the surrogate's
+// P(malware) over the collected windows. Fixed seed => identical
+// perturbation, bit-for-bit.
+//
+// ProfileSpec is the fluent builder that composes family, seed, stealth
+// probability and an optional perturbation into a sample profile; it is
+// the single instantiation path used by SampleRecord::profile(), so a
+// perturbation attached to a database record flows through Sandbox and
+// DatasetBuilder unchanged.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "perf/collector.hpp"
+#include "util/result.hpp"
+#include "util/rng.hpp"
+#include "workload/app_class.hpp"
+#include "workload/behavior_profile.hpp"
+
+namespace hmd::ml {
+class Classifier;
+}  // namespace hmd::ml
+
+namespace hmd::workload {
+
+/// Number of numeric knobs EvasionPerturbation controls per phase
+/// (every PhaseParams field except the name).
+inline constexpr std::size_t kKnobsPerPhase = 12;
+
+/// How far a perturbation may move the generative parameters. The budget
+/// is what keeps the payload behaviour recognizable: factors stay within
+/// [1 - max_rel_step, 1 + max_rel_step] and the facade share is capped.
+struct EvasionBudget {
+  /// Per-knob multiplicative bound: factors lie in [1 - b, 1 + b].
+  double max_rel_step = 0.30;
+  /// Cap on the normalized execution share of the blended benign facade.
+  double max_facade_weight = 0.35;
+
+  /// kPrecondition error naming the offending field, or success.
+  Result<void> try_validate() const;
+  /// Throwing wrapper around try_validate().
+  void validate() const { try_validate().value(); }
+};
+
+/// A bounded perturbation of one family's generative parameters.
+///
+/// `factors` is a flat phases x kKnobsPerPhase array of multiplicative
+/// factors applied to the archetype-derived phases in declaration order
+/// (weight, load_frac, store_frac, branch_frac, cond_branch_frac,
+/// branch_bias, jump_spread, code_pages, data_pages, hot_pages, hot_frac,
+/// stream_frac). Phases beyond factors.size() / kKnobsPerPhase — e.g. a
+/// jitter-added stealth facade — pass through untouched. An empty
+/// perturbation is the identity.
+struct EvasionPerturbation {
+  std::vector<double> factors;
+  /// Normalized execution share of the appended benign facade phase
+  /// (0 = no facade).
+  double facade_weight = 0.0;
+
+  bool empty() const { return factors.empty() && facade_weight <= 0.0; }
+
+  /// Applies the perturbation: rescale knobs, re-sanitize each phase,
+  /// append the facade phase when facade_weight > 0. The base profile's
+  /// phases are never removed or reordered.
+  BehaviorProfile apply(const BehaviorProfile& base) const;
+
+  /// Checks the perturbation lies within `budget` (kPrecondition error
+  /// naming the offending field otherwise).
+  Result<void> try_validate(const EvasionBudget& budget) const;
+
+  /// Stable FNV-1a fingerprint of the perturbation contents.
+  std::uint64_t fingerprint() const;
+};
+
+/// Fluent builder for per-sample behaviour profiles — the declarative
+/// replacement for the positional (class, rng, stealth_prob) plumbing:
+///
+///   ProfileSpec{}.family(AppClass::kVirus).seed(42)
+///                .perturb(perturbation).instantiate()
+///
+/// instantiate() is deterministic in the builder's state and, with no
+/// perturbation attached, byte-identical to the legacy
+/// instantiate_sample_profile(family, Rng(seed)) path.
+class ProfileSpec {
+ public:
+  ProfileSpec& family(AppClass c) { family_ = c; return *this; }
+  ProfileSpec& seed(std::uint64_t s) { seed_ = s; return *this; }
+  ProfileSpec& stealth_prob(double p) { stealth_prob_ = p; return *this; }
+  ProfileSpec& perturb(std::shared_ptr<const EvasionPerturbation> p) {
+    perturbation_ = std::move(p);
+    return *this;
+  }
+
+  AppClass family() const { return family_; }
+  std::uint64_t seed() const { return seed_; }
+  const std::shared_ptr<const EvasionPerturbation>& perturbation() const {
+    return perturbation_;
+  }
+
+  /// Instantiate the sample profile (jitter, optional stealth facade,
+  /// then the perturbation, if any).
+  BehaviorProfile instantiate() const;
+
+ private:
+  AppClass family_ = AppClass::kBenign;
+  std::uint64_t seed_ = 0;
+  double stealth_prob_ = 0.15;
+  std::shared_ptr<const EvasionPerturbation> perturbation_;
+};
+
+/// Per-family perturbations to apply across a generated database —
+/// the "adversarial campaign" attached to SampleDatabase::generate.
+class EvasionPlan {
+ public:
+  /// Attach a perturbation to every sample of class `c`.
+  void set(AppClass c, EvasionPerturbation p);
+
+  /// The perturbation for class `c`, or null.
+  std::shared_ptr<const EvasionPerturbation> find(AppClass c) const;
+
+  bool empty() const;
+
+  /// Stable FNV-1a fingerprint of the whole plan (for dataset cache keys).
+  std::uint64_t fingerprint() const;
+
+ private:
+  std::array<std::shared_ptr<const EvasionPerturbation>, kNumAppClasses>
+      by_class_{};
+};
+
+/// Probe-collection shape for evade_family: few short windows, enough to
+/// estimate the surrogate's view of a candidate cheaply.
+perf::CollectorConfig default_probe_collector();
+
+/// Search configuration for evade_family. Deterministic in `seed`.
+struct EvasionConfig {
+  std::uint64_t seed = 0x5eed;
+  /// Coordinate-search iterations (each tries up to two directions).
+  std::size_t iterations = 48;
+  /// Profile instantiations averaged per candidate evaluation.
+  std::size_t probe_samples = 3;
+  /// Base coordinate step, scaled by a seeded U(0.5, 1.5) per iteration.
+  double step = 0.12;
+  EvasionBudget budget;
+  /// Probe collection shape; should mirror the config the surrogate's
+  /// training dataset was built with (probes use the default sandbox
+  /// noise model, as dataset builds do).
+  perf::CollectorConfig collector = default_probe_collector();
+  /// Feature indices the surrogate consumes (empty = all collected
+  /// events, in collector order).
+  std::vector<std::size_t> feature_subset;
+
+  /// kPrecondition error naming the offending field, or success.
+  Result<void> try_validate() const;
+  void validate() const { try_validate().value(); }
+};
+
+/// Outcome of an evasion search.
+struct EvasionResult {
+  EvasionPerturbation perturbation;
+  /// Mean surrogate P(malware) of the unperturbed family.
+  double clean_score = 0.0;
+  /// Mean surrogate P(malware) under the returned perturbation
+  /// (<= clean_score: only improving steps are accepted).
+  double evaded_score = 0.0;
+  std::size_t evaluations = 0;     ///< candidate objective evaluations
+  std::size_t accepted_steps = 0;  ///< candidates that improved the score
+};
+
+/// Seeded coordinate hill-climb: find a within-budget perturbation of
+/// `family`'s generative parameters that minimizes the frozen binary
+/// `surrogate`'s mean P(malware) over probe windows. Requires
+/// is_malware(family) and surrogate.num_classes() == 2.
+EvasionResult evade_family(AppClass family, const ml::Classifier& surrogate,
+                           const EvasionConfig& config);
+
+}  // namespace hmd::workload

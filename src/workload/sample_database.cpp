@@ -9,8 +9,11 @@
 namespace hmd::workload {
 
 BehaviorProfile SampleRecord::profile() const {
-  Rng rng(seed);
-  return instantiate_sample_profile(label, rng);
+  return ProfileSpec{}
+      .family(label)
+      .seed(seed)
+      .perturb(perturbation)
+      .instantiate();
 }
 
 std::size_t DatabaseComposition::total() const {
@@ -41,6 +44,12 @@ DatabaseComposition DatabaseComposition::scaled(double factor) {
 
 SampleDatabase SampleDatabase::generate(
     const DatabaseComposition& composition, std::uint64_t seed) {
+  return generate(composition, seed, EvasionPlan{});
+}
+
+SampleDatabase SampleDatabase::generate(
+    const DatabaseComposition& composition, std::uint64_t seed,
+    const EvasionPlan& plan) {
   HMD_REQUIRE(!composition.counts.empty(), "empty database composition");
   SampleDatabase db;
   Rng rng(seed);
@@ -63,6 +72,9 @@ SampleDatabase SampleDatabase::generate(
         rec.av_total = 60 + static_cast<int>(rng.uniform_index(8));
         rec.av_positives = 0;
       }
+      // Attached after the id/AV draws: a plan never shifts the RNG
+      // sequence, so the sample registry is byte-identical to a clean run.
+      rec.perturbation = plan.find(cls);
       db.samples_.push_back(std::move(rec));
     }
   }

@@ -10,12 +10,14 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "util/rng.hpp"
 #include "workload/app_class.hpp"
 #include "workload/behavior_profile.hpp"
+#include "workload/evasion.hpp"
 
 namespace hmd::workload {
 
@@ -26,8 +28,12 @@ struct SampleRecord {
   std::uint64_t seed = 0;  ///< instantiation seed for the behaviour profile
   int av_positives = 0;    ///< VirusTotal-style detections (out of av_total)
   int av_total = 0;
+  /// Adversarial perturbation applied on top of the instantiated profile
+  /// (null for clean samples — the default).
+  std::shared_ptr<const EvasionPerturbation> perturbation;
 
-  /// The per-sample behaviour profile (deterministic in `seed`).
+  /// The per-sample behaviour profile (deterministic in `seed` and the
+  /// attached perturbation).
   BehaviorProfile profile() const;
 };
 
@@ -49,6 +55,14 @@ class SampleDatabase {
   /// Builds a database with the given composition. Deterministic in `seed`.
   static SampleDatabase generate(const DatabaseComposition& composition,
                                  std::uint64_t seed);
+
+  /// As above, attaching `plan`'s per-class perturbations to the records.
+  /// The identity/seed/AV metadata draw sequence is unchanged: a plan
+  /// shapes the *footprints* of the same samples, it never changes which
+  /// samples exist.
+  static SampleDatabase generate(const DatabaseComposition& composition,
+                                 std::uint64_t seed,
+                                 const EvasionPlan& plan);
 
   const std::vector<SampleRecord>& samples() const { return samples_; }
   std::size_t size() const { return samples_.size(); }

@@ -1,0 +1,533 @@
+#include "serve/ensemble_policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/resilience.hpp"
+#include "serve/stream_engine.hpp"
+#include "util/error.hpp"
+#include "util/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace hmd::serve {
+namespace {
+
+/// Fixed-output binary stub: every window scores P(malware) = p.
+class ConstModel : public ml::Classifier {
+ public:
+  explicit ConstModel(double p) : p_(p) {}
+  void train(const ml::DatasetView&) override {}
+  std::size_t predict(std::span<const double>) const override {
+    return p_ > 0.5 ? 1 : 0;
+  }
+  std::vector<double> distribution(std::span<const double>) const override {
+    return {1.0 - p_, p_};
+  }
+  std::string name() const override { return "Const"; }
+  std::size_t num_classes() const override { return 2; }
+
+ private:
+  double p_;
+};
+
+/// Deterministic stub: P(malware) = first counter value.
+class StubModel : public ml::Classifier {
+ public:
+  void train(const ml::DatasetView&) override {}
+  std::size_t predict(std::span<const double> f) const override {
+    return f[0] > 0.5 ? 1 : 0;
+  }
+  std::vector<double> distribution(
+      std::span<const double> f) const override {
+    return {1.0 - f[0], f[0]};
+  }
+  std::string name() const override { return "Stub"; }
+  std::size_t num_classes() const override { return 2; }
+};
+
+PolicyMember make_member(double p, std::uint64_t version) {
+  return PolicyMember{"Const", std::make_shared<const ConstModel>(p),
+                      version};
+}
+
+/// Two frozen members around a Stub primary; any (kind, seed) on top.
+EnsembleConfig sandwich_ensemble(EnsembleConfig::Kind kind,
+                                 std::uint64_t seed, double lo = 0.0,
+                                 double hi = 1.0) {
+  EnsembleConfig ens;
+  ens.kind = kind;
+  ens.seed = seed;
+  ens.members.push_back(make_member(lo, 2001));
+  ens.members.push_back(make_member(hi, 2002));
+  return ens;
+}
+
+/// Deterministic per-stream window generator (see test_stream_engine).
+std::vector<std::vector<double>> make_stream_windows(
+    std::uint64_t stream_seed, std::size_t num_windows,
+    std::size_t width) {
+  Rng rng(stream_seed);
+  std::vector<std::vector<double>> windows;
+  windows.reserve(num_windows);
+  for (std::size_t w = 0; w < num_windows; ++w) {
+    std::vector<double> window(width);
+    const bool hot = rng.bernoulli(0.3);
+    for (std::size_t f = 0; f < width; ++f)
+      window[f] = hot ? rng.uniform(0.95, 1.0) : rng.uniform();
+    windows.push_back(std::move(window));
+  }
+  return windows;
+}
+
+TEST(EnsembleConfig, ValidateNamesOffendingField) {
+  EXPECT_NO_THROW(EnsembleConfig{}.validate());
+
+  EnsembleConfig c;
+  c.members.push_back(make_member(0.5, 1));
+  Result<void> r = c.try_validate();  // kSingle takes no members
+  ASSERT_FALSE(r);
+  EXPECT_NE(r.error().message().find("EnsembleConfig.members"),
+            std::string::npos);
+
+  c = {};
+  c.kind = EnsembleConfig::Kind::kStochastic;
+  r = c.try_validate();  // primary alone is not an ensemble
+  ASSERT_FALSE(r);
+  EXPECT_NE(r.error().message().find(">= 2"), std::string::npos);
+
+  c = {};
+  c.kind = EnsembleConfig::Kind::kMajority;
+  c.members.push_back(make_member(0.5, 1));  // total 2: even
+  r = c.try_validate();
+  ASSERT_FALSE(r);
+  EXPECT_NE(r.error().message().find("odd"), std::string::npos);
+  EXPECT_THROW(c.validate(), PreconditionError);
+
+  c = sandwich_ensemble(EnsembleConfig::Kind::kMajority, 0);
+  c.members[1].model = nullptr;
+  r = c.try_validate();
+  ASSERT_FALSE(r);
+  EXPECT_NE(r.error().message().find("members[1].model"), std::string::npos);
+
+  EXPECT_TRUE(bool(
+      sandwich_ensemble(EnsembleConfig::Kind::kMajority, 0).try_validate()));
+}
+
+TEST(EnsembleConfig, KindNamesRoundTrip) {
+  for (const auto kind : {EnsembleConfig::Kind::kSingle,
+                          EnsembleConfig::Kind::kMajority,
+                          EnsembleConfig::Kind::kStochastic}) {
+    const Result<EnsembleConfig::Kind> back =
+        ensemble_kind_from_name(to_string(kind));
+    ASSERT_TRUE(bool(back)) << to_string(kind);
+    EXPECT_EQ(back.value(), kind);
+  }
+  const Result<EnsembleConfig::Kind> bad = ensemble_kind_from_name("vote");
+  ASSERT_FALSE(bad);
+  EXPECT_EQ(bad.error().code(), ErrCode::kParse);
+}
+
+TEST(ScoringPolicy, RejectsSinglePolicy) {
+  EXPECT_THROW(ScoringPolicy(EnsembleConfig{}), PreconditionError);
+}
+
+TEST(ScoringPolicy, MajorityIsMedianAndCountsDisagreements) {
+  const ScoringPolicy policy(
+      sandwich_ensemble(EnsembleConfig::Kind::kMajority, 0, 0.2, 0.9));
+  const ConstModel primary(0.7);
+
+  constexpr std::size_t kWindows = 4;
+  const std::vector<double> flat(kWindows * 3, 0.0);
+  std::vector<ScoringPolicy::WindowKey> keys(kWindows);
+  for (std::size_t w = 0; w < kWindows; ++w) keys[w] = {9, w};
+  std::vector<double> dist(kWindows * 2, -1.0);
+  std::vector<std::uint64_t> versions(kWindows, 0);
+  ScoringPolicy::Scratch scratch;
+  policy.score(primary, 7, flat, 3, keys, dist, versions, scratch);
+
+  for (std::size_t w = 0; w < kWindows; ++w) {
+    // median of {0.7 (primary), 0.2, 0.9} — and the vote carries the
+    // live primary's version stamp.
+    EXPECT_EQ(dist[w * 2 + 1], 0.7) << "window " << w;
+    EXPECT_EQ(dist[w * 2], 1.0 - 0.7) << "window " << w;
+    EXPECT_EQ(versions[w], 7u) << "window " << w;
+  }
+  // Members straddle 0.5 (0.2 vs 0.7/0.9): every window is a recorded
+  // disagreement, and all three members scored the whole batch.
+  EXPECT_EQ(scratch.disagreements, kWindows);
+  ASSERT_EQ(scratch.member_windows.size(), 3u);
+  for (const std::uint64_t n : scratch.member_windows)
+    EXPECT_EQ(n, kWindows);
+
+  // Unanimous members: no disagreements.
+  const ScoringPolicy agree(
+      sandwich_ensemble(EnsembleConfig::Kind::kMajority, 0, 0.8, 0.9));
+  agree.score(primary, 7, flat, 3, keys, dist, versions, scratch);
+  EXPECT_EQ(scratch.disagreements, 0u);
+}
+
+TEST(ScoringPolicy, StochasticSelectionIsSeededPureAndCovers) {
+  const auto config =
+      sandwich_ensemble(EnsembleConfig::Kind::kStochastic, 0xabcd);
+  const ScoringPolicy policy(config);
+  const ScoringPolicy twin(config);
+
+  std::set<std::size_t> seen;
+  bool differs_from_other_seed = false;
+  auto other = config;
+  other.seed = 0xabce;
+  const ScoringPolicy reseeded(other);
+  for (std::uint64_t stream : {1ull, 17ull, 4242ull}) {
+    for (std::uint64_t ordinal = 0; ordinal < 200; ++ordinal) {
+      const ScoringPolicy::WindowKey key{stream, ordinal};
+      const std::size_t m = policy.select_member(key);
+      ASSERT_LT(m, policy.total_members());
+      // Pure in (seed, key): recomputing or rebuilding the policy cannot
+      // change the schedule.
+      EXPECT_EQ(m, policy.select_member(key));
+      EXPECT_EQ(m, twin.select_member(key));
+      seen.insert(m);
+      if (m != reseeded.select_member(key)) differs_from_other_seed = true;
+    }
+  }
+  // Rotation actually rotates: every member selected somewhere, and the
+  // schedule depends on the seed.
+  EXPECT_EQ(seen.size(), policy.total_members());
+  EXPECT_TRUE(differs_from_other_seed);
+}
+
+TEST(ScoringPolicy, StochasticScoresWithSelectedMemberAndVersion) {
+  const ScoringPolicy policy(
+      sandwich_ensemble(EnsembleConfig::Kind::kStochastic, 99, 0.25, 0.75));
+  const ConstModel primary(0.111);
+
+  constexpr std::size_t kWindows = 64;
+  const std::vector<double> flat(kWindows, 0.0);
+  std::vector<ScoringPolicy::WindowKey> keys(kWindows);
+  for (std::size_t w = 0; w < kWindows; ++w) keys[w] = {5, 100 + w};
+  std::vector<double> dist(kWindows * 2, -1.0);
+  std::vector<std::uint64_t> versions(kWindows, 0);
+  ScoringPolicy::Scratch scratch;
+  policy.score(primary, 7, flat, 1, keys, dist, versions, scratch);
+
+  const double probs[] = {0.111, 0.25, 0.75};
+  const std::uint64_t vers[] = {7, 2001, 2002};
+  std::vector<std::uint64_t> counted(3, 0);
+  for (std::size_t w = 0; w < kWindows; ++w) {
+    const std::size_t m = policy.select_member(keys[w]);
+    EXPECT_EQ(dist[w * 2 + 1], probs[m]) << "window " << w;
+    EXPECT_EQ(versions[w], vers[m]) << "window " << w;
+    ++counted[m];
+  }
+  ASSERT_EQ(scratch.member_windows.size(), 3u);
+  for (std::size_t m = 0; m < 3; ++m)
+    EXPECT_EQ(scratch.member_windows[m], counted[m]) << "member " << m;
+}
+
+TEST(StreamEngine, SinglePolicyKeepsDirectScoringPath) {
+  StubModel model;
+  ServeConfig config;
+  config.window_size = 1;
+  config.record_verdicts = true;
+  StreamEngine engine(model, config);
+  EXPECT_EQ(engine.scoring_policy(), nullptr);
+
+  auto* stream = engine.register_stream(1);
+  const auto windows = make_stream_windows(31, 120, 1);
+  for (const auto& w : windows) engine.ingest(stream, w);
+  engine.drain();
+
+  // Bit-identical to the pre-policy engine: every verdict probability is
+  // the model's own output, stamped with the hub epoch (1).
+  const auto& verdicts = engine.verdicts(stream);
+  ASSERT_EQ(verdicts.size(), windows.size());
+  for (std::size_t w = 0; w < windows.size(); ++w)
+    EXPECT_EQ(verdicts[w].probability, windows[w][0]) << "window " << w;
+  for (const std::uint64_t v : engine.verdict_versions(stream))
+    EXPECT_EQ(v, 1u);
+}
+
+TEST(StreamEngine, MajorityWithSandwichMembersMatchesPrimary) {
+  metrics().reset();
+  StubModel model;
+  ServeConfig config;
+  config.window_size = 1;
+  config.num_shards = 2;
+  config.record_verdicts = true;
+  // Members pinned to 0 and 1: the median of {f[0], 0, 1} is f[0], so the
+  // ensemble must reproduce the primary's verdict stream exactly.
+  config.ensemble = sandwich_ensemble(EnsembleConfig::Kind::kMajority, 0);
+  StreamEngine engine(model, config);
+  ASSERT_NE(engine.scoring_policy(), nullptr);
+
+  constexpr std::size_t kWindows = 90;
+  auto* stream = engine.register_stream(3);
+  const auto windows = make_stream_windows(77, kWindows, 1);
+  for (const auto& w : windows) engine.ingest(stream, w);
+  engine.drain();
+
+  const auto& verdicts = engine.verdicts(stream);
+  ASSERT_EQ(verdicts.size(), kWindows);
+  for (std::size_t w = 0; w < kWindows; ++w) {
+    EXPECT_EQ(verdicts[w].probability, windows[w][0]) << "window " << w;
+    EXPECT_EQ(engine.verdict_versions(stream)[w], 1u) << "window " << w;
+  }
+
+  // serve.policy.* accounting: every window through the policy, every
+  // member scored every window, ensemble size published as a gauge.
+  EXPECT_EQ(metrics().counter("serve.policy.windows").value(), kWindows);
+  EXPECT_EQ(metrics().gauge("serve.policy.members").value(), 3.0);
+  for (std::size_t m = 0; m < 3; ++m)
+    EXPECT_EQ(metrics()
+                  .counter("serve.policy.member" + std::to_string(m) +
+                           ".windows")
+                  .value(),
+              kWindows)
+        << "member " << m;
+  // Const members at 0 and 1 straddle every threshold the Stub crosses.
+  EXPECT_GT(metrics().counter("serve.policy.disagreements").value(), 0u);
+  engine.shutdown();
+  metrics().reset();
+}
+
+TEST(StreamEngine, StochasticVerdictsInvariantAcrossShardCounts) {
+  StubModel model;
+  constexpr std::size_t kStreams = 7;
+  constexpr std::size_t kWindows = 110;
+  std::vector<std::vector<std::vector<double>>> workload;
+  for (std::size_t s = 0; s < kStreams; ++s)
+    workload.push_back(make_stream_windows(600 + s, kWindows, 1));
+
+  std::vector<std::vector<std::vector<double>>> probs_by_run;
+  std::vector<std::vector<std::vector<std::uint64_t>>> versions_by_run;
+  for (std::size_t shards : {1u, 2u, 4u}) {
+    ServeConfig config;
+    config.window_size = 1;
+    config.num_shards = shards;
+    config.record_verdicts = true;
+    config.ensemble = sandwich_ensemble(EnsembleConfig::Kind::kStochastic,
+                                        0x5e1ec7, 0.25, 0.75);
+    StreamEngine engine(model, config);
+    std::vector<StreamEngine::StreamHandle> handles;
+    for (std::size_t s = 0; s < kStreams; ++s)
+      handles.push_back(engine.register_stream(40 + s));
+    for (std::size_t w = 0; w < kWindows; ++w)
+      for (std::size_t s = 0; s < kStreams; ++s)
+        engine.ingest(handles[s], workload[s][w]);
+    engine.drain();
+
+    std::vector<std::vector<double>> probs;
+    std::vector<std::vector<std::uint64_t>> versions;
+    for (std::size_t s = 0; s < kStreams; ++s) {
+      std::vector<double> p;
+      for (const auto& v : engine.verdicts(handles[s]))
+        p.push_back(v.probability);
+      probs.push_back(std::move(p));
+      versions.push_back(engine.verdict_versions(handles[s]));
+    }
+
+    // First run doubles as the oracle check: each window's probability
+    // and version stamp belong to the member select_member() names.
+    if (probs_by_run.empty()) {
+      const ScoringPolicy& policy = *engine.scoring_policy();
+      for (std::size_t s = 0; s < kStreams; ++s) {
+        for (std::size_t w = 0; w < kWindows; ++w) {
+          const std::size_t m =
+              policy.select_member({40 + s, static_cast<std::uint64_t>(w)});
+          const double expected[] = {workload[s][w][0], 0.25, 0.75};
+          const std::uint64_t vers[] = {1, 2001, 2002};
+          EXPECT_EQ(probs[s][w], expected[m])
+              << "stream " << s << " window " << w;
+          EXPECT_EQ(versions[s][w], vers[m])
+              << "stream " << s << " window " << w;
+        }
+      }
+    }
+    probs_by_run.push_back(std::move(probs));
+    versions_by_run.push_back(std::move(versions));
+  }
+  for (std::size_t r = 1; r < probs_by_run.size(); ++r) {
+    EXPECT_EQ(probs_by_run[r], probs_by_run[0]) << "run " << r;
+    EXPECT_EQ(versions_by_run[r], versions_by_run[0]) << "run " << r;
+  }
+}
+
+TEST(StreamEngine, SnapshotPinsPolicyAndRejectsMismatchedRestore) {
+  StubModel model;
+  ServeConfig config;
+  config.window_size = 1;
+  config.record_verdicts = true;
+  config.ensemble = sandwich_ensemble(EnsembleConfig::Kind::kStochastic,
+                                      1234, 0.25, 0.75);
+  StreamEngine engine(model, config);
+  auto* stream = engine.register_stream(8);
+  for (const auto& w : make_stream_windows(5, 40, 1))
+    engine.ingest(stream, w);
+  engine.drain();
+
+  std::stringstream buffer;
+  engine.checkpoint(buffer);
+  const EngineSnapshot snap = EngineSnapshot::read_or_throw(buffer);
+  EXPECT_TRUE(snap.policy.present);
+  EXPECT_EQ(snap.policy.kind, "stochastic");
+  EXPECT_EQ(snap.policy.seed, 1234u);
+  EXPECT_EQ(snap.policy.members, 3u);
+
+  const auto shared = std::make_shared<const EngineSnapshot>(snap);
+  {
+    // Matching policy: restore is accepted.
+    ServeConfig same = config;
+    same.restore_from = shared;
+    EXPECT_NO_THROW(StreamEngine(model, same).shutdown());
+  }
+  {
+    ServeConfig single;
+    single.window_size = 1;
+    single.restore_from = shared;
+    EXPECT_THROW(StreamEngine(model, single), PreconditionError);
+  }
+  {
+    ServeConfig majority = config;
+    majority.ensemble.kind = EnsembleConfig::Kind::kMajority;
+    majority.restore_from = shared;
+    EXPECT_THROW(StreamEngine(model, majority), PreconditionError);
+  }
+  {
+    ServeConfig reseeded = config;
+    reseeded.ensemble.seed = 1235;
+    reseeded.restore_from = shared;
+    EXPECT_THROW(StreamEngine(model, reseeded), PreconditionError);
+  }
+  {
+    ServeConfig wider = config;
+    wider.ensemble.members.push_back(make_member(0.5, 2003));
+    wider.ensemble.members.push_back(make_member(0.5, 2004));
+    wider.restore_from = shared;
+    EXPECT_THROW(StreamEngine(model, wider), PreconditionError);
+  }
+}
+
+// Concurrent-feeder soak for the stochastic policy: the verdict stream
+// must be a pure function of (seed, stream, ordinal) — invariant under
+// feeder interleaving, shard count, AND a checkpoint/restore cut at an
+// arbitrary point, which exercises the restored-ordinal continuation of
+// the selection schedule. The TSan CI job runs this suite (PolicySoak)
+// for race coverage of the shared ScoringPolicy.
+TEST(PolicySoak, RestartAndReshardPreserveStochasticVerdictStreams) {
+  StubModel model;
+  constexpr std::size_t kFeeders = 4;
+  constexpr std::size_t kStreamsPerFeeder = 3;
+  constexpr std::size_t kStreams = kFeeders * kStreamsPerFeeder;
+  constexpr std::size_t kWindows = 140;
+  constexpr std::size_t kCut = 60;  // checkpoint after this many windows
+
+  const auto ensemble = [] {
+    return sandwich_ensemble(EnsembleConfig::Kind::kStochastic, 0xf01d,
+                             0.25, 0.75);
+  };
+  std::vector<std::vector<std::vector<double>>> workload;
+  for (std::size_t s = 0; s < kStreams; ++s)
+    workload.push_back(make_stream_windows(9000 + s, kWindows, 1));
+
+  // Reference: one engine, one shard, the whole feed in one life.
+  std::vector<std::vector<double>> expected_probs(kStreams);
+  std::vector<std::vector<std::uint64_t>> expected_versions(kStreams);
+  {
+    ServeConfig config;
+    config.window_size = 1;
+    config.record_verdicts = true;
+    config.ensemble = ensemble();
+    StreamEngine engine(model, config);
+    std::vector<StreamEngine::StreamHandle> handles;
+    for (std::size_t s = 0; s < kStreams; ++s)
+      handles.push_back(engine.register_stream(s));
+    for (std::size_t w = 0; w < kWindows; ++w)
+      for (std::size_t s = 0; s < kStreams; ++s)
+        engine.ingest(handles[s], workload[s][w]);
+    engine.drain();
+    for (std::size_t s = 0; s < kStreams; ++s) {
+      for (const auto& v : engine.verdicts(handles[s]))
+        expected_probs[s].push_back(v.probability);
+      expected_versions[s] = engine.verdict_versions(handles[s]);
+    }
+  }
+
+  // Live run: concurrent feeders into a sharded engine, checkpoint at the
+  // cut, restore into an engine with a DIFFERENT shard count, finish the
+  // feed there.
+  auto feed = [&](StreamEngine& engine,
+                  std::vector<StreamEngine::StreamHandle>& handles,
+                  std::size_t begin, std::size_t end) {
+    std::vector<std::thread> feeders;
+    for (std::size_t f = 0; f < kFeeders; ++f)
+      feeders.emplace_back([&, f] {
+        for (std::size_t w = begin; w < end; ++w)
+          for (std::size_t j = 0; j < kStreamsPerFeeder; ++j) {
+            const std::size_t s = f * kStreamsPerFeeder + j;
+            engine.ingest(handles[s], workload[s][w]);
+          }
+      });
+    for (auto& t : feeders) t.join();
+    engine.drain();
+  };
+
+  std::stringstream checkpoint;
+  std::vector<std::vector<double>> probs(kStreams);
+  std::vector<std::vector<std::uint64_t>> versions(kStreams);
+  {
+    ServeConfig config;
+    config.window_size = 1;
+    config.num_shards = 2;
+    config.record_verdicts = true;
+    config.ensemble = ensemble();
+    StreamEngine engine(model, config);
+    std::vector<StreamEngine::StreamHandle> handles;
+    for (std::size_t s = 0; s < kStreams; ++s)
+      handles.push_back(engine.register_stream(s));
+    feed(engine, handles, 0, kCut);
+    engine.checkpoint(checkpoint);
+    for (std::size_t s = 0; s < kStreams; ++s) {
+      for (const auto& v : engine.verdicts(handles[s]))
+        probs[s].push_back(v.probability);
+      versions[s] = engine.verdict_versions(handles[s]);
+    }
+    engine.shutdown();
+  }
+  {
+    ServeConfig config;
+    config.window_size = 1;
+    config.num_shards = 3;
+    config.record_verdicts = true;
+    config.ensemble = ensemble();
+    config.restore_from = std::make_shared<const EngineSnapshot>(
+        EngineSnapshot::read_or_throw(checkpoint));
+    StreamEngine engine(model, config);
+    std::vector<StreamEngine::StreamHandle> handles;
+    for (std::size_t s = 0; s < kStreams; ++s)
+      handles.push_back(engine.register_stream(s));
+    feed(engine, handles, kCut, kWindows);
+    for (std::size_t s = 0; s < kStreams; ++s) {
+      for (const auto& v : engine.verdicts(handles[s]))
+        probs[s].push_back(v.probability);
+      for (const std::uint64_t v : engine.verdict_versions(handles[s]))
+        versions[s].push_back(v);
+    }
+    engine.shutdown();
+  }
+
+  for (std::size_t s = 0; s < kStreams; ++s) {
+    ASSERT_EQ(probs[s].size(), kWindows) << "stream " << s;
+    EXPECT_EQ(probs[s], expected_probs[s]) << "stream " << s;
+    EXPECT_EQ(versions[s], expected_versions[s]) << "stream " << s;
+  }
+}
+
+}  // namespace
+}  // namespace hmd::serve

@@ -3,19 +3,34 @@
 // Reproduces the thesis's data-collection stage at any scale and writes the
 // result as CSV or ARFF (the formats its WEKA stage consumed).
 //
+// --evade generates the ADVERSARIAL variant (docs/adversarial.md): a
+// clean dataset is built first and a surrogate detector trained on it;
+// each malware family is then perturbed toward the benign footprint with
+// the seeded evasion search (workload/evasion.hpp) and the dataset is
+// rebuilt with the perturbations attached. Fixed seeds give a
+// byte-identical adversarial dataset across runs.
+//
 // Usage:
 //   hmd_dataset [--scale F] [--windows N] [--ops N] [--seed N]
 //               [--binary] [--arff] [--out FILE]
+//               [--evade] [--evade-scheme NAME] [--evade-seed N]
+//               [--evade-iters N] [--metrics-out FILE] [--trace-out FILE]
 #include <fstream>
 #include <iostream>
 #include <string>
 
 #include "core/dataset_builder.hpp"
 #include "ml/arff.hpp"
+#include "ml/registry.hpp"
 #include "util/cli.hpp"
+#include "util/cli_presets.hpp"
 #include "util/error.hpp"
+#include "util/metrics.hpp"
 #include "util/strings.hpp"
 #include "util/thread_pool.hpp"
+#include "util/trace.hpp"
+#include "workload/app_class.hpp"
+#include "workload/evasion.hpp"
 
 int main(int argc, char** argv) {
   using namespace hmd;
@@ -27,6 +42,10 @@ int main(int argc, char** argv) {
   bool binary = false;
   bool arff = false;
   std::string out_path;
+  bool evade = false;
+  std::string evade_scheme = "MLR";
+  workload::EvasionConfig evasion;
+  std::string metrics_path, trace_path;
 
   ArgParser parser("hmd_dataset",
                    "Generate the labelled HPC dataset (CSV or ARFF).");
@@ -36,32 +55,84 @@ int main(int argc, char** argv) {
                   "sampling windows per sample (default 8)");
   parser.add_size("--ops", &cfg.collector.ops_per_window, "N",
                   "simulated ops per 10 ms window (default 3000)");
-  parser.add_uint64("--seed", &cfg.seed, "N", "master seed (default 2018)");
+  cli::add_seed_flag(parser, &cfg.seed, "master");
   parser.add_flag("--binary", &binary,
                   "emit benign/malware labels instead of the 6 classes");
   parser.add_flag("--arff", &arff, "emit ARFF instead of CSV");
   parser.add_string("--out", &out_path, "FILE",
                     "output path (default: stdout)");
+  parser.add_flag("--evade", &evade,
+                  "perturb each malware family toward the benign footprint "
+                  "(adversarial dataset)");
+  parser.add_string("--evade-scheme", &evade_scheme, "NAME",
+                    "surrogate scheme the evasion search attacks "
+                    "(default MLR)");
+  parser.add_uint64("--evade-seed", &evasion.seed, "N",
+                    "evasion search seed (default 24301)");
+  parser.add_size("--evade-iters", &evasion.iterations, "N",
+                  "hill-climb iterations per family (default 48)");
+  cli::add_observability_flags(parser, &metrics_path, &trace_path);
   parser.parse_or_exit(argc, argv);
+  if (!trace_path.empty()) tracer().set_enabled(true);
 
   try {
     cfg.composition = workload::DatabaseComposition::scaled(scale);
-    core::DatasetBuilder builder(cfg);
-    // Per-sample simulation fans across the shared pool (HMD_JOBS jobs;
-    // output is bit-identical to a serial build at any thread count).
-    std::cerr << "collecting " << cfg.composition.total() << " samples x "
-              << cfg.collector.num_windows << " windows ("
-              << global_pool().size() << " jobs)...\n";
-    std::size_t last_pct = 0;
-    ml::Dataset data = builder.build_multiclass_dataset(
-        [&last_pct](std::size_t done, std::size_t total) {
-          const std::size_t pct = done * 100 / total;
-          if (pct >= last_pct + 10) {
-            std::cerr << "  " << pct << "%\n";
-            last_pct = pct;
-          }
-        },
-        &global_pool());
+    const auto build = [&cfg](const char* what) {
+      core::DatasetBuilder builder(cfg);
+      // Per-sample simulation fans across the shared pool (HMD_JOBS jobs;
+      // output is bit-identical to a serial build at any thread count).
+      std::cerr << "collecting " << cfg.composition.total() << " " << what
+                << " samples x " << cfg.collector.num_windows
+                << " windows (" << global_pool().size() << " jobs)...\n";
+      std::size_t last_pct = 0;
+      return builder.build_multiclass_dataset(
+          [&last_pct](std::size_t done, std::size_t total) {
+            const std::size_t pct = done * 100 / total;
+            if (pct >= last_pct + 10) {
+              std::cerr << "  " << pct << "%\n";
+              last_pct = pct;
+            }
+          },
+          &global_pool());
+    };
+
+    ml::Dataset data = build(evade ? "clean" : "labelled");
+
+    if (evade) {
+      // Freeze a surrogate on the clean build, search a within-budget
+      // perturbation per malware family, then rebuild with the resulting
+      // plan attached — the adversarial counterpart of the same corpus.
+      auto surrogate = ml::make_classifier(evade_scheme);
+      surrogate->train(core::DatasetBuilder::to_binary(data));
+      // Probes keep the per-window op count of the real collection (so
+      // counter magnitudes match what the surrogate was trained on) but
+      // use the short probe window shape to keep the search cheap.
+      const std::size_t probe_windows = evasion.collector.num_windows;
+      const std::size_t probe_warmup = evasion.collector.warmup_windows;
+      evasion.collector = cfg.collector;
+      evasion.collector.num_windows = probe_windows;
+      evasion.collector.warmup_windows = probe_warmup;
+      const std::uint64_t base_seed = evasion.seed;
+      workload::EvasionPlan plan;
+      for (workload::AppClass family : workload::malware_classes()) {
+        evasion.seed =
+            base_seed + static_cast<std::uint64_t>(family);
+        const workload::EvasionResult r =
+            workload::evade_family(family, *surrogate, evasion);
+        std::cerr << "evading " << workload::app_class_name(family)
+                  << ": P(malware) " << r.clean_score << " -> "
+                  << r.evaded_score << " (" << r.accepted_steps
+                  << " accepted steps, perturbation "
+                  << hmd::format("%016llx",
+                                 static_cast<unsigned long long>(
+                                     r.perturbation.fingerprint()))
+                  << ")\n";
+        plan.set(family, r.perturbation);
+      }
+      cfg.evasion = plan;
+      data = build("adversarial");
+    }
+
     if (binary) data = core::DatasetBuilder::to_binary(data);
 
     std::ofstream file;
@@ -77,6 +148,17 @@ int main(int argc, char** argv) {
       ml::write_dataset_csv(*out, data);
     std::cerr << "wrote " << data.num_instances() << " rows"
               << (out_path.empty() ? "" : " to " + out_path) << '\n';
+
+    if (!metrics_path.empty()) {
+      std::ofstream mout(metrics_path);
+      if (!mout) throw Error("cannot write " + metrics_path);
+      metrics().write_json(mout);
+    }
+    if (!trace_path.empty()) {
+      std::ofstream tout(trace_path);
+      if (!tout) throw Error("cannot write " + trace_path);
+      tracer().write_chrome_json(tout);
+    }
     return 0;
   } catch (const hmd::Error& e) {
     std::cerr << "hmd_dataset: " << e.what() << '\n';

@@ -21,11 +21,19 @@
 // phase after the first drains — point it at a shifted workload to watch
 // the trip → retrain → swap loop fire end to end.
 //
+// Ensemble policies (docs/adversarial.md): --policy majority|stochastic
+// scores each window through a ScoringPolicy instead of the primary
+// alone; each --member FILE adds a bundle's model to the ensemble
+// (member versions are numbered from 1001 so verdict version stamps
+// cannot collide with live hub epochs), and --policy-seed seeds the
+// stochastic per-window selection.
+//
 // Usage:
 //   hmd_serve --bundle FILE --log FILE [--log FILE ...]
 //             [--then-log FILE ...] [--streams N] [--shards N] [--ring N]
 //             [--drop-oldest] [--drift] [--retrain] [--retrain-scheme S]
-//             [--drift-lambda X] [--checkpoint FILE] [--restore FILE]
+//             [--drift-lambda X] [--policy NAME] [--member FILE ...]
+//             [--policy-seed N] [--checkpoint FILE] [--restore FILE]
 //             [--metrics-out FILE] [--trace-out FILE]
 #include <algorithm>
 #include <cstdio>
@@ -38,9 +46,11 @@
 
 #include "core/deployment.hpp"
 #include "perf/perf_log.hpp"
+#include "serve/ensemble_policy.hpp"
 #include "serve/resilience.hpp"
 #include "serve/stream_engine.hpp"
 #include "util/cli.hpp"
+#include "util/cli_presets.hpp"
 #include "util/error.hpp"
 #include "util/metrics.hpp"
 #include "util/strings.hpp"
@@ -60,12 +70,13 @@ int main(int argc, char** argv) {
   config.num_shards = 2;
   bool drop_oldest = false, drift = false, retrain = false;
   std::string retrain_scheme;
+  std::string policy_name;
+  std::vector<std::string> member_paths;
   std::string checkpoint_path, restore_path, metrics_path, trace_path;
 
   ArgParser parser("hmd_serve",
                    "Replay perf logs through the sharded streaming engine.");
-  parser.add_string("--bundle", &bundle_path, "FILE",
-                    "deployment bundle (hmd_train --bundle)");
+  cli::add_bundle_in_flag(parser, &bundle_path);
   parser.add_strings("--log", &log_paths, "FILE",
                      "perf log to replay (hmdperf); repeatable");
   parser.add_strings("--then-log", &then_log_paths, "FILE",
@@ -89,14 +100,19 @@ int main(int argc, char** argv) {
                     "MahalanobisThreshold)");
   parser.add_double("--drift-lambda", &config.drift.page_hinkley.lambda,
                     "X", "Page-Hinkley trip threshold (default 25)");
+  parser.add_string("--policy", &policy_name, "NAME",
+                    "scoring policy: single, majority or stochastic "
+                    "(default single)");
+  parser.add_strings("--member", &member_paths, "FILE",
+                     "ensemble member bundle (same feature subset as "
+                     "--bundle); repeatable");
+  parser.add_uint64("--policy-seed", &config.ensemble.seed, "N",
+                    "stochastic member-selection seed (default 0)");
   parser.add_string("--checkpoint", &checkpoint_path, "FILE",
                     "write an engine snapshot after the replay drains");
   parser.add_string("--restore", &restore_path, "FILE",
                     "resume stream state from a snapshot (--checkpoint)");
-  parser.add_string("--metrics-out", &metrics_path, "FILE",
-                    "write process metrics JSON (serve.* included)");
-  parser.add_string("--trace-out", &trace_path, "FILE",
-                    "collect spans; write Chrome trace JSON");
+  cli::add_observability_flags(parser, &metrics_path, &trace_path);
   parser.parse_or_exit(argc, argv);
   if (drop_oldest)
     config.backpressure = serve::ServeConfig::Backpressure::kDropOldest;
@@ -109,6 +125,15 @@ int main(int argc, char** argv) {
     return 2;
   }
   if (streams == 0) streams = log_paths.size();
+  if (!policy_name.empty()) {
+    Result<serve::EnsembleConfig::Kind> kind =
+        serve::ensemble_kind_from_name(policy_name);
+    if (!kind) {
+      std::cerr << "hmd_serve: " << kind.error().to_string() << '\n';
+      return 2;
+    }
+    config.ensemble.kind = kind.value();
+  }
   if (!trace_path.empty()) tracer().set_enabled(true);
 
   try {
@@ -122,6 +147,31 @@ int main(int argc, char** argv) {
       return 1;
     }
     const core::DeploymentBundle bundle = std::move(loaded).value();
+
+    // Ensemble members are frozen models loaded from their own bundles.
+    // Each must consume the same feature subset as the primary bundle —
+    // the engine projects every window onto that subset once. Versions
+    // from 1001 keep member stamps distinct from hub epochs (1, 2, ...).
+    std::uint64_t member_version = 1001;
+    for (const std::string& path : member_paths) {
+      std::ifstream member_in(path);
+      if (!member_in) throw Error("cannot open member bundle: " + path);
+      Result<core::DeploymentBundle> m = core::try_load_bundle(member_in);
+      if (!m) {
+        std::cerr << "hmd_serve: " << path << ": " << m.error().to_string()
+                  << '\n';
+        return 1;
+      }
+      auto owned = std::make_shared<const core::DeploymentBundle>(
+          std::move(m).value());
+      serve::PolicyMember member;
+      member.name = owned->model().name();
+      // Alias the bundle so the model outlives the engine's policy.
+      member.model =
+          std::shared_ptr<const ml::Classifier>(owned, &owned->model());
+      member.version = member_version++;
+      config.ensemble.members.push_back(std::move(member));
+    }
 
     if (!restore_path.empty()) {
       std::ifstream snap_in(restore_path);
@@ -191,6 +241,10 @@ int main(int argc, char** argv) {
     if (bundle.fallback_model() != nullptr)
       std::cerr << "fallback model armed: " << bundle.fallback_model()->name()
                 << '\n';
+    if (const serve::ScoringPolicy* policy = engine.scoring_policy())
+      std::cerr << "scoring policy: " << serve::to_string(config.ensemble.kind)
+                << " (" << policy->total_members() << " members, seed "
+                << config.ensemble.seed << ")\n";
 
     std::vector<serve::StreamEngine::StreamHandle> handles;
     std::vector<std::size_t> source_log(streams);

@@ -25,6 +25,7 @@
 #include "ml/registry.hpp"
 #include "ml/serialization.hpp"
 #include "util/cli.hpp"
+#include "util/cli_presets.hpp"
 #include "util/error.hpp"
 #include "util/metrics.hpp"
 #include "util/strings.hpp"
@@ -129,23 +130,19 @@ int main(int argc, char** argv) {
                     "bundle alarm threshold (default 0.97)");
   parser.add_size("--confirm", &policy.confirm_windows, "N",
                   "bundle confirmation windows (default 4)");
-  parser.add_uint64("--seed", &seed, "N", "split seed (default 7)");
+  cli::add_seed_flag(parser, &seed, "split");
   parser.add_size("--jobs", &jobs, "N",
                   "experiment threads (default: HMD_JOBS or hardware)");
   parser.add_size("--cv", &cv_folds, "K",
                   "report K-fold cross-validation of the scheme");
   parser.add_flag("--sweep", &sweep,
                   "compare the full study classifier set in parallel");
-  parser.add_string("--model", &model_path, "FILE", "save the bare model");
-  parser.add_string("--bundle", &bundle_path, "FILE",
-                    "save a full deployment bundle (binary only)");
+  cli::add_model_out_flag(parser, &model_path);
+  cli::add_bundle_out_flag(parser, &bundle_path);
   parser.add_string("--fallback", &fallback_scheme, "NAME",
                     "also train a degraded-mode fallback for the bundle "
                     "(e.g. OneR; writes a v2 bundle)");
-  parser.add_string("--metrics-out", &metrics_path, "FILE",
-                    "write process metrics JSON on exit");
-  parser.add_string("--trace-out", &trace_path, "FILE",
-                    "collect spans; write Chrome trace JSON");
+  cli::add_observability_flags(parser, &metrics_path, &trace_path);
   parser.add_flag("--list-classifiers", &list,
                   "print every known scheme and exit");
   parser.parse_or_exit(argc, argv);

@@ -18,6 +18,7 @@
 #include "perf/collector.hpp"
 #include "perf/perf_log.hpp"
 #include "util/cli.hpp"
+#include "util/cli_presets.hpp"
 #include "util/error.hpp"
 #include "util/metrics.hpp"
 #include "util/strings.hpp"
@@ -47,7 +48,7 @@ int main(int argc, char** argv) {
                     "application class to sample (default: virus)");
   parser.add_string("--kernel", &kernel, "NAME",
                     "MiBench kernel instead of a malware/benign class");
-  parser.add_uint64("--seed", &seed, "N", "sample seed (default 42)");
+  cli::add_seed_flag(parser, &seed, "sample");
   parser.add_size("--windows", &cfg.num_windows, "N",
                   "10 ms windows to record (default 8)");
   parser.add_size("--ops", &cfg.ops_per_window, "N",
@@ -56,10 +57,7 @@ int main(int argc, char** argv) {
                   "read exact counts (no 8-register multiplexing)");
   parser.add_flag("--csv", &csv,
                   "emit the combined CSV instead of the text log");
-  parser.add_string("--metrics-out", &metrics_path, "FILE",
-                    "write process metrics JSON on exit");
-  parser.add_string("--trace-out", &trace_path, "FILE",
-                    "collect spans; write Chrome trace JSON");
+  cli::add_observability_flags(parser, &metrics_path, &trace_path);
   parser.parse_or_exit(argc, argv);
   if (!trace_path.empty()) hmd::tracer().set_enabled(true);
 
