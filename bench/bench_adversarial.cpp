@@ -130,6 +130,7 @@ void write_json(const std::string& path, const core::PipelineConfig& cfg,
                 bool criterion_met) {
   std::ofstream out(path);
   out << "{\n"
+      << "  \"metadata\": " << bench::metadata_json("  ").substr(2) << ",\n"
       << "  \"scale\": " << scale << ",\n"
       << "  \"windows\": " << cfg.collector.num_windows << ",\n"
       << "  \"ops_per_window\": " << cfg.collector.ops_per_window << ",\n"

@@ -4,7 +4,9 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <thread>
 
+#include "ml/kernels.hpp"
 #include "ml/registry.hpp"
 #include "util/metrics.hpp"
 #include "util/rng.hpp"
@@ -95,6 +97,44 @@ const core::FeatureReducer& feature_reducer() {
 }
 
 ThreadPool& bench_pool() { return global_pool(); }
+
+namespace {
+
+/// Commit under bench: CI exports GITHUB_SHA; locally ask git. Either can
+/// be missing (tarball checkout) — then "unknown".
+std::string git_sha() {
+  if (const char* sha = std::getenv("GITHUB_SHA");
+      sha != nullptr && *sha != '\0')
+    return sha;
+  std::string sha;
+  if (FILE* p = ::popen("git rev-parse HEAD 2>/dev/null", "r")) {
+    char buf[64] = {};
+    if (std::fgets(buf, sizeof buf, p) != nullptr) sha = buf;
+    ::pclose(p);
+  }
+  while (!sha.empty() && (sha.back() == '\n' || sha.back() == '\r'))
+    sha.pop_back();
+  return sha.empty() ? "unknown" : sha;
+}
+
+}  // namespace
+
+std::string metadata_json(const std::string& indent) {
+  const bool avx2 = ml::kernels::isa_supported(ml::kernels::Isa::kAvx2);
+  const bool avx512 = ml::kernels::isa_supported(ml::kernels::Isa::kAvx512);
+  std::string out;
+  out += indent + "{\n";
+  out += indent + "  \"git_sha\": \"" + git_sha() + "\",\n";
+  out += indent + "  \"kernel_isa\": \"" +
+         ml::kernels::to_string(ml::kernels::active_isa()) + "\",\n";
+  out += indent + "  \"cpu_flags\": {\"avx2\": " +
+         (avx2 ? "true" : "false") + ", \"avx512\": " +
+         (avx512 ? "true" : "false") + "},\n";
+  out += indent + "  \"hardware_concurrency\": " +
+         std::to_string(std::thread::hardware_concurrency()) + "\n";
+  out += indent + "}";
+  return out;
+}
 
 const BinaryStudyResults& binary_study_results() {
   static const BinaryStudyResults results = [] {

@@ -55,6 +55,12 @@ void init_observability();
 /// serial runs — see util/thread_pool.hpp.
 ThreadPool& bench_pool();
 
+/// Provenance block for bench JSON outputs: git sha (GITHUB_SHA, else
+/// `git rev-parse HEAD`), the active kernel ISA plus the CPU's SIMD
+/// feature flags, and the core count. Returns a complete JSON object
+/// (no trailing comma); `indent` prefixes every emitted line.
+std::string metadata_json(const std::string& indent);
+
 /// The Figs. 13-16 study: every binary-study classifier trained, evaluated
 /// and synthesized at 16 (all), 8 and 4 (PCA-selected) features. Computed
 /// once per bench process.

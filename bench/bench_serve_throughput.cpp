@@ -203,6 +203,7 @@ void write_json(const std::string& path, std::size_t windows_per_stream,
                 const std::vector<ConfigResult>& results) {
   std::ofstream out(path);
   out << "{\n"
+      << "  \"metadata\": " << bench::metadata_json("  ").substr(2) << ",\n"
       << "  \"windows_per_stream\": " << windows_per_stream << ",\n"
       << "  \"features\": " << kFeatures << ",\n"
       << "  \"configs\": [\n";

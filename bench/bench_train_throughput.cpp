@@ -146,6 +146,7 @@ void write_json(const std::string& path, std::size_t rows,
                 std::size_t jobs, const std::vector<SchemeResult>& results) {
   std::ofstream out(path);
   out << "{\n"
+      << "  \"metadata\": " << bench::metadata_json("  ").substr(2) << ",\n"
       << "  \"rows\": " << rows << ",\n"
       << "  \"features\": " << kFeatures << ",\n"
       << "  \"classes\": " << kClasses << ",\n"

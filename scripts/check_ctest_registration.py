@@ -54,6 +54,18 @@ def built_test_binaries(build_dir: str) -> list:
     return found
 
 
+# Binaries that must exist AND be registered — deleting one of these from
+# tests/CMakeLists.txt silently shrinks the suite without failing a build,
+# so the audit pins the suites that gate numeric exactness contracts.
+REQUIRED_BINARIES = {
+    "test_ml_kernels_dispatch",  # SIMD clones bit-identical per ISA
+    "test_ml_knn_index",         # KD-tree verdicts == brute force
+    "test_ml_quantized",         # int8/q16 serving tier
+    "test_ml_serialization",
+    "test_serve_engine",
+}
+
+
 def main() -> int:
     if len(sys.argv) != 2:
         sys.exit(f"usage: {sys.argv[0]} <build-dir>")
@@ -62,6 +74,16 @@ def main() -> int:
     registered = registered_binaries(build_dir)
     built = built_test_binaries(build_dir)
     unregistered = [name for name in built if name not in registered]
+    missing = sorted(REQUIRED_BINARIES - set(built))
+    if missing:
+        print(
+            "error: required test binaries were never built "
+            "(removed from tests/CMakeLists.txt?):",
+            file=sys.stderr,
+        )
+        for name in missing:
+            print(f"  {name}", file=sys.stderr)
+        return 1
 
     print(
         f"ctest registration audit: {len(built)} test binaries, "

@@ -2,9 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
+#include "ml/quantized.hpp"
 #include "util/error.hpp"
-#include "util/fixed_point.hpp"
 #include "util/trace.hpp"
 
 namespace hmd::hw {
@@ -12,30 +13,28 @@ namespace hmd::hw {
 ml::EvaluationReport evaluate_fixed_point(const ml::Classifier& clf,
                                           const ml::Dataset& test) {
   HMD_REQUIRE(!test.empty(), "evaluate_fixed_point: empty test set");
-  // Per-feature scale so magnitudes fit the Q16.16 integer range; the same
-  // static scaling a hardware front-end would apply to raw counter values.
+  // Per-feature magnitude calibration so scaled values fit the Q16.16
+  // integer range — the same static scaling a hardware front-end would
+  // apply to raw counter values.
   const std::size_t d = test.num_features();
-  std::vector<double> scale(d, 1.0);
-  for (std::size_t f = 0; f < d; ++f) {
-    double mx = 0.0;
+  // The Q16 serving tier (ml::QuantizedModel) implements this exact input
+  // quantization; routing the reference harness through it keeps the two
+  // pinned together (tests/hw assert bit-identical verdicts).
+  std::vector<double> absmax(d, 0.0);
+  for (std::size_t f = 0; f < d; ++f)
     for (std::size_t i = 0; i < test.num_instances(); ++i)
-      mx = std::max(mx, std::abs(test.features_of(i)[f]));
-    // Keep values within +-2^14 so products stay representable.
-    if (mx > 16000.0) scale[f] = 16000.0 / mx;
-  }
+      absmax[f] = std::max(absmax[f], std::abs(test.features_of(i)[f]));
+  const ml::QuantizedModel q16(
+      std::shared_ptr<const ml::Classifier>(std::shared_ptr<void>(), &clf),
+      ml::QuantizedModel::Mode::kQ16Input, absmax);
 
   ml::EvaluationReport report;
   report.scheme = "fixed_point/" + clf.name();
   report.result = ml::EvaluationResult(test.num_classes(),
                                        test.class_attribute().values());
   TraceSpan timer("");
-  std::vector<double> quantized(d);
-  for (std::size_t i = 0; i < test.num_instances(); ++i) {
-    const auto x = test.features_of(i);
-    for (std::size_t f = 0; f < d; ++f)
-      quantized[f] = quantize_q16(x[f] * scale[f]) / scale[f];
-    report.record(test.class_of(i), clf.predict(quantized));
-  }
+  for (std::size_t i = 0; i < test.num_instances(); ++i)
+    report.record(test.class_of(i), q16.predict(test.features_of(i)));
   report.predict_seconds = timer.elapsed_seconds();
   return report;
 }

@@ -28,6 +28,19 @@ void Classifier::distribution_batch(std::span<const double> flat,
   }
 }
 
+void Classifier::predict_one_hot_batch(std::span<const double> flat,
+                                       std::size_t window_size,
+                                       std::span<double> out) const {
+  const std::size_t rows = require_batch(flat, window_size, out);
+  const std::size_t k = num_classes();
+  std::fill(out.begin(), out.end(), 0.0);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const std::size_t p = predict(flat.subspan(r * window_size, window_size));
+    HMD_ASSERT(p < k);
+    out[r * k + p] = 1.0;
+  }
+}
+
 std::size_t Classifier::require_batch(std::span<const double> flat,
                                       std::size_t window_size,
                                       std::span<const double> out) const {

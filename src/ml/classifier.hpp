@@ -60,6 +60,13 @@ class Classifier {
   /// Shared precondition check for train().
   static void require_trainable(const DatasetView& data);
 
+  /// Batch helper for predict-only schemes: zeroes `out` and writes a
+  /// one-hot of predict() per row — bit-identical to the default
+  /// distribution_batch loop without the per-row vector allocation.
+  void predict_one_hot_batch(std::span<const double> flat,
+                             std::size_t window_size,
+                             std::span<double> out) const;
+
   /// Validates distribution_batch arguments; returns the row count.
   std::size_t require_batch(std::span<const double> flat,
                             std::size_t window_size,

@@ -10,6 +10,12 @@ class DecisionStump final : public Classifier {
  public:
   void train(const DatasetView& data) override;
   std::size_t predict(std::span<const double> features) const override;
+  /// Batch path: one-hot of predict() per row without per-row allocation.
+  void distribution_batch(std::span<const double> flat,
+                          std::size_t window_size,
+                          std::span<double> out) const override {
+    predict_one_hot_batch(flat, window_size, out);
+  }
   std::string name() const override { return "DecisionStump"; }
   std::size_t num_classes() const override { return num_classes_; }
 

@@ -112,6 +112,26 @@ std::vector<double> AdaBoostM1::distribution(
   return votes;
 }
 
+void AdaBoostM1::distribution_batch(std::span<const double> flat,
+                                    std::size_t window_size,
+                                    std::span<double> out) const {
+  HMD_REQUIRE(!members_.empty(), "AdaBoostM1: predict before train");
+  const std::size_t rows = require_batch(flat, window_size, out);
+  const std::size_t k = num_classes_;
+  std::fill(out.begin(), out.end(), 0.0);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const std::span<const double> x =
+        flat.subspan(r * window_size, window_size);
+    const std::span<double> votes = out.subspan(r * k, k);
+    for (std::size_t m = 0; m < members_.size(); ++m)
+      votes[members_[m]->predict(x)] += alphas_[m];
+    double total = 0.0;
+    for (double v : votes) total += v;
+    if (total > 0.0)
+      for (double& v : votes) v /= total;
+  }
+}
+
 std::size_t AdaBoostM1::predict(std::span<const double> features) const {
   const auto dist = distribution(features);
   return static_cast<std::size_t>(
@@ -144,6 +164,22 @@ std::vector<double> Bagging::distribution(
     votes[member->predict(features)] += 1.0;
   for (double& v : votes) v /= static_cast<double>(members_.size());
   return votes;
+}
+
+void Bagging::distribution_batch(std::span<const double> flat,
+                                 std::size_t window_size,
+                                 std::span<double> out) const {
+  HMD_REQUIRE(!members_.empty(), "Bagging: predict before train");
+  const std::size_t rows = require_batch(flat, window_size, out);
+  const std::size_t k = num_classes_;
+  std::fill(out.begin(), out.end(), 0.0);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const std::span<const double> x =
+        flat.subspan(r * window_size, window_size);
+    const std::span<double> votes = out.subspan(r * k, k);
+    for (const auto& member : members_) votes[member->predict(x)] += 1.0;
+    for (double& v : votes) v /= static_cast<double>(members_.size());
+  }
 }
 
 std::size_t Bagging::predict(std::span<const double> features) const {

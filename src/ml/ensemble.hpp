@@ -33,6 +33,11 @@ class AdaBoostM1 final : public Classifier {
   std::size_t predict(std::span<const double> features) const override;
   std::vector<double> distribution(
       std::span<const double> features) const override;
+  /// Batch path: member votes accumulated straight into each output slice
+  /// (bit-identical to the per-row path, no per-row allocation).
+  void distribution_batch(std::span<const double> flat,
+                          std::size_t window_size,
+                          std::span<double> out) const override;
   std::string name() const override { return "AdaBoostM1"; }
   std::size_t num_classes() const override { return num_classes_; }
 
@@ -64,6 +69,11 @@ class Bagging final : public Classifier {
   std::size_t predict(std::span<const double> features) const override;
   std::vector<double> distribution(
       std::span<const double> features) const override;
+  /// Batch path: member votes accumulated straight into each output slice
+  /// (bit-identical to the per-row path, no per-row allocation).
+  void distribution_batch(std::span<const double> flat,
+                          std::size_t window_size,
+                          std::span<double> out) const override;
   std::string name() const override { return "Bagging"; }
   std::size_t num_classes() const override { return num_classes_; }
 

@@ -2,13 +2,53 @@
 
 #include <algorithm>
 #include <array>
+#include <bit>
 #include <cmath>
+#include <cstdint>
+#include <functional>
 #include <limits>
+#include <numeric>
 
 #include "ml/kernels.hpp"
 #include "util/error.hpp"
 
 namespace hmd::ml {
+
+namespace {
+
+// The k-closest heap protocol every scoring path must reproduce exactly:
+// push_heap/pop_heap on a vector of (distance², label) with the default
+// pair comparator — a bit-level mirror of the pre-refactor per-row
+// std::priority_queue, ties included. Returns true when the heap filled
+// up or improved (the screen threshold can then tighten).
+bool offer(std::vector<std::pair<double, std::size_t>>& heap, std::size_t k,
+           double d2, std::size_t label) {
+  if (heap.size() < k) {
+    heap.emplace_back(d2, label);
+    std::push_heap(heap.begin(), heap.end());
+    return heap.size() == k;
+  }
+  if (d2 < heap.front().first) {
+    std::pop_heap(heap.begin(), heap.end());
+    heap.back() = {d2, label};
+    std::push_heap(heap.begin(), heap.end());
+    return true;
+  }
+  return false;
+}
+
+// Integer screen threshold derived from the current k-th distance. The
+// 1e-12 relative slack dwarfs the ~1e-15 rounding of the exact double
+// scan while staying far below the quantization margin, so a candidate
+// with screen sum > thr provably cannot enter the heap.
+std::int32_t screen_threshold(double kth_d2, double err, double qscale) {
+  const double t = (std::sqrt(kth_d2) * (1.0 + 1e-12) + err) / qscale;
+  const double t_sq = t * t;
+  return t_sq >= 2147483647.0 ? std::numeric_limits<std::int32_t>::max()
+                              : static_cast<std::int32_t>(t_sq);
+}
+
+}  // namespace
 
 void Knn::train(const DatasetView& data) {
   require_trainable(data);
@@ -26,15 +66,16 @@ void Knn::train(const DatasetView& data) {
     labels_[i] = data.class_of(i);
   }
   build_quantized();
+  build_index();
 }
 
 void Knn::build_quantized() {
   constexpr std::size_t B = kernels::kScreenBlock;
   const std::size_t d = dim();
   qpoints_.clear();
-  // Per-lane screen sums must stay below INT32_MAX: dims * 4094^2 < 2^31
-  // holds up to 128 dimensions. Past that the screen is simply disabled
-  // and score_into falls back to the plain exact scan.
+  // The grid span adapts to dims (see below), but past 128 dimensions
+  // even the legacy 12-bit grid would be coarsened; the screen is simply
+  // disabled there and the scans fall back to plain exact distances.
   if (points_.empty() || d > 128) return;
   double lo = points_[0];
   double hi = points_[0];
@@ -44,129 +85,434 @@ void Knn::build_quantized() {
   }
   qlo_ = lo;
   const double range = hi - lo;
-  qscale_ = range > 0.0 ? range / 4094.0 : 1.0;
+  // Grid span: the finest even span with d * span² <= INT32_MAX (so
+  // per-lane screen sums cannot overflow) whose diffs still fit int16.
+  // At d = 128 this reproduces the legacy 4094-step 12-bit grid; narrower
+  // stores get a proportionally finer grid, a proportionally smaller
+  // reconstruction error, and therefore a tighter screen threshold —
+  // fewer quantization-slack survivors reach the exact double scan.
+  std::int64_t span = static_cast<std::int64_t>(
+      std::sqrt(2147483647.0 / static_cast<double>(d)));
+  span &= ~std::int64_t{1};  // even: the centre offset span/2 is integral
+  while (span > 2 && span * span * static_cast<std::int64_t>(d) > 2147483647)
+    span -= 2;
+  qspan_ = std::min<std::int64_t>(span, 32766);
+  qscale_ = range > 0.0 ? range / static_cast<double>(qspan_) : 1.0;
   const std::size_t n = labels_.size();
   const std::size_t padded = (n + B - 1) / B * B;
-  qpoints_.assign(padded * d, 0);
+  const std::size_t entries = kernels::screen_block_entries(B, d);
+  qpoints_.assign(padded / B * entries, 0);
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = 0; j < d; ++j) {
       // Training values always land inside [lo, hi], so the rounded grid
-      // index is in [0, 4094] and the representation error is at most
-      // qscale_/2 per coordinate. Blocked column-major layout: dimension j
-      // of row i lives at block(i) + j*B + (i mod B).
+      // index is in [0, qspan_] and the representation error is at most
+      // qscale_/2 per coordinate. Dim-pair-interleaved layout within each
+      // block — the shape the screen kernel's madd step consumes.
       const double t = (points_[i * d + j] - qlo_) / qscale_;
-      qpoints_[(i / B) * B * d + j * B + i % B] =
-          static_cast<std::int16_t>(std::llround(t) - 2047);
+      qpoints_[(i / B) * entries + kernels::screen_block_index(B, i % B, j)] =
+          static_cast<std::int16_t>(std::llround(t) - qspan_ / 2);
     }
   }
 }
 
-// Scores one standardized query against all training points. The k-closest
-// heap mirrors std::priority_queue exactly (push_heap/pop_heap on a vector
-// with the default pair comparator), so the kept set — ties included — is
-// identical to the pre-refactor per-row priority_queue.
-//
-// The scan is memory-bound (every query streams the whole points_ block),
-// so candidates are first screened against the int16 mirror, which is 4x
-// smaller. The screen is an exact-integer lower bound on the true
-// distance: with per-coordinate reconstruction error at most
-// err_j = |x_j - dequant(qx_j)| + qscale/2 and E = ||err||_2, the triangle
-// inequality gives ||x - p|| >= qscale*||qx - qp|| - E. A candidate with
-// qscale*sqrt(S_q) - E > sqrt(cap) therefore cannot beat the heap's k-th
-// distance, whether or not its exact distance is ever computed — rejecting
-// it is provably identical to the full scan. Survivors (a handful per
-// query) get the exact left-to-right double scan, so every distance that
-// reaches the heap is bit-identical to the unscreened code.
-void Knn::score_into(std::span<const double> x, std::vector<Entry>& heap,
-                     std::span<double> dist) const {
+void Knn::build_index() {
+  // Small leaves are the point of the tree: pruning happens at leaf
+  // granularity, so the per-query work scales with how few points the
+  // leaves near the query hold. The brute path keeps its long
+  // kScreenBlock stride — it streams everything regardless.
+  constexpr std::size_t B = kernels::kLeafBlock;
+  // Below this the tree is a couple of leaves of linear scan plus
+  // traversal overhead — the brute path is already optimal.
+  constexpr std::size_t kIndexMinPoints = 2 * kernels::kLeafBlock;
+  const std::size_t d = dim();
+  const std::size_t n = labels_.size();
+  nodes_.clear();
+  box_lo_.clear();
+  box_hi_.clear();
+  perm_.clear();
+  tree_points_.clear();
+  qtree_.clear();
+  if (n < kIndexMinPoints || k_ * 4 >= n) return;
+  // Box pruning needs finite geometry; a store with non-finite values
+  // (degenerate upstream data) keeps the legacy brute-force behaviour.
+  for (double v : points_)
+    if (!std::isfinite(v)) return;
+
+  perm_.resize(n);
+  std::iota(perm_.begin(), perm_.end(), 0u);
+
+  const auto build = [&](auto&& self, std::uint32_t begin,
+                         std::uint32_t end) -> std::uint32_t {
+    const auto id = static_cast<std::uint32_t>(nodes_.size());
+    nodes_.push_back(KdNode{0, 0, begin, end, 0});
+    // Tight bounding box over the node's points (axis j of node id lives
+    // at id*d + j).
+    box_lo_.resize(box_lo_.size() + d,
+                   std::numeric_limits<double>::infinity());
+    box_hi_.resize(box_hi_.size() + d,
+                   -std::numeric_limits<double>::infinity());
+    std::size_t widest = 0;
+    {
+      double* lo = box_lo_.data() + std::size_t{id} * d;
+      double* hi = box_hi_.data() + std::size_t{id} * d;
+      for (std::uint32_t p = begin; p < end; ++p) {
+        const double* row = points_.data() + std::size_t{perm_[p]} * d;
+        for (std::size_t j = 0; j < d; ++j) {
+          lo[j] = std::min(lo[j], row[j]);
+          hi[j] = std::max(hi[j], row[j]);
+        }
+      }
+      for (std::size_t j = 1; j < d; ++j)
+        if (hi[j] - lo[j] > hi[widest] - lo[widest]) widest = j;
+    }
+    if (end - begin <= B) return id;  // leaf
+    const std::uint32_t mid = begin + (end - begin) / 2;
+    std::nth_element(perm_.begin() + begin, perm_.begin() + mid,
+                     perm_.begin() + end,
+                     [&](std::uint32_t a, std::uint32_t b) {
+                       return points_[std::size_t{a} * d + widest] <
+                              points_[std::size_t{b} * d + widest];
+                     });
+    // Children are created after this node, so their ids are nonzero and
+    // box_lo_/box_hi_ grow append-only.
+    const std::uint32_t left = self(self, begin, mid);
+    const std::uint32_t right = self(self, mid, end);
+    nodes_[id].left = left;
+    nodes_[id].right = right;
+    return id;
+  };
+  build(build, 0, static_cast<std::uint32_t>(n));
+
+  // Permuted mirror of the store so leaf scans stream contiguous rows.
+  tree_points_.resize(n * d);
+  for (std::size_t pos = 0; pos < n; ++pos)
+    std::copy_n(points_.data() + std::size_t{perm_[pos]} * d, d,
+                tree_points_.data() + pos * d);
+
+  // One int16 screen block per leaf on the same grid as qpoints_
+  // (identical quantization formula, so the screen bound carries over).
+  // Blocks are sized to the leaf's actual row count rounded up to the
+  // kernel's 16-row granule — NOT to kLeafBlock: the midpoint split
+  // snaps real leaf sizes to n/2^depth, and screening a block padded all
+  // the way to kLeafBlock would waste up to half the screen bandwidth on
+  // zero rows.
+  if (!qpoints_.empty()) {
+    for (KdNode& nd : nodes_) {
+      if (nd.left != 0) continue;
+      const std::size_t rows16 = (nd.end - nd.begin + 15) / 16 * 16;
+      nd.qoff = static_cast<std::uint32_t>(qtree_.size());
+      qtree_.resize(qtree_.size() + kernels::screen_block_entries(rows16, d),
+                    0);
+      for (std::uint32_t b = 0; b < nd.end - nd.begin; ++b) {
+        const double* row =
+            tree_points_.data() + std::size_t{nd.begin + b} * d;
+        for (std::size_t j = 0; j < d; ++j) {
+          const double t = (row[j] - qlo_) / qscale_;
+          qtree_[nd.qoff + kernels::screen_block_index(rows16, b, j)] =
+              static_cast<std::int16_t>(std::llround(t) - qspan_ / 2);
+        }
+      }
+    }
+  }
+}
+
+double Knn::quantize_query(std::span<const double> x,
+                           std::vector<std::int16_t>& qx) const {
+  // Quantize the query onto the training grid, tracking its exact
+  // reconstruction error (clamped coordinates just widen the error term —
+  // the bound stays rigorous; callers gate non-finite queries off the
+  // screened paths entirely).
+  const std::size_t d = x.size();
+  qx.resize(d);
+  double err_sq = 0.0;
+  for (std::size_t j = 0; j < d; ++j) {
+    const double t = (x[j] - qlo_) / qscale_;
+    long long q = 0;
+    if (t >= static_cast<double>(qspan_))
+      q = qspan_;
+    else if (t >= 0.0)
+      q = std::llround(t);
+    const double recon = qlo_ + qscale_ * static_cast<double>(q);
+    qx[j] = static_cast<std::int16_t>(q - qspan_ / 2);
+    const double e = std::abs(x[j] - recon) + 0.5 * qscale_;
+    err_sq += e * e;
+  }
+  return std::sqrt(err_sq);
+}
+
+// Brute-force reference scan. The int16 screen is an exact-integer lower
+// bound on the true distance: with per-coordinate reconstruction error at
+// most err_j = |x_j - dequant(qx_j)| + qscale/2 and E = ||err||_2, the
+// triangle inequality gives ||x - p|| >= qscale*||qx - qp|| - E. A
+// candidate with qscale*sqrt(S_q) - E > sqrt(cap) therefore cannot beat
+// the heap's k-th distance, whether or not its exact distance is ever
+// computed — rejecting it is provably identical to the full scan.
+// Survivors get the exact left-to-right double scan, so every distance
+// that reaches the heap is bit-identical to the unscreened code.
+void Knn::score_brute(std::span<const double> x, Scratch& s,
+                      bool finite) const {
   constexpr std::size_t B = kernels::kScreenBlock;
   const std::size_t d = x.size();
   const std::size_t n = labels_.size();
-  heap.clear();
-  const auto offer = [&](double d2, std::size_t i) {
-    if (heap.size() < k_) {
-      heap.emplace_back(d2, labels_[i]);
-      std::push_heap(heap.begin(), heap.end());
-      return heap.size() == k_;
+  s.heap.clear();
+
+  if (qpoints_.empty() || !screen_enabled_ || !finite) {
+    // Screen disabled (too many dimensions or the bench/test hook) or a
+    // non-finite query (its reconstruction-error bound would be
+    // meaningless): plain exact scan.
+    for (std::size_t i = 0; i < n; ++i)
+      offer(s.heap, k_,
+            kernels::squared_l2({points_.data() + i * d, d}, x), labels_[i]);
+    return;
+  }
+
+  const double err = quantize_query(x, s.qx);
+  const kernels::Isa isa = kernels::active_isa();
+  // Seed the heap with the first k rows so a finite screen threshold
+  // exists before any block is masked — an INT32_MAX threshold would
+  // make the first block's mask all-ones and force a slow bit-walk over
+  // every row. The threshold is then refreshed on every heap
+  // improvement; blocks screened against a momentarily stale (larger)
+  // threshold only pass extra candidates to the exact path, never
+  // reject a viable one.
+  std::int32_t thr = std::numeric_limits<std::int32_t>::max();
+  std::size_t start = 0;
+  while (start < n && s.heap.size() < k_) {
+    offer(s.heap, k_,
+          kernels::squared_l2({points_.data() + start * d, d}, x),
+          labels_[start]);
+    ++start;
+  }
+  if (s.heap.size() == k_)
+    thr = screen_threshold(s.heap.front().first, err, qscale_);
+  const std::size_t entries = kernels::screen_block_entries(B, d);
+  std::array<std::int32_t, B> acc;
+  std::array<std::uint64_t, B / 64> mask;
+  for (std::size_t base = 0; base < n; base += B) {
+    kernels::screen_squared_l2_i16_as(isa,
+                                      qpoints_.data() + (base / B) * entries,
+                                      s.qx.data(), d, B, acc.data());
+    const std::size_t lim = std::min(B, n - base);
+    // Survivors via one vectorized compare per block: computed against the
+    // block-entry threshold, so the per-survivor recheck below (thr may
+    // have tightened within the block) stays load-bearing.
+    kernels::mask_le_i32_as(isa, acc.data(), B, thr, mask.data());
+    for (std::size_t w = 0; w * 64 < B; ++w) {
+      std::uint64_t m = mask[w];
+      while (m != 0) {
+        const std::size_t b =
+            w * 64 + static_cast<std::size_t>(std::countr_zero(m));
+        m &= m - 1;
+        if (b >= lim) break;  // zero padding rows at the store's end
+        if (base + b < start) continue;  // seed rows already offered
+        if (acc[b] > thr) continue;  // provably >= current k-th distance
+        const std::size_t i = base + b;
+        const double d2 = kernels::squared_l2({points_.data() + i * d, d}, x);
+        if (offer(s.heap, k_, d2, labels_[i]))
+          thr = screen_threshold(s.heap.front().first, err, qscale_);
+      }
     }
-    if (d2 < heap.front().first) {
-      std::pop_heap(heap.begin(), heap.end());
-      heap.back() = {d2, labels_[i]};
-      std::push_heap(heap.begin(), heap.end());
+  }
+}
+
+// Exact KD-tree scan in two phases.
+//
+// Phase 1 walks the tree near-child-first (a LIFO stack of (bound, id)
+// pairs; the nearer child is pushed last so it is explored first),
+// keeping a pure-d2 heap of the k smallest exact distances seen so far.
+// Once full, the heap's top upper-bounds the true k-th distance T, and
+// because a k-smallest multiset is visit-order independent it ends
+// exactly at T. Subtrees are pruned when their box bound exceeds the
+// current k-th — at push time and again at pop time, by which point kth
+// has usually tightened (descending the near side first makes most far
+// entries die stale). Leaves are screened with the int16 bound first.
+// Every rejection — stale pop, box prune, screen — discards only
+// candidates provably farther than the current k-th >= T, so every
+// training point with d2 <= T is exactly scanned and collected.
+//
+// The box bound is kernels::bound_squared_l2 (per axis
+// t_j = max(0, lo_j - x_j, x_j - hi_j) <= |p_j - x_j| for any p in the
+// box) shrunk by a relative 1e-12. The kernel's SIMD clones reassociate
+// the reduction, so the raw value can sit a few ulps (~1e-14 relative)
+// above the exact sum — and the left-to-right fl(d2) of an in-box point
+// can itself round ~1e-15 below ITS exact value, which the exact sum
+// lower-bounds. The 1e-12 shrink dwarfs both roundings, so the shrunk
+// bound never overshoots any fl(d2) it prunes against.
+//
+// Phase 2 sorts the collected (d2, original index) superset of
+// {i : d2_i <= T} by original index and replays it through the exact
+// (d2, label) heap protocol. Replay is verdict-identical to the full
+// scan: an entry with d2 > T is always the lexicographic maximum of the
+// pair-ordered heap whenever one is present, so such fillers are evicted
+// before any <=T entry, <=T entries are admitted unconditionally while a
+// filler occupies a full heap, and evictions among <=T entries only
+// happen when the heap holds exactly the <=T multiset the full scan's
+// heap holds at the same index. The final heap therefore carries the
+// identical (d2, label) multiset — and the distribution depends on
+// nothing else.
+void Knn::score_indexed(std::span<const double> x, Scratch& s) const {
+  constexpr std::size_t B = kernels::kLeafBlock;
+  const std::size_t d = x.size();
+  const double inf = std::numeric_limits<double>::infinity();
+
+  s.dheap.clear();
+  s.cand.clear();
+  double kth = inf;
+  // Returns true when kth just became finite or shrank — the moment the
+  // screen threshold can tighten.
+  const auto offer_d2 = [&](double d2) {
+    if (s.dheap.size() < k_) {
+      s.dheap.push_back(d2);
+      std::push_heap(s.dheap.begin(), s.dheap.end());
+      if (s.dheap.size() < k_) return false;
+      kth = s.dheap.front();
+      return true;
+    }
+    if (d2 < s.dheap.front()) {
+      std::pop_heap(s.dheap.begin(), s.dheap.end());
+      s.dheap.back() = d2;
+      std::push_heap(s.dheap.begin(), s.dheap.end());
+      kth = s.dheap.front();
       return true;
     }
     return false;
   };
 
-  if (qpoints_.empty()) {
-    // Screen disabled (too many dimensions): plain exact scan.
-    for (std::size_t i = 0; i < n; ++i) {
-      offer(kernels::squared_l2({points_.data() + i * d, d}, x), i);
-    }
-  } else {
-    // Quantize the query onto the training grid, tracking its exact
-    // reconstruction error (clamped coordinates just widen the error term —
-    // the bound stays rigorous; a NaN coordinate maps to grid 0 and is
-    // likewise absorbed into its error term).
-    std::vector<std::int16_t> qx(d);
-    double err_sq = 0.0;
-    for (std::size_t j = 0; j < d; ++j) {
-      const double t = (x[j] - qlo_) / qscale_;
-      long long q = 0;
-      if (t >= 4094.0)
-        q = 4094;
-      else if (t >= 0.0)
-        q = std::llround(t);
-      const double recon = qlo_ + qscale_ * static_cast<double>(q);
-      qx[j] = static_cast<std::int16_t>(q - 2047);
-      const double e = std::abs(x[j] - recon) + 0.5 * qscale_;
-      err_sq += e * e;
-    }
-    const double err = std::sqrt(err_sq);
+  const bool screen = !qtree_.empty();
+  const double err = screen ? quantize_query(x, s.qx) : 0.0;
+  // One dispatch resolution per query; the leaf loop calls kernels tens
+  // of times and need not re-read the override atomics every time.
+  const kernels::Isa isa = kernels::active_isa();
 
-    // Integer screen threshold derived from the heap's current k-th
-    // distance; INT32_MAX (no rejection possible) until the heap is full.
-    // The 1e-12 relative slack dwarfs the ~1e-15 rounding of the exact
-    // double scan while staying far below the quantization margin, so a
-    // candidate with screen sum > thr provably cannot enter the heap. The
-    // threshold is refreshed on every heap improvement; blocks screened
-    // against a momentarily stale (larger) threshold only pass extra
-    // candidates to the exact path, never reject a viable one.
+  const auto box_bound = [&](std::uint32_t id) {
+    return kernels::bound_squared_l2_as(
+               isa, box_lo_.data() + std::size_t{id} * d,
+               box_hi_.data() + std::size_t{id} * d, x.data(), d) *
+           (1.0 - 1e-12);
+  };
+
+  std::array<std::int32_t, B> acc;
+  std::array<std::uint64_t, (B + 63) / 64> mask;
+  s.frontier.clear();
+  s.frontier.emplace_back(box_bound(0), 0);
+  while (!s.frontier.empty()) {
+    const auto [bound, id] = s.frontier.back();
+    s.frontier.pop_back();
+    // Bounds are checked at push time, but kth may have tightened since;
+    // a stale entry whose box is now provably outside the answer set is
+    // dropped here.
+    if (bound > kth) continue;
+    const KdNode& nd = nodes_[id];
+    if (nd.left != 0) {
+      double bl = box_bound(nd.left);
+      double br = box_bound(nd.right);
+      std::uint32_t nearc = nd.left;
+      std::uint32_t farc = nd.right;
+      if (br < bl) {
+        std::swap(bl, br);
+        nearc = nd.right;
+        farc = nd.left;
+      }
+      // Far child below the near one on the stack: descending into the
+      // nearer box first tightens kth before the far bound is re-tested
+      // at pop time, so most far subtrees die as stale entries.
+      if (br <= kth) s.frontier.emplace_back(br, farc);
+      if (bl <= kth) s.frontier.emplace_back(bl, nearc);
+      continue;
+    }
+    // Leaf: int16 screen against the leaf's block, exact distances for
+    // survivors (walked via the vectorized survivor bitmask). The
+    // threshold is refreshed whenever kth tightens; the per-survivor
+    // recheck against the refreshed thr is what makes the entry-time
+    // mask safe.
+    const std::size_t cnt = nd.end - nd.begin;
+    // Screen-block rows for this leaf: actual count rounded up to the
+    // kernel granule (matches build_index's tight qtree_ blocks).
+    const std::size_t rows16 = (cnt + 15) / 16 * 16;
     std::int32_t thr = std::numeric_limits<std::int32_t>::max();
-    const auto update_threshold = [&]() {
-      const double t =
-          (std::sqrt(heap.front().first) * (1.0 + 1e-12) + err) / qscale_;
-      const double t_sq = t * t;
-      thr = t_sq >= 2147483647.0 ? std::numeric_limits<std::int32_t>::max()
-                                 : static_cast<std::int32_t>(t_sq);
-    };
-
-    std::array<std::int32_t, B> acc;
-    for (std::size_t base = 0; base < n; base += B) {
-      kernels::screen_squared_l2_i16(qpoints_.data() + base * d, qx.data(), d,
-                                     acc.data());
-      const std::size_t lim = std::min(B, n - base);
-      for (std::size_t b = 0; b < lim; ++b) {
-        if (acc[b] > thr) continue;  // provably >= current k-th distance
-        const std::size_t i = base + b;
-        const double d2 = kernels::squared_l2({points_.data() + i * d, d}, x);
-        if (offer(d2, i)) update_threshold();
+    std::size_t start = 0;
+    if (screen) {
+      kernels::screen_squared_l2_i16_as(isa, qtree_.data() + nd.qoff,
+                                        s.qx.data(), d, rows16, acc.data());
+      if (kth == inf) {
+        // First leaf: the heap is not yet full, so no finite screen
+        // threshold exists and the mask would pass every row. Scan
+        // linearly just until the k-th distance becomes finite (k rows),
+        // then mask the rest against the real threshold.
+        while (start < cnt && kth == inf) {
+          const std::size_t pos = nd.begin + start;
+          const double d2 =
+              kernels::squared_l2({tree_points_.data() + pos * d, d}, x);
+          s.cand.emplace_back(d2, perm_[pos]);  // kth == inf: collect all
+          offer_d2(d2);
+          ++start;
+        }
+        if (start >= cnt) continue;  // whole leaf consumed by the seed
+      }
+      thr = screen_threshold(kth, err, qscale_);
+      kernels::mask_le_i32_as(isa, acc.data(), rows16, thr, mask.data());
+    } else {
+      mask.fill(~std::uint64_t{0});
+    }
+    for (std::size_t w = 0; w * 64 < rows16; ++w) {
+      std::uint64_t m = mask[w];
+      while (m != 0) {
+        const std::size_t b =
+            w * 64 + static_cast<std::size_t>(std::countr_zero(m));
+        m &= m - 1;
+        if (b < start) continue;  // rows the seed scan already consumed
+        if (b >= cnt) break;  // zero padding rows at the leaf's end
+        if (screen && acc[b] > thr) continue;  // provably > current k-th
+        const std::size_t pos = nd.begin + b;
+        const double d2 =
+            kernels::squared_l2({tree_points_.data() + pos * d, d}, x);
+        // Collect against the pre-offer kth: kth only shrinks, so this
+        // keeps a superset of {d2 <= T} for the replay.
+        if (d2 <= kth) s.cand.emplace_back(d2, perm_[pos]);
+        if (offer_d2(d2) && screen)
+          thr = screen_threshold(kth, err, qscale_);
       }
     }
   }
 
+  // The walk is complete, so kth IS the true k-th distance T (the d2 heap
+  // saw every point with d2 <= T). Entries beyond it are exactly the
+  // fillers the replay is guaranteed to evict — drop them before paying
+  // for the sort.
+  s.cand.erase(std::remove_if(s.cand.begin(), s.cand.end(),
+                              [&](const Entry& c) { return c.first > kth; }),
+               s.cand.end());
+  std::sort(s.cand.begin(), s.cand.end(),
+            [](const Entry& a, const Entry& b) { return a.second < b.second; });
+  s.heap.clear();
+  for (const Entry& c : s.cand) offer(s.heap, k_, c.first, labels_[c.second]);
+}
+
+void Knn::score_into(std::span<const double> x, Scratch& s,
+                     std::span<double> dist) const {
+  bool finite = true;
+  for (double v : x)
+    if (!std::isfinite(v)) {
+      finite = false;
+      break;
+    }
+  if (finite && index_enabled_ && !nodes_.empty())
+    score_indexed(x, s);
+  else
+    score_brute(x, s, finite);
+
   std::fill(dist.begin(), dist.end(), 0.0);
-  const double share = 1.0 / static_cast<double>(heap.size());
-  for (const Entry& e : heap) dist[e.second] += share;
+  const double share = 1.0 / static_cast<double>(s.heap.size());
+  for (const Entry& e : s.heap) dist[e.second] += share;
 }
 
 std::vector<double> Knn::distribution(std::span<const double> features) const {
   HMD_REQUIRE(!points_.empty(), "Knn: predict before train");
+  Scratch s;
+  s.heap.reserve(k_);
   const std::vector<double> x = standardizer_.transform(features);
-  std::vector<Entry> heap;
-  heap.reserve(k_);
   std::vector<double> dist(num_classes_, 0.0);
-  score_into(x, heap, dist);
+  score_into(x, s, dist);
   return dist;
 }
 
@@ -177,14 +523,30 @@ void Knn::distribution_batch(std::span<const double> flat,
   const std::size_t rows = require_batch(flat, window_size, out);
   HMD_REQUIRE(window_size == dim(),
               "Knn::distribution_batch: width mismatch");
-  std::vector<double> x(window_size);  // standardized row, reused
-  std::vector<Entry> heap;
-  heap.reserve(k_);
-  for (std::size_t r = 0; r < rows; ++r) {
+  Scratch s;
+  s.x.resize(window_size);
+  s.heap.reserve(k_);
+  // Each row is scored independently, so the batch can be walked in any
+  // order without changing a single verdict. Process rows grouped by
+  // their leading feature: nearby queries visit the same handful of tree
+  // leaves, so each group's screen blocks and point rows stay hot in
+  // cache instead of being evicted between every pair of unrelated
+  // queries. (Skipped when there is no index — the brute scan streams
+  // the whole store regardless of query locality.)
+  s.order.resize(rows);
+  std::iota(s.order.begin(), s.order.end(), 0u);
+  if (index_enabled_ && !nodes_.empty() && rows > 1)
+    std::sort(s.order.begin(), s.order.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                return flat[std::size_t{a} * window_size] <
+                       flat[std::size_t{b} * window_size];
+              });
+  for (std::size_t i = 0; i < rows; ++i) {
+    const std::size_t r = s.order[i];
     kernels::standardize_into(flat.subspan(r * window_size, window_size),
                               standardizer_.means(), standardizer_.stddevs(),
-                              x);
-    score_into(x, heap, out.subspan(r * num_classes_, num_classes_));
+                              s.x);
+    score_into(s.x, s, out.subspan(r * num_classes_, num_classes_));
   }
 }
 

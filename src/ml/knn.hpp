@@ -1,10 +1,14 @@
 // k-nearest-neighbours (WEKA's IBk) over standardized Euclidean distance.
-// Lazy learner: training stores the data; prediction is a linear scan, so
-// use on modest datasets (it is an example/ablation classifier here, not a
-// hardware-deployment candidate — the paper's point exactly).
+// Lazy learner: training stores the data — plus an exact KD-tree index so
+// prediction is sublinear on big stores instead of a full linear scan. The
+// index is an accelerator, not an approximation: every prediction (ties
+// included) is bit-identical to the brute-force scan, which remains the
+// reference path (and the fallback for tiny stores, non-finite queries,
+// or when the index is disabled).
 #pragma once
 
 #include <cstdint>
+#include <utility>
 
 #include "ml/classifier.hpp"
 #include "ml/preprocess.hpp"
@@ -19,24 +23,69 @@ class Knn final : public Classifier {
   std::size_t predict(std::span<const double> features) const override;
   std::vector<double> distribution(
       std::span<const double> features) const override;
-  /// Buffer-reusing batch path: one standardized-row buffer and one k-heap
-  /// reused across the whole chunk (the per-row path allocates both).
+  /// Buffer-reusing batch path: one scratch block (standardized row,
+  /// quantized query, heaps, candidate list, traversal stack) reused
+  /// across the whole chunk.
   void distribution_batch(std::span<const double> flat,
                           std::size_t window_size,
                           std::span<double> out) const override;
   std::string name() const override { return "IBk"; }
   std::size_t num_classes() const override { return num_classes_; }
 
+  /// Test/bench hook: force the brute-force reference scan (true by
+  /// default when an index exists). Flipping this never changes verdicts,
+  /// only speed — the index is exact.
+  void set_index_enabled(bool enabled) { index_enabled_ = enabled; }
+  /// Test/bench hook: bypass the int16 screen so score_brute degrades to
+  /// the plain exact scan — the reference "brute path" every accelerated
+  /// path is benched and verified against. Never changes verdicts.
+  void set_screen_enabled(bool enabled) { screen_enabled_ = enabled; }
+  /// Whether a KD-tree index was built (stores below the build threshold
+  /// stay brute-force).
+  bool has_index() const { return !nodes_.empty(); }
+
  private:
   friend struct ModelIo;
   /// (distance², label) — heap entries for the k-closest scan.
   using Entry = std::pair<double, std::size_t>;
 
+  /// KD-tree node over positions [begin, end) of the permuted store.
+  /// left == 0 marks a leaf (node 0 is the root, so 0 is never a child).
+  struct KdNode {
+    std::uint32_t left = 0;
+    std::uint32_t right = 0;
+    std::uint32_t begin = 0;
+    std::uint32_t end = 0;
+    std::uint32_t qoff = 0;  ///< leaf: offset of its int16 block in qtree_
+  };
+
+  /// Per-query scratch reused across batch rows (the pre-index code
+  /// allocated the quantized-query vector inside every score_into call).
+  struct Scratch {
+    std::vector<double> x;           ///< standardized query
+    std::vector<std::int16_t> qx;    ///< quantized query
+    std::vector<Entry> heap;         ///< exact k-closest (d2, label) heap
+    std::vector<double> dheap;       ///< traversal pure-d2 k-smallest heap
+    std::vector<Entry> cand;         ///< (d2, original index) candidates
+    /// Near-child-first DFS stack of (box bound, node id).
+    std::vector<std::pair<double, std::uint32_t>> frontier;
+    /// Batch processing order (locality-sorted row indices).
+    std::vector<std::uint32_t> order;
+  };
+
   std::size_t dim() const { return standardizer_.means().size(); }
-  void score_into(std::span<const double> x, std::vector<Entry>& heap,
+  void score_into(std::span<const double> x, Scratch& s,
                   std::span<double> dist) const;
+  void score_brute(std::span<const double> x, Scratch& s, bool finite) const;
+  void score_indexed(std::span<const double> x, Scratch& s) const;
+  /// Quantizes a query onto the training grid; returns the rigorous
+  /// reconstruction-error norm used by the integer screen threshold.
+  double quantize_query(std::span<const double> x,
+                        std::vector<std::int16_t>& qx) const;
   /// Rebuilds the int16 screen mirror from points_ (train and model load).
   void build_quantized();
+  /// Rebuilds the KD-tree index from points_ (train and model load).
+  void build_index();
 
   std::size_t k_;
   std::size_t num_classes_ = 0;
@@ -45,16 +94,35 @@ class Knn final : public Classifier {
   /// distance scan streams memory).
   std::vector<double> points_;
   std::vector<std::size_t> labels_;
-  /// 12-bit quantization of points_ in blocked column-major layout
-  /// (kernels::kScreenBlock rows per block, 4x fewer bytes than the double
-  /// rows). The distance scan is memory-bound, so most candidates are
-  /// rejected from this mirror via an exact-integer lower bound on their
-  /// distance; only candidates the bound cannot rule out touch the double
-  /// rows. The verdicts are provably identical to scanning points_
-  /// directly — see score_into. Empty when the screen is disabled.
+  /// Adaptive-span quantization of points_ in blocked dim-pair-interleaved
+  /// layout (kernels::kScreenBlock rows per block,
+  /// kernels::screen_block_index addressing, 4x fewer bytes than the
+  /// double rows). The distance scan
+  /// is memory-bound, so most candidates are rejected from this mirror via
+  /// an exact-integer lower bound on their distance; only candidates the
+  /// bound cannot rule out touch the double rows. The verdicts are
+  /// provably identical to scanning points_ directly — see score_brute.
+  /// Empty when the screen is disabled.
   std::vector<std::int16_t> qpoints_;
-  double qlo_ = 0.0;     ///< value mapped to grid index 0 (stored -2047)
+  double qlo_ = 0.0;     ///< value mapped to grid index 0 (stored -qspan_/2)
   double qscale_ = 1.0;  ///< quantization step
+  /// Even grid span: indices run [0, qspan_], stored centred at
+  /// qspan_/2. The finest span with dim * qspan_² <= INT32_MAX (exact
+  /// screen sums) and int16 diffs — 4094 at 128 dims, finer below.
+  std::int64_t qspan_ = 4094;
+
+  // --- KD-tree index (exact; see score_indexed) --------------------------
+  bool index_enabled_ = true;
+  bool screen_enabled_ = true;
+  std::vector<KdNode> nodes_;        ///< nodes_[0] is the root
+  std::vector<double> box_lo_;       ///< per-node bounding box, nodes x dim
+  std::vector<double> box_hi_;
+  std::vector<std::uint32_t> perm_;  ///< tree position -> original index
+  /// points_ rows permuted into tree order, so leaf scans are contiguous.
+  std::vector<double> tree_points_;
+  /// One int16 screen block per leaf (same grid as qpoints_), leaf rows in
+  /// the dim-pair-interleaved screen layout, padded to kernels::kLeafBlock.
+  std::vector<std::int16_t> qtree_;
 };
 
 }  // namespace hmd::ml

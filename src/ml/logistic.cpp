@@ -70,6 +70,11 @@ void Logistic::train(const DatasetView& data) {
       }
     }
   }
+  build_packed();
+}
+
+void Logistic::build_packed() {
+  packed_ = kernels::pack_weights_feature_major(weights_);
 }
 
 std::vector<double> Logistic::distribution(
@@ -94,22 +99,33 @@ void Logistic::distribution_batch(std::span<const double> flat,
   HMD_REQUIRE(window_size == mean.size(),
               "Logistic::distribution_batch: width mismatch");
 
-  std::vector<double> x(window_size);  // standardized row, reused
-  for (std::size_t r = 0; r < rows; ++r) {
-    kernels::standardize_into(flat.subspan(r * window_size, window_size),
-                              mean, stddev, x);
-
-    const std::span<double> logits = out.subspan(r * k, k);
-    for (std::size_t c = 0; c < k; ++c)
-      logits[c] = kernels::affine_bias_last(weights_[c], x);
-    // Stable softmax in place in the output slice.
-    const double mx = *std::max_element(logits.begin(), logits.end());
-    double total = 0.0;
-    for (double& v : logits) {
-      v = std::exp(v - mx);
-      total += v;
+  // Chunked GEMM: standardize a block of rows into one contiguous scratch
+  // buffer, compute every logit of the block in a single affine_batch call
+  // (bit-identical to per-row affine_bias_last), then softmax each output
+  // slice in place. The chunk bounds scratch memory for huge batches while
+  // keeping the kernel's row blocking effective.
+  constexpr std::size_t kChunkRows = 128;
+  std::vector<double> x(std::min(rows, kChunkRows) * window_size);
+  for (std::size_t base = 0; base < rows; base += kChunkRows) {
+    const std::size_t lim = std::min(kChunkRows, rows - base);
+    kernels::standardize_rows(flat.data() + base * window_size, lim, mean,
+                              stddev, x.data());
+    kernels::affine_batch(x.data(), lim, window_size, packed_.data(), k,
+                          out.data() + base * k);
+    for (std::size_t r = 0; r < lim; ++r) {
+      const std::span<double> logits = out.subspan((base + r) * k, k);
+      // Stable softmax in place in the output slice. The max element's
+      // shifted logit is exactly 0.0 and std::exp(0.0) is exactly 1.0, so
+      // skipping the libm call there changes nothing but the call count.
+      const double mx = *std::max_element(logits.begin(), logits.end());
+      double total = 0.0;
+      for (double& v : logits) {
+        const double t = v - mx;
+        v = t == 0.0 ? 1.0 : std::exp(t);
+        total += v;
+      }
+      for (double& v : logits) v /= total;
     }
-    for (double& v : logits) v /= total;
   }
 }
 

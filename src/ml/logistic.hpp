@@ -27,8 +27,10 @@ class Logistic final : public Classifier {
   std::size_t predict(std::span<const double> features) const override;
   std::vector<double> distribution(
       std::span<const double> features) const override;
-  /// Allocation-free batch scoring: one standardized-row buffer reused
-  /// across rows, softmax computed in place in the output slice.
+  /// GEMM batch scoring: rows are standardized into one contiguous chunk
+  /// and all class logits come from a single kernels::affine_batch call
+  /// (bit-identical to the per-row affine path), with the softmax computed
+  /// in place in the output slice.
   void distribution_batch(std::span<const double> flat,
                           std::size_t window_size,
                           std::span<double> out) const override;
@@ -41,9 +43,14 @@ class Logistic final : public Classifier {
 
  private:
   friend struct ModelIo;
+  /// Rebuilds packed_ from weights_ (train and model load).
+  void build_packed();
+
   Params params_;
   Standardizer standardizer_;
   std::vector<std::vector<double>> weights_;  ///< [class][feature+1]
+  /// weights_ in the feature-major layout kernels::affine_batch consumes.
+  std::vector<double> packed_;
 };
 
 /// Numerically stable in-place softmax of logits.

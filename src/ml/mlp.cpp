@@ -100,6 +100,12 @@ void Mlp::train(const DatasetView& data) {
       }
     }
   }
+  build_packed();
+}
+
+void Mlp::build_packed() {
+  packed1_ = kernels::pack_weights_feature_major(w1_);
+  packed2_ = kernels::pack_weights_feature_major(w2_);
 }
 
 std::vector<double> Mlp::hidden_activations(std::span<const double> x) const {
@@ -118,6 +124,51 @@ std::vector<double> Mlp::distribution(std::span<const double> features) const {
     out[c] = kernels::affine_bias_last(w2_[c], hidden);
   softmax_inplace(out);
   return out;
+}
+
+void Mlp::distribution_batch(std::span<const double> flat,
+                             std::size_t window_size,
+                             std::span<double> out) const {
+  HMD_REQUIRE(!w2_.empty(), "MLP: predict before train");
+  const std::size_t rows = require_batch(flat, window_size, out);
+  const std::size_t k = w2_.size();
+  const std::size_t h = w1_.size();
+  const std::vector<double>& mean = standardizer_.means();
+  const std::vector<double>& stddev = standardizer_.stddevs();
+  HMD_REQUIRE(window_size == mean.size(),
+              "MLP::distribution_batch: width mismatch");
+
+  // Chunked two-layer GEMM. Per element the operation sequence is exactly
+  // the per-row path's: sigmoid(affine_bias_last(w1_[j], x)) into hidden,
+  // affine_bias_last(w2_[c], hidden) into the logits, stable softmax —
+  // affine_batch pins the affine forms bit-identical, and sigmoid/softmax
+  // are applied with the same code, so batch == per-row to the last bit.
+  constexpr std::size_t kChunkRows = 128;
+  const std::size_t chunk = std::min(rows, kChunkRows);
+  std::vector<double> x(chunk * window_size);  // standardized rows
+  std::vector<double> hidden(chunk * h);       // sigmoid activations
+  for (std::size_t base = 0; base < rows; base += kChunkRows) {
+    const std::size_t lim = std::min(kChunkRows, rows - base);
+    kernels::standardize_rows(flat.data() + base * window_size, lim, mean,
+                              stddev, x.data());
+    kernels::affine_batch(x.data(), lim, window_size, packed1_.data(), h,
+                          hidden.data());
+    for (std::size_t i = 0; i < lim * h; ++i) hidden[i] = sigmoid(hidden[i]);
+    kernels::affine_batch(hidden.data(), lim, h, packed2_.data(), k,
+                          out.data() + base * k);
+    for (std::size_t r = 0; r < lim; ++r) {
+      const std::span<double> logits = out.subspan((base + r) * k, k);
+      // exp(0.0) == 1.0 exactly, so the max element skips the libm call.
+      const double mx = *std::max_element(logits.begin(), logits.end());
+      double total = 0.0;
+      for (double& v : logits) {
+        const double t = v - mx;
+        v = t == 0.0 ? 1.0 : std::exp(t);
+        total += v;
+      }
+      for (double& v : logits) v /= total;
+    }
+  }
 }
 
 std::size_t Mlp::predict(std::span<const double> features) const {

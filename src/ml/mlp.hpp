@@ -31,6 +31,12 @@ class Mlp final : public Classifier {
   std::size_t predict(std::span<const double> features) const override;
   std::vector<double> distribution(
       std::span<const double> features) const override;
+  /// GEMM batch scoring: both layers of the whole chunk run as single
+  /// kernels::affine_batch calls (hidden sigmoids and output softmax
+  /// applied per element in between), bit-identical to the per-row path.
+  void distribution_batch(std::span<const double> flat,
+                          std::size_t window_size,
+                          std::span<double> out) const override;
   std::string name() const override { return "MLP"; }
   std::size_t num_classes() const override { return w2_.size(); }
 
@@ -43,10 +49,16 @@ class Mlp final : public Classifier {
 
  private:
   friend struct ModelIo;
+  /// Rebuilds packed1_/packed2_ from w1_/w2_ (train and model load).
+  void build_packed();
+
   Params params_;
   Standardizer standardizer_;
   std::vector<std::vector<double>> w1_;
   std::vector<std::vector<double>> w2_;
+  /// w1_/w2_ in the feature-major layout kernels::affine_batch consumes.
+  std::vector<double> packed1_;
+  std::vector<double> packed2_;
 
   std::vector<double> hidden_activations(std::span<const double> x) const;
 };

@@ -83,6 +83,40 @@ std::vector<double> NaiveBayes::distribution(
   return post;
 }
 
+void NaiveBayes::distribution_batch(std::span<const double> flat,
+                                    std::size_t window_size,
+                                    std::span<double> out) const {
+  HMD_REQUIRE(!priors_.empty(), "NaiveBayes: predict before train");
+  const std::size_t rows = require_batch(flat, window_size, out);
+  HMD_REQUIRE(window_size == mean_.front().size(),
+              "NaiveBayes::distribution_batch: width mismatch");
+  const std::size_t k = priors_.size();
+  std::vector<double> log_post(k);  // reused across rows
+  for (std::size_t r = 0; r < rows; ++r) {
+    const std::span<const double> x =
+        flat.subspan(r * window_size, window_size);
+    for (std::size_t c = 0; c < k; ++c) {
+      double lp = std::log(priors_[c]);
+      for (std::size_t f = 0; f < window_size; ++f) {
+        const double v = var_[c][f];
+        const double dlt = x[f] - mean_[c][f];
+        lp += -0.5 * std::log(2.0 * std::numbers::pi * v) -
+              dlt * dlt / (2.0 * v);
+      }
+      log_post[c] = lp;
+    }
+    // Softmax the log posteriors, straight into the output slice.
+    const std::span<double> post = out.subspan(r * k, k);
+    const double mx = *std::max_element(log_post.begin(), log_post.end());
+    double total = 0.0;
+    for (std::size_t c = 0; c < k; ++c) {
+      post[c] = std::exp(log_post[c] - mx);
+      total += post[c];
+    }
+    for (double& p : post) p /= total;
+  }
+}
+
 std::size_t NaiveBayes::predict(std::span<const double> features) const {
   const auto dist = distribution(features);
   return static_cast<std::size_t>(

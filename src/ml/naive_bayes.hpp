@@ -12,6 +12,12 @@ class NaiveBayes final : public Classifier {
   std::size_t predict(std::span<const double> features) const override;
   std::vector<double> distribution(
       std::span<const double> features) const override;
+  /// Buffer-reusing batch path: one log-posterior buffer reused across the
+  /// chunk, posteriors written straight into the output slice
+  /// (bit-identical to the per-row path).
+  void distribution_batch(std::span<const double> flat,
+                          std::size_t window_size,
+                          std::span<double> out) const override;
   std::string name() const override { return "NaiveBayes"; }
   std::size_t num_classes() const override { return priors_.size(); }
 

@@ -442,6 +442,7 @@ struct ModelIo {
       m->weights_ = read_matrix(reader, "weights");
       if (m->weights_.size() != classes)
         throw ParseError("model: MLR shape mismatch");
+      m->build_packed();
       return m;
     }
     if (scheme == "SVM") {
@@ -450,6 +451,7 @@ struct ModelIo {
       m->weights_ = read_matrix(reader, "weights");
       if (m->weights_.size() != classes)
         throw ParseError("model: SVM shape mismatch");
+      m->build_packed();
       return m;
     }
     if (scheme == "MLP") {
@@ -459,6 +461,7 @@ struct ModelIo {
       m->w2_ = read_matrix(reader, "w2");
       if (m->w2_.size() != classes)
         throw ParseError("model: MLP shape mismatch");
+      m->build_packed();
       return m;
     }
     if (scheme == "IBk") {
@@ -480,6 +483,7 @@ struct ModelIo {
         m->points_.insert(m->points_.end(), row.begin(), row.end());
       }
       m->build_quantized();
+      m->build_index();
       for (std::size_t l : m->labels_)
         if (l >= classes) throw ParseError("model: IBk label out of range");
       return m;

@@ -50,6 +50,45 @@ void LinearSvm::train(const DatasetView& data) {
       }
     }
   }
+  build_packed();
+}
+
+void LinearSvm::build_packed() {
+  packed_ = kernels::pack_weights_feature_major(weights_);
+}
+
+void LinearSvm::distribution_batch(std::span<const double> flat,
+                                   std::size_t window_size,
+                                   std::span<double> out) const {
+  HMD_REQUIRE(!weights_.empty(), "SVM: distribution before train");
+  const std::size_t rows = require_batch(flat, window_size, out);
+  const std::size_t k = weights_.size();
+  const std::vector<double>& mean = standardizer_.means();
+  const std::vector<double>& stddev = standardizer_.stddevs();
+  HMD_REQUIRE(window_size == mean.size(),
+              "SVM::distribution_batch: width mismatch");
+
+  // Chunked GEMM over the one-vs-rest margins, then the same logistic
+  // link + normalization as distribution(), in the output slice.
+  constexpr std::size_t kChunkRows = 128;
+  std::vector<double> x(std::min(rows, kChunkRows) * window_size);
+  for (std::size_t base = 0; base < rows; base += kChunkRows) {
+    const std::size_t lim = std::min(kChunkRows, rows - base);
+    kernels::standardize_rows(flat.data() + base * window_size, lim, mean,
+                              stddev, x.data());
+    kernels::affine_batch(x.data(), lim, window_size, packed_.data(), k,
+                          out.data() + base * k);
+    for (std::size_t r = 0; r < lim; ++r) {
+      const std::span<double> row = out.subspan((base + r) * k, k);
+      double total = 0.0;
+      for (double& v : row) {
+        v = 1.0 / (1.0 + std::exp(-v));
+        total += v;
+      }
+      if (total > 0.0)
+        for (double& v : row) v /= total;
+    }
+  }
 }
 
 double LinearSvm::margin(std::size_t cls, std::span<const double> x) const {

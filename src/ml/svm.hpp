@@ -26,6 +26,12 @@ class LinearSvm final : public Classifier {
   /// Margins mapped through a logistic link (not calibrated probabilities).
   std::vector<double> distribution(
       std::span<const double> features) const override;
+  /// GEMM batch scoring: all one-vs-rest margins of a chunk come from one
+  /// kernels::affine_batch call (bit-identical to the per-row path), with
+  /// the logistic link and normalization applied in the output slice.
+  void distribution_batch(std::span<const double> flat,
+                          std::size_t window_size,
+                          std::span<double> out) const override;
   std::string name() const override { return "SVM"; }
   std::size_t num_classes() const override { return weights_.size(); }
 
@@ -36,9 +42,14 @@ class LinearSvm final : public Classifier {
 
  private:
   friend struct ModelIo;
+  /// Rebuilds packed_ from weights_ (train and model load).
+  void build_packed();
+
   Params params_;
   Standardizer standardizer_;
   std::vector<std::vector<double>> weights_;
+  /// weights_ in the feature-major layout kernels::affine_batch consumes.
+  std::vector<double> packed_;
 
   double margin(std::size_t cls, std::span<const double> x) const;
 };

@@ -1,5 +1,7 @@
 #include "ml/zero_r.hpp"
 
+#include <algorithm>
+
 #include "util/error.hpp"
 
 namespace hmd::ml {
@@ -22,6 +24,16 @@ std::size_t ZeroR::predict(std::span<const double>) const {
 std::vector<double> ZeroR::distribution(std::span<const double>) const {
   HMD_REQUIRE(!priors_.empty(), "ZeroR: distribution before train");
   return priors_;
+}
+
+void ZeroR::distribution_batch(std::span<const double> flat,
+                               std::size_t window_size,
+                               std::span<double> out) const {
+  HMD_REQUIRE(!priors_.empty(), "ZeroR: distribution before train");
+  const std::size_t rows = require_batch(flat, window_size, out);
+  const std::size_t k = priors_.size();
+  for (std::size_t r = 0; r < rows; ++r)
+    std::copy(priors_.begin(), priors_.end(), out.begin() + r * k);
 }
 
 }  // namespace hmd::ml

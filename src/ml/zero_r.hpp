@@ -12,6 +12,11 @@ class ZeroR final : public Classifier {
   std::size_t predict(std::span<const double> features) const override;
   std::vector<double> distribution(
       std::span<const double> features) const override;
+  /// Batch path: fills every output slice with the training priors
+  /// (bit-identical to the per-row path, no per-row allocation).
+  void distribution_batch(std::span<const double> flat,
+                          std::size_t window_size,
+                          std::span<double> out) const override;
   std::string name() const override { return "ZeroR"; }
   std::size_t num_classes() const override { return priors_.size(); }
 

@@ -149,6 +149,9 @@ void EngineSnapshot::write(std::ostream& out) const {
   if (policy.present)
     out << "policy " << policy.kind << " seed " << policy.seed << " members "
         << policy.members << "\n";
+  // Optional tier section (after policy): pins the serving precision tier
+  // the same way — a restore under a different tier fails loudly.
+  if (tier.present) out << "tier " << tier.name << "\n";
 }
 
 namespace {
@@ -282,9 +285,10 @@ EngineSnapshot read_snapshot_impl(std::istream& in) {
     snapshot.streams.push_back(s);
   }
 
-  // Optional trailing sections, in order: drift, then policy. EOF (or a
-  // blank line) at either point means a snapshot written before that
-  // layer existed, or by an engine running without it — all load fine.
+  // Optional trailing sections, in order: drift, then policy, then tier.
+  // EOF (or a blank line) at any point means a snapshot written before
+  // that layer existed, or by an engine running without it — all load
+  // fine.
   if (!std::getline(in, line)) return snapshot;
   if (line.find_first_not_of(" \t\r") == std::string::npos) return snapshot;
   if (line.rfind("drift_shards", 0) == 0) {
@@ -299,17 +303,30 @@ EngineSnapshot read_snapshot_impl(std::istream& in) {
     if (line.find_first_not_of(" \t\r") == std::string::npos)
       return snapshot;
   }
-  {
+  if (line.rfind("policy", 0) == 0) {
     std::istringstream fields(line);
     std::string word;
-    if (!(fields >> word) || word != "policy")
-      snapshot_fail("expected optional section 'drift_shards' or 'policy'");
+    fields >> word;
     if (!(fields >> snapshot.policy.kind))
       snapshot_fail("bad value for field 'policy'");
     snapshot.policy.seed = expect_field(fields, "seed");
     snapshot.policy.members = expect_field(fields, "members");
     expect_line_end(fields, "policy");
     snapshot.policy.present = true;
+    if (!std::getline(in, line)) return snapshot;
+    if (line.find_first_not_of(" \t\r") == std::string::npos)
+      return snapshot;
+  }
+  {
+    std::istringstream fields(line);
+    std::string word;
+    if (!(fields >> word) || word != "tier")
+      snapshot_fail(
+          "expected optional section 'drift_shards', 'policy' or 'tier'");
+    if (!(fields >> snapshot.tier.name))
+      snapshot_fail("bad value for field 'tier'");
+    expect_line_end(fields, "tier");
+    snapshot.tier.present = true;
   }
   return snapshot;
 }

@@ -141,6 +141,19 @@ struct PolicySnapshot {
   std::uint64_t members = 0;  ///< total ensemble size
 };
 
+/// Serving precision tier that produced a checkpoint
+/// (ServeConfig::Tier). A checkpointed verdict stream is only continued
+/// correctly by scoring the remaining traffic the same way it was scored
+/// before the cut — restoring a float-tier snapshot into an int8/q16
+/// engine (or vice versa) would silently change every score after the
+/// restore point. This section pins the tier name so such a restore fails
+/// loudly instead. Absent from snapshots written before the tier layer
+/// existed (which all served float).
+struct TierSnapshot {
+  bool present = false;
+  std::string name;  ///< serve::to_string(ServeConfig::Tier)
+};
+
 /// A whole-engine checkpoint. Write with checkpoint(); feed back through
 /// ServeConfig::restore_from to continue bit-identically. The format is a
 /// line-oriented text artifact ("hmd-snapshot v1") — small (streams are
@@ -155,6 +168,9 @@ struct EngineSnapshot {
   /// Scoring-policy identity — an OPTIONAL trailing section after drift,
   /// written only by engines running a non-single policy.
   PolicySnapshot policy;
+  /// Serving-tier identity — an OPTIONAL trailing section after policy,
+  /// written by every tier-aware engine (including float).
+  TierSnapshot tier;
 
   void write(std::ostream& out) const;
 

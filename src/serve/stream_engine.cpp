@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "ml/dataset.hpp"
+#include "ml/quantized.hpp"
 #include "ml/registry.hpp"
 #include "serve/spsc_ring.hpp"
 #include "util/error.hpp"
@@ -64,7 +65,29 @@ Result<void> ServeConfig::try_validate() const {
       return std::move(r).with_context("ServeConfig");
   if (Result<void> r = ensemble.try_validate(); !r)
     return std::move(r).with_context("ServeConfig");
+  if (tier != Tier::kFloat && ensemble.kind != EnsembleConfig::Kind::kSingle)
+    return ErrorInfo(
+        ErrCode::kPrecondition,
+        std::string("ServeConfig.tier: the ") + to_string(tier) +
+            " tier requires ensemble.kind = single (ensemble members vote "
+            "on float scores)");
   return {};
+}
+
+const char* to_string(ServeConfig::Tier tier) {
+  switch (tier) {
+    case ServeConfig::Tier::kFloat: return "float";
+    case ServeConfig::Tier::kInt8: return "int8";
+    case ServeConfig::Tier::kQ16: return "q16";
+  }
+  return "float";
+}
+
+std::optional<ServeConfig::Tier> tier_from_name(const std::string& name) {
+  if (name == "float") return ServeConfig::Tier::kFloat;
+  if (name == "int8") return ServeConfig::Tier::kInt8;
+  if (name == "q16") return ServeConfig::Tier::kQ16;
+  return std::nullopt;
 }
 
 StreamRouter::StreamRouter(std::size_t num_shards)
@@ -149,6 +172,13 @@ struct StreamEngine::Shard {
   std::mutex apply_mutex;  ///< held around monitor updates per batch
   std::uint64_t batch_ordinal = 0;       ///< fault-injection key
   std::uint64_t last_epoch_version = 0;  ///< for swap detection
+
+  // Quantized tiers (ServeConfig::Tier::kInt8 / kQ16): the quantized
+  // lowering of the current primary, cached per shard and re-derived
+  // after every hot-swap (keyed by epoch version). Null when the primary
+  // has no lowering for the configured tier.
+  std::uint64_t quant_version = 0;
+  std::shared_ptr<const ml::QuantizedModel> quant_model;
 
   // Drift detection (config.drift.enabled only). Owned by the worker
   // under apply_mutex; snapshot() reads under the same lock.
@@ -322,6 +352,20 @@ StreamEngine::StreamEngine(std::shared_ptr<ModelHub> hub, ServeConfig config)
                 "ServeConfig.ensemble.members: snapshot pinned " +
                     std::to_string(snap.members) + " members, config has " +
                     std::to_string(config_.ensemble.total_members()));
+  }
+  if (config_.restore_from != nullptr && config_.restore_from->tier.present) {
+    // A checkpointed verdict stream is only continued correctly when the
+    // remaining traffic is scored the way it was scored before the cut:
+    // restoring under a different precision tier would silently change
+    // every score after the restore point. Refuse mismatched restores.
+    const TierSnapshot& snap = config_.restore_from->tier;
+    HMD_REQUIRE(tier_from_name(snap.name).has_value(),
+                "ServeConfig.restore_from: snapshot pins unknown serving "
+                "tier '" + snap.name + "' (known: float int8 q16)");
+    HMD_REQUIRE(snap.name == to_string(config_.tier),
+                "ServeConfig.tier: snapshot was written by a '" + snap.name +
+                    "' tier engine, config is '" + to_string(config_.tier) +
+                    "'");
   }
 
   shards_.reserve(config_.num_shards);
@@ -517,6 +561,27 @@ bool StreamEngine::score_batch(Shard& shard, Batch& batch) {
   }
   const bool have_fallback = epoch->fallback != nullptr;
 
+  // Quantized tiers: swap the batch's primary for its cached quantized
+  // lowering (re-derived once per hot-swap). Policies and fallback scoring
+  // stay on the float path; a primary without a lowering for the
+  // configured tier does too.
+  const ml::Classifier* primary = epoch->primary.get();
+  if (config_.tier != ServeConfig::Tier::kFloat && policy_ == nullptr) {
+    if (shard.quant_version != epoch->version) {
+      shard.quant_version = epoch->version;
+      shard.quant_model.reset();
+      const bool int8 = config_.tier == ServeConfig::Tier::kInt8;
+      const bool supported =
+          int8 ? ml::QuantizedModel::int8_supported(*epoch->primary)
+               : ml::QuantizedModel::q16_supported(*epoch->primary);
+      if (supported)
+        shard.quant_model = std::make_shared<const ml::QuantizedModel>(
+            epoch->primary, int8 ? ml::QuantizedModel::Mode::kInt8
+                                 : ml::QuantizedModel::Mode::kQ16Input);
+    }
+    if (shard.quant_model != nullptr) primary = shard.quant_model.get();
+  }
+
   if (policy_ != nullptr) {
     // Window identities for member selection: each stream's windows sit
     // in one contiguous run of the gather order, so its ordinals are the
@@ -575,7 +640,7 @@ bool StreamEngine::score_batch(Shard& shard, Batch& batch) {
           std::this_thread::sleep_for(std::chrono::microseconds(
               res.retry_backoff_us * static_cast<std::uint64_t>(a)));
       }
-      scored = attempt_score(*epoch->primary, a, true, policy_ != nullptr);
+      scored = attempt_score(*primary, a, true, policy_ != nullptr);
     }
     if (scored) {
       by_primary = true;
@@ -588,7 +653,7 @@ bool StreamEngine::score_batch(Shard& shard, Batch& batch) {
     // the primary, and a single success recovers the shard.
     ++shard.degraded_batches;
     if (shard.degraded_batches % res.probe_every == 0 &&
-        attempt_score(*epoch->primary, 0, true, policy_ != nullptr)) {
+        attempt_score(*primary, 0, true, policy_ != nullptr)) {
       scored = true;
       by_primary = true;
       leave_degraded(shard);
@@ -1067,6 +1132,10 @@ EngineSnapshot StreamEngine::snapshot() const {
     snap.policy.seed = config_.ensemble.seed;
     snap.policy.members = policy_->total_members();
   }
+  // Always pinned (float included): the tier is part of the checkpoint's
+  // identity — see TierSnapshot.
+  snap.tier.present = true;
+  snap.tier.name = to_string(config_.tier);
   res_->checkpoints.add();
   return snap;
 }

@@ -66,6 +66,7 @@
 #include <mutex>
 #include <optional>
 #include <span>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -127,6 +128,21 @@ struct ServeConfig {
   /// version. Degraded shards bypass the policy (fallback scores alone).
   EnsembleConfig ensemble;
 
+  /// Serving precision tier. kFloat scores with the published model as-is
+  /// (bit-identical to every prior release). kInt8 lowers the primary to
+  /// an int8 ml::QuantizedModel per shard (lazily, re-derived after every
+  /// hot-swap) and scores batches through the int8 GEMM; kQ16 instead
+  /// passes inputs through the hardware Q16.16 grid before the unmodified
+  /// float model — the exact semantics of hw/evaluate_fixed_point, so the
+  /// serving scores match what the RTL datapath would compute. Schemes
+  /// without the respective lowering silently keep the float path, and
+  /// degraded/fallback scoring is always float. Quantized tiers require
+  /// the kSingle ensemble policy — ensemble members vote on float scores
+  /// by design. The tier is part of a checkpoint's identity: snapshots pin
+  /// it and a restore under a different tier fails (see EngineSnapshot).
+  enum class Tier { kFloat, kInt8, kQ16 };
+  Tier tier = Tier::kFloat;
+
   /// Checkpoint to resume from: streams registered with an id present in
   /// the snapshot pick up that stream's detector state and counters
   /// (first-come for duplicate ids). Null = cold start.
@@ -143,6 +159,11 @@ struct ServeConfig {
   /// called by the engine constructor.
   void validate() const { try_validate().value(); }
 };
+
+/// "float", "int8", "q16" — the --tier spellings and the snapshot pin.
+const char* to_string(ServeConfig::Tier tier);
+/// Parse a --tier / snapshot tier name; nullopt for anything else.
+std::optional<ServeConfig::Tier> tier_from_name(const std::string& name);
 
 /// Deterministic stream-id → shard mapping (splitmix64 hash, mod shards).
 /// A stream's shard never changes, so its windows are always consumed by

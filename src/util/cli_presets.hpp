@@ -53,6 +53,16 @@ inline void add_model_out_flag(ArgParser& parser, std::string* path) {
   parser.add_string("--model", path, "FILE", "save the bare model");
 }
 
+/// --isa NAME forcing the SIMD dispatch tier of the ml kernels. Tools
+/// apply a non-empty value via ml::kernels::force_isa_by_name after
+/// parsing; an empty value keeps the best supported tier (or the
+/// HMD_KERNEL_ISA environment override).
+inline void add_isa_flag(ArgParser& parser, std::string* isa) {
+  parser.add_string("--isa", isa, "NAME",
+                    "force kernel ISA: scalar, avx2 or avx512 (default: "
+                    "best supported; env HMD_KERNEL_ISA)");
+}
+
 /// The observability pair every tool exposes: --metrics-out FILE and
 /// --trace-out FILE.
 inline void add_observability_flags(ArgParser& parser, std::string* metrics,

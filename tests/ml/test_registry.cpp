@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <span>
 #include <sstream>
+#include <vector>
 
 #include "ml/evaluation.hpp"
 #include "tests/ml/synthetic_data.hpp"
@@ -123,6 +125,36 @@ TEST(Registry, EverySchemeReportsThroughEvaluationReport) {
     EXPECT_EQ(report.total(), d.num_instances()) << name;
     EXPECT_GE(report.predict_seconds, 0.0) << name;
     EXPECT_EQ(report.num_classes(), 2u) << name;
+  }
+}
+
+TEST(Registry, BatchOverridesMatchPerRowScoringForEveryScheme) {
+  // Several schemes override distribution_batch with buffer-reusing or
+  // GEMM paths; the contract across ALL sixteen is bit-identity with the
+  // per-row distribution() loop, whatever path the scheme takes.
+  // Binary data: the one-class anomaly schemes refuse multiclass sets.
+  const auto data = testdata::separable_binary(80);
+  const std::size_t d = data.num_features();
+  const std::size_t rows = 60;
+  std::vector<double> flat;
+  for (std::size_t r = 0; r < rows; ++r) {
+    const auto f = data.features_of(r % data.num_instances());
+    flat.insert(flat.end(), f.begin(), f.end());
+  }
+  for (const auto& name : known_schemes()) {
+    const auto clf = make_classifier(name);
+    clf->train(data);
+    const std::size_t k = clf->num_classes();
+    std::vector<double> batch(rows * k);
+    clf->distribution_batch(flat, d, batch);
+    for (std::size_t r = 0; r < rows; ++r) {
+      const auto one = clf->distribution(
+          std::span<const double>(flat.data() + r * d, d));
+      ASSERT_EQ(one.size(), k) << name;
+      for (std::size_t c = 0; c < k; ++c)
+        ASSERT_EQ(batch[r * k + c], one[c])
+            << name << " row " << r << " class " << c;
+    }
   }
 }
 

@@ -257,6 +257,8 @@ EngineSnapshot sample_snapshot() {
                       .alarmed = true,
                       .alarm_window = 31};
   snap.streams = {calm, alarmed};
+  snap.tier.present = true;
+  snap.tier.name = "q16";
   return snap;
 }
 
@@ -284,6 +286,19 @@ TEST(EngineSnapshotFormat, WriteReadRoundTrip) {
             OnlineDetector::kNoAlarm);
   EXPECT_TRUE(snap.streams[1].detector.alarmed);
   EXPECT_EQ(snap.streams[1].detector.alarm_window, 31u);
+  EXPECT_TRUE(snap.tier.present);
+  EXPECT_EQ(snap.tier.name, "q16");
+
+  // Snapshots written before the tier layer (no trailing section) load
+  // fine and stay unpinned.
+  EngineSnapshot legacy = sample_snapshot();
+  legacy.tier = {};
+  std::ostringstream legacy_out;
+  legacy.write(legacy_out);
+  std::istringstream legacy_in(legacy_out.str());
+  const Result<EngineSnapshot> reloaded = EngineSnapshot::read(legacy_in);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.error().to_string();
+  EXPECT_FALSE(reloaded.value().tier.present);
 }
 
 TEST(EngineSnapshotFormat, ReadRejectsMalformedInput) {
@@ -316,6 +331,18 @@ TEST(EngineSnapshotFormat, ReadRejectsMalformedInput) {
       "stream 1 accepted 5 evicted 0 high_water 1 windows 5 flagged 2 "
       "streak 1 alarmed 0 alarm_window - extra\n",
       "trailing tokens");
+  expect_parse_error(
+      "hmd-snapshot v1\nmodel_version 1\nstreams 1\n"
+      "stream 1 accepted 5 evicted 0 high_water 1 windows 5 flagged 2 "
+      "streak 1 alarmed 0 alarm_window -\n"
+      "tier\n",
+      "tier without a name");
+  expect_parse_error(
+      "hmd-snapshot v1\nmodel_version 1\nstreams 1\n"
+      "stream 1 accepted 5 evicted 0 high_water 1 windows 5 flagged 2 "
+      "streak 1 alarmed 0 alarm_window -\n"
+      "tear int8\n",
+      "unknown optional section");
 
   std::istringstream throwing("junk\n");
   EXPECT_THROW((void)EngineSnapshot::read_or_throw(throwing), ParseError);

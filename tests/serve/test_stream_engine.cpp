@@ -4,12 +4,16 @@
 
 #include <chrono>
 #include <cstdint>
+#include <memory>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "core/online_detector.hpp"
 #include "ml/logistic.hpp"
+#include "ml/quantized.hpp"
+#include "ml/svm.hpp"
 #include "util/error.hpp"
 #include "util/metrics.hpp"
 #include "util/rng.hpp"
@@ -397,6 +401,196 @@ TEST(StreamEngine, MetricsAccountForEveryWindow) {
   metrics().reset();
 }
 
+TEST(StreamEngine, Int8TierMatchesQuantizedSerialReplay) {
+  // --tier int8: the engine wraps the published primary in an int8
+  // QuantizedModel with the default (standardizer-derived) calibration, so
+  // a serial replay through an identically built wrapper must match the
+  // engine's verdicts bit-for-bit.
+  constexpr std::size_t kWidth = 8;
+  std::vector<ml::Attribute> attrs;
+  for (std::size_t f = 0; f < kWidth; ++f)
+    attrs.emplace_back("f" + std::to_string(f));
+  attrs.emplace_back("class", std::vector<std::string>{"benign", "malware"});
+  ml::Dataset data(std::move(attrs), "int8_tier");
+  Rng rng(77);
+  for (std::size_t i = 0; i < 300; ++i) {
+    ml::Instance row;
+    const double cls = i % 2 == 0 ? 0.0 : 1.0;
+    for (std::size_t f = 0; f < kWidth; ++f)
+      row.values.push_back(rng.normal(cls * 2.0, 1.0));
+    row.values.push_back(cls);
+    data.add(std::move(row));
+  }
+  ml::Logistic model(ml::Logistic::Params{.iterations = 30});
+  model.train(data);
+
+  ServeConfig config;
+  config.window_size = kWidth;
+  config.num_shards = 2;
+  config.record_verdicts = true;
+  config.tier = ServeConfig::Tier::kInt8;
+  config.policy = {.flag_threshold = 0.6, .confirm_windows = 2};
+  StreamEngine engine(model, config);
+
+  constexpr std::size_t kStreams = 5;
+  std::vector<StreamEngine::StreamHandle> handles;
+  std::vector<std::vector<std::vector<double>>> workload;
+  for (std::size_t s = 0; s < kStreams; ++s) {
+    handles.push_back(engine.register_stream(s));
+    auto windows = make_stream_windows(500 + s, 80, kWidth);
+    for (auto& w : windows)
+      for (auto& v : w) v = v * 4.0 - 1.0;
+    workload.push_back(std::move(windows));
+  }
+  for (std::size_t w = 0; w < 80; ++w)
+    for (std::size_t s = 0; s < kStreams; ++s)
+      engine.ingest(handles[s], workload[s][w]);
+  engine.drain();
+
+  const ml::QuantizedModel int8(
+      std::shared_ptr<const ml::Classifier>(std::shared_ptr<void>(), &model),
+      ml::QuantizedModel::Mode::kInt8);
+  for (std::size_t s = 0; s < kStreams; ++s) {
+    const auto expected = serial_replay(int8, config.policy, workload[s]);
+    expect_verdicts_identical(engine.verdicts(handles[s]), expected,
+                              "int8 stream " + std::to_string(s));
+  }
+  engine.shutdown();
+  metrics().reset();
+}
+
+TEST(StreamEngine, Q16TierMatchesQuantizedSerialReplay) {
+  // --tier q16: the engine passes every window through the hardware
+  // Q16.16 input grid (standardizer-derived calibration) before the
+  // unmodified float model — a serial replay through an identically built
+  // wrapper must match the engine's verdicts bit-for-bit.
+  constexpr std::size_t kWidth = 8;
+  std::vector<ml::Attribute> attrs;
+  for (std::size_t f = 0; f < kWidth; ++f)
+    attrs.emplace_back("f" + std::to_string(f));
+  attrs.emplace_back("class", std::vector<std::string>{"benign", "malware"});
+  ml::Dataset data(std::move(attrs), "q16_tier");
+  Rng rng(78);
+  for (std::size_t i = 0; i < 300; ++i) {
+    ml::Instance row;
+    const double cls = i % 2 == 0 ? 0.0 : 1.0;
+    for (std::size_t f = 0; f < kWidth; ++f)
+      row.values.push_back(rng.normal(cls * 2.0, 1.0));
+    row.values.push_back(cls);
+    data.add(std::move(row));
+  }
+  ml::LinearSvm model;
+  model.train(data);
+
+  ServeConfig config;
+  config.window_size = kWidth;
+  config.num_shards = 2;
+  config.record_verdicts = true;
+  config.tier = ServeConfig::Tier::kQ16;
+  config.policy = {.flag_threshold = 0.6, .confirm_windows = 2};
+  StreamEngine engine(model, config);
+
+  constexpr std::size_t kStreams = 5;
+  std::vector<StreamEngine::StreamHandle> handles;
+  std::vector<std::vector<std::vector<double>>> workload;
+  for (std::size_t s = 0; s < kStreams; ++s) {
+    handles.push_back(engine.register_stream(s));
+    auto windows = make_stream_windows(600 + s, 80, kWidth);
+    for (auto& w : windows)
+      for (auto& v : w) v = v * 4.0 - 1.0;
+    workload.push_back(std::move(windows));
+  }
+  for (std::size_t w = 0; w < 80; ++w)
+    for (std::size_t s = 0; s < kStreams; ++s)
+      engine.ingest(handles[s], workload[s][w]);
+  engine.drain();
+
+  const ml::QuantizedModel q16(
+      std::shared_ptr<const ml::Classifier>(std::shared_ptr<void>(), &model),
+      ml::QuantizedModel::Mode::kQ16Input);
+  for (std::size_t s = 0; s < kStreams; ++s) {
+    const auto expected = serial_replay(q16, config.policy, workload[s]);
+    expect_verdicts_identical(engine.verdicts(handles[s]), expected,
+                              "q16 stream " + std::to_string(s));
+  }
+  engine.shutdown();
+  metrics().reset();
+}
+
+TEST(StreamEngine, SnapshotPinsTierAndRejectsMismatchedRestore) {
+  // The serving tier is part of a checkpoint's identity: a snapshot names
+  // the tier that scored the traffic, a matching restore resumes, and a
+  // mismatched restore fails with a ServeConfig-named precondition.
+  StubModel model;
+  ServeConfig config;
+  config.window_size = 4;
+  config.record_verdicts = true;
+  config.tier = ServeConfig::Tier::kInt8;
+  StreamEngine engine(model, config);
+  const auto handle = engine.register_stream(3);
+  for (const auto& w : make_stream_windows(11, 20, 4))
+    engine.ingest(handle, w);
+  engine.drain();
+
+  std::stringstream buffer;
+  engine.checkpoint(buffer);
+  engine.shutdown();
+  const EngineSnapshot snap = EngineSnapshot::read_or_throw(buffer);
+  ASSERT_TRUE(snap.tier.present);
+  EXPECT_EQ(snap.tier.name, "int8");
+
+  const auto shared = std::make_shared<const EngineSnapshot>(snap);
+  {
+    // Matching tier: restore is accepted.
+    ServeConfig same = config;
+    same.restore_from = shared;
+    EXPECT_NO_THROW(StreamEngine(model, same).shutdown());
+  }
+  for (const ServeConfig::Tier other :
+       {ServeConfig::Tier::kFloat, ServeConfig::Tier::kQ16}) {
+    ServeConfig mismatched = config;
+    mismatched.tier = other;
+    mismatched.restore_from = shared;
+    EXPECT_THROW(StreamEngine(model, mismatched), PreconditionError)
+        << to_string(other);
+  }
+  // A float-tier checkpoint is pinned too — it refuses a quantized-tier
+  // restore just the same.
+  ServeConfig float_cfg;
+  float_cfg.window_size = 4;
+  StreamEngine float_engine(model, float_cfg);
+  std::stringstream float_buf;
+  float_engine.checkpoint(float_buf);
+  float_engine.shutdown();
+  const auto float_snap = std::make_shared<const EngineSnapshot>(
+      EngineSnapshot::read_or_throw(float_buf));
+  EXPECT_EQ(float_snap->tier.name, "float");
+  ServeConfig int8_cfg = config;
+  int8_cfg.restore_from = float_snap;
+  EXPECT_THROW(StreamEngine(model, int8_cfg), PreconditionError);
+  metrics().reset();
+}
+
+TEST(StreamEngine, Int8TierKeepsFloatPathForUnsupportedScheme) {
+  // Schemes without an int8 lowering silently serve float under
+  // --tier int8 — verdicts must equal the float serial replay exactly.
+  StubModel model;
+  ServeConfig config;
+  config.window_size = 4;
+  config.record_verdicts = true;
+  config.tier = ServeConfig::Tier::kInt8;
+  StreamEngine engine(model, config);
+  const auto handle = engine.register_stream(0);
+  const auto windows = make_stream_windows(321, 60, 4);
+  for (const auto& w : windows) engine.ingest(handle, w);
+  engine.drain();
+  const auto expected = serial_replay(model, config.policy, windows);
+  expect_verdicts_identical(engine.verdicts(handle), expected,
+                            "unsupported-scheme int8 tier");
+  engine.shutdown();
+  metrics().reset();
+}
+
 // Randomized-interleaving soak: concurrent feeders, random per-stream
 // window counts and random scheduling jitter across repeats and shard
 // counts; every stream must still match its serial replay exactly. The
@@ -472,6 +666,87 @@ TEST(ServeSoak, RandomInterleavingsMatchSerialReplay) {
     }
     engine.shutdown();
   }
+}
+
+// Quantized-tier soak: concurrent feeders through the int8 tier while the
+// SAME trained model is re-published mid-traffic. The re-publish bumps the
+// epoch version, forcing every shard worker to re-derive its cached
+// quantized lowering under live ingest — the tier's only swap-adjacent
+// state — while keeping scores identical, so every stream must still
+// match the quantized serial replay exactly. The TSan CI job runs this
+// suite (ServeSoak) for race coverage of the tier cache.
+TEST(ServeSoak, QuantizedTierSurvivesConcurrentFeedersAndRepublish) {
+  constexpr std::size_t kWidth = 8;
+  std::vector<ml::Attribute> attrs;
+  for (std::size_t f = 0; f < kWidth; ++f)
+    attrs.emplace_back("f" + std::to_string(f));
+  attrs.emplace_back("class", std::vector<std::string>{"benign", "malware"});
+  ml::Dataset data(std::move(attrs), "tier_soak");
+  Rng rng(79);
+  for (std::size_t i = 0; i < 300; ++i) {
+    ml::Instance row;
+    const double cls = i % 2 == 0 ? 0.0 : 1.0;
+    for (std::size_t f = 0; f < kWidth; ++f)
+      row.values.push_back(rng.normal(cls * 2.0, 1.0));
+    row.values.push_back(cls);
+    data.add(std::move(row));
+  }
+  const auto model = std::make_shared<ml::Logistic>(
+      ml::Logistic::Params{.iterations = 30});
+  model->train(data);
+
+  ServeConfig config;
+  config.window_size = kWidth;
+  config.num_shards = 3;
+  config.record_verdicts = true;
+  config.tier = ServeConfig::Tier::kInt8;
+  config.policy = {.flag_threshold = 0.6, .confirm_windows = 2};
+  auto hub = std::make_shared<ModelHub>();
+  hub->publish(model);
+  StreamEngine engine(hub, config);
+
+  constexpr std::size_t kFeeders = 3;
+  constexpr std::size_t kStreamsPerFeeder = 4;
+  constexpr std::size_t kStreams = kFeeders * kStreamsPerFeeder;
+  constexpr std::size_t kWindows = 120;
+  std::vector<StreamEngine::StreamHandle> handles;
+  std::vector<std::vector<std::vector<double>>> workload;
+  for (std::size_t s = 0; s < kStreams; ++s) {
+    handles.push_back(engine.register_stream(2000 + s));
+    auto windows = make_stream_windows(700 + s, kWindows, kWidth);
+    for (auto& w : windows)
+      for (auto& v : w) v = v * 4.0 - 1.0;
+    workload.push_back(std::move(windows));
+  }
+
+  std::vector<std::thread> feeders;
+  for (std::size_t f = 0; f < kFeeders; ++f)
+    feeders.emplace_back([&, f] {
+      for (std::size_t w = 0; w < kWindows; ++w)
+        for (std::size_t j = 0; j < kStreamsPerFeeder; ++j)
+          engine.ingest(handles[f * kStreamsPerFeeder + j],
+                        workload[f * kStreamsPerFeeder + j][w]);
+    });
+  // Re-publish the identical model under live traffic: new epoch
+  // versions, identical scores, fresh quantized lowerings per shard.
+  std::thread publisher([&] {
+    for (int i = 0; i < 4; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      hub->publish(model);
+    }
+  });
+  for (auto& t : feeders) t.join();
+  publisher.join();
+  engine.drain();
+
+  const ml::QuantizedModel int8(model, ml::QuantizedModel::Mode::kInt8);
+  for (std::size_t s = 0; s < kStreams; ++s) {
+    const auto expected = serial_replay(int8, config.policy, workload[s]);
+    expect_verdicts_identical(engine.verdicts(handles[s]), expected,
+                              "tier soak stream " + std::to_string(s));
+  }
+  engine.shutdown();
+  metrics().reset();
 }
 
 }  // namespace

@@ -23,6 +23,7 @@
 #include "ml/arff.hpp"
 #include "ml/registry.hpp"
 #include "util/cli.hpp"
+#include "ml/kernels.hpp"
 #include "util/cli_presets.hpp"
 #include "util/error.hpp"
 #include "util/metrics.hpp"
@@ -46,6 +47,7 @@ int main(int argc, char** argv) {
   std::string evade_scheme = "MLR";
   workload::EvasionConfig evasion;
   std::string metrics_path, trace_path;
+  std::string isa_name;
 
   ArgParser parser("hmd_dataset",
                    "Generate the labelled HPC dataset (CSV or ARFF).");
@@ -71,8 +73,17 @@ int main(int argc, char** argv) {
                     "evasion search seed (default 24301)");
   parser.add_size("--evade-iters", &evasion.iterations, "N",
                   "hill-climb iterations per family (default 48)");
+  cli::add_isa_flag(parser, &isa_name);
   cli::add_observability_flags(parser, &metrics_path, &trace_path);
   parser.parse_or_exit(argc, argv);
+  if (!isa_name.empty()) {
+    try {
+      ml::kernels::force_isa_by_name(isa_name);
+    } catch (const hmd::Error& e) {
+      std::cerr << "hmd_dataset: " << e.what() << '\n';
+      return 2;
+    }
+  }
   if (!trace_path.empty()) tracer().set_enabled(true);
 
   try {

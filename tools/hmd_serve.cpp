@@ -45,6 +45,7 @@
 #include <vector>
 
 #include "core/deployment.hpp"
+#include "ml/kernels.hpp"
 #include "perf/perf_log.hpp"
 #include "serve/ensemble_policy.hpp"
 #include "serve/resilience.hpp"
@@ -73,6 +74,7 @@ int main(int argc, char** argv) {
   std::string policy_name;
   std::vector<std::string> member_paths;
   std::string checkpoint_path, restore_path, metrics_path, trace_path;
+  std::string isa_name, tier_name;
 
   ArgParser parser("hmd_serve",
                    "Replay perf logs through the sharded streaming engine.");
@@ -112,8 +114,30 @@ int main(int argc, char** argv) {
                     "write an engine snapshot after the replay drains");
   parser.add_string("--restore", &restore_path, "FILE",
                     "resume stream state from a snapshot (--checkpoint)");
+  parser.add_string("--tier", &tier_name, "NAME",
+                    "serving precision tier: float (default), int8 "
+                    "(quantized low-latency scoring) or q16 (hardware "
+                    "Q16.16 input grid)");
+  cli::add_isa_flag(parser, &isa_name);
   cli::add_observability_flags(parser, &metrics_path, &trace_path);
   parser.parse_or_exit(argc, argv);
+  if (!isa_name.empty()) {
+    try {
+      ml::kernels::force_isa_by_name(isa_name);
+    } catch (const hmd::Error& e) {
+      std::cerr << "hmd_serve: " << e.what() << '\n';
+      return 2;
+    }
+  }
+  if (!tier_name.empty()) {
+    const auto tier = serve::tier_from_name(tier_name);
+    if (!tier.has_value()) {
+      std::cerr << "hmd_serve: --tier: unknown tier '" << tier_name
+                << "' (known: float int8 q16)\n";
+      return 2;
+    }
+    config.tier = *tier;
+  }
   if (drop_oldest)
     config.backpressure = serve::ServeConfig::Backpressure::kDropOldest;
   config.drift.enabled = drift || retrain;

@@ -25,6 +25,7 @@
 #include "ml/registry.hpp"
 #include "ml/serialization.hpp"
 #include "util/cli.hpp"
+#include "ml/kernels.hpp"
 #include "util/cli_presets.hpp"
 #include "util/error.hpp"
 #include "util/metrics.hpp"
@@ -110,6 +111,7 @@ int main(int argc, char** argv) {
 
   std::string data_path, scheme = "MLR", model_path, bundle_path;
   std::string fallback_scheme, metrics_path, trace_path;
+  std::string isa_name;
   bool binary = false, sweep = false, list = false;
   std::size_t top_k = 0, cv_folds = 0, jobs = default_jobs();
   core::OnlineDetectorConfig policy;
@@ -142,10 +144,19 @@ int main(int argc, char** argv) {
   parser.add_string("--fallback", &fallback_scheme, "NAME",
                     "also train a degraded-mode fallback for the bundle "
                     "(e.g. OneR; writes a v2 bundle)");
+  cli::add_isa_flag(parser, &isa_name);
   cli::add_observability_flags(parser, &metrics_path, &trace_path);
   parser.add_flag("--list-classifiers", &list,
                   "print every known scheme and exit");
   parser.parse_or_exit(argc, argv);
+  if (!isa_name.empty()) {
+    try {
+      ml::kernels::force_isa_by_name(isa_name);
+    } catch (const hmd::Error& e) {
+      std::cerr << "hmd_train: " << e.what() << '\n';
+      return 2;
+    }
+  }
   if (list) {
     list_classifiers();
     return 0;

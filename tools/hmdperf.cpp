@@ -18,6 +18,7 @@
 #include "perf/collector.hpp"
 #include "perf/perf_log.hpp"
 #include "util/cli.hpp"
+#include "ml/kernels.hpp"
 #include "util/cli_presets.hpp"
 #include "util/error.hpp"
 #include "util/metrics.hpp"
@@ -41,6 +42,7 @@ int main(int argc, char** argv) {
   cfg.ops_per_window = 3000;
   bool csv = false;
   std::string metrics_path, trace_path;
+  std::string isa_name;
 
   ArgParser parser("hmdperf",
                    "perf-stat over the simulator: one sample's interval log.");
@@ -57,8 +59,17 @@ int main(int argc, char** argv) {
                   "read exact counts (no 8-register multiplexing)");
   parser.add_flag("--csv", &csv,
                   "emit the combined CSV instead of the text log");
+  cli::add_isa_flag(parser, &isa_name);
   cli::add_observability_flags(parser, &metrics_path, &trace_path);
   parser.parse_or_exit(argc, argv);
+  if (!isa_name.empty()) {
+    try {
+      ml::kernels::force_isa_by_name(isa_name);
+    } catch (const hmd::Error& e) {
+      std::cerr << "hmdperf: " << e.what() << '\n';
+      return 2;
+    }
+  }
   if (!trace_path.empty()) hmd::tracer().set_enabled(true);
 
   try {
