@@ -1,0 +1,42 @@
+#include "hw/backend.hpp"
+
+#include "hw/compile.hpp"
+#include "hw/netlist_sim.hpp"
+#include "hw/verilog_backend.hpp"
+#include "hw/vhdl_backend.hpp"
+#include "util/error.hpp"
+
+namespace hmd::hw {
+
+const Backend& backend_by_name(std::string_view name) {
+  static const VerilogBackend verilog;
+  static const VhdlBackend vhdl;
+  if (name == "verilog") return verilog;
+  if (name == "vhdl") return vhdl;
+  throw PreconditionError("unknown RTL backend '" + std::string(name) +
+                          "' (known: verilog vhdl)");
+}
+
+std::vector<TestVector> testbench_vectors(const CompiledDesign& design,
+                                          const ml::Dataset& test,
+                                          std::size_t num_vectors) {
+  HMD_REQUIRE(!test.empty(), "testbench: empty test set");
+  HMD_REQUIRE(test.num_features() >= design.num_features(),
+              "testbench: dataset narrower than the design's port list");
+  num_vectors = std::min(num_vectors, test.num_instances());
+  HMD_REQUIRE(num_vectors >= 1, "testbench: need at least one vector");
+
+  const NetlistSimulator sim(design);
+  const std::vector<double>& scales = design.feature_scales();
+  std::vector<TestVector> vectors(num_vectors);
+  for (std::size_t v = 0; v < num_vectors; ++v) {
+    const auto x = test.features_of(v);
+    vectors[v].raws.resize(scales.size());
+    for (std::size_t f = 0; f < scales.size(); ++f)
+      vectors[v].raws[f] = quantize_input_raw(x[f], scales[f]);
+    vectors[v].expected = sim.run_raw(vectors[v].raws);
+  }
+  return vectors;
+}
+
+}  // namespace hmd::hw

@@ -1,0 +1,60 @@
+// Backend: a language renderer over the netlist IR. Both shipped backends
+// (hw/verilog_backend.hpp, hw/vhdl_backend.hpp) walk the identical
+// CompiledDesign DAG net by net — the Icarus Verilog tgt-vhdl split: one
+// shared IR, per-language expression/statement rendering only.
+//
+// Backends are stateless; the shipped ones are singletons reachable by
+// name through backend_by_name("verilog" | "vhdl").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ml/dataset.hpp"
+
+namespace hmd::hw {
+
+class CompiledDesign;
+
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  /// Language tag: "verilog" or "vhdl" for the shipped backends.
+  virtual std::string_view name() const = 0;
+  /// Conventional source extension including the dot (".v", ".vhd").
+  virtual std::string_view file_extension() const = 0;
+
+  /// Render the design as one self-contained synthesizable module/entity.
+  virtual std::string emit(const CompiledDesign& design) const = 0;
+
+  /// Self-checking testbench: drives the first `num_vectors` rows of
+  /// `test` quantized onto the design's input grid and checks class_out
+  /// against the NetlistSimulator's decisions (bit-exact ground truth for
+  /// what the RTL must produce).
+  virtual std::string emit_testbench(const CompiledDesign& design,
+                                     const ml::Dataset& test,
+                                     std::size_t num_vectors) const = 0;
+};
+
+/// The shipped backend registry: "verilog" or "vhdl" (case-sensitive).
+/// Throws hmd::PreconditionError for anything else.
+const Backend& backend_by_name(std::string_view name);
+
+/// One testbench stimulus: the quantized port raws plus the class the
+/// netlist (and therefore the RTL) must emit for them. Shared by both
+/// language testbench emitters and the emission tests.
+struct TestVector {
+  std::vector<std::int64_t> raws;
+  std::size_t expected = 0;
+};
+
+/// Quantize the first `num_vectors` rows of `test` onto the design's input
+/// grid and record the simulator's decision for each.
+std::vector<TestVector> testbench_vectors(const CompiledDesign& design,
+                                          const ml::Dataset& test,
+                                          std::size_t num_vectors);
+
+}  // namespace hmd::hw

@@ -10,20 +10,26 @@
 
 namespace hmd::hw {
 
-ml::EvaluationReport evaluate_fixed_point(const ml::Classifier& clf,
-                                          const ml::Dataset& test) {
-  HMD_REQUIRE(!test.empty(), "evaluate_fixed_point: empty test set");
+std::vector<double> calibrate_feature_absmax(const ml::Dataset& test) {
   // Per-feature magnitude calibration so scaled values fit the Q16.16
   // integer range — the same static scaling a hardware front-end would
   // apply to raw counter values.
+  HMD_REQUIRE(!test.empty(), "calibrate_feature_absmax: empty test set");
   const std::size_t d = test.num_features();
-  // The Q16 serving tier (ml::QuantizedModel) implements this exact input
-  // quantization; routing the reference harness through it keeps the two
-  // pinned together (tests/hw assert bit-identical verdicts).
   std::vector<double> absmax(d, 0.0);
   for (std::size_t f = 0; f < d; ++f)
     for (std::size_t i = 0; i < test.num_instances(); ++i)
       absmax[f] = std::max(absmax[f], std::abs(test.features_of(i)[f]));
+  return absmax;
+}
+
+ml::EvaluationReport evaluate_fixed_point(const ml::Classifier& clf,
+                                          const ml::Dataset& test) {
+  HMD_REQUIRE(!test.empty(), "evaluate_fixed_point: empty test set");
+  const std::vector<double> absmax = calibrate_feature_absmax(test);
+  // The Q16 serving tier (ml::QuantizedModel) implements this exact input
+  // quantization; routing the reference harness through it keeps the two
+  // pinned together (tests/hw assert bit-identical verdicts).
   const ml::QuantizedModel q16(
       std::shared_ptr<const ml::Classifier>(std::shared_ptr<void>(), &clf),
       ml::QuantizedModel::Mode::kQ16Input, absmax);

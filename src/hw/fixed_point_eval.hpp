@@ -9,6 +9,12 @@
 
 namespace hmd::hw {
 
+/// Per-feature magnitude calibration over `test`: the absmax vector the
+/// Q16.16 input grid scales against. Shared by evaluate_fixed_point, the
+/// q16 serving tier (ml::QuantizedModel) and CompileOptions.feature_absmax,
+/// so one dataset pins all three to the identical grid.
+std::vector<double> calibrate_feature_absmax(const ml::Dataset& test);
+
 /// Evaluate `clf` on `test` with every feature quantized to Q16.16 after
 /// per-feature scaling into the representable range.
 ml::EvaluationReport evaluate_fixed_point(const ml::Classifier& clf,

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "hw/compile.hpp"
 #include "util/error.hpp"
 
 namespace hmd::hw {
@@ -207,8 +208,18 @@ DataflowGraph lower_classifier(const ml::Classifier& wrapped,
 SynthesisReport synthesize_classifier(const ml::Classifier& clf,
                                       std::size_t num_features,
                                       const SynthesisOptions& options) {
-  const DataflowGraph g = lower_classifier(clf, num_features);
-  return synthesize(g, clf.name(), options);
+  // Resource-constrained scheduling still runs the analytic estimator
+  // (the netlist models fully-unrolled datapaths only); everything else
+  // reports numbers measured from the compiled netlist.
+  if (options.allocation.has_value()) {
+    const DataflowGraph g = lower_classifier(clf, num_features);
+    return synthesize(g, clf.name(), options);
+  }
+  CompileOptions copts;
+  copts.num_features = num_features;
+  copts.clock_mhz = options.clock_mhz;
+  copts.inferences_per_second = options.inferences_per_second;
+  return compile(clf, std::move(copts)).report();
 }
 
 }  // namespace hmd::hw

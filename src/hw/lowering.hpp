@@ -53,7 +53,12 @@ DataflowGraph lower_mlp(const ml::Mlp& model, std::size_t num_features);
 DataflowGraph lower_classifier(const ml::Classifier& clf,
                                std::size_t num_features);
 
-/// Convenience: lower + synthesize in one call.
+/// DEPRECATED wrapper over the compiler pipeline: with no operator
+/// allocation this is hw::compile(clf, ...).report() — latency measured
+/// from the netlist simulator's critical path, area/energy summed from
+/// instantiated nets. With options.allocation set it falls back to the
+/// analytic lower + synthesize flow (resource-shared schedules have no
+/// netlist form). Prefer hw::compile()/hw::try_compile() in new code.
 SynthesisReport synthesize_classifier(const ml::Classifier& clf,
                                       std::size_t num_features,
                                       const SynthesisOptions& options = {});

@@ -1,0 +1,38 @@
+#include "hw/netlist_model.hpp"
+
+#include "util/error.hpp"
+
+namespace hmd::hw {
+
+NetlistClassifier::NetlistClassifier(const ml::Classifier& clf,
+                                     CompileOptions options)
+    : design_(compile(clf, std::move(options))), sim_(design_) {}
+
+NetlistClassifier::NetlistClassifier(CompiledDesign design)
+    : design_(std::move(design)), sim_(design_) {}
+
+void NetlistClassifier::train(const ml::DatasetView&) {
+  HMD_REQUIRE(false,
+              "NetlistClassifier is predict-only: compile a trained model");
+}
+
+std::size_t NetlistClassifier::predict(
+    std::span<const double> features) const {
+  return sim_.run(features);
+}
+
+void NetlistClassifier::distribution_batch(std::span<const double> flat,
+                                           std::size_t window_size,
+                                           std::span<double> out) const {
+  predict_one_hot_batch(flat, window_size, out);
+}
+
+std::string NetlistClassifier::name() const {
+  return "fpga/" + design_.scheme();
+}
+
+std::size_t NetlistClassifier::num_classes() const {
+  return design_.num_classes();
+}
+
+}  // namespace hmd::hw

@@ -1,0 +1,44 @@
+// NetlistClassifier: a compiled design served through the ml::Classifier
+// interface — what ServeConfig::Tier::kFpga scores with. predict() runs
+// the cycle-accurate NetlistSimulator on the shared Q16.16 input grid, so
+// serving verdicts are exactly what the emitted RTL would produce.
+//
+// The classifier is predict-only: it wraps an already-trained model at
+// construction (per-shard lazy compile after hot-swap) and train() throws.
+#pragma once
+
+#include <memory>
+
+#include "hw/compile.hpp"
+#include "hw/netlist_sim.hpp"
+#include "ml/classifier.hpp"
+
+namespace hmd::hw {
+
+class NetlistClassifier final : public ml::Classifier {
+ public:
+  /// Compiles `clf` (throws like hw::compile on unsupported schemes /
+  /// untrained models / bad options).
+  NetlistClassifier(const ml::Classifier& clf, CompileOptions options);
+
+  /// Wraps an already-compiled design (the Result-friendly path: pair
+  /// with hw::try_compile to avoid exceptions on the serving hot-swap).
+  explicit NetlistClassifier(CompiledDesign design);
+
+  void train(const ml::DatasetView& data) override;
+  std::size_t predict(std::span<const double> features) const override;
+  void distribution_batch(std::span<const double> flat,
+                          std::size_t window_size,
+                          std::span<double> out) const override;
+  /// "fpga/" + the compiled scheme's name ("fpga/J48", ...).
+  std::string name() const override;
+  std::size_t num_classes() const override;
+
+  const CompiledDesign& design() const { return design_; }
+
+ private:
+  CompiledDesign design_;
+  NetlistSimulator sim_;
+};
+
+}  // namespace hmd::hw

@@ -1,345 +1,75 @@
 #include "hw/rtl_emitter.hpp"
 
-#include <cmath>
-#include <sstream>
-
-#include "util/error.hpp"
-#include "util/fixed_point.hpp"
-#include "util/strings.hpp"
+#include "hw/compile.hpp"
+#include "hw/fixed_point_eval.hpp"
+#include "hw/verilog_backend.hpp"
 
 namespace hmd::hw {
 
 namespace {
 
-/// Q16.16 literal as a signed 32-bit Verilog constant.
-std::string q16(double v) {
-  const auto raw = Fixed16::from_double(v).raw();
-  HMD_REQUIRE(raw >= INT32_MIN && raw <= INT32_MAX,
-              "RTL constant overflows Q16.16 in 32 bits");
-  if (raw < 0) return format("-32'sd%lld", -static_cast<long long>(raw));
-  return format("32'sd%lld", static_cast<long long>(raw));
-}
-
-std::size_t class_bits(std::size_t num_classes) {
-  std::size_t bits = 1;
-  while ((std::size_t{1} << bits) < num_classes) ++bits;
-  return bits;
-}
-
-/// Common module header: ports and the output register stage that assigns
-/// `decision_expr_wire` (a wire named `decision`) on each valid cycle.
-void emit_header(std::ostringstream& os, const std::string& module_name,
-                 std::size_t num_features, std::size_t num_classes) {
-  os << "// Generated by hmdetect: hardware malware detector RTL.\n";
-  os << "// Inputs are Q16.16 fixed-point HPC window counts.\n";
-  os << "module " << module_name << " (\n";
-  os << "    input  wire clk,\n";
-  os << "    input  wire rst,\n";
-  os << "    input  wire valid_in,\n";
-  for (std::size_t f = 0; f < num_features; ++f)
-    os << "    input  wire signed [31:0] f" << f << ",\n";
-  os << "    output reg  [" << class_bits(num_classes) - 1
-     << ":0] class_out,\n";
-  os << "    output reg  valid_out\n";
-  os << ");\n\n";
-}
-
-void emit_footer(std::ostringstream& os, std::size_t num_classes) {
-  os << "\n  always @(posedge clk) begin\n";
-  os << "    if (rst) begin\n";
-  os << "      class_out <= " << class_bits(num_classes) << "'d0;\n";
-  os << "      valid_out <= 1'b0;\n";
-  os << "    end else begin\n";
-  os << "      class_out <= decision;\n";
-  os << "      valid_out <= valid_in;\n";
-  os << "    end\n";
-  os << "  end\n\n";
-  os << "endmodule\n";
-}
-
-std::string class_const(std::size_t cls, std::size_t num_classes) {
-  return format("%zu'd%zu", class_bits(num_classes), cls);
-}
-
-void check_features(std::size_t used, std::size_t available) {
-  HMD_REQUIRE(used < available,
-              "model references a feature beyond the port list");
+std::string emit_via_pipeline(const ml::Classifier& clf,
+                              std::size_t num_features,
+                              const std::string& module_name) {
+  CompileOptions options;
+  options.num_features = num_features;
+  options.module_name = module_name;
+  return compile(clf, std::move(options)).emit(VerilogBackend());
 }
 
 }  // namespace
 
 std::string emit_verilog(const ml::OneR& model, std::size_t num_features,
                          const std::string& module_name) {
-  const std::size_t k = model.num_classes();
-  check_features(model.chosen_feature(), num_features);
-  std::ostringstream os;
-  emit_header(os, module_name, num_features, k);
-
-  const auto& intervals = model.intervals();
-  os << "  // OneR: interval rule on feature f" << model.chosen_feature()
-     << "\n";
-  os << "  wire [" << class_bits(k) - 1 << ":0] decision;\n";
-  // Priority chain: first interval whose bound exceeds the value wins.
-  std::string expr = class_const(intervals.back().cls, k);
-  for (std::size_t i = intervals.size() - 1; i-- > 0;) {
-    expr = format("(f%zu <= %s) ? %s :\n               %s",
-                  model.chosen_feature(),
-                  q16(intervals[i].upper_bound).c_str(),
-                  class_const(intervals[i].cls, k).c_str(), expr.c_str());
-  }
-  os << "  assign decision = " << expr << ";\n";
-  emit_footer(os, k);
-  return os.str();
+  return emit_via_pipeline(model, num_features, module_name);
 }
 
 std::string emit_verilog(const ml::DecisionStump& model,
                          std::size_t num_features,
                          const std::string& module_name) {
-  const std::size_t k = model.num_classes();
-  check_features(model.split_feature(), num_features);
-  std::ostringstream os;
-  emit_header(os, module_name, num_features, k);
-  os << "  // Decision stump\n";
-  os << "  wire [" << class_bits(k) - 1 << ":0] decision;\n";
-  os << "  assign decision = (f" << model.split_feature()
-     << " <= " << q16(model.split_threshold()) << ") ? "
-     << class_const(model.left_class(), k) << " : "
-     << class_const(model.right_class(), k) << ";\n";
-  emit_footer(os, k);
-  return os.str();
+  return emit_via_pipeline(model, num_features, module_name);
 }
-
-namespace {
-void emit_j48_node(std::ostringstream& os, const ml::J48::Node& node,
-                   std::size_t k, int indent) {
-  const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
-  if (node.is_leaf()) {
-    os << pad << "decide_tree = " << class_const(node.cls, k) << ";\n";
-    return;
-  }
-  os << pad << "if (f[" << node.feature
-     << "] <= " << q16(node.threshold) << ") begin\n";
-  emit_j48_node(os, *node.left, k, indent + 1);
-  os << pad << "end else begin\n";
-  emit_j48_node(os, *node.right, k, indent + 1);
-  os << pad << "end\n";
-}
-}  // namespace
 
 std::string emit_verilog(const ml::J48& model, std::size_t num_features,
                          const std::string& module_name) {
-  const std::size_t k = model.num_classes();
-  std::ostringstream os;
-  emit_header(os, module_name, num_features, k);
-  os << "  // J48 decision tree (" << model.num_leaves() << " leaves, depth "
-     << model.depth() << ")\n";
-  // Pack ports into an array so the tree function can index them.
-  os << "  wire signed [31:0] f [0:" << num_features - 1 << "];\n";
-  for (std::size_t f = 0; f < num_features; ++f)
-    os << "  assign f[" << f << "] = f" << f << ";\n";
-  os << "\n  reg [" << class_bits(k) - 1 << ":0] decide_tree;\n";
-  os << "  always @(*) begin\n";
-  emit_j48_node(os, model.root(), k, 2);
-  os << "  end\n";
-  os << "  wire [" << class_bits(k) - 1
-     << ":0] decision = decide_tree;\n";
-  emit_footer(os, k);
-  return os.str();
+  return emit_via_pipeline(model, num_features, module_name);
 }
 
 std::string emit_verilog(const ml::JRip& model, std::size_t num_features,
                          const std::string& module_name) {
-  const std::size_t k = model.num_classes();
-  std::ostringstream os;
-  emit_header(os, module_name, num_features, k);
-  const auto& rules = model.rules();
-  os << "  // JRip ordered rule list (" << rules.size() << " rules, "
-     << model.total_conditions() << " conditions)\n";
-  for (std::size_t r = 0; r < rules.size(); ++r) {
-    os << "  wire rule" << r << " = ";
-    const auto& conds = rules[r].conditions;
-    if (conds.empty()) {
-      os << "1'b1";
-    } else {
-      for (std::size_t c = 0; c < conds.size(); ++c) {
-        check_features(conds[c].feature, num_features);
-        if (c) os << " &&\n              ";
-        os << "(f" << conds[c].feature
-           << (conds[c].greater ? " > " : " <= ")
-           << q16(conds[c].threshold) << ")";
-      }
-    }
-    os << ";\n";
-  }
-  os << "\n  reg [" << class_bits(k) - 1 << ":0] decide_rules;\n";
-  os << "  always @(*) begin\n";
-  if (rules.empty()) {
-    os << "    decide_rules = " << class_const(model.default_class(), k)
-       << ";\n";
-  } else {
-    for (std::size_t r = 0; r < rules.size(); ++r) {
-      os << "    " << (r == 0 ? "if" : "else if") << " (rule" << r
-         << ") decide_rules = " << class_const(rules[r].cls, k) << ";\n";
-    }
-    os << "    else decide_rules = "
-       << class_const(model.default_class(), k) << ";\n";
-  }
-  os << "  end\n";
-  os << "  wire [" << class_bits(k) - 1
-     << ":0] decision = decide_rules;\n";
-  emit_footer(os, k);
-  return os.str();
+  return emit_via_pipeline(model, num_features, module_name);
 }
-
-namespace {
-
-/// Emits a bank of linear discriminants with the standardizer folded in:
-///   score_c = Σ_f (w_cf / σ_f)·x_f + (b_c − Σ_f w_cf·μ_f/σ_f)
-/// followed by an argmax (binary: sign comparator).
-std::string emit_linear_bank(const std::vector<std::vector<double>>& weights,
-                             const ml::Standardizer& standardizer,
-                             std::size_t num_features,
-                             const std::string& module_name,
-                             const std::string& family_comment) {
-  const std::size_t k = weights.size();
-  HMD_REQUIRE(k >= 2, "emit_linear_bank: untrained model");
-  const std::size_t d = standardizer.num_features();
-  HMD_REQUIRE(d <= num_features, "emit_linear_bank: feature count mismatch");
-
-  std::ostringstream os2;
-  emit_header(os2, module_name, num_features, k);
-  os2 << "  // " << family_comment
-      << " (standardizer folded into the weights)\n";
-  for (std::size_t c = 0; c < k; ++c) {
-    double bias = weights[c][d];
-    std::ostringstream terms;
-    for (std::size_t f = 0; f < d; ++f) {
-      const double sd = standardizer.stddevs()[f];
-      const double folded_w = sd > 0.0 ? weights[c][f] / sd : 0.0;
-      if (sd > 0.0) bias -= weights[c][f] * standardizer.means()[f] / sd;
-      terms << "      (($signed({{32{f" << f << "[31]}}, f" << f << "}) * "
-            << q16(folded_w) << ") >>> 16)";
-      terms << " +\n";
-    }
-    os2 << "  // class " << c << " discriminant\n";
-    os2 << "  wire signed [63:0] score" << c << " =\n"
-        << terms.str() << "      " << q16(bias) << ";  // folded bias\n";
-  }
-
-  // Argmax (binary degenerates to a sign comparison of score1 - score0).
-  os2 << "\n  wire [" << class_bits(k) - 1 << ":0] decision;\n";
-  if (k == 2) {
-    os2 << "  assign decision = (score1 > score0) ? 1'd1 : 1'd0;\n";
-  } else {
-    os2 << "  // argmax chain (best-so-far index and value)\n";
-    os2 << "  reg [" << class_bits(k) - 1 << ":0] best_idx;\n";
-    os2 << "  reg signed [63:0] best_val;\n";
-    os2 << "  always @(*) begin\n";
-    os2 << "    best_idx = " << class_const(0, k) << ";\n";
-    os2 << "    best_val = score0;\n";
-    for (std::size_t c = 1; c < k; ++c) {
-      os2 << "    if (score" << c << " > best_val) begin\n";
-      os2 << "      best_idx = " << class_const(c, k) << ";\n";
-      os2 << "      best_val = score" << c << ";\n";
-      os2 << "    end\n";
-    }
-    os2 << "  end\n";
-    os2 << "  assign decision = best_idx;\n";
-  }
-  emit_footer(os2, k);
-  return os2.str();
-}
-
-}  // namespace
 
 std::string emit_verilog(const ml::Logistic& model, std::size_t num_features,
                          const std::string& module_name) {
-  return emit_linear_bank(model.weights(), model.standardizer(),
-                          num_features, module_name,
-                          "Multinomial logistic regression");
+  return emit_via_pipeline(model, num_features, module_name);
 }
 
 std::string emit_verilog(const ml::LinearSvm& model,
                          std::size_t num_features,
                          const std::string& module_name) {
-  return emit_linear_bank(model.weights(), model.standardizer(),
-                          num_features, module_name,
-                          "Linear SVM (one-vs-rest)");
+  return emit_via_pipeline(model, num_features, module_name);
+}
+
+std::string emit_verilog(const ml::Classifier& wrapped,
+                         std::size_t num_features,
+                         const std::string& module_name) {
+  return emit_via_pipeline(wrapped, num_features, module_name);
 }
 
 std::string emit_verilog_testbench(const ml::Classifier& clf,
                                    const ml::Dataset& test,
                                    std::size_t num_vectors,
                                    const std::string& module_name) {
-  HMD_REQUIRE(!test.empty(), "testbench: empty test set");
-  const std::size_t d = test.num_features();
-  const std::size_t k = test.num_classes();
-  num_vectors = std::min(num_vectors, test.num_instances());
-  HMD_REQUIRE(num_vectors >= 1, "testbench: need at least one vector");
-
-  std::ostringstream os;
-  os << "// Self-checking testbench for " << module_name << ".\n";
-  os << "`timescale 1ns/1ps\n";
-  os << "module " << module_name << "_tb;\n";
-  os << "  reg clk = 0, rst = 1, valid_in = 0;\n";
-  for (std::size_t f = 0; f < d; ++f)
-    os << "  reg signed [31:0] f" << f << ";\n";
-  os << "  wire [" << class_bits(k) - 1 << ":0] class_out;\n";
-  os << "  wire valid_out;\n";
-  os << "  integer errors = 0;\n\n";
-  os << "  " << module_name << " dut (.clk(clk), .rst(rst),"
-     << " .valid_in(valid_in),\n";
-  for (std::size_t f = 0; f < d; ++f)
-    os << "    .f" << f << "(f" << f << "),\n";
-  os << "    .class_out(class_out), .valid_out(valid_out));\n\n";
-  os << "  always #5 clk = ~clk;\n\n";
-  os << "  task check;\n";
-  os << "    input [" << class_bits(k) - 1 << ":0] expected;\n";
-  os << "    begin\n";
-  os << "      @(posedge clk); #1;\n";
-  os << "      if (class_out !== expected) begin\n";
-  os << "        $display(\"FAIL: got %0d expected %0d\", class_out, "
-     << "expected);\n";
-  os << "        errors = errors + 1;\n";
-  os << "      end\n";
-  os << "    end\n";
-  os << "  endtask\n\n";
-  os << "  initial begin\n";
-  os << "    @(posedge clk); rst = 0; valid_in = 1;\n";
-  for (std::size_t v = 0; v < num_vectors; ++v) {
-    const auto x = test.features_of(v);
-    os << "    ";
-    for (std::size_t f = 0; f < d; ++f)
-      os << "f" << f << " = " << q16(x[f]) << "; ";
-    os << "\n    check(" << class_const(clf.predict(x), k) << ");\n";
-  }
-  os << "    if (errors == 0) $display(\"PASS: " << num_vectors
-     << " vectors\");\n";
-  os << "    else $display(\"FAIL: %0d of " << num_vectors
-     << " vectors\", errors);\n";
-  os << "    $finish;\n";
-  os << "  end\n";
-  os << "endmodule\n";
-  return os.str();
-}
-
-std::string emit_verilog(const ml::Classifier& wrapped,
-                         std::size_t num_features,
-                         const std::string& module_name) {
-  const ml::Classifier& clf = wrapped.unwrap();
-  if (const auto* m = dynamic_cast<const ml::OneR*>(&clf))
-    return emit_verilog(*m, num_features, module_name);
-  if (const auto* m = dynamic_cast<const ml::DecisionStump*>(&clf))
-    return emit_verilog(*m, num_features, module_name);
-  if (const auto* m = dynamic_cast<const ml::J48*>(&clf))
-    return emit_verilog(*m, num_features, module_name);
-  if (const auto* m = dynamic_cast<const ml::JRip*>(&clf))
-    return emit_verilog(*m, num_features, module_name);
-  if (const auto* m = dynamic_cast<const ml::Logistic*>(&clf))
-    return emit_verilog(*m, num_features, module_name);
-  if (const auto* m = dynamic_cast<const ml::LinearSvm*>(&clf))
-    return emit_verilog(*m, num_features, module_name);
-  throw PreconditionError("no RTL emission for classifier " + clf.name());
+  CompileOptions options;
+  options.num_features = test.num_features();
+  options.module_name = module_name;
+  // Pin the input grid to the dataset the way evaluate_fixed_point does,
+  // so the vectors exercise the same quantization the accuracy harness
+  // validated.
+  options.feature_absmax = calibrate_feature_absmax(test);
+  const CompiledDesign design = compile(clf, std::move(options));
+  return VerilogBackend().emit_testbench(design, test, num_vectors);
 }
 
 }  // namespace hmd::hw

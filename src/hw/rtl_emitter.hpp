@@ -1,26 +1,19 @@
-// Verilog RTL emission for trained classifiers.
+// DEPRECATED Verilog emission surface — thin wrappers over the compiler
+// pipeline in hw/compile.hpp.
 //
-// The end product of the paper's Vivado HLS flow is RTL; this module emits
-// it directly for the hardware-friendly classifier families. The generated
-// module is self-contained synthesizable Verilog-2001:
+// These per-scheme emit_verilog() overloads predate the netlist IR; every
+// one of them now routes through hw::compile() + VerilogBackend, so the
+// emitted module is identical to
 //
-//   module <name> (
-//     input  wire clk, rst, valid_in,
-//     input  wire signed [31:0] f0 .. f<d-1>,   // Q16.16 counter values
-//     output reg  [<ceil(log2 k)>-1:0] class_out,
-//     output reg  valid_out
-//   );
+//   hw::compile(model, {.num_features = d, .module_name = name})
+//       .emit(VerilogBackend());
 //
-// Trained constants (thresholds, weights, biases) are baked in as Q16.16
-// localparams. For the linear models the internal standardizer is folded
-// into the weights, so the module consumes raw (pre-scaled) counter values.
-// The decision logic is combinational with one output register stage —
-// matching the unconstrained datapaths the cost model (lowering.hpp)
-// estimates.
-//
-// Supported: OneR, DecisionStump, J48, JRip, Logistic/MLR, LinearSvm.
-// MLP and NaiveBayes are estimator-only (their LUT/activation tables belong
-// to a memory-compiler flow, not inline RTL) and raise PreconditionError.
+// New code should call that directly (it also unlocks VhdlBackend, the
+// NetlistSimulator, and measured SynthesisReports; see docs/hardware.md
+// for the migration table). The dispatcher overload additionally gained
+// NaiveBayes and MLP support from the IR path (LUT-ROM lowering) — it now
+// throws hmd::PreconditionError only for schemes with no netlist lowering
+// at all (IBk/ZeroR/ensembles/one-class).
 #pragma once
 
 #include <string>
@@ -51,14 +44,15 @@ std::string emit_verilog(const ml::LinearSvm& model, std::size_t num_features,
                          const std::string& module_name);
 
 /// Dispatch on the concrete classifier type; throws hmd::PreconditionError
-/// for unsupported classifiers.
+/// for classifiers with no netlist lowering (prefer hw::try_compile for a
+/// Result-based surface).
 std::string emit_verilog(const ml::Classifier& clf, std::size_t num_features,
                          const std::string& module_name);
 
 /// Self-checking Verilog testbench for a module produced by emit_verilog:
-/// drives the first `num_vectors` rows of `test` (quantized to Q16.16) and
-/// compares `class_out` against the C++ model's predictions, $display-ing
-/// PASS/FAIL per vector and a final summary.
+/// the design's input grid is calibrated from `test` exactly as
+/// evaluate_fixed_point calibrates (hw::calibrate_feature_absmax), and the
+/// expected class per vector is the netlist simulator's decision.
 std::string emit_verilog_testbench(const ml::Classifier& clf,
                                    const ml::Dataset& test,
                                    std::size_t num_vectors,

@@ -45,11 +45,14 @@ SynthesisReport synthesize(const DataflowGraph& graph,
   }
 
   report.energy_per_inference_pj = graph.total_energy_pj();
-  // Static power scales with occupied area; dynamic with inference rate.
+  finalize_power(report, options.inferences_per_second);
+  return report;
+}
+
+void finalize_power(SynthesisReport& report, double inferences_per_second) {
   report.static_power_mw = 0.015 * report.area_slices() / 10.0;
   report.dynamic_power_mw = report.energy_per_inference_pj * 1e-12 *
-                            options.inferences_per_second * 1e3;
-  return report;
+                            inferences_per_second * 1e3;
 }
 
 std::string SynthesisReport::to_string() const {

@@ -43,4 +43,9 @@ struct SynthesisReport {
 SynthesisReport synthesize(const DataflowGraph& graph, std::string design_name,
                            const SynthesisOptions& options = {});
 
+/// Fill the power fields of a report whose area/energy are already set:
+/// static power scales with occupied area, dynamic with inference rate.
+/// Shared between the analytic estimator above and CompiledDesign::report().
+void finalize_power(SynthesisReport& report, double inferences_per_second);
+
 }  // namespace hmd::hw

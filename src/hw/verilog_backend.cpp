@@ -1,0 +1,250 @@
+#include "hw/verilog_backend.hpp"
+
+#include <cstdint>
+#include <sstream>
+
+#include "hw/compile.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace hmd::hw {
+
+namespace {
+
+/// 64-bit signed Verilog literal.
+std::string s64(std::int64_t v) {
+  if (v < 0) return format("-64'sd%lld", -static_cast<long long>(v));
+  return format("64'sd%lld", static_cast<long long>(v));
+}
+
+std::string class_const(std::size_t cls, std::size_t bits) {
+  return format("%zu'd%zu", bits, cls);
+}
+
+std::string net(NetId id) { return format("n%u", id); }
+
+/// Declaration for a net of `type` (argmax/LUT nets get their own regs).
+std::string wire_decl(const Netlist& nl, NetType type) {
+  switch (type) {
+    case NetType::kBit: return "wire ";
+    case NetType::kClass:
+      return format("wire [%zu:0] ", nl.class_bits() - 1);
+    case NetType::kQ16:
+    case NetType::kWide: break;
+  }
+  return "wire signed [63:0] ";
+}
+
+void emit_node(std::ostringstream& os, const Netlist& nl, NetId id) {
+  const NetNode& n = nl.node(id);
+  const std::size_t cb = nl.class_bits();
+  switch (n.op) {
+    case NetOp::kInput:
+      os << "  " << wire_decl(nl, n.type) << net(id) << " = {{32{f"
+         << n.index << "[31]}}, f" << n.index << "};\n";
+      break;
+    case NetOp::kConst:
+      if (n.type == NetType::kBit)
+        os << "  wire " << net(id) << " = 1'b" << n.value << ";\n";
+      else if (n.type == NetType::kClass)
+        os << "  " << wire_decl(nl, n.type) << net(id) << " = "
+           << class_const(static_cast<std::size_t>(n.value), cb) << ";\n";
+      else
+        os << "  " << wire_decl(nl, n.type) << net(id) << " = "
+           << s64(n.value) << ";\n";
+      break;
+    case NetOp::kCmpLe:
+      os << "  wire " << net(id) << " = " << net(n.args[0])
+         << " <= " << net(n.args[1]) << ";\n";
+      break;
+    case NetOp::kCmpGt:
+      os << "  wire " << net(id) << " = " << net(n.args[0]) << " > "
+         << net(n.args[1]) << ";\n";
+      break;
+    case NetOp::kMux:
+      os << "  " << wire_decl(nl, n.type) << net(id) << " = "
+         << net(n.args[0]) << " ? " << net(n.args[1]) << " : "
+         << net(n.args[2]) << ";\n";
+      break;
+    case NetOp::kAdd:
+      os << "  " << wire_decl(nl, n.type) << net(id) << " = "
+         << net(n.args[0]) << " + " << net(n.args[1]) << ";\n";
+      break;
+    case NetOp::kMul:
+      // Full 128-bit product, then the arithmetic shift back onto the
+      // Q48.16 grid — never loses high bits before the shift.
+      os << "  wire signed [127:0] prod" << id << " = " << net(n.args[0])
+         << " * " << net(n.args[1]) << ";\n";
+      os << "  " << wire_decl(nl, n.type) << net(id) << " = prod" << id
+         << " >>> " << n.value << ";\n";
+      break;
+    case NetOp::kAndReduce: {
+      os << "  wire " << net(id) << " = ";
+      for (std::size_t i = 0; i < n.args.size(); ++i) {
+        if (i) os << " && ";
+        os << net(n.args[i]);
+      }
+      os << ";\n";
+      break;
+    }
+    case NetOp::kArgmax: {
+      os << "  // argmax chain (first strict maximum wins)\n";
+      os << "  reg [" << cb - 1 << ":0] amax" << id << ";\n";
+      os << "  reg signed [63:0] aval" << id << ";\n";
+      os << "  always @(*) begin\n";
+      os << "    amax" << id << " = " << class_const(0, cb) << ";\n";
+      os << "    aval" << id << " = " << net(n.args[0]) << ";\n";
+      for (std::size_t i = 1; i < n.args.size(); ++i) {
+        os << "    if (" << net(n.args[i]) << " > aval" << id
+           << ") begin\n";
+        os << "      amax" << id << " = " << class_const(i, cb) << ";\n";
+        os << "      aval" << id << " = " << net(n.args[i]) << ";\n";
+        os << "    end\n";
+      }
+      os << "  end\n";
+      os << "  " << wire_decl(nl, n.type) << net(id) << " = amax" << id
+         << ";\n";
+      break;
+    }
+    case NetOp::kLutRom: {
+      const LutRom& rom = nl.luts()[n.index];
+      const std::size_t last = rom.values.size() - 1;
+      os << "  wire signed [63:0] loff" << id << " = (" << net(n.args[0])
+         << " - " << s64(rom.lo_raw) << ") >>> " << rom.step_shift << ";\n";
+      os << "  reg signed [63:0] lval" << id << ";\n";
+      os << "  always @(*) begin  // saturating ROM lookup\n";
+      os << "    if (loff" << id << " < 0) lval" << id << " = rom"
+         << n.index << "[0];\n";
+      os << "    else if (loff" << id << " > " << s64(static_cast<std::int64_t>(last))
+         << ") lval" << id << " = rom" << n.index << "[" << last << "];\n";
+      os << "    else lval" << id << " = rom" << n.index << "[loff" << id
+         << "[15:0]];\n";
+      os << "  end\n";
+      os << "  " << wire_decl(nl, n.type) << net(id) << " = lval" << id
+         << ";\n";
+      break;
+    }
+    case NetOp::kOutput:
+      os << "\n  wire [" << cb - 1 << ":0] decision = " << net(n.args[0])
+         << ";\n";
+      break;
+    case NetOp::kCount:
+      HMD_REQUIRE(false, "VerilogBackend: invalid op");
+  }
+}
+
+}  // namespace
+
+std::string VerilogBackend::emit(const CompiledDesign& design) const {
+  const Netlist& nl = design.netlist();
+  HMD_REQUIRE(nl.has_output(), "VerilogBackend: design has no output net");
+  const std::size_t cb = nl.class_bits();
+
+  std::ostringstream os;
+  os << "// Generated by hmdetect: hardware malware detector RTL.\n";
+  os << "// Inputs are Q16.16 fixed-point HPC window counts.\n";
+  os << "// Scheme: " << design.scheme() << " — " << nl.num_nodes()
+     << " nets from the hw::compile() netlist IR.\n";
+  os << "module " << design.module_name() << " (\n";
+  os << "    input  wire clk,\n";
+  os << "    input  wire rst,\n";
+  os << "    input  wire valid_in,\n";
+  for (std::size_t f = 0; f < nl.num_features(); ++f)
+    os << "    input  wire signed [31:0] f" << f << ",\n";
+  os << "    output reg  [" << cb - 1 << ":0] class_out,\n";
+  os << "    output reg  valid_out\n";
+  os << ");\n\n";
+
+  for (std::size_t t = 0; t < nl.luts().size(); ++t) {
+    const LutRom& rom = nl.luts()[t];
+    os << "  // "
+       << (rom.kind == LutRom::Kind::kSigmoid ? "sigmoid" : "Gaussian")
+       << " ROM " << t << " (" << rom.values.size() << " entries)\n";
+    os << "  reg signed [63:0] rom" << t << " [0:" << rom.values.size() - 1
+       << "];\n";
+    os << "  initial begin\n";
+    for (std::size_t i = 0; i < rom.values.size(); ++i)
+      os << "    rom" << t << "[" << i << "] = " << s64(rom.values[i])
+         << ";\n";
+    os << "  end\n";
+  }
+  if (!nl.luts().empty()) os << "\n";
+
+  for (NetId id = 0; id < nl.num_nodes(); ++id) emit_node(os, nl, id);
+
+  os << "\n  always @(posedge clk) begin\n";
+  os << "    if (rst) begin\n";
+  os << "      class_out <= " << cb << "'d0;\n";
+  os << "      valid_out <= 1'b0;\n";
+  os << "    end else begin\n";
+  os << "      class_out <= decision;\n";
+  os << "      valid_out <= valid_in;\n";
+  os << "    end\n";
+  os << "  end\n\n";
+  os << "endmodule\n";
+  return os.str();
+}
+
+std::string VerilogBackend::emit_testbench(const CompiledDesign& design,
+                                           const ml::Dataset& test,
+                                           std::size_t num_vectors) const {
+  const std::vector<TestVector> vectors =
+      testbench_vectors(design, test, num_vectors);
+  const std::size_t d = design.num_features();
+  const std::size_t cb = design.netlist().class_bits();
+  const std::string& module_name = design.module_name();
+
+  std::ostringstream os;
+  os << "// Self-checking testbench for " << module_name << ".\n";
+  os << "// Expected values are the netlist simulator's decisions on the\n";
+  os << "// shared Q16.16 input grid (hw/netlist.hpp).\n";
+  os << "`timescale 1ns/1ps\n";
+  os << "module " << module_name << "_tb;\n";
+  os << "  reg clk = 0, rst = 1, valid_in = 0;\n";
+  for (std::size_t f = 0; f < d; ++f)
+    os << "  reg signed [31:0] f" << f << ";\n";
+  os << "  wire [" << cb - 1 << ":0] class_out;\n";
+  os << "  wire valid_out;\n";
+  os << "  integer errors = 0;\n\n";
+  os << "  " << module_name << " dut (.clk(clk), .rst(rst),"
+     << " .valid_in(valid_in),\n";
+  for (std::size_t f = 0; f < d; ++f)
+    os << "    .f" << f << "(f" << f << "),\n";
+  os << "    .class_out(class_out), .valid_out(valid_out));\n\n";
+  os << "  always #5 clk = ~clk;\n\n";
+  os << "  task check;\n";
+  os << "    input [" << cb - 1 << ":0] expected;\n";
+  os << "    begin\n";
+  os << "      @(posedge clk); #1;\n";
+  os << "      if (class_out !== expected) begin\n";
+  os << "        $display(\"FAIL: got %0d expected %0d\", class_out, "
+     << "expected);\n";
+  os << "        errors = errors + 1;\n";
+  os << "      end\n";
+  os << "    end\n";
+  os << "  endtask\n\n";
+  os << "  initial begin\n";
+  os << "    @(posedge clk); rst = 0; valid_in = 1;\n";
+  for (const TestVector& v : vectors) {
+    os << "    ";
+    for (std::size_t f = 0; f < d; ++f) {
+      HMD_REQUIRE(v.raws[f] >= INT32_MIN && v.raws[f] <= INT32_MAX,
+                  "testbench: port raw overflows 32 bits");
+      const long long raw = static_cast<long long>(v.raws[f]);
+      os << "f" << f << " = "
+         << (raw < 0 ? format("-32'sd%lld", -raw) : format("32'sd%lld", raw))
+         << "; ";
+    }
+    os << "\n    check(" << class_const(v.expected, cb) << ");\n";
+  }
+  os << "    if (errors == 0) $display(\"PASS: " << vectors.size()
+     << " vectors\");\n";
+  os << "    else $display(\"FAIL: %0d of " << vectors.size()
+     << " vectors\", errors);\n";
+  os << "    $finish;\n";
+  os << "  end\n";
+  os << "endmodule\n";
+  return os.str();
+}
+
+}  // namespace hmd::hw

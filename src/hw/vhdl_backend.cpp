@@ -1,0 +1,285 @@
+#include "hw/vhdl_backend.hpp"
+
+#include <cstdint>
+#include <sstream>
+
+#include "hw/compile.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace hmd::hw {
+
+namespace {
+
+/// 64-bit signed literal as a VHDL-2008 hex bit-string (two's complement).
+std::string vs64(std::int64_t v) {
+  return format("signed'(X\"%016llX\")",
+                static_cast<unsigned long long>(v));
+}
+
+/// Signal name for a net, prefixed by value domain: n = signed(63 downto
+/// 0), b = boolean, c = unsigned class label.
+std::string sig(const Netlist& nl, NetId id) {
+  switch (nl.node(id).type) {
+    case NetType::kBit: return format("b%u", id);
+    case NetType::kClass: return format("c%u", id);
+    case NetType::kQ16:
+    case NetType::kWide: break;
+  }
+  return format("n%u", id);
+}
+
+void emit_decl(std::ostringstream& os, const Netlist& nl, NetId id) {
+  const NetNode& n = nl.node(id);
+  if (n.op == NetOp::kOutput) return;  // the shared `decision` signal
+  switch (n.type) {
+    case NetType::kBit:
+      os << "  signal " << sig(nl, id) << " : boolean;\n";
+      break;
+    case NetType::kClass:
+      os << "  signal " << sig(nl, id) << " : unsigned("
+         << nl.class_bits() - 1 << " downto 0);\n";
+      break;
+    case NetType::kQ16:
+    case NetType::kWide:
+      os << "  signal " << sig(nl, id) << " : signed(63 downto 0);\n";
+      break;
+  }
+}
+
+void emit_node(std::ostringstream& os, const Netlist& nl, NetId id) {
+  const NetNode& n = nl.node(id);
+  const std::size_t cb = nl.class_bits();
+  const std::string me = sig(nl, id);
+  switch (n.op) {
+    case NetOp::kInput:
+      os << "  " << me << " <= resize(f" << n.index << ", 64);\n";
+      break;
+    case NetOp::kConst:
+      if (n.type == NetType::kBit)
+        os << "  " << me << " <= " << (n.value != 0 ? "true" : "false")
+           << ";\n";
+      else if (n.type == NetType::kClass)
+        os << "  " << me << " <= to_unsigned(" << n.value << ", " << cb
+           << ");\n";
+      else
+        os << "  " << me << " <= " << vs64(n.value) << ";\n";
+      break;
+    case NetOp::kCmpLe:
+      os << "  " << me << " <= " << sig(nl, n.args[0])
+         << " <= " << sig(nl, n.args[1]) << ";\n";
+      break;
+    case NetOp::kCmpGt:
+      os << "  " << me << " <= " << sig(nl, n.args[0]) << " > "
+         << sig(nl, n.args[1]) << ";\n";
+      break;
+    case NetOp::kMux:
+      os << "  " << me << " <= " << sig(nl, n.args[1]) << " when "
+         << sig(nl, n.args[0]) << " else " << sig(nl, n.args[2]) << ";\n";
+      break;
+    case NetOp::kAdd:
+      os << "  " << me << " <= " << sig(nl, n.args[0]) << " + "
+         << sig(nl, n.args[1]) << ";\n";
+      break;
+    case NetOp::kMul:
+      // Full-width product in a 256-bit intermediate, arithmetic shift,
+      // then resize back onto the 64-bit Q48.16 grid.
+      os << "  " << me << " <= resize(shift_right(resize("
+         << sig(nl, n.args[0]) << ", 128) * resize(" << sig(nl, n.args[1])
+         << ", 128), " << n.value << "), 64);\n";
+      break;
+    case NetOp::kAndReduce: {
+      os << "  " << me << " <= ";
+      for (std::size_t i = 0; i < n.args.size(); ++i) {
+        if (i) os << " and ";
+        os << sig(nl, n.args[i]);
+      }
+      os << ";\n";
+      break;
+    }
+    case NetOp::kArgmax: {
+      os << "  argmax" << id << " : process (";
+      for (std::size_t i = 0; i < n.args.size(); ++i) {
+        if (i) os << ", ";
+        os << sig(nl, n.args[i]);
+      }
+      os << ")\n";
+      os << "    variable best_idx : unsigned(" << cb - 1
+         << " downto 0);\n";
+      os << "    variable best_val : signed(63 downto 0);\n";
+      os << "  begin\n";
+      os << "    best_idx := to_unsigned(0, " << cb << ");\n";
+      os << "    best_val := " << sig(nl, n.args[0]) << ";\n";
+      for (std::size_t i = 1; i < n.args.size(); ++i) {
+        os << "    if " << sig(nl, n.args[i]) << " > best_val then\n";
+        os << "      best_idx := to_unsigned(" << i << ", " << cb << ");\n";
+        os << "      best_val := " << sig(nl, n.args[i]) << ";\n";
+        os << "    end if;\n";
+      }
+      os << "    " << me << " <= best_idx;\n";
+      os << "  end process;\n";
+      break;
+    }
+    case NetOp::kLutRom: {
+      const LutRom& rom = nl.luts()[n.index];
+      const std::size_t last = rom.values.size() - 1;
+      os << "  lut" << id << " : process (" << sig(nl, n.args[0]) << ")\n";
+      os << "    variable off : signed(63 downto 0);\n";
+      os << "  begin\n";
+      os << "    off := shift_right(" << sig(nl, n.args[0]) << " - "
+         << vs64(rom.lo_raw) << ", " << rom.step_shift << ");\n";
+      os << "    if off < 0 then\n";
+      os << "      " << me << " <= rom" << n.index << "(0);\n";
+      os << "    elsif off > " << last << " then\n";
+      os << "      " << me << " <= rom" << n.index << "(" << last << ");\n";
+      os << "    else\n";
+      os << "      " << me << " <= rom" << n.index
+         << "(to_integer(off));\n";
+      os << "    end if;\n";
+      os << "  end process;\n";
+      break;
+    }
+    case NetOp::kOutput:
+      os << "\n  decision <= " << sig(nl, n.args[0]) << ";\n";
+      break;
+    case NetOp::kCount:
+      HMD_REQUIRE(false, "VhdlBackend: invalid op");
+  }
+}
+
+void emit_preamble(std::ostringstream& os) {
+  os << "library ieee;\n";
+  os << "use ieee.std_logic_1164.all;\n";
+  os << "use ieee.numeric_std.all;\n\n";
+}
+
+}  // namespace
+
+std::string VhdlBackend::emit(const CompiledDesign& design) const {
+  const Netlist& nl = design.netlist();
+  HMD_REQUIRE(nl.has_output(), "VhdlBackend: design has no output net");
+  const std::size_t cb = nl.class_bits();
+
+  std::ostringstream os;
+  os << "-- Generated by hmdetect: hardware malware detector RTL.\n";
+  os << "-- Inputs are Q16.16 fixed-point HPC window counts.\n";
+  os << "-- Scheme: " << design.scheme() << " — " << nl.num_nodes()
+     << " nets from the hw::compile() netlist IR (VHDL-2008).\n";
+  emit_preamble(os);
+
+  os << "entity " << design.module_name() << " is\n";
+  os << "  port (\n";
+  os << "    clk       : in  std_logic;\n";
+  os << "    rst       : in  std_logic;\n";
+  os << "    valid_in  : in  std_logic;\n";
+  for (std::size_t f = 0; f < nl.num_features(); ++f)
+    os << "    f" << f << "        : in  signed(31 downto 0);\n";
+  os << "    class_out : out unsigned(" << cb - 1 << " downto 0);\n";
+  os << "    valid_out : out std_logic\n";
+  os << "  );\n";
+  os << "end entity " << design.module_name() << ";\n\n";
+
+  os << "architecture rtl of " << design.module_name() << " is\n";
+  for (std::size_t t = 0; t < nl.luts().size(); ++t) {
+    const LutRom& rom = nl.luts()[t];
+    os << "  -- "
+       << (rom.kind == LutRom::Kind::kSigmoid ? "sigmoid" : "Gaussian")
+       << " ROM " << t << " (" << rom.values.size() << " entries)\n";
+    os << "  type rom" << t << "_t is array (0 to " << rom.values.size() - 1
+       << ") of signed(63 downto 0);\n";
+    os << "  constant rom" << t << " : rom" << t << "_t := (\n";
+    for (std::size_t i = 0; i < rom.values.size(); ++i)
+      os << "    " << vs64(rom.values[i])
+         << (i + 1 < rom.values.size() ? "," : "") << "\n";
+    os << "  );\n";
+  }
+  for (NetId id = 0; id < nl.num_nodes(); ++id) emit_decl(os, nl, id);
+  os << "  signal decision : unsigned(" << cb - 1 << " downto 0);\n";
+  os << "begin\n";
+
+  for (NetId id = 0; id < nl.num_nodes(); ++id) emit_node(os, nl, id);
+
+  os << "\n  registered_output : process (clk)\n";
+  os << "  begin\n";
+  os << "    if rising_edge(clk) then\n";
+  os << "      if rst = '1' then\n";
+  os << "        class_out <= (others => '0');\n";
+  os << "        valid_out <= '0';\n";
+  os << "      else\n";
+  os << "        class_out <= decision;\n";
+  os << "        valid_out <= valid_in;\n";
+  os << "      end if;\n";
+  os << "    end if;\n";
+  os << "  end process;\n\n";
+  os << "end architecture rtl;\n";
+  return os.str();
+}
+
+std::string VhdlBackend::emit_testbench(const CompiledDesign& design,
+                                        const ml::Dataset& test,
+                                        std::size_t num_vectors) const {
+  const std::vector<TestVector> vectors =
+      testbench_vectors(design, test, num_vectors);
+  const std::size_t d = design.num_features();
+  const std::size_t cb = design.netlist().class_bits();
+  const std::string& module_name = design.module_name();
+
+  std::ostringstream os;
+  os << "-- Self-checking testbench for " << module_name << ".\n";
+  os << "-- Expected values are the netlist simulator's decisions on the\n";
+  os << "-- shared Q16.16 input grid (hw/netlist.hpp).\n";
+  emit_preamble(os);
+  os << "use std.env.all;\n\n";
+  os << "entity " << module_name << "_tb is\n";
+  os << "end entity " << module_name << "_tb;\n\n";
+  os << "architecture sim of " << module_name << "_tb is\n";
+  os << "  signal clk       : std_logic := '0';\n";
+  os << "  signal rst       : std_logic := '1';\n";
+  os << "  signal valid_in  : std_logic := '0';\n";
+  for (std::size_t f = 0; f < d; ++f)
+    os << "  signal f" << f << "        : signed(31 downto 0) := "
+       << "(others => '0');\n";
+  os << "  signal class_out : unsigned(" << cb - 1 << " downto 0);\n";
+  os << "  signal valid_out : std_logic;\n";
+  os << "begin\n";
+  os << "  clk <= not clk after 5 ns;\n\n";
+  os << "  dut : entity work." << module_name << "\n";
+  os << "    port map (clk => clk, rst => rst, valid_in => valid_in,\n";
+  for (std::size_t f = 0; f < d; ++f)
+    os << "      f" << f << " => f" << f << ",\n";
+  os << "      class_out => class_out, valid_out => valid_out);\n\n";
+  os << "  stimulus : process\n";
+  os << "    variable errors : natural := 0;\n";
+  os << "  begin\n";
+  os << "    wait until rising_edge(clk);\n";
+  os << "    rst <= '0';\n";
+  os << "    valid_in <= '1';\n";
+  for (std::size_t v = 0; v < vectors.size(); ++v) {
+    os << "    ";
+    for (std::size_t f = 0; f < d; ++f) {
+      HMD_REQUIRE(vectors[v].raws[f] >= -2147483647LL &&
+                      vectors[v].raws[f] <= 2147483647LL,
+                  "testbench: port raw overflows 32 bits");
+      os << "f" << f << " <= to_signed("
+         << static_cast<long long>(vectors[v].raws[f]) << ", 32); ";
+    }
+    os << "\n    wait until rising_edge(clk);\n";
+    os << "    wait for 1 ns;\n";
+    os << "    if class_out /= to_unsigned(" << vectors[v].expected << ", "
+       << cb << ") then\n";
+    os << "      report \"FAIL: vector " << v << "\" severity warning;\n";
+    os << "      errors := errors + 1;\n";
+    os << "    end if;\n";
+  }
+  os << "    if errors = 0 then\n";
+  os << "      report \"PASS: " << vectors.size() << " vectors\";\n";
+  os << "    else\n";
+  os << "      report \"FAIL\" severity error;\n";
+  os << "    end if;\n";
+  os << "    finish;\n";
+  os << "  end process;\n";
+  os << "end architecture sim;\n";
+  return os.str();
+}
+
+}  // namespace hmd::hw

@@ -1,0 +1,31 @@
+// VHDL-2008 backend over the netlist IR: the same DAG walk as
+// VerilogBackend, rendered through ieee.numeric_std — signed(63 downto 0)
+// datapath signals, boolean predicate signals, constant ROM arrays, and
+// process-based argmax/LUT lookups. Entity shell mirrors the Verilog
+// module shell:
+//
+//   entity <name> is
+//     port (clk, rst, valid_in : in std_logic;
+//           f0 .. f<d-1>       : in signed(31 downto 0);  -- Q16.16 raws
+//           class_out          : out unsigned(<cb>-1 downto 0);
+//           valid_out          : out std_logic);
+//   end entity;
+//
+// Requires VHDL-2008 (hex bit-string constants, e.g. ghdl --std=08).
+#pragma once
+
+#include "hw/backend.hpp"
+
+namespace hmd::hw {
+
+class VhdlBackend final : public Backend {
+ public:
+  std::string_view name() const override { return "vhdl"; }
+  std::string_view file_extension() const override { return ".vhd"; }
+  std::string emit(const CompiledDesign& design) const override;
+  std::string emit_testbench(const CompiledDesign& design,
+                             const ml::Dataset& test,
+                             std::size_t num_vectors) const override;
+};
+
+}  // namespace hmd::hw

@@ -32,6 +32,13 @@ struct SchemeEntry {
   /// only, so the drift retrain loop can rebuild it from unlabeled
   /// traffic (serve/drift.hpp).
   bool one_class = false;
+  /// hw::compile() has a netlist lowering for this scheme (RTL emission,
+  /// netlist simulation, the fpga serving tier).
+  bool rtl = false;
+  /// Netlist class decisions are bit-identical to hw/evaluate_fixed_point
+  /// (gated in tests/hw and bench_netlist). False for the LUT-approximated
+  /// schemes (NaiveBayes, MLP).
+  bool rtl_exact = false;
 };
 
 // Registry order is presentation order (--list-classifiers, error
@@ -44,32 +51,32 @@ const SchemeEntry kSchemes[] = {
      kNone, kNone},
     {"OneR", nullptr, "single-feature rule learner",
      [] { return std::unique_ptr<Classifier>(std::make_unique<OneR>()); }, 0,
-     kNone},
+     kNone, false, true, true},
     {"DecisionStump", nullptr, "one-split decision tree",
      [] {
        return std::unique_ptr<Classifier>(std::make_unique<DecisionStump>());
      },
-     kNone, kNone},
+     kNone, kNone, false, true, true},
     {"J48", nullptr, "C4.5 decision tree",
      [] { return std::unique_ptr<Classifier>(std::make_unique<J48>()); }, 2,
-     kNone},
+     kNone, false, true, true},
     {"JRip", nullptr, "RIPPER rule learner",
      [] { return std::unique_ptr<Classifier>(std::make_unique<JRip>()); }, 1,
-     kNone},
+     kNone, false, true, true},
     {"NaiveBayes", nullptr, "Gaussian naive Bayes",
      [] {
        return std::unique_ptr<Classifier>(std::make_unique<NaiveBayes>());
      },
-     3, kNone},
+     3, kNone, false, true, false},
     {"MLR", "Logistic", "multinomial logistic regression",
      [] { return std::unique_ptr<Classifier>(std::make_unique<Logistic>()); },
-     4, 0},
+     4, 0, false, true, true},
     {"SVM", nullptr, "linear soft-margin SVM",
      [] { return std::unique_ptr<Classifier>(std::make_unique<LinearSvm>()); },
-     5, 2},
+     5, 2, false, true, true},
     {"MLP", nullptr, "multi-layer perceptron",
      [] { return std::unique_ptr<Classifier>(std::make_unique<Mlp>()); }, 6,
-     1},
+     1, false, true, false},
     {"IBk", nullptr, "k-nearest neighbours",
      [] { return std::unique_ptr<Classifier>(std::make_unique<Knn>()); },
      kNone, kNone},
@@ -176,6 +183,25 @@ std::vector<std::string> one_class_schemes() {
 bool is_one_class_scheme(const std::string& name) {
   const SchemeEntry* entry = find_scheme(name);
   return entry != nullptr && entry->one_class;
+}
+
+std::vector<std::string> rtl_schemes() {
+  std::vector<std::string> names;
+  for (const SchemeEntry& entry : kSchemes)
+    if (entry.rtl) names.emplace_back(entry.name);
+  return names;
+}
+
+std::vector<std::string> rtl_exact_schemes() {
+  std::vector<std::string> names;
+  for (const SchemeEntry& entry : kSchemes)
+    if (entry.rtl_exact) names.emplace_back(entry.name);
+  return names;
+}
+
+bool is_rtl_scheme(const std::string& name) {
+  const SchemeEntry* entry = find_scheme(name);
+  return entry != nullptr && entry->rtl;
 }
 
 std::vector<std::string> binary_study_classifiers() {

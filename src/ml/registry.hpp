@@ -39,6 +39,18 @@ std::vector<std::string> one_class_schemes();
 /// True if `name` (canonical or alias) names a one-class scheme.
 bool is_one_class_scheme(const std::string& name);
 
+/// Schemes hw::compile() can lower to the netlist IR (RTL emission, the
+/// cycle-accurate simulator, the fpga serving tier), in registry order.
+std::vector<std::string> rtl_schemes();
+
+/// The subset of rtl_schemes() whose netlist class decisions are
+/// bit-identical to hw/evaluate_fixed_point (exact threshold/weight
+/// folding; excludes the LUT-approximated NaiveBayes and MLP).
+std::vector<std::string> rtl_exact_schemes();
+
+/// True if `name` (canonical or alias) names an RTL-compilable scheme.
+bool is_rtl_scheme(const std::string& name);
+
 /// The binary-detection classifier set compared in Figs. 13-16.
 std::vector<std::string> binary_study_classifiers();
 

@@ -8,6 +8,8 @@
 #include <string>
 #include <thread>
 
+#include "hw/compile.hpp"
+#include "hw/netlist_model.hpp"
 #include "ml/dataset.hpp"
 #include "ml/quantized.hpp"
 #include "ml/registry.hpp"
@@ -79,6 +81,7 @@ const char* to_string(ServeConfig::Tier tier) {
     case ServeConfig::Tier::kFloat: return "float";
     case ServeConfig::Tier::kInt8: return "int8";
     case ServeConfig::Tier::kQ16: return "q16";
+    case ServeConfig::Tier::kFpga: return "fpga";
   }
   return "float";
 }
@@ -87,6 +90,7 @@ std::optional<ServeConfig::Tier> tier_from_name(const std::string& name) {
   if (name == "float") return ServeConfig::Tier::kFloat;
   if (name == "int8") return ServeConfig::Tier::kInt8;
   if (name == "q16") return ServeConfig::Tier::kQ16;
+  if (name == "fpga") return ServeConfig::Tier::kFpga;
   return std::nullopt;
 }
 
@@ -173,12 +177,13 @@ struct StreamEngine::Shard {
   std::uint64_t batch_ordinal = 0;       ///< fault-injection key
   std::uint64_t last_epoch_version = 0;  ///< for swap detection
 
-  // Quantized tiers (ServeConfig::Tier::kInt8 / kQ16): the quantized
-  // lowering of the current primary, cached per shard and re-derived
-  // after every hot-swap (keyed by epoch version). Null when the primary
-  // has no lowering for the configured tier.
+  // Quantized tiers (ServeConfig::Tier::kInt8 / kQ16 / kFpga): the
+  // quantized or netlist-compiled lowering of the current primary, cached
+  // per shard and re-derived after every hot-swap (keyed by epoch
+  // version). Null when the primary has no lowering for the configured
+  // tier.
   std::uint64_t quant_version = 0;
-  std::shared_ptr<const ml::QuantizedModel> quant_model;
+  std::shared_ptr<const ml::Classifier> quant_model;
 
   // Drift detection (config.drift.enabled only). Owned by the worker
   // under apply_mutex; snapshot() reads under the same lock.
@@ -361,7 +366,7 @@ StreamEngine::StreamEngine(std::shared_ptr<ModelHub> hub, ServeConfig config)
     const TierSnapshot& snap = config_.restore_from->tier;
     HMD_REQUIRE(tier_from_name(snap.name).has_value(),
                 "ServeConfig.restore_from: snapshot pins unknown serving "
-                "tier '" + snap.name + "' (known: float int8 q16)");
+                "tier '" + snap.name + "' (known: float int8 q16 fpga)");
     HMD_REQUIRE(snap.name == to_string(config_.tier),
                 "ServeConfig.tier: snapshot was written by a '" + snap.name +
                     "' tier engine, config is '" + to_string(config_.tier) +
@@ -570,14 +575,29 @@ bool StreamEngine::score_batch(Shard& shard, Batch& batch) {
     if (shard.quant_version != epoch->version) {
       shard.quant_version = epoch->version;
       shard.quant_model.reset();
-      const bool int8 = config_.tier == ServeConfig::Tier::kInt8;
-      const bool supported =
-          int8 ? ml::QuantizedModel::int8_supported(*epoch->primary)
-               : ml::QuantizedModel::q16_supported(*epoch->primary);
-      if (supported)
-        shard.quant_model = std::make_shared<const ml::QuantizedModel>(
-            epoch->primary, int8 ? ml::QuantizedModel::Mode::kInt8
-                                 : ml::QuantizedModel::Mode::kQ16Input);
+      if (config_.tier == ServeConfig::Tier::kFpga) {
+        // Compile the primary to the netlist IR and score through the
+        // cycle-accurate simulator — the verdicts the emitted RTL would
+        // produce. Model-derived grid calibration keeps the compile a
+        // pure function of the model, so every shard builds the identical
+        // design regardless of shard count.
+        hw::CompileOptions opts;
+        opts.num_features = config_.window_size;
+        Result<hw::CompiledDesign> design =
+            hw::try_compile(*epoch->primary, std::move(opts));
+        if (design.ok())
+          shard.quant_model = std::make_shared<const hw::NetlistClassifier>(
+              std::move(design).value());
+      } else {
+        const bool int8 = config_.tier == ServeConfig::Tier::kInt8;
+        const bool supported =
+            int8 ? ml::QuantizedModel::int8_supported(*epoch->primary)
+                 : ml::QuantizedModel::q16_supported(*epoch->primary);
+        if (supported)
+          shard.quant_model = std::make_shared<const ml::QuantizedModel>(
+              epoch->primary, int8 ? ml::QuantizedModel::Mode::kInt8
+                                   : ml::QuantizedModel::Mode::kQ16Input);
+      }
     }
     if (shard.quant_model != nullptr) primary = shard.quant_model.get();
   }

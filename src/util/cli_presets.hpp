@@ -63,6 +63,24 @@ inline void add_isa_flag(ArgParser& parser, std::string* isa) {
                     "best supported; env HMD_KERNEL_ISA)");
 }
 
+/// --emit-rtl LANG: render the trained model through the hw::compile()
+/// netlist pipeline and print the module/entity to stdout. Valid values
+/// are the backend registry's names (hw::backend_by_name).
+inline void add_emit_rtl_flag(ArgParser& parser, std::string* lang) {
+  parser.add_string("--emit-rtl", lang, "LANG",
+                    "print the trained model as RTL on stdout: verilog "
+                    "or vhdl (hw::compile netlist pipeline)");
+}
+
+/// --tier NAME: the serving precision tier (serve::tier_from_name).
+inline void add_tier_flag(ArgParser& parser, std::string* tier) {
+  parser.add_string("--tier", tier, "NAME",
+                    "serving precision tier: float (default), int8 "
+                    "(quantized low-latency scoring), q16 (hardware "
+                    "Q16.16 input grid) or fpga (compiled netlist "
+                    "scored by the cycle-accurate simulator)");
+}
+
 /// The observability pair every tool exposes: --metrics-out FILE and
 /// --trace-out FILE.
 inline void add_observability_flags(ArgParser& parser, std::string* metrics,

@@ -1,0 +1,22 @@
+// Golden-fingerprint helper for the RTL backend tests: FNV-1a over the
+// emitted text. Both backends are deterministic functions of the netlist
+// IR, so a fingerprint change means the emission (or a lowering feeding
+// it) changed — the test failure prints the new value to re-pin after an
+// intentional change.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace hmd::hw::testutil {
+
+inline std::uint64_t fnv1a(const std::string& text) {
+  std::uint64_t hash = 1469598103934665603ull;
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+}  // namespace hmd::hw::testutil

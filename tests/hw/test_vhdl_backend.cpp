@@ -1,0 +1,185 @@
+// VhdlBackend: the second language rendered from the same netlist IR.
+// Goldens are FNV-1a fingerprints of the full emitted text per scheme —
+// when an intentional emission change trips one, re-pin it with the new
+// value the failure message prints.
+#include "hw/vhdl_backend.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "hw/backend.hpp"
+#include "hw/compile.hpp"
+#include "hw/fixed_point_eval.hpp"
+#include "hw/verilog_backend.hpp"
+#include "ml/registry.hpp"
+#include "tests/hw/rtl_fingerprint.hpp"
+#include "tests/ml/synthetic_data.hpp"
+#include "util/error.hpp"
+
+namespace hmd::hw {
+namespace {
+
+using ml::testdata::separable_binary;
+using ml::testdata::three_class;
+
+std::size_t count_occurrences(const std::string& text,
+                              const std::string& needle) {
+  std::size_t count = 0;
+  std::size_t pos = 0;
+  while ((pos = text.find(needle, pos)) != std::string::npos) {
+    ++count;
+    pos += needle.size();
+  }
+  return count;
+}
+
+CompiledDesign compile_on(const ml::Classifier& clf, const ml::Dataset& data,
+                          const std::string& module_name) {
+  CompileOptions opts;
+  opts.num_features = data.num_features();
+  opts.module_name = module_name;
+  return compile(clf, std::move(opts));
+}
+
+/// Structural sanity every emitted entity must satisfy.
+void expect_well_formed(const std::string& vhdl, std::size_t num_features,
+                        const std::string& name) {
+  EXPECT_NE(vhdl.find("library ieee;"), std::string::npos);
+  EXPECT_NE(vhdl.find("use ieee.numeric_std.all;"), std::string::npos);
+  EXPECT_EQ(count_occurrences(vhdl, "entity " + name + " is"), 1u);
+  EXPECT_EQ(count_occurrences(vhdl, "architecture rtl of " + name), 1u);
+  EXPECT_NE(vhdl.find("end architecture rtl;"), std::string::npos);
+  for (std::size_t f = 0; f < num_features; ++f)
+    EXPECT_NE(vhdl.find("f" + std::to_string(f) +
+                        "        : in  signed(31 downto 0);"),
+              std::string::npos)
+        << "missing port f" << f;
+  EXPECT_NE(vhdl.find("class_out"), std::string::npos);
+  EXPECT_NE(vhdl.find("rising_edge(clk)"), std::string::npos);
+  // Every process closes.
+  EXPECT_EQ(count_occurrences(vhdl, " : process"),
+            count_occurrences(vhdl, "end process;"));
+}
+
+/// Deterministic per-scheme entity for the golden tests (same models the
+/// Verilog golden test compiles, so the two languages pin the same IR).
+std::string golden_vhdl(const std::string& scheme) {
+  const auto data = scheme == "MLR" || scheme == "SVM" || scheme == "MLP" ||
+                            scheme == "NaiveBayes"
+                        ? three_class()
+                        : separable_binary();
+  auto clf = ml::make_classifier(scheme);
+  clf->train(data);
+  return compile_on(*clf, data, "golden_det").emit(VhdlBackend());
+}
+
+TEST(VhdlBackend, GoldenFingerprintsPerScheme) {
+  const std::map<std::string, std::uint64_t> expected = {
+      {"OneR", 0x3ffb183a84de4144ull},
+      {"DecisionStump", 0x67125a720e82d9eaull},
+      {"J48", 0xd1e83c0c326c5543ull},
+      {"JRip", 0xb97b06603ad404b1ull},
+      {"NaiveBayes", 0x2a26e12a17aad394ull},
+      {"MLR", 0x228d37f6142536feull},
+      {"SVM", 0x9d347fca6e70cfcaull},
+      {"MLP", 0xb8fabe3f4bdc7829ull},
+  };
+  for (const std::string& scheme : ml::rtl_schemes()) {
+    ASSERT_TRUE(expected.count(scheme)) << "unpinned scheme " << scheme;
+    const std::uint64_t got = testutil::fnv1a(golden_vhdl(scheme));
+    EXPECT_EQ(got, expected.at(scheme))
+        << scheme << ": re-pin with 0x" << std::hex << got << "ull";
+  }
+}
+
+TEST(VhdlBackend, AllRtlSchemesEmitWellFormedEntities) {
+  const auto d = three_class();
+  for (const std::string& scheme : ml::rtl_schemes()) {
+    SCOPED_TRACE(scheme);
+    auto clf = ml::make_classifier(scheme);
+    clf->train(d);
+    const std::string vhdl =
+        compile_on(*clf, d, "det").emit(VhdlBackend());
+    expect_well_formed(vhdl, d.num_features(), "det");
+    EXPECT_NE(vhdl.find("-- Scheme: " + scheme), std::string::npos);
+  }
+}
+
+TEST(VhdlBackend, SameNetlistFeedsBothLanguages) {
+  // One compile, two languages: net counts quoted in the headers match.
+  const auto d = three_class();
+  auto clf = ml::make_classifier("MLR");
+  clf->train(d);
+  const CompiledDesign design = compile_on(*clf, d, "det");
+  const std::string marker =
+      std::to_string(design.netlist().num_nodes()) + " nets";
+  EXPECT_NE(design.emit(VerilogBackend()).find(marker), std::string::npos);
+  EXPECT_NE(design.emit(VhdlBackend()).find(marker), std::string::npos);
+}
+
+TEST(VhdlBackend, MulticlassEmitsArgmaxProcess) {
+  const auto d = three_class();
+  auto clf = ml::make_classifier("SVM");
+  clf->train(d);
+  const std::string vhdl = compile_on(*clf, d, "det").emit(VhdlBackend());
+  EXPECT_NE(vhdl.find(" : process ("), std::string::npos);
+  EXPECT_NE(vhdl.find("best_idx"), std::string::npos);
+  EXPECT_NE(vhdl.find("class_out : out unsigned(1 downto 0);"),
+            std::string::npos);
+}
+
+TEST(VhdlBackend, LutSchemesEmitRomConstants) {
+  const auto d = three_class();
+  auto nb = ml::make_classifier("NaiveBayes");
+  nb->train(d);
+  const std::string vhdl = compile_on(*nb, d, "det").emit(VhdlBackend());
+  EXPECT_NE(vhdl.find("-- Gaussian ROM"), std::string::npos);
+  EXPECT_NE(vhdl.find("type rom0_t is array"), std::string::npos);
+  EXPECT_NE(vhdl.find("constant rom0 : rom0_t := ("), std::string::npos);
+}
+
+TEST(VhdlBackend, DeterministicOutput) {
+  const auto d = separable_binary();
+  auto clf = ml::make_classifier("JRip");
+  clf->train(d);
+  const CompiledDesign design = compile_on(*clf, d, "det");
+  EXPECT_EQ(design.emit(VhdlBackend()), design.emit(VhdlBackend()));
+}
+
+TEST(VhdlBackend, TestbenchIsSelfCheckingAndFinishes) {
+  const auto d = separable_binary();
+  auto clf = ml::make_classifier("J48");
+  clf->train(d);
+  CompileOptions opts;
+  opts.num_features = d.num_features();
+  opts.module_name = "j48_det";
+  opts.feature_absmax = calibrate_feature_absmax(d);
+  const CompiledDesign design = compile(*clf, std::move(opts));
+  const std::string tb = VhdlBackend().emit_testbench(design, d, 8);
+  EXPECT_NE(tb.find("entity j48_det_tb is"), std::string::npos);
+  EXPECT_NE(tb.find("dut : entity work.j48_det"), std::string::npos);
+  EXPECT_NE(tb.find("use std.env.all;"), std::string::npos);
+  EXPECT_NE(tb.find("finish;"), std::string::npos);
+  EXPECT_NE(tb.find("PASS"), std::string::npos);
+  // One expectation check per vector, sourced from the simulator.
+  const auto vectors = testbench_vectors(design, d, 8);
+  EXPECT_EQ(count_occurrences(tb, "if class_out /= to_unsigned("),
+            vectors.size());
+  for (const TestVector& v : vectors)
+    EXPECT_NE(tb.find("to_unsigned(" + std::to_string(v.expected) + ", 1)"),
+              std::string::npos);
+}
+
+TEST(VhdlBackend, BackendRegistryResolvesBothLanguages) {
+  EXPECT_EQ(backend_by_name("verilog").name(), "verilog");
+  EXPECT_EQ(backend_by_name("vhdl").name(), "vhdl");
+  EXPECT_EQ(backend_by_name("verilog").file_extension(), ".v");
+  EXPECT_EQ(backend_by_name("vhdl").file_extension(), ".vhd");
+  EXPECT_THROW((void)backend_by_name("systemverilog"), PreconditionError);
+}
+
+}  // namespace
+}  // namespace hmd::hw

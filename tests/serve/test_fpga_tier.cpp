@@ -1,0 +1,246 @@
+// ServeConfig::Tier::kFpga: windows scored by the compiled netlist through
+// the cycle-accurate simulator (hw::NetlistClassifier). The FpgaSoak suite
+// rides in the TSan CI job — per-shard lazy compiles after a hot-swap are
+// the concurrency-sensitive path.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/online_detector.hpp"
+#include "hw/compile.hpp"
+#include "hw/netlist_model.hpp"
+#include "ml/svm.hpp"
+#include "serve/stream_engine.hpp"
+#include "util/error.hpp"
+#include "util/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace hmd::serve {
+namespace {
+
+using core::OnlineDetector;
+using core::OnlineDetectorConfig;
+
+/// Deterministic stub with no netlist lowering (float-fallback tests).
+class StubModel final : public ml::Classifier {
+ public:
+  void train(const ml::DatasetView&) override {}
+  std::size_t predict(std::span<const double> f) const override {
+    return f[0] > 0.5 ? 1 : 0;
+  }
+  std::vector<double> distribution(
+      std::span<const double> f) const override {
+    return {1.0 - f[0], f[0]};
+  }
+  std::string name() const override { return "Stub"; }
+  std::size_t num_classes() const override { return 2; }
+};
+
+std::vector<std::vector<double>> make_stream_windows(
+    std::uint64_t stream_seed, std::size_t num_windows, std::size_t width) {
+  Rng rng(stream_seed);
+  std::vector<std::vector<double>> windows;
+  windows.reserve(num_windows);
+  for (std::size_t w = 0; w < num_windows; ++w) {
+    std::vector<double> window(width);
+    const bool hot = rng.bernoulli(0.3);
+    for (std::size_t f = 0; f < width; ++f)
+      window[f] = hot ? rng.uniform(0.95, 1.0) : rng.uniform();
+    windows.push_back(std::move(window));
+  }
+  return windows;
+}
+
+std::vector<OnlineDetector::Verdict> serial_replay(
+    const ml::Classifier& model, const OnlineDetectorConfig& policy,
+    const std::vector<std::vector<double>>& windows) {
+  OnlineDetector det(model, policy);
+  std::vector<OnlineDetector::Verdict> verdicts;
+  verdicts.reserve(windows.size());
+  for (const auto& w : windows) verdicts.push_back(det.observe(w));
+  return verdicts;
+}
+
+void expect_verdicts_identical(
+    const std::vector<OnlineDetector::Verdict>& actual,
+    const std::vector<OnlineDetector::Verdict>& expected,
+    const std::string& label) {
+  ASSERT_EQ(actual.size(), expected.size()) << label;
+  for (std::size_t w = 0; w < expected.size(); ++w) {
+    EXPECT_EQ(actual[w].probability, expected[w].probability)
+        << label << " window " << w;
+    EXPECT_EQ(actual[w].flagged, expected[w].flagged)
+        << label << " window " << w;
+    EXPECT_EQ(actual[w].alarm, expected[w].alarm)
+        << label << " window " << w;
+  }
+}
+
+/// A trained SVM over kWidth features — a compile-supported scheme the
+/// fpga tier actually lowers.
+constexpr std::size_t kWidth = 6;
+
+ml::LinearSvm trained_svm() {
+  std::vector<ml::Attribute> attrs;
+  for (std::size_t f = 0; f < kWidth; ++f)
+    attrs.emplace_back("f" + std::to_string(f));
+  attrs.emplace_back("class", std::vector<std::string>{"benign", "malware"});
+  ml::Dataset data(std::move(attrs), "fpga_tier");
+  Rng rng(79);
+  for (std::size_t i = 0; i < 300; ++i) {
+    ml::Instance row;
+    const double cls = i % 2 == 0 ? 0.0 : 1.0;
+    for (std::size_t f = 0; f < kWidth; ++f)
+      row.values.push_back(rng.normal(cls * 2.0, 1.0));
+    row.values.push_back(cls);
+    data.add(std::move(row));
+  }
+  ml::LinearSvm model;
+  model.train(data);
+  return model;
+}
+
+TEST(FpgaTier, MatchesNetlistSerialReplay) {
+  // --tier fpga: every shard scores with the compiled netlist, so a serial
+  // replay through an identically compiled hw::NetlistClassifier must
+  // match the engine's verdicts bit-for-bit.
+  const ml::LinearSvm model = trained_svm();
+
+  ServeConfig config;
+  config.window_size = kWidth;
+  config.num_shards = 2;
+  config.record_verdicts = true;
+  config.tier = ServeConfig::Tier::kFpga;
+  config.policy = {.flag_threshold = 0.6, .confirm_windows = 2};
+  StreamEngine engine(model, config);
+
+  constexpr std::size_t kStreams = 5;
+  std::vector<StreamEngine::StreamHandle> handles;
+  std::vector<std::vector<std::vector<double>>> workload;
+  for (std::size_t s = 0; s < kStreams; ++s) {
+    handles.push_back(engine.register_stream(s));
+    auto windows = make_stream_windows(700 + s, 80, kWidth);
+    for (auto& w : windows)
+      for (auto& v : w) v = v * 4.0 - 1.0;
+    workload.push_back(std::move(windows));
+  }
+  for (std::size_t w = 0; w < 80; ++w)
+    for (std::size_t s = 0; s < kStreams; ++s)
+      engine.ingest(handles[s], workload[s][w]);
+  engine.drain();
+
+  hw::CompileOptions opts;
+  opts.num_features = kWidth;
+  const hw::NetlistClassifier fpga(model, std::move(opts));
+  for (std::size_t s = 0; s < kStreams; ++s) {
+    const auto expected = serial_replay(fpga, config.policy, workload[s]);
+    expect_verdicts_identical(engine.verdicts(handles[s]), expected,
+                              "fpga stream " + std::to_string(s));
+  }
+  engine.shutdown();
+  metrics().reset();
+}
+
+TEST(FpgaSoak, VerdictsInvariantAcrossShardCounts) {
+  // Each shard compiles its own netlist lazily; the model-derived input
+  // grid is a deterministic function of the model alone, so resharding
+  // must never move a verdict.
+  const ml::LinearSvm model = trained_svm();
+  constexpr std::size_t kStreams = 6;
+
+  std::vector<std::vector<std::vector<double>>> workload;
+  for (std::size_t s = 0; s < kStreams; ++s) {
+    auto windows = make_stream_windows(900 + s, 60, kWidth);
+    for (auto& w : windows)
+      for (auto& v : w) v = v * 4.0 - 1.0;
+    workload.push_back(std::move(windows));
+  }
+
+  std::vector<std::vector<OnlineDetector::Verdict>> baseline;
+  for (const std::size_t shards : {1u, 2u, 4u}) {
+    ServeConfig config;
+    config.window_size = kWidth;
+    config.num_shards = shards;
+    config.record_verdicts = true;
+    config.tier = ServeConfig::Tier::kFpga;
+    config.policy = {.flag_threshold = 0.6, .confirm_windows = 2};
+    StreamEngine engine(model, config);
+    std::vector<StreamEngine::StreamHandle> handles;
+    for (std::size_t s = 0; s < kStreams; ++s)
+      handles.push_back(engine.register_stream(s));
+    for (std::size_t w = 0; w < 60; ++w)
+      for (std::size_t s = 0; s < kStreams; ++s)
+        engine.ingest(handles[s], workload[s][w]);
+    engine.drain();
+    if (baseline.empty()) {
+      for (std::size_t s = 0; s < kStreams; ++s)
+        baseline.push_back(engine.verdicts(handles[s]));
+    } else {
+      for (std::size_t s = 0; s < kStreams; ++s)
+        expect_verdicts_identical(
+            engine.verdicts(handles[s]), baseline[s],
+            "shards=" + std::to_string(shards) + " stream " +
+                std::to_string(s));
+    }
+    engine.shutdown();
+  }
+  metrics().reset();
+}
+
+TEST(FpgaTier, SnapshotPinsFpgaTier) {
+  const ml::LinearSvm model = trained_svm();
+  ServeConfig config;
+  config.window_size = kWidth;
+  config.record_verdicts = true;
+  config.tier = ServeConfig::Tier::kFpga;
+  StreamEngine engine(model, config);
+  const auto handle = engine.register_stream(1);
+  for (const auto& w : make_stream_windows(12, 20, kWidth))
+    engine.ingest(handle, w);
+  engine.drain();
+  std::stringstream buffer;
+  engine.checkpoint(buffer);
+  engine.shutdown();
+
+  const EngineSnapshot snap = EngineSnapshot::read_or_throw(buffer);
+  ASSERT_TRUE(snap.tier.present);
+  EXPECT_EQ(snap.tier.name, "fpga");
+
+  const auto shared = std::make_shared<const EngineSnapshot>(snap);
+  {
+    ServeConfig same = config;
+    same.restore_from = shared;
+    EXPECT_NO_THROW(StreamEngine(model, same).shutdown());
+  }
+  ServeConfig mismatched = config;
+  mismatched.tier = ServeConfig::Tier::kFloat;
+  mismatched.restore_from = shared;
+  EXPECT_THROW(StreamEngine(model, mismatched), PreconditionError);
+  metrics().reset();
+}
+
+TEST(FpgaTier, KeepsFloatPathForUnsupportedScheme) {
+  // Schemes without a netlist lowering silently serve float under
+  // --tier fpga — verdicts must equal the float serial replay exactly.
+  StubModel model;
+  ServeConfig config;
+  config.window_size = 4;
+  config.record_verdicts = true;
+  config.tier = ServeConfig::Tier::kFpga;
+  StreamEngine engine(model, config);
+  const auto handle = engine.register_stream(0);
+  const auto windows = make_stream_windows(322, 60, 4);
+  for (const auto& w : windows) engine.ingest(handle, w);
+  engine.drain();
+  const auto expected = serial_replay(model, config.policy, windows);
+  expect_verdicts_identical(engine.verdicts(handle), expected,
+                            "unsupported-scheme fpga tier");
+  engine.shutdown();
+  metrics().reset();
+}
+
+}  // namespace
+}  // namespace hmd::serve

@@ -547,7 +547,8 @@ TEST(StreamEngine, SnapshotPinsTierAndRejectsMismatchedRestore) {
     EXPECT_NO_THROW(StreamEngine(model, same).shutdown());
   }
   for (const ServeConfig::Tier other :
-       {ServeConfig::Tier::kFloat, ServeConfig::Tier::kQ16}) {
+       {ServeConfig::Tier::kFloat, ServeConfig::Tier::kQ16,
+        ServeConfig::Tier::kFpga}) {
     ServeConfig mismatched = config;
     mismatched.tier = other;
     mismatched.restore_from = shared;

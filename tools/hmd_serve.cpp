@@ -114,10 +114,7 @@ int main(int argc, char** argv) {
                     "write an engine snapshot after the replay drains");
   parser.add_string("--restore", &restore_path, "FILE",
                     "resume stream state from a snapshot (--checkpoint)");
-  parser.add_string("--tier", &tier_name, "NAME",
-                    "serving precision tier: float (default), int8 "
-                    "(quantized low-latency scoring) or q16 (hardware "
-                    "Q16.16 input grid)");
+  cli::add_tier_flag(parser, &tier_name);
   cli::add_isa_flag(parser, &isa_name);
   cli::add_observability_flags(parser, &metrics_path, &trace_path);
   parser.parse_or_exit(argc, argv);

@@ -8,7 +8,8 @@
 //   hmd_train --data FILE [--scheme NAME] [--binary] [--top-k N]
 //             [--threshold P] [--confirm N] [--seed N] [--jobs N]
 //             [--cv K] [--sweep] [--model FILE | --bundle FILE]
-//             [--fallback NAME] [--metrics-out FILE] [--trace-out FILE]
+//             [--fallback NAME] [--emit-rtl LANG]
+//             [--metrics-out FILE] [--trace-out FILE]
 //   hmd_train --list-classifiers
 #include <fstream>
 #include <iostream>
@@ -18,6 +19,9 @@
 #include "core/deployment.hpp"
 #include "core/feature_reduction.hpp"
 #include "core/online_detector.hpp"
+#include "hw/backend.hpp"
+#include "hw/compile.hpp"
+#include "hw/fixed_point_eval.hpp"
 #include "ml/arff.hpp"
 #include "ml/cross_validation.hpp"
 #include "ml/evaluation.hpp"
@@ -111,7 +115,7 @@ int main(int argc, char** argv) {
 
   std::string data_path, scheme = "MLR", model_path, bundle_path;
   std::string fallback_scheme, metrics_path, trace_path;
-  std::string isa_name;
+  std::string isa_name, rtl_lang;
   bool binary = false, sweep = false, list = false;
   std::size_t top_k = 0, cv_folds = 0, jobs = default_jobs();
   core::OnlineDetectorConfig policy;
@@ -144,6 +148,7 @@ int main(int argc, char** argv) {
   parser.add_string("--fallback", &fallback_scheme, "NAME",
                     "also train a degraded-mode fallback for the bundle "
                     "(e.g. OneR; writes a v2 bundle)");
+  cli::add_emit_rtl_flag(parser, &rtl_lang);
   cli::add_isa_flag(parser, &isa_name);
   cli::add_observability_flags(parser, &metrics_path, &trace_path);
   parser.add_flag("--list-classifiers", &list,
@@ -231,6 +236,26 @@ int main(int argc, char** argv) {
         monitor_model->train(btrain);
         run_deployment_replay(*monitor_model, btest, policy, pool);
       }
+    }
+
+    if (!rtl_lang.empty()) {
+      // Render the trained model through the netlist pipeline; the input
+      // grid is pinned to the held-out split exactly as the fixed-point
+      // evaluation harness calibrates it.
+      const hw::Backend& backend = hw::backend_by_name(rtl_lang);
+      hw::CompileOptions opts;
+      opts.num_features = train.num_features();
+      opts.feature_absmax = hw::calibrate_feature_absmax(test);
+      Result<hw::CompiledDesign> design = hw::try_compile(*model, std::move(opts));
+      if (!design.ok()) {
+        std::cerr << "hmd_train: --emit-rtl: " << design.error().to_string()
+                  << '\n';
+        return 1;
+      }
+      std::cout << design.value().emit(backend);
+      std::cerr << "emitted " << backend.name() << " for scheme " << scheme
+                << " (" << design.value().netlist().num_nodes()
+                << " nets)\n";
     }
 
     if (!model_path.empty()) {
